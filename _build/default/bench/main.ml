@@ -1,0 +1,243 @@
+(* Benchmark harness: reproduces every figure of the paper's evaluation
+   (§V) and micro-benchmarks the routing algorithms with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig5       # one experiment
+     dune exec bench/main.exe headline   # §V-B improvement ratios
+     dune exec bench/main.exe micro      # Bechamel timings only
+
+   MUERP_REPLICATIONS=<n> overrides the 20-network averaging for quick
+   runs. *)
+
+module Figures = Qnet_experiments.Figures
+module Report = Qnet_experiments.Report
+module Config = Qnet_experiments.Config
+
+let replications =
+  match Sys.getenv_opt "MUERP_REPLICATIONS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ -> 20)
+  | None -> 20
+
+let cfg = Config.create ~replications ()
+
+let print_series s =
+  print_endline (Report.series_to_string s);
+  print_newline ()
+
+let run_figure id =
+  let s =
+    match id with
+    | "fig5" -> Figures.fig5 ~cfg ()
+    | "fig6a" -> Figures.fig6a ~cfg ()
+    | "fig6b" -> Figures.fig6b ~cfg ()
+    | "fig7a" -> Figures.fig7a ~cfg ()
+    | "fig7b" -> Figures.fig7b ~cfg ()
+    | "fig8a" -> Figures.fig8a ~cfg ()
+    | "fig8b" -> Figures.fig8b ~cfg ()
+    | _ -> failwith ("unknown figure: " ^ id)
+  in
+  print_series s;
+  s
+
+let all_figure_ids =
+  [ "fig5"; "fig6a"; "fig6b"; "fig7a"; "fig7b"; "fig8a"; "fig8b" ]
+
+let run_headline series =
+  let series =
+    if series = [] then List.map run_figure all_figure_ids else series
+  in
+  print_endline
+    "Headline improvements (cf. paper §V-B: up to 5347%/3180%/3155% vs \
+     N-FUSION, 5068%/3014%/2990% vs E-Q-CAST):";
+  print_endline
+    (Qnet_util.Table.to_string
+       (Report.headlines_table (Figures.headlines series)));
+  print_newline ()
+
+(* Extension experiment beyond the paper: all five methods on the two
+   reference WAN topologies, averaged over random user placements. *)
+let run_reference_nets () =
+  let module R = Qnet_experiments.Runner in
+  let params = Qnet_core.Params.default in
+  let t =
+    Qnet_util.Table.create
+      ("network"
+      :: List.map (fun m -> R.method_name m) R.all_methods)
+  in
+  let t =
+    List.fold_left
+      (fun t (name, net) ->
+        let rates_for m =
+          let samples =
+            List.init replications (fun i ->
+                let seed = 1 + i in
+                let rng = Qnet_util.Prng.create seed in
+                let g =
+                  Qnet_topology.Reference_nets.build rng net ~n_users:5
+                    ~qubits_per_switch:4 ~user_qubits:1_000_000
+                in
+                let rng_alg = Qnet_util.Prng.create (seed * 7919) in
+                R.run_method g params ~rng:rng_alg ~alg2_boost:true m)
+          in
+          Qnet_util.Stats.mean (Array.of_list samples)
+        in
+        Qnet_util.Table.add_float_row t name
+          (List.map rates_for R.all_methods))
+      t Qnet_topology.Reference_nets.all
+  in
+  print_endline
+    "Reference WAN topologies (extension; 5 users placed at random):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
+
+let run_ablations () =
+  print_endline "Ablation studies (design-choice sensitivity):";
+  print_newline ();
+  List.iter
+    (fun (title, table) ->
+      Printf.printf "%s\n%s\n\n" title (Qnet_util.Table.to_string table))
+    (Qnet_experiments.Ablation.all ~cfg ())
+
+(* Bechamel micro-benchmarks: per-algorithm wall-clock on the default
+   network. *)
+let micro () =
+  let open Bechamel in
+  let rng = Qnet_util.Prng.create 42 in
+  let spec = Qnet_topology.Spec.default in
+  let g = Qnet_topology.Waxman.generate rng spec in
+  let params = Qnet_core.Params.default in
+  let inst = Qnet_core.Muerp.instance ~params g in
+  let solve_test name algorithm =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Qnet_core.Muerp.solve algorithm inst)))
+  in
+  let tests =
+    [
+      solve_test "alg2-optimal" Qnet_core.Muerp.Optimal;
+      solve_test "alg3-conflict-free" Qnet_core.Muerp.Conflict_free;
+      solve_test "alg4-prim" Qnet_core.Muerp.Prim_based;
+      Test.make ~name:"e-q-cast"
+        (Staged.stage (fun () -> ignore (Qnet_baselines.Eqcast.solve g params)));
+      Test.make ~name:"n-fusion"
+        (Staged.stage (fun () ->
+             ignore (Qnet_baselines.Nfusion.solve g params)));
+      Test.make ~name:"alg1-single-channel"
+        (Staged.stage (fun () ->
+             let capacity = Qnet_core.Capacity.of_graph g in
+             match Qnet_graph.Graph.users g with
+             | src :: dst :: _ ->
+                 ignore
+                   (Qnet_core.Routing.best_channel g params ~capacity ~src
+                      ~dst)
+             | _ -> ()));
+    ]
+  in
+  print_endline "Micro-benchmarks (monotonic clock):";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~quota:(Time.second 0.5) ())
+          [ Toolkit.Instance.monotonic_clock ]
+          test
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        ols)
+    tests;
+  print_newline ()
+
+(* Empirical runtime scaling vs network size: a sanity check of the
+   paper's O(|U|²(|E| + |V| log |V|)) complexity analysis. *)
+let scaling () =
+  let t =
+    Qnet_util.Table.create
+      [ "switches"; "alg2 (ms)"; "alg3 (ms)"; "alg4 (ms)" ]
+  in
+  let t =
+    List.fold_left
+      (fun t n_switches ->
+        let spec = Qnet_topology.Spec.create ~n_switches () in
+        let g = Qnet_topology.Waxman.generate (Qnet_util.Prng.create 1) spec in
+        let inst = Qnet_core.Muerp.instance g in
+        let time alg =
+          let reps = 5 in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (Qnet_core.Muerp.solve alg inst)
+          done;
+          (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1000.
+        in
+        Qnet_util.Table.add_row t
+          [
+            string_of_int n_switches;
+            Printf.sprintf "%.2f" (time Qnet_core.Muerp.Optimal);
+            Printf.sprintf "%.2f" (time Qnet_core.Muerp.Conflict_free);
+            Printf.sprintf "%.2f" (time Qnet_core.Muerp.Prim_based);
+          ])
+      t
+      [ 25; 50; 100; 200; 400 ]
+  in
+  print_endline "Runtime scaling with network size (10 users, degree 6):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
+
+let write_csvs dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun id ->
+      let s =
+        match id with
+        | "fig5" -> Figures.fig5 ~cfg ()
+        | "fig6a" -> Figures.fig6a ~cfg ()
+        | "fig6b" -> Figures.fig6b ~cfg ()
+        | "fig7a" -> Figures.fig7a ~cfg ()
+        | "fig7b" -> Figures.fig7b ~cfg ()
+        | "fig8a" -> Figures.fig8a ~cfg ()
+        | _ -> Figures.fig8b ~cfg ()
+      in
+      let path = Filename.concat dir (id ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Report.series_to_csv s);
+          output_char oc '\n');
+      Printf.printf "wrote %s\n%!" path)
+    all_figure_ids
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "csv"; dir ] -> write_csvs dir
+  | [] ->
+      Printf.printf
+        "MUERP benchmark suite — %d replications per point (set \
+         MUERP_REPLICATIONS to override)\n\n%!"
+        replications;
+      let series = List.map run_figure all_figure_ids in
+      run_headline series;
+      run_reference_nets ();
+      run_ablations ();
+      scaling ();
+      micro ()
+  | [ "headline" ] -> run_headline []
+  | [ "reference" ] -> run_reference_nets ()
+  | [ "ablation" ] -> run_ablations ()
+  | [ "scaling" ] -> scaling ()
+  | [ "micro" ] -> micro ()
+  | ids -> List.iter (fun id -> ignore (run_figure id)) ids

@@ -1,0 +1,663 @@
+(* muerp — command-line front end for the MUERP library.
+
+   Subcommands:
+     solve       route one instance with every method and print the trees
+     topology    generate a network and print its composition
+     experiment  reproduce a paper figure (fig5 .. fig8b, or "all")
+     simulate    Monte-Carlo-validate the analytic rate of a solution
+     sweep       one-dimensional parameter sweep with a chosen method *)
+
+open Cmdliner
+module Graph = Qnet_graph.Graph
+module Spec = Qnet_topology.Spec
+module Generate = Qnet_topology.Generate
+open Qnet_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared command-line terms                                           *)
+
+let seed_t =
+  let doc = "PRNG seed for topology generation and random choices." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let users_t =
+  let doc = "Number of quantum users." in
+  Arg.(value & opt int 10 & info [ "users"; "u" ] ~docv:"N" ~doc)
+
+let switches_t =
+  let doc = "Number of quantum switches." in
+  Arg.(value & opt int 50 & info [ "switches"; "s" ] ~docv:"N" ~doc)
+
+let degree_t =
+  let doc = "Target average vertex degree." in
+  Arg.(value & opt float 6. & info [ "degree"; "d" ] ~docv:"D" ~doc)
+
+let qubits_t =
+  let doc = "Memory qubits per switch." in
+  Arg.(value & opt int 4 & info [ "qubits"; "Q" ] ~docv:"Q" ~doc)
+
+let q_t =
+  let doc = "BSM swap success probability." in
+  Arg.(value & opt float 0.9 & info [ "swap-rate"; "q" ] ~docv:"Q" ~doc)
+
+let alpha_t =
+  let doc = "Fiber attenuation constant (per km-unit)." in
+  Arg.(value & opt float 1e-4 & info [ "alpha" ] ~docv:"A" ~doc)
+
+let topology_t =
+  let doc =
+    "Topology generator: waxman, watts-strogatz, volchenkov or grid."
+  in
+  Arg.(value & opt string "waxman" & info [ "topology"; "t" ] ~docv:"KIND" ~doc)
+
+let verbose_t =
+  let doc = "Enable library debug logging on stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let apply_verbose verbose =
+  if verbose then Qnet_util.Log.setup ~level:(Some Logs.Debug)
+
+let build_spec ~users ~switches ~degree ~qubits =
+  Spec.create ~n_users:users ~n_switches:switches ~avg_degree:degree
+    ~qubits_per_switch:qubits ()
+
+let build_network ~seed ~topology ~spec =
+  match Generate.of_name topology with
+  | None -> Error (`Msg (Printf.sprintf "unknown topology %S" topology))
+  | Some kind ->
+      let rng = Qnet_util.Prng.create seed in
+      Ok (Generate.run kind rng spec)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+
+let describe_tree g = function
+  | None -> print_endline "  infeasible (rate 0)"
+  | Some (tree : Ent_tree.t) ->
+      Printf.printf "  rate %.6g (-ln rate %.4f), %d channels\n"
+        (Ent_tree.rate_prob tree)
+        (Ent_tree.rate_neg_log tree)
+        (Ent_tree.channel_count tree);
+      List.iter
+        (fun (c : Channel.t) ->
+          Printf.printf "    %d <-> %d : %d links, length %.0f, rate %.6g\n"
+            c.src c.dst c.hops c.total_length (Channel.rate_prob c))
+        tree.channels;
+      ignore g
+
+let solve_run verbose seed users switches degree qubits q alpha topology load =
+  apply_verbose verbose;
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  let network =
+    match load with
+    | Some path -> (
+        match Qnet_graph.Codec.load_graph path with
+        | Ok g -> Ok g
+        | Error msg -> Error (`Msg (path ^ ": " ^ msg)))
+    | None -> build_network ~seed ~topology ~spec
+  in
+  match network with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let params = Params.create ~alpha ~q () in
+      let inst = Muerp.instance ~params g in
+      Format.printf "%a, seed %d@." Graph.pp g seed;
+      List.iter
+        (fun alg ->
+          Printf.printf "%s:\n" (Muerp.algorithm_name alg);
+          let rng = Qnet_util.Prng.create seed in
+          let outcome = Muerp.solve ~rng alg inst in
+          describe_tree g outcome.tree)
+        Muerp.all_heuristics;
+      Printf.printf "e-q-cast:\n";
+      describe_tree g (Qnet_baselines.Eqcast.solve g params);
+      Printf.printf "n-fusion:\n";
+      (match Qnet_baselines.Nfusion.solve g params with
+      | None -> print_endline "  infeasible (rate 0)"
+      | Some r ->
+          Printf.printf "  rate %.6g via center %d (fusion -ln %.4f)\n"
+            r.total_rate r.center r.fusion_neg_log)
+
+let solve_cmd =
+  let load_t =
+    let doc = "Load the network from this file instead of generating one." in
+    Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
+  in
+  let info = Cmd.info "solve" ~doc:"Solve one MUERP instance with every method." in
+  Cmd.v info
+    Term.(
+      const solve_run $ verbose_t $ seed_t $ users_t $ switches_t $ degree_t
+      $ qubits_t $ q_t $ alpha_t $ topology_t $ load_t)
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+
+let topology_run seed users switches degree qubits topology save =
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      (match save with
+      | None -> ()
+      | Some path ->
+          Qnet_graph.Codec.save_graph path g;
+          Printf.printf "saved to %s\n" path);
+      Format.printf "%a@." Graph.pp g;
+      Printf.printf "users: %s\n"
+        (String.concat ", " (List.map string_of_int (Graph.users g)));
+      Printf.printf "connected: %b; users connected: %b\n"
+        (Qnet_graph.Paths.is_connected g)
+        (Qnet_graph.Paths.users_connected g);
+      let lengths =
+        Graph.fold_edges g ~init:[] ~f:(fun acc e -> e.Graph.length :: acc)
+      in
+      let s = Qnet_util.Stats.summarize (Array.of_list lengths) in
+      Printf.printf
+        "fiber lengths: mean %.0f, median %.0f, min %.0f, max %.0f\n"
+        s.Qnet_util.Stats.mean s.Qnet_util.Stats.median s.Qnet_util.Stats.min
+        s.Qnet_util.Stats.max;
+      Format.printf "structure: %a@." Qnet_topology.Analysis.pp_summary
+        (Qnet_topology.Analysis.summarize g)
+
+let topology_cmd =
+  let save_t =
+    let doc = "Write the generated network to this file (s-expression)." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let info = Cmd.info "topology" ~doc:"Generate a network and describe it." in
+  Cmd.v info
+    Term.(
+      const topology_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
+      $ topology_t $ save_t)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_run figure replications csv =
+  let cfg = Qnet_experiments.Config.create ~replications () in
+  let module F = Qnet_experiments.Figures in
+  let module R = Qnet_experiments.Report in
+  let print s =
+    print_endline (R.series_to_string s);
+    match csv with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (R.series_to_csv s);
+            output_char oc '\n');
+        Printf.printf "csv written to %s\n" path
+  in
+  match figure with
+  | "all" ->
+      let series = F.all ~cfg () in
+      List.iter print series;
+      print_endline
+        (Qnet_util.Table.to_string (R.headlines_table (F.headlines series)))
+  | "fig5" -> print (F.fig5 ~cfg ())
+  | "fig6a" -> print (F.fig6a ~cfg ())
+  | "fig6b" -> print (F.fig6b ~cfg ())
+  | "fig7a" -> print (F.fig7a ~cfg ())
+  | "fig7b" -> print (F.fig7b ~cfg ())
+  | "fig8a" -> print (F.fig8a ~cfg ())
+  | "fig8b" -> print (F.fig8b ~cfg ())
+  | other ->
+      prerr_endline ("unknown figure: " ^ other);
+      exit 1
+
+let experiment_cmd =
+  let figure_t =
+    let doc = "Figure to reproduce: fig5..fig8b, or all." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc)
+  in
+  let replications_t =
+    let doc = "Random networks averaged per data point." in
+    Arg.(value & opt int 20 & info [ "replications"; "r" ] ~docv:"N" ~doc)
+  in
+  let csv_t =
+    let doc = "Also write the series as CSV to this file (single figures only)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let info = Cmd.info "experiment" ~doc:"Reproduce a paper figure." in
+  Cmd.v info Term.(const experiment_run $ figure_t $ replications_t $ csv_t)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_run seed users switches degree qubits q alpha topology trials =
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let params = Params.create ~alpha ~q () in
+      let inst = Muerp.instance ~params g in
+      let outcome = Muerp.solve Conflict_free inst in
+      (match outcome.tree with
+      | None -> print_endline "instance infeasible; nothing to simulate"
+      | Some tree ->
+          let rng = Qnet_util.Prng.create (seed + 1_000_003) in
+          let est =
+            Qnet_sim.Monte_carlo.estimate_rate rng g params tree ~trials
+          in
+          Printf.printf
+            "analytic rate  %.6g\nempirical rate %.6g (%d/%d successes)\n\
+             wilson 95%% CI [%.6g, %.6g] — analytic %s\n"
+            est.analytic est.p_hat est.successes est.trials est.ci_low
+            est.ci_high
+            (if est.within_ci then "inside CI" else "OUTSIDE CI"))
+
+let simulate_cmd =
+  let trials_t =
+    let doc = "Monte-Carlo trials." in
+    Arg.(value & opt int 200_000 & info [ "trials"; "n" ] ~docv:"N" ~doc)
+  in
+  let info =
+    Cmd.info "simulate"
+      ~doc:"Monte-Carlo-validate the analytic rate of a routed solution."
+  in
+  Cmd.v info
+    Term.(
+      const simulate_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
+      $ q_t $ alpha_t $ topology_t $ trials_t)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_run parameter values replications =
+  let module C = Qnet_experiments.Config in
+  let module R = Qnet_experiments.Runner in
+  let parse_values () =
+    String.split_on_char ',' values
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map String.trim
+  in
+  let configs =
+    match parameter with
+    | "users" ->
+        List.map
+          (fun v ->
+            let n = int_of_string v in
+            ( v,
+              C.create
+                ~spec:(Spec.create ~n_users:n ())
+                ~replications () ))
+          (parse_values ())
+    | "switches" ->
+        List.map
+          (fun v ->
+            let n = int_of_string v in
+            (v, C.create ~spec:(Spec.create ~n_switches:n ()) ~replications ()))
+          (parse_values ())
+    | "degree" ->
+        List.map
+          (fun v ->
+            let d = float_of_string v in
+            (v, C.create ~spec:(Spec.create ~avg_degree:d ()) ~replications ()))
+          (parse_values ())
+    | "qubits" ->
+        List.map
+          (fun v ->
+            let n = int_of_string v in
+            ( v,
+              C.create
+                ~spec:(Spec.create ~qubits_per_switch:n ())
+                ~replications () ))
+          (parse_values ())
+    | "q" ->
+        List.map
+          (fun v ->
+            let q = float_of_string v in
+            (v, C.create ~params:(Params.create ~q ()) ~replications ()))
+          (parse_values ())
+    | other ->
+        prerr_endline
+          ("unknown parameter: " ^ other
+         ^ " (expected users|switches|degree|qubits|q)");
+        exit 1
+  in
+  let t =
+    List.fold_left
+      (fun t (label, cfg) ->
+        let rates = R.mean_rates (R.run_config cfg) in
+        Qnet_util.Table.add_float_row t label (List.map snd rates))
+      (Qnet_util.Table.create
+         (parameter :: List.map (fun m -> R.method_name m) R.all_methods))
+      configs
+  in
+  print_endline (Qnet_util.Table.to_string t)
+
+let sweep_cmd =
+  let parameter_t =
+    let doc = "Parameter to sweep: users, switches, degree, qubits or q." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PARAM" ~doc)
+  in
+  let values_t =
+    let doc = "Comma-separated values." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUES" ~doc)
+  in
+  let replications_t =
+    let doc = "Random networks averaged per data point." in
+    Arg.(value & opt int 20 & info [ "replications"; "r" ] ~docv:"N" ~doc)
+  in
+  let info = Cmd.info "sweep" ~doc:"One-dimensional parameter sweep." in
+  Cmd.v info Term.(const sweep_run $ parameter_t $ values_t $ replications_t)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot_run seed users switches degree qubits topology highlight =
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let highlight_paths =
+        if not highlight then []
+        else
+          match (Muerp.solve Muerp.Conflict_free (Muerp.instance g)).tree with
+          | None -> []
+          | Some tree ->
+              List.map (fun (c : Channel.t) -> c.path) tree.Ent_tree.channels
+      in
+      print_string (Qnet_graph.Dot.to_dot ~highlight_paths g)
+
+let dot_cmd =
+  let highlight_t =
+    let doc = "Overlay the conflict-free solution's channels." in
+    Arg.(value & flag & info [ "highlight" ] ~doc)
+  in
+  let info =
+    Cmd.info "dot" ~doc:"Emit the network as a Graphviz DOT document."
+  in
+  Cmd.v info
+    Term.(
+      const dot_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
+      $ topology_t $ highlight_t)
+
+(* ------------------------------------------------------------------ *)
+(* svg                                                                 *)
+
+let svg_run seed users switches degree qubits topology highlight output =
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let highlight_paths =
+        if not highlight then []
+        else
+          match (Muerp.solve Muerp.Conflict_free (Muerp.instance g)).tree with
+          | None -> []
+          | Some tree ->
+              List.map (fun (c : Channel.t) -> c.path) tree.Ent_tree.channels
+      in
+      let title =
+        Printf.sprintf "%d users / %d switches (%s, seed %d)" users switches
+          topology seed
+      in
+      (match output with
+      | None ->
+          print_string (Qnet_graph.Svg.render ~highlight_paths ~title g)
+      | Some path ->
+          Qnet_graph.Svg.save ~highlight_paths ~title path g;
+          Printf.printf "wrote %s\n" path)
+
+let svg_cmd =
+  let highlight_t =
+    let doc = "Overlay the conflict-free solution's channels." in
+    Arg.(value & flag & info [ "highlight" ] ~doc)
+  in
+  let output_t =
+    let doc = "Write the SVG to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let info =
+    Cmd.info "svg" ~doc:"Render the network as a standalone SVG image."
+  in
+  Cmd.v info
+    Term.(
+      const svg_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
+      $ topology_t $ highlight_t $ output_t)
+
+(* ------------------------------------------------------------------ *)
+(* fidelity                                                            *)
+
+let fidelity_run seed users switches degree qubits q alpha topology f0
+    threshold =
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let params = Params.create ~alpha ~q () in
+      let config = { Fidelity.f0; threshold } in
+      (match Fidelity.max_hops ~f0 ~threshold ~max_considered:64 with
+      | None ->
+          Printf.printf
+            "threshold %.3f unreachable even for 1-hop channels at f0 %.3f\n"
+            threshold f0
+      | Some h -> Printf.printf "fidelity budget: at most %d links/channel\n" h);
+      let unconstrained = Muerp.solve Muerp.Conflict_free (Muerp.instance ~params g) in
+      Printf.printf "unconstrained alg3 rate: %.6g\n" unconstrained.Muerp.rate;
+      (match Fidelity.solve_kruskal g params config with
+      | None -> print_endline "fidelity-aware kruskal: infeasible"
+      | Some tree ->
+          Printf.printf
+            "fidelity-aware kruskal: rate %.6g, min channel fidelity %.4f\n"
+            (Ent_tree.rate_prob tree)
+            (Fidelity.tree_min_fidelity ~f0 tree));
+      match Fidelity.solve_prim g params config with
+      | None -> print_endline "fidelity-aware prim: infeasible"
+      | Some tree ->
+          Printf.printf
+            "fidelity-aware prim: rate %.6g, min channel fidelity %.4f\n"
+            (Ent_tree.rate_prob tree)
+            (Fidelity.tree_min_fidelity ~f0 tree)
+
+let fidelity_cmd =
+  let f0_t =
+    let doc = "Fidelity of a freshly generated link pair." in
+    Arg.(value & opt float 0.98 & info [ "f0" ] ~docv:"F" ~doc)
+  in
+  let threshold_t =
+    let doc = "Minimum acceptable end-to-end channel fidelity." in
+    Arg.(value & opt float 0.9 & info [ "threshold" ] ~docv:"F" ~doc)
+  in
+  let info =
+    Cmd.info "fidelity" ~doc:"Fidelity-aware routing (Werner-state model)."
+  in
+  Cmd.v info
+    Term.(
+      const fidelity_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
+      $ q_t $ alpha_t $ topology_t $ f0_t $ threshold_t)
+
+(* ------------------------------------------------------------------ *)
+(* groups                                                              *)
+
+let groups_run seed switches degree qubits q alpha topology n_groups
+    group_size round_robin =
+  let users = n_groups * group_size in
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let params = Params.create ~alpha ~q () in
+      let all_users = Graph.users g in
+      let rec chunk = function
+        | [] -> []
+        | l ->
+            let rec take n = function
+              | [] -> ([], [])
+              | x :: rest when n > 0 ->
+                  let a, b = take (n - 1) rest in
+                  (x :: a, b)
+              | rest -> ([], rest)
+            in
+            let head, tail = take group_size l in
+            head :: chunk tail
+      in
+      let groups = List.filter (fun c -> c <> []) (chunk all_users) in
+      let strategy =
+        if round_robin then Multi_group.Round_robin else Multi_group.Sequential
+      in
+      let r = Multi_group.solve ~strategy g params ~groups in
+      Printf.printf "%d groups of %d users, strategy %s\n" n_groups group_size
+        (if round_robin then "round-robin" else "sequential");
+      List.iteri
+        (fun i (gr : Multi_group.group_result) ->
+          Printf.printf "  group %d {%s}: %s\n" i
+            (String.concat ", " (List.map string_of_int gr.Multi_group.group))
+            (match gr.Multi_group.tree with
+            | None -> "unserved"
+            | Some _ -> Printf.sprintf "rate %.6g" gr.Multi_group.rate))
+        r.Multi_group.groups;
+      Printf.printf "all served: %b; min rate %.6g\n"
+        r.Multi_group.all_feasible r.Multi_group.min_rate
+
+let groups_cmd =
+  let n_groups_t =
+    let doc = "Number of independent entanglement groups." in
+    Arg.(value & opt int 3 & info [ "groups"; "g" ] ~docv:"N" ~doc)
+  in
+  let group_size_t =
+    let doc = "Users per group." in
+    Arg.(value & opt int 3 & info [ "group-size"; "k" ] ~docv:"N" ~doc)
+  in
+  let round_robin_t =
+    let doc = "Use round-robin allocation instead of sequential." in
+    Arg.(value & flag & info [ "round-robin" ] ~doc)
+  in
+  let info =
+    Cmd.info "groups"
+      ~doc:"Concurrently route several independent entanglement groups."
+  in
+  Cmd.v info
+    Term.(
+      const groups_run $ seed_t $ switches_t $ degree_t $ qubits_t $ q_t
+      $ alpha_t $ topology_t $ n_groups_t $ group_size_t $ round_robin_t)
+
+(* ------------------------------------------------------------------ *)
+(* reference                                                           *)
+
+let reference_run seed name users qubits q alpha =
+  match List.assoc_opt name Qnet_topology.Reference_nets.all with
+  | None ->
+      prerr_endline ("unknown reference network: " ^ name);
+      exit 1
+  | Some net ->
+      let rng = Qnet_util.Prng.create seed in
+      let g =
+        Qnet_topology.Reference_nets.build rng net ~n_users:users
+          ~qubits_per_switch:qubits ~user_qubits:1_000_000
+      in
+      let params = Params.create ~alpha ~q () in
+      Format.printf "%s: %a@." name Graph.pp g;
+      List.iter
+        (fun alg ->
+          let o = Muerp.solve alg (Muerp.instance ~params g) in
+          Printf.printf "  %-22s rate %.6g\n" (Muerp.algorithm_name alg)
+            o.Muerp.rate)
+        Muerp.all_heuristics
+
+let reference_cmd =
+  let name_t =
+    let doc = "Reference topology: nsfnet or arpanet." in
+    Arg.(value & pos 0 string "nsfnet" & info [] ~docv:"NAME" ~doc)
+  in
+  let info =
+    Cmd.info "reference" ~doc:"Route on a reference WAN topology."
+  in
+  Cmd.v info
+    Term.(
+      const reference_run $ seed_t $ name_t $ users_t $ qubits_t $ q_t
+      $ alpha_t)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+let schedule_run verbose seed users switches degree qubits q alpha topology n
+    mean_gap max_group queue_slots =
+  apply_verbose verbose;
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let params = Params.create ~alpha ~q () in
+      let rng = Qnet_util.Prng.create (seed + 77) in
+      let requests =
+        Qnet_sim.Scheduler.random_requests rng g ~n ~mean_gap ~max_group
+          ~duration_range:(3, 8)
+      in
+      let policy =
+        if queue_slots > 0 then Qnet_sim.Scheduler.Queue queue_slots
+        else Qnet_sim.Scheduler.Drop
+      in
+      let stats, outcomes = Qnet_sim.Scheduler.run ~policy g params ~requests in
+      Printf.printf
+        "%d requests: %d accepted, %d rejected (ratio %.2f)\n\
+         mean accepted rate %.4g, mean wait %.2f slots, peak qubits in use %d\n"
+        stats.Qnet_sim.Scheduler.arrived stats.Qnet_sim.Scheduler.accepted
+        stats.Qnet_sim.Scheduler.rejected
+        stats.Qnet_sim.Scheduler.acceptance_ratio
+        stats.Qnet_sim.Scheduler.mean_accepted_rate
+        stats.Qnet_sim.Scheduler.mean_wait_slots
+        stats.Qnet_sim.Scheduler.peak_qubits_in_use;
+      List.iter
+        (fun (o : Qnet_sim.Scheduler.outcome) ->
+          let r = o.Qnet_sim.Scheduler.request in
+          match o.Qnet_sim.Scheduler.disposition with
+          | Qnet_sim.Scheduler.Accepted { slot; rate; _ } ->
+              Printf.printf
+                "  #%-3d arrive %3d  users {%s}  ACCEPT @%d  rate %.4g\n"
+                r.Qnet_sim.Scheduler.id r.Qnet_sim.Scheduler.arrival
+                (String.concat ","
+                   (List.map string_of_int r.Qnet_sim.Scheduler.users))
+                slot rate
+          | Qnet_sim.Scheduler.Rejected { slot } ->
+              Printf.printf "  #%-3d arrive %3d  users {%s}  REJECT @%d\n"
+                r.Qnet_sim.Scheduler.id r.Qnet_sim.Scheduler.arrival
+                (String.concat ","
+                   (List.map string_of_int r.Qnet_sim.Scheduler.users))
+                slot)
+        outcomes
+
+let schedule_cmd =
+  let n_t =
+    let doc = "Number of synthetic requests." in
+    Arg.(value & opt int 20 & info [ "requests"; "n" ] ~docv:"N" ~doc)
+  in
+  let gap_t =
+    let doc = "Mean inter-arrival gap in slots." in
+    Arg.(value & opt float 2. & info [ "gap" ] ~docv:"SLOTS" ~doc)
+  in
+  let group_t =
+    let doc = "Largest request group size." in
+    Arg.(value & opt int 4 & info [ "max-group" ] ~docv:"N" ~doc)
+  in
+  let queue_t =
+    let doc = "Queue patience in slots (0 = drop immediately)." in
+    Arg.(value & opt int 5 & info [ "queue" ] ~docv:"SLOTS" ~doc)
+  in
+  let info =
+    Cmd.info "schedule"
+      ~doc:"Run the online admission controller over a synthetic workload."
+  in
+  Cmd.v info
+    Term.(
+      const schedule_run $ verbose_t $ seed_t $ users_t $ switches_t
+      $ degree_t $ qubits_t $ q_t $ alpha_t $ topology_t $ n_t $ gap_t
+      $ group_t $ queue_t)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let info =
+    Cmd.info "muerp" ~version:"1.0.0"
+      ~doc:"Multi-user entanglement routing over quantum Internets."
+  in
+  Cmd.group info
+    [
+      solve_cmd; topology_cmd; experiment_cmd; simulate_cmd; sweep_cmd;
+      dot_cmd; svg_cmd; fidelity_cmd; groups_cmd; reference_cmd; schedule_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

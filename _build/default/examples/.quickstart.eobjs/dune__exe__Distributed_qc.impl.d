@@ -1,0 +1,1 @@
+examples/distributed_qc.ml: Array Ent_tree Format List Muerp Params Qnet_core Qnet_graph Qnet_sim Qnet_topology Qnet_util

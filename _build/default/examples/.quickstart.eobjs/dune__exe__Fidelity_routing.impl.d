@@ -1,0 +1,1 @@
+examples/fidelity_routing.ml: Alg_conflict_free Channel Ent_tree Fidelity Format List Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,1 @@
+examples/network_operator.ml: Channel Ent_tree Filename Format List Muerp Params Qnet_core Qnet_graph Qnet_sim Qnet_topology Qnet_util Redundancy String Sys Verify

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Channel Ent_tree Format List Muerp Params Qnet_core Qnet_graph Qnet_sim Qnet_util Verify

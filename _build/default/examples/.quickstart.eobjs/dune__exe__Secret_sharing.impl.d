@@ -1,0 +1,1 @@
+examples/secret_sharing.ml: Array Channel Ent_tree Format List Muerp Params Printf Qnet_core Qnet_experiments Qnet_graph Qnet_topology Qnet_util

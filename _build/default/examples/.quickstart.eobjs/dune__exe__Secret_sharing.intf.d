@@ -1,0 +1,1 @@
+examples/secret_sharing.mli:

@@ -1,0 +1,1 @@
+examples/topology_study.ml: Array Ent_tree Format List Muerp Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,95 @@
+(* Distributed quantum computing — the paper's §I motivating scenario.
+
+   A computation needs more qubits than any single monolithic processor
+   offers, so several quantum computing processors (the users) must be
+   entangled over the quantum Internet.  This example sizes a cluster,
+   routes its entanglement with each algorithm, and then asks the
+   question a datacenter operator would: how many synchronized network
+   slots does it take before the whole cluster is entangled, and how
+   does that scale with cluster size?
+
+   Run with:  dune exec examples/distributed_qc.exe *)
+
+module Spec = Qnet_topology.Spec
+module Generate = Qnet_topology.Generate
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let processors_needed ~task_qubits ~per_processor =
+  (task_qubits + per_processor - 1) / per_processor
+
+let () =
+  (* A task needing 500 logical qubits on 127-qubit processors (the
+     paper cites IBM's 127-qubit chip as the monolithic ceiling). *)
+  let per_processor = 127 in
+  let task_qubits = 500 in
+  let cluster = processors_needed ~task_qubits ~per_processor in
+  Format.printf
+    "task: %d qubits, processors hold %d each -> cluster of %d processors@.@."
+    task_qubits per_processor cluster;
+
+  let params = Params.default in
+  let rng = Prng.create 2024 in
+  let spec =
+    Spec.create ~n_users:cluster ~n_switches:40 ~avg_degree:6.
+      ~qubits_per_switch:6 ()
+  in
+  let g = Generate.run Generate.waxman rng spec in
+  Format.printf "substrate: %a@.@." Qnet_graph.Graph.pp g;
+
+  let inst = Muerp.instance ~params g in
+  Format.printf "%-22s %-12s %-9s %s@." "algorithm" "rate" "channels"
+    "expected slots (1/rate)";
+  List.iter
+    (fun alg ->
+      let outcome = Muerp.solve alg inst in
+      match outcome.tree with
+      | None -> Format.printf "%-22s infeasible@." (Muerp.algorithm_name alg)
+      | Some tree ->
+          let rate = Ent_tree.rate_prob tree in
+          Format.printf "%-22s %-12.6f %-9d %.0f@."
+            (Muerp.algorithm_name alg) rate
+            (Ent_tree.channel_count tree)
+            (1. /. rate))
+    Muerp.all_heuristics;
+  print_newline ();
+
+  (* Validate "expected slots" against the event-level protocol
+     simulator: mean slots-to-success over many runs should approach
+     1/rate (a geometric distribution). *)
+  (match (Muerp.solve Muerp.Conflict_free inst).tree with
+  | None -> ()
+  | Some tree ->
+      let rate = Ent_tree.rate_prob tree in
+      let rng = Prng.create 99 in
+      let runs = 2_000 in
+      let samples =
+        Array.init runs (fun _ ->
+            match
+              Qnet_sim.Monte_carlo.slots_until_success rng g params tree
+                ~max_slots:1_000_000
+            with
+            | Some s -> float_of_int s
+            | None -> nan)
+      in
+      let mean = Qnet_util.Stats.mean samples in
+      Format.printf
+        "protocol simulation: mean %.1f slots to entangle the cluster \
+         (analytic expectation %.1f)@."
+        mean (1. /. rate));
+  print_newline ();
+
+  (* How does the entanglement rate decay as the task grows? *)
+  Format.printf "cluster-size scaling (alg3-conflict-free):@.";
+  List.iter
+    (fun n_users ->
+      let rng = Prng.create (3_000 + n_users) in
+      let spec =
+        Spec.create ~n_users ~n_switches:40 ~avg_degree:6.
+          ~qubits_per_switch:6 ()
+      in
+      let g = Generate.run Generate.waxman rng spec in
+      let inst = Muerp.instance ~params g in
+      let outcome = Muerp.solve Muerp.Conflict_free inst in
+      Format.printf "  %2d processors: rate %.3e@." n_users outcome.rate)
+    [ 2; 4; 6; 8; 10; 12 ]

@@ -1,0 +1,99 @@
+(* Topology study — how network structure shapes multi-user
+   entanglement.
+
+   Three investigations, echoing §V-B's observations:
+   1. the same user population on four topology families;
+   2. critical-edge analysis: which single fiber removals actually hurt
+      the entanglement rate (the paper observes most removals change
+      nothing because solutions concentrate on a few critical edges);
+   3. the classic-graph trap of §III-A: a Steiner tree "connects" the
+      users through a hub that MUERP capacity rules out.
+
+   Run with:  dune exec examples/topology_study.exe *)
+
+module Graph = Qnet_graph.Graph
+module Spec = Qnet_topology.Spec
+module Generate = Qnet_topology.Generate
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let () =
+  (* 1. Topology families. *)
+  let spec = Spec.create ~n_users:8 ~n_switches:36 ~qubits_per_switch:4 () in
+  Format.printf "1. rate and structure by topology family (8 users, 36 switches):@.";
+  List.iter
+    (fun kind ->
+      let rates =
+        List.init 10 (fun i ->
+            let rng = Prng.create (500 + i) in
+            let g = Generate.run kind rng spec in
+            let inst = Muerp.instance g in
+            (Muerp.solve Muerp.Conflict_free inst).rate)
+      in
+      let metrics =
+        Qnet_topology.Analysis.summarize
+          (Generate.run kind (Prng.create 500) spec)
+      in
+      Format.printf "  %-15s mean rate %.3e (feasible %d/10)@."
+        (Generate.name kind)
+        (Qnet_util.Stats.mean (Array.of_list rates))
+        (List.length (List.filter (fun r -> r > 0.) rates));
+      Format.printf "  %-15s %a@." "" Qnet_topology.Analysis.pp_summary metrics)
+    [ Generate.waxman; Generate.watts_strogatz; Generate.volchenkov;
+      Generate.grid ];
+  print_newline ();
+
+  (* 2. Critical edges: remove each fiber alone and measure the drop. *)
+  let rng = Prng.create 42 in
+  let g = Generate.run Generate.waxman rng spec in
+  let inst = Muerp.instance g in
+  let base = (Muerp.solve Muerp.Conflict_free inst).rate in
+  Format.printf "2. critical-edge analysis (base rate %.3e):@." base;
+  let critical = ref 0 and harmless = ref 0 and helpful = ref 0 in
+  Graph.iter_edges g (fun e ->
+      let g' = Graph.remove_edges g [ e.Graph.eid ] in
+      if Qnet_graph.Paths.users_connected g' then begin
+        let rate = (Muerp.solve Muerp.Conflict_free (Muerp.instance g')).rate in
+        if rate < base *. 0.999 then incr critical
+        else if rate > base *. 1.001 then incr helpful
+        else incr harmless
+      end
+      else incr critical);
+  Format.printf
+    "  of %d fibers: %d critical (removal hurts), %d harmless, %d helpful@."
+    (Graph.edge_count g) !critical !harmless !helpful;
+  Format.printf
+    "  -> the solution depends on a small set of critical fibers, as \
+     observed in Fig. 7(b)@.";
+  print_newline ();
+
+  (* 3. The Steiner-tree trap (paper Fig. 4): a 2-qubit hub. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:100 ~x ~y in
+  let u1 = user 0. 0. in
+  let u2 = user 2000. 0. in
+  let u3 = user 1000. 1800. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u1 hub 1166.);
+  ignore (Graph.Builder.add_edge b u2 hub 1166.);
+  ignore (Graph.Builder.add_edge b u3 hub 1200.);
+  let star = Graph.Builder.freeze b in
+  Format.printf "3. the Steiner-tree trap (three users around a 2-qubit hub):@.";
+  let terminals = Graph.users star in
+  (match
+     Qnet_graph.Steiner.kmb star ~terminals ~weight:(fun e -> e.Graph.length)
+   with
+  | Some r ->
+      Format.printf
+        "  classic Steiner tree: %d edges, weight %.0f — 'connects' all \
+         three users@."
+        (List.length r.tree_edges) r.weight
+  | None -> Format.printf "  Steiner tree not found@.");
+  let outcome = Muerp.solve Muerp.Conflict_free (Muerp.instance star) in
+  Format.printf
+    "  MUERP with a 2-qubit hub: %s — the hub supports one channel, not two@."
+    (match outcome.tree with
+    | None -> "infeasible"
+    | Some t -> Printf.sprintf "feasible (rate %g)?!" (Ent_tree.rate_prob t))

@@ -1,0 +1,1 @@
+lib/baselines/eqcast.ml: Capacity Ent_tree List Qnet_core Qnet_graph Routing

@@ -1,0 +1,1 @@
+lib/baselines/eqcast.mli: Qnet_core Qnet_graph

@@ -1,0 +1,1 @@
+lib/baselines/ghz_steiner.ml: Hashtbl List Nfusion Params Qnet_core Qnet_graph

@@ -1,0 +1,1 @@
+lib/baselines/ghz_steiner.mli: Nfusion Qnet_core Qnet_graph

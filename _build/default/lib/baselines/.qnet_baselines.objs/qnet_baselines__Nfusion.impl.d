@@ -1,0 +1,1 @@
+lib/baselines/nfusion.ml: Capacity Channel Ent_tree List Params Qnet_core Qnet_graph Qnet_util Routing

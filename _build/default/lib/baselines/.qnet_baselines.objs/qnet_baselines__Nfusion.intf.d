@@ -1,0 +1,1 @@
+lib/baselines/nfusion.mli: Qnet_core Qnet_graph

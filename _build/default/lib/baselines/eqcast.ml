@@ -1,0 +1,54 @@
+module Graph = Qnet_graph.Graph
+open Qnet_core
+
+type order = By_id | Nearest_neighbor
+
+let chain_order order g users =
+  match order with
+  | By_id -> users
+  | Nearest_neighbor -> begin
+      match users with
+      | [] -> []
+      | first :: _ ->
+          let remaining = ref (List.filter (fun u -> u <> first) users) in
+          let chain = ref [ first ] in
+          let current = ref first in
+          while !remaining <> [] do
+            let cv = Graph.vertex g !current in
+            let next =
+              List.fold_left
+                (fun best u ->
+                  let d = Graph.euclidean cv (Graph.vertex g u) in
+                  match best with
+                  | Some (bd, _) when bd <= d -> best
+                  | _ -> Some (d, u))
+                None !remaining
+            in
+            match next with
+            | None -> ()
+            | Some (_, u) ->
+                chain := u :: !chain;
+                current := u;
+                remaining := List.filter (fun x -> x <> u) !remaining
+          done;
+          List.rev !chain
+    end
+
+let solve ?(order = By_id) g params =
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | _ ->
+      let chain = chain_order order g users in
+      let capacity = Capacity.of_graph g in
+      let rec route acc = function
+        | [] | [ _ ] -> Some (Ent_tree.of_channels (List.rev acc))
+        | src :: (dst :: _ as rest) -> begin
+            match Routing.best_channel g params ~capacity ~src ~dst with
+            | None -> None
+            | Some c ->
+                Capacity.consume_channel capacity c.path;
+                route (c :: acc) rest
+          end
+      in
+      route [] chain

@@ -1,0 +1,29 @@
+(** E-Q-CAST — the paper's first comparison baseline (§V-A).
+
+    Q-CAST (Shi & Qian, SIGCOMM 2020) routes entanglement for {e pairs}
+    of users; the paper extends it to the multi-user case by chaining
+    consecutive pairs: to entangle [{u1, u2, u3, u4}] it establishes the
+    channels [<u1,u2>, <u2,u3>, <u3,u4>].  Each pair gets its
+    maximum-rate channel under the residual switch capacities left by
+    the earlier pairs; if any pair cannot be routed the whole
+    entanglement fails (rate 0).
+
+    The chain order is the user-id order by default — the natural
+    reading of the paper's example — with an option to chain in a
+    locality-greedy order (nearest unvisited user next), exposed for the
+    ablation benches. *)
+
+type order =
+  | By_id  (** [u1, u2, …] in ascending vertex id (paper's example). *)
+  | Nearest_neighbor
+      (** Start at the smallest id, then repeatedly hop to the
+          geometrically nearest unchained user. *)
+
+val solve :
+  ?order:order ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t option
+(** Run the baseline (default [By_id]).  The produced tree is a path in
+    the user-adjacency sense (each user chained to the next) and always
+    respects switch capacities. *)

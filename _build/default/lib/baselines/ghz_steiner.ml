@@ -1,0 +1,80 @@
+module Graph = Qnet_graph.Graph
+module Steiner = Qnet_graph.Steiner
+open Qnet_core
+
+type result = {
+  tree_edges : Graph.edge list;
+  fusion_switches : (int * int) list;
+  total_rate : float;
+  total_neg_log : float;
+}
+
+let solve ?(params = Nfusion.default_params) g qparams =
+  if params.Nfusion.fusion_discount <= 0. || params.Nfusion.fusion_discount > 1.
+  then invalid_arg "Ghz_steiner.solve: fusion_discount outside (0, 1]";
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] ->
+      Some
+        {
+          tree_edges = [];
+          fusion_switches = [];
+          total_rate = 1.;
+          total_neg_log = 0.;
+        }
+  | _ -> (
+      (* Maximum-product Steiner tree: KMB under -log link rates. *)
+      let weight (e : Graph.edge) = Params.link_neg_log qparams e.length in
+      match Steiner.kmb g ~terminals:users ~weight with
+      | None -> None
+      | Some { Steiner.tree_edges; _ } -> (
+          (* Vertex degrees within the tree. *)
+          let degree = Hashtbl.create 16 in
+          let bump v =
+            Hashtbl.replace degree v
+              (1 + (try Hashtbl.find degree v with Not_found -> 0))
+          in
+          List.iter
+            (fun (e : Graph.edge) ->
+              bump e.a;
+              bump e.b)
+            tree_edges;
+          let q_fusion =
+            params.Nfusion.fusion_discount *. qparams.Params.q
+          in
+          let exception Infeasible in
+          try
+            let link_neg_log =
+              List.fold_left
+                (fun acc (e : Graph.edge) -> acc +. weight e)
+                0. tree_edges
+            in
+            let fusion_switches = ref [] in
+            let fusion_neg_log = ref 0. in
+            Hashtbl.iter
+              (fun v d ->
+                if d >= 2 then begin
+                  (* Internal vertex fuses its d pairs.  Users have
+                     ample memory by assumption (they fuse in Nfusion's
+                     star too); switches need d qubits. *)
+                  if Graph.is_switch g v && Graph.qubits g v < d then
+                    raise Infeasible;
+                  fusion_switches := (v, d) :: !fusion_switches;
+                  if q_fusion <= 0. then raise Infeasible
+                  else
+                    fusion_neg_log :=
+                      !fusion_neg_log
+                      +. (float_of_int (d - 1) *. -.log q_fusion)
+                end)
+              degree;
+            let total_neg_log = link_neg_log +. !fusion_neg_log in
+            Some
+              {
+                tree_edges;
+                fusion_switches = List.sort compare !fusion_switches;
+                total_rate = exp (-.total_neg_log);
+                total_neg_log;
+              }
+          with Infeasible -> None))
+
+let rate = function None -> 0. | Some r -> r.total_rate

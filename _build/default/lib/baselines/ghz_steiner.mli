@@ -1,0 +1,45 @@
+(** GHZ distribution over a Steiner fusion tree — a stronger fusion
+    baseline than {!Nfusion}.
+
+    The multipartite-distribution literature the paper surveys
+    (Bugalho et al., Quantum 2023; Ghaderibaneh et al., QCE 2023)
+    distributes an n-GHZ state over a {e tree of switches}: every tree
+    edge carries a Bell pair, every internal {e switch} of the tree
+    fuses its incident pairs with a GHZ projective measurement, and the
+    leaves are the users.  Compared to {!Nfusion}'s central-user star,
+    the fusion points sit inside the network, so pairs are shorter.
+
+    Model, consistent with {!Nfusion}:
+
+    - the tree is a {!Qnet_graph.Steiner} KMB tree over the users in
+      −log-rate edge weights (maximum-product Steiner heuristic);
+    - every tree edge (fiber) generates a Bell pair at
+      [exp (−α·L)];
+    - every internal vertex of the tree fuses its [d ≥ 2] incident
+      pairs at success [q_fusion^(d−1)] ([q_fusion = discount · q],
+      discount as in {!Nfusion}); degree-2 relays thus perform an
+      ordinary-swap-strength 2-fusion; users may fuse (they hold ample
+      memory by the paper's assumption, exactly as {!Nfusion}'s central
+      user does);
+    - a switch needs one memory qubit per incident tree edge; the
+      instance is infeasible when some tree switch lacks them. *)
+
+type result = {
+  tree_edges : Qnet_graph.Graph.edge list;  (** The fusion tree. *)
+  fusion_switches : (int * int) list;
+      (** [(vertex, incident_degree)] for every fusing vertex (switch
+          or user). *)
+  total_rate : float;
+  total_neg_log : float;
+}
+
+val solve :
+  ?params:Nfusion.params ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  result option
+(** Build and score the fusion tree; [None] when the Steiner tree does
+    not exist or violates some switch's memory. *)
+
+val rate : result option -> float
+(** Total rate; [0.] for [None]. *)

@@ -1,0 +1,99 @@
+module Graph = Qnet_graph.Graph
+open Qnet_core
+
+type params = { fusion_discount : float }
+
+let default_params = { fusion_discount = 0.75 }
+
+type result = {
+  center : int;
+  star : Ent_tree.t;
+  fusion_neg_log : float;
+  total_rate : float;
+  total_neg_log : float;
+}
+
+(* Route the star from one candidate center under fresh capacities:
+   channels are committed one user at a time in descending-rate order so
+   the cheapest spokes grab scarce switch qubits first. *)
+let route_star g params ~center others =
+  let capacity = Capacity.of_graph g in
+  let rec attach pending acc =
+    if pending = [] then Some (List.rev acc)
+    else begin
+      let candidates = Routing.best_channels_from g params ~capacity ~src:center in
+      let viable =
+        List.filter (fun (u, _) -> List.mem u pending) candidates
+      in
+      match viable with
+      | [] -> None
+      | _ ->
+          let _, best =
+            List.fold_left
+              (fun ((_, (bc : Channel.t)) as b) ((_, (c : Channel.t)) as cand) ->
+                if
+                  Qnet_util.Logprob.compare_desc c.rate bc.rate < 0
+                then cand
+                else b)
+              (List.hd viable) (List.tl viable)
+          in
+          let user =
+            if best.src = center then best.dst else best.src
+          in
+          Capacity.consume_channel capacity best.path;
+          attach (List.filter (fun u -> u <> user) pending) (best :: acc)
+    end
+  in
+  attach others []
+
+let fusion_neg_log_of ~q_fusion ~spokes =
+  (* Fusing m links costs q_fusion^(m-1); a single spoke (two users
+     total) needs no fusion at all. *)
+  if spokes <= 1 then 0.
+  else if q_fusion <= 0. then infinity
+  else float_of_int (spokes - 1) *. -.log q_fusion
+
+let solve ?(params = default_params) g qparams =
+  if params.fusion_discount <= 0. || params.fusion_discount > 1. then
+    invalid_arg "Nfusion.solve: fusion_discount outside (0, 1]";
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] ->
+      Some
+        {
+          center = (match users with [ u ] -> u | _ -> -1);
+          star = Ent_tree.of_channels [];
+          fusion_neg_log = 0.;
+          total_rate = 1.;
+          total_neg_log = 0.;
+        }
+  | _ ->
+      let q_fusion = params.fusion_discount *. qparams.Params.q in
+      let consider best center =
+        let others = List.filter (fun u -> u <> center) users in
+        match route_star g qparams ~center others with
+        | None -> best
+        | Some channels ->
+            let star = Ent_tree.of_channels channels in
+            let fusion_neg_log =
+              fusion_neg_log_of ~q_fusion ~spokes:(List.length channels)
+            in
+            let total_neg_log =
+              Ent_tree.rate_neg_log star +. fusion_neg_log
+            in
+            let candidate =
+              {
+                center;
+                star;
+                fusion_neg_log;
+                total_rate = (if total_neg_log = infinity then 0. else exp (-.total_neg_log));
+                total_neg_log;
+              }
+            in
+            (match best with
+            | Some b when b.total_neg_log <= candidate.total_neg_log -> best
+            | _ -> Some candidate)
+      in
+      List.fold_left consider None users
+
+let rate = function None -> 0. | Some r -> r.total_rate

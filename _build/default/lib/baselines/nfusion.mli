@@ -1,0 +1,49 @@
+(** N-FUSION — the paper's second comparison baseline (§V-A).
+
+    Models the MP-P-style GHZ distribution of Sutcliffe & Beghelli
+    (arXiv:2303.03334) under limited switch capacity: a {e central user}
+    routes one maximum-rate channel to every other user (a star — "Tree
+    B" of their Fig. 3), and the center then fuses its local qubits into
+    an n-GHZ state with a GHZ projective measurement.
+
+    Fusion model: fusing [m ≥ 2] quantum links succeeds with probability
+    [q_fusion^(m−1)], where [q_fusion < q] reflects §I's observation
+    that GHZ measurements have a lower success rate than BSMs (default
+    [q_fusion = 0.75 · q]).  Channels to the center still use BSM swaps
+    at rate [q] at their interior switches.  The central user fuses
+    [m = |U| − 1] links, contributing [q_fusion^(|U|−2)]; with [|U| = 2]
+    the scheme degenerates to a single channel with no fusion penalty,
+    matching "BSM = 2-fusion".
+
+    The center is chosen to maximise the resulting total rate (every
+    user is tried); a center whose star cannot be routed under the
+    capacities is skipped.  If no center works the entanglement fails —
+    which is exactly how the paper's Fig. 5 shows N-FUSION failing on
+    Watts–Strogatz graphs. *)
+
+type params = {
+  fusion_discount : float;
+      (** [q_fusion = fusion_discount · q]; default 0.75, must lie in
+          (0, 1]. *)
+}
+
+val default_params : params
+
+type result = {
+  center : int;  (** The chosen central user. *)
+  star : Qnet_core.Ent_tree.t;  (** The routed star channels. *)
+  fusion_neg_log : float;  (** [−ln] of the fusion success factor. *)
+  total_rate : float;  (** Star rate × fusion factor, as probability. *)
+  total_neg_log : float;
+}
+
+val solve :
+  ?params:params ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  result option
+(** Best-center N-FUSION solution, or [None] when no center can reach
+    every user under the switch capacities. *)
+
+val rate : result option -> float
+(** Total entanglement rate; [0.] for [None]. *)

@@ -1,0 +1,1 @@
+lib/core/alg_conflict_free.ml: Alg_optimal Capacity Channel Ent_tree List Qnet_graph Qnet_util Routing

@@ -1,0 +1,1 @@
+lib/core/alg_conflict_free.mli: Channel Ent_tree Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/alg_kbest.ml: Alg_optimal Capacity Channel Ent_tree List Multipath Qnet_graph Qnet_util Routing

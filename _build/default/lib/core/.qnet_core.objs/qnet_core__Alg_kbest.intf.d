@@ -1,0 +1,1 @@
+lib/core/alg_kbest.mli: Ent_tree Params Qnet_graph

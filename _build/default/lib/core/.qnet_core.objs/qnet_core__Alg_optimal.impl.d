@@ -1,0 +1,1 @@
+lib/core/alg_optimal.ml: Capacity Channel Ent_tree List Qnet_graph Qnet_util Routing

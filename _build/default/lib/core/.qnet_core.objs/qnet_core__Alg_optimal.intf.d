@@ -1,0 +1,1 @@
+lib/core/alg_optimal.mli: Channel Ent_tree Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/alg_prim.ml: Array Capacity Channel Ent_tree Hashtbl List Qnet_graph Qnet_util Routing

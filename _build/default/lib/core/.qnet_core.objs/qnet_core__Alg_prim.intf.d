@@ -1,0 +1,1 @@
+lib/core/alg_prim.mli: Ent_tree Params Qnet_graph Qnet_util

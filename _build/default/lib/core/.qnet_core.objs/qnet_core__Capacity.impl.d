@@ -1,0 +1,1 @@
+lib/core/capacity.ml: Array List Qnet_graph

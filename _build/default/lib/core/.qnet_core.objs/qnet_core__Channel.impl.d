@@ -1,0 +1,1 @@
+lib/core/channel.ml: Float Format List Params Qnet_graph Qnet_util String

@@ -1,0 +1,1 @@
+lib/core/channel.mli: Format Params Qnet_graph Qnet_util

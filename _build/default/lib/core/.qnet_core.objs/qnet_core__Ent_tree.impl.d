@@ -1,0 +1,1 @@
+lib/core/ent_tree.ml: Channel Format Hashtbl List Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/core/ent_tree.mli: Channel Format Qnet_util

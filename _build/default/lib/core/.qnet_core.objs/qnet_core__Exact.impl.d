@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Capacity Channel Ent_tree Float Hashtbl List Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/core/exact.mli: Ent_tree Params Qnet_graph

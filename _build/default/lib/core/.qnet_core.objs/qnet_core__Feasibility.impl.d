@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Alg_optimal Exact Qnet_graph

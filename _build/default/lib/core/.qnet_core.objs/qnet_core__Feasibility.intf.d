@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Exact Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/fidelity.ml: Alg_optimal Array Capacity Channel Ent_tree Float Hashtbl List Params Qnet_graph Qnet_util Routing

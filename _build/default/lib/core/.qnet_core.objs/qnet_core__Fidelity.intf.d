@@ -1,0 +1,1 @@
+lib/core/fidelity.mli: Capacity Channel Ent_tree Params Qnet_graph

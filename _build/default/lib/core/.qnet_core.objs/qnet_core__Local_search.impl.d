@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Alg_conflict_free Capacity Channel Ent_tree List Qnet_graph Qnet_util Routing

@@ -1,0 +1,1 @@
+lib/core/local_search.mli: Ent_tree Params Qnet_graph

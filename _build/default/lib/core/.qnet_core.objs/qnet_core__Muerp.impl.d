@@ -1,0 +1,1 @@
+lib/core/muerp.ml: Alg_conflict_free Alg_optimal Alg_prim Ent_tree Exact Format List Option Params Qnet_graph Unix Verify

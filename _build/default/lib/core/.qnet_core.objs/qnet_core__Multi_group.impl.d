@@ -1,0 +1,1 @@
+lib/core/multi_group.ml: Capacity Channel Ent_tree Float Hashtbl List Qnet_graph Qnet_util Routing

@@ -1,0 +1,1 @@
+lib/core/multi_group.mli: Capacity Ent_tree Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/multipath.ml: Array Capacity Channel Float Hashtbl List Params Qnet_graph Qnet_util Routing

@@ -1,0 +1,1 @@
+lib/core/multipath.mli: Capacity Channel Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/purification.ml: Channel Ent_tree Fidelity Float

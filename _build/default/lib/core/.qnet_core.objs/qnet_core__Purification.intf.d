@@ -1,0 +1,1 @@
+lib/core/purification.mli: Ent_tree

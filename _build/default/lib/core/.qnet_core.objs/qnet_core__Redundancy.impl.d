@@ -1,0 +1,1 @@
+lib/core/redundancy.ml: Alg_conflict_free Capacity Channel Ent_tree Float Hashtbl List Qnet_graph Qnet_util Routing

@@ -1,0 +1,1 @@
+lib/core/redundancy.mli: Channel Ent_tree Params Qnet_graph

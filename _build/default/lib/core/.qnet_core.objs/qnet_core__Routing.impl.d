@@ -1,0 +1,1 @@
+lib/core/routing.ml: Capacity Channel List Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/routing.mli: Capacity Channel Params Qnet_graph

@@ -1,0 +1,1 @@
+lib/core/swap_policy.ml: Array Channel List Params Qnet_graph Qnet_util

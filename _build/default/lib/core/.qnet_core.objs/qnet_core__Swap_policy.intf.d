@@ -1,0 +1,1 @@
+lib/core/swap_policy.mli: Channel Params Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Channel Ent_tree Float Format List Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Channel Ent_tree Format Params Qnet_graph

@@ -1,0 +1,90 @@
+module Graph = Qnet_graph.Graph
+module Union_find = Qnet_graph.Union_find
+module Logprob = Qnet_util.Logprob
+
+let channel_feasible capacity (c : Channel.t) =
+  List.for_all
+    (fun s -> Capacity.remaining capacity s >= 2)
+    (Channel.interior_switches c)
+
+(* Phase 2: repeatedly bridge two user unions with the best residual-
+   capacity channel.  Returns the accepted channels, or None when some
+   unions can no longer be joined. *)
+let reconnect g params capacity uf users =
+  let rec loop acc =
+    if Union_find.all_same uf users then Some acc
+    else begin
+      let best = ref None in
+      let consider (c : Channel.t) =
+        if not (Union_find.same uf c.src c.dst) then
+          match !best with
+          | Some (b : Channel.t) when Logprob.compare_desc b.rate c.rate <= 0
+            ->
+              ()
+          | _ -> best := Some c
+      in
+      List.iter
+        (fun src ->
+          Routing.best_channels_from g params ~capacity ~src
+          |> List.iter (fun (_, c) -> consider c))
+        users;
+      match !best with
+      | None -> None
+      | Some c ->
+          if Logprob.is_impossible c.rate then None
+          else begin
+            Capacity.consume_channel capacity c.path;
+            ignore (Union_find.union uf c.src c.dst);
+            loop (c :: acc)
+          end
+    end
+  in
+  loop []
+
+let solve ?seed_channels g params =
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | _ ->
+      let seed =
+        match seed_channels with
+        | Some cs -> List.sort Alg_optimal.compare_channels cs
+        | None -> begin
+            match Alg_optimal.solve g params with
+            | None -> []
+            | Some tree -> List.sort Alg_optimal.compare_channels tree.channels
+          end
+      in
+      let capacity = Capacity.of_graph g in
+      let uf = Union_find.create (Graph.vertex_count g) in
+      (* Phase 1: replay the seed channels in descending rate order,
+         keeping only those the switches can still afford. *)
+      let kept =
+        List.fold_left
+          (fun acc (c : Channel.t) ->
+            if
+              (not (Union_find.same uf c.src c.dst))
+              && channel_feasible capacity c
+            then begin
+              Capacity.consume_channel capacity c.path;
+              ignore (Union_find.union uf c.src c.dst);
+              c :: acc
+            end
+            else acc)
+          [] seed
+      in
+      let rejected = List.length seed - List.length kept in
+      if rejected > 0 then
+        Qnet_util.Log.debug
+          "alg3: %d seed channel(s) rejected by capacity, reconnecting"
+          rejected;
+      (* Phase 2: reconnect the unions split by rejected channels. *)
+      begin
+        match reconnect g params capacity uf users with
+        | None -> None
+        | Some extra ->
+            if extra <> [] then
+              Qnet_util.Log.debug "alg3: reconnection added %d channel(s)"
+                (List.length extra);
+            Some (Ent_tree.of_channels (List.rev_append kept (List.rev extra)))
+      end

@@ -1,0 +1,27 @@
+(** Algorithm 3 — the Conflict-free heuristic (§IV-C).
+
+    Takes Algorithm 2's capacity-oblivious tree and repairs switch
+    over-commitments greedily:
+
+    + Replay the candidate channels in descending rate order, accepting
+      a channel only when every interior switch still holds 2 free
+      qubits (deducting as it goes) — the greedy "keep the best
+      channels" rule.  Users whose channel was rejected fall into
+      separate unions.
+    + While users remain split across unions, find the maximum-rate
+      capacity-feasible channel between any two users in different
+      unions (Algorithm 1 under residual capacity), accept it, merge.
+    + If no cross-union channel exists, the instance is declared
+      infeasible ([None]).
+
+    The output, when present, always respects all switch capacities. *)
+
+val solve :
+  ?seed_channels:Channel.t list ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  Ent_tree.t option
+(** [solve g params] runs the full pipeline (Algorithm 2 to obtain the
+    seed channels, then conflict repair).  [seed_channels] overrides the
+    seed set — tests use this to exercise specific conflict patterns;
+    they are re-sorted by descending rate as the paper specifies. *)

@@ -1,0 +1,72 @@
+module Graph = Qnet_graph.Graph
+module Union_find = Qnet_graph.Union_find
+module Logprob = Qnet_util.Logprob
+
+let channel_feasible capacity (c : Channel.t) =
+  List.for_all
+    (fun s -> Capacity.remaining capacity s >= 2)
+    (Channel.interior_switches c)
+
+let solve ?(k = 3) g params =
+  if k < 1 then invalid_arg "Alg_kbest.solve: k < 1";
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | _ ->
+      (* Pool the k best candidates of every unordered user pair. *)
+      let fresh = Capacity.of_graph g in
+      let rec pairs = function
+        | [] -> []
+        | u :: rest ->
+            List.concat_map
+              (fun v ->
+                Multipath.k_best_channels g params ~capacity:fresh ~src:u
+                  ~dst:v ~k)
+              rest
+            @ pairs rest
+      in
+      let pool = List.sort Alg_optimal.compare_channels (pairs users) in
+      let capacity = Capacity.of_graph g in
+      let uf = Union_find.create (Graph.vertex_count g) in
+      let kept =
+        List.fold_left
+          (fun acc (c : Channel.t) ->
+            if
+              (not (Union_find.same uf c.src c.dst))
+              && channel_feasible capacity c
+            then begin
+              Capacity.consume_channel capacity c.path;
+              ignore (Union_find.union uf c.src c.dst);
+              c :: acc
+            end
+            else acc)
+          [] pool
+      in
+      (* Reconnection pass, as in Algorithm 3, for anything left. *)
+      let rec reconnect acc =
+        if Union_find.all_same uf users then Some acc
+        else begin
+          let best = ref None in
+          List.iter
+            (fun src ->
+              Routing.best_channels_from g params ~capacity ~src
+              |> List.iter (fun (_, (c : Channel.t)) ->
+                     if not (Union_find.same uf c.src c.dst) then
+                       match !best with
+                       | Some (b : Channel.t)
+                         when Logprob.compare_desc b.rate c.rate <= 0 ->
+                           ()
+                       | _ -> best := Some c))
+            users;
+          match !best with
+          | None -> None
+          | Some c ->
+              Capacity.consume_channel capacity c.path;
+              ignore (Union_find.union uf c.src c.dst);
+              reconnect (c :: acc)
+        end
+      in
+      (match reconnect [] with
+      | None -> None
+      | Some extra ->
+          Some (Ent_tree.of_channels (List.rev_append kept (List.rev extra))))

@@ -1,0 +1,21 @@
+(** k-candidate conflict resolution — an alternative to Algorithm 3
+    built on {!Multipath}.
+
+    Algorithm 3 resolves switch-capacity conflicts by re-running
+    Algorithm 1 between leftover unions after greedy selection.  This
+    variant instead pre-computes the [k] best channels per user pair
+    (Yen enumeration) and runs one Kruskal pass over the {e pooled}
+    candidate list in descending rate order, accepting a channel only
+    when its switches still have qubits: a conflicted pair simply falls
+    through to its next-ranked candidate.  A final Algorithm-1
+    reconnection pass covers pairs whose k candidates all died.
+
+    With [k = 1] this degenerates to Algorithm 3's structure; larger
+    [k] trades precomputation for fewer reroutes.  The ablation bench
+    compares both against Algorithm 3 directly. *)
+
+val solve :
+  ?k:int -> Qnet_graph.Graph.t -> Params.t -> Ent_tree.t option
+(** Run the k-candidate solver (default [k = 3]).  The result always
+    respects switch capacities; [None] when the users cannot be
+    spanned.  @raise Invalid_argument on [k < 1]. *)

@@ -1,0 +1,34 @@
+module Graph = Qnet_graph.Graph
+module Union_find = Qnet_graph.Union_find
+module Logprob = Qnet_util.Logprob
+
+let sufficient_condition g =
+  let bound = 2 * Graph.user_count g in
+  List.for_all (fun r -> Graph.qubits g r >= bound) (Graph.switches g)
+
+let compare_channels (c1 : Channel.t) (c2 : Channel.t) =
+  let by_rate = Logprob.compare_desc c1.rate c2.rate in
+  if by_rate <> 0 then by_rate else compare (c1.src, c1.dst) (c2.src, c2.dst)
+
+let candidate_channels g params =
+  let capacity = Capacity.of_graph g in
+  Routing.all_pairs_best g params ~capacity ~users:(Graph.users g)
+  |> List.sort compare_channels
+
+let solve g params =
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | _ ->
+      let n = Graph.vertex_count g in
+      let uf = Union_find.create n in
+      let chosen =
+        List.fold_left
+          (fun acc (c : Channel.t) ->
+            if Union_find.union uf c.src c.dst then c :: acc else acc)
+          []
+          (candidate_channels g params)
+      in
+      if Union_find.all_same uf users then
+        Some (Ent_tree.of_channels (List.rev chosen))
+      else None

@@ -1,0 +1,33 @@
+(** Algorithm 2 — optimal solution under the sufficient capacity
+    condition (§IV-B).
+
+    When every switch holds [Q_r ≥ 2·|U|] qubits, no switch can ever be
+    a bottleneck (even if every one of the [|U| − 1] tree channels
+    crossed it).  The algorithm then mirrors Kruskal: compute the
+    maximum-rate channel for every user pair (Algorithm 1, one Dijkstra
+    per user), sort channels by descending rate, and greedily merge
+    components with a union–find.  Theorem 3 proves the result optimal
+    under the condition.
+
+    On general instances (condition violated) the returned tree may
+    overcommit switches; it is then the {e input} to Algorithm 3, which
+    repairs the conflicts.  {!solve} itself never checks capacities
+    beyond Algorithm 1's static "switch has ≥ 2 qubits at all" filter. *)
+
+val sufficient_condition : Qnet_graph.Graph.t -> bool
+(** Whether [Q_r ≥ 2·|U|] holds for every switch [r]. *)
+
+val compare_channels : Channel.t -> Channel.t -> int
+(** Descending-rate order with deterministic endpoint tie-breaking —
+    the selection order shared by Algorithms 2 and 3. *)
+
+val candidate_channels :
+  Qnet_graph.Graph.t -> Params.t -> Channel.t list
+(** Maximum-rate channels for all user pairs, sorted by descending
+    entanglement rate (ties broken by endpoint ids for determinism).
+    Pairs with no channel at all are absent. *)
+
+val solve : Qnet_graph.Graph.t -> Params.t -> Ent_tree.t option
+(** The Kruskal-style selection over {!candidate_channels}.  [None] when
+    the users cannot all be connected by channels (the graph
+    disconnects them or 0-rate channels block merging). *)

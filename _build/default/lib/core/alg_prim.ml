@@ -1,0 +1,53 @@
+module Graph = Qnet_graph.Graph
+module Logprob = Qnet_util.Logprob
+module Prng = Qnet_util.Prng
+
+let solve ?start ?rng g params =
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | first :: _ ->
+      let start =
+        match (start, rng) with
+        | Some s, _ ->
+            if not (Graph.is_user g s) then
+              invalid_arg "Alg_prim.solve: start is not a user";
+            s
+        | None, Some rng -> Prng.pick rng (Array.of_list users)
+        | None, None -> first
+      in
+      let capacity = Capacity.of_graph g in
+      let inside = Hashtbl.create (List.length users) in
+      Hashtbl.replace inside start ();
+      let outside u = not (Hashtbl.mem inside u) in
+      let remaining = ref (List.length users - 1) in
+      let rec grow acc =
+        if !remaining = 0 then Some (Ent_tree.of_channels (List.rev acc))
+        else begin
+          let best = ref None in
+          let consider (c : Channel.t) =
+            match !best with
+            | Some (b : Channel.t) when Logprob.compare_desc b.rate c.rate <= 0
+              ->
+                ()
+            | _ -> best := Some c
+          in
+          Hashtbl.iter
+            (fun src () ->
+              Routing.best_channels_from g params ~capacity ~src
+              |> List.iter (fun (dst, c) -> if outside dst then consider c))
+            inside;
+          match !best with
+          | None -> None
+          | Some c ->
+              if Logprob.is_impossible c.rate then None
+              else begin
+                Capacity.consume_channel capacity c.path;
+                let fresh = if outside c.src then c.src else c.dst in
+                Hashtbl.replace inside fresh ();
+                decr remaining;
+                grow (c :: acc)
+              end
+        end
+      in
+      grow []

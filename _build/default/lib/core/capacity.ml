@@ -1,0 +1,50 @@
+module Graph = Qnet_graph.Graph
+
+type t = { graph : Graph.t; residual : int array }
+
+let of_graph graph =
+  let n = Graph.vertex_count graph in
+  let residual =
+    Array.init n (fun v ->
+        if Graph.is_switch graph v then Graph.qubits graph v else 0)
+  in
+  { graph; residual }
+
+let copy t = { t with residual = Array.copy t.residual }
+
+let remaining t v =
+  if Graph.is_user t.graph v then max_int else t.residual.(v)
+
+let can_relay t v = Graph.is_user t.graph v || t.residual.(v) >= 2
+
+let interior path =
+  match path with
+  | [] | [ _ ] -> []
+  | _ :: rest ->
+      let rec drop_last = function
+        | [] | [ _ ] -> []
+        | x :: tl -> x :: drop_last tl
+      in
+      drop_last rest
+
+let consume_channel t path =
+  let switches =
+    List.filter (fun v -> Graph.is_switch t.graph v) (interior path)
+  in
+  if List.exists (fun v -> t.residual.(v) < 2) switches then
+    invalid_arg "Capacity.consume_channel: insufficient qubits";
+  List.iter (fun v -> t.residual.(v) <- t.residual.(v) - 2) switches
+
+let release_channel t path =
+  List.iter
+    (fun v ->
+      if Graph.is_switch t.graph v then t.residual.(v) <- t.residual.(v) + 2)
+    (interior path)
+
+let used t v =
+  if Graph.is_user t.graph v then 0 else Graph.qubits t.graph v - t.residual.(v)
+
+let overcommitted t =
+  let bad = ref [] in
+  Array.iteri (fun v r -> if r < 0 then bad := v :: !bad) t.residual;
+  List.rev !bad

@@ -1,0 +1,84 @@
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+module Logprob = Qnet_util.Logprob
+
+type t = {
+  src : int;
+  dst : int;
+  path : int list;
+  hops : int;
+  total_length : float;
+  rate : Logprob.t;
+}
+
+let validate g path =
+  match path with
+  | [] | [ _ ] -> Error "channel path needs at least two vertices"
+  | first :: _ ->
+      let last = List.nth path (List.length path - 1) in
+      if not (Paths.path_is_valid g path) then
+        Error "channel path is not a simple path over existing fibers"
+      else if not (Graph.is_user g first && Graph.is_user g last) then
+        Error "channel endpoints must be quantum users"
+      else begin
+        let interior =
+          List.filteri
+            (fun i _ -> i > 0 && i < List.length path - 1)
+            path
+        in
+        if List.exists (fun v -> not (Graph.is_switch g v)) interior then
+          Error "channel interior vertices must be quantum switches"
+        else Ok ()
+      end
+
+let build g params path =
+  let hops = List.length path - 1 in
+  let total_length = Paths.path_length g path in
+  (* Guard the hops = 1 case: 0. *. infinity is NaN when q = 0. *)
+  let swap_cost =
+    if hops <= 1 then 0.
+    else float_of_int (hops - 1) *. Params.swap_neg_log params
+  in
+  let neg_log = Params.link_neg_log params total_length +. swap_cost in
+  let first = List.hd path in
+  let last = List.nth path (List.length path - 1) in
+  let src, dst, path =
+    if first <= last then (first, last, path) else (last, first, List.rev path)
+  in
+  {
+    src;
+    dst;
+    path;
+    hops;
+    total_length;
+    rate = Logprob.of_neg_log (Float.max 0. neg_log);
+  }
+
+let make g params path =
+  match validate g path with
+  | Error _ as e -> e
+  | Ok () -> Ok (build g params path)
+
+let make_exn g params path =
+  match make g params path with
+  | Ok c -> c
+  | Error reason -> invalid_arg ("Channel.make: " ^ reason)
+
+let rate_of_path g params path =
+  let hops = List.length path - 1 in
+  let total_length = Paths.path_length g path in
+  Params.link_success params total_length *. (params.Params.q ** float_of_int (hops - 1))
+
+let rate_prob t = Logprob.to_prob t.rate
+
+let interior_switches t =
+  List.filteri (fun i _ -> i > 0 && i < List.length t.path - 1) t.path
+
+let endpoints t = (t.src, t.dst)
+let connects t u v = (t.src = u && t.dst = v) || (t.src = v && t.dst = u)
+let equal t1 t2 = t1.path = t2.path
+
+let pp fmt t =
+  Format.fprintf fmt "channel %d<->%d via [%s] (rate %g)" t.src t.dst
+    (String.concat "; " (List.map string_of_int t.path))
+    (rate_prob t)

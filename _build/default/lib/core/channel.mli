@@ -1,0 +1,49 @@
+(** Quantum channels — paths of quantum links and switches joining two
+    users (Definition 2), with the entanglement rate of Eq. (1).
+
+    For a channel through vertices [v0 = u_i, v1, …, v_l = u_j] (all
+    interior vertices switches), the entanglement rate is
+    [q^(l−1) · exp (−alpha · Σ L_k)]: every quantum link must generate a
+    Bell pair and every interior switch must succeed at its BSM swap
+    within the same time slot. *)
+
+type t = private {
+  src : int;  (** User endpoint (smaller vertex id of the two). *)
+  dst : int;  (** User endpoint. *)
+  path : int list;  (** Full vertex path [src; …; dst]. *)
+  hops : int;  (** Number of quantum links [l = List.length path − 1]. *)
+  total_length : float;  (** Σ of fiber lengths along the path. *)
+  rate : Qnet_util.Logprob.t;  (** Eq. (1) in negative-log space. *)
+}
+
+val make :
+  Qnet_graph.Graph.t -> Params.t -> int list -> (t, string) result
+(** [make g params path] validates and builds a channel from a vertex
+    path: at least two vertices, no repeats, both endpoints users, all
+    interior vertices switches, consecutive vertices joined by fibers.
+    Channels are normalised so [src <= dst] (entanglement is
+    undirected); the stored [path] runs from [src] to [dst]. *)
+
+val make_exn : Qnet_graph.Graph.t -> Params.t -> int list -> t
+(** Like {!make} but raising [Invalid_argument] with the reason. *)
+
+val rate_of_path : Qnet_graph.Graph.t -> Params.t -> int list -> float
+(** Eq. (1) for an arbitrary (already validated) vertex path, as a plain
+    probability. *)
+
+val rate_prob : t -> float
+(** The channel's Eq. (1) rate as a plain probability. *)
+
+val interior_switches : t -> int list
+(** Switch ids strictly between the endpoints, in path order. *)
+
+val endpoints : t -> int * int
+(** [(src, dst)] with [src <= dst]. *)
+
+val connects : t -> int -> int -> bool
+(** Whether the channel joins the two given users (order-insensitive). *)
+
+val equal : t -> t -> bool
+(** Structural equality on the vertex path (after normalisation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+module Logprob = Qnet_util.Logprob
+
+type t = { channels : Channel.t list; rate : Logprob.t }
+
+let of_channels channels =
+  let rate =
+    List.fold_left
+      (fun acc (c : Channel.t) -> Logprob.mul acc c.rate)
+      Logprob.certain channels
+  in
+  { channels; rate }
+
+let rate_prob t = Logprob.to_prob t.rate
+let rate_neg_log t = Logprob.to_neg_log t.rate
+let channel_count t = List.length t.channels
+
+let spans_users t users =
+  let users = List.sort_uniq compare users in
+  let k = List.length users in
+  if k <= 1 then t.channels = []
+  else if List.length t.channels <> k - 1 then false
+  else begin
+    (* Map user ids to dense indices for a union-find over users. *)
+    let index = Hashtbl.create k in
+    List.iteri (fun i u -> Hashtbl.replace index u i) users;
+    let uf = Qnet_graph.Union_find.create k in
+    let ok =
+      List.for_all
+        (fun (c : Channel.t) ->
+          match (Hashtbl.find_opt index c.src, Hashtbl.find_opt index c.dst) with
+          | Some i, Some j -> Qnet_graph.Union_find.union uf i j
+          | _ -> false)
+        t.channels
+    in
+    ok && Qnet_graph.Union_find.count_sets uf = 1
+  end
+
+let qubit_usage t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace tbl s
+            (2 + (try Hashtbl.find tbl s with Not_found -> 0)))
+        (Channel.interior_switches c))
+    t.channels;
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) tbl []
+  |> List.sort compare
+
+let touches t v =
+  List.exists (fun (c : Channel.t) -> List.mem v c.path) t.channels
+
+let pp fmt t =
+  Format.fprintf fmt "tree<%d channels, rate %g>" (channel_count t)
+    (rate_prob t)

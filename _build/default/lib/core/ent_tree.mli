@@ -1,0 +1,42 @@
+(** Entanglement trees (Definition 1) and their Eq. (2) value.
+
+    A set of quantum channels entangles the user set iff the channels
+    form a tree over the users — exactly [|U| − 1] channels whose
+    endpoint pairs connect all users acyclically.  The tree's
+    entanglement rate is the product of its channels' rates: every
+    channel must succeed simultaneously. *)
+
+type t = private {
+  channels : Channel.t list;
+  rate : Qnet_util.Logprob.t;  (** Eq. (2) in negative-log space. *)
+}
+
+val of_channels : Channel.t list -> t
+(** Package channels and compute the product rate.  No structural
+    checks — see {!Verify.check} for full validation; this constructor
+    only aggregates. *)
+
+val rate_prob : t -> float
+(** Eq. (2) as a plain probability (may underflow to 0. for reporting —
+    use {!rate_neg_log} when precision matters). *)
+
+val rate_neg_log : t -> float
+(** [−ln] of the Eq. (2) rate. *)
+
+val channel_count : t -> int
+
+val spans_users : t -> int list -> bool
+(** [spans_users t users] checks the Definition 1 structure: exactly
+    [|users| − 1] channels, every endpoint in [users], and the endpoint
+    pairs connect all of [users] without redundancy (tree, not just
+    connected). *)
+
+val qubit_usage : t -> (int * int) list
+(** [(switch_id, qubits_consumed)] across all channels, ascending by
+    switch id.  Each traversal of a switch consumes 2 qubits. *)
+
+val touches : t -> int -> bool
+(** Whether any channel of the tree routes through or ends at the given
+    vertex. *)
+
+val pp : Format.formatter -> t -> unit

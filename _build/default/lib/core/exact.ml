@@ -1,0 +1,185 @@
+module Graph = Qnet_graph.Graph
+module Logprob = Qnet_util.Logprob
+
+type bounds = { max_users : int; max_vertices : int; max_path_hops : int }
+
+let default_bounds = { max_users = 5; max_vertices = 14; max_path_hops = 8 }
+
+(* Prüfer decoding: a sequence of length k-2 over [0, k) maps to a
+   unique labelled tree on k vertices.  Linear scans suffice: k <= 7. *)
+let decode_prufer k seq =
+  let degree = Array.make k 1 in
+  List.iter (fun v -> degree.(v) <- degree.(v) + 1) seq;
+  let edges = ref [] in
+  let smallest_leaf () =
+    let rec scan i =
+      if i >= k then invalid_arg "Exact.decode_prufer: malformed sequence"
+      else if degree.(i) = 1 then i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  List.iter
+    (fun v ->
+      let leaf = smallest_leaf () in
+      edges := (min leaf v, max leaf v) :: !edges;
+      degree.(leaf) <- 0;
+      degree.(v) <- degree.(v) - 1)
+    seq;
+  let last_two =
+    List.filter (fun i -> degree.(i) = 1) (List.init k (fun i -> i))
+  in
+  (match last_two with
+  | [ a; b ] -> edges := (min a b, max a b) :: !edges
+  | _ -> invalid_arg "Exact.decode_prufer: malformed sequence");
+  List.rev !edges
+
+let prufer_trees k =
+  if k < 0 then invalid_arg "Exact.prufer_trees: negative k";
+  if k > 7 then invalid_arg "Exact.prufer_trees: k too large";
+  if k <= 1 then [ [] ]
+  else if k = 2 then [ [ (0, 1) ] ]
+  else begin
+    let len = k - 2 in
+    let rec sequences n =
+      if n = 0 then [ [] ]
+      else
+        let shorter = sequences (n - 1) in
+        List.concat_map
+          (fun tail -> List.init k (fun v -> v :: tail))
+          shorter
+    in
+    List.map (decode_prufer k) (sequences len)
+  end
+
+let all_simple_paths g ~src ~dst ~max_hops =
+  let acc = ref [] in
+  let visited = Hashtbl.create 16 in
+  let rec dfs v path hops =
+    if v = dst then acc := List.rev (v :: path) :: !acc
+    else if hops < max_hops then
+      List.iter
+        (fun (w, _) ->
+          let enterable =
+            (not (Hashtbl.mem visited w))
+            && (w = dst || Graph.is_switch g w)
+          in
+          if enterable then begin
+            Hashtbl.replace visited w ();
+            dfs w (v :: path) (hops + 1);
+            Hashtbl.remove visited w
+          end)
+        (Graph.neighbors g v)
+  in
+  Hashtbl.replace visited src ();
+  dfs src [] 0;
+  !acc
+
+let solve ?(bounds = default_bounds) g params =
+  let users = Graph.users g in
+  let k = List.length users in
+  if k > bounds.max_users then invalid_arg "Exact.solve: too many users";
+  if Graph.vertex_count g > bounds.max_vertices then
+    invalid_arg "Exact.solve: graph too large";
+  if k <= 1 then Some (Ent_tree.of_channels [])
+  else begin
+    let user_arr = Array.of_list users in
+    (* Pre-compute candidate channels per user pair. *)
+    let pair_paths = Hashtbl.create 16 in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        let paths =
+          all_simple_paths g ~src:user_arr.(i) ~dst:user_arr.(j)
+            ~max_hops:bounds.max_path_hops
+        in
+        let channels =
+          List.filter_map
+            (fun p ->
+              match Channel.make g params p with
+              | Ok c -> Some c
+              | Error _ -> None)
+            paths
+        in
+        Hashtbl.replace pair_paths (i, j) channels
+      done
+    done;
+    (* Candidates sorted best-first per pair: good solutions are found
+       early, making the branch-and-bound prune effective. *)
+    Hashtbl.iter
+      (fun key channels ->
+        Hashtbl.replace pair_paths key
+          (List.sort
+             (fun (c1 : Channel.t) (c2 : Channel.t) ->
+               Logprob.compare_desc c1.rate c2.rate)
+             channels))
+      (Hashtbl.copy pair_paths);
+    (* Per-pair best achievable -ln rate, for an admissible lower bound
+       on any completion of a partial assignment. *)
+    let pair_floor = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun key channels ->
+        let floor =
+          List.fold_left
+            (fun acc (c : Channel.t) ->
+              Float.min acc (Logprob.to_neg_log c.rate))
+            infinity channels
+        in
+        Hashtbl.replace pair_floor key floor)
+      pair_paths;
+    let capacity = Capacity.of_graph g in
+    let best_neg_log = ref infinity in
+    let best : Ent_tree.t option ref = ref None in
+    (* For one tree shape, backtrack over channel choices per edge,
+       pruning when the partial product plus the remaining pairs'
+       unconstrained floors cannot beat the incumbent. *)
+    let rec assign shape chosen partial_neg_log floor_rest =
+      match shape with
+      | [] ->
+          if partial_neg_log < !best_neg_log then begin
+            best_neg_log := partial_neg_log;
+            best := Some (Ent_tree.of_channels (List.rev chosen))
+          end
+      | ((i, j) :: rest : (int * int) list) ->
+          let key = (min i j, max i j) in
+          let candidates = Hashtbl.find pair_paths key in
+          let my_floor =
+            try Hashtbl.find pair_floor key with Not_found -> infinity
+          in
+          let floor_rest' = floor_rest -. my_floor in
+          List.iter
+            (fun (c : Channel.t) ->
+              let neg_log = Logprob.to_neg_log c.rate in
+              (* Bound: even if every remaining pair got its best
+                 unconstrained channel, can we still win? *)
+              if
+                partial_neg_log +. neg_log +. floor_rest' < !best_neg_log
+              then begin
+                let feasible =
+                  List.for_all
+                    (fun s -> Capacity.remaining capacity s >= 2)
+                    (Channel.interior_switches c)
+                in
+                if feasible then begin
+                  Capacity.consume_channel capacity c.path;
+                  assign rest (c :: chosen)
+                    (partial_neg_log +. neg_log)
+                    floor_rest';
+                  Capacity.release_channel capacity c.path
+                end
+              end)
+            candidates
+    in
+    List.iter
+      (fun shape ->
+        let shape_floor =
+          List.fold_left
+            (fun acc (i, j) ->
+              acc
+              +. (try Hashtbl.find pair_floor (min i j, max i j)
+                  with Not_found -> infinity))
+            0. shape
+        in
+        if shape_floor < !best_neg_log then assign shape [] 0. shape_floor)
+      (prufer_trees k);
+    !best
+  end

@@ -1,0 +1,43 @@
+(** Exhaustive MUERP solver for small instances.
+
+    MUERP is NP-hard (Theorem 2), so no polynomial exact algorithm is
+    expected — but tiny instances can be solved by brute force:
+    enumerate every labelled tree shape over the users (Prüfer
+    sequences, [|U|^(|U|−2)] shapes) and, for each shape, backtrack over
+    simple-path assignments for its channels under residual switch
+    capacity, maximising the Eq. (2) product.
+
+    Tests use this as ground truth: Algorithm 2 must match it whenever
+    the sufficient condition holds, and the heuristics must never beat
+    it.  Cost grows explosively; guard rails reject instances beyond the
+    configured bounds. *)
+
+type bounds = {
+  max_users : int;  (** Reject instances with more users (default 5). *)
+  max_vertices : int;  (** Reject larger graphs (default 14). *)
+  max_path_hops : int;  (** Ignore channel paths longer than this
+                            (default 8 links). *)
+}
+
+val default_bounds : bounds
+
+val prufer_trees : int -> (int * int) list list
+(** [prufer_trees k] is every labelled tree on vertices [0 .. k−1] as an
+    edge list, via Prüfer decoding ([k^(k−2)] trees; [k ≤ 1] gives one
+    empty tree).  @raise Invalid_argument for [k > 7] (guard against
+    accidental blow-up) or negative [k]. *)
+
+val all_simple_paths :
+  Qnet_graph.Graph.t ->
+  src:int ->
+  dst:int ->
+  max_hops:int ->
+  int list list
+(** Every simple path between two users whose interior crosses only
+    switches, up to the hop bound. *)
+
+val solve :
+  ?bounds:bounds -> Qnet_graph.Graph.t -> Params.t -> Ent_tree.t option
+(** The true optimum, or [None] when infeasible {e within the path-hop
+    bound}.  @raise Invalid_argument when the instance exceeds
+    [bounds]. *)

@@ -1,0 +1,19 @@
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+
+type verdict = Feasible | Infeasible | Unknown
+
+let necessary_condition g = Paths.users_connected g
+
+let sufficient_condition g =
+  necessary_condition g && Alg_optimal.sufficient_condition g
+
+let quick_verdict g =
+  if not (necessary_condition g) then Infeasible
+  else if sufficient_condition g then Feasible
+  else Unknown
+
+let exact_verdict ?bounds g params =
+  match Exact.solve ?bounds g params with
+  | Some _ -> Feasible
+  | None -> Infeasible

@@ -1,0 +1,30 @@
+(** Feasibility conditions for MUERP instances (§III–§IV-B).
+
+    Deciding feasibility exactly is NP-complete (Theorem 1); this module
+    collects the cheap necessary condition, the paper's sufficient
+    condition, and an exact decision for small instances via
+    {!Exact.solve}. *)
+
+type verdict =
+  | Feasible  (** A spanning entanglement tree certainly exists. *)
+  | Infeasible  (** No spanning entanglement tree can exist. *)
+  | Unknown  (** Neither bound fired; the instance is in the NP-complete
+                 gray zone. *)
+
+val necessary_condition : Qnet_graph.Graph.t -> bool
+(** Users must be mutually reachable through the fiber topology; if not,
+    no channel assignment can span them. *)
+
+val sufficient_condition : Qnet_graph.Graph.t -> bool
+(** [Q_r ≥ 2·|U|] for every switch (Theorem 3's premise), {e and} the
+    necessary condition — together they guarantee a feasible solution. *)
+
+val quick_verdict : Qnet_graph.Graph.t -> verdict
+(** Polynomial-time screening using only the two conditions above. *)
+
+val exact_verdict :
+  ?bounds:Exact.bounds -> Qnet_graph.Graph.t -> Params.t -> verdict
+(** Exact decision by exhaustive search — [Feasible] or [Infeasible],
+    never [Unknown], but limited to {!Exact.bounds}-sized instances
+    (raises [Invalid_argument] beyond them).  Note [Infeasible] here is
+    relative to the search's path-hop bound. *)

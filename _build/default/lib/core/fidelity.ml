@@ -1,0 +1,260 @@
+module Graph = Qnet_graph.Graph
+module Heap = Qnet_graph.Binary_heap
+module Union_find = Qnet_graph.Union_find
+module Logprob = Qnet_util.Logprob
+
+let check_fidelity name f =
+  if Float.is_nan f || f < 0. || f > 1. then
+    invalid_arg (name ^ ": fidelity outside [0, 1]")
+
+let werner_swap f1 f2 =
+  check_fidelity "Fidelity.werner_swap" f1;
+  check_fidelity "Fidelity.werner_swap" f2;
+  (f1 *. f2) +. ((1. -. f1) *. (1. -. f2) /. 3.)
+
+let channel_fidelity ~f0 ~hops =
+  check_fidelity "Fidelity.channel_fidelity" f0;
+  if hops < 1 then invalid_arg "Fidelity.channel_fidelity: hops < 1";
+  let rec fold acc remaining =
+    if remaining = 0 then acc else fold (werner_swap acc f0) (remaining - 1)
+  in
+  fold f0 (hops - 1)
+
+let max_hops ~f0 ~threshold ~max_considered =
+  if max_considered < 1 then
+    invalid_arg "Fidelity.max_hops: max_considered < 1";
+  let rec scan best h =
+    if h > max_considered then best
+    else if channel_fidelity ~f0 ~hops:h >= threshold then scan (Some h) (h + 1)
+    else best
+    (* Fidelity decays monotonically in hops, so the first failure is
+       final; stopping at it keeps the scan exact. *)
+  in
+  scan None 1
+
+(* Hop-layered Dijkstra: state (vertex, hops used).  The admission rules
+   are Routing's: only capacity-holding switches relay, users terminate. *)
+let best_channel_bounded g params ~capacity ~src ~dst ~max_hops =
+  if not (Graph.is_user g src && Graph.is_user g dst) then
+    invalid_arg "Fidelity.best_channel_bounded: endpoints must be users";
+  if src = dst then invalid_arg "Fidelity.best_channel_bounded: src = dst";
+  if max_hops < 1 then invalid_arg "Fidelity.best_channel_bounded: max_hops < 1";
+  if params.Params.q = 0. then begin
+    (* Only a direct fiber survives q = 0 (cf. Routing). *)
+    match Graph.find_edge g src dst with
+    | None -> None
+    | Some _ -> (
+        match Channel.make g params [ src; dst ] with
+        | Ok c -> Some c
+        | Error _ -> None)
+  end
+  else begin
+    let n = Graph.vertex_count g in
+    let h = max_hops in
+    let idx v hops = (v * (h + 1)) + hops in
+    let dist = Array.make (n * (h + 1)) infinity in
+    let prev = Array.make (n * (h + 1)) (-1) in
+    let settled = Array.make (n * (h + 1)) false in
+    let heap = Heap.create ~capacity:(n + 1) () in
+    dist.(idx src 0) <- 0.;
+    Heap.push heap 0. (src, 0);
+    let admissible v = v = dst || (Graph.is_switch g v && Capacity.can_relay capacity v) in
+    let expandable v = v = src || Graph.is_switch g v in
+    let rec loop () =
+      match Heap.pop_min heap with
+      | None -> ()
+      | Some (d, (v, hops)) ->
+          let i = idx v hops in
+          if (not settled.(i)) && d <= dist.(i) then begin
+            settled.(i) <- true;
+            if hops < h && expandable v then
+              List.iter
+                (fun (w, eid) ->
+                  if admissible w then begin
+                    let e = Graph.edge g eid in
+                    let cand = d +. Routing.edge_weight params e in
+                    let j = idx w (hops + 1) in
+                    if cand < dist.(j) then begin
+                      dist.(j) <- cand;
+                      prev.(j) <- i;
+                      Heap.push heap cand (w, hops + 1)
+                    end
+                  end)
+                (Graph.neighbors g v)
+          end;
+          loop ()
+    in
+    loop ();
+    (* Best layer at the destination. *)
+    let best = ref None in
+    for hops = 1 to h do
+      let i = idx dst hops in
+      if dist.(i) < infinity then
+        match !best with
+        | Some (d, _) when d <= dist.(i) -> ()
+        | _ -> best := Some (dist.(i), i)
+    done;
+    match !best with
+    | None -> None
+    | Some (_, i) ->
+        let rec walk i acc =
+          let v = i / (h + 1) in
+          if prev.(i) < 0 then v :: acc else walk prev.(i) (v :: acc)
+        in
+        let path = walk i [] in
+        (match Channel.make g params path with Ok c -> Some c | Error _ -> None)
+  end
+
+type config = { f0 : float; threshold : float }
+
+let hop_budget config =
+  check_fidelity "Fidelity.solve" config.f0;
+  check_fidelity "Fidelity.solve" config.threshold;
+  max_hops ~f0:config.f0 ~threshold:config.threshold ~max_considered:64
+
+let all_pairs_bounded g params ~capacity ~bound users =
+  let rec pairs = function
+    | [] -> []
+    | u :: rest ->
+        List.filter_map
+          (fun v ->
+            best_channel_bounded g params ~capacity ~src:u ~dst:v
+              ~max_hops:bound)
+          rest
+        @ pairs rest
+  in
+  pairs users
+
+let channel_feasible capacity (c : Channel.t) =
+  List.for_all
+    (fun s -> Capacity.remaining capacity s >= 2)
+    (Channel.interior_switches c)
+
+let solve_kruskal g params config =
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | _ -> (
+      match hop_budget config with
+      | None -> None
+      | Some bound ->
+          let capacity = Capacity.of_graph g in
+          let uf = Union_find.create (Graph.vertex_count g) in
+          let candidates =
+            all_pairs_bounded g params ~capacity ~bound users
+            |> List.sort Alg_optimal.compare_channels
+          in
+          let kept =
+            List.fold_left
+              (fun acc (c : Channel.t) ->
+                if
+                  (not (Union_find.same uf c.src c.dst))
+                  && channel_feasible capacity c
+                then begin
+                  Capacity.consume_channel capacity c.path;
+                  ignore (Union_find.union uf c.src c.dst);
+                  c :: acc
+                end
+                else acc)
+              [] candidates
+          in
+          (* Reconnect any unions the capacity deductions split apart. *)
+          let rec reconnect acc =
+            if Union_find.all_same uf users then Some acc
+            else begin
+              let best = ref None in
+              let rec scan_pairs = function
+                | [] -> ()
+                | u :: rest ->
+                    List.iter
+                      (fun v ->
+                        if not (Union_find.same uf u v) then
+                          match
+                            best_channel_bounded g params ~capacity ~src:u
+                              ~dst:v ~max_hops:bound
+                          with
+                          | None -> ()
+                          | Some c -> (
+                              match !best with
+                              | Some (b : Channel.t)
+                                when Logprob.compare_desc b.rate c.rate <= 0 ->
+                                  ()
+                              | _ -> best := Some c))
+                      rest;
+                    scan_pairs rest
+              in
+              scan_pairs users;
+              match !best with
+              | None -> None
+              | Some c ->
+                  Capacity.consume_channel capacity c.path;
+                  ignore (Union_find.union uf c.src c.dst);
+                  reconnect (c :: acc)
+            end
+          in
+          (match reconnect [] with
+          | None -> None
+          | Some extra ->
+              Some (Ent_tree.of_channels (List.rev_append kept (List.rev extra)))))
+
+let solve_prim ?start g params config =
+  let users = Graph.users g in
+  match users with
+  | [] | [ _ ] -> Some (Ent_tree.of_channels [])
+  | first :: _ -> (
+      match hop_budget config with
+      | None -> None
+      | Some bound ->
+          let start =
+            match start with
+            | Some s ->
+                if not (Graph.is_user g s) then
+                  invalid_arg "Fidelity.solve_prim: start is not a user";
+                s
+            | None -> first
+          in
+          let capacity = Capacity.of_graph g in
+          let inside = Hashtbl.create (List.length users) in
+          Hashtbl.replace inside start ();
+          let remaining = ref (List.length users - 1) in
+          let rec grow acc =
+            if !remaining = 0 then Some (Ent_tree.of_channels (List.rev acc))
+            else begin
+              let best = ref None in
+              Hashtbl.iter
+                (fun src () ->
+                  List.iter
+                    (fun dst ->
+                      if not (Hashtbl.mem inside dst) then
+                        match
+                          best_channel_bounded g params ~capacity ~src ~dst
+                            ~max_hops:bound
+                        with
+                        | None -> ()
+                        | Some c -> (
+                            match !best with
+                            | Some (b : Channel.t)
+                              when Logprob.compare_desc b.rate c.rate <= 0 ->
+                                ()
+                            | _ -> best := Some c))
+                    users)
+                inside;
+              match !best with
+              | None -> None
+              | Some c ->
+                  Capacity.consume_channel capacity c.path;
+                  let fresh =
+                    if Hashtbl.mem inside c.src then c.dst else c.src
+                  in
+                  Hashtbl.replace inside fresh ();
+                  decr remaining;
+                  grow (c :: acc)
+            end
+          in
+          grow [])
+
+let tree_min_fidelity ~f0 (tree : Ent_tree.t) =
+  List.fold_left
+    (fun acc (c : Channel.t) ->
+      Float.min acc (channel_fidelity ~f0 ~hops:c.hops))
+    1. tree.channels

@@ -1,0 +1,74 @@
+(** Fidelity-aware extension of MUERP.
+
+    The paper's model statement (§II, §VII) names "accounting for
+    fidelity decay" as the primary extension of the basic MUERP model;
+    this module implements it for Werner states, the standard noise
+    model in the entanglement-distribution literature (cf. the paper's
+    references [18], [19]).
+
+    Model: every elementary Bell pair is generated as a Werner state
+    with fidelity [f0 > 1/4].  Swapping two Werner pairs with fidelities
+    [F1] and [F2] yields fidelity
+
+      [F' = F1·F2 + (1 − F1)·(1 − F2) / 3]
+
+    (the singlet-fraction composition law for Werner states).  Fidelity
+    therefore decays monotonically with the number of links in a
+    channel, independent of which switches perform the swaps, so an
+    end-to-end requirement [F ≥ threshold] is exactly a per-channel hop
+    bound — which {!max_hops} computes and {!best_channel_bounded}
+    enforces via a hop-layered Dijkstra. *)
+
+val werner_swap : float -> float -> float
+(** [werner_swap f1 f2] is the post-swap fidelity of two Werner pairs.
+    @raise Invalid_argument if either fidelity is outside [\[0, 1\]]. *)
+
+val channel_fidelity : f0:float -> hops:int -> float
+(** End-to-end fidelity of a channel of [hops ≥ 1] quantum links whose
+    every link starts at fidelity [f0], folding {!werner_swap} left to
+    right.  @raise Invalid_argument on [hops < 1] or [f0] outside
+    [\[0, 1\]]. *)
+
+val max_hops : f0:float -> threshold:float -> max_considered:int -> int option
+(** Largest hop count whose {!channel_fidelity} still meets
+    [threshold], scanning up to [max_considered]; [None] when even a
+    single link falls short. *)
+
+val best_channel_bounded :
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  capacity:Capacity.t ->
+  src:int ->
+  dst:int ->
+  max_hops:int ->
+  Channel.t option
+(** Maximum-rate capacity-feasible channel between two users using at
+    most [max_hops] quantum links: Dijkstra over (vertex, hops-used)
+    layers.  Rates and admissibility follow {!Routing} exactly; only
+    the hop budget is new.  @raise Invalid_argument on non-user
+    endpoints, [src = dst], or [max_hops < 1]. *)
+
+type config = {
+  f0 : float;  (** Fidelity of a freshly generated link pair. *)
+  threshold : float;  (** Minimum acceptable end-to-end fidelity. *)
+}
+
+val solve_kruskal :
+  Qnet_graph.Graph.t -> Params.t -> config -> Ent_tree.t option
+(** Fidelity-aware analogue of Algorithm 2 + 3: compute hop-bounded
+    best channels for all user pairs, select greedily by rate under
+    residual capacity, then reconnect remaining unions with hop-bounded
+    channels.  Every channel of the result satisfies the fidelity
+    threshold; [None] when no such spanning tree exists. *)
+
+val solve_prim :
+  ?start:int ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  config ->
+  Ent_tree.t option
+(** Fidelity-aware analogue of Algorithm 4. *)
+
+val tree_min_fidelity : f0:float -> Ent_tree.t -> float
+(** The worst end-to-end channel fidelity in a tree ([1.] for an empty
+    tree) — the quantity the threshold constrains. *)

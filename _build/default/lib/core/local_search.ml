@@ -1,0 +1,84 @@
+module Graph = Qnet_graph.Graph
+module Union_find = Qnet_graph.Union_find
+module Logprob = Qnet_util.Logprob
+
+type stats = {
+  iterations : int;
+  exchanges : int;
+  initial_neg_log : float;
+  final_neg_log : float;
+}
+
+(* Best capacity-feasible channel between the two components the removed
+   channel left behind. *)
+let best_cross_channel g params ~capacity ~users ~uf =
+  let best = ref None in
+  List.iter
+    (fun src ->
+      Routing.best_channels_from g params ~capacity ~src
+      |> List.iter (fun (dst, (c : Channel.t)) ->
+             if List.mem dst users && not (Union_find.same uf src dst) then
+               match !best with
+               | Some (b : Channel.t)
+                 when Logprob.compare_desc b.rate c.rate <= 0 ->
+                   ()
+               | _ -> best := Some c))
+    users;
+  !best
+
+let improve ?(max_rounds = 50) g params (tree : Ent_tree.t) =
+  let users = Graph.users g in
+  let capacity = Capacity.of_graph g in
+  List.iter
+    (fun (c : Channel.t) ->
+      try Capacity.consume_channel capacity c.path
+      with Invalid_argument _ ->
+        invalid_arg "Local_search.improve: tree exceeds switch budgets")
+    tree.channels;
+  let channels = ref tree.channels in
+  let exchanges = ref 0 in
+  let rounds = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    (* First-improvement pass over the current channels. *)
+    let rec pass before = function
+      | [] -> ()
+      | (c : Channel.t) :: after ->
+          Capacity.release_channel capacity c.path;
+          (* Components without c. *)
+          let uf = Union_find.create (Graph.vertex_count g) in
+          List.iter
+            (fun (c' : Channel.t) ->
+              ignore (Union_find.union uf c'.src c'.dst))
+            (before @ after);
+          let replacement =
+            best_cross_channel g params ~capacity ~users ~uf
+          in
+          (match replacement with
+          | Some r when Logprob.compare_desc r.rate c.rate < 0 ->
+              Capacity.consume_channel capacity r.path;
+              channels := before @ (r :: after);
+              incr exchanges;
+              improved := true
+          | Some _ | None ->
+              (* Keep the original channel. *)
+              Capacity.consume_channel capacity c.path);
+          if !improved then () else pass (before @ [ c ]) after
+    in
+    pass [] !channels
+  done;
+  let result = Ent_tree.of_channels !channels in
+  ( result,
+    {
+      iterations = !rounds;
+      exchanges = !exchanges;
+      initial_neg_log = Ent_tree.rate_neg_log tree;
+      final_neg_log = Ent_tree.rate_neg_log result;
+    } )
+
+let solve ?max_rounds g params =
+  match Alg_conflict_free.solve g params with
+  | None -> None
+  | Some tree -> Some (fst (improve ?max_rounds g params tree))

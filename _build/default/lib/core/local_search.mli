@@ -1,0 +1,42 @@
+(** Local-search post-optimisation of entanglement trees.
+
+    The paper's heuristics are single-pass greedy constructions; a
+    cheap improvement loop on top is the natural next step (and a
+    standard one for degree-constrained spanning-tree heuristics, cf.
+    the DCMST literature the hardness proofs cite).  The move here is
+    the classic tree {e edge exchange} adapted to channels:
+
+    + pick a channel of the current tree and remove it — the users
+      split into two components, and the channel's switch qubits are
+      refunded;
+    + route the best capacity-feasible channel between {e any} user
+      pair across the two components (Algorithm 1 under the residual
+      capacity);
+    + keep the exchange iff it strictly improves the Eq. (2) rate,
+      else restore the original channel.
+
+    Iterating to a fixed point yields a 1-exchange-optimal tree.  Every
+    intermediate state respects switch capacities. *)
+
+type stats = {
+  iterations : int;  (** Improvement rounds executed. *)
+  exchanges : int;  (** Accepted channel exchanges. *)
+  initial_neg_log : float;
+  final_neg_log : float;
+}
+
+val improve :
+  ?max_rounds:int ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  Ent_tree.t ->
+  Ent_tree.t * stats
+(** Run first-improvement edge exchange to a fixed point (or
+    [max_rounds], default 50).  The input tree must respect switch
+    capacities ([Invalid_argument] otherwise).  The result's rate is
+    ≥ the input's. *)
+
+val solve :
+  ?max_rounds:int -> Qnet_graph.Graph.t -> Params.t -> Ent_tree.t option
+(** Algorithm 3 followed by {!improve}; [None] when Algorithm 3 finds
+    no tree. *)

@@ -1,0 +1,73 @@
+module Graph = Qnet_graph.Graph
+
+type algorithm = Optimal | Conflict_free | Prim_based | Exhaustive
+
+let all_heuristics = [ Optimal; Conflict_free; Prim_based ]
+
+let algorithm_name = function
+  | Optimal -> "alg2-optimal"
+  | Conflict_free -> "alg3-conflict-free"
+  | Prim_based -> "alg4-prim"
+  | Exhaustive -> "exhaustive"
+
+type instance = { graph : Graph.t; params : Params.t }
+
+let instance ?(params = Params.default) graph =
+  if Graph.user_count graph = 0 then
+    invalid_arg "Muerp.instance: graph has no users";
+  { graph; params }
+
+type outcome = {
+  algorithm : algorithm;
+  tree : Ent_tree.t option;
+  rate : float;
+  neg_log_rate : float;
+  elapsed_s : float;
+}
+
+let capacity_ok g tree =
+  List.for_all
+    (fun (s, used) -> used <= Graph.qubits g s)
+    (Ent_tree.qubit_usage tree)
+
+let outcome_capacity_ok inst outcome =
+  match outcome.tree with
+  | None -> true
+  | Some tree -> capacity_ok inst.graph tree
+
+let validate_outcome inst algorithm tree =
+  let users = Graph.users inst.graph in
+  let violations = Verify.check inst.graph inst.params ~users tree in
+  let tolerated = function
+    (* Algorithm 2 legitimately ignores cumulative capacity. *)
+    | Verify.Capacity_exceeded _ -> algorithm = Optimal
+    | Verify.Bad_channel _ | Verify.Not_a_spanning_tree
+    | Verify.Rate_mismatch _ ->
+        false
+  in
+  match List.filter (fun v -> not (tolerated v)) violations with
+  | [] -> ()
+  | v :: _ ->
+      failwith
+        (Format.asprintf "Muerp.solve: %s produced an invalid tree: %a"
+           (algorithm_name algorithm) Verify.pp_violation v)
+
+let solve ?rng algorithm inst =
+  let t0 = Unix.gettimeofday () in
+  let tree =
+    match algorithm with
+    | Optimal -> Alg_optimal.solve inst.graph inst.params
+    | Conflict_free -> Alg_conflict_free.solve inst.graph inst.params
+    | Prim_based -> Alg_prim.solve ?rng inst.graph inst.params
+    | Exhaustive -> Exact.solve inst.graph inst.params
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Option.iter (validate_outcome inst algorithm) tree;
+  let rate, neg_log_rate =
+    match tree with
+    | None -> (0., infinity)
+    | Some t -> (Ent_tree.rate_prob t, Ent_tree.rate_neg_log t)
+  in
+  { algorithm; tree; rate; neg_log_rate; elapsed_s }
+
+let rate_of o = o.rate

@@ -1,0 +1,57 @@
+(** Top-level MUERP interface: one entry point over all solvers.
+
+    This is the API the examples, experiments and CLI use: build an
+    {!instance}, pick an {!algorithm}, read off the {!outcome}. *)
+
+type algorithm =
+  | Optimal  (** Algorithm 2 — exact under the sufficient condition;
+                 capacity-oblivious otherwise. *)
+  | Conflict_free  (** Algorithm 3 — Algorithm 2 + conflict repair. *)
+  | Prim_based  (** Algorithm 4 — direct Prim-style growth. *)
+  | Exhaustive  (** Brute force ({!Exact.solve}) — tiny instances
+                    only. *)
+
+val all_heuristics : algorithm list
+(** [\[Optimal; Conflict_free; Prim_based\]] — the paper's three
+    algorithms in paper order. *)
+
+val algorithm_name : algorithm -> string
+(** "alg2-optimal", "alg3-conflict-free", "alg4-prim", "exhaustive". *)
+
+type instance = {
+  graph : Qnet_graph.Graph.t;
+  params : Params.t;
+}
+
+val instance : ?params:Params.t -> Qnet_graph.Graph.t -> instance
+(** Package a graph with physical parameters (default {!Params.default}).
+    @raise Invalid_argument when the graph has no user vertices. *)
+
+type outcome = {
+  algorithm : algorithm;
+  tree : Ent_tree.t option;  (** [None] = infeasible / not found. *)
+  rate : float;  (** Eq. (2) as probability; [0.] when [tree = None] —
+                     the paper's convention for failed entanglement. *)
+  neg_log_rate : float;  (** [−ln rate]; [infinity] when infeasible. *)
+  elapsed_s : float;  (** Wall-clock solver time. *)
+}
+
+val solve :
+  ?rng:Qnet_util.Prng.t -> algorithm -> instance -> outcome
+(** Run one solver.  [rng] seeds Algorithm 4's random start user (and is
+    ignored by the others); without it the smallest user id starts.
+    The returned tree, when present, has been checked against
+    {!Verify.check} — a violation raises [Failure] (it would indicate a
+    solver bug, not a user error), except for [Optimal] whose
+    capacity violations are expected on insufficient instances and
+    reported via {!outcome_capacity_ok}. *)
+
+val outcome_capacity_ok : instance -> outcome -> bool
+(** Whether the outcome's tree (if any) respects all switch
+    capacities.  Always true for Conflict_free / Prim_based /
+    Exhaustive outcomes; Algorithm 2 may overcommit when the sufficient
+    condition fails — the paper plots it regardless, flagging that its
+    switches got [2·|U|] qubits (Fig. 8a). *)
+
+val rate_of : outcome -> float
+(** The outcome's entanglement rate ([0.] when infeasible). *)

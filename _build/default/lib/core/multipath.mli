@@ -1,0 +1,34 @@
+(** k-best channel enumeration (Yen's algorithm in rate space).
+
+    The multipath literature the paper compares against (Sutcliffe &
+    Beghelli's MP-* protocols, reference [32]) routes over several
+    candidate paths per user pair.  This module adapts Yen's k-shortest
+    loopless paths to the quantum channel model: candidates are ranked
+    by Eq. (1) entanglement rate, all interior vertices must be
+    capacity-holding switches, and fibers/relays excluded by a spur's
+    root prefix are masked per Yen's deviation rule.
+
+    Beyond baseline fidelity to [32], the k-best list powers an
+    alternative conflict-resolution strategy (see {!Alg_kbest}): when a
+    switch conflict evicts a channel, try the pair's next-best candidate
+    before falling back to a full re-route. *)
+
+val k_best_channels :
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  capacity:Capacity.t ->
+  src:int ->
+  dst:int ->
+  k:int ->
+  Channel.t list
+(** Up to [k] distinct maximum-rate channels between two users, in
+    strictly descending rate order (ties broken deterministically),
+    each individually feasible under [capacity].  Fewer than [k] are
+    returned when the graph runs out of loopless candidates.
+    @raise Invalid_argument on non-user endpoints, [src = dst] or
+    [k < 1]. *)
+
+val channels_vertex_disjoint : Channel.t -> Channel.t -> bool
+(** Whether two channels share no interior switch — the condition under
+    which they can be reserved simultaneously without interacting on
+    any switch's memory. *)

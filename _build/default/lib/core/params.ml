@@ -1,0 +1,14 @@
+type t = { alpha : float; q : float }
+
+let default = { alpha = 1e-4; q = 0.9 }
+
+let create ?(alpha = default.alpha) ?(q = default.q) () =
+  if Float.is_nan alpha || alpha < 0. then
+    invalid_arg "Params.create: alpha must be >= 0";
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg "Params.create: q must lie in [0, 1]";
+  { alpha; q }
+
+let link_success t length = exp (-.t.alpha *. length)
+let link_neg_log t length = t.alpha *. length
+let swap_neg_log t = if t.q = 0. then infinity else -.log t.q

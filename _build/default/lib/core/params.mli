@@ -1,0 +1,28 @@
+(** Physical-model parameters of the quantum Internet (§II).
+
+    A quantum link over a fiber of length [L] succeeds with probability
+    [p = exp (−alpha · L)]; every BSM entanglement swap at a switch
+    succeeds with probability [q]. *)
+
+type t = {
+  alpha : float;  (** Fiber attenuation constant; paper default [1e-4]
+                      per km-unit. *)
+  q : float;  (** BSM swap success probability; paper default [0.9]. *)
+}
+
+val default : t
+(** The paper's §V-A values: [alpha = 1e-4], [q = 0.9]. *)
+
+val create : ?alpha:float -> ?q:float -> unit -> t
+(** {!default} with overrides.  @raise Invalid_argument if
+    [alpha < 0.], or [q] outside [\[0, 1\]]. *)
+
+val link_success : t -> float -> float
+(** [link_success t length] is [exp (−alpha · length)] — the Bell-pair
+    generation success probability over one fiber. *)
+
+val link_neg_log : t -> float -> float
+(** [−ln (link_success t length) = alpha · length]. *)
+
+val swap_neg_log : t -> float
+(** [−ln q]; [infinity] when [q = 0.]. *)

@@ -1,0 +1,59 @@
+let check_fidelity name f =
+  if Float.is_nan f || f < 0. || f > 1. then
+    invalid_arg (name ^ ": fidelity outside [0, 1]")
+
+let purify_once f =
+  check_fidelity "Purification.purify_once" f;
+  let g = 1. -. f in
+  let p_succ = (f *. f) +. (2. *. f *. g /. 3.) +. (5. *. g *. g /. 9.) in
+  let f' = ((f *. f) +. (g *. g /. 9.)) /. p_succ in
+  (f', p_succ)
+
+let purify_rounds f ~rounds =
+  if rounds < 0 then invalid_arg "Purification.purify_rounds: negative rounds";
+  let rec go f mult remaining =
+    if remaining = 0 then (f, mult)
+    else begin
+      let f', p_succ = purify_once f in
+      go f' (mult *. p_succ /. 2.) (remaining - 1)
+    end
+  in
+  go f 1. rounds
+
+let rounds_needed ~f ~threshold ~max_rounds =
+  check_fidelity "Purification.rounds_needed" f;
+  check_fidelity "Purification.rounds_needed" threshold;
+  if max_rounds < 0 then
+    invalid_arg "Purification.rounds_needed: negative max_rounds";
+  let rec scan f rounds =
+    if f >= threshold then Some rounds
+    else if rounds >= max_rounds then None
+    else begin
+      let f', _ = purify_once f in
+      (* BBPSSW improves fidelity only above 1/2; below that it cycles
+         or degrades, so bail out once progress stops. *)
+      if f' <= f then None else scan f' (rounds + 1)
+    end
+  in
+  scan f 0
+
+type plan = { rounds : int; final_fidelity : float; rate_multiplier : float }
+
+let plan_for_channel ~f0 ~hops ~threshold ~max_rounds =
+  let f = Fidelity.channel_fidelity ~f0 ~hops in
+  match rounds_needed ~f ~threshold ~max_rounds with
+  | None -> None
+  | Some rounds ->
+      let final_fidelity, rate_multiplier = purify_rounds f ~rounds in
+      Some { rounds; final_fidelity; rate_multiplier }
+
+let effective_tree_rate ~f0 ~threshold ~max_rounds (tree : Ent_tree.t) =
+  let rec fold acc = function
+    | [] -> Some acc
+    | (c : Channel.t) :: rest -> (
+        match plan_for_channel ~f0 ~hops:c.hops ~threshold ~max_rounds with
+        | None -> None
+        | Some plan ->
+            fold (acc *. Channel.rate_prob c *. plan.rate_multiplier) rest)
+  in
+  fold 1. tree.channels

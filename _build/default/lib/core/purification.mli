@@ -1,0 +1,58 @@
+(** Entanglement purification (BBPSSW recurrence) — rate/fidelity
+    trading.
+
+    Fidelity-aware related work the paper builds on (references [18],
+    [19]) pairs routing with {e purification}: sacrificing entangled
+    pairs to distill fewer, higher-fidelity ones.  This module
+    implements the BBPSSW/DEJMPS recurrence for Werner states:
+
+    two pairs of fidelity [F] yield, on success, one pair of fidelity
+
+      [F' = (F² + (1−F)²/9) / (F² + 2F(1−F)/3 + 5(1−F)²/9)]
+
+    where the denominator is the success probability of the purification
+    round.  Each round therefore halves the pair rate {e at least}
+    (costing a factor [2/p_succ]) while boosting fidelity toward 1 (for
+    [F > 1/2]).
+
+    Combined with {!Fidelity}, this answers: "how many purification
+    rounds does a channel of [h] links need to clear a fidelity
+    threshold, and what does that do to its effective rate?" *)
+
+val purify_once : float -> float * float
+(** [purify_once f] is [(f', p_succ)] for one BBPSSW round on two
+    Werner pairs of fidelity [f].  @raise Invalid_argument outside
+    [\[0, 1\]]. *)
+
+val purify_rounds : float -> rounds:int -> float * float
+(** [purify_rounds f ~rounds] iterates {!purify_once}: resulting
+    fidelity and the {e rate multiplier} — the factor by which the
+    usable pair rate shrinks, [Π (p_succ_i / 2)] over rounds (each
+    round consumes two pairs and succeeds with [p_succ_i]).
+    [rounds = 0] is [(f, 1.)]. *)
+
+val rounds_needed :
+  f:float -> threshold:float -> max_rounds:int -> int option
+(** Minimum purification rounds taking fidelity [f] to [threshold], or
+    [None] if [max_rounds] do not suffice (purification converges below
+    1, so some thresholds are unreachable). *)
+
+type plan = {
+  rounds : int;  (** Purification rounds applied per channel pair. *)
+  final_fidelity : float;
+  rate_multiplier : float;  (** Multiply the channel's Eq. (1) rate by
+                                this. *)
+}
+
+val plan_for_channel :
+  f0:float -> hops:int -> threshold:float -> max_rounds:int -> plan option
+(** End-to-end plan for a channel of [hops] links at link fidelity
+    [f0]: purify the {e end-to-end} pair (post-swap fidelity from
+    {!Fidelity.channel_fidelity}) until it clears [threshold].  [None]
+    when unreachable within [max_rounds]. *)
+
+val effective_tree_rate :
+  f0:float -> threshold:float -> max_rounds:int -> Ent_tree.t -> float option
+(** The tree's Eq. (2) rate after multiplying in each channel's
+    purification cost; [None] if any channel cannot reach the
+    threshold. *)

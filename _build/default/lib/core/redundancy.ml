@@ -1,0 +1,126 @@
+module Graph = Qnet_graph.Graph
+module Logprob = Qnet_util.Logprob
+
+type edge_group = {
+  endpoints : int * int;
+  channels : Channel.t list;
+  success_neg_log : float;
+}
+
+type t = {
+  groups : edge_group list;
+  rate : float;
+  neg_log_rate : float;
+  backups_added : int;
+}
+
+(* 1 - prod (1 - p_i) computed stably: each (1 - p_i) is fine in linear
+   space (p_i bounded away from 1 only helps), and the complement's log
+   uses log1p. *)
+let group_success_neg_log channels =
+  match channels with
+  | [] -> infinity
+  | _ ->
+      let log_all_fail =
+        List.fold_left
+          (fun acc (c : Channel.t) ->
+            let p = Channel.rate_prob c in
+            if p >= 1. then neg_infinity else acc +. log1p (-.p))
+          0. channels
+      in
+      if log_all_fail = neg_infinity then 0.
+      else begin
+        let all_fail = exp log_all_fail in
+        if all_fail >= 1. then infinity else -.log1p (-.all_fail)
+      end
+
+let rebuild_group endpoints channels =
+  { endpoints; channels; success_neg_log = group_success_neg_log channels }
+
+let summarise groups backups_added =
+  let neg_log_rate =
+    List.fold_left (fun acc g -> acc +. g.success_neg_log) 0. groups
+  in
+  {
+    groups;
+    rate = (if neg_log_rate = infinity then 0. else exp (-.neg_log_rate));
+    neg_log_rate;
+    backups_added;
+  }
+
+let boost ?(max_backups = max_int) g params (tree : Ent_tree.t) =
+  let capacity = Capacity.of_graph g in
+  (* Charge the tree's own channels; raises if the tree is invalid. *)
+  List.iter
+    (fun (c : Channel.t) ->
+      try Capacity.consume_channel capacity c.path
+      with Invalid_argument _ ->
+        invalid_arg "Redundancy.boost: tree exceeds switch budgets")
+    tree.channels;
+  let groups =
+    ref
+      (List.map
+         (fun (c : Channel.t) -> rebuild_group (Channel.endpoints c) [ c ])
+         tree.channels)
+  in
+  let backups = ref 0 in
+  let continue = ref (max_backups > 0) in
+  while !continue do
+    (* Weakest group first. *)
+    let sorted =
+      List.sort
+        (fun g1 g2 -> Float.compare g2.success_neg_log g1.success_neg_log)
+        !groups
+    in
+    (* Try groups from weakest to strongest until one accepts a backup. *)
+    let rec attempt = function
+      | [] -> false
+      | group :: rest -> (
+          let src, dst = group.endpoints in
+          match Routing.best_channel g params ~capacity ~src ~dst with
+          | None -> attempt rest
+          | Some backup ->
+              (* A backup must pin switch qubits: a zero-cost direct
+                 fiber could be "added" forever (free cores), which
+                 degenerates.  It must also have positive rate. *)
+              if
+                Channel.interior_switches backup = []
+                || Channel.rate_prob backup <= 0.
+              then attempt rest
+              else begin
+                Capacity.consume_channel capacity backup.path;
+                groups :=
+                  List.map
+                    (fun g' ->
+                      if g'.endpoints = group.endpoints then
+                        rebuild_group g'.endpoints (g'.channels @ [ backup ])
+                      else g')
+                    !groups;
+                incr backups;
+                true
+              end)
+    in
+    if not (attempt sorted) then continue := false
+    else if !backups >= max_backups then continue := false
+  done;
+  summarise !groups !backups
+
+let solve ?max_backups g params =
+  match Alg_conflict_free.solve g params with
+  | None -> None
+  | Some tree -> Some (boost ?max_backups g params tree)
+
+let qubit_usage t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun group ->
+      List.iter
+        (fun c ->
+          List.iter
+            (fun s ->
+              Hashtbl.replace tbl s
+                (2 + (try Hashtbl.find tbl s with Not_found -> 0)))
+            (Channel.interior_switches c))
+        group.channels)
+    t.groups;
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) tbl [] |> List.sort compare

@@ -1,0 +1,66 @@
+(** Redundant parallel channels — relaxing "one channel per user pair".
+
+    The paper's model (§II-D) restricts each user pair to a single
+    quantum channel and names concurrent/parallel variants as a model
+    extension.  This module implements the natural one: after an
+    entanglement tree is routed, leftover switch qubits are spent on
+    {e backup channels} for the tree's weakest edges.  A tree edge
+    backed by channels with rates [p₁ … p_w] succeeds when {e any} of
+    them does — probability [1 − Π (1 − p_i)] — so the Eq. (2) product
+    becomes
+
+      [P = Π_edges (1 − Π_i (1 − p_i))]
+
+    which strictly improves on the single-channel rate whenever any
+    backup fits.  Backups are allocated greedily: repeatedly find the
+    best capacity-feasible extra channel for the tree edge whose
+    current success probability is lowest, until no backup fits or the
+    budget of extra channels runs out. *)
+
+type edge_group = {
+  endpoints : int * int;  (** The user pair of this tree edge. *)
+  channels : Channel.t list;  (** Primary first, then backups, each
+                                  qubit-disjoint in switch accounting. *)
+  success_neg_log : float;  (** [−ln (1 − Π (1 − p_i))]. *)
+}
+
+type t = {
+  groups : edge_group list;
+  rate : float;  (** The boosted Eq. (2) analogue, as probability. *)
+  neg_log_rate : float;
+  backups_added : int;
+}
+
+val group_success_neg_log : Channel.t list -> float
+(** [−ln (1 − Π (1 − p_i))] over the channels' Eq. (1) rates;
+    [infinity] for the empty list. *)
+
+val boost :
+  ?max_backups:int ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  Ent_tree.t ->
+  t
+(** [boost g params tree] reinforces an existing (capacity-valid) tree
+    with up to [max_backups] (default unlimited) extra channels drawn
+    from the capacity left over after the tree's own consumption.
+    Backups must route through at least one switch — an interior-free
+    direct fiber costs no qubits and could be duplicated forever, which
+    would degenerately drive the rate to 1 (the model already treats a
+    fiber's cores as a single per-slot link attempt).  The result's
+    aggregate switch usage always stays within budgets, and its [rate]
+    is ≥ the tree's Eq. (2) rate.
+    @raise Invalid_argument if the tree itself already violates some
+    switch budget. *)
+
+val solve :
+  ?max_backups:int ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  t option
+(** Route with Algorithm 3, then {!boost} the result.  [None] when the
+    base problem is infeasible. *)
+
+val qubit_usage : t -> (int * int) list
+(** Aggregate per-switch qubit consumption over every channel (primary
+    and backup), ascending by switch id. *)

@@ -1,0 +1,72 @@
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+
+let edge_weight params (e : Graph.edge) =
+  Params.link_neg_log params e.length +. Params.swap_neg_log params
+
+let check_user g v =
+  if not (Graph.is_user g v) then
+    invalid_arg "Routing: endpoint is not a quantum user"
+
+(* With q = 0 every swap fails, so the only viable channels are direct
+   user-to-user fibers; the additive-weight transform would degenerate
+   to infinity - infinity there, hence the special case. *)
+let direct_only g params ~src =
+  List.filter_map
+    (fun (v, _) ->
+      if Graph.is_user g v then
+        match Channel.make g params [ src; v ] with
+        | Ok c -> Some (v, c)
+        | Error _ -> None
+      else None)
+    (Graph.neighbors g src)
+
+let sssp g params ~capacity ~src =
+  let admit v =
+    if Graph.is_user g v then v <> src else Capacity.can_relay capacity v
+  in
+  let expand v = Graph.is_switch g v in
+  Paths.dijkstra g ~source:src ~weight:(edge_weight params) ~admit ~expand ()
+
+let channel_from_result g params result ~src ~dst =
+  match Paths.extract_path result ~source:src ~target:dst with
+  | None -> None
+  | Some path -> begin
+      match Channel.make g params path with
+      | Ok c -> Some c
+      | Error _ -> None
+    end
+
+let best_channel g params ~capacity ~src ~dst =
+  check_user g src;
+  check_user g dst;
+  if src = dst then invalid_arg "Routing.best_channel: src = dst";
+  if params.Params.q = 0. then
+    List.assoc_opt dst (direct_only g params ~src)
+  else
+    channel_from_result g params (sssp g params ~capacity ~src) ~src ~dst
+
+let best_channels_from g params ~capacity ~src =
+  check_user g src;
+  if params.Params.q = 0. then
+    List.sort compare (direct_only g params ~src)
+  else begin
+    let result = sssp g params ~capacity ~src in
+    Graph.users g
+    |> List.filter_map (fun u ->
+           if u = src then None
+           else
+             match channel_from_result g params result ~src ~dst:u with
+             | None -> None
+             | Some c -> Some (u, c))
+  end
+
+let all_pairs_best g params ~capacity ~users =
+  let users = List.sort_uniq compare users in
+  List.concat_map
+    (fun src ->
+      best_channels_from g params ~capacity ~src
+      |> List.filter_map (fun (dst, c) ->
+             (* Keep each unordered pair once. *)
+             if List.mem dst users && src < dst then Some c else None))
+    users

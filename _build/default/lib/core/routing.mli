@@ -1,0 +1,46 @@
+(** Algorithm 1 — the maximum-entanglement-rate channel between users.
+
+    Eq. (1) is a product, so it is maximised by a shortest path in the
+    negative-log transform (§IV-A): each fiber edge gets the additive
+    weight [alpha · L + (−ln q)], one [−ln q] is refunded at the end
+    (a channel of [l] links crosses only [l − 1] switches), and Dijkstra
+    does the rest.  Relaxation only enters switches holding at least 2
+    free qubits, and never relays through user vertices, which
+    implements the capacity filtering of Algorithm 1's line 11 and
+    Definition 2's "path through vertices in R". *)
+
+val edge_weight : Params.t -> Qnet_graph.Graph.edge -> float
+(** The −log-space edge weight [alpha · L_e − ln q].  [infinity] when
+    [q = 0.]. *)
+
+val best_channel :
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  capacity:Capacity.t ->
+  src:int ->
+  dst:int ->
+  Channel.t option
+(** Maximum-rate channel between users [src] and [dst] given residual
+    switch capacities, or [None] when no capacity-feasible channel
+    exists.  @raise Invalid_argument if either endpoint is not a user or
+    [src = dst]. *)
+
+val best_channels_from :
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  capacity:Capacity.t ->
+  src:int ->
+  (int * Channel.t) list
+(** One Dijkstra run from [src] yielding the best channel to {e every}
+    other reachable user, as [(user, channel)] pairs in ascending user
+    order — the paper's optimisation that drops the all-pairs phase of
+    Algorithm 2 from [|U|²] to [|U|] Dijkstra runs. *)
+
+val all_pairs_best :
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  capacity:Capacity.t ->
+  users:int list ->
+  Channel.t list
+(** Best channels for all unordered user pairs (omitting unreachable
+    pairs), deduplicated, in no particular order. *)

@@ -1,0 +1,125 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+
+type tree = Leaf of int | Node of tree * tree
+
+let balanced links =
+  if links < 1 then invalid_arg "Swap_policy.balanced: links < 1";
+  let rec build lo hi =
+    if lo = hi then Leaf lo
+    else
+      let mid = (lo + hi) / 2 in
+      Node (build lo mid, build (mid + 1) hi)
+  in
+  build 0 (links - 1)
+
+let linear links =
+  if links < 1 then invalid_arg "Swap_policy.linear: links < 1";
+  let rec build acc next =
+    if next = links then acc else build (Node (acc, Leaf next)) (next + 1)
+  in
+  build (Leaf 0) 1
+
+let rec leaves = function
+  | Leaf i -> [ i ]
+  | Node (a, b) -> leaves a @ leaves b
+
+let validate tree ~links =
+  let ls = leaves tree in
+  if ls = List.init links (fun i -> i) then Ok ()
+  else Error "tree leaves must be links 0..l-1 in order"
+
+let link_probs g params (c : Channel.t) =
+  let path = Array.of_list c.path in
+  Array.init
+    (Array.length path - 1)
+    (fun i ->
+      match Graph.find_edge g path.(i) path.(i + 1) with
+      | None -> invalid_arg "Swap_policy: channel path not in graph"
+      | Some eid ->
+          Params.link_success params (Graph.edge g eid).Graph.length)
+
+let check_tree g params c tree =
+  let probs = link_probs g params c in
+  (match validate tree ~links:(Array.length probs) with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Swap_policy: " ^ msg));
+  probs
+
+let expected_slots_estimate g params c tree =
+  let probs = check_tree g params c tree in
+  let q = params.Params.q in
+  let rec t = function
+    | Leaf i -> if probs.(i) <= 0. then infinity else 1. /. probs.(i)
+    | Node (a, b) ->
+        let ta = t a and tb = t b in
+        if ta = infinity || tb = infinity || q <= 0. then infinity
+        else begin
+          (* E(max) of two independent waiting times, exponential
+             approximation; each failed swap consumes both segments. *)
+          let emax = ta +. tb -. (1. /. ((1. /. ta) +. (1. /. tb))) in
+          emax /. q
+        end
+  in
+  t tree
+
+(* Mutable mirror of the tree for simulation. *)
+type node = {
+  mutable complete : bool;
+  kind : node_kind;
+}
+
+and node_kind = Link of int | Swap of node * node
+
+let rec mirror = function
+  | Leaf i -> { complete = false; kind = Link i }
+  | Node (a, b) -> { complete = false; kind = Swap (mirror a, mirror b) }
+
+let rec reset node =
+  node.complete <- false;
+  match node.kind with
+  | Link _ -> ()
+  | Swap (a, b) ->
+      reset a;
+      reset b
+
+let simulate_slots rng g params c tree ~runs ~max_slots =
+  if runs < 1 then invalid_arg "Swap_policy.simulate_slots: runs < 1";
+  if max_slots < 1 then invalid_arg "Swap_policy.simulate_slots: max_slots < 1";
+  let probs = check_tree g params c tree in
+  let q = params.Params.q in
+  let one_run () =
+    let root = mirror tree in
+    let rec slot_step node =
+      if not node.complete then
+        match node.kind with
+        | Link i -> if Prng.bernoulli rng probs.(i) then node.complete <- true
+        | Swap (a, b) ->
+            slot_step a;
+            slot_step b;
+            if a.complete && b.complete then begin
+              if Prng.bernoulli rng q then node.complete <- true
+              else begin
+                (* A failed BSM destroys both constituent segments. *)
+                reset a;
+                reset b
+              end
+            end
+    in
+    let rec run slot =
+      if slot > max_slots then None
+      else begin
+        slot_step root;
+        if root.complete then Some slot else run (slot + 1)
+      end
+    in
+    run 1
+  in
+  let total = ref 0. in
+  let ok = ref true in
+  for _ = 1 to runs do
+    match one_run () with
+    | Some s -> total := !total +. float_of_int s
+    | None -> ok := false
+  done;
+  if !ok then Some (!total /. float_of_int runs) else None

@@ -1,0 +1,63 @@
+(** Entanglement-swapping order policies (swapping trees).
+
+    Eq. (1) treats a channel as an all-or-nothing per-slot event.  With
+    quantum memories, a channel is instead built {e incrementally}: the
+    switches swap adjacent segments as they become available, following
+    a binary {e swapping tree} over the channel's links — and the tree's
+    shape changes the expected build time substantially (Ghaderibaneh
+    et al., IEEE TQE 2022 — the paper's reference [17]).
+
+    This module provides, for a routed {!Channel.t}:
+
+    - swapping-tree constructors ({!balanced}, {!linear});
+    - an analytic estimate of the expected slots to build the channel
+      under a tree, using the standard exponential approximation
+      [E(max(X,Y)) ≈ tx + ty − 1/(1/tx + 1/ty)] for the waiting time of
+      two independent segments and a [1/q] restart factor per swap
+      (both segments are consumed by a failed BSM);
+    - an exact Monte-Carlo simulator of the same process with infinite
+      memories, to validate the estimate.
+
+    The synchronous model corresponds to rebuilding everything every
+    slot; with memories even the worst policy beats it, and balanced
+    trees beat linear chains increasingly with channel length. *)
+
+type tree = Leaf of int | Node of tree * tree
+(** A swapping tree over link indices [0 .. l−1]; [Node (a, b)] swaps
+    the segments built by [a] and [b] (which must cover adjacent,
+    contiguous link ranges). *)
+
+val balanced : int -> tree
+(** Balanced tree over [l ≥ 1] links (minimum depth).
+    @raise Invalid_argument on [l < 1]. *)
+
+val linear : int -> tree
+(** Left-deep chain: swap link 0 with 1, the result with 2, … *)
+
+val leaves : tree -> int list
+(** Link indices in left-to-right order. *)
+
+val validate : tree -> links:int -> (unit, string) result
+(** Check the tree covers exactly [0 .. links−1] contiguously. *)
+
+val expected_slots_estimate :
+  Qnet_graph.Graph.t -> Params.t -> Channel.t -> tree -> float
+(** Analytic expected slots to establish the channel under the tree
+    (exponential approximation; exact for a single link: [1/p]).
+    @raise Invalid_argument if the tree does not match the channel's
+    link count. *)
+
+val simulate_slots :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  Channel.t ->
+  tree ->
+  runs:int ->
+  max_slots:int ->
+  float option
+(** Mean slots over [runs] Monte-Carlo executions of the
+    infinite-memory process: every slot, down elementary links attempt
+    generation; any tree node whose two children are complete attempts
+    its BSM (success promotes the parent, failure destroys both
+    children's segments).  [None] if some run exceeds [max_slots]. *)

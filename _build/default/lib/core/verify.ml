@@ -1,0 +1,59 @@
+module Graph = Qnet_graph.Graph
+
+type violation =
+  | Bad_channel of Channel.t * string
+  | Not_a_spanning_tree
+  | Capacity_exceeded of int * int * int
+  | Rate_mismatch of float * float
+
+let pp_violation fmt = function
+  | Bad_channel (c, reason) ->
+      Format.fprintf fmt "bad channel %a: %s" Channel.pp c reason
+  | Not_a_spanning_tree ->
+      Format.fprintf fmt "channels do not form a spanning tree over the users"
+  | Capacity_exceeded (s, used, avail) ->
+      Format.fprintf fmt "switch %d capacity exceeded: %d qubits used of %d" s
+        used avail
+  | Rate_mismatch (claimed, actual) ->
+      Format.fprintf fmt "rate mismatch: claimed -ln rate %g, recomputed %g"
+        claimed actual
+
+let check g params ~users (tree : Ent_tree.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Channel structure: rebuild each channel from its path; any failure
+     or disagreement is a violation. *)
+  List.iter
+    (fun (c : Channel.t) ->
+      match Channel.make g params c.path with
+      | Error reason -> add (Bad_channel (c, reason))
+      | Ok rebuilt ->
+          if not (Channel.equal c rebuilt) then
+            add (Bad_channel (c, "path normalisation mismatch"))
+          else if
+            Float.abs
+              (Qnet_util.Logprob.to_neg_log c.rate
+              -. Qnet_util.Logprob.to_neg_log rebuilt.rate)
+            > 1e-9 *. (1. +. Qnet_util.Logprob.to_neg_log rebuilt.rate)
+          then add (Bad_channel (c, "stored rate disagrees with Eq. (1)")))
+    tree.channels;
+  if not (Ent_tree.spans_users tree users) then add Not_a_spanning_tree;
+  List.iter
+    (fun (s, used) ->
+      let avail = Graph.qubits g s in
+      if used > avail then add (Capacity_exceeded (s, used, avail)))
+    (Ent_tree.qubit_usage tree);
+  let recomputed =
+    List.fold_left
+      (fun acc (c : Channel.t) ->
+        acc +. Qnet_util.Logprob.to_neg_log c.rate)
+      0. tree.channels
+  in
+  let claimed = Ent_tree.rate_neg_log tree in
+  if
+    Float.abs (claimed -. recomputed) > 1e-9 *. (1. +. Float.abs recomputed)
+    && not (claimed = infinity && recomputed = infinity)
+  then add (Rate_mismatch (claimed, recomputed));
+  List.rev !violations
+
+let is_valid g params ~users tree = check g params ~users tree = []

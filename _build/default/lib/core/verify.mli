@@ -1,0 +1,36 @@
+(** Independent validation of MUERP solutions.
+
+    The routing algorithms are heuristic and mutate residual-capacity
+    state as they go; this module re-derives every constraint from
+    scratch so tests (and paranoid callers) can check any produced
+    entanglement tree against the original problem instance. *)
+
+type violation =
+  | Bad_channel of Channel.t * string
+      (** The channel fails structural validation in the graph. *)
+  | Not_a_spanning_tree
+      (** The channel endpoints do not form a tree over the user set. *)
+  | Capacity_exceeded of int * int * int
+      (** [(switch, used, available)]: aggregate qubit demand at a
+          switch exceeds its budget. *)
+  | Rate_mismatch of float * float
+      (** [(claimed, recomputed)] negative-log rates differ beyond
+          tolerance. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  users:int list ->
+  Ent_tree.t ->
+  violation list
+(** All violations of the given solution (empty means valid).  Checks:
+    each channel is a real capacity-eligible path (users at the ends,
+    switches inside, fibers between); the channels span [users] as a
+    tree; summed per-switch qubit usage stays within each switch's
+    budget; the claimed Eq. (2) rate matches recomputation. *)
+
+val is_valid :
+  Qnet_graph.Graph.t -> Params.t -> users:int list -> Ent_tree.t -> bool
+(** [check] is empty. *)

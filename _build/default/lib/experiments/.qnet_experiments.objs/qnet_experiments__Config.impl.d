@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Qnet_core Qnet_topology

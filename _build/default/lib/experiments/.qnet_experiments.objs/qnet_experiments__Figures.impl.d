@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Config List Printf Qnet_core Qnet_graph Qnet_topology Qnet_util Runner

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Figures List Printf Qnet_util Runner

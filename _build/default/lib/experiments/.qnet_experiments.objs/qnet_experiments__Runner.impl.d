@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Config Ent_tree Hashtbl List Muerp Qnet_baselines Qnet_core Qnet_graph Qnet_topology Qnet_util Unix

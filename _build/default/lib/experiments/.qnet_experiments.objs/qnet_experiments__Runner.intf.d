@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Config Qnet_core Qnet_graph Qnet_util

@@ -1,0 +1,539 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Stats = Qnet_util.Stats
+module Table = Qnet_util.Table
+module Spec = Qnet_topology.Spec
+module Generate = Qnet_topology.Generate
+open Qnet_core
+
+(* Mean of [f network] over the configuration's replicated networks. *)
+let replicate (cfg : Config.t) f =
+  let rates =
+    Array.init cfg.replications (fun i ->
+        let seed = cfg.base_seed + i in
+        let rng = Prng.create seed in
+        let g = Generate.run cfg.kind rng cfg.spec in
+        f ~seed g)
+  in
+  Stats.mean rates
+
+let waxman_alpha ?(cfg = Config.default) ?(alphas = [ 0.05; 0.1; 0.15; 0.3 ])
+    () =
+  let t = Table.create [ "alpha_w"; "mean fiber len"; "Alg-3 rate" ] in
+  List.fold_left
+    (fun t alpha_w ->
+      let kind = Generate.Waxman { Qnet_topology.Waxman.alpha_w } in
+      let cfg = { cfg with Config.kind } in
+      let len =
+        replicate cfg (fun ~seed:_ g ->
+            Graph.fold_edges g ~init:0. ~f:(fun acc e ->
+                acc +. e.Graph.length)
+            /. float_of_int (Graph.edge_count g))
+      in
+      let rate =
+        replicate cfg (fun ~seed:_ g ->
+            match Alg_conflict_free.solve g cfg.Config.params with
+            | None -> 0.
+            | Some tree -> Ent_tree.rate_prob tree)
+      in
+      Table.add_row t
+        [ Printf.sprintf "%g" alpha_w;
+          Printf.sprintf "%.0f" len;
+          Table.float_cell rate ])
+    t alphas
+
+let eqcast_order ?(cfg = Config.default) () =
+  let t = Table.create [ "chain order"; "mean rate"; "feasible" ] in
+  List.fold_left
+    (fun t (label, order) ->
+      let feasible = ref 0 in
+      let rate =
+        replicate cfg (fun ~seed:_ g ->
+            match Qnet_baselines.Eqcast.solve ~order g cfg.Config.params with
+            | None -> 0.
+            | Some tree ->
+                incr feasible;
+                Ent_tree.rate_prob tree)
+      in
+      Table.add_row t
+        [ label;
+          Table.float_cell rate;
+          Printf.sprintf "%d/%d" !feasible cfg.Config.replications ])
+    t
+    [
+      ("by-id (paper)", Qnet_baselines.Eqcast.By_id);
+      ("nearest-neighbor", Qnet_baselines.Eqcast.Nearest_neighbor);
+    ]
+
+let nfusion_discount ?(cfg = Config.default)
+    ?(discounts = [ 1.0; 0.9; 0.75; 0.5; 0.3 ]) () =
+  let t = Table.create [ "fusion discount"; "mean rate" ] in
+  List.fold_left
+    (fun t fusion_discount ->
+      let rate =
+        replicate cfg (fun ~seed:_ g ->
+            Qnet_baselines.Nfusion.rate
+              (Qnet_baselines.Nfusion.solve
+                 ~params:{ Qnet_baselines.Nfusion.fusion_discount }
+                 g cfg.Config.params))
+      in
+      Table.add_row t
+        [ Printf.sprintf "%g" fusion_discount; Table.float_cell rate ])
+    t discounts
+
+let prim_start ?(cfg = Config.default) ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  (* For a single network, how much does the start user matter? *)
+  let t =
+    Table.create [ "network seed"; "best start"; "worst start"; "spread %" ]
+  in
+  List.fold_left
+    (fun t seed ->
+      let rng = Prng.create seed in
+      let g = Generate.run cfg.Config.kind rng cfg.Config.spec in
+      let rates =
+        List.filter_map
+          (fun start ->
+            match Alg_prim.solve ~start g cfg.Config.params with
+            | None -> None
+            | Some tree -> Some (Ent_tree.rate_prob tree))
+          (Graph.users g)
+      in
+      match rates with
+      | [] -> Table.add_row t [ string_of_int seed; "-"; "-"; "-" ]
+      | _ ->
+          let lo, hi = Stats.min_max (Array.of_list rates) in
+          let spread = if hi > 0. then 100. *. (hi -. lo) /. hi else 0. in
+          Table.add_row t
+            [ string_of_int seed;
+              Table.float_cell hi;
+              Table.float_cell lo;
+              Printf.sprintf "%.1f" spread ])
+    t seeds
+
+let alg2_boost ?(cfg = Config.default) () =
+  let t = Table.create [ "convention"; "Alg-2 mean rate" ] in
+  List.fold_left
+    (fun t (label, alg2_boost) ->
+      let cfg = { cfg with Config.alg2_boost } in
+      let rate =
+        replicate cfg (fun ~seed g ->
+            let rng = Prng.create (seed * 7919) in
+            Runner.run_method g cfg.Config.params ~rng ~alg2_boost Runner.Alg2)
+      in
+      Table.add_row t [ label; Table.float_cell rate ])
+    t
+    [ ("boosted to 2N (paper)", true); ("configured qubits", false) ]
+
+let fidelity_threshold ?(cfg = Config.default) ?(f0 = 0.98)
+    ?(thresholds = [ 0.5; 0.8; 0.9; 0.95 ]) () =
+  let t =
+    Table.create
+      [ "threshold"; "max hops"; "mean rate"; "mean min fidelity" ]
+  in
+  List.fold_left
+    (fun t threshold ->
+      let bound =
+        Fidelity.max_hops ~f0 ~threshold ~max_considered:64
+      in
+      let rates = ref [] and fids = ref [] in
+      let _ =
+        replicate cfg (fun ~seed:_ g ->
+            (match
+               Fidelity.solve_kruskal g cfg.Config.params
+                 { Fidelity.f0; threshold }
+             with
+            | None -> rates := 0. :: !rates
+            | Some tree ->
+                rates := Ent_tree.rate_prob tree :: !rates;
+                fids := Fidelity.tree_min_fidelity ~f0 tree :: !fids);
+            0.)
+      in
+      let mean l =
+        match l with [] -> 0. | _ -> Stats.mean (Array.of_list l)
+      in
+      Table.add_row t
+        [ Printf.sprintf "%g" threshold;
+          (match bound with None -> "0" | Some h -> string_of_int h);
+          Table.float_cell (mean !rates);
+          Table.float_cell (mean !fids) ])
+    t thresholds
+
+let multi_group_strategy ?(cfg = Config.default) ?(n_groups = 3)
+    ?(group_size = 3) () =
+  let spec =
+    { cfg.Config.spec with Spec.n_users = n_groups * group_size }
+  in
+  let cfg = { cfg with Config.spec = spec } in
+  let t =
+    Table.create
+      [ "strategy"; "all groups served"; "mean min rate"; "mean agg -ln rate" ]
+  in
+  List.fold_left
+    (fun t (label, strategy) ->
+      let served = ref 0 and mins = ref [] and aggs = ref [] in
+      let _ =
+        replicate cfg (fun ~seed:_ g ->
+            let users = Graph.users g in
+            let rec chunk = function
+              | [] -> []
+              | l ->
+                  let rec take n = function
+                    | [] -> ([], [])
+                    | x :: rest when n > 0 ->
+                        let a, b = take (n - 1) rest in
+                        (x :: a, b)
+                    | rest -> ([], rest)
+                  in
+                  let head, tail = take group_size l in
+                  head :: chunk tail
+            in
+            let groups = List.filter (fun g -> g <> []) (chunk users) in
+            let r = Multi_group.solve ~strategy g cfg.Config.params ~groups in
+            if r.Multi_group.all_feasible then incr served;
+            mins := r.Multi_group.min_rate :: !mins;
+            aggs := r.Multi_group.aggregate_neg_log :: !aggs;
+            0.)
+      in
+      Table.add_row t
+        [ label;
+          Printf.sprintf "%d/%d" !served cfg.Config.replications;
+          Table.float_cell (Stats.mean (Array.of_list !mins));
+          Table.float_cell (Stats.mean (Array.of_list !aggs)) ])
+    t
+    [
+      ("sequential", Multi_group.Sequential);
+      ("round-robin", Multi_group.Round_robin);
+    ]
+
+let kbest_vs_alg3 ?(cfg = Config.default) ?(ks = [ 1; 3; 5 ]) () =
+  (* Tight capacity so conflicts actually occur. *)
+  let spec = { cfg.Config.spec with Spec.qubits_per_switch = 2 } in
+  let cfg = { cfg with Config.spec = spec } in
+  let t = Table.create [ "solver"; "mean rate"; "feasible" ] in
+  let row label solve =
+    let feasible = ref 0 in
+    let rate =
+      replicate cfg (fun ~seed:_ g ->
+          match solve g with
+          | None -> 0.
+          | Some tree ->
+              incr feasible;
+              Ent_tree.rate_prob tree)
+    in
+    (label, rate, !feasible)
+  in
+  let rows =
+    row "alg3 (reroute)" (fun g -> Alg_conflict_free.solve g cfg.Config.params)
+    :: List.map
+         (fun k ->
+           row
+             (Printf.sprintf "k-best, k=%d" k)
+             (fun g -> Alg_kbest.solve ~k g cfg.Config.params))
+         ks
+  in
+  List.fold_left
+    (fun t (label, rate, feasible) ->
+      Table.add_row t
+        [ label;
+          Table.float_cell rate;
+          Printf.sprintf "%d/%d" feasible cfg.Config.replications ])
+    t rows
+
+let purification_cost ?(cfg = Config.default) ?(f0 = 0.95)
+    ?(thresholds = [ 0.9; 0.95; 0.98; 0.99 ]) () =
+  let t =
+    Table.create
+      [ "target fidelity"; "raw-rate mean"; "purified-rate mean"; "served" ]
+  in
+  List.fold_left
+    (fun t threshold ->
+      let raw = ref [] and purified = ref [] and served = ref 0 in
+      let _ =
+        replicate cfg (fun ~seed:_ g ->
+            (match Alg_conflict_free.solve g cfg.Config.params with
+            | None -> ()
+            | Some tree -> (
+                raw := Ent_tree.rate_prob tree :: !raw;
+                match
+                  Purification.effective_tree_rate ~f0 ~threshold
+                    ~max_rounds:16 tree
+                with
+                | None -> purified := 0. :: !purified
+                | Some r ->
+                    incr served;
+                    purified := r :: !purified));
+            0.)
+      in
+      let mean l =
+        match l with [] -> 0. | _ -> Stats.mean (Array.of_list l)
+      in
+      Table.add_row t
+        [ Printf.sprintf "%g" threshold;
+          Table.float_cell (mean !raw);
+          Table.float_cell (mean !purified);
+          Printf.sprintf "%d/%d" !served cfg.Config.replications ])
+    t thresholds
+
+let scheduler_load ?(cfg = Config.default) ?(gaps = [ 8.; 4.; 2.; 1. ]) () =
+  (* Tight memory (2-qubit switches) so load actually causes rejects. *)
+  let spec = { cfg.Config.spec with Spec.qubits_per_switch = 2 } in
+  let cfg = { cfg with Config.spec = spec } in
+  let t =
+    Table.create
+      [ "mean arrival gap"; "acceptance"; "mean rate|accepted"; "mean wait" ]
+  in
+  List.fold_left
+    (fun t gap ->
+      let ratios = ref [] and rates = ref [] and waits = ref [] in
+      let _ =
+        replicate cfg (fun ~seed g ->
+            let rng = Prng.create (seed + 9000) in
+            let requests =
+              Qnet_sim.Scheduler.random_requests rng g ~n:40 ~mean_gap:gap
+                ~max_group:4 ~duration_range:(3, 8)
+            in
+            let stats, _ =
+              Qnet_sim.Scheduler.run
+                ~policy:(Qnet_sim.Scheduler.Queue 5)
+                g cfg.Config.params ~requests
+            in
+            ratios := stats.Qnet_sim.Scheduler.acceptance_ratio :: !ratios;
+            rates := stats.Qnet_sim.Scheduler.mean_accepted_rate :: !rates;
+            waits := stats.Qnet_sim.Scheduler.mean_wait_slots :: !waits;
+            0.)
+      in
+      let mean l = Stats.mean (Array.of_list l) in
+      Table.add_row t
+        [ Printf.sprintf "%g" gap;
+          Printf.sprintf "%.2f" (mean !ratios);
+          Table.float_cell (mean !rates);
+          Printf.sprintf "%.2f" (mean !waits) ])
+    t gaps
+
+let redundancy_boost ?(cfg = Config.default) ?(qubit_counts = [ 4; 6; 8; 12 ])
+    () =
+  let t =
+    Table.create
+      [ "qubits/switch"; "alg3 rate"; "boosted rate"; "mean backups" ]
+  in
+  List.fold_left
+    (fun t q ->
+      let spec = { cfg.Config.spec with Spec.qubits_per_switch = q } in
+      let cfg = { cfg with Config.spec = spec } in
+      let base = ref [] and boosted = ref [] and backups = ref [] in
+      let _ =
+        replicate cfg (fun ~seed:_ g ->
+            (match Redundancy.solve g cfg.Config.params with
+            | None ->
+                base := 0. :: !base;
+                boosted := 0. :: !boosted
+            | Some r ->
+                let tree_rate =
+                  (* The primary-only rate is the product of each
+                     group's first channel. *)
+                  List.fold_left
+                    (fun acc (grp : Redundancy.edge_group) ->
+                      match grp.Redundancy.channels with
+                      | primary :: _ -> acc *. Channel.rate_prob primary
+                      | [] -> acc)
+                    1. r.Redundancy.groups
+                in
+                base := tree_rate :: !base;
+                boosted := r.Redundancy.rate :: !boosted;
+                backups := float_of_int r.Redundancy.backups_added :: !backups);
+            0.)
+      in
+      let mean l =
+        match l with [] -> 0. | _ -> Stats.mean (Array.of_list l)
+      in
+      Table.add_row t
+        [ string_of_int q;
+          Table.float_cell (mean !base);
+          Table.float_cell (mean !boosted);
+          Printf.sprintf "%.1f" (mean !backups) ])
+    t qubit_counts
+
+let decoherence_cutoff ?(cfg = Config.default) ?(cutoffs = [ 0; 1; 3; 10 ])
+    () =
+  let t =
+    Table.create [ "memory cutoff"; "channel eff. rate"; "vs synchronous" ]
+  in
+  (* One representative channel: the best channel between the first two
+     users of each replicated network, simulated under each cutoff. *)
+  List.fold_left
+    (fun t cutoff ->
+      let rates = ref [] and ratios = ref [] in
+      let _ =
+        replicate cfg (fun ~seed g ->
+            let users = Graph.users g in
+            (match users with
+            | u0 :: u1 :: _ -> (
+                let capacity = Capacity.of_graph g in
+                match
+                  Routing.best_channel g cfg.Config.params ~capacity ~src:u0
+                    ~dst:u1
+                with
+                | None -> ()
+                | Some c -> (
+                    let rng = Prng.create (seed + 5000) in
+                    match
+                      Qnet_sim.Decoherence.effective_rate rng g
+                        cfg.Config.params c ~cutoff ~runs:300
+                        ~max_slots:1_000_000
+                    with
+                    | None -> ()
+                    | Some r ->
+                        rates := r :: !rates;
+                        ratios := (r /. Channel.rate_prob c) :: !ratios))
+            | _ -> ());
+            0.)
+      in
+      let mean l =
+        match l with [] -> 0. | _ -> Stats.mean (Array.of_list l)
+      in
+      Table.add_row t
+        [ string_of_int cutoff;
+          Table.float_cell (mean !rates);
+          Printf.sprintf "%.2fx" (mean !ratios) ])
+    t cutoffs
+
+let swap_policy ?(cfg = Config.default) ?(link_counts = [ 2; 4; 6; 8 ]) () =
+  ignore cfg;
+  (* Straight channels of n 3000-unit links: expected build slots under
+     each swapping policy vs the synchronous Eq. (1) expectation. *)
+  let params = Qnet_core.Params.create ~alpha:2e-4 ~q:0.9 () in
+  let t =
+    Table.create [ "links"; "synchronous 1/rate"; "linear"; "balanced" ]
+  in
+  List.fold_left
+    (fun t n ->
+      let b = Graph.Builder.create () in
+      let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+      let switch x =
+        Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0.
+      in
+      let u0 = user 0. in
+      let relays =
+        List.init (n - 1) (fun i -> switch (3000. *. float_of_int (i + 1)))
+      in
+      let u1 = user (3000. *. float_of_int n) in
+      let path = (u0 :: relays) @ [ u1 ] in
+      let rec wire = function
+        | a :: (b' :: _ as rest) ->
+            ignore (Graph.Builder.add_edge b a b' 3000.);
+            wire rest
+        | _ -> ()
+      in
+      wire path;
+      let g = Graph.Builder.freeze b in
+      let c = Channel.make_exn g params path in
+      let est tree = Swap_policy.expected_slots_estimate g params c tree in
+      Table.add_row t
+        [ string_of_int n;
+          Printf.sprintf "%.0f" (1. /. Channel.rate_prob c);
+          Printf.sprintf "%.0f" (est (Swap_policy.linear n));
+          Printf.sprintf "%.0f" (est (Swap_policy.balanced n)) ])
+    t link_counts
+
+let fusion_baselines ?(cfg = Config.default) () =
+  (* Central-user star (the paper's N-FUSION reading) vs a Steiner
+     fusion tree (the GHZ-distribution literature's approach), with
+     Algorithm 3 as the BSM-tree reference. *)
+  let t = Table.create [ "method"; "mean rate"; "feasible" ] in
+  let row label solve =
+    let feasible = ref 0 in
+    let rate =
+      replicate cfg (fun ~seed:_ g ->
+          let r = solve g in
+          if r > 0. then incr feasible;
+          r)
+    in
+    (label, rate, !feasible)
+  in
+  let rows =
+    [
+      row "alg3 (BSM tree)" (fun g ->
+          match Alg_conflict_free.solve g cfg.Config.params with
+          | None -> 0.
+          | Some tree -> Ent_tree.rate_prob tree);
+      row "n-fusion (central-user star)" (fun g ->
+          Qnet_baselines.Nfusion.rate
+            (Qnet_baselines.Nfusion.solve g cfg.Config.params));
+      row "ghz steiner fusion tree" (fun g ->
+          Qnet_baselines.Ghz_steiner.rate
+            (Qnet_baselines.Ghz_steiner.solve g cfg.Config.params));
+    ]
+  in
+  List.fold_left
+    (fun t (label, rate, feasible) ->
+      Table.add_row t
+        [ label;
+          Table.float_cell rate;
+          Printf.sprintf "%d/%d" feasible cfg.Config.replications ])
+    t rows
+
+let local_search_gain ?(cfg = Config.default) ?qubit_counts () =
+  ignore qubit_counts;
+  (* Edge exchange applied to each construction heuristic's output: how
+     close to 1-exchange-optimal does each start? *)
+  let t =
+    Table.create
+      [ "seed tree"; "base rate"; "after local search"; "mean exchanges" ]
+  in
+  let starts =
+    [
+      ( "alg3 (conflict-free)",
+        fun g -> Alg_conflict_free.solve g cfg.Config.params );
+      ( "alg4 (prim)",
+        fun g -> Alg_prim.solve g cfg.Config.params );
+      ( "e-q-cast chain",
+        fun g -> Qnet_baselines.Eqcast.solve g cfg.Config.params );
+    ]
+  in
+  List.fold_left
+    (fun t (label, construct) ->
+      let base = ref [] and improved = ref [] and moves = ref [] in
+      let _ =
+        replicate cfg (fun ~seed:_ g ->
+            (match construct g with
+            | None ->
+                base := 0. :: !base;
+                improved := 0. :: !improved
+            | Some tree ->
+                let better, stats =
+                  Local_search.improve g cfg.Config.params tree
+                in
+                base := Ent_tree.rate_prob tree :: !base;
+                improved := Ent_tree.rate_prob better :: !improved;
+                moves :=
+                  float_of_int stats.Local_search.exchanges :: !moves);
+            0.)
+      in
+      let mean l =
+        match l with [] -> 0. | _ -> Stats.mean (Array.of_list l)
+      in
+      Table.add_row t
+        [ label;
+          Table.float_cell (mean !base);
+          Table.float_cell (mean !improved);
+          Printf.sprintf "%.1f" (mean !moves) ])
+    t starts
+
+let all ?(cfg = Config.default) () =
+  [
+    ("Waxman distance-decay constant", waxman_alpha ~cfg ());
+    ("E-Q-CAST chaining order", eqcast_order ~cfg ());
+    ("N-FUSION fusion-success discount", nfusion_discount ~cfg ());
+    ("k-best conflict resolution vs Algorithm 3", kbest_vs_alg3 ~cfg ());
+    ("Purification rate/fidelity trade-off", purification_cost ~cfg ());
+    ("Online scheduler under load", scheduler_load ~cfg ());
+    ("Redundant backup channels", redundancy_boost ~cfg ());
+    ("Memory-cutoff decoherence", decoherence_cutoff ~cfg ());
+    ("Swapping-tree policies", swap_policy ~cfg ());
+    ("Fusion baselines: star vs Steiner tree", fusion_baselines ~cfg ());
+    ("Local-search post-optimisation", local_search_gain ~cfg ());
+    ("Algorithm 4 start-user sensitivity", prim_start ~cfg ());
+    ("Algorithm 2 qubit-boost convention", alg2_boost ~cfg ());
+    ("Fidelity-aware routing threshold", fidelity_threshold ~cfg ());
+    ("Multi-group allocation strategy", multi_group_strategy ~cfg ());
+  ]

@@ -1,0 +1,79 @@
+(** Ablation studies over the design choices DESIGN.md calls out.
+
+    Each function returns a rendered-ready {!Qnet_util.Table.t} whose
+    rows isolate one modelling/algorithmic knob:
+
+    - the Waxman distance-decay constant (topology realism);
+    - E-Q-CAST's chaining order (our extension choice for the baseline);
+    - N-FUSION's fusion-success discount (the substitution constant in
+      the baseline model);
+    - Algorithm 4's start-user sensitivity (the paper picks it
+      randomly);
+    - the Fig. 8(a) [2·|U|]-qubit boost convention for Algorithm 2;
+    - fidelity-threshold sweep for the fidelity-aware extension;
+    - sequential vs round-robin allocation for multi-group routing. *)
+
+val waxman_alpha : ?cfg:Config.t -> ?alphas:float list -> unit -> Qnet_util.Table.t
+val eqcast_order : ?cfg:Config.t -> unit -> Qnet_util.Table.t
+
+val nfusion_discount :
+  ?cfg:Config.t -> ?discounts:float list -> unit -> Qnet_util.Table.t
+
+val prim_start : ?cfg:Config.t -> ?seeds:int list -> unit -> Qnet_util.Table.t
+val alg2_boost : ?cfg:Config.t -> unit -> Qnet_util.Table.t
+
+val fidelity_threshold :
+  ?cfg:Config.t ->
+  ?f0:float ->
+  ?thresholds:float list ->
+  unit ->
+  Qnet_util.Table.t
+
+val multi_group_strategy :
+  ?cfg:Config.t -> ?n_groups:int -> ?group_size:int -> unit -> Qnet_util.Table.t
+
+val kbest_vs_alg3 :
+  ?cfg:Config.t -> ?ks:int list -> unit -> Qnet_util.Table.t
+(** k-candidate conflict resolution ({!Qnet_core.Alg_kbest}) against
+    Algorithm 3's reroute strategy, on a capacity-tight variant of the
+    configuration (2-qubit switches). *)
+
+val purification_cost :
+  ?cfg:Config.t -> ?f0:float -> ?thresholds:float list -> unit ->
+  Qnet_util.Table.t
+(** Effective tree rate after BBPSSW purification to each target
+    fidelity, against the raw Eq. (2) rate. *)
+
+val scheduler_load :
+  ?cfg:Config.t -> ?gaps:float list -> unit -> Qnet_util.Table.t
+(** Online admission control under increasing request load (smaller
+    inter-arrival gaps). *)
+
+val redundancy_boost :
+  ?cfg:Config.t -> ?qubit_counts:int list -> unit -> Qnet_util.Table.t
+(** How much leftover switch memory buys as backup channels
+    ({!Qnet_core.Redundancy}), across switch qubit budgets. *)
+
+val decoherence_cutoff :
+  ?cfg:Config.t -> ?cutoffs:int list -> unit -> Qnet_util.Table.t
+(** Effective single-channel rate under asynchronous link generation
+    with memory cutoffs ({!Qnet_sim.Decoherence}), relative to the
+    synchronous Eq. (1) value. *)
+
+val swap_policy :
+  ?cfg:Config.t -> ?link_counts:int list -> unit -> Qnet_util.Table.t
+(** Expected channel-build slots under linear vs balanced swapping
+    trees ({!Qnet_core.Swap_policy}) against the synchronous 1/rate
+    expectation, by channel length. *)
+
+val fusion_baselines : ?cfg:Config.t -> unit -> Qnet_util.Table.t
+(** Central-user star ({!Qnet_baselines.Nfusion}) vs Steiner fusion
+    tree ({!Qnet_baselines.Ghz_steiner}) vs Algorithm 3. *)
+
+val local_search_gain :
+  ?cfg:Config.t -> ?qubit_counts:int list -> unit -> Qnet_util.Table.t
+(** Rate gained by {!Qnet_core.Local_search} edge exchange on top of
+    Algorithm 3, across switch memory budgets. *)
+
+val all : ?cfg:Config.t -> unit -> (string * Qnet_util.Table.t) list
+(** Every ablation with a descriptive title, in a stable order. *)

@@ -1,0 +1,24 @@
+type t = {
+  spec : Qnet_topology.Spec.t;
+  kind : Qnet_topology.Generate.kind;
+  params : Qnet_core.Params.t;
+  replications : int;
+  base_seed : int;
+  alg2_boost : bool;
+}
+
+let default =
+  {
+    spec = Qnet_topology.Spec.default;
+    kind = Qnet_topology.Generate.waxman;
+    params = Qnet_core.Params.default;
+    replications = 20;
+    base_seed = 1;
+    alg2_boost = true;
+  }
+
+let create ?(spec = default.spec) ?(kind = default.kind)
+    ?(params = default.params) ?(replications = default.replications)
+    ?(base_seed = default.base_seed) ?(alg2_boost = default.alg2_boost) () =
+  if replications <= 0 then invalid_arg "Config.create: replications <= 0";
+  { spec; kind; params; replications; base_seed; alg2_boost }

@@ -1,0 +1,35 @@
+(** Experiment configuration — the paper's §V-A defaults plus sweep
+    knobs. *)
+
+type t = {
+  spec : Qnet_topology.Spec.t;  (** Network shape and qubit budgets. *)
+  kind : Qnet_topology.Generate.kind;  (** Topology generator. *)
+  params : Qnet_core.Params.t;  (** Physical model constants. *)
+  replications : int;  (** Number of random networks averaged (paper:
+                           20). *)
+  base_seed : int;  (** Replication [i] uses seed [base_seed + i]. *)
+  alg2_boost : bool;
+      (** Fig. 8(a) footnote: when sweeping switch qubits, Algorithm 2
+          is "not constrained by this" — its networks keep
+          [Q = 2·|U|] qubits per switch.  When [true] (the default,
+          matching the paper's evaluation), Algorithm 2 runs on a copy
+          of each network with switch budgets raised to [2·|U|];
+          the other algorithms and baselines see the configured
+          budget. *)
+}
+
+val default : t
+(** §V-A defaults: Waxman, 50 switches, 10 users, degree 6, 4 qubits,
+    [q = 0.9], [alpha = 1e-4], 20 replications, base seed 1. *)
+
+val create :
+  ?spec:Qnet_topology.Spec.t ->
+  ?kind:Qnet_topology.Generate.kind ->
+  ?params:Qnet_core.Params.t ->
+  ?replications:int ->
+  ?base_seed:int ->
+  ?alg2_boost:bool ->
+  unit ->
+  t
+(** {!default} with overrides.  @raise Invalid_argument on
+    [replications <= 0]. *)

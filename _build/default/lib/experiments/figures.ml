@@ -1,0 +1,179 @@
+module Prng = Qnet_util.Prng
+module Spec = Qnet_topology.Spec
+module Generate = Qnet_topology.Generate
+
+type series = {
+  id : string;
+  title : string;
+  x_header : string;
+  x_values : string list;
+  rows : (Runner.method_ * float list) list;
+}
+
+(* Run one configuration per x value and transpose into per-method
+   rows. *)
+let sweep ~id ~title ~x_header points =
+  let columns =
+    List.map
+      (fun (label, cfg) -> (label, Runner.mean_rates (Runner.run_config cfg)))
+      points
+  in
+  let rows =
+    List.map
+      (fun m ->
+        ( m,
+          List.map (fun (_, rates) -> List.assoc m rates) columns ))
+      Runner.all_methods
+  in
+  { id; title; x_header; x_values = List.map fst columns; rows }
+
+let fig5 ?(cfg = Config.default) () =
+  sweep ~id:"fig5" ~title:"Entanglement rate vs. network topology"
+    ~x_header:"topology"
+    (List.map
+       (fun (name, kind) -> (name, { cfg with kind }))
+       Generate.all_paper_kinds)
+
+let fig6a ?(cfg = Config.default) ?(user_counts = [ 4; 6; 8; 10; 12; 14 ]) ()
+    =
+  sweep ~id:"fig6a" ~title:"Entanglement rate vs. number of users"
+    ~x_header:"users"
+    (List.map
+       (fun n ->
+         ( string_of_int n,
+           { cfg with spec = { cfg.spec with Spec.n_users = n } } ))
+       user_counts)
+
+let fig6b ?(cfg = Config.default) ?(switch_counts = [ 10; 20; 30; 40; 50 ])
+    () =
+  sweep ~id:"fig6b" ~title:"Entanglement rate vs. number of switches"
+    ~x_header:"switches"
+    (List.map
+       (fun n ->
+         ( string_of_int n,
+           { cfg with spec = { cfg.spec with Spec.n_switches = n } } ))
+       switch_counts)
+
+let fig7a ?(cfg = Config.default) ?(degrees = [ 4.; 6.; 8.; 10. ]) () =
+  sweep ~id:"fig7a" ~title:"Entanglement rate vs. average degree"
+    ~x_header:"avg degree"
+    (List.map
+       (fun d ->
+         ( Printf.sprintf "%g" d,
+           { cfg with spec = { cfg.spec with Spec.avg_degree = d } } ))
+       degrees)
+
+(* Fig. 7b is not a family of independent configs: within one
+   replication the same network loses 30 more fibers at each step, so
+   we drive the sweep manually instead of through Runner.run_config. *)
+let fig7b ?(cfg = Config.default) ?(edges_per_step = 30) ?(steps = 19) () =
+  let spec = { cfg.spec with Spec.avg_degree = 20. } in
+  let n_steps = steps in
+  let sums =
+    List.map (fun m -> (m, Array.make n_steps 0.)) Runner.all_methods
+  in
+  let total_edges = Spec.target_edges spec in
+  for i = 0 to cfg.replications - 1 do
+    let seed = cfg.base_seed + i in
+    let rng = Prng.create seed in
+    let g0 = Generate.run cfg.kind rng spec in
+    let g = ref g0 in
+    for step = 0 to n_steps - 1 do
+      List.iter
+        (fun m ->
+          let rng_alg = Prng.create ((seed * 7919) + step) in
+          let rate =
+            Runner.run_method !g cfg.params ~rng:rng_alg
+              ~alg2_boost:cfg.alg2_boost m
+          in
+          let acc = List.assoc m sums in
+          acc.(step) <- acc.(step) +. rate)
+        Runner.all_methods;
+      (* Remove the next batch of random fibers for the following step. *)
+      let remaining = Qnet_graph.Graph.edge_count !g in
+      let batch = min edges_per_step remaining in
+      if batch > 0 then begin
+        let doomed = Prng.sample_without_replacement rng batch remaining in
+        g := Qnet_graph.Graph.remove_edges !g doomed
+      end
+    done
+  done;
+  let n = float_of_int cfg.replications in
+  {
+    id = "fig7b";
+    title = "Entanglement rate vs. removed-edge ratio";
+    x_header = "removed ratio";
+    x_values =
+      List.init n_steps (fun step ->
+          Printf.sprintf "%.2f"
+            (float_of_int (step * edges_per_step)
+            /. float_of_int total_edges));
+    rows =
+      List.map
+        (fun (m, acc) ->
+          (m, Array.to_list (Array.map (fun s -> s /. n) acc)))
+        sums;
+  }
+
+let fig8a ?(cfg = Config.default) ?(qubit_counts = [ 2; 4; 6; 8 ]) () =
+  sweep ~id:"fig8a" ~title:"Entanglement rate vs. qubits per switch"
+    ~x_header:"qubits"
+    (List.map
+       (fun q ->
+         ( string_of_int q,
+           { cfg with spec = { cfg.spec with Spec.qubits_per_switch = q } } ))
+       qubit_counts)
+
+let fig8b ?(cfg = Config.default) ?(swap_rates = [ 0.7; 0.8; 0.9; 1.0 ]) () =
+  sweep ~id:"fig8b" ~title:"Entanglement rate vs. swap success rate"
+    ~x_header:"q"
+    (List.map
+       (fun q ->
+         ( Printf.sprintf "%g" q,
+           { cfg with params = Qnet_core.Params.create ~q () } ))
+       swap_rates)
+
+let all ?(cfg = Config.default) () =
+  [
+    fig5 ~cfg ();
+    fig6a ~cfg ();
+    fig6b ~cfg ();
+    fig7a ~cfg ();
+    fig7b ~cfg ();
+    fig8a ~cfg ();
+    fig8b ~cfg ();
+  ]
+
+type headline = {
+  algorithm : Runner.method_;
+  baseline : Runner.method_;
+  best_improvement_pct : float;
+  at : string;
+}
+
+let headlines series_list =
+  let algorithms = Runner.[ Alg2; Alg3; Alg4 ] in
+  let baselines = Runner.[ N_fusion; E_q_cast ] in
+  List.concat_map
+    (fun algorithm ->
+      List.map
+        (fun baseline ->
+          let best = ref (neg_infinity, "-") in
+          List.iter
+            (fun s ->
+              let alg_row = List.assoc algorithm s.rows in
+              let base_row = List.assoc baseline s.rows in
+              List.iteri
+                (fun i x ->
+                  let a = List.nth alg_row i and b = List.nth base_row i in
+                  if b > 0. then begin
+                    let pct = 100. *. (a -. b) /. b in
+                    if pct > fst !best then
+                      best := (pct, Printf.sprintf "%s @ %s" s.id x)
+                  end)
+                s.x_values)
+            series_list;
+          let pct, at = !best in
+          { algorithm; baseline; best_improvement_pct = pct; at })
+        baselines)
+    algorithms

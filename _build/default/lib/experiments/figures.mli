@@ -1,0 +1,64 @@
+(** Per-figure experiment drivers — one function per paper artifact.
+
+    Each returns a {!series}: the x-axis sweep and one mean-rate row per
+    method, averaged over the configured replications.  Rendering to
+    text tables lives in {!Report}.
+
+    Note on figure numbering: the paper's Fig. 6 sub-captions are
+    swapped relative to its body text; we follow the body text (§V-B):
+    Fig. 6(a) sweeps the number of {e users}, Fig. 6(b) the number of
+    {e switches}. *)
+
+type series = {
+  id : string;  (** Experiment id, e.g. ["fig5"]. *)
+  title : string;
+  x_header : string;  (** x-axis label. *)
+  x_values : string list;  (** Swept values, in order. *)
+  rows : (Runner.method_ * float list) list;
+      (** Mean entanglement rate per method, one value per x. *)
+}
+
+val fig5 : ?cfg:Config.t -> unit -> series
+(** Entanglement rate vs. network topology (Waxman / Watts–Strogatz /
+    Volchenkov). *)
+
+val fig6a : ?cfg:Config.t -> ?user_counts:int list -> unit -> series
+(** Rate vs. number of users (default sweep 4–14). *)
+
+val fig6b : ?cfg:Config.t -> ?switch_counts:int list -> unit -> series
+(** Rate vs. number of switches (default sweep 10–50). *)
+
+val fig7a : ?cfg:Config.t -> ?degrees:float list -> unit -> series
+(** Rate vs. average vertex degree (default sweep 4–10). *)
+
+val fig7b :
+  ?cfg:Config.t -> ?edges_per_step:int -> ?steps:int -> unit -> series
+(** Rate vs. removed-edge ratio: builds the paper's dense network
+    (600 fibers via average degree 20), then removes [edges_per_step]
+    uniformly random fibers per step (default 30, i.e. ratio step 0.05),
+    re-running every method on each partial network.  Removals are
+    cumulative within a replication and differ across replications. *)
+
+val fig8a : ?cfg:Config.t -> ?qubit_counts:int list -> unit -> series
+(** Rate vs. qubits per switch (default sweep 2–8); Algorithm 2's
+    networks keep [2·|U|] qubits per switch throughout, per the paper. *)
+
+val fig8b : ?cfg:Config.t -> ?swap_rates:float list -> unit -> series
+(** Rate vs. BSM swap success rate [q] (default sweep 0.7–1.0). *)
+
+val all : ?cfg:Config.t -> unit -> series list
+(** Every figure in order, with shared configuration. *)
+
+type headline = {
+  algorithm : Runner.method_;
+  baseline : Runner.method_;
+  best_improvement_pct : float;
+      (** Max over all series points of
+          [100 · (alg − baseline) / baseline], considering only points
+          where the baseline is non-zero. *)
+  at : string;  (** "series-id @ x" locating the maximising point. *)
+}
+
+val headlines : series list -> headline list
+(** The §V-B headline comparisons: each of Alg-2/3/4 against each of
+    N-FUSION and E-Q-CAST. *)

@@ -1,0 +1,46 @@
+module Table = Qnet_util.Table
+
+let series_table (s : Figures.series) =
+  let t = Table.create (s.x_header :: s.x_values) in
+  List.fold_left
+    (fun t (m, rates) -> Table.add_float_row t (Runner.method_name m) rates)
+    t s.rows
+
+let series_to_string s =
+  Printf.sprintf "%s [%s]\n%s" s.Figures.title s.Figures.id
+    (Table.to_string (series_table s))
+
+let series_to_csv s = Table.to_csv (series_table s)
+
+let headlines_table headlines =
+  let t = Table.create [ "algorithm"; "baseline"; "best improvement"; "at" ] in
+  List.fold_left
+    (fun t (h : Figures.headline) ->
+      Table.add_row t
+        [
+          Runner.method_name h.algorithm;
+          Runner.method_name h.baseline;
+          (if h.best_improvement_pct = neg_infinity then "n/a"
+           else Printf.sprintf "%.0f%%" h.best_improvement_pct);
+          h.at;
+        ])
+    t headlines
+
+let aggregate_table aggregates =
+  let t =
+    Table.create
+      [ "method"; "mean rate"; "feasible"; "mean rate|feasible"; "time (ms)" ]
+  in
+  List.fold_left
+    (fun t (a : Runner.aggregate) ->
+      Table.add_row t
+        [
+          Runner.method_name a.method_;
+          Table.float_cell a.mean_rate;
+          Printf.sprintf "%d/%d" a.feasible a.replications;
+          (match a.mean_feasible_rate with
+          | None -> "-"
+          | Some r -> Table.float_cell r);
+          Printf.sprintf "%.2f" (a.mean_elapsed_s *. 1000.);
+        ])
+    t aggregates

@@ -1,0 +1,17 @@
+(** Rendering experiment results as text tables. *)
+
+val series_table : Figures.series -> Qnet_util.Table.t
+(** One row per method, one column per swept x value. *)
+
+val series_to_string : Figures.series -> string
+(** Title line plus the rendered table. *)
+
+val series_to_csv : Figures.series -> string
+(** CSV form of the same table. *)
+
+val headlines_table : Figures.headline list -> Qnet_util.Table.t
+(** Improvement-percentage summary (§V-B headline numbers). *)
+
+val aggregate_table : Runner.aggregate list -> Qnet_util.Table.t
+(** Detail view of one configuration: mean rate, feasibility count and
+    solver time per method. *)

@@ -1,0 +1,90 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+type method_ = Alg2 | Alg3 | Alg4 | E_q_cast | N_fusion
+
+let all_methods = [ Alg2; Alg3; Alg4; N_fusion; E_q_cast ]
+
+let method_name = function
+  | Alg2 -> "Alg-2"
+  | Alg3 -> "Alg-3"
+  | Alg4 -> "Alg-4"
+  | E_q_cast -> "E-Q-CAST"
+  | N_fusion -> "N-Fusion"
+
+type aggregate = {
+  method_ : method_;
+  mean_rate : float;
+  mean_feasible_rate : float option;
+  feasible : int;
+  replications : int;
+  mean_elapsed_s : float;
+}
+
+let boost_graph g =
+  let bound = 2 * Graph.user_count g in
+  Graph.with_qubits g (fun v ->
+      match v.Graph.kind with
+      | Graph.User -> v.Graph.qubits
+      | Graph.Switch -> max v.Graph.qubits bound)
+
+let run_method g params ~rng ~alg2_boost method_ =
+  match method_ with
+  | Alg2 ->
+      let g = if alg2_boost then boost_graph g else g in
+      let inst = Muerp.instance ~params g in
+      (Muerp.solve Optimal inst).rate
+  | Alg3 ->
+      let inst = Muerp.instance ~params g in
+      (Muerp.solve Conflict_free inst).rate
+  | Alg4 ->
+      let inst = Muerp.instance ~params g in
+      (Muerp.solve ~rng Prim_based inst).rate
+  | E_q_cast -> begin
+      match Qnet_baselines.Eqcast.solve g params with
+      | None -> 0.
+      | Some tree -> Ent_tree.rate_prob tree
+    end
+  | N_fusion -> Qnet_baselines.Nfusion.rate (Qnet_baselines.Nfusion.solve g params)
+
+let run_config (cfg : Config.t) =
+  let per_method = Hashtbl.create 8 in
+  List.iter
+    (fun m -> Hashtbl.replace per_method m ([], []))
+    all_methods;
+  for i = 0 to cfg.replications - 1 do
+    let seed = cfg.base_seed + i in
+    let rng = Prng.create seed in
+    let g = Qnet_topology.Generate.run cfg.kind rng cfg.spec in
+    List.iter
+      (fun m ->
+        let rng_alg = Prng.create (seed * 7919) in
+        let t0 = Unix.gettimeofday () in
+        let rate =
+          run_method g cfg.params ~rng:rng_alg ~alg2_boost:cfg.alg2_boost m
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let rates, times = Hashtbl.find per_method m in
+        Hashtbl.replace per_method m (rate :: rates, dt :: times))
+      all_methods
+  done;
+  List.map
+    (fun m ->
+      let rates, times = Hashtbl.find per_method m in
+      let rates = Array.of_list rates in
+      let feasible_rates = Array.of_list (List.filter (fun r -> r > 0.) (Array.to_list rates)) in
+      {
+        method_ = m;
+        mean_rate = Qnet_util.Stats.mean rates;
+        mean_feasible_rate =
+          (if Array.length feasible_rates = 0 then None
+           else Some (Qnet_util.Stats.mean feasible_rates));
+        feasible = Array.length feasible_rates;
+        replications = cfg.replications;
+        mean_elapsed_s = Qnet_util.Stats.mean (Array.of_list times);
+      })
+    all_methods
+
+let mean_rates aggregates =
+  List.map (fun a -> (a.method_, a.mean_rate)) aggregates

@@ -1,0 +1,47 @@
+(** Execution engine: run every method on replicated random networks.
+
+    The paper evaluates five methods — Algorithms 2/3/4 and the
+    baselines E-Q-CAST and N-FUSION — on 20 random networks per
+    configuration and averages the entanglement rate, counting failed
+    entanglement as rate 0. *)
+
+type method_ = Alg2 | Alg3 | Alg4 | E_q_cast | N_fusion
+
+val all_methods : method_ list
+(** In the paper's plotting order: Alg-2, Alg-3, Alg-4, N-FUSION,
+    E-Q-CAST. *)
+
+val method_name : method_ -> string
+(** Display names used in the paper's legends ("Alg-2", …,
+    "N-Fusion", "E-Q-CAST"). *)
+
+type aggregate = {
+  method_ : method_;
+  mean_rate : float;  (** Arithmetic mean over replications, zeros
+                          included — the paper's plotted metric. *)
+  mean_feasible_rate : float option;
+      (** Mean over feasible replications only; [None] if all failed. *)
+  feasible : int;  (** Replications that produced a tree. *)
+  replications : int;
+  mean_elapsed_s : float;  (** Mean solver wall-clock. *)
+}
+
+val run_method :
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  rng:Qnet_util.Prng.t ->
+  alg2_boost:bool ->
+  method_ ->
+  float
+(** Entanglement rate of one method on one network ([0.] when
+    infeasible).  [rng] drives Algorithm 4's random start.  With
+    [alg2_boost], Alg-2 runs on a copy of the network whose switches
+    hold [2·|U|] qubits (see {!Config.t.alg2_boost}). *)
+
+val run_config : Config.t -> aggregate list
+(** All methods across the configured replications; replication [i]
+    generates its network from seed [base_seed + i].  The same network
+    is shared by all methods within a replication. *)
+
+val mean_rates : aggregate list -> (method_ * float) list
+(** Convenience projection of {!run_config} output. *)

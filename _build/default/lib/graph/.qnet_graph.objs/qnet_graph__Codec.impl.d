@@ -1,0 +1,1 @@
+lib/graph/codec.ml: Fun Graph List Printf Qnet_util Result

@@ -1,0 +1,1 @@
+lib/graph/codec.mli: Graph Qnet_util

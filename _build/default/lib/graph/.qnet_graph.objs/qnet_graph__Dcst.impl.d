@@ -1,0 +1,1 @@
+lib/graph/dcst.ml: Array Float Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graph/dcst.mli: Graph

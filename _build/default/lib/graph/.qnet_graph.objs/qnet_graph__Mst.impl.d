@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Binary_heap Float Graph List Union_find

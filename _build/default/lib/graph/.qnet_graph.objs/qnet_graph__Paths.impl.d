@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Binary_heap Graph List Queue Union_find

@@ -1,0 +1,1 @@
+lib/graph/steiner.ml: Array Float Graph Hashtbl Int List Paths Set Union_find

@@ -1,0 +1,1 @@
+lib/graph/svg.ml: Array Buffer Float Fun Graph List Printf

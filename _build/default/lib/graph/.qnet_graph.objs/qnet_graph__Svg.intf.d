@@ -1,0 +1,1 @@
+lib/graph/svg.mli: Graph

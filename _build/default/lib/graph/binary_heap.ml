@@ -1,0 +1,61 @@
+type 'a entry = { key : float; value : 'a }
+type 'a t = { mutable data : 'a entry array; mutable len : int; capacity : int }
+
+let create ?(capacity = 16) () = { data = [||]; len = 0; capacity = max capacity 1 }
+let length h = h.len
+let is_empty h = h.len = 0
+
+(* The backing array is allocated lazily on first push so no dummy
+   element of type ['a] is ever needed. *)
+let ensure_room h seed =
+  if Array.length h.data = 0 then h.data <- Array.make h.capacity seed
+  else if h.len = Array.length h.data then begin
+    let data = Array.make (2 * h.len) h.data.(0) in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).key < h.data.(parent).key then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.data.(l).key < h.data.(!smallest).key then smallest := l;
+  if r < h.len && h.data.(r).key < h.data.(!smallest).key then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h key value =
+  let entry = { key; value } in
+  ensure_room h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_min h = if h.len = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+let clear h = h.len <- 0

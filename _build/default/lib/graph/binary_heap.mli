@@ -1,0 +1,31 @@
+(** Array-backed binary min-heap keyed by floats.
+
+    Backs the Dijkstra variant in {!Qnet_graph.Paths} and the channel
+    selection queues in the routing algorithms.  Duplicate insertions of
+    an element with improved priority are handled by the caller via lazy
+    deletion (checking a [visited]/[dist] array on pop), which is simpler
+    and in practice as fast as decrease-key for sparse graphs. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap.  [capacity] pre-sizes the backing array. *)
+
+val length : 'a t -> int
+(** Number of stored entries (including stale duplicates the caller has
+    not yet popped). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** [pop_min h] removes and returns the minimum-key entry, or [None] if
+    empty.  Ties are broken arbitrarily. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** Minimum-key entry without removal. *)
+
+val clear : 'a t -> unit
+(** Remove all entries, retaining the backing storage. *)

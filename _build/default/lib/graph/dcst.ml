@@ -1,0 +1,78 @@
+let max_tree_degree edges =
+  let tbl = Hashtbl.create 16 in
+  let bump v =
+    Hashtbl.replace tbl v (1 + (try Hashtbl.find tbl v with Not_found -> 0))
+  in
+  List.iter
+    (fun (e : Graph.edge) ->
+      bump e.a;
+      bump e.b)
+    edges;
+  Hashtbl.fold (fun _ d acc -> max d acc) tbl 0
+
+(* Exhaustive search over subsets of edges forming a spanning tree with
+   bounded degree.  Components are tracked by an int array copied per
+   accepted edge, which keeps backtracking trivial; instances are small
+   by contract. *)
+let search g ~max_degree ~weight ~minimize =
+  let n = Graph.vertex_count g in
+  if n = 0 then None
+  else if max_degree < 1 && n > 1 then None
+  else begin
+    let edges =
+      Graph.fold_edges g ~init:[] ~f:(fun acc e -> e :: acc)
+      |> List.sort (fun e1 e2 -> Float.compare (weight e1) (weight e2))
+      |> Array.of_list
+    in
+    let m = Array.length edges in
+    let best : (Graph.edge list * float) option ref = ref None in
+    let rec go idx comp degree chosen count w =
+      let improves =
+        match !best with
+        | None -> true
+        | Some (_, bw) -> minimize && w < bw
+      in
+      if improves then
+        if count = n - 1 then best := Some (List.rev chosen, w)
+        else if idx < m && m - idx >= n - 1 - count then begin
+          let e = edges.(idx) in
+          (* Branch 1: take the edge if it joins two components and
+             respects the degree bound. *)
+          if
+            comp.(e.Graph.a) <> comp.(e.Graph.b)
+            && degree.(e.Graph.a) < max_degree
+            && degree.(e.Graph.b) < max_degree
+          then begin
+            let comp' = Array.copy comp in
+            let from = comp'.(e.Graph.b) and into = comp'.(e.Graph.a) in
+            Array.iteri (fun i c -> if c = from then comp'.(i) <- into) comp';
+            degree.(e.Graph.a) <- degree.(e.Graph.a) + 1;
+            degree.(e.Graph.b) <- degree.(e.Graph.b) + 1;
+            go (idx + 1) comp' degree (e :: chosen) (count + 1)
+              (w +. weight e);
+            degree.(e.Graph.a) <- degree.(e.Graph.a) - 1;
+            degree.(e.Graph.b) <- degree.(e.Graph.b) - 1
+          end;
+          (* Branch 2: skip the edge — unless we only want existence and
+             already found a witness. *)
+          let keep_searching = minimize || !best = None in
+          if keep_searching then go (idx + 1) comp degree chosen count w
+        end
+    in
+    go 0 (Array.init n (fun i -> i)) (Array.make n 0) [] 0 0.;
+    !best
+  end
+
+let find_spanning_tree_with_max_degree g ~max_degree =
+  if Graph.vertex_count g <= 1 then Some []
+  else
+    match search g ~max_degree ~weight:(fun _ -> 1.) ~minimize:false with
+    | None -> None
+    | Some (tree, _) -> Some tree
+
+let exists_spanning_tree_with_max_degree g ~max_degree =
+  Option.is_some (find_spanning_tree_with_max_degree g ~max_degree)
+
+let min_spanning_tree_with_max_degree g ~max_degree ~weight =
+  if Graph.vertex_count g <= 1 then Some ([], 0.)
+  else search g ~max_degree ~weight ~minimize:true

@@ -1,0 +1,30 @@
+(** Degree-constrained spanning trees — the NP-hardness anchors of §III-B.
+
+    Theorem 1 of the paper reduces the Degree-Constrained Spanning Tree
+    Problem (DCSTP) to MUERP feasibility; Theorem 2 reduces the
+    Degree-Constrained Minimum Spanning Tree (DCMST) to MUERP
+    optimisation.  This module provides exact (exponential,
+    small-instance) solvers for both so that tests can instantiate the
+    reductions and check them end-to-end against the MUERP solvers. *)
+
+val exists_spanning_tree_with_max_degree :
+  Graph.t -> max_degree:int -> bool
+(** Exact DCSTP decision by backtracking over spanning-tree edge
+    choices.  Exponential in the worst case — intended for the small
+    instances used in tests (≤ ~12 vertices, modest edge counts). *)
+
+val find_spanning_tree_with_max_degree :
+  Graph.t -> max_degree:int -> Graph.edge list option
+(** Like the decision form, but returns a witness tree. *)
+
+val min_spanning_tree_with_max_degree :
+  Graph.t ->
+  max_degree:int ->
+  weight:(Graph.edge -> float) ->
+  (Graph.edge list * float) option
+(** Exact DCMST by exhaustive branch-and-bound over edge subsets.
+    Returns a minimum-weight degree-bounded spanning tree and its
+    weight, or [None] if no degree-bounded spanning tree exists. *)
+
+val max_tree_degree : Graph.edge list -> int
+(** Largest vertex degree within an edge set ([0] for the empty set). *)

@@ -1,0 +1,34 @@
+let palette =
+  [| "#d62728"; "#1f77b4"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let to_dot ?(highlight_paths = []) ?(graph_name = "qnet") g =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "graph %s {\n" graph_name;
+  pr "  layout=neato;\n  overlap=false;\n";
+  Graph.iter_vertices g (fun v ->
+      let shape, label =
+        match v.Graph.kind with
+        | Graph.User -> ("circle", Printf.sprintf "u%d" v.Graph.id)
+        | Graph.Switch ->
+            ("box", Printf.sprintf "s%d\\nQ=%d" v.Graph.id v.Graph.qubits)
+      in
+      pr "  n%d [shape=%s, label=\"%s\", pos=\"%f,%f!\"];\n" v.Graph.id shape
+        label (v.Graph.x /. 1000.) (v.Graph.y /. 1000.));
+  Graph.iter_edges g (fun e ->
+      pr "  n%d -- n%d [color=gray, label=\"%.0f\"];\n" e.Graph.a e.Graph.b
+        e.Graph.length);
+  List.iteri
+    (fun i path ->
+      let color = palette.(i mod Array.length palette) in
+      let rec overlay = function
+        | u :: (v :: _ as rest) ->
+            if Graph.has_edge g u v then
+              pr "  n%d -- n%d [color=\"%s\", penwidth=3];\n" u v color;
+            overlay rest
+        | [] | [ _ ] -> ()
+      in
+      overlay path)
+    highlight_paths;
+  pr "}\n";
+  Buffer.contents buf

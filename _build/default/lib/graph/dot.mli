@@ -1,0 +1,18 @@
+(** Graphviz DOT export of quantum networks and routed solutions.
+
+    Gives every example and CLI command a way to dump the topology (and
+    optionally a set of highlighted channel paths) for offline
+    visualisation with [dot -Tsvg].  Users render as circles, switches
+    as boxes labelled with their qubit budget; highlighted paths get
+    per-path colors. *)
+
+val to_dot :
+  ?highlight_paths:int list list ->
+  ?graph_name:string ->
+  Graph.t ->
+  string
+(** [to_dot g] is a complete [graph { … }] DOT document.
+    [highlight_paths] draws each vertex path as a colored overlay (paths
+    are vertex-id lists, as in {!Qnet_core.Channel.t.path}); invalid
+    paths are rendered as far as their edges exist.  Node positions use
+    the stored coordinates (scaled) as [pos] hints. *)

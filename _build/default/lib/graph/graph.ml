@@ -1,0 +1,202 @@
+type vertex_kind = User | Switch
+
+type vertex = {
+  id : int;
+  kind : vertex_kind;
+  qubits : int;
+  x : float;
+  y : float;
+}
+
+type edge = { eid : int; a : int; b : int; length : float }
+
+type t = {
+  vertices : vertex array;
+  edges : edge array;
+  adjacency : (int * int) list array; (* vertex id -> (neighbor, edge id) *)
+  user_ids : int list;
+  switch_ids : int list;
+}
+
+let edge_key u v = if u < v then (u, v) else (v, u)
+
+module Edge_key = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash = Hashtbl.hash
+end
+
+module Edge_tbl = Hashtbl.Make (Edge_key)
+
+module Builder = struct
+
+  type t = {
+    mutable rev_vertices : vertex list;
+    mutable n_vertices : int;
+    mutable rev_edges : edge list;
+    mutable n_edges : int;
+    seen : unit Edge_tbl.t;
+    mutable frozen : bool;
+  }
+
+  let create () =
+    {
+      rev_vertices = [];
+      n_vertices = 0;
+      rev_edges = [];
+      n_edges = 0;
+      seen = Edge_tbl.create 64;
+      frozen = false;
+    }
+
+  let check_live b =
+    if b.frozen then invalid_arg "Graph.Builder: builder already frozen"
+
+  let add_vertex b ~kind ~qubits ~x ~y =
+    check_live b;
+    if qubits < 0 then invalid_arg "Graph.Builder.add_vertex: negative qubits";
+    let id = b.n_vertices in
+    b.rev_vertices <- { id; kind; qubits; x; y } :: b.rev_vertices;
+    b.n_vertices <- id + 1;
+    id
+
+  let add_edge b u v length =
+    check_live b;
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    if u < 0 || v < 0 || u >= b.n_vertices || v >= b.n_vertices then
+      invalid_arg "Graph.Builder.add_edge: vertex out of range";
+    if not (length > 0. && Float.is_finite length) then
+      invalid_arg "Graph.Builder.add_edge: length must be positive and finite";
+    let key = edge_key u v in
+    if Edge_tbl.mem b.seen key then
+      invalid_arg "Graph.Builder.add_edge: parallel edge";
+    Edge_tbl.add b.seen key ();
+    let eid = b.n_edges in
+    let a, bb = key in
+    b.rev_edges <- { eid; a; b = bb; length } :: b.rev_edges;
+    b.n_edges <- eid + 1;
+    eid
+
+  let has_edge b u v = Edge_tbl.mem b.seen (edge_key u v)
+  let vertex_count b = b.n_vertices
+  let edge_count b = b.n_edges
+
+  let freeze b =
+    check_live b;
+    b.frozen <- true;
+    let vertices = Array.of_list (List.rev b.rev_vertices) in
+    let edges = Array.of_list (List.rev b.rev_edges) in
+    let adjacency = Array.make (Array.length vertices) [] in
+    Array.iter
+      (fun e ->
+        adjacency.(e.a) <- (e.b, e.eid) :: adjacency.(e.a);
+        adjacency.(e.b) <- (e.a, e.eid) :: adjacency.(e.b))
+      edges;
+    (* Deterministic neighbor order regardless of insertion order. *)
+    Array.iteri
+      (fun i l -> adjacency.(i) <- List.sort compare l)
+      adjacency;
+    let user_ids, switch_ids =
+      Array.fold_right
+        (fun v (us, rs) ->
+          match v.kind with
+          | User -> (v.id :: us, rs)
+          | Switch -> (us, v.id :: rs))
+        vertices ([], [])
+    in
+    { vertices; edges; adjacency; user_ids; switch_ids }
+end
+
+let vertex_count g = Array.length g.vertices
+let edge_count g = Array.length g.edges
+
+let vertex g i =
+  if i < 0 || i >= Array.length g.vertices then
+    invalid_arg "Graph.vertex: out of range";
+  g.vertices.(i)
+
+let edge g i =
+  if i < 0 || i >= Array.length g.edges then
+    invalid_arg "Graph.edge: out of range";
+  g.edges.(i)
+
+let neighbors g v =
+  if v < 0 || v >= Array.length g.adjacency then
+    invalid_arg "Graph.neighbors: out of range";
+  g.adjacency.(v)
+
+let degree g v = List.length (neighbors g v)
+
+let find_edge g u v =
+  let rec scan = function
+    | [] -> None
+    | (n, eid) :: rest -> if n = v then Some eid else scan rest
+  in
+  scan (neighbors g u)
+
+let has_edge g u v = Option.is_some (find_edge g u v)
+
+let edge_other_end g eid v =
+  let e = edge g eid in
+  if e.a = v then e.b
+  else if e.b = v then e.a
+  else invalid_arg "Graph.edge_other_end: vertex not an endpoint"
+
+let users g = g.user_ids
+let switches g = g.switch_ids
+let user_count g = List.length g.user_ids
+let switch_count g = List.length g.switch_ids
+let is_user g v = (vertex g v).kind = User
+let is_switch g v = (vertex g v).kind = Switch
+let qubits g v = (vertex g v).qubits
+
+let euclidean v1 v2 =
+  let dx = v1.x -. v2.x and dy = v1.y -. v2.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let iter_edges g f = Array.iter f g.edges
+let fold_edges g ~init ~f = Array.fold_left f init g.edges
+let iter_vertices g f = Array.iter f g.vertices
+
+let average_degree g =
+  let n = vertex_count g in
+  if n = 0 then 0. else 2. *. float_of_int (edge_count g) /. float_of_int n
+
+let rebuild vertices edges =
+  let b = Builder.create () in
+  Array.iter
+    (fun v ->
+      ignore (Builder.add_vertex b ~kind:v.kind ~qubits:v.qubits ~x:v.x ~y:v.y))
+    vertices;
+  List.iter (fun e -> ignore (Builder.add_edge b e.a e.b e.length)) edges;
+  Builder.freeze b
+
+let remove_edges g eids =
+  let doomed = Hashtbl.create (List.length eids) in
+  List.iter
+    (fun eid ->
+      ignore (edge g eid);
+      Hashtbl.replace doomed eid ())
+    eids;
+  let kept =
+    fold_edges g ~init:[] ~f:(fun acc e ->
+        if Hashtbl.mem doomed e.eid then acc else e :: acc)
+    |> List.rev
+  in
+  rebuild g.vertices kept
+
+let with_qubits g f =
+  let vertices =
+    Array.map
+      (fun v ->
+        let q = f v in
+        if q < 0 then invalid_arg "Graph.with_qubits: negative qubits";
+        { v with qubits = q })
+      g.vertices
+  in
+  rebuild vertices (Array.to_list g.edges)
+
+let pp fmt g =
+  Format.fprintf fmt "graph<%d users, %d switches, %d edges, avg degree %.2f>"
+    (user_count g) (switch_count g) (edge_count g) (average_degree g)

@@ -1,0 +1,116 @@
+(** The quantum-network graph [G = (U ∪ R, E)] of the paper.
+
+    Vertices are quantum users (unbounded memory) or quantum switches
+    (holding [qubits] memory qubits, i.e. a capacity of [qubits / 2]
+    channels).  Edges are optical fibers with a physical length; per the
+    paper's fiber model (§II-A) a fiber has enough cores that any number
+    of quantum links may share it, so edges carry no capacity of their
+    own — only switch qubits constrain routing.
+
+    The structure is immutable once built; routing algorithms track
+    residual switch capacity in their own arrays (see
+    {!Qnet_core.Capacity}). *)
+
+type vertex_kind = User | Switch
+
+type vertex = {
+  id : int;  (** Dense index in [0 .. vertex_count - 1]. *)
+  kind : vertex_kind;
+  qubits : int;  (** Memory qubits; meaningful for switches only. *)
+  x : float;  (** Position in the simulation area (km units). *)
+  y : float;
+}
+
+type edge = {
+  eid : int;  (** Dense index in [0 .. edge_count - 1]. *)
+  a : int;  (** Endpoint vertex id, [a < b]. *)
+  b : int;
+  length : float;  (** Fiber length; must be positive and finite. *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_vertex :
+    t -> kind:vertex_kind -> qubits:int -> x:float -> y:float -> int
+  (** Returns the new vertex id.  @raise Invalid_argument on negative
+      [qubits]. *)
+
+  val add_edge : t -> int -> int -> float -> int
+  (** [add_edge b u v length] returns the new edge id.  Parallel edges
+      and self-loops are rejected ([Invalid_argument]); the paper's
+      model has at most one fiber per vertex pair and no self-loops. *)
+
+  val has_edge : t -> int -> int -> bool
+  val vertex_count : t -> int
+  val edge_count : t -> int
+
+  val freeze : t -> graph
+  (** Produce the immutable graph.  The builder may not be reused
+      afterwards. *)
+end
+
+(** {1 Accessors} *)
+
+val vertex_count : t -> int
+val edge_count : t -> int
+val vertex : t -> int -> vertex
+val edge : t -> int -> edge
+
+val neighbors : t -> int -> (int * int) list
+(** [neighbors g v] is the list of [(neighbor_id, edge_id)] pairs
+    incident to [v]. *)
+
+val degree : t -> int -> int
+val has_edge : t -> int -> int -> bool
+
+val find_edge : t -> int -> int -> int option
+(** Edge id between two vertices, if the fiber exists. *)
+
+val edge_other_end : t -> int -> int -> int
+(** [edge_other_end g eid v] is the endpoint of edge [eid] that is not
+    [v].  @raise Invalid_argument if [v] is not an endpoint. *)
+
+val users : t -> int list
+(** Ids of all user vertices, ascending. *)
+
+val switches : t -> int list
+(** Ids of all switch vertices, ascending. *)
+
+val user_count : t -> int
+val switch_count : t -> int
+val is_user : t -> int -> bool
+val is_switch : t -> int -> bool
+
+val qubits : t -> int -> int
+(** Memory qubits of a vertex ([max_int]-like semantics for users are
+    {e not} applied here; this is the raw stored value). *)
+
+val euclidean : vertex -> vertex -> float
+(** Straight-line distance between two vertices' positions. *)
+
+val iter_edges : t -> (edge -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a
+val iter_vertices : t -> (vertex -> unit) -> unit
+
+val average_degree : t -> float
+(** [2·|E| / |V|]; [0.] for the empty graph. *)
+
+val remove_edges : t -> int list -> t
+(** [remove_edges g eids] is a new graph without the listed edges
+    (vertices unchanged, remaining edges renumbered densely).  Used by
+    the Fig. 7(b) removed-edges experiment. *)
+
+val with_qubits : t -> (vertex -> int) -> t
+(** [with_qubits g f] re-assigns every vertex's qubit budget via [f];
+    used to sweep switch capacity (Fig. 8(a)). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact summary: vertex/edge counts and composition. *)

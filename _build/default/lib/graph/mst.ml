@@ -1,0 +1,56 @@
+let kruskal g ~weight =
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc e -> e :: acc)
+    |> List.sort (fun e1 e2 -> Float.compare (weight e1) (weight e2))
+  in
+  let uf = Union_find.create (Graph.vertex_count g) in
+  let pick acc (e : Graph.edge) =
+    if Union_find.union uf e.a e.b then e :: acc else acc
+  in
+  List.rev (List.fold_left pick [] edges)
+
+let prim g ~weight ~root =
+  let n = Graph.vertex_count g in
+  if root < 0 || root >= n then invalid_arg "Mst.prim: bad root";
+  let in_tree = Array.make n false in
+  let heap = Binary_heap.create ~capacity:(n + 1) () in
+  let chosen = ref [] in
+  let add_frontier u =
+    in_tree.(u) <- true;
+    List.iter
+      (fun (v, eid) ->
+        if not in_tree.(v) then
+          Binary_heap.push heap (weight (Graph.edge g eid)) eid)
+      (Graph.neighbors g u)
+  in
+  add_frontier root;
+  let rec loop () =
+    match Binary_heap.pop_min heap with
+    | None -> ()
+    | Some (_, eid) ->
+        let e = Graph.edge g eid in
+        let fresh =
+          if in_tree.(e.a) && not in_tree.(e.b) then Some e.b
+          else if in_tree.(e.b) && not in_tree.(e.a) then Some e.a
+          else None
+        in
+        (match fresh with
+        | Some v ->
+            chosen := e :: !chosen;
+            add_frontier v
+        | None -> ());
+        loop ()
+  in
+  loop ();
+  List.rev !chosen
+
+let total_weight ~weight edges =
+  List.fold_left (fun acc e -> acc +. weight e) 0. edges
+
+let is_spanning_tree g edges =
+  let n = Graph.vertex_count g in
+  List.length edges = n - 1
+  &&
+  let uf = Union_find.create n in
+  List.for_all (fun (e : Graph.edge) -> Union_find.union uf e.a e.b) edges
+  && Union_find.count_sets uf = 1

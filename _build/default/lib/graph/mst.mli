@@ -1,0 +1,23 @@
+(** Minimum spanning trees/forests.
+
+    Used by the classic-graph comparisons in DESIGN.md's ablation
+    studies and by the degree-constrained reductions in {!Dcst}:
+    the paper proves MUERP hardness by reduction from degree-constrained
+    (minimum) spanning trees, so having the unconstrained optimum around
+    lets tests quantify what the degree/capacity constraint costs. *)
+
+val kruskal :
+  Graph.t -> weight:(Graph.edge -> float) -> Graph.edge list
+(** Minimum spanning forest by Kruskal's algorithm; returns the chosen
+    edges (a spanning tree when the graph is connected). *)
+
+val prim :
+  Graph.t -> weight:(Graph.edge -> float) -> root:int -> Graph.edge list
+(** Minimum spanning tree of [root]'s component by Prim's algorithm. *)
+
+val total_weight : weight:(Graph.edge -> float) -> Graph.edge list -> float
+(** Sum of weights over a chosen edge set. *)
+
+val is_spanning_tree : Graph.t -> Graph.edge list -> bool
+(** Whether the edges connect all vertices acyclically ([|V| - 1] edges
+    forming one component). *)

@@ -1,0 +1,143 @@
+type dijkstra_result = { dist : float array; prev : int array }
+
+let dijkstra g ~source ~weight ?(admit = fun _ -> true)
+    ?(expand = fun _ -> true) () =
+  let n = Graph.vertex_count g in
+  if source < 0 || source >= n then invalid_arg "Paths.dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let done_ = Array.make n false in
+  let heap = Binary_heap.create ~capacity:(n + 1) () in
+  dist.(source) <- 0.;
+  Binary_heap.push heap 0. source;
+  let rec loop () =
+    match Binary_heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not done_.(u) && d <= dist.(u) then begin
+          done_.(u) <- true;
+          if u = source || expand u then begin
+          let relax (v, eid) =
+            if not done_.(v) && (v = source || admit v) then begin
+              let e = Graph.edge g eid in
+              let w = weight e in
+              if w < 0. then
+                invalid_arg "Paths.dijkstra: negative edge weight";
+              let cand = d +. w in
+              if cand < dist.(v) then begin
+                dist.(v) <- cand;
+                prev.(v) <- u;
+                Binary_heap.push heap cand v
+              end
+            end
+          in
+          List.iter relax (Graph.neighbors g u)
+          end
+        end;
+        loop ()
+  in
+  loop ();
+  { dist; prev }
+
+let extract_path { dist; prev } ~source ~target =
+  if dist.(target) = infinity then None
+  else begin
+    let rec walk v acc =
+      if v = source then v :: acc else walk prev.(v) (v :: acc)
+    in
+    Some (walk target [])
+  end
+
+let shortest_path g ~source ~target ~weight ?admit ?expand () =
+  let result = dijkstra g ~source ~weight ?admit ?expand () in
+  match extract_path result ~source ~target with
+  | None -> None
+  | Some path -> Some (path, result.dist.(target))
+
+let bfs_hops g ~source =
+  let n = Graph.vertex_count g in
+  if source < 0 || source >= n then invalid_arg "Paths.bfs_hops: bad source";
+  let hops = Array.make n (-1) in
+  let q = Queue.create () in
+  hops.(source) <- 0;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let visit (v, _) =
+      if hops.(v) < 0 then begin
+        hops.(v) <- hops.(u) + 1;
+        Queue.add v q
+      end
+    in
+    List.iter visit (Graph.neighbors g u)
+  done;
+  hops
+
+let bfs_order g ~source =
+  let n = Graph.vertex_count g in
+  if source < 0 || source >= n then invalid_arg "Paths.bfs_order: bad source";
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  let order = ref [] in
+  seen.(source) <- true;
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    let visit (v, _) =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v q
+      end
+    in
+    List.iter visit (Graph.neighbors g u)
+  done;
+  List.rev !order
+
+let connected_components g =
+  let n = Graph.vertex_count g in
+  let uf = Union_find.create n in
+  Graph.iter_edges g (fun e -> ignore (Union_find.union uf e.a e.b));
+  Union_find.groups uf
+
+let is_connected g =
+  let n = Graph.vertex_count g in
+  n <= 1 || List.length (connected_components g) = 1
+
+let users_connected g =
+  match Graph.users g with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      let hops = bfs_hops g ~source:first in
+      List.for_all (fun u -> hops.(u) >= 0) rest
+
+let path_is_valid g path =
+  let rec distinct seen = function
+    | [] -> true
+    | v :: rest ->
+        if List.mem v seen then false else distinct (v :: seen) rest
+  in
+  let rec edges_ok = function
+    | [] | [ _ ] -> true
+    | u :: (v :: _ as rest) -> Graph.has_edge g u v && edges_ok rest
+  in
+  match path with
+  | [] -> false
+  | _ -> distinct [] path && edges_ok path
+
+let fold_path_edges g path ~init ~f =
+  let rec go acc = function
+    | [] | [ _ ] -> acc
+    | u :: (v :: _ as rest) -> begin
+        match Graph.find_edge g u v with
+        | None -> invalid_arg "Paths: consecutive vertices not adjacent"
+        | Some eid -> go (f acc (Graph.edge g eid)) rest
+      end
+  in
+  go init path
+
+let path_length g path =
+  fold_path_edges g path ~init:0. ~f:(fun acc e -> acc +. e.length)
+
+let path_edges g path =
+  List.rev (fold_path_edges g path ~init:[] ~f:(fun acc e -> e.eid :: acc))

@@ -1,0 +1,76 @@
+(** Shortest paths, traversal and connectivity over {!Graph.t}.
+
+    The Dijkstra variant here is deliberately parameterised on both the
+    edge weight and a per-vertex admission predicate, because the
+    paper's Algorithm 1 needs (a) the −log-space additive weight
+    [α·L − ln q] and (b) "skip any switch with fewer than 2 free
+    qubits / any foreign user" filtering baked into relaxation. *)
+
+type dijkstra_result = {
+  dist : float array;  (** [dist.(v)] is the shortest distance from the
+                           source, or [infinity] if unreachable. *)
+  prev : int array;  (** Predecessor vertex on a shortest path, [-1] at
+                         the source and for unreachable vertices. *)
+}
+
+val dijkstra :
+  Graph.t ->
+  source:int ->
+  weight:(Graph.edge -> float) ->
+  ?admit:(int -> bool) ->
+  ?expand:(int -> bool) ->
+  unit ->
+  dijkstra_result
+(** [dijkstra g ~source ~weight ()] runs single-source shortest paths.
+    [admit v] (default: always [true]) controls whether a non-source
+    vertex may be {e entered} during relaxation; inadmissible vertices
+    keep [dist = infinity].  [expand v] (default: always [true])
+    controls whether a settled non-source vertex relaxes its own
+    neighbours — with [expand] false a vertex can terminate paths but
+    not relay them, which is how quantum users are kept out of channel
+    interiors.  The source is always expanded.
+    @raise Invalid_argument if any relaxed edge has negative weight. *)
+
+val extract_path : dijkstra_result -> source:int -> target:int -> int list option
+(** The vertex sequence [source; …; target] along the recorded
+    predecessors, or [None] if [target] was unreachable. *)
+
+val shortest_path :
+  Graph.t ->
+  source:int ->
+  target:int ->
+  weight:(Graph.edge -> float) ->
+  ?admit:(int -> bool) ->
+  ?expand:(int -> bool) ->
+  unit ->
+  (int list * float) option
+(** One-shot wrapper returning the path and its total weight. *)
+
+val bfs_order : Graph.t -> source:int -> int list
+(** Vertices reachable from [source] in breadth-first order. *)
+
+val bfs_hops : Graph.t -> source:int -> int array
+(** Hop counts from [source]; [-1] for unreachable vertices. *)
+
+val connected_components : Graph.t -> int list list
+(** All components, each sorted ascending; components ordered by their
+    smallest member. *)
+
+val is_connected : Graph.t -> bool
+(** Whether the whole graph is one component ([true] for empty and
+    singleton graphs). *)
+
+val users_connected : Graph.t -> bool
+(** Whether all user vertices lie in one component — the obvious
+    necessary condition for any MUERP instance to be feasible. *)
+
+val path_is_valid : Graph.t -> int list -> bool
+(** [path_is_valid g p] checks that consecutive vertices of [p] are
+    joined by edges and that [p] repeats no vertex. *)
+
+val path_length : Graph.t -> int list -> float
+(** Total fiber length along a vertex path.
+    @raise Invalid_argument if some consecutive pair has no edge. *)
+
+val path_edges : Graph.t -> int list -> int list
+(** Edge ids along a vertex path.  @raise Invalid_argument as above. *)

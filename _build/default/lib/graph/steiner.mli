@@ -1,0 +1,32 @@
+(** Steiner-tree heuristic (Kou–Markowsky–Berman).
+
+    §III-A of the paper contrasts MUERP with the graphical Steiner
+    minimal tree: identical-looking except Steiner trees share edges
+    freely and ignore vertex capacity.  This module implements the
+    classic 2-approximation so examples and ablation benches can show
+    concretely where the classic relaxation over-promises (a Steiner
+    tree through a 2-qubit hub "connects" users a MUERP solution
+    cannot). *)
+
+type result = {
+  tree_edges : Graph.edge list;  (** Edges of the Steiner tree. *)
+  weight : float;  (** Total edge weight. *)
+}
+
+val kmb :
+  Graph.t ->
+  terminals:int list ->
+  weight:(Graph.edge -> float) ->
+  result option
+(** [kmb g ~terminals ~weight] runs the KMB heuristic: build the metric
+    closure over [terminals], take its MST, expand closure edges back
+    into shortest paths, take an MST of the expanded subgraph, and prune
+    non-terminal leaves.  Returns [None] when the terminals are not all
+    mutually reachable.  @raise Invalid_argument on an empty or
+    out-of-range terminal list. *)
+
+val tree_degree : Graph.edge list -> int -> int
+(** Degree of a vertex within a chosen edge set. *)
+
+val spans : Graph.edge list -> int list -> bool
+(** Whether an edge set connects all the listed vertices. *)

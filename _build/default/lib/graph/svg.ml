@@ -1,0 +1,102 @@
+let palette =
+  [| "#d62728"; "#1f77b4"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let render ?(width = 800) ?(highlight_paths = []) ?title g =
+  let n = Graph.vertex_count g in
+  (* Bounding box of the embedded coordinates, with a margin. *)
+  let min_x = ref infinity and max_x = ref neg_infinity in
+  let min_y = ref infinity and max_y = ref neg_infinity in
+  Graph.iter_vertices g (fun v ->
+      min_x := Float.min !min_x v.Graph.x;
+      max_x := Float.max !max_x v.Graph.x;
+      min_y := Float.min !min_y v.Graph.y;
+      max_y := Float.max !max_y v.Graph.y);
+  if n = 0 then begin
+    min_x := 0.;
+    max_x := 1.;
+    min_y := 0.;
+    max_y := 1.
+  end;
+  let span_x = Float.max 1e-9 (!max_x -. !min_x) in
+  let span_y = Float.max 1e-9 (!max_y -. !min_y) in
+  let margin = 40. in
+  let w = float_of_int width in
+  let h = (w -. (2. *. margin)) *. span_y /. span_x +. (2. *. margin) in
+  let sx x = margin +. ((x -. !min_x) /. span_x *. (w -. (2. *. margin))) in
+  (* SVG's y axis grows downward; flip so the plot reads like a map. *)
+  let sy y = h -. margin -. ((y -. !min_y) /. span_y *. (h -. (2. *. margin))) in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\">\n"
+    width h w h;
+  pr "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n";
+  (match title with
+  | Some t ->
+      pr
+        "<text x=\"%.1f\" y=\"20\" font-family=\"sans-serif\" \
+         font-size=\"14\" text-anchor=\"middle\">%s</text>\n"
+        (w /. 2.) t
+  | None -> ());
+  (* Fibers. *)
+  Graph.iter_edges g (fun e ->
+      let va = Graph.vertex g e.Graph.a and vb = Graph.vertex g e.Graph.b in
+      pr
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+         stroke=\"#cccccc\" stroke-width=\"1\"/>\n"
+        (sx va.Graph.x) (sy va.Graph.y) (sx vb.Graph.x) (sy vb.Graph.y));
+  (* Channel overlays. *)
+  List.iteri
+    (fun i path ->
+      let color = palette.(i mod Array.length palette) in
+      let rec segments = function
+        | u :: (v :: _ as rest) ->
+            if Graph.has_edge g u v then begin
+              let vu = Graph.vertex g u and vv = Graph.vertex g v in
+              pr
+                "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                 stroke=\"%s\" stroke-width=\"3\" stroke-opacity=\"0.8\"/>\n"
+                (sx vu.Graph.x) (sy vu.Graph.y) (sx vv.Graph.x)
+                (sy vv.Graph.y) color
+            end;
+            segments rest
+        | [] | [ _ ] -> ()
+      in
+      segments path)
+    highlight_paths;
+  (* Vertices on top. *)
+  Graph.iter_vertices g (fun v ->
+      let x = sx v.Graph.x and y = sy v.Graph.y in
+      match v.Graph.kind with
+      | Graph.User ->
+          pr
+            "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"9\" fill=\"#1f77b4\" \
+             stroke=\"black\"/>\n"
+            x y;
+          pr
+            "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" \
+             font-size=\"9\" fill=\"white\" text-anchor=\"middle\" \
+             dominant-baseline=\"central\">u%d</text>\n"
+            x y v.Graph.id
+      | Graph.Switch ->
+          let side = 8. +. Float.min 8. (float_of_int v.Graph.qubits) in
+          pr
+            "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+             fill=\"#eeeeee\" stroke=\"#555555\"/>\n"
+            (x -. (side /. 2.))
+            (y -. (side /. 2.))
+            side side;
+          pr
+            "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" \
+             font-size=\"7\" fill=\"#333333\" text-anchor=\"middle\" \
+             dominant-baseline=\"central\">%d</text>\n"
+            x y v.Graph.qubits);
+  pr "</svg>\n";
+  Buffer.contents buf
+
+let save ?width ?highlight_paths ?title path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?width ?highlight_paths ?title g))

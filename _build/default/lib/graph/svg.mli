@@ -1,0 +1,29 @@
+(** Self-contained SVG rendering of quantum networks.
+
+    {!Dot} needs an external Graphviz install to produce an image; this
+    module draws the network directly (coordinates are physical, so no
+    layout pass is needed): fibers as gray lines, switches as squares
+    sized by qubit budget, users as labelled circles, and optional
+    channel overlays in distinct colors.  The output is a complete SVG
+    document viewable in any browser. *)
+
+val render :
+  ?width:int ->
+  ?highlight_paths:int list list ->
+  ?title:string ->
+  Graph.t ->
+  string
+(** [render g] produces the SVG document ([width] pixels wide, default
+    800; height follows the network's aspect ratio).  [highlight_paths]
+    draws vertex paths (as in {!Qnet_core.Channel.t.path}) as colored
+    overlays; segments without a fiber are skipped. *)
+
+val save :
+  ?width:int ->
+  ?highlight_paths:int list list ->
+  ?title:string ->
+  string ->
+  Graph.t ->
+  unit
+(** [save path g] writes {!render} output to [path].
+    @raise Sys_error on I/O failure. *)

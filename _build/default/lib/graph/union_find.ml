@@ -1,0 +1,66 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  size : int array;
+  mutable sets : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    size = Array.make n 1;
+    sets = n;
+  }
+
+let size t = Array.length t.parent
+
+let check t x =
+  if x < 0 || x >= Array.length t.parent then
+    invalid_arg "Union_find: element out of range"
+
+let rec find t x =
+  check t x;
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rx, ry =
+      if t.rank.(rx) < t.rank.(ry) then (ry, rx) else (rx, ry)
+    in
+    t.parent.(ry) <- rx;
+    t.size.(rx) <- t.size.(rx) + t.size.(ry);
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+let count_sets t = t.sets
+let set_size t x = t.size.(find t x)
+
+let groups t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+let all_same t = function
+  | [] -> true
+  | x :: rest ->
+      let r = find t x in
+      List.for_all (fun y -> find t y = r) rest

@@ -1,0 +1,38 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    The paper's Algorithms 2–4 all track "which quantum users are already
+    entangled into the same component" with a union–find structure; this
+    is that structure. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val size : t -> int
+(** Number of elements (not sets). *)
+
+val find : t -> int -> int
+(** [find t x] is the canonical representative of [x]'s set.
+    @raise Invalid_argument on an out-of-range element. *)
+
+val union : t -> int -> int -> bool
+(** [union t x y] merges the sets of [x] and [y]; returns [true] if they
+    were previously distinct. *)
+
+val same : t -> int -> int -> bool
+(** [same t x y] tests whether [x] and [y] share a set. *)
+
+val count_sets : t -> int
+(** Number of distinct sets currently present. *)
+
+val set_size : t -> int -> int
+(** [set_size t x] is the cardinality of [x]'s set. *)
+
+val groups : t -> int list list
+(** All current sets, each as a list of members; ordering is by smallest
+    member within and across groups. *)
+
+val all_same : t -> int list -> bool
+(** [all_same t xs] is [true] iff every element of [xs] is in one set
+    (vacuously true for [\[\]] and singletons). *)

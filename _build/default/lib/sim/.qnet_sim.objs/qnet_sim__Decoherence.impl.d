@@ -1,0 +1,1 @@
+lib/sim/decoherence.ml: Array Channel Ent_tree List Params Qnet_core Qnet_graph Qnet_util

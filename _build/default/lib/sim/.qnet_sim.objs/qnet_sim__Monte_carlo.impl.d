@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.ml: Array Ent_tree Qnet_core Qnet_util Trial

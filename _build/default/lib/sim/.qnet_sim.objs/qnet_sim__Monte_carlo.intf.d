@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.mli: Qnet_core Qnet_graph Qnet_util

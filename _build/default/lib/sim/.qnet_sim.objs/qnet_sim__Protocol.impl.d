@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Array Channel Ent_tree List Params Printf Qnet_core Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/sim/protocol.mli: Qnet_core Qnet_graph Qnet_util

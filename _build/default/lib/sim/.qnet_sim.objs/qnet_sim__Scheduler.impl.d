@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Array Capacity Channel Ent_tree Float Hashtbl List Multi_group Qnet_core Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/sim/scheduler.mli: Qnet_core Qnet_graph Qnet_util

@@ -1,0 +1,1 @@
+lib/sim/trial.mli: Qnet_core Qnet_graph Qnet_util

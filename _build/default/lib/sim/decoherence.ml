@@ -1,0 +1,143 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let link_probs g params (c : Channel.t) =
+  let path = Array.of_list c.path in
+  Array.init
+    (Array.length path - 1)
+    (fun i ->
+      match Graph.find_edge g path.(i) path.(i + 1) with
+      | None -> invalid_arg "Decoherence: channel path not in graph"
+      | Some eid ->
+          Params.link_success params (Graph.edge g eid).Graph.length)
+
+(* One channel's build state: per-link pair ages (-1 = down). *)
+type channel_state = { probs : float array; age : int array }
+
+let fresh_state g params c =
+  let probs = link_probs g params c in
+  { probs; age = Array.make (Array.length probs) (-1) }
+
+let reset_state s = Array.fill s.age 0 (Array.length s.age) (-1)
+
+(* Advance one slot of the per-channel build; true iff the channel
+   completed end-to-end this slot. *)
+let step_channel rng params ~cutoff s =
+  let links = Array.length s.probs in
+  let swaps = max 0 (links - 1) in
+  (* 1. Decoherence: discard pairs that exceeded the cutoff. *)
+  for i = 0 to links - 1 do
+    if s.age.(i) >= 0 then begin
+      s.age.(i) <- s.age.(i) + 1;
+      if s.age.(i) > cutoff then s.age.(i) <- -1
+    end
+  done;
+  (* 2. Regeneration attempts on down links. *)
+  for i = 0 to links - 1 do
+    if s.age.(i) < 0 && Prng.bernoulli rng s.probs.(i) then s.age.(i) <- 0
+  done;
+  (* 3. If the whole chain is alive, attempt every BSM. *)
+  if Array.for_all (fun a -> a >= 0) s.age then begin
+    let all_ok = ref true in
+    for _ = 1 to swaps do
+      if not (Prng.bernoulli rng params.Params.q) then all_ok := false
+    done;
+    if !all_ok then true
+    else begin
+      (* A failed measurement round consumes every pair. *)
+      reset_state s;
+      false
+    end
+  end
+  else false
+
+let channel_slots_to_completion rng g params (c : Channel.t) ~cutoff
+    ~max_slots =
+  if cutoff < 0 then
+    invalid_arg "Decoherence.channel_slots_to_completion: negative cutoff";
+  if max_slots < 1 then
+    invalid_arg "Decoherence.channel_slots_to_completion: max_slots < 1";
+  let s = fresh_state g params c in
+  let rec run slot =
+    if slot > max_slots then None
+    else if step_channel rng params ~cutoff s then Some slot
+    else run (slot + 1)
+  in
+  run 1
+
+let effective_rate rng g params c ~cutoff ~runs ~max_slots =
+  if runs < 1 then invalid_arg "Decoherence.effective_rate: runs < 1";
+  let total = ref 0. in
+  let ok = ref true in
+  for _ = 1 to runs do
+    match channel_slots_to_completion rng g params c ~cutoff ~max_slots with
+    | Some s -> total := !total +. float_of_int s
+    | None -> ok := false
+  done;
+  if !ok then Some (float_of_int runs /. !total) else None
+
+let synchronous_reference c = Channel.rate_prob c
+
+(* Whole-tree dynamics: each channel is either still building (Building
+   holds its link state) or done, holding its end-to-end pair for at
+   most tree_cutoff further slots. *)
+type tree_channel = {
+  state : channel_state;
+  mutable done_age : int; (* -1 = still building *)
+}
+
+let tree_slots_to_completion rng g params (tree : Ent_tree.t) ~cutoff
+    ~tree_cutoff ~max_slots =
+  if cutoff < 0 || tree_cutoff < 0 then
+    invalid_arg "Decoherence.tree_slots_to_completion: negative cutoff";
+  if max_slots < 1 then
+    invalid_arg "Decoherence.tree_slots_to_completion: max_slots < 1";
+  let channels =
+    List.map
+      (fun c -> { state = fresh_state g params c; done_age = -1 })
+      tree.Ent_tree.channels
+  in
+  if channels = [] then Some 1
+  else begin
+    let rec run slot =
+      if slot > max_slots then None
+      else begin
+        (* Age out completed channels first. *)
+        List.iter
+          (fun tc ->
+            if tc.done_age >= 0 then begin
+              tc.done_age <- tc.done_age + 1;
+              if tc.done_age > tree_cutoff then begin
+                tc.done_age <- -1;
+                reset_state tc.state
+              end
+            end)
+          channels;
+        (* Advance the still-building channels. *)
+        List.iter
+          (fun tc ->
+            if tc.done_age < 0 && step_channel rng params ~cutoff tc.state
+            then tc.done_age <- 0)
+          channels;
+        if List.for_all (fun tc -> tc.done_age >= 0) channels then Some slot
+        else run (slot + 1)
+      end
+    in
+    run 1
+  end
+
+let tree_effective_rate rng g params tree ~cutoff ~tree_cutoff ~runs
+    ~max_slots =
+  if runs < 1 then invalid_arg "Decoherence.tree_effective_rate: runs < 1";
+  let total = ref 0. in
+  let ok = ref true in
+  for _ = 1 to runs do
+    match
+      tree_slots_to_completion rng g params tree ~cutoff ~tree_cutoff
+        ~max_slots
+    with
+    | Some s -> total := !total +. float_of_int s
+    | None -> ok := false
+  done;
+  if !ok then Some (float_of_int runs /. !total) else None

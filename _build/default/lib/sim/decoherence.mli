@@ -1,0 +1,90 @@
+(** Asynchronous link generation with memory decoherence cutoffs.
+
+    Eq. (1) assumes every link of a channel must succeed {e within the
+    same time slot} — the fully synchronous reading.  Real switches hold
+    an early Bell pair in memory while neighbouring links retry, but
+    only for a bounded number of slots before decoherence forces a
+    discard (the memory-cutoff model of the swapping-tree literature the
+    paper cites, reference [17]).  This module simulates that
+    asynchronous process per channel:
+
+    - each quantum link independently attempts generation every slot
+      (success probability [exp (−α·L)]) and, once up, survives at most
+      [cutoff] further slots in memory;
+    - when all links of the channel are simultaneously alive, the
+      switches attempt their BSMs (each succeeding w.p. [q]); any BSM
+      failure collapses all links back to down;
+    - the channel completes when a BSM round fully succeeds.
+
+    [cutoff = 0] recovers the synchronous model (everything must align
+    in one slot); larger cutoffs interpolate toward the
+    distance-independent regime.  The module estimates the {e effective
+    per-slot completion rate} (1 / mean slots to completion), letting
+    experiments quantify how much memory lifetime buys. *)
+
+val channel_slots_to_completion :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Channel.t ->
+  cutoff:int ->
+  max_slots:int ->
+  int option
+(** Slots until the channel first completes end-to-end under the given
+    memory cutoff; [None] if [max_slots] pass first.
+    @raise Invalid_argument on negative [cutoff] or
+    [max_slots < 1]. *)
+
+val effective_rate :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Channel.t ->
+  cutoff:int ->
+  runs:int ->
+  max_slots:int ->
+  float option
+(** [1 / mean slots-to-completion] over [runs] repetitions — the
+    channel's effective entanglement rate under the cutoff.  [None] if
+    any repetition times out. *)
+
+val synchronous_reference : Qnet_core.Channel.t -> float
+(** The channel's Eq. (1) rate — the analytic synchronous baseline the
+    cutoff-0 simulation must reproduce. *)
+
+(** {1 Whole-tree dynamics}
+
+    Multi-user entanglement needs {e all} channels of the tree alive
+    simultaneously (Eq. 2).  With memories, each channel is built
+    asynchronously as above, and a {e completed} channel's end-to-end
+    pair then waits in the endpoint users' memories for at most
+    [tree_cutoff] further slots before decohering and needing a rebuild.
+    [tree_cutoff = 0] again recovers the synchronous product model. *)
+
+val tree_slots_to_completion :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  cutoff:int ->
+  tree_cutoff:int ->
+  max_slots:int ->
+  int option
+(** Slots until every channel of the tree is simultaneously alive.
+    [cutoff] bounds link-pair memory during each channel's build (as in
+    {!channel_slots_to_completion}); [tree_cutoff] bounds how long a
+    finished channel's end-to-end pair survives while waiting for its
+    siblings.  [None] if [max_slots] pass first.  An empty tree
+    completes at slot 1. *)
+
+val tree_effective_rate :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  cutoff:int ->
+  tree_cutoff:int ->
+  runs:int ->
+  max_slots:int ->
+  float option
+(** [1 / mean slots-to-completion] over [runs] repetitions. *)

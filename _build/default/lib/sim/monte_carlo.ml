@@ -1,0 +1,53 @@
+module Stats = Qnet_util.Stats
+open Qnet_core
+
+type estimate = {
+  trials : int;
+  successes : int;
+  p_hat : float;
+  ci_low : float;
+  ci_high : float;
+  analytic : float;
+  within_ci : bool;
+}
+
+let estimate_rate rng g params tree ~trials =
+  if trials <= 0 then invalid_arg "Monte_carlo.estimate_rate: trials <= 0";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if (Trial.run rng g params tree).success then incr successes
+  done;
+  let successes = !successes in
+  let p_hat = float_of_int successes /. float_of_int trials in
+  let ci_low, ci_high = Stats.wilson_ci95 ~successes ~trials in
+  let analytic = Ent_tree.rate_prob tree in
+  {
+    trials;
+    successes;
+    p_hat;
+    ci_low;
+    ci_high;
+    analytic;
+    within_ci = analytic >= ci_low && analytic <= ci_high;
+  }
+
+let slots_until_success rng g params tree ~max_slots =
+  if max_slots <= 0 then
+    invalid_arg "Monte_carlo.slots_until_success: max_slots <= 0";
+  let rec attempt slot =
+    if slot > max_slots then None
+    else if (Trial.run rng g params tree).success then Some slot
+    else attempt (slot + 1)
+  in
+  attempt 1
+
+let mean_slots rng g params tree ~runs ~max_slots =
+  if runs <= 0 then invalid_arg "Monte_carlo.mean_slots: runs <= 0";
+  let samples = Array.make runs 0. in
+  let ok = ref true in
+  for i = 0 to runs - 1 do
+    match slots_until_success rng g params tree ~max_slots with
+    | Some s -> samples.(i) <- float_of_int s
+    | None -> ok := false
+  done;
+  if !ok then Some (Stats.mean samples) else None

@@ -1,0 +1,49 @@
+(** Monte-Carlo estimation of entanglement rates.
+
+    Repeats {!Trial.run} and compares the empirical success frequency to
+    the analytic Eq. (2) value — the library's empirical check that the
+    routing algorithms optimise the quantity the physical process
+    actually realises. *)
+
+type estimate = {
+  trials : int;
+  successes : int;
+  p_hat : float;  (** Empirical success frequency. *)
+  ci_low : float;  (** Wilson 95% lower bound. *)
+  ci_high : float;  (** Wilson 95% upper bound. *)
+  analytic : float;  (** Eq. (2) rate of the simulated tree. *)
+  within_ci : bool;  (** Whether [analytic ∈ \[ci_low, ci_high\]]. *)
+}
+
+val estimate_rate :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  trials:int ->
+  estimate
+(** [estimate_rate rng g params tree ~trials] samples [trials]
+    independent slots.  @raise Invalid_argument if [trials <= 0]. *)
+
+val slots_until_success :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  max_slots:int ->
+  int option
+(** Number of time slots the §II-B process needs before the first
+    overall success (geometric with parameter Eq. (2)); [None] if
+    [max_slots] elapse first. *)
+
+val mean_slots :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  runs:int ->
+  max_slots:int ->
+  float option
+(** Mean of {!slots_until_success} over [runs] repetitions; [None] if
+    any repetition times out (keeps the estimator unbiased rather than
+    silently truncating the geometric tail). *)

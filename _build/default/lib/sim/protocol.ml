@@ -1,0 +1,103 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+type allocation = { switch_id : int; allocated : int; budget : int }
+
+type slot_report = {
+  slot : int;
+  link_failures : int;
+  swap_failures : int;
+  swaps_skipped : int;
+  channels_up : int;
+  success : bool;
+}
+
+type run = {
+  allocations : allocation list;
+  slots : slot_report list;
+  succeeded_at : int option;
+}
+
+let plan_allocations g (tree : Ent_tree.t) =
+  let allocations =
+    List.map
+      (fun (s, used) ->
+        { switch_id = s; allocated = used; budget = Graph.qubits g s })
+      (Ent_tree.qubit_usage tree)
+  in
+  List.iter
+    (fun a ->
+      if a.allocated > a.budget then
+        failwith
+          (Printf.sprintf
+             "Protocol.plan_allocations: switch %d over-allocated (%d > %d)"
+             a.switch_id a.allocated a.budget))
+    allocations;
+  allocations
+
+(* One channel's slot: sample each link in path order, then attempt a
+   BSM at each interior switch whose two adjacent links both stand. *)
+let channel_slot rng g params (c : Channel.t) =
+  let path = Array.of_list c.path in
+  let links = Array.length path - 1 in
+  let link_up =
+    Array.init links (fun i ->
+        match Graph.find_edge g path.(i) path.(i + 1) with
+        | None -> invalid_arg "Protocol: channel path not in graph"
+        | Some eid ->
+            let e = Graph.edge g eid in
+            Prng.bernoulli rng (Params.link_success params e.length))
+  in
+  let link_failures =
+    Array.fold_left (fun n up -> if up then n else n + 1) 0 link_up
+  in
+  let swap_failures = ref 0 and swaps_skipped = ref 0 in
+  let all_swaps_ok = ref true in
+  (* Interior switch at path index i sits between links i-1 and i. *)
+  for i = 1 to links - 1 do
+    if link_up.(i - 1) && link_up.(i) then begin
+      if not (Prng.bernoulli rng params.Params.q) then begin
+        incr swap_failures;
+        all_swaps_ok := false
+      end
+    end
+    else begin
+      incr swaps_skipped;
+      all_swaps_ok := false
+    end
+  done;
+  let up = link_failures = 0 && !all_swaps_ok in
+  (link_failures, !swap_failures, !swaps_skipped, up)
+
+let execute rng g params (tree : Ent_tree.t) ~max_slots =
+  if max_slots <= 0 then invalid_arg "Protocol.execute: max_slots <= 0";
+  let allocations = plan_allocations g tree in
+  let slots = ref [] in
+  let succeeded_at = ref None in
+  let slot = ref 1 in
+  while !succeeded_at = None && !slot <= max_slots do
+    let lf = ref 0 and sf = ref 0 and sk = ref 0 and up = ref 0 in
+    List.iter
+      (fun c ->
+        let l, s, k, channel_up = channel_slot rng g params c in
+        lf := !lf + l;
+        sf := !sf + s;
+        sk := !sk + k;
+        if channel_up then incr up)
+      tree.channels;
+    let success = !up = List.length tree.channels in
+    slots :=
+      {
+        slot = !slot;
+        link_failures = !lf;
+        swap_failures = !sf;
+        swaps_skipped = !sk;
+        channels_up = !up;
+        success;
+      }
+      :: !slots;
+    if success then succeeded_at := Some !slot;
+    incr slot
+  done;
+  { allocations; slots = List.rev !slots; succeeded_at = !succeeded_at }

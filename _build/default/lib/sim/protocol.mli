@@ -1,0 +1,51 @@
+(** Event-level simulation of the §II-B entanglement process.
+
+    Where {!Trial} samples only the success/failure Bernoulli structure,
+    this module walks the full offline-plan protocol the paper
+    describes: the central controller distributes the routing plan, each
+    switch {e allocates} 2 memory qubits per channel crossing it, then
+    synchronized slots execute phases — Bell-pair generation on every
+    quantum link, BSM swaps at switches whose both adjacent links
+    succeeded, end-to-end channel verification — until the tree
+    entangles or the slot budget ends.  The allocation step re-checks
+    switch budgets at "runtime", catching any planner capacity bug that
+    static verification might miss. *)
+
+type allocation = {
+  switch_id : int;
+  allocated : int;  (** Qubits pinned by the plan at this switch. *)
+  budget : int;  (** The switch's total memory qubits. *)
+}
+
+type slot_report = {
+  slot : int;
+  link_failures : int;  (** Quantum links that failed generation. *)
+  swap_failures : int;  (** BSMs attempted and failed. *)
+  swaps_skipped : int;  (** BSMs not attempted (an adjacent link was
+                            already down). *)
+  channels_up : int;  (** Channels fully entangled this slot. *)
+  success : bool;  (** All channels up simultaneously. *)
+}
+
+type run = {
+  allocations : allocation list;  (** Per-switch plan allocations,
+                                      ascending by switch id. *)
+  slots : slot_report list;  (** One report per executed slot. *)
+  succeeded_at : int option;  (** Slot index of first success. *)
+}
+
+val plan_allocations :
+  Qnet_graph.Graph.t -> Qnet_core.Ent_tree.t -> allocation list
+(** The qubit allocation the plan implies at every switch it crosses.
+    @raise Failure if any switch would be over-allocated — the planner
+    produced an invalid plan. *)
+
+val execute :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  max_slots:int ->
+  run
+(** Run the protocol for at most [max_slots] synchronized slots,
+    stopping at the first fully successful slot. *)

@@ -1,0 +1,180 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+type request = { id : int; users : int list; arrival : int; duration : int }
+type policy = Drop | Queue of int
+
+type disposition =
+  | Accepted of { slot : int; tree : Ent_tree.t; rate : float }
+  | Rejected of { slot : int }
+
+type outcome = { request : request; disposition : disposition }
+
+type stats = {
+  arrived : int;
+  accepted : int;
+  rejected : int;
+  acceptance_ratio : float;
+  mean_accepted_rate : float;
+  mean_wait_slots : float;
+  peak_qubits_in_use : int;
+}
+
+let validate g requests =
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem ids r.id then
+        invalid_arg "Scheduler.run: duplicate request id";
+      Hashtbl.replace ids r.id ();
+      if r.arrival < 0 then invalid_arg "Scheduler.run: negative arrival";
+      if r.duration < 1 then invalid_arg "Scheduler.run: duration < 1";
+      if List.length r.users < 2 then
+        invalid_arg "Scheduler.run: request needs >= 2 users";
+      List.iter
+        (fun u ->
+          if not (Graph.is_user g u) then
+            invalid_arg "Scheduler.run: request member is not a user")
+        r.users;
+      if
+        List.length (List.sort_uniq compare r.users)
+        <> List.length r.users
+      then invalid_arg "Scheduler.run: duplicate users in request")
+    requests
+
+let total_used g capacity =
+  List.fold_left
+    (fun acc s -> acc + Capacity.used capacity s)
+    0 (Graph.switches g)
+
+let run ?(policy = Drop) g params ~requests =
+  validate g requests;
+  let capacity = Capacity.of_graph g in
+  let pending =
+    (* FIFO by (arrival, id). *)
+    ref
+      (List.sort
+         (fun a b -> compare (a.arrival, a.id) (b.arrival, b.id))
+         requests)
+  in
+  let waiting = ref [] in
+  (* (request, deadline_slot) *)
+  let leases = ref [] in
+  (* (expiry_slot, channel paths) *)
+  let outcomes = ref [] in
+  let peak = ref 0 in
+  let decide slot r =
+    match Multi_group.prim_for_users g params ~capacity ~users:r.users with
+    | Some tree ->
+        (* prim_for_users already consumed the qubits. *)
+        leases :=
+          ( slot + r.duration,
+            List.map (fun (c : Channel.t) -> c.path) tree.Ent_tree.channels )
+          :: !leases;
+        peak := max !peak (total_used g capacity);
+        Qnet_util.Log.debug "scheduler: accepted request %d at slot %d" r.id
+          slot;
+        outcomes :=
+          {
+            request = r;
+            disposition =
+              Accepted { slot; tree; rate = Ent_tree.rate_prob tree };
+          }
+          :: !outcomes;
+        true
+    | None -> false
+  in
+  let slot = ref 0 in
+  while !pending <> [] || !waiting <> [] || !leases <> [] do
+    let t = !slot in
+    (* 1. Expire leases that end at this slot. *)
+    let expired, alive = List.partition (fun (e, _) -> e <= t) !leases in
+    List.iter
+      (fun (_, paths) -> List.iter (Capacity.release_channel capacity) paths)
+      expired;
+    leases := alive;
+    (* 2. Retry the waiting queue in FIFO order. *)
+    let still_waiting = ref [] in
+    List.iter
+      (fun (r, deadline) ->
+        if decide t r then ()
+        else if t >= deadline then
+          outcomes := { request = r; disposition = Rejected { slot = t } } :: !outcomes
+        else still_waiting := (r, deadline) :: !still_waiting)
+      (List.rev !waiting);
+    waiting := List.rev !still_waiting;
+    (* 3. Admit this slot's arrivals. *)
+    let arrivals, later = List.partition (fun r -> r.arrival <= t) !pending in
+    pending := later;
+    List.iter
+      (fun r ->
+        if decide t r then ()
+        else
+          match policy with
+          | Drop ->
+              outcomes :=
+                { request = r; disposition = Rejected { slot = t } }
+                :: !outcomes
+          | Queue max_wait -> waiting := !waiting @ [ (r, t + max_wait) ])
+      arrivals;
+    incr slot
+  done;
+  let outcomes = List.rev !outcomes in
+  let accepted_rates, waits =
+    List.fold_left
+      (fun (rates, waits) o ->
+        match o.disposition with
+        | Accepted { slot; rate; _ } ->
+            (rate :: rates, float_of_int (slot - o.request.arrival) :: waits)
+        | Rejected _ -> (rates, waits))
+      ([], []) outcomes
+  in
+  let accepted = List.length accepted_rates in
+  let arrived = List.length requests in
+  let mean l =
+    match l with
+    | [] -> 0.
+    | _ -> Qnet_util.Stats.mean (Array.of_list l)
+  in
+  ( {
+      arrived;
+      accepted;
+      rejected = arrived - accepted;
+      acceptance_ratio =
+        (if arrived = 0 then 0.
+         else float_of_int accepted /. float_of_int arrived);
+      mean_accepted_rate = mean accepted_rates;
+      mean_wait_slots = mean waits;
+      peak_qubits_in_use = !peak;
+    },
+    outcomes )
+
+let random_requests rng g ~n ~mean_gap ~max_group ~duration_range =
+  if n < 0 then invalid_arg "Scheduler.random_requests: negative n";
+  if mean_gap < 0. then invalid_arg "Scheduler.random_requests: negative gap";
+  let users = Array.of_list (Graph.users g) in
+  let population = Array.length users in
+  if max_group < 2 then
+    invalid_arg "Scheduler.random_requests: max_group < 2";
+  if max_group > population then
+    invalid_arg "Scheduler.random_requests: max_group exceeds user count";
+  let lo, hi = duration_range in
+  if lo < 1 || hi < lo then
+    invalid_arg "Scheduler.random_requests: bad duration range";
+  let arrival = ref 0 in
+  List.init n (fun id ->
+      (if mean_gap > 0. then
+         arrival :=
+           !arrival + int_of_float (Float.round (Prng.exponential rng (1. /. mean_gap))));
+      let size = Prng.int_in_range rng ~min:2 ~max:max_group in
+      let members =
+        Prng.sample_without_replacement rng size population
+        |> List.map (fun i -> users.(i))
+      in
+      {
+        id;
+        users = members;
+        arrival = !arrival;
+        duration = Prng.int_in_range rng ~min:lo ~max:hi;
+      })

@@ -1,0 +1,42 @@
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+type channel_outcome = {
+  channel : Channel.t;
+  links_ok : bool;
+  swaps_ok : bool;
+}
+
+type t = { channel_outcomes : channel_outcome list; success : bool }
+
+let channel_success o = o.links_ok && o.swaps_ok
+
+let sample_channel rng g params (c : Channel.t) =
+  let links_ok = ref true in
+  let rec walk = function
+    | [] | [ _ ] -> ()
+    | u :: (v :: _ as rest) -> begin
+        match Graph.find_edge g u v with
+        | None -> invalid_arg "Trial: channel path not in graph"
+        | Some eid ->
+            let e = Graph.edge g eid in
+            let p = Params.link_success params e.length in
+            if not (Prng.bernoulli rng p) then links_ok := false;
+            walk rest
+      end
+  in
+  walk c.path;
+  let swaps_ok = ref true in
+  List.iter
+    (fun _switch ->
+      if not (Prng.bernoulli rng params.Params.q) then swaps_ok := false)
+    (Channel.interior_switches c);
+  { channel = c; links_ok = !links_ok; swaps_ok = !swaps_ok }
+
+let run rng g params (tree : Ent_tree.t) =
+  let channel_outcomes =
+    List.map (sample_channel rng g params) tree.channels
+  in
+  { channel_outcomes; success = List.for_all channel_success channel_outcomes }

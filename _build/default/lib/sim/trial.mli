@@ -1,0 +1,36 @@
+(** One stochastic attempt of an entanglement plan (§II-B, one time
+    slot).
+
+    The analytic rates of Eq. (1)–(2) integrate over exactly this
+    process: in a synchronized slot every quantum link of every channel
+    tries to generate a Bell pair (success probability
+    [exp (−alpha · L)]) and every interior switch attempts its BSM swap
+    (success probability [q]); the multi-user entanglement succeeds iff
+    every elementary event succeeds.  This module samples the process
+    so Monte-Carlo estimation can validate the analytic model. *)
+
+type channel_outcome = {
+  channel : Qnet_core.Channel.t;
+  links_ok : bool;  (** All Bell-pair generations succeeded. *)
+  swaps_ok : bool;  (** All BSM swaps succeeded. *)
+}
+
+type t = {
+  channel_outcomes : channel_outcome list;
+  success : bool;  (** Whole-tree entanglement achieved this slot. *)
+}
+
+val channel_success : channel_outcome -> bool
+(** [links_ok && swaps_ok]. *)
+
+val run :
+  Qnet_util.Prng.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  Qnet_core.Ent_tree.t ->
+  t
+(** Sample one slot.  Each link and swap is an independent Bernoulli
+    draw; the per-channel and per-tree conjunctions mirror Eq. (1) and
+    Eq. (2).  All elementary events are always sampled (no
+    short-circuiting) so the PRNG stream advances deterministically for
+    a given tree shape. *)

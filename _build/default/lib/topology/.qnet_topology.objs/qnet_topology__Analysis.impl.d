@@ -1,0 +1,1 @@
+lib/topology/analysis.ml: Array Format Hashtbl List Qnet_graph

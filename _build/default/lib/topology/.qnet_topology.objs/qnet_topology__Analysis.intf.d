@@ -1,0 +1,1 @@
+lib/topology/analysis.mli: Format Qnet_graph

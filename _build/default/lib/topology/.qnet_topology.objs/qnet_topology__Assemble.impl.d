@@ -1,0 +1,1 @@
+lib/topology/assemble.ml: Array Float Hashtbl Layout List Qnet_graph Qnet_util Spec

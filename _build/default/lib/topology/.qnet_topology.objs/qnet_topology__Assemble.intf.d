@@ -1,0 +1,1 @@
+lib/topology/assemble.mli: Layout Qnet_graph Qnet_util Spec

@@ -1,0 +1,1 @@
+lib/topology/generate.ml: Grid Volchenkov Watts_strogatz Waxman

@@ -1,0 +1,1 @@
+lib/topology/generate.mli: Qnet_graph Qnet_util Spec Volchenkov Watts_strogatz Waxman

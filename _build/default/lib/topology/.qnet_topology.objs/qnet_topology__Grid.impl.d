@@ -1,0 +1,1 @@
+lib/topology/grid.ml: Float Layout List Qnet_graph Qnet_util Spec

@@ -1,0 +1,1 @@
+lib/topology/grid.mli: Qnet_graph Qnet_util Spec

@@ -1,0 +1,1 @@
+lib/topology/reference_nets.mli: Qnet_graph Qnet_util

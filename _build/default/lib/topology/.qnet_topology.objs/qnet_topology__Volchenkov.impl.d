@@ -1,0 +1,1 @@
+lib/topology/volchenkov.ml: Array Assemble Float Hashtbl Layout Qnet_util Spec

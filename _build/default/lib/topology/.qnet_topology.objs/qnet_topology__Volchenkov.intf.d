@@ -1,0 +1,1 @@
+lib/topology/volchenkov.mli: Qnet_graph Qnet_util Spec

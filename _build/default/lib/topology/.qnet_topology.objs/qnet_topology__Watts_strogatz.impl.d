@@ -1,0 +1,1 @@
+lib/topology/watts_strogatz.ml: Assemble Float Hashtbl Layout List Qnet_util Spec

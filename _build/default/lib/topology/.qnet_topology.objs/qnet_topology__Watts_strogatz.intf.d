@@ -1,0 +1,1 @@
+lib/topology/watts_strogatz.mli: Qnet_graph Qnet_util Spec

@@ -1,0 +1,1 @@
+lib/topology/waxman.ml: Array Assemble Float Layout List Qnet_util Spec

@@ -1,0 +1,1 @@
+lib/topology/waxman.mli: Qnet_graph Qnet_util Spec

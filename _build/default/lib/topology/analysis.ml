@@ -1,0 +1,98 @@
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+
+type summary = {
+  vertices : int;
+  edges : int;
+  average_degree : float;
+  max_degree : int;
+  clustering : float;
+  average_hops : float;
+  diameter_hops : int;
+  average_fiber : float;
+}
+
+let clustering_coefficient g v =
+  let neighbors = List.map fst (Graph.neighbors g v) in
+  let d = List.length neighbors in
+  if d < 2 then 0.
+  else begin
+    let linked = ref 0 in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter (fun b -> if Graph.has_edge g a b then incr linked) rest;
+          pairs rest
+    in
+    pairs neighbors;
+    2. *. float_of_int !linked /. float_of_int (d * (d - 1))
+  end
+
+let mean_clustering g =
+  let n = Graph.vertex_count g in
+  if n = 0 then 0.
+  else begin
+    let total = ref 0. in
+    for v = 0 to n - 1 do
+      total := !total +. clustering_coefficient g v
+    done;
+    !total /. float_of_int n
+  end
+
+let hop_statistics g =
+  let n = Graph.vertex_count g in
+  let total = ref 0 and pairs = ref 0 and diameter = ref 0 in
+  for src = 0 to n - 1 do
+    let hops = Paths.bfs_hops g ~source:src in
+    Array.iteri
+      (fun dst h ->
+        if dst <> src && h > 0 then begin
+          total := !total + h;
+          incr pairs;
+          if h > !diameter then diameter := h
+        end)
+      hops
+  done;
+  if !pairs = 0 then (0., 0)
+  else (float_of_int !total /. float_of_int !pairs, !diameter)
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  let n = Graph.vertex_count g in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + (try Hashtbl.find tbl d with Not_found -> 0))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+let summarize g =
+  let n = Graph.vertex_count g in
+  let average_hops, diameter_hops = hop_statistics g in
+  let max_degree = ref 0 in
+  for v = 0 to n - 1 do
+    max_degree := max !max_degree (Graph.degree g v)
+  done;
+  let m = Graph.edge_count g in
+  let average_fiber =
+    if m = 0 then 0.
+    else
+      Graph.fold_edges g ~init:0. ~f:(fun acc e -> acc +. e.Graph.length)
+      /. float_of_int m
+  in
+  {
+    vertices = n;
+    edges = m;
+    average_degree = Graph.average_degree g;
+    max_degree = !max_degree;
+    clustering = mean_clustering g;
+    average_hops;
+    diameter_hops;
+    average_fiber;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "V=%d E=%d deg(avg %.2f, max %d) clustering %.3f hops(avg %.2f, diam %d) \
+     fiber avg %.0f"
+    s.vertices s.edges s.average_degree s.max_degree s.clustering
+    s.average_hops s.diameter_hops s.average_fiber

@@ -1,0 +1,42 @@
+(** Structural metrics of generated networks.
+
+    The paper's Fig. 5 observation — that topology family dominates
+    entanglement performance — begs for the standard graph metrics that
+    distinguish the families.  This module computes them so tests can
+    assert each generator actually produces its family's signature
+    (e.g. Watts–Strogatz's small-world combination of high clustering
+    and short paths) and examples can report them alongside rates. *)
+
+type summary = {
+  vertices : int;
+  edges : int;
+  average_degree : float;
+  max_degree : int;
+  clustering : float;  (** Mean local clustering coefficient. *)
+  average_hops : float;
+      (** Mean shortest-path hop count over connected vertex pairs. *)
+  diameter_hops : int;  (** Largest hop distance among connected pairs;
+                            [0] for graphs without pairs. *)
+  average_fiber : float;  (** Mean fiber length; [0.] without edges. *)
+}
+
+val clustering_coefficient : Qnet_graph.Graph.t -> int -> float
+(** Local clustering of one vertex: the fraction of its neighbour pairs
+    that are themselves adjacent ([0.] for degree < 2). *)
+
+val mean_clustering : Qnet_graph.Graph.t -> float
+(** Average of {!clustering_coefficient} over all vertices ([0.] for
+    the empty graph). *)
+
+val hop_statistics : Qnet_graph.Graph.t -> float * int
+(** [(average, diameter)] of hop distances over all connected ordered
+    pairs, via BFS from every vertex.  [(0., 0)] when no pairs are
+    connected. *)
+
+val degree_histogram : Qnet_graph.Graph.t -> (int * int) list
+(** [(degree, count)] pairs, ascending by degree. *)
+
+val summarize : Qnet_graph.Graph.t -> summary
+(** All metrics in one pass (O(V·E) for the BFS sweep). *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,83 @@
+module Prng = Qnet_util.Prng
+module Graph = Qnet_graph.Graph
+module Union_find = Qnet_graph.Union_find
+
+let assign_roles rng spec =
+  Spec.validate spec;
+  let n = Spec.vertex_count spec in
+  let roles =
+    Array.init n (fun i ->
+        if i < spec.Spec.n_users then Graph.User else Graph.Switch)
+  in
+  Prng.shuffle_in_place rng roles;
+  roles
+
+let key (u, v) = if u < v then (u, v) else (v, u)
+
+let connect_components points edges =
+  let n = Array.length points in
+  let uf = Union_find.create n in
+  let present = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (u, v) ->
+      Hashtbl.replace present (key (u, v)) ();
+      ignore (Union_find.union uf u v))
+    edges;
+  let extra = ref [] in
+  while Union_find.count_sets uf > 1 do
+    (* Shortest absent pair across any two components. *)
+    let best = ref None in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if
+          (not (Union_find.same uf u v))
+          && not (Hashtbl.mem present (u, v))
+        then begin
+          let d = Layout.distance points.(u) points.(v) in
+          match !best with
+          | Some (bd, _, _) when bd <= d -> ()
+          | _ -> best := Some (d, u, v)
+        end
+      done
+    done;
+    match !best with
+    | None ->
+        (* Unreachable for >= 2 vertices: some absent cross pair always
+           exists in a simple graph with more than one component. *)
+        invalid_arg "Assemble.connect_components: cannot connect"
+    | Some (_, u, v) ->
+        Hashtbl.replace present (u, v) ();
+        ignore (Union_find.union uf u v);
+        extra := (u, v) :: !extra
+  done;
+  List.rev !extra
+
+let build spec ~points ~roles ~edges =
+  Spec.validate spec;
+  let n = Spec.vertex_count spec in
+  if Array.length points <> n then
+    invalid_arg "Assemble.build: points arity mismatch";
+  if Array.length roles <> n then
+    invalid_arg "Assemble.build: roles arity mismatch";
+  let b = Graph.Builder.create () in
+  Array.iteri
+    (fun i (p : Layout.point) ->
+      let kind = roles.(i) in
+      let qubits =
+        match kind with
+        | Graph.User -> spec.Spec.user_qubits
+        | Graph.Switch -> spec.Spec.qubits_per_switch
+      in
+      ignore (Graph.Builder.add_vertex b ~kind ~qubits ~x:p.x ~y:p.y))
+    points;
+  let add (u, v) =
+    if u <> v && not (Graph.Builder.has_edge b u v) then begin
+      (* Coincident random points are measure-zero but guard anyway:
+         fiber lengths must be strictly positive. *)
+      let d = Float.max 1e-9 (Layout.distance points.(u) points.(v)) in
+      ignore (Graph.Builder.add_edge b u v d)
+    end
+  in
+  List.iter add edges;
+  List.iter add (connect_components points edges);
+  Graph.Builder.freeze b

@@ -1,0 +1,33 @@
+(** Shared final assembly for topology generators.
+
+    Every generator reduces to: place points, pick vertex roles, choose
+    an edge set, then hand off here — which repairs connectivity (the
+    paper's networks are connected by construction) and freezes the
+    {!Qnet_graph.Graph.t} with fiber lengths equal to the Euclidean
+    distance between endpoints. *)
+
+val assign_roles :
+  Qnet_util.Prng.t -> Spec.t -> Qnet_graph.Graph.vertex_kind array
+(** A random role per vertex index: exactly [n_users] entries are
+    [User], the rest [Switch], in a uniformly random arrangement —
+    matching the paper's "switches and quantum users are placed
+    randomly". *)
+
+val connect_components :
+  Layout.point array -> (int * int) list -> (int * int) list
+(** [connect_components points edges] returns extra edges that join all
+    connected components, choosing for each merge the geometrically
+    shortest absent cross-component pair (so the repair perturbs the
+    degree/length distributions minimally).  Returns [\[\]] when already
+    connected. *)
+
+val build :
+  Spec.t ->
+  points:Layout.point array ->
+  roles:Qnet_graph.Graph.vertex_kind array ->
+  edges:(int * int) list ->
+  Qnet_graph.Graph.t
+(** Freeze the graph: vertices in index order with role-appropriate
+    qubit budgets, edges (deduplicated; self-loops rejected upstream)
+    plus connectivity repair.  @raise Invalid_argument on arity
+    mismatches. *)

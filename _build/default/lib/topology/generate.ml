@@ -1,0 +1,37 @@
+type kind =
+  | Waxman of Waxman.params
+  | Watts_strogatz of Watts_strogatz.params
+  | Volchenkov of Volchenkov.params
+  | Grid
+
+let waxman = Waxman Waxman.default_params
+let watts_strogatz = Watts_strogatz Watts_strogatz.default_params
+let volchenkov = Volchenkov Volchenkov.default_params
+let grid = Grid
+
+let name = function
+  | Waxman _ -> "waxman"
+  | Watts_strogatz _ -> "watts-strogatz"
+  | Volchenkov _ -> "volchenkov"
+  | Grid -> "grid"
+
+let all_paper_kinds =
+  [
+    ("Waxman", waxman);
+    ("Watts-Strogatz", watts_strogatz);
+    ("Volchenkov", volchenkov);
+  ]
+
+let of_name = function
+  | "waxman" -> Some waxman
+  | "watts-strogatz" | "watts_strogatz" | "ws" -> Some watts_strogatz
+  | "volchenkov" | "power-law" | "powerlaw" -> Some volchenkov
+  | "grid" | "lattice" -> Some grid
+  | _ -> None
+
+let run kind rng spec =
+  match kind with
+  | Waxman params -> Waxman.generate ~params rng spec
+  | Watts_strogatz params -> Watts_strogatz.generate ~params rng spec
+  | Volchenkov params -> Volchenkov.generate ~params rng spec
+  | Grid -> Grid.generate rng spec

@@ -1,0 +1,28 @@
+(** Generator dispatch — one entry point over all topology families. *)
+
+type kind =
+  | Waxman of Waxman.params
+  | Watts_strogatz of Watts_strogatz.params
+  | Volchenkov of Volchenkov.params
+  | Grid
+
+val waxman : kind
+(** [Waxman Waxman.default_params] — the paper's default generator. *)
+
+val watts_strogatz : kind
+val volchenkov : kind
+val grid : kind
+
+val all_paper_kinds : (string * kind) list
+(** The three generators of Fig. 5 with their display names. *)
+
+val name : kind -> string
+(** Display name ("waxman", "watts-strogatz", "volchenkov", "grid"). *)
+
+val of_name : string -> kind option
+(** Inverse of {!name} with default parameters; [None] on unknown
+    names. *)
+
+val run : kind -> Qnet_util.Prng.t -> Spec.t -> Qnet_graph.Graph.t
+(** Generate a network of the requested family.  All families return
+    connected graphs. *)

@@ -1,0 +1,48 @@
+module Prng = Qnet_util.Prng
+module Graph = Qnet_graph.Graph
+
+let generate rng spec =
+  Spec.validate spec;
+  let ns = spec.Spec.n_switches and nu = spec.Spec.n_users in
+  if ns < 2 then invalid_arg "Grid.generate: need >= 2 switches";
+  if ns < nu then invalid_arg "Grid.generate: need a switch per user";
+  let cols = int_of_float (Float.ceil (sqrt (float_of_int ns))) in
+  let rows = (ns + cols - 1) / cols in
+  let cell = spec.Spec.area /. float_of_int (max cols rows + 1) in
+  (* Switch vertex ids are 0 .. ns-1 laid out row-major; users follow. *)
+  let switch_point i =
+    let r = i / cols and c = i mod cols in
+    Layout.
+      { x = cell *. float_of_int (c + 1); y = cell *. float_of_int (r + 1) }
+  in
+  let b = Graph.Builder.create () in
+  for i = 0 to ns - 1 do
+    let p = switch_point i in
+    ignore
+      (Graph.Builder.add_vertex b ~kind:Graph.Switch
+         ~qubits:spec.Spec.qubits_per_switch ~x:p.x ~y:p.y)
+  done;
+  (* Lattice fibers. *)
+  for i = 0 to ns - 1 do
+    let r = i / cols and c = i mod cols in
+    if c + 1 < cols && i + 1 < ns then
+      ignore (Graph.Builder.add_edge b i (i + 1) cell);
+    if r + 1 < rows && i + cols < ns then
+      ignore (Graph.Builder.add_edge b i (i + cols) cell)
+  done;
+  (* Users attach to distinct switches with a short access fiber. *)
+  let hosts = Prng.sample_without_replacement rng nu ns in
+  List.iter
+    (fun host ->
+      let hp = switch_point host in
+      let dx = Prng.float rng (cell /. 2.) -. (cell /. 4.) in
+      let dy = Prng.float rng (cell /. 2.) -. (cell /. 4.) in
+      let ux = hp.x +. dx and uy = hp.y +. dy in
+      let uid =
+        Graph.Builder.add_vertex b ~kind:Graph.User
+          ~qubits:spec.Spec.user_qubits ~x:ux ~y:uy
+      in
+      let d = Float.max 1e-9 (sqrt ((dx *. dx) +. (dy *. dy))) in
+      ignore (Graph.Builder.add_edge b uid host d))
+    hosts;
+  Graph.Builder.freeze b

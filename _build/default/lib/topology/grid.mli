@@ -1,0 +1,15 @@
+(** Regular grid (lattice) topology — an extension beyond the paper's
+    three random generators.
+
+    Related work (e.g. Li et al., npj QI 2021 — reference [15] of the
+    paper) evaluates entanglement routing on lattices; this generator
+    lets examples and ablations compare the MUERP algorithms on the same
+    structured substrate.  Switches occupy a near-square grid with
+    4-neighbour connectivity; users are attached to distinct random grid
+    switches by short access fibers. *)
+
+val generate : Qnet_util.Prng.t -> Spec.t -> Qnet_graph.Graph.t
+(** Generate the lattice network.  [spec.avg_degree] is ignored (the
+    lattice fixes connectivity); other fields apply unchanged.
+    @raise Invalid_argument if [n_switches < n_users] or
+    [n_switches < 2] (each user needs its own attachment switch). *)

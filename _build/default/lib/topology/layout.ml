@@ -1,0 +1,28 @@
+type point = { x : float; y : float }
+
+let default_area = 10_000.
+
+let distance p1 p2 =
+  let dx = p1.x -. p2.x and dy = p1.y -. p2.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let random_point rng ~area =
+  if area <= 0. then invalid_arg "Layout.random_point: non-positive area";
+  { x = Qnet_util.Prng.float rng area; y = Qnet_util.Prng.float rng area }
+
+let random_points rng ~area n =
+  if n < 0 then invalid_arg "Layout.random_points: negative count";
+  Array.init n (fun _ -> random_point rng ~area)
+
+let max_distance ~area = area *. sqrt 2.
+
+let ring_points ~area n =
+  if n < 0 then invalid_arg "Layout.ring_points: negative count";
+  let center = area /. 2. in
+  let radius = area *. 0.45 in
+  Array.init n (fun i ->
+      let theta = 2. *. Float.pi *. float_of_int i /. float_of_int (max n 1) in
+      {
+        x = center +. (radius *. cos theta);
+        y = center +. (radius *. sin theta);
+      })

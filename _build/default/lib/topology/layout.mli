@@ -1,0 +1,28 @@
+(** Random placement of network nodes in the simulation area.
+
+    The paper places switches and users uniformly at random in a
+    10,000 × 10,000-unit square (1 unit ≈ 1 km).  This module owns that
+    geometry so every generator shares it. *)
+
+type point = { x : float; y : float }
+
+val default_area : float
+(** Side of the paper's square area: [10_000.] units. *)
+
+val distance : point -> point -> float
+(** Euclidean distance. *)
+
+val random_point : Qnet_util.Prng.t -> area:float -> point
+(** Uniform point in [\[0, area\] × \[0, area\]]. *)
+
+val random_points : Qnet_util.Prng.t -> area:float -> int -> point array
+(** [random_points rng ~area n] draws [n] independent uniform points. *)
+
+val max_distance : area:float -> float
+(** Diameter of the area (corner-to-corner), used to normalise Waxman
+    probabilities. *)
+
+val ring_points : area:float -> int -> point array
+(** [n] points evenly spaced on a circle inscribed in the area —
+    the natural embedding for Watts–Strogatz ring lattices, preserving
+    the property that lattice neighbours are physically close. *)

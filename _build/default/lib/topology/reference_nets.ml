@@ -1,0 +1,84 @@
+module Prng = Qnet_util.Prng
+module Graph = Qnet_graph.Graph
+
+type name = Nsfnet | Arpanet
+
+let all = [ ("nsfnet", Nsfnet); ("arpanet", Arpanet) ]
+
+(* NSFNET T1 backbone (1991): 14 nodes with approximate geographic
+   coordinates on a unit grid (x grows east, y grows north), 21 links.
+   0 Seattle, 1 Palo Alto, 2 San Diego, 3 Salt Lake City, 4 Boulder,
+   5 Houston, 6 Lincoln, 7 Champaign, 8 Ann Arbor, 9 Pittsburgh,
+   10 Atlanta, 11 Ithaca, 12 College Park, 13 Princeton. *)
+let nsfnet_nodes =
+  [|
+    (0.05, 0.95); (0.05, 0.45); (0.12, 0.10); (0.25, 0.55); (0.35, 0.50);
+    (0.45, 0.05); (0.48, 0.55); (0.60, 0.45); (0.65, 0.65); (0.75, 0.50);
+    (0.72, 0.15); (0.82, 0.70); (0.85, 0.42); (0.92, 0.55);
+  |]
+
+let nsfnet_links =
+  [
+    (0, 1); (0, 3); (0, 8); (1, 2); (1, 3); (2, 5); (3, 4); (4, 6); (4, 5);
+    (5, 10); (5, 12); (6, 7); (6, 9); (7, 8); (7, 10); (8, 11); (9, 11);
+    (9, 12); (10, 12); (11, 13); (12, 13);
+  ]
+
+(* An ARPANET-like 20-node mesh (idealised early-1970s shape): a
+   coast-to-coast elongated graph with two east-west trunks and
+   cross-links. *)
+let arpanet_nodes =
+  [|
+    (0.03, 0.70); (0.05, 0.30); (0.15, 0.55); (0.18, 0.20); (0.28, 0.65);
+    (0.30, 0.35); (0.40, 0.75); (0.42, 0.45); (0.45, 0.15); (0.55, 0.60);
+    (0.57, 0.30); (0.65, 0.80); (0.67, 0.50); (0.70, 0.15); (0.78, 0.65);
+    (0.80, 0.35); (0.88, 0.75); (0.90, 0.50); (0.92, 0.20); (0.97, 0.60);
+  |]
+
+let arpanet_links =
+  [
+    (0, 1); (0, 2); (1, 3); (2, 3); (2, 4); (3, 5); (4, 5); (4, 6); (5, 7);
+    (6, 7); (6, 9); (7, 8); (8, 10); (9, 10); (9, 11); (10, 12); (11, 12);
+    (11, 14); (12, 13); (13, 15); (14, 15); (14, 16); (15, 17); (16, 17);
+    (16, 19); (17, 18); (18, 19); (5, 8); (9, 12); (12, 15); (1, 2); (13, 18);
+  ]
+
+let topology = function
+  | Nsfnet -> (nsfnet_nodes, nsfnet_links)
+  | Arpanet -> (arpanet_nodes, arpanet_links)
+
+let node_count name = Array.length (fst (topology name))
+
+let build ?(area = Layout.default_area) rng name ~n_users ~qubits_per_switch
+    ~user_qubits =
+  let nodes, links = topology name in
+  let n = Array.length nodes in
+  if n_users < 1 then invalid_arg "Reference_nets.build: n_users < 1";
+  if n_users > n then
+    invalid_arg "Reference_nets.build: more users than nodes";
+  if qubits_per_switch < 0 || user_qubits < 0 then
+    invalid_arg "Reference_nets.build: negative qubits";
+  let user_set = Hashtbl.create n_users in
+  List.iter
+    (fun i -> Hashtbl.replace user_set i ())
+    (Prng.sample_without_replacement rng n_users n);
+  let b = Graph.Builder.create () in
+  Array.iteri
+    (fun i (x, y) ->
+      let kind, qubits =
+        if Hashtbl.mem user_set i then (Graph.User, user_qubits)
+        else (Graph.Switch, qubits_per_switch)
+      in
+      ignore
+        (Graph.Builder.add_vertex b ~kind ~qubits ~x:(x *. area)
+           ~y:(y *. area)))
+    nodes;
+  List.iter
+    (fun (i, j) ->
+      let xi, yi = nodes.(i) and xj, yj = nodes.(j) in
+      let d =
+        area *. sqrt (((xi -. xj) ** 2.) +. ((yi -. yj) ** 2.))
+      in
+      ignore (Graph.Builder.add_edge b i j (Float.max 1e-9 d)))
+    links;
+  Graph.Builder.freeze b

@@ -1,0 +1,35 @@
+(** Reference wide-area topologies.
+
+    Random generators answer "does the algorithm generalise"; reference
+    networks answer "what happens on the fiber plants people actually
+    run".  Two standard research topologies are built in, with node
+    coordinates scaled into the paper's 10k × 10k-unit area:
+
+    - {b NSFNET} (T1 backbone, 1991): 14 nodes, 21 links — the most
+      widely used evaluation topology in optical/quantum networking.
+    - {b ARPA-like} (early ARPANET shape): 20 nodes, 32 links — a
+      sparser, more elongated mesh.
+
+    A subset of nodes is designated as quantum users (uniformly at
+    random from a PRNG); the rest become switches with the given qubit
+    budget. *)
+
+type name = Nsfnet | Arpanet
+
+val all : (string * name) list
+(** Display-name table: [("nsfnet", Nsfnet); ("arpanet", Arpanet)]. *)
+
+val node_count : name -> int
+(** Number of nodes in the reference topology. *)
+
+val build :
+  ?area:float ->
+  Qnet_util.Prng.t ->
+  name ->
+  n_users:int ->
+  qubits_per_switch:int ->
+  user_qubits:int ->
+  Qnet_graph.Graph.t
+(** Instantiate the reference network.  [n_users] nodes drawn at random
+    become users.  @raise Invalid_argument if [n_users] exceeds the
+    node count or is < 1. *)

@@ -1,0 +1,48 @@
+type t = {
+  n_users : int;
+  n_switches : int;
+  area : float;
+  avg_degree : float;
+  qubits_per_switch : int;
+  user_qubits : int;
+}
+
+let validate t =
+  if t.n_users < 1 then invalid_arg "Spec: need at least one user";
+  if t.n_switches < 0 then invalid_arg "Spec: negative switch count";
+  if not (t.area > 0. && Float.is_finite t.area) then
+    invalid_arg "Spec: area must be positive and finite";
+  if not (t.avg_degree > 0. && Float.is_finite t.avg_degree) then
+    invalid_arg "Spec: avg_degree must be positive and finite";
+  if t.qubits_per_switch < 0 then invalid_arg "Spec: negative switch qubits";
+  if t.user_qubits < 0 then invalid_arg "Spec: negative user qubits"
+
+let default =
+  {
+    n_users = 10;
+    n_switches = 50;
+    area = Layout.default_area;
+    avg_degree = 6.;
+    qubits_per_switch = 4;
+    user_qubits = 1_000_000;
+  }
+
+let create ?(n_users = default.n_users) ?(n_switches = default.n_switches)
+    ?(area = default.area) ?(avg_degree = default.avg_degree)
+    ?(qubits_per_switch = default.qubits_per_switch)
+    ?(user_qubits = default.user_qubits) () =
+  let t =
+    { n_users; n_switches; area; avg_degree; qubits_per_switch; user_qubits }
+  in
+  validate t;
+  t
+
+let vertex_count t = t.n_users + t.n_switches
+
+let target_edges t =
+  let n = vertex_count t in
+  let wanted =
+    int_of_float (Float.round (t.avg_degree *. float_of_int n /. 2.))
+  in
+  let max_simple = n * (n - 1) / 2 in
+  max (n - 1) (min wanted max_simple)

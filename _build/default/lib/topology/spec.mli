@@ -1,0 +1,43 @@
+(** Common configuration for all topology generators.
+
+    Field defaults mirror the paper's simulation setup (§V-A): 50
+    switches, 10 users, a 10k × 10k-unit area, average degree 6 and 4
+    qubits per switch. *)
+
+type t = {
+  n_users : int;
+  n_switches : int;
+  area : float;  (** Side length of the square placement area. *)
+  avg_degree : float;  (** Target average vertex degree [D]. *)
+  qubits_per_switch : int;
+  user_qubits : int;
+      (** Stored qubit budget for user vertices.  The paper gives users
+          "enough quantum memory"; routing never constrains users, but a
+          concrete value keeps the graph model uniform. *)
+}
+
+val default : t
+(** The paper's §V-A configuration. *)
+
+val create :
+  ?n_users:int ->
+  ?n_switches:int ->
+  ?area:float ->
+  ?avg_degree:float ->
+  ?qubits_per_switch:int ->
+  ?user_qubits:int ->
+  unit ->
+  t
+(** {!default} with overrides.  @raise Invalid_argument on non-positive
+    counts/area/degree or negative qubits. *)
+
+val vertex_count : t -> int
+(** [n_users + n_switches]. *)
+
+val target_edges : t -> int
+(** Edge budget [round (D · |V| / 2)], clamped to the simple-graph
+    maximum and to the spanning minimum [|V| - 1]. *)
+
+val validate : t -> unit
+(** Re-check the invariants (used by generators receiving a hand-built
+    record).  @raise Invalid_argument when violated. *)

@@ -1,0 +1,70 @@
+module Prng = Qnet_util.Prng
+
+type params = { gamma : float; k_min : int }
+
+let default_params = { gamma = 2.5; k_min = 1 }
+
+(* Discrete power-law sample on [k_min, k_max] by inverse transform over
+   the (finite) normalised mass function. *)
+let sample_degree rng ~gamma ~k_min ~k_max =
+  let mass k = float_of_int k ** -.gamma in
+  let total = ref 0. in
+  for k = k_min to k_max do
+    total := !total +. mass k
+  done;
+  let u = Prng.float rng !total in
+  let rec scan k acc =
+    if k >= k_max then k_max
+    else
+      let acc = acc +. mass k in
+      if u < acc then k else scan (k + 1) acc
+  in
+  scan k_min 0.
+
+let generate ?(params = default_params) rng spec =
+  Spec.validate spec;
+  if params.gamma <= 1. then invalid_arg "Volchenkov.generate: gamma <= 1";
+  if params.k_min < 1 then invalid_arg "Volchenkov.generate: k_min < 1";
+  let n = Spec.vertex_count spec in
+  let points = Layout.random_points rng ~area:spec.Spec.area n in
+  let roles = Assemble.assign_roles rng spec in
+  let k_max = max params.k_min (n - 1) in
+  let degrees =
+    Array.init n (fun _ ->
+        sample_degree rng ~gamma:params.gamma ~k_min:params.k_min ~k_max)
+  in
+  (* Scale stub counts so the expected edge total matches the budget. *)
+  let budget = Spec.target_edges spec in
+  let stub_total = Array.fold_left ( + ) 0 degrees in
+  let scale = 2. *. float_of_int budget /. float_of_int (max 1 stub_total) in
+  let degrees =
+    Array.map
+      (fun d ->
+        let scaled = int_of_float (Float.round (float_of_int d *. scale)) in
+        min (n - 1) (max params.k_min scaled))
+      degrees
+  in
+  (* Configuration-model stub matching with rejection. *)
+  let stubs = ref [] in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs := v :: !stubs
+      done)
+    degrees;
+  let stubs = Array.of_list !stubs in
+  Prng.shuffle_in_place rng stubs;
+  let present = Hashtbl.create (Array.length stubs) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  let edges = ref [] in
+  let n_stubs = Array.length stubs in
+  let i = ref 0 in
+  while !i + 1 < n_stubs do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    if u <> v && not (Hashtbl.mem present (key u v)) then begin
+      Hashtbl.replace present (key u v) ();
+      edges := (u, v) :: !edges
+    end;
+    i := !i + 2
+  done;
+  Assemble.build spec ~points ~roles ~edges:!edges

@@ -1,0 +1,20 @@
+(** Volchenkov–Blanchard power-law generator (Physica A 2002).
+
+    Produces graphs whose degree distribution follows
+    [P(k) ∝ k^{−gamma}]: a power-law degree sequence is sampled, scaled
+    to the spec's edge budget, and realised by stub matching
+    (configuration model) with rejection of self-loops and parallel
+    edges.  Node positions are uniform in the area, as in the paper's
+    setup, so fiber lengths still reflect geometry. *)
+
+type params = {
+  gamma : float;  (** Power-law exponent; default 2.5. *)
+  k_min : int;  (** Minimum degree in the sampled sequence; default 1. *)
+}
+
+val default_params : params
+
+val generate :
+  ?params:params -> Qnet_util.Prng.t -> Spec.t -> Qnet_graph.Graph.t
+(** Generate a connected power-law network for [spec].
+    @raise Invalid_argument on [gamma <= 1.] or [k_min < 1]. *)

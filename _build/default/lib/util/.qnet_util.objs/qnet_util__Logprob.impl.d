@@ -1,0 +1,1 @@
+lib/util/logprob.ml: Float Format

@@ -1,0 +1,1 @@
+lib/util/sexp.ml: Buffer List Printf String

@@ -1,0 +1,22 @@
+let src = Logs.Src.create "qnet" ~doc:"Quantum-network routing library"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+let kmsg level fmt =
+  Format.kasprintf
+    (fun s ->
+      match level with
+      | Logs.Debug -> L.debug (fun m -> m "%s" s)
+      | Logs.Info -> L.info (fun m -> m "%s" s)
+      | Logs.Warning -> L.warn (fun m -> m "%s" s)
+      | Logs.Error -> L.err (fun m -> m "%s" s)
+      | Logs.App -> L.app (fun m -> m "%s" s))
+    fmt
+
+let debug fmt = kmsg Logs.Debug fmt
+let info fmt = kmsg Logs.Info fmt
+let warn fmt = kmsg Logs.Warning fmt
+
+let setup ~level =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.Src.set_level src level

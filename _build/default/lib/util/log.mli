@@ -1,0 +1,20 @@
+(** Library-wide logging (thin wrapper over [Logs]).
+
+    Every qnet library logs through the single ["qnet"] source so
+    applications can turn solver tracing on with one switch.  The CLI's
+    [--verbose] flag calls {!setup} with [Debug]; library code must
+    never call {!setup} itself. *)
+
+val src : Logs.src
+(** The shared log source (name ["qnet"]). *)
+
+val debug : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Debug-level message on {!src} (compiled to a no-op cost when the
+    level is disabled). *)
+
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val setup : level:Logs.level option -> unit
+(** Install a [Format]-based reporter on stderr and set the level for
+    {!src}.  Intended for executables only. *)

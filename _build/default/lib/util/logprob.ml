@@ -1,0 +1,33 @@
+type t = float (* -ln p; 0. = certain, +inf = impossible *)
+
+let certain = 0.
+let impossible = infinity
+
+let of_prob p =
+  if Float.is_nan p || p < 0. || p > 1. then
+    invalid_arg "Logprob.of_prob: probability outside [0, 1]";
+  if p = 0. then infinity else -.log p
+
+let of_neg_log x =
+  if Float.is_nan x || x < 0. then
+    invalid_arg "Logprob.of_neg_log: negative log-probability must be >= 0";
+  x
+
+let to_prob t = if t = infinity then 0. else exp (-.t)
+let to_neg_log t = t
+let mul a b = if a = infinity || b = infinity then infinity else a +. b
+
+let pow t k =
+  if k < 0 then invalid_arg "Logprob.pow: negative exponent";
+  if k = 0 then certain
+  else if t = infinity then infinity
+  else t *. float_of_int k
+
+let is_impossible t = t = infinity
+
+(* Smaller -ln p means larger p, so ascending float order is descending
+   probability order. *)
+let compare_desc a b = Float.compare a b
+let compare_asc a b = Float.compare b a
+let equal a b = Float.equal a b
+let pp fmt t = Format.fprintf fmt "%g (p=%g)" t (to_prob t)

@@ -1,0 +1,54 @@
+(** Probabilities in negative-log space.
+
+    Entanglement rates are products of many per-link and per-swap success
+    probabilities (Eq. 1–2 of the paper), so they underflow ordinary
+    floats quickly (a 14-user tree over long fibers easily reaches
+    1e-300).  All rate bookkeeping inside the routing algorithms is done
+    on the negative natural logarithm, where the product becomes a sum —
+    exactly the transformation §IV-A of the paper applies to reuse
+    shortest-path machinery. *)
+
+type t
+(** A probability [p ∈ \[0, 1\]] represented as [-ln p].  Larger
+    underlying probability compares as "better" via {!compare_desc}. *)
+
+val certain : t
+(** Probability 1 ([-ln 1 = 0]). *)
+
+val impossible : t
+(** Probability 0 ([+∞] in negative-log space). *)
+
+val of_prob : float -> t
+(** [of_prob p] injects an ordinary probability.
+    @raise Invalid_argument if [p] is outside [\[0, 1\]] or NaN. *)
+
+val of_neg_log : float -> t
+(** [of_neg_log x] treats [x >= 0.] directly as [-ln p].
+    @raise Invalid_argument on a negative or NaN input. *)
+
+val to_prob : t -> float
+(** [to_prob t] recovers the plain probability ([exp (-x)]); may
+    underflow to [0.] for extreme values, which is acceptable at report
+    time. *)
+
+val to_neg_log : t -> float
+(** The raw [-ln p] value; [infinity] for {!impossible}. *)
+
+val mul : t -> t -> t
+(** Product of the underlying probabilities (sum in log space). *)
+
+val pow : t -> int -> t
+(** [pow t k] is the underlying probability raised to [k >= 0]. *)
+
+val is_impossible : t -> bool
+(** Whether the underlying probability is exactly 0. *)
+
+val compare_desc : t -> t -> int
+(** [compare_desc a b] orders larger probabilities first — the order in
+    which the paper's algorithms consume candidate channels. *)
+
+val compare_asc : t -> t -> int
+(** [compare_asc a b] orders smaller probabilities first. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

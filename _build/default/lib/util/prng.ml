@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = next_int64 t in
+  { state = mix s }
+
+(* Top 53 bits give a uniform float in [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t bound =
+  if not (bound > 0. && Float.is_finite bound) then
+    invalid_arg "Prng.float: bound must be positive and finite";
+  unit_float t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the low bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_int64 t) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.(compare (sub (add (sub raw v) bound64) 1L) 0L) < 0 then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in_range t ~min ~max =
+  if max < min then invalid_arg "Prng.int_in_range: max < min";
+  min + int t (max - min + 1)
+
+let bool t = Int64.compare (Int64.logand (next_int64 t) 1L) 0L <> 0
+
+let bernoulli t p =
+  if p >= 1. then true else if p <= 0. then false else unit_float t < p
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected insertions. *)
+  let module IS = Set.Make (Int) in
+  let chosen = ref IS.empty in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if IS.mem r !chosen then chosen := IS.add j !chosen
+    else chosen := IS.add r !chosen
+  done;
+  IS.elements !chosen
+
+let exponential t lambda =
+  if lambda <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  -.log (1. -. unit_float t) /. lambda

@@ -1,0 +1,62 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through this module so that every
+    topology, workload and Monte-Carlo run is reproducible from a single
+    integer seed.  The generator is SplitMix64 (Steele, Lea & Flood,
+    OOPSLA 2014): a 64-bit counter-based generator with strong avalanche
+    behaviour, trivially splittable, and independent of the OCaml runtime's
+    [Random] state. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed.  Equal
+    seeds produce equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator duplicating [t]'s current
+    state; advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t]'s stream, advancing [t].
+    The derived stream is statistically independent of the parent's
+    subsequent output.  Used to give subsystems isolated randomness. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val int_in_range : t -> min:int -> max:int -> int
+(** [int_in_range t ~min ~max] is uniform in [\[min, max\]] inclusive.
+    @raise Invalid_argument if [max < min]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive and finite. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to
+    [\[0, 1\]]). *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** [shuffle_in_place t a] applies a Fisher–Yates shuffle to [a]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly random element of [a].
+    @raise Invalid_argument on an empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] is [k] distinct integers drawn
+    uniformly from [\[0, n)], in no particular order.
+    @raise Invalid_argument if [k > n] or [k < 0]. *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] samples an exponential variate with rate
+    [lambda] via inverse transform. *)

@@ -1,0 +1,181 @@
+type t = Atom of string | List of t list
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_to_string s = if needs_quoting s then quote s else s
+
+let rec to_string = function
+  | Atom s -> atom_to_string s
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let to_string_hum ?(indent = 2) t =
+  let buf = Buffer.create 256 in
+  let rec render prefix t =
+    let flat = to_string t in
+    if String.length flat + prefix <= 78 then Buffer.add_string buf flat
+    else
+      match t with
+      | Atom s -> Buffer.add_string buf (atom_to_string s)
+      | List [] -> Buffer.add_string buf "()"
+      | List (head :: rest) ->
+          Buffer.add_char buf '(';
+          render (prefix + 1) head;
+          List.iter
+            (fun item ->
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf (String.make (prefix + indent) ' ');
+              render (prefix + indent) item)
+            rest;
+          Buffer.add_char buf ')'
+  in
+  render 0 t;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some ';' ->
+        (* Line comment. *)
+        while !pos < n && input.[!pos] <> '\n' do
+          advance ()
+        done;
+        skip_ws ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated quoted atom")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some c -> Buffer.add_char buf c
+          | None -> raise (Parse_error "dangling escape"));
+          advance ();
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let parse_bare () =
+    let start = !pos in
+    let finished () =
+      match peek () with
+      | None | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') ->
+          true
+      | Some _ -> false
+    in
+    while not (finished ()) do
+      advance ()
+    done;
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        advance ();
+        let items = ref [] in
+        let rec items_loop () =
+          skip_ws ();
+          match peek () with
+          | None -> raise (Parse_error "unterminated list")
+          | Some ')' -> advance ()
+          | Some _ ->
+              items := parse_one () :: !items;
+              items_loop ()
+        in
+        items_loop ();
+        List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> parse_quoted ()
+    | Some _ -> parse_bare ()
+  in
+  match
+    let t = parse_one () in
+    skip_ws ();
+    if !pos <> n then raise (Parse_error "trailing garbage");
+    t
+  with
+  | t -> Ok t
+  | exception Parse_error msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> failwith ("Sexp: " ^ msg)
+
+let atom s = Atom s
+let list items = List items
+let int i = Atom (string_of_int i)
+let float f = Atom (Printf.sprintf "%.17g" f)
+
+let to_int = function
+  | Atom s -> (
+      match int_of_string_opt s with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "not an int: %S" s))
+  | List _ -> Error "expected an int atom, got a list"
+
+let to_float = function
+  | Atom s -> (
+      match float_of_string_opt s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "not a float: %S" s))
+  | List _ -> Error "expected a float atom, got a list"
+
+let field t name =
+  match t with
+  | Atom _ -> Error "field lookup on an atom"
+  | List items -> (
+      let found =
+        List.find_opt
+          (function
+            | List (Atom head :: _) -> head = name
+            | Atom _ | List _ -> false)
+          items
+      in
+      match found with
+      | Some (List [ _; single ]) -> Ok single
+      | Some (List (_ :: rest)) -> Ok (List rest)
+      | Some _ | None -> Error (Printf.sprintf "missing field %S" name))

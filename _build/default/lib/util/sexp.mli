@@ -1,0 +1,42 @@
+(** Minimal s-expression reader/printer.
+
+    The sealed environment has no JSON/serialisation library, so the
+    library carries its own tiny codec substrate: atoms and lists, with
+    quoting for atoms containing whitespace or delimiters.  Used by
+    {!Qnet_graph.Codec} to persist networks and solutions to disk and by
+    the CLI's save/load options. *)
+
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+(** Render on one line; atoms are quoted iff they contain whitespace,
+    parentheses, quotes or are empty. *)
+
+val to_string_hum : ?indent:int -> t -> string
+(** Multi-line rendering with the given indent (default 2) — lists
+    whose rendered width exceeds ~78 columns break across lines. *)
+
+val of_string : string -> (t, string) result
+(** Parse one s-expression (leading/trailing whitespace allowed;
+    trailing garbage is an error).  Supports double-quoted atoms with
+    backslash escapes, and [;] line comments. *)
+
+val of_string_exn : string -> t
+(** @raise Failure with the parse error. *)
+
+(** {1 Typed helpers} *)
+
+val atom : string -> t
+val list : t list -> t
+val int : int -> t
+val float : float -> t
+(** Floats render with 17 significant digits, enough to round-trip any
+    double exactly. *)
+
+val to_int : t -> (int, string) result
+val to_float : t -> (float, string) result
+
+val field : t -> string -> (t, string) result
+(** [field (List [...]) name] finds the sub-list [(name v1 v2 …)] and
+    returns [List [v1; …]] (unwrapped to the single element when there
+    is exactly one).  Errors when absent or when [t] is an atom. *)

@@ -1,0 +1,105 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  check_nonempty "Stats.variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) ** 2.)) 0. a in
+    acc /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let geometric_mean a =
+  check_nonempty "Stats.geometric_mean" a;
+  if Array.exists (fun x -> x < 0.) a then
+    invalid_arg "Stats.geometric_mean: negative element";
+  if Array.exists (fun x -> x = 0.) a then 0.
+  else
+    let log_sum = Array.fold_left (fun s x -> s +. log x) 0. a in
+    exp (log_sum /. float_of_int (Array.length a))
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let percentile_sorted b p =
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then b.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      (b.(lo) *. (1. -. frac)) +. (b.(hi) *. frac)
+
+let percentile a p =
+  check_nonempty "Stats.percentile" a;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  percentile_sorted (sorted_copy a) p
+
+let median a =
+  check_nonempty "Stats.median" a;
+  percentile_sorted (sorted_copy a) 50.
+
+let min_max a =
+  check_nonempty "Stats.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0))
+    a
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize a =
+  check_nonempty "Stats.summarize" a;
+  let b = sorted_copy a in
+  {
+    n = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = b.(0);
+    max = b.(Array.length b - 1);
+    median = percentile_sorted b 50.;
+  }
+
+let z95 = 1.959963984540054
+
+let mean_ci95 a =
+  check_nonempty "Stats.mean_ci95" a;
+  let m = mean a in
+  let n = Array.length a in
+  if n = 1 then (m, m)
+  else
+    let half = z95 *. stddev a /. sqrt (float_of_int n) in
+    (m -. half, m +. half)
+
+let wilson_ci95 ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.wilson_ci95: trials must be positive";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_ci95: inconsistent counts";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z95 *. z95 in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z95 *. sqrt (((p *. (1. -. p)) +. (z2 /. (4. *. n))) /. n) /. denom
+  in
+  (Float.max 0. (center -. half), Float.min 1. (center +. half))

@@ -1,0 +1,56 @@
+(** Descriptive statistics and interval estimates for experiment series.
+
+    Every figure in the paper averages a routing metric over 20 random
+    networks; this module supplies those aggregates plus the confidence
+    intervals used when reporting Monte-Carlo estimates. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for singletons.
+    @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean.  Returns [0.] if any element is [0.]; elements must
+    be non-negative.  @raise Invalid_argument on an empty array or a
+    negative element. *)
+
+val median : float array -> float
+(** Median (average of the two central order statistics for even
+    lengths).  Does not mutate the input. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] is the [p]-th percentile ([0. <= p <= 100.]) using
+    linear interpolation between order statistics. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest elements.  @raise Invalid_argument on empty. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+(** A one-shot descriptive summary of a sample. *)
+
+val summarize : float array -> summary
+(** [summarize a] computes all fields of {!summary} in one pass over a
+    sorted copy.  @raise Invalid_argument on an empty array. *)
+
+val mean_ci95 : float array -> float * float
+(** [mean_ci95 a] is a normal-approximation 95% confidence interval
+    [(lo, hi)] for the mean.  Degenerates to [(m, m)] for singletons. *)
+
+val wilson_ci95 : successes:int -> trials:int -> float * float
+(** [wilson_ci95 ~successes ~trials] is the Wilson score 95% interval
+    for a binomial proportion — the interval used when validating
+    analytic entanglement rates against Monte-Carlo trials.
+    @raise Invalid_argument if [trials <= 0] or counts are
+    inconsistent. *)

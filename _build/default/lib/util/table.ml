@@ -1,0 +1,77 @@
+type align = Left | Right
+type t = { headers : string list; aligns : align list; rows : string list list }
+
+let create ?aligns headers =
+  if headers = [] then invalid_arg "Table.create: empty header";
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns arity mismatch";
+        a
+    | None -> Left :: List.map (fun _ -> Right) (List.tl headers)
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  { t with rows = t.rows @ [ cells ] }
+
+let float_cell x =
+  if x = 0. then "0"
+  else if Float.is_nan x then "nan"
+  else if Float.abs x >= 0.01 && Float.abs x < 10000. then
+    Printf.sprintf "%.4g" x
+  else Printf.sprintf "%.3e" x
+
+let add_float_row t label xs = add_row t (label :: List.map float_cell xs)
+
+let widths t =
+  let all = t.headers :: t.rows in
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let note row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  List.iter note all;
+  w
+
+let pad align width cell =
+  let n = width - String.length cell in
+  if n <= 0 then cell
+  else
+    match align with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+
+let to_string t =
+  let w = widths t in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) w.(i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|-"
+    ^ String.concat "-|-" (Array.to_list (Array.map (fun n -> String.make n '-') w))
+    ^ "-|"
+  in
+  String.concat "\n" (render_row t.headers :: sep :: List.map render_row t.rows)
+
+let csv_cell cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell row) in
+  String.concat "\n" (List.map line (t.headers :: t.rows))
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

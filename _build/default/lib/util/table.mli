@@ -1,0 +1,40 @@
+(** Plain-text and CSV rendering of experiment result tables.
+
+    The benchmark harness prints one table per reproduced paper figure;
+    this module owns the formatting so every experiment reports in the
+    same shape. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [aligns] defaults to [Left] for the first column and [Right] for the
+    rest, which suits "label, number, number, …" experiment rows.
+    @raise Invalid_argument if [headers] is empty or [aligns] has a
+    different length. *)
+
+val add_row : t -> string list -> t
+(** [add_row t cells] appends a row.  @raise Invalid_argument if the
+    arity differs from the header. *)
+
+val add_float_row : t -> string -> float list -> t
+(** [add_float_row t label xs] appends [label] followed by each float
+    rendered with {!float_cell}. *)
+
+val float_cell : float -> string
+(** Compact scientific / fixed rendering used for entanglement rates:
+    ["0"] for zero, 4 significant digits otherwise. *)
+
+val to_string : t -> string
+(** ASCII-art rendering with column-width alignment and a header
+    separator. *)
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (cells containing commas, quotes or newlines are
+    quoted). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer equivalent to {!to_string}. *)

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest List Qnet_experiments Qnet_topology Qnet_util String

@@ -1,0 +1,1 @@
+test/test_alg_conflict_free.ml: Alcotest Alg_conflict_free Alg_optimal Channel Ent_tree List Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

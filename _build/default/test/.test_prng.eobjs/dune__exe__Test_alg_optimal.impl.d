@@ -1,0 +1,1 @@
+test/test_alg_optimal.ml: Alcotest Alg_optimal Channel Ent_tree Exact List Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,1 @@
+test/test_alg_optimal.mli:

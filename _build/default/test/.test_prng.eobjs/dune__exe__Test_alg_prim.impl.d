@@ -1,0 +1,1 @@
+test/test_alg_prim.ml: Alcotest Alg_optimal Alg_prim Ent_tree List Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

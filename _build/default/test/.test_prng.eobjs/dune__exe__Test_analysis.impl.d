@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Format Printf Qnet_graph Qnet_topology Qnet_util Spec String Volchenkov Watts_strogatz Waxman

@@ -1,0 +1,1 @@
+test/test_binary_heap.ml: Alcotest Float List QCheck QCheck_alcotest Qnet_graph

@@ -1,0 +1,1 @@
+test/test_capacity.ml: Alcotest Qnet_core Qnet_graph

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Format Qnet_core Qnet_graph String

@@ -1,0 +1,1 @@
+test/test_dcst.ml: Alcotest Array Qnet_graph

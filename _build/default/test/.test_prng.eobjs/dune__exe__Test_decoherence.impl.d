@@ -1,0 +1,1 @@
+test/test_decoherence.ml: Alcotest Channel Ent_tree Float List Params Printf Qnet_core Qnet_graph Qnet_sim Qnet_util

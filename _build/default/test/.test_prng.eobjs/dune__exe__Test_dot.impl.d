@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Qnet_graph String

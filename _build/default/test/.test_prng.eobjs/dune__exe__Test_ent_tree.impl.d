@@ -1,0 +1,1 @@
+test/test_ent_tree.ml: Alcotest List Qnet_core Qnet_graph

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Alg_conflict_free Alg_optimal Alg_prim Ent_tree Exact List Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Qnet_experiments Qnet_topology Qnet_util String

@@ -1,0 +1,1 @@
+test/test_feasibility.ml: Alcotest Alg_optimal Array Exact Feasibility Format List Params Qnet_core Qnet_graph Qnet_topology Qnet_util

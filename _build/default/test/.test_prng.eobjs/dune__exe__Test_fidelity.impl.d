@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Alg_conflict_free Capacity Channel Ent_tree Fidelity List Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util Routing Verify

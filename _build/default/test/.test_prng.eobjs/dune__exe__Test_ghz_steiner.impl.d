@@ -1,0 +1,1 @@
+test/test_ghz_steiner.ml: Alcotest Alg_conflict_free Ent_tree List Params Printf Qnet_baselines Qnet_core Qnet_graph Qnet_topology Qnet_util

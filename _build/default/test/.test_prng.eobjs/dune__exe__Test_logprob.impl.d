@@ -1,0 +1,1 @@
+test/test_logprob.ml: Alcotest Float List Printf Qnet_util

@@ -1,0 +1,1 @@
+test/test_misc_coverage.ml: Alcotest Alg_conflict_free Capacity Ent_tree Fidelity Format List Muerp Multipath Params Qnet_core Qnet_experiments Qnet_graph Qnet_topology Qnet_util String Verify

@@ -1,0 +1,1 @@
+test/test_mst.ml: Alcotest List Printf Qnet_graph

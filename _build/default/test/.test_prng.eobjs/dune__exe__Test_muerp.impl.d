@@ -1,0 +1,1 @@
+test/test_muerp.ml: Alcotest Channel Ent_tree Float List Muerp Params Qnet_core Qnet_graph Qnet_topology Qnet_util Verify

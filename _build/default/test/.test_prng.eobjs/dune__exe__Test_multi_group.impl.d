@@ -1,0 +1,1 @@
+test/test_multi_group.ml: Alcotest Alg_prim Ent_tree Float Hashtbl List Multi_group Params Printf Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,1 @@
+test/test_multipath.ml: Alcotest Alg_conflict_free Alg_kbest Alg_optimal Capacity Channel Ent_tree Float List Multipath Params Qnet_core Qnet_graph Qnet_topology Qnet_util Routing Verify

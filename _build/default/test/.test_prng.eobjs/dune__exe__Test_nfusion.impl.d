@@ -1,0 +1,1 @@
+test/test_nfusion.ml: Alcotest Alg_conflict_free Channel Ent_tree List Params Qnet_baselines Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array List Qnet_graph

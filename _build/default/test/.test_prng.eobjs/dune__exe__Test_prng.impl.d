@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Int64 List Printf Qnet_util

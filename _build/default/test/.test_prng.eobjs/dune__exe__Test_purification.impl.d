@@ -1,0 +1,1 @@
+test/test_purification.ml: Alcotest Channel Ent_tree Fidelity Params Purification Qnet_core Qnet_graph

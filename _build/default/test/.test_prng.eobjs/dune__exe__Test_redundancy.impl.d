@@ -1,0 +1,1 @@
+test/test_redundancy.ml: Alcotest Alg_conflict_free Channel Ent_tree List Params Qnet_core Qnet_graph Qnet_topology Qnet_util Redundancy

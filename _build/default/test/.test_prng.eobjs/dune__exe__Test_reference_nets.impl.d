@@ -1,0 +1,1 @@
+test/test_reference_nets.ml: Alcotest List Qnet_core Qnet_graph Qnet_topology Qnet_util

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Capacity Channel Exact Float List Params Qnet_core Qnet_graph Routing

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest List Params Qnet_core Qnet_graph Qnet_sim Qnet_topology Qnet_util Verify

@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest Filename Fun List QCheck QCheck_alcotest Qnet_core Qnet_graph Qnet_topology Qnet_util String Sys

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest List Qnet_experiments

@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest List Qnet_graph

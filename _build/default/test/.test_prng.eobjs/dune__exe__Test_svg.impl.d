@@ -1,0 +1,1 @@
+test/test_svg.ml: Alcotest Filename Fun Qnet_graph String Sys

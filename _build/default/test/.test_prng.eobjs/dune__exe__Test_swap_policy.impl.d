@@ -1,0 +1,1 @@
+test/test_swap_policy.ml: Alcotest Channel Float List Params Printf Qnet_core Qnet_graph Qnet_util Swap_policy

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Float Format Qnet_util

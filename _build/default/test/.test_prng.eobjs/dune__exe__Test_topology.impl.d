@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Assemble Float Generate Grid Layout List Qnet_graph Qnet_topology Qnet_util Spec Volchenkov Watts_strogatz Waxman

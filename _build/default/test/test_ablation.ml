@@ -1,0 +1,101 @@
+(* Unit tests for Qnet_experiments.Ablation: every ablation renders and
+   reports directionally sane numbers at small replication counts. *)
+
+module Config = Qnet_experiments.Config
+module Ablation = Qnet_experiments.Ablation
+module Table = Qnet_util.Table
+module Spec = Qnet_topology.Spec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_cfg =
+  Config.create
+    ~spec:(Spec.create ~n_users:5 ~n_switches:15 ())
+    ~replications:3 ()
+
+let rows table =
+  (* Rendered table line count minus header and separator. *)
+  List.length (String.split_on_char '\n' (Table.to_string table)) - 2
+
+let parse_cell table ~row ~col =
+  let lines = String.split_on_char '\n' (Table.to_string table) in
+  let line = List.nth lines (row + 2) in
+  let cells =
+    String.split_on_char '|' line
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.nth cells col
+
+let test_waxman_alpha () =
+  let t = Ablation.waxman_alpha ~cfg:tiny_cfg ~alphas:[ 0.05; 0.3 ] () in
+  check_int "two rows" 2 (rows t);
+  (* Larger alpha_w means longer fibers on average. *)
+  let len0 = float_of_string (parse_cell t ~row:0 ~col:1) in
+  let len1 = float_of_string (parse_cell t ~row:1 ~col:1) in
+  check_bool "fiber length grows with alpha_w" true (len1 > len0)
+
+let test_eqcast_order () =
+  let t = Ablation.eqcast_order ~cfg:tiny_cfg () in
+  check_int "two orders" 2 (rows t)
+
+let test_nfusion_discount () =
+  let t = Ablation.nfusion_discount ~cfg:tiny_cfg ~discounts:[ 1.0; 0.3 ] () in
+  check_int "two rows" 2 (rows t);
+  let high = float_of_string (parse_cell t ~row:0 ~col:1) in
+  let low = float_of_string (parse_cell t ~row:1 ~col:1) in
+  check_bool "harsher discount lowers the rate" true (low <= high)
+
+let test_prim_start () =
+  let t = Ablation.prim_start ~cfg:tiny_cfg ~seeds:[ 1; 2 ] () in
+  check_int "two seeds" 2 (rows t)
+
+let test_alg2_boost () =
+  let t = Ablation.alg2_boost ~cfg:tiny_cfg () in
+  check_int "two conventions" 2 (rows t);
+  let boosted = float_of_string (parse_cell t ~row:0 ~col:1) in
+  let plain = float_of_string (parse_cell t ~row:1 ~col:1) in
+  check_bool "boost never hurts" true (boosted >= plain)
+
+let test_fidelity_threshold () =
+  let t =
+    Ablation.fidelity_threshold ~cfg:tiny_cfg ~thresholds:[ 0.5; 0.95 ] ()
+  in
+  check_int "two thresholds" 2 (rows t);
+  let loose = float_of_string (parse_cell t ~row:0 ~col:2) in
+  let tight = float_of_string (parse_cell t ~row:1 ~col:2) in
+  check_bool "tighter threshold never raises rate" true (tight <= loose +. 1e-12)
+
+let test_multi_group_strategy () =
+  let t =
+    Ablation.multi_group_strategy ~cfg:tiny_cfg ~n_groups:2 ~group_size:2 ()
+  in
+  check_int "two strategies" 2 (rows t)
+
+let test_all_runs () =
+  let tables = Ablation.all ~cfg:tiny_cfg () in
+  check_int "fifteen ablations" 15 (List.length tables);
+  List.iter
+    (fun (title, table) ->
+      check_bool (title ^ " renders") true
+        (String.length (Table.to_string table) > 0))
+    tables
+
+let () =
+  Alcotest.run "ablation"
+    [
+      ( "individual",
+        [
+          Alcotest.test_case "waxman alpha" `Quick test_waxman_alpha;
+          Alcotest.test_case "eqcast order" `Quick test_eqcast_order;
+          Alcotest.test_case "nfusion discount" `Quick test_nfusion_discount;
+          Alcotest.test_case "prim start" `Quick test_prim_start;
+          Alcotest.test_case "alg2 boost" `Quick test_alg2_boost;
+          Alcotest.test_case "fidelity threshold" `Quick
+            test_fidelity_threshold;
+          Alcotest.test_case "multi-group strategy" `Quick
+            test_multi_group_strategy;
+        ] );
+      ("suite", [ Alcotest.test_case "all" `Slow test_all_runs ]);
+    ]

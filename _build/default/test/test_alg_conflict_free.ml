@@ -1,0 +1,165 @@
+(* Unit tests for Qnet_core.Alg_conflict_free — Algorithm 3. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+(* The conflict fixture: three users around a 4-qubit hub (2 channels
+   max), plus an expensive ring of relay switches giving an alternate
+   route between each user pair. *)
+let conflict_fixture () =
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let switch q x y =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:q ~x ~y
+  in
+  let u0 = user 0. 0. in
+  let u1 = user 4000. 0. in
+  let u2 = user 2000. 3400. in
+  let hub = switch 4 2000. 1100. in
+  let r01 = switch 4 2000. (-800.) in
+  let r12 = switch 4 3300. 2000. in
+  ignore (Graph.Builder.add_edge b u0 hub 2300.);
+  ignore (Graph.Builder.add_edge b u1 hub 2300.);
+  ignore (Graph.Builder.add_edge b u2 hub 2300.);
+  ignore (Graph.Builder.add_edge b u0 r01 2200.);
+  ignore (Graph.Builder.add_edge b u1 r01 2200.);
+  ignore (Graph.Builder.add_edge b u1 r12 2400.);
+  ignore (Graph.Builder.add_edge b u2 r12 2400.);
+  (Graph.Builder.freeze b, u0, u1, u2, hub, r01, r12)
+
+let test_respects_capacity_on_conflict () =
+  let g, u0, u1, u2, hub, _, _ = conflict_fixture () in
+  match Alg_conflict_free.solve g params with
+  | None -> Alcotest.fail "alternate routes exist; must be feasible"
+  | Some tree ->
+      check_bool "spans users" true
+        (Ent_tree.spans_users tree [ u0; u1; u2 ]);
+      let usage = Ent_tree.qubit_usage tree in
+      List.iter
+        (fun (s, used) ->
+          check_bool
+            (Printf.sprintf "switch %d within budget" s)
+            true
+            (used <= Graph.qubits g s))
+        usage;
+      (* The hub can only carry two of its qubit-pairs. *)
+      check_bool "hub not over 4" true
+        (match List.assoc_opt hub usage with None -> true | Some u -> u <= 4)
+
+let test_equals_alg2_when_no_conflict () =
+  for seed = 1 to 10 do
+    let rng = Prng.create seed in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:5 ~n_switches:20
+        ~qubits_per_switch:10 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match (Alg_optimal.solve g params, Alg_conflict_free.solve g params) with
+    | Some t2, Some t3 ->
+        Alcotest.(check (float 1e-9))
+          "no conflicts -> same rate"
+          (Ent_tree.rate_neg_log t2) (Ent_tree.rate_neg_log t3)
+    | _ -> Alcotest.fail "both should solve under ample capacity"
+  done
+
+let test_never_beats_alg2_rate () =
+  (* Algorithm 2 ignores capacity, so its rate upper-bounds Algorithm
+     3's on the same instance. *)
+  for seed = 1 to 15 do
+    let rng = Prng.create (50 + seed) in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:8 ~n_switches:20 ~qubits_per_switch:2
+        ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match (Alg_optimal.solve g params, Alg_conflict_free.solve g params) with
+    | Some t2, Some t3 ->
+        check_bool "alg3 <= alg2" true
+          (Ent_tree.rate_neg_log t3 >= Ent_tree.rate_neg_log t2 -. 1e-9)
+    | _, None | None, _ -> ()
+  done
+
+let test_infeasible_when_capacity_gone () =
+  (* Single 2-qubit hub between three users and no alternates: only one
+     channel fits, so three users cannot be spanned. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1100.);
+  ignore (Graph.Builder.add_edge b u1 hub 1100.);
+  ignore (Graph.Builder.add_edge b u2 hub 1100.);
+  let g = Graph.Builder.freeze b in
+  check_bool "Fig. 4(b) instance infeasible" true
+    (Alg_conflict_free.solve g params = None);
+  ignore (u0, u1, u2)
+
+let test_seed_channels_override () =
+  let g, u0, u1, u2, _, r01, r12 = conflict_fixture () in
+  (* Seed with deliberately bad relay channels; phase 1 keeps them (no
+     conflicts among them), so the result uses exactly those. *)
+  let seed =
+    [
+      Channel.make_exn g params [ u0; r01; u1 ];
+      Channel.make_exn g params [ u1; r12; u2 ];
+    ]
+  in
+  match Alg_conflict_free.solve ~seed_channels:seed g params with
+  | None -> Alcotest.fail "seeded solve should succeed"
+  | Some tree ->
+      check_int "two channels" 2 (Ent_tree.channel_count tree);
+      check_bool "keeps the seeded relay channels" true
+        (List.for_all
+           (fun (c : Channel.t) ->
+             List.exists (Channel.equal c) seed)
+           tree.Ent_tree.channels)
+
+let test_empty_seed_reconnects_everything () =
+  let g, u0, u1, u2, _, _, _ = conflict_fixture () in
+  match Alg_conflict_free.solve ~seed_channels:[] g params with
+  | None -> Alcotest.fail "reconnection phase alone should span the users"
+  | Some tree ->
+      check_bool "spans" true (Ent_tree.spans_users tree [ u0; u1; u2 ])
+
+let test_single_user_trivial () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  match Alg_conflict_free.solve g params with
+  | Some tree -> check_int "empty tree" 0 (Ent_tree.channel_count tree)
+  | None -> Alcotest.fail "trivial"
+
+let () =
+  Alcotest.run "alg_conflict_free"
+    [
+      ( "conflicts",
+        [
+          Alcotest.test_case "respects capacity" `Quick
+            test_respects_capacity_on_conflict;
+          Alcotest.test_case "infeasible hub" `Quick
+            test_infeasible_when_capacity_gone;
+        ] );
+      ( "relation to alg2",
+        [
+          Alcotest.test_case "equal without conflicts" `Quick
+            test_equals_alg2_when_no_conflict;
+          Alcotest.test_case "never beats alg2" `Quick
+            test_never_beats_alg2_rate;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "seed override" `Quick test_seed_channels_override;
+          Alcotest.test_case "empty seed" `Quick
+            test_empty_seed_reconnects_everything;
+          Alcotest.test_case "single user" `Quick test_single_user_trivial;
+        ] );
+    ]

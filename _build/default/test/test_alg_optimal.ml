@@ -1,0 +1,138 @@
+(* Unit tests for Qnet_core.Alg_optimal — Algorithm 2 and Theorem 3. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let test_sufficient_condition () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1. ~y:0. in
+  let s = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x:0.5 ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 s 500.);
+  ignore (Graph.Builder.add_edge b s u1 500.);
+  let g = Graph.Builder.freeze b in
+  (* 2 users need Q >= 4 per switch: exactly met. *)
+  check_bool "Q = 2|U| suffices" true (Alg_optimal.sufficient_condition g);
+  let g' = Graph.with_qubits g (fun v -> max 0 (v.Graph.qubits - 1)) in
+  check_bool "Q = 3 < 2|U| fails" false (Alg_optimal.sufficient_condition g')
+
+let test_candidates_sorted_descending () =
+  let rng = Prng.create 3 in
+  let spec = Qnet_topology.Spec.create ~n_users:6 ~n_switches:20 () in
+  let g = Qnet_topology.Waxman.generate rng spec in
+  let cs = Alg_optimal.candidate_channels g params in
+  check_int "all pairs present" 15 (List.length cs);
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | (a : Channel.t) :: ((b : Channel.t) :: _ as rest) ->
+        Channel.rate_prob a >= Channel.rate_prob b && sorted rest
+  in
+  check_bool "descending rate order" true (sorted cs)
+
+let test_solve_produces_spanning_tree () =
+  for seed = 1 to 10 do
+    let rng = Prng.create seed in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:6 ~n_switches:20
+        ~qubits_per_switch:12 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match Alg_optimal.solve g params with
+    | None -> Alcotest.fail "connected network must be solvable"
+    | Some tree ->
+        check_int "|U| - 1 channels" 5 (Ent_tree.channel_count tree);
+        check_bool "spans users" true
+          (Ent_tree.spans_users tree (Graph.users g))
+  done
+
+let test_optimal_vs_exhaustive () =
+  (* Theorem 3: under the sufficient condition, Algorithm 2 is optimal.
+     Compare against brute force on tiny instances. *)
+  for seed = 1 to 8 do
+    let rng = Prng.create (100 + seed) in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:4 ~n_switches:6 ~avg_degree:4.
+        ~qubits_per_switch:8 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    check_bool "condition holds" true (Alg_optimal.sufficient_condition g);
+    let alg2 = Alg_optimal.solve g params in
+    let exact = Exact.solve g params in
+    match (alg2, exact) with
+    | Some t2, Some te ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "seed %d optimal rate" seed)
+          (Ent_tree.rate_neg_log te) (Ent_tree.rate_neg_log t2)
+    | None, None -> ()
+    | Some _, None -> Alcotest.fail "alg2 found a tree brute force missed"
+    | None, Some _ -> Alcotest.fail "alg2 missed a feasible instance"
+  done
+
+let test_single_user () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  match Alg_optimal.solve g params with
+  | Some tree -> check_int "empty tree" 0 (Ent_tree.channel_count tree)
+  | None -> Alcotest.fail "single user is trivially entangled"
+
+let test_disconnected_users_infeasible () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1. ~y:0. in
+  let u2 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2. ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 u1 1.);
+  ignore u2;
+  let g = Graph.Builder.freeze b in
+  check_bool "isolated user makes it infeasible" true
+    (Alg_optimal.solve g params = None)
+
+let test_ignores_cumulative_capacity () =
+  (* A 4-qubit hub shared by three users: Algorithm 2 happily routes
+     three channels through it (6 qubits' worth) because it only uses
+     Algorithm 1's static >= 2 filter — exactly the behaviour Algorithm
+     3 exists to repair. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1100.);
+  ignore (Graph.Builder.add_edge b u1 hub 1100.);
+  ignore (Graph.Builder.add_edge b u2 hub 1100.);
+  let g = Graph.Builder.freeze b in
+  match Alg_optimal.solve g params with
+  | None -> Alcotest.fail "alg2 should return the (overcommitted) star"
+  | Some tree ->
+      check_int "two channels" 2 (Ent_tree.channel_count tree);
+      let usage = List.assoc hub (Ent_tree.qubit_usage tree) in
+      check_bool "hub possibly over its budget" true (usage = 4)
+
+let () =
+  Alcotest.run "alg_optimal"
+    [
+      ( "condition",
+        [ Alcotest.test_case "sufficient" `Quick test_sufficient_condition ] );
+      ( "solve",
+        [
+          Alcotest.test_case "candidates sorted" `Quick
+            test_candidates_sorted_descending;
+          Alcotest.test_case "spanning tree" `Quick
+            test_solve_produces_spanning_tree;
+          Alcotest.test_case "optimal (Theorem 3)" `Quick
+            test_optimal_vs_exhaustive;
+          Alcotest.test_case "single user" `Quick test_single_user;
+          Alcotest.test_case "disconnected" `Quick
+            test_disconnected_users_infeasible;
+          Alcotest.test_case "capacity-oblivious" `Quick
+            test_ignores_cumulative_capacity;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Unit tests for Qnet_core.Alg_prim — Algorithm 4. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let random_network ?(qubits = 4) ?(users = 6) seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:users ~n_switches:20
+      ~qubits_per_switch:qubits ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_produces_valid_trees () =
+  for seed = 1 to 15 do
+    let g = random_network seed in
+    match Alg_prim.solve g params with
+    | None -> ()
+    | Some tree ->
+        check_bool "spans users" true
+          (Ent_tree.spans_users tree (Graph.users g));
+        List.iter
+          (fun (s, used) ->
+            check_bool "capacity" true (used <= Graph.qubits g s))
+          (Ent_tree.qubit_usage tree)
+  done
+
+let test_start_parameter () =
+  let g = random_network 7 in
+  List.iter
+    (fun start ->
+      match Alg_prim.solve ~start g params with
+      | None -> ()
+      | Some tree ->
+          check_bool
+            (Printf.sprintf "start %d spans" start)
+            true
+            (Ent_tree.spans_users tree (Graph.users g)))
+    (Graph.users g)
+
+let test_start_must_be_user () =
+  let g = random_network 7 in
+  let switch = List.hd (Graph.switches g) in
+  Alcotest.check_raises "switch start"
+    (Invalid_argument "Alg_prim.solve: start is not a user") (fun () ->
+      ignore (Alg_prim.solve ~start:switch g params))
+
+let test_deterministic_given_start () =
+  let g = random_network 9 in
+  let start = List.hd (Graph.users g) in
+  match (Alg_prim.solve ~start g params, Alg_prim.solve ~start g params) with
+  | Some t1, Some t2 ->
+      Alcotest.(check (float 0.))
+        "same tree rate"
+        (Ent_tree.rate_neg_log t1) (Ent_tree.rate_neg_log t2)
+  | None, None -> ()
+  | _ -> Alcotest.fail "nondeterministic feasibility"
+
+let test_rng_start_is_reproducible () =
+  let g = random_network 11 in
+  let solve () = Alg_prim.solve ~rng:(Prng.create 5) g params in
+  match (solve (), solve ()) with
+  | Some t1, Some t2 ->
+      Alcotest.(check (float 0.))
+        "same rng, same answer"
+        (Ent_tree.rate_neg_log t1) (Ent_tree.rate_neg_log t2)
+  | None, None -> ()
+  | _ -> Alcotest.fail "nondeterministic with fixed rng"
+
+let test_never_beats_alg2 () =
+  for seed = 1 to 15 do
+    let g = random_network ~qubits:2 ~users:8 (100 + seed) in
+    match (Alg_optimal.solve g params, Alg_prim.solve g params) with
+    | Some t2, Some t4 ->
+        check_bool "alg4 <= alg2" true
+          (Ent_tree.rate_neg_log t4 >= Ent_tree.rate_neg_log t2 -. 1e-9)
+    | _ -> ()
+  done
+
+let test_matches_alg2_under_ample_capacity () =
+  (* With distinct channel rates and no capacity pressure, greedy
+     maximum-spanning-tree growth (Prim) and greedy selection (Kruskal,
+     i.e. Algorithm 2) both produce the unique maximum spanning tree. *)
+  for seed = 1 to 10 do
+    let g = random_network ~qubits:40 (200 + seed) in
+    match (Alg_optimal.solve g params, Alg_prim.solve g params) with
+    | Some t2, Some t4 ->
+        Alcotest.(check (float 1e-9))
+          "same rate under ample capacity"
+          (Ent_tree.rate_neg_log t2) (Ent_tree.rate_neg_log t4)
+    | _ -> Alcotest.fail "both should solve"
+  done
+
+let test_infeasible_hub () =
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1100.);
+  ignore (Graph.Builder.add_edge b u1 hub 1100.);
+  ignore (Graph.Builder.add_edge b u2 hub 1100.);
+  let g = Graph.Builder.freeze b in
+  check_bool "2-qubit hub cannot serve 3 users" true
+    (Alg_prim.solve g params = None)
+
+let test_single_user () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  match Alg_prim.solve g params with
+  | Some tree -> check_int "empty tree" 0 (Ent_tree.channel_count tree)
+  | None -> Alcotest.fail "trivial"
+
+let () =
+  Alcotest.run "alg_prim"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "valid trees" `Quick test_produces_valid_trees;
+          Alcotest.test_case "infeasible hub" `Quick test_infeasible_hub;
+          Alcotest.test_case "single user" `Quick test_single_user;
+        ] );
+      ( "start selection",
+        [
+          Alcotest.test_case "start parameter" `Quick test_start_parameter;
+          Alcotest.test_case "start must be user" `Quick test_start_must_be_user;
+          Alcotest.test_case "deterministic" `Quick
+            test_deterministic_given_start;
+          Alcotest.test_case "rng reproducible" `Quick
+            test_rng_start_is_reproducible;
+        ] );
+      ( "relation to alg2",
+        [
+          Alcotest.test_case "never beats alg2" `Quick test_never_beats_alg2;
+          Alcotest.test_case "matches under ample capacity" `Quick
+            test_matches_alg2_under_ample_capacity;
+        ] );
+    ]

@@ -1,0 +1,109 @@
+(* Unit tests for Qnet_topology.Analysis — structural metrics. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_topology
+
+let feq = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let triangle_plus_tail () =
+  (* Vertices 0-1-2 form a triangle; 3 hangs off 2. *)
+  let b = Graph.Builder.create () in
+  let add () = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let v0 = add () and v1 = add () and v2 = add () and v3 = add () in
+  ignore (Graph.Builder.add_edge b v0 v1 1.);
+  ignore (Graph.Builder.add_edge b v1 v2 1.);
+  ignore (Graph.Builder.add_edge b v0 v2 1.);
+  ignore (Graph.Builder.add_edge b v2 v3 2.);
+  (Graph.Builder.freeze b, v0, v1, v2, v3)
+
+let test_clustering () =
+  let g, v0, v1, v2, v3 = triangle_plus_tail () in
+  feq "triangle member" 1. (Analysis.clustering_coefficient g v0);
+  feq "triangle member 2" 1. (Analysis.clustering_coefficient g v1);
+  (* v2 has neighbours {0,1,3}: only (0,1) of 3 pairs linked. *)
+  feq "hub" (1. /. 3.) (Analysis.clustering_coefficient g v2);
+  feq "leaf" 0. (Analysis.clustering_coefficient g v3);
+  feq "mean" ((1. +. 1. +. (1. /. 3.) +. 0.) /. 4.) (Analysis.mean_clustering g)
+
+let test_hop_statistics () =
+  let g, _, _, _, _ = triangle_plus_tail () in
+  let avg, diameter = Analysis.hop_statistics g in
+  check_int "diameter" 2 diameter;
+  (* Pairwise hops: 01=1 02=1 12=1 23=1 03=2 13=2 (each counted both
+     directions): mean = (4*1 + 2*2)/6 = 8/6. *)
+  feq "average" (8. /. 6.) avg
+
+let test_degree_histogram () =
+  let g, _, _, _, _ = triangle_plus_tail () in
+  Alcotest.(check (list (pair int int)))
+    "histogram" [ (1, 1); (2, 2); (3, 1) ]
+    (Analysis.degree_histogram g)
+
+let test_summary_fields () =
+  let g, _, _, _, _ = triangle_plus_tail () in
+  let s = Analysis.summarize g in
+  check_int "vertices" 4 s.Analysis.vertices;
+  check_int "edges" 4 s.Analysis.edges;
+  check_int "max degree" 3 s.Analysis.max_degree;
+  feq "avg degree" 2. s.Analysis.average_degree;
+  feq "avg fiber" 1.25 s.Analysis.average_fiber;
+  check_bool "pp renders" true
+    (String.length (Format.asprintf "%a" Analysis.pp_summary s) > 0)
+
+let test_small_world_signature () =
+  (* Watts–Strogatz (low beta): much higher clustering than a Waxman
+     graph of the same size/degree, with short average paths. *)
+  let spec = Spec.create ~n_users:10 ~n_switches:50 ~avg_degree:6. () in
+  let ws =
+    Watts_strogatz.generate
+      ~params:{ Watts_strogatz.beta = 0.1; embedding = Watts_strogatz.Random }
+      (Prng.create 3) spec
+  in
+  let wax = Waxman.generate (Prng.create 3) spec in
+  let s_ws = Analysis.summarize ws in
+  let s_wax = Analysis.summarize wax in
+  check_bool
+    (Printf.sprintf "WS clustering %.3f >> Waxman %.3f" s_ws.Analysis.clustering
+       s_wax.Analysis.clustering)
+    true
+    (s_ws.Analysis.clustering > 2. *. s_wax.Analysis.clustering);
+  check_bool "WS paths stay short (small world)" true
+    (s_ws.Analysis.average_hops < 3. *. s_wax.Analysis.average_hops)
+
+let test_power_law_signature () =
+  (* Volchenkov: the max degree dwarfs the average. *)
+  let spec = Spec.default in
+  let g = Volchenkov.generate (Prng.create 5) spec in
+  let s = Analysis.summarize g in
+  check_bool "heavy tail" true
+    (float_of_int s.Analysis.max_degree > 2.5 *. s.Analysis.average_degree)
+
+let test_empty_and_singleton () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  let s = Analysis.summarize g in
+  feq "no pairs, no hops" 0. s.Analysis.average_hops;
+  check_int "diameter 0" 0 s.Analysis.diameter_hops;
+  feq "no fibers" 0. s.Analysis.average_fiber
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "clustering" `Quick test_clustering;
+          Alcotest.test_case "hops" `Quick test_hop_statistics;
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+          Alcotest.test_case "summary" `Quick test_summary_fields;
+          Alcotest.test_case "degenerate" `Quick test_empty_and_singleton;
+        ] );
+      ( "signatures",
+        [
+          Alcotest.test_case "small world" `Quick test_small_world_signature;
+          Alcotest.test_case "power law" `Quick test_power_law_signature;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Unit tests for Qnet_graph.Binary_heap. *)
+
+module Heap = Qnet_graph.Binary_heap
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let drain h =
+  let rec go acc =
+    match Heap.pop_min h with
+    | None -> List.rev acc
+    | Some (k, v) -> go ((k, v) :: acc)
+  in
+  go []
+
+let test_empty () =
+  let h : int Heap.t = Heap.create () in
+  check_bool "is_empty" true (Heap.is_empty h);
+  check_int "length" 0 (Heap.length h);
+  check_bool "pop none" true (Heap.pop_min h = None);
+  check_bool "peek none" true (Heap.peek_min h = None)
+
+let test_single () =
+  let h = Heap.create () in
+  Heap.push h 3.5 "x";
+  check_int "length one" 1 (Heap.length h);
+  check_bool "peek" true (Heap.peek_min h = Some (3.5, "x"));
+  check_bool "pop" true (Heap.pop_min h = Some (3.5, "x"));
+  check_bool "empty after" true (Heap.is_empty h)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.; 1.; 4.; 2.; 3. ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "ascending pops"
+    [ (1., 1); (2., 2); (3., 3); (4., 4); (5., 5) ]
+    (drain h)
+
+let test_duplicates () =
+  let h = Heap.create () in
+  Heap.push h 1. "a";
+  Heap.push h 1. "b";
+  Heap.push h 0.5 "c";
+  let keys = List.map fst (drain h) in
+  Alcotest.(check (list (float 0.))) "keys sorted" [ 0.5; 1.; 1. ] keys
+
+let test_growth () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 1000 downto 1 do
+    Heap.push h (float_of_int i) i
+  done;
+  check_int "all stored" 1000 (Heap.length h);
+  let popped = drain h in
+  check_int "all popped" 1000 (List.length popped);
+  let keys = List.map fst popped in
+  check_bool "sorted output" true
+    (keys = List.sort Float.compare keys)
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h 3. 3;
+  Heap.push h 1. 1;
+  check_bool "pop 1" true (Heap.pop_min h = Some (1., 1));
+  Heap.push h 0.5 0;
+  Heap.push h 2. 2;
+  check_bool "pop 0" true (Heap.pop_min h = Some (0.5, 0));
+  check_bool "pop 2" true (Heap.pop_min h = Some (2., 2));
+  check_bool "pop 3" true (Heap.pop_min h = Some (3., 3))
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h 1. ();
+  Heap.push h 2. ();
+  Heap.clear h;
+  check_bool "cleared" true (Heap.is_empty h);
+  Heap.push h 5. ();
+  check_bool "usable after clear" true (Heap.pop_min h = Some (5., ()))
+
+let test_negative_and_inf_keys () =
+  let h = Heap.create () in
+  Heap.push h infinity "inf";
+  Heap.push h (-2.) "neg";
+  Heap.push h 0. "zero";
+  Alcotest.(check (list string))
+    "order with special floats" [ "neg"; "zero"; "inf" ]
+    (List.map snd (drain h))
+
+(* Property: heap sort agrees with List.sort on random inputs. *)
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap sort matches list sort" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k k) keys;
+      let popped = List.map fst (drain h) in
+      popped = List.sort Float.compare keys)
+
+let () =
+  Alcotest.run "binary_heap"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single" `Quick test_single;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "special keys" `Quick test_negative_and_inf_keys;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_heapsort ] );
+    ]

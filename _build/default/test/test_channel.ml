@@ -1,0 +1,129 @@
+(* Unit tests for Qnet_core.Channel — Eq. (1) of the paper. *)
+
+module Graph = Qnet_graph.Graph
+module Params = Qnet_core.Params
+module Channel = Qnet_core.Channel
+
+let feq = Alcotest.(check (float 1e-12))
+let check_bool = Alcotest.(check bool)
+let params = Params.create ~alpha:1e-4 ~q:0.9 ()
+
+(* u0 - s2 - u1 with 1000-unit fibers, plus a direct u0-u1 fiber and a
+   user u3 adjacent to u1. *)
+let fixture () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2000. ~y:0.
+  in
+  let s2 =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x:1000. ~y:0.
+  in
+  let u3 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:3000. ~y:0.
+  in
+  ignore (Graph.Builder.add_edge b u0 s2 1000.);
+  ignore (Graph.Builder.add_edge b s2 u1 1000.);
+  ignore (Graph.Builder.add_edge b u0 u1 2500.);
+  ignore (Graph.Builder.add_edge b u1 u3 1000.);
+  (Graph.Builder.freeze b, u0, u1, s2, u3)
+
+let test_eq1_two_links () =
+  let g, u0, u1, s2, _ = fixture () in
+  let c = Channel.make_exn g params [ u0; s2; u1 ] in
+  (* Rate = q^(l-1) * exp(-alpha * total length) = 0.9 * e^-0.2. *)
+  feq "Eq. (1)" (0.9 *. exp (-0.2)) (Channel.rate_prob c);
+  Alcotest.(check int) "hops" 2 c.Channel.hops;
+  feq "length" 2000. c.Channel.total_length;
+  Alcotest.(check (list int)) "interior" [ s2 ] (Channel.interior_switches c)
+
+let test_eq1_direct_link () =
+  let g, u0, u1, _, _ = fixture () in
+  let c = Channel.make_exn g params [ u0; u1 ] in
+  (* One link: no swap factor at all. *)
+  feq "direct rate" (exp (-0.25)) (Channel.rate_prob c);
+  Alcotest.(check (list int)) "no interior" [] (Channel.interior_switches c)
+
+let test_direct_link_q_zero () =
+  let g, u0, u1, _, _ = fixture () in
+  let p0 = Params.create ~alpha:1e-4 ~q:0. () in
+  let c = Channel.make_exn g p0 [ u0; u1 ] in
+  feq "q=0 direct channel still works" (exp (-0.25)) (Channel.rate_prob c);
+  let c2 = Channel.make_exn g p0 [ u0; 2; u1 ] in
+  feq "q=0 swap kills the channel" 0. (Channel.rate_prob c2)
+
+let test_normalisation () =
+  let g, u0, u1, s2, _ = fixture () in
+  let forward = Channel.make_exn g params [ u0; s2; u1 ] in
+  let backward = Channel.make_exn g params [ u1; s2; u0 ] in
+  check_bool "reversed paths normalise equal" true
+    (Channel.equal forward backward);
+  Alcotest.(check (pair int int)) "endpoints sorted" (u0, u1)
+    (Channel.endpoints backward);
+  check_bool "connects query" true (Channel.connects backward u1 u0)
+
+let test_rate_of_path_agrees () =
+  let g, u0, u1, s2, _ = fixture () in
+  let c = Channel.make_exn g params [ u0; s2; u1 ] in
+  feq "rate_of_path = channel rate"
+    (Channel.rate_of_path g params [ u0; s2; u1 ])
+    (Channel.rate_prob c)
+
+let test_validation_errors () =
+  let g, u0, u1, s2, u3 = fixture () in
+  let expect_error path =
+    match Channel.make g params path with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected validation failure"
+  in
+  expect_error [];
+  expect_error [ u0 ];
+  expect_error [ u0; s2 ] (* endpoint is a switch *);
+  expect_error [ s2; u1 ] (* endpoint is a switch *);
+  expect_error [ u0; u1; u3 ] (* interior vertex is a user *);
+  expect_error [ u0; u3 ] (* no fiber *);
+  expect_error [ u0; s2; u0 ] (* repeated vertex, also degenerate *);
+  Alcotest.check_raises "make_exn raises"
+    (Invalid_argument
+       "Channel.make: channel endpoints must be quantum users") (fun () ->
+      ignore (Channel.make_exn g params [ u0; s2 ]))
+
+let test_rate_decreases_with_length () =
+  let g, u0, u1, s2, _ = fixture () in
+  let via_switch = Channel.make_exn g params [ u0; s2; u1 ] in
+  let direct = Channel.make_exn g params [ u0; u1 ] in
+  (* 2000 units + one swap (0.9 e^-0.2 = 0.7369) beats 2500 direct
+     (e^-0.25 = 0.7788)?  No: direct is better here; just check both
+     match the closed forms and are ordered accordingly. *)
+  check_bool "closed-form ordering" true
+    (Channel.rate_prob direct > Channel.rate_prob via_switch)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_pp_smoke () =
+  let g, u0, u1, s2, _ = fixture () in
+  let c = Channel.make_exn g params [ u0; s2; u1 ] in
+  let s = Format.asprintf "%a" Channel.pp c in
+  check_bool "pp mentions channel" true (contains_substring s "channel")
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "rates",
+        [
+          Alcotest.test_case "Eq.1 two links" `Quick test_eq1_two_links;
+          Alcotest.test_case "Eq.1 direct" `Quick test_eq1_direct_link;
+          Alcotest.test_case "q = 0" `Quick test_direct_link_q_zero;
+          Alcotest.test_case "rate_of_path" `Quick test_rate_of_path_agrees;
+          Alcotest.test_case "ordering" `Quick test_rate_decreases_with_length;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "normalisation" `Quick test_normalisation;
+          Alcotest.test_case "validation" `Quick test_validation_errors;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Integration tests for the muerp CLI: run the real binary and check
+   its output.  The binary is declared as a dune dependency and lives at
+   a fixed relative path inside the build sandbox. *)
+
+(* Resolve the binary relative to this test executable (robust to both
+   `dune runtest`, which runs in the sandboxed test directory, and
+   `dune exec test/test_cli.exe`, which runs in the project root). *)
+let binary =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name
+       (Filename.concat "bin" "muerp_cli.exe"))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run args =
+  let out = Filename.temp_file "muerp_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote binary) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let content =
+    let ic = open_in out in
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, content)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_binary_present () =
+  check_bool "binary exists in sandbox" true (Sys.file_exists binary)
+
+let test_help () =
+  let code, out = run "--help=plain" in
+  check_int "exit 0" 0 code;
+  List.iter
+    (fun sub -> check_bool (sub ^ " listed") true (contains out sub))
+    [ "solve"; "topology"; "experiment"; "simulate"; "sweep"; "dot";
+      "fidelity"; "groups"; "reference"; "schedule" ]
+
+let test_solve () =
+  let code, out = run "solve --users 4 --switches 12 --seed 2" in
+  check_int "exit 0" 0 code;
+  check_bool "runs all three algorithms" true
+    (contains out "alg2-optimal" && contains out "alg3-conflict-free"
+   && contains out "alg4-prim");
+  check_bool "baselines included" true
+    (contains out "e-q-cast" && contains out "n-fusion");
+  check_bool "reports rates" true (contains out "rate")
+
+let test_topology_save_and_solve_load () =
+  let file = Filename.temp_file "cli_net" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let code, out =
+        run (Printf.sprintf "topology --users 3 --switches 8 --save %s" file)
+      in
+      check_int "topology exit 0" 0 code;
+      check_bool "announces save" true (contains out "saved to");
+      check_bool "file written" true (Sys.file_exists file);
+      let code, out = run (Printf.sprintf "solve --load %s" file) in
+      check_int "solve --load exit 0" 0 code;
+      check_bool "solves the loaded net" true (contains out "alg3-conflict-free"))
+
+let test_dot () =
+  let code, out = run "dot --users 3 --switches 6 --highlight" in
+  check_int "exit 0" 0 code;
+  check_bool "valid DOT header" true (contains out "graph qnet {");
+  check_bool "closes" true (contains out "}")
+
+let test_experiment_fig5 () =
+  let code, out = run "experiment fig5 --replications 2" in
+  check_int "exit 0" 0 code;
+  check_bool "prints fig5 table" true (contains out "fig5");
+  check_bool "all methods present" true
+    (contains out "Alg-2" && contains out "N-Fusion")
+
+let test_simulate () =
+  let code, out = run "simulate --users 4 --switches 12 --trials 20000" in
+  check_int "exit 0" 0 code;
+  check_bool "compares analytic and empirical" true
+    (contains out "analytic rate" && contains out "empirical rate")
+
+let test_fidelity () =
+  let code, out = run "fidelity --users 4 --switches 15 --threshold 0.9" in
+  check_int "exit 0" 0 code;
+  check_bool "reports budgets" true (contains out "fidelity budget");
+  check_bool "runs both solvers" true
+    (contains out "kruskal" && contains out "prim")
+
+let test_groups () =
+  let code, out = run "groups --groups 2 --group-size 2 --switches 20" in
+  check_int "exit 0" 0 code;
+  check_bool "per-group report" true (contains out "group 0");
+  check_bool "summary" true (contains out "all served")
+
+let test_reference () =
+  let code, out = run "reference nsfnet --users 4" in
+  check_int "exit 0" 0 code;
+  check_bool "names the topology" true (contains out "nsfnet");
+  let code, _ = run "reference atlantis" in
+  check_bool "unknown reference fails" true (code <> 0)
+
+let test_schedule () =
+  let code, out = run "schedule -n 5 --switches 20" in
+  check_int "exit 0" 0 code;
+  check_bool "summary line" true (contains out "requests:");
+  check_bool "per-request lines" true (contains out "#0")
+
+let test_sweep () =
+  let code, out = run "sweep qubits 2,4 --replications 2" in
+  check_int "exit 0" 0 code;
+  check_bool "one row per value" true (contains out "| 2" && contains out "| 4")
+
+let test_bad_arguments () =
+  let code, _ = run "experiment figNaN" in
+  check_bool "unknown figure fails" true (code <> 0);
+  let code, _ = run "sweep nonsense 1,2" in
+  check_bool "unknown sweep parameter fails" true (code <> 0);
+  let code, _ = run "solve --topology mystery" in
+  check_bool "unknown topology fails" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "commands",
+        [
+          Alcotest.test_case "binary present" `Quick test_binary_present;
+          Alcotest.test_case "help" `Quick test_help;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "save/load" `Quick test_topology_save_and_solve_load;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "experiment" `Slow test_experiment_fig5;
+          Alcotest.test_case "simulate" `Slow test_simulate;
+          Alcotest.test_case "fidelity" `Quick test_fidelity;
+          Alcotest.test_case "groups" `Quick test_groups;
+          Alcotest.test_case "reference" `Quick test_reference;
+          Alcotest.test_case "schedule" `Quick test_schedule;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
+        ] );
+    ]

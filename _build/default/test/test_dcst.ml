@@ -1,0 +1,148 @@
+(* Unit tests for Qnet_graph.Dcst — the NP-hardness reduction anchors. *)
+
+module Graph = Qnet_graph.Graph
+module Dcst = Qnet_graph.Dcst
+module Mst = Qnet_graph.Mst
+
+let weight (e : Graph.edge) = e.Graph.length
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let star n =
+  (* Center 0 with n leaves; any spanning tree must use all star edges,
+     forcing degree n at the center. *)
+  let b = Graph.Builder.create () in
+  let c = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  for i = 1 to n do
+    let v =
+      Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0
+        ~x:(float_of_int i) ~y:0.
+    in
+    ignore (Graph.Builder.add_edge b c v 1.)
+  done;
+  Graph.Builder.freeze b
+
+let cycle n =
+  let b = Graph.Builder.create () in
+  let vs =
+    Array.init n (fun i ->
+        Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0
+          ~x:(float_of_int i) ~y:0.)
+  in
+  for i = 0 to n - 1 do
+    ignore (Graph.Builder.add_edge b vs.(i) vs.((i + 1) mod n) 1.)
+  done;
+  Graph.Builder.freeze b
+
+let test_star_needs_high_degree () =
+  let g = star 4 in
+  check_bool "degree 4 works" true
+    (Dcst.exists_spanning_tree_with_max_degree g ~max_degree:4);
+  check_bool "degree 3 fails" false
+    (Dcst.exists_spanning_tree_with_max_degree g ~max_degree:3);
+  check_bool "degree 1 fails" false
+    (Dcst.exists_spanning_tree_with_max_degree g ~max_degree:1)
+
+let test_cycle_degree_two () =
+  let g = cycle 6 in
+  check_bool "hamiltonian path exists with degree 2" true
+    (Dcst.exists_spanning_tree_with_max_degree g ~max_degree:2);
+  check_bool "degree 1 impossible beyond an edge" false
+    (Dcst.exists_spanning_tree_with_max_degree g ~max_degree:1)
+
+let test_witness_is_valid_tree () =
+  let g = cycle 5 in
+  match Dcst.find_spanning_tree_with_max_degree g ~max_degree:2 with
+  | None -> Alcotest.fail "cycle must admit a degree-2 spanning tree"
+  | Some tree ->
+      check_bool "spanning" true (Mst.is_spanning_tree g tree);
+      check_bool "degree bound" true (Dcst.max_tree_degree tree <= 2)
+
+let test_single_vertex () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  check_bool "trivial instance" true
+    (Dcst.exists_spanning_tree_with_max_degree g ~max_degree:0);
+  match Dcst.min_spanning_tree_with_max_degree g ~max_degree:0 ~weight with
+  | Some ([], w) -> Alcotest.(check (float 0.)) "zero weight" 0. w
+  | _ -> Alcotest.fail "expected empty tree of weight 0"
+
+let test_dcmst_matches_mst_when_unconstrained () =
+  (* A small weighted graph where the MST has max degree 2, so the
+     degree-3 DCMST must equal the MST weight. *)
+  let b = Graph.Builder.create () in
+  let add () =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.
+  in
+  let v0 = add () and v1 = add () and v2 = add () and v3 = add () in
+  ignore (Graph.Builder.add_edge b v0 v1 1.);
+  ignore (Graph.Builder.add_edge b v1 v2 2.);
+  ignore (Graph.Builder.add_edge b v2 v3 3.);
+  ignore (Graph.Builder.add_edge b v0 v3 10.);
+  ignore (Graph.Builder.add_edge b v0 v2 10.);
+  let g = Graph.Builder.freeze b in
+  let mst_w = Mst.total_weight ~weight (Mst.kruskal g ~weight) in
+  match Dcst.min_spanning_tree_with_max_degree g ~max_degree:3 ~weight with
+  | None -> Alcotest.fail "feasible instance"
+  | Some (_, w) -> Alcotest.(check (float 1e-9)) "equals MST" mst_w w
+
+let test_dcmst_degree_bound_costs () =
+  (* Star with cheap spokes plus an expensive outer path: degree cap 2
+     at the center forces two expensive path edges. *)
+  let b = Graph.Builder.create () in
+  let c = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let leaves =
+    Array.init 4 (fun i ->
+        Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0
+          ~x:(float_of_int (i + 1))
+          ~y:0.)
+  in
+  Array.iter (fun v -> ignore (Graph.Builder.add_edge b c v 1.)) leaves;
+  for i = 0 to 2 do
+    ignore (Graph.Builder.add_edge b leaves.(i) leaves.(i + 1) 5.)
+  done;
+  let g = Graph.Builder.freeze b in
+  let unconstrained =
+    match Dcst.min_spanning_tree_with_max_degree g ~max_degree:4 ~weight with
+    | Some (_, w) -> w
+    | None -> Alcotest.fail "unconstrained feasible"
+  in
+  let constrained =
+    match Dcst.min_spanning_tree_with_max_degree g ~max_degree:2 ~weight with
+    | Some (tree, w) ->
+        check_bool "respects bound" true (Dcst.max_tree_degree tree <= 2);
+        w
+    | None -> Alcotest.fail "constrained feasible"
+  in
+  Alcotest.(check (float 1e-9)) "star optimum" 4. unconstrained;
+  Alcotest.(check (float 1e-9)) "constrained pays for the cap" 12. constrained
+
+let test_dcmst_infeasible () =
+  let g = star 4 in
+  check_bool "min variant also reports infeasible" true
+    (Dcst.min_spanning_tree_with_max_degree g ~max_degree:2 ~weight = None)
+
+let test_max_tree_degree_empty () =
+  check_int "empty edge set" 0 (Dcst.max_tree_degree [])
+
+let () =
+  Alcotest.run "dcst"
+    [
+      ( "existence",
+        [
+          Alcotest.test_case "star" `Quick test_star_needs_high_degree;
+          Alcotest.test_case "cycle" `Quick test_cycle_degree_two;
+          Alcotest.test_case "witness" `Quick test_witness_is_valid_tree;
+          Alcotest.test_case "single vertex" `Quick test_single_vertex;
+        ] );
+      ( "minimum",
+        [
+          Alcotest.test_case "unconstrained = MST" `Quick
+            test_dcmst_matches_mst_when_unconstrained;
+          Alcotest.test_case "degree cap costs" `Quick
+            test_dcmst_degree_bound_costs;
+          Alcotest.test_case "infeasible" `Quick test_dcmst_infeasible;
+          Alcotest.test_case "degree of empty" `Quick test_max_tree_degree_empty;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Unit tests for Qnet_sim.Decoherence — memory-cutoff link dynamics. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Decoherence = Qnet_sim.Decoherence
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+
+(* A 3-link channel with moderate per-link success, so memory matters. *)
+let fixture () =
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0. in
+  let u0 = user 0. in
+  let s1 = switch 4000. in
+  let s2 = switch 8000. in
+  let u1 = user 12000. in
+  ignore (Graph.Builder.add_edge b u0 s1 4000.);
+  ignore (Graph.Builder.add_edge b s1 s2 4000.);
+  ignore (Graph.Builder.add_edge b s2 u1 4000.);
+  let g = Graph.Builder.freeze b in
+  let params = Params.create ~alpha:2e-4 ~q:0.9 () in
+  (g, params, Channel.make_exn g params [ u0; s1; s2; u1 ])
+
+let test_completion_eventually () =
+  let g, params, c = fixture () in
+  match
+    Decoherence.channel_slots_to_completion (Prng.create 1) g params c
+      ~cutoff:5 ~max_slots:1_000_000
+  with
+  | Some s -> check_bool "positive" true (s >= 1)
+  | None -> Alcotest.fail "should complete"
+
+let test_cutoff_zero_matches_synchronous () =
+  let g, params, c = fixture () in
+  let analytic = Decoherence.synchronous_reference c in
+  match
+    Decoherence.effective_rate (Prng.create 7) g params c ~cutoff:0
+      ~runs:3_000 ~max_slots:1_000_000
+  with
+  | None -> Alcotest.fail "runs should all complete"
+  | Some rate ->
+      check_bool
+        (Printf.sprintf "cutoff 0 (%.5f) tracks Eq.1 (%.5f)" rate analytic)
+        true
+        (Float.abs (rate -. analytic) < 0.25 *. analytic)
+
+let test_memory_helps () =
+  let g, params, c = fixture () in
+  let rate cutoff =
+    match
+      Decoherence.effective_rate (Prng.create 11) g params c ~cutoff
+        ~runs:1_500 ~max_slots:1_000_000
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "completion expected"
+  in
+  let r0 = rate 0 and r3 = rate 3 and r10 = rate 10 in
+  check_bool "cutoff 3 beats synchronous" true (r3 > r0);
+  check_bool "cutoff 10 beats cutoff 3" true (r10 > r3)
+
+let test_validation () =
+  let g, params, c = fixture () in
+  Alcotest.check_raises "negative cutoff"
+    (Invalid_argument
+       "Decoherence.channel_slots_to_completion: negative cutoff") (fun () ->
+      ignore
+        (Decoherence.channel_slots_to_completion (Prng.create 1) g params c
+           ~cutoff:(-1) ~max_slots:10));
+  Alcotest.check_raises "bad max_slots"
+    (Invalid_argument
+       "Decoherence.channel_slots_to_completion: max_slots < 1") (fun () ->
+      ignore
+        (Decoherence.channel_slots_to_completion (Prng.create 1) g params c
+           ~cutoff:0 ~max_slots:0));
+  Alcotest.check_raises "bad runs"
+    (Invalid_argument "Decoherence.effective_rate: runs < 1") (fun () ->
+      ignore
+        (Decoherence.effective_rate (Prng.create 1) g params c ~cutoff:0
+           ~runs:0 ~max_slots:10))
+
+let test_timeout () =
+  let g, _, c = fixture () in
+  (* q = 0: swaps never succeed, so a multi-hop channel never completes. *)
+  let dead = Params.create ~alpha:2e-4 ~q:0. () in
+  check_bool "timeout reported" true
+    (Decoherence.channel_slots_to_completion (Prng.create 1) g dead c
+       ~cutoff:5 ~max_slots:200
+    = None);
+  check_bool "effective rate propagates timeout" true
+    (Decoherence.effective_rate (Prng.create 1) g dead c ~cutoff:5 ~runs:3
+       ~max_slots:200
+    = None)
+
+let test_single_link_channel_ignores_cutoff () =
+  (* One link, no swaps: slots-to-completion is geometric in the link
+     probability regardless of cutoff. *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:5000. ~y:0.
+  in
+  ignore (Graph.Builder.add_edge b u0 u1 5000.);
+  let g = Graph.Builder.freeze b in
+  let params = Params.create ~alpha:2e-4 ~q:0.9 () in
+  let c = Channel.make_exn g params [ u0; u1 ] in
+  let p = Channel.rate_prob c in
+  List.iter
+    (fun cutoff ->
+      match
+        Decoherence.effective_rate (Prng.create 3) g params c ~cutoff
+          ~runs:3_000 ~max_slots:1_000_000
+      with
+      | None -> Alcotest.fail "completes"
+      | Some r ->
+          check_bool
+            (Printf.sprintf "cutoff %d tracks p" cutoff)
+            true
+            (Float.abs (r -. p) < 0.25 *. p))
+    [ 0; 5 ]
+
+(* ---- Whole-tree dynamics ---- *)
+
+let tree_fixture () =
+  (* Two 2-link channels over distinct switches: u0-s-u1 and u1-s'-u2. *)
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0. in
+  let u0 = user 0. in
+  let u1 = user 6000. in
+  let u2 = user 12000. in
+  let s1 = switch 3000. in
+  let s2 = switch 9000. in
+  ignore (Graph.Builder.add_edge b u0 s1 3000.);
+  ignore (Graph.Builder.add_edge b s1 u1 3000.);
+  ignore (Graph.Builder.add_edge b u1 s2 3000.);
+  ignore (Graph.Builder.add_edge b s2 u2 3000.);
+  let g = Graph.Builder.freeze b in
+  let params = Params.create ~alpha:2e-4 ~q:0.9 () in
+  let tree =
+    Ent_tree.of_channels
+      [
+        Channel.make_exn g params [ u0; s1; u1 ];
+        Channel.make_exn g params [ u1; s2; u2 ];
+      ]
+  in
+  (g, params, tree)
+
+let test_tree_completion () =
+  let g, params, tree = tree_fixture () in
+  match
+    Decoherence.tree_slots_to_completion (Prng.create 2) g params tree
+      ~cutoff:3 ~tree_cutoff:5 ~max_slots:1_000_000
+  with
+  | Some s -> check_bool "completes" true (s >= 1)
+  | None -> Alcotest.fail "tree should complete"
+
+let test_tree_cutoff_zero_matches_eq2 () =
+  let g, params, tree = tree_fixture () in
+  let analytic = Ent_tree.rate_prob tree in
+  match
+    Decoherence.tree_effective_rate (Prng.create 5) g params tree ~cutoff:0
+      ~tree_cutoff:0 ~runs:2_000 ~max_slots:1_000_000
+  with
+  | None -> Alcotest.fail "should complete"
+  | Some rate ->
+      check_bool
+        (Printf.sprintf "synchronous tree %.5f tracks Eq.2 %.5f" rate analytic)
+        true
+        (Float.abs (rate -. analytic) < 0.3 *. analytic)
+
+let test_tree_memory_helps () =
+  let g, params, tree = tree_fixture () in
+  let rate tree_cutoff =
+    match
+      Decoherence.tree_effective_rate (Prng.create 7) g params tree ~cutoff:3
+        ~tree_cutoff ~runs:1_000 ~max_slots:1_000_000
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "completes"
+  in
+  check_bool "waiting channels help the tree" true (rate 10 > rate 0)
+
+let test_tree_empty () =
+  let g, params, _ = tree_fixture () in
+  Alcotest.(check (option int))
+    "empty tree completes immediately" (Some 1)
+    (Decoherence.tree_slots_to_completion (Prng.create 1) g params
+       (Ent_tree.of_channels []) ~cutoff:0 ~tree_cutoff:0 ~max_slots:5)
+
+let () =
+  Alcotest.run "decoherence"
+    [
+      ( "dynamics",
+        [
+          Alcotest.test_case "completes" `Quick test_completion_eventually;
+          Alcotest.test_case "cutoff 0 = synchronous" `Slow
+            test_cutoff_zero_matches_synchronous;
+          Alcotest.test_case "memory helps" `Slow test_memory_helps;
+          Alcotest.test_case "single link" `Slow
+            test_single_link_channel_ignores_cutoff;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "completion" `Quick test_tree_completion;
+          Alcotest.test_case "cutoff 0 = Eq.2" `Slow
+            test_tree_cutoff_zero_matches_eq2;
+          Alcotest.test_case "memory helps" `Slow test_tree_memory_helps;
+          Alcotest.test_case "empty tree" `Quick test_tree_empty;
+        ] );
+    ]

@@ -1,0 +1,76 @@
+(* Unit tests for Qnet_graph.Dot. *)
+
+module Graph = Qnet_graph.Graph
+module Dot = Qnet_graph.Dot
+
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let fixture () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2000. ~y:0.
+  in
+  let s2 =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x:1000. ~y:0.
+  in
+  ignore (Graph.Builder.add_edge b u0 s2 1000.);
+  ignore (Graph.Builder.add_edge b s2 u1 1000.);
+  (Graph.Builder.freeze b, u0, u1, s2)
+
+let test_document_structure () =
+  let g, _, _, _ = fixture () in
+  let dot = Dot.to_dot g in
+  check_bool "opens graph block" true (contains dot "graph qnet {");
+  check_bool "closes block" true (contains dot "}\n");
+  check_bool "user node as circle" true (contains dot "shape=circle");
+  check_bool "switch node as box with qubits" true (contains dot "s2\\nQ=4");
+  check_bool "edges present" true (contains dot "n0 -- n2");
+  check_bool "lengths labelled" true (contains dot "label=\"1000\"")
+
+let test_custom_name () =
+  let g, _, _, _ = fixture () in
+  check_bool "custom graph name" true
+    (contains (Dot.to_dot ~graph_name:"mynet" g) "graph mynet {")
+
+let test_highlight_paths () =
+  let g, u0, u1, s2 = fixture () in
+  let dot = Dot.to_dot ~highlight_paths:[ [ u0; s2; u1 ] ] g in
+  check_bool "overlay drawn" true (contains dot "penwidth=3");
+  check_bool "first palette color" true (contains dot "#d62728")
+
+let test_highlight_skips_missing_edges () =
+  let g, u0, u1, _ = fixture () in
+  (* u0-u1 has no fiber: the overlay silently skips it. *)
+  let dot = Dot.to_dot ~highlight_paths:[ [ u0; u1 ] ] g in
+  check_bool "no overlay for absent edge" false (contains dot "penwidth=3")
+
+let test_multiple_paths_distinct_colors () =
+  let g, u0, u1, s2 = fixture () in
+  let dot =
+    Dot.to_dot ~highlight_paths:[ [ u0; s2 ]; [ s2; u1 ] ] g
+  in
+  check_bool "color one" true (contains dot "#d62728");
+  check_bool "color two" true (contains dot "#1f77b4")
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "rendering",
+        [
+          Alcotest.test_case "structure" `Quick test_document_structure;
+          Alcotest.test_case "custom name" `Quick test_custom_name;
+          Alcotest.test_case "highlight" `Quick test_highlight_paths;
+          Alcotest.test_case "missing edges" `Quick
+            test_highlight_skips_missing_edges;
+          Alcotest.test_case "palette" `Quick
+            test_multiple_paths_distinct_colors;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Unit tests for Qnet_core.Ent_tree — Definition 1 and Eq. (2). *)
+
+module Graph = Qnet_graph.Graph
+module Params = Qnet_core.Params
+module Channel = Qnet_core.Channel
+module Ent_tree = Qnet_core.Ent_tree
+
+let feq = Alcotest.(check (float 1e-12))
+let check_bool = Alcotest.(check bool)
+let params = Params.create ~alpha:1e-4 ~q:0.9 ()
+
+(* Three users in a line through two switches:
+   u0 - s3 - u1 - ... - u2 via s4; plus a redundant channel u0-u2. *)
+let fixture () =
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0.
+  in
+  let u0 = user 0. in
+  let u1 = user 2000. in
+  let u2 = user 4000. in
+  let s3 = switch 1000. in
+  let s4 = switch 3000. in
+  ignore (Graph.Builder.add_edge b u0 s3 1000.);
+  ignore (Graph.Builder.add_edge b s3 u1 1000.);
+  ignore (Graph.Builder.add_edge b u1 s4 1000.);
+  ignore (Graph.Builder.add_edge b s4 u2 1000.);
+  ignore (Graph.Builder.add_edge b u0 u2 5000.);
+  (Graph.Builder.freeze b, u0, u1, u2, s3, s4)
+
+let channels g paths = List.map (Channel.make_exn g params) paths
+
+let test_eq2_product () =
+  let g, u0, u1, u2, s3, s4 = fixture () in
+  let cs = channels g [ [ u0; s3; u1 ]; [ u1; s4; u2 ] ] in
+  let tree = Ent_tree.of_channels cs in
+  let expected = 0.9 *. exp (-0.2) *. (0.9 *. exp (-0.2)) in
+  feq "product of Eq.1 rates" expected (Ent_tree.rate_prob tree);
+  feq "neg log agrees" (-.log expected) (Ent_tree.rate_neg_log tree);
+  Alcotest.(check int) "channel count" 2 (Ent_tree.channel_count tree)
+
+let test_empty_tree () =
+  let tree = Ent_tree.of_channels [] in
+  feq "empty product is 1" 1. (Ent_tree.rate_prob tree);
+  check_bool "spans singleton" true (Ent_tree.spans_users tree [ 42 ]);
+  check_bool "spans empty" true (Ent_tree.spans_users tree []);
+  check_bool "does not span a pair" false (Ent_tree.spans_users tree [ 1; 2 ])
+
+let test_spans_users () =
+  let g, u0, u1, u2, s3, s4 = fixture () in
+  let tree =
+    Ent_tree.of_channels (channels g [ [ u0; s3; u1 ]; [ u1; s4; u2 ] ])
+  in
+  check_bool "spans the three users" true
+    (Ent_tree.spans_users tree [ u0; u1; u2 ]);
+  check_bool "missing user" false
+    (Ent_tree.spans_users tree [ u0; u1; u2; 99 ])
+
+let test_rejects_cycle () =
+  let g, u0, u1, u2, s3, s4 = fixture () in
+  let tree =
+    Ent_tree.of_channels
+      (channels g [ [ u0; s3; u1 ]; [ u1; s4; u2 ]; [ u0; u2 ] ])
+  in
+  (* Three channels over three users: wrong count for a tree. *)
+  check_bool "cycle rejected" false (Ent_tree.spans_users tree [ u0; u1; u2 ])
+
+let test_rejects_disconnected_with_duplicate () =
+  let g, u0, u1, u2, s3, _ = fixture () in
+  (* Two copies of the same logical connection: count is right (2 = 3-1)
+     but u2 is never reached. *)
+  let tree =
+    Ent_tree.of_channels (channels g [ [ u0; s3; u1 ]; [ u0; s3; u1 ] ])
+  in
+  check_bool "duplicate edge is not a tree" false
+    (Ent_tree.spans_users tree [ u0; u1; u2 ])
+
+let test_qubit_usage () =
+  let g, u0, u1, u2, s3, s4 = fixture () in
+  let tree =
+    Ent_tree.of_channels (channels g [ [ u0; s3; u1 ]; [ u1; s4; u2 ] ])
+  in
+  Alcotest.(check (list (pair int int)))
+    "two qubits per traversal"
+    [ (s3, 2); (s4, 2) ]
+    (Ent_tree.qubit_usage tree);
+  (* Doubling up on one switch accumulates. *)
+  let tree2 =
+    Ent_tree.of_channels (channels g [ [ u0; s3; u1 ]; [ u0; s3; u1 ] ])
+  in
+  Alcotest.(check (list (pair int int)))
+    "accumulated usage" [ (s3, 4) ]
+    (Ent_tree.qubit_usage tree2)
+
+let test_touches () =
+  let g, u0, u1, u2, s3, s4 = fixture () in
+  let tree = Ent_tree.of_channels (channels g [ [ u0; s3; u1 ] ]) in
+  check_bool "touches interior switch" true (Ent_tree.touches tree s3);
+  check_bool "touches endpoint" true (Ent_tree.touches tree u0);
+  check_bool "does not touch u2" false (Ent_tree.touches tree u2);
+  check_bool "does not touch s4" false (Ent_tree.touches tree s4)
+
+let test_impossible_channel_zeroes_tree () =
+  let g, u0, u1, _, s3, _ = fixture () in
+  let p0 = Params.create ~alpha:1e-4 ~q:0. () in
+  let dead = Channel.make_exn g p0 [ u0; s3; u1 ] in
+  let tree = Ent_tree.of_channels [ dead ] in
+  feq "zero rate propagates" 0. (Ent_tree.rate_prob tree);
+  check_bool "neg log infinite" true (Ent_tree.rate_neg_log tree = infinity)
+
+let () =
+  Alcotest.run "ent_tree"
+    [
+      ( "rates",
+        [
+          Alcotest.test_case "Eq.2 product" `Quick test_eq2_product;
+          Alcotest.test_case "empty tree" `Quick test_empty_tree;
+          Alcotest.test_case "zero channel" `Quick
+            test_impossible_channel_zeroes_tree;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "spans users" `Quick test_spans_users;
+          Alcotest.test_case "rejects cycle" `Quick test_rejects_cycle;
+          Alcotest.test_case "rejects duplicate" `Quick
+            test_rejects_disconnected_with_duplicate;
+          Alcotest.test_case "qubit usage" `Quick test_qubit_usage;
+          Alcotest.test_case "touches" `Quick test_touches;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Unit tests for Qnet_baselines.Eqcast. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Eqcast = Qnet_baselines.Eqcast
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let network seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:6 ~n_switches:20 ~qubits_per_switch:4 ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_chains_consecutive_users () =
+  let g = network 1 in
+  match Eqcast.solve g params with
+  | None -> ()
+  | Some tree ->
+      let users = Graph.users g in
+      check_int "|U|-1 channels" (List.length users - 1)
+        (Ent_tree.channel_count tree);
+      (* Channel i connects user i and user i+1 in id order. *)
+      let sorted = users in
+      List.iteri
+        (fun i (c : Channel.t) ->
+          ignore i;
+          let consecutive =
+            let rec scan = function
+              | a :: (b :: _ as rest) ->
+                  Channel.connects c a b || scan rest
+              | _ -> false
+            in
+            scan sorted
+          in
+          check_bool "chains consecutive pair" true consecutive)
+        tree.Ent_tree.channels
+
+let test_valid_and_capacity_respecting () =
+  for seed = 1 to 10 do
+    let g = network seed in
+    match Eqcast.solve g params with
+    | None -> ()
+    | Some tree ->
+        check_bool "spans users" true
+          (Ent_tree.spans_users tree (Graph.users g));
+        List.iter
+          (fun (s, used) ->
+            check_bool "capacity" true (used <= Graph.qubits g s))
+          (Ent_tree.qubit_usage tree)
+  done
+
+let test_never_beats_alg2 () =
+  for seed = 1 to 10 do
+    let g = network (20 + seed) in
+    match (Alg_optimal.solve g params, Eqcast.solve g params) with
+    | Some t2, Some tb ->
+        check_bool "baseline below optimal" true
+          (Ent_tree.rate_neg_log tb >= Ent_tree.rate_neg_log t2 -. 1e-9)
+    | _ -> ()
+  done
+
+let test_fails_when_chain_breaks () =
+  (* Users 0,1,2 where 1-2 can only be joined through a 0-qubit desert:
+     the id-order chain <0,1>,<1,2> breaks at <1,2>. *)
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let u0 = user 0. in
+  let u1 = user 1000. in
+  let u2 = user 9000. in
+  ignore (Graph.Builder.add_edge b u0 u1 1000.);
+  ignore u2;
+  let g = Graph.Builder.freeze b in
+  check_bool "broken chain infeasible" true (Eqcast.solve g params = None)
+
+let test_nearest_neighbor_order () =
+  let g = network 3 in
+  match Eqcast.solve ~order:Eqcast.Nearest_neighbor g params with
+  | None -> ()
+  | Some tree ->
+      check_bool "still spans" true (Ent_tree.spans_users tree (Graph.users g))
+
+let test_nearest_neighbor_at_least_as_good_on_line () =
+  (* Users placed on a line but with shuffled ids: id-order chaining
+     criss-crosses (longer fibers), nearest-neighbor recovers the
+     geographic order. *)
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  (* id 0 at x=0, id 1 at x=4000, id 2 at x=2000: id order hops
+     0->4000->2000; geographic order is 0,2000,4000. *)
+  let u0 = user 0. in
+  let u1 = user 4000. in
+  let u2 = user 2000. in
+  ignore (Graph.Builder.add_edge b u0 u2 2000.);
+  ignore (Graph.Builder.add_edge b u2 u1 2000.);
+  ignore (Graph.Builder.add_edge b u0 u1 4000.);
+  let g = Graph.Builder.freeze b in
+  match
+    (Eqcast.solve ~order:Eqcast.By_id g params,
+     Eqcast.solve ~order:Eqcast.Nearest_neighbor g params)
+  with
+  | Some by_id, Some nn ->
+      check_bool "nn at least as good" true
+        (Ent_tree.rate_neg_log nn <= Ent_tree.rate_neg_log by_id +. 1e-9)
+  | _ -> Alcotest.fail "both orders should route"
+
+let test_single_and_pair () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let g1 = Graph.Builder.freeze b in
+  ignore u0;
+  (match Eqcast.solve g1 params with
+  | Some tree -> check_int "single user empty tree" 0 (Ent_tree.channel_count tree)
+  | None -> Alcotest.fail "trivial");
+  let b = Graph.Builder.create () in
+  let a = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let c = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1. ~y:0. in
+  ignore (Graph.Builder.add_edge b a c 1000.);
+  let g2 = Graph.Builder.freeze b in
+  match Eqcast.solve g2 params with
+  | Some tree -> check_int "pair is one channel" 1 (Ent_tree.channel_count tree)
+  | None -> Alcotest.fail "pair should route"
+
+let () =
+  Alcotest.run "eqcast"
+    [
+      ( "behaviour",
+        [
+          Alcotest.test_case "chains consecutive" `Quick
+            test_chains_consecutive_users;
+          Alcotest.test_case "valid trees" `Quick
+            test_valid_and_capacity_respecting;
+          Alcotest.test_case "below optimal" `Quick test_never_beats_alg2;
+          Alcotest.test_case "broken chain" `Quick test_fails_when_chain_breaks;
+          Alcotest.test_case "degenerate sizes" `Quick test_single_and_pair;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "nearest neighbor" `Quick
+            test_nearest_neighbor_order;
+          Alcotest.test_case "nn on a line" `Quick
+            test_nearest_neighbor_at_least_as_good_on_line;
+        ] );
+    ]

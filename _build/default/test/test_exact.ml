@@ -1,0 +1,186 @@
+(* Unit tests for Qnet_core.Exact — the brute-force ground truth. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let test_prufer_counts () =
+  (* Cayley's formula: k^(k-2) labelled trees. *)
+  List.iter
+    (fun (k, expected) ->
+      check_int
+        (Printf.sprintf "%d vertices" k)
+        expected
+        (List.length (Exact.prufer_trees k)))
+    [ (0, 1); (1, 1); (2, 1); (3, 3); (4, 16); (5, 125) ]
+
+let test_prufer_trees_are_trees () =
+  List.iter
+    (fun shape ->
+      check_int "4 vertices, 3 edges" 3 (List.length shape);
+      let uf = Qnet_graph.Union_find.create 4 in
+      List.iter
+        (fun (a, b) ->
+          check_bool "acyclic" true (Qnet_graph.Union_find.union uf a b))
+        shape;
+      check_int "connected" 1 (Qnet_graph.Union_find.count_sets uf))
+    (Exact.prufer_trees 4)
+
+let test_prufer_trees_distinct () =
+  let canon shape = List.sort compare shape in
+  let all = List.map canon (Exact.prufer_trees 5) in
+  check_int "all distinct" 125 (List.length (List.sort_uniq compare all))
+
+let test_prufer_guard () =
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Exact.prufer_trees: k too large") (fun () ->
+      ignore (Exact.prufer_trees 8));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Exact.prufer_trees: negative k") (fun () ->
+      ignore (Exact.prufer_trees (-1)))
+
+let test_all_simple_paths () =
+  (* Diamond with switch interiors: u0 - {s2 | s3} - u1. *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2. ~y:0. in
+  let s2 = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1. ~y:1. in
+  let s3 = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1. ~y:(-1.) in
+  ignore (Graph.Builder.add_edge b u0 s2 1.);
+  ignore (Graph.Builder.add_edge b s2 u1 1.);
+  ignore (Graph.Builder.add_edge b u0 s3 1.);
+  ignore (Graph.Builder.add_edge b s3 u1 1.);
+  ignore (Graph.Builder.add_edge b s2 s3 1.);
+  let g = Graph.Builder.freeze b in
+  let paths = Exact.all_simple_paths g ~src:u0 ~dst:u1 ~max_hops:4 in
+  (* u0-s2-u1, u0-s3-u1, u0-s2-s3-u1, u0-s3-s2-u1. *)
+  check_int "four switch-interior paths" 4 (List.length paths);
+  List.iter
+    (fun p -> check_bool "simple" true (Qnet_graph.Paths.path_is_valid g p))
+    paths;
+  let short = Exact.all_simple_paths g ~src:u0 ~dst:u1 ~max_hops:2 in
+  check_int "hop bound respected" 2 (List.length short)
+
+let test_paths_avoid_users () =
+  (* u0 - u2 - u1 line: no u0..u1 path exists through user u2. *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2. ~y:0. in
+  let u2 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1. ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 u2 1.);
+  ignore (Graph.Builder.add_edge b u2 u1 1.);
+  let g = Graph.Builder.freeze b in
+  check_int "no path through user" 0
+    (List.length (Exact.all_simple_paths g ~src:u0 ~dst:u1 ~max_hops:5))
+
+let test_solve_respects_capacity () =
+  for seed = 1 to 5 do
+    let rng = Prng.create seed in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:4 ~n_switches:6 ~avg_degree:4.
+        ~qubits_per_switch:2 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match Exact.solve g params with
+    | None -> ()
+    | Some tree ->
+        check_bool "spans" true (Ent_tree.spans_users tree (Graph.users g));
+        List.iter
+          (fun (s, used) ->
+            check_bool "capacity" true (used <= Graph.qubits g s))
+          (Ent_tree.qubit_usage tree)
+  done
+
+let test_solve_beats_or_ties_heuristics () =
+  for seed = 1 to 8 do
+    let rng = Prng.create (40 + seed) in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:4 ~n_switches:7 ~avg_degree:4.
+        ~qubits_per_switch:2 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match Exact.solve g params with
+    | None ->
+        (* If brute force finds nothing (within its hop bound), the
+           capacity-respecting heuristics should rarely find a short
+           solution; when they do it's within longer hops — skip. *)
+        ()
+    | Some te ->
+        List.iter
+          (fun heuristic ->
+            match heuristic g params with
+            | None -> ()
+            | Some th ->
+                check_bool "exact >= heuristic" true
+                  (Ent_tree.rate_neg_log te
+                  <= Ent_tree.rate_neg_log th +. 1e-9))
+          [
+            (fun g p -> Alg_conflict_free.solve g p);
+            (fun g p -> Alg_prim.solve g p);
+          ]
+  done
+
+let test_five_user_optimality () =
+  (* Branch-and-bound makes 5-user instances (125 tree shapes) cheap;
+     verify Theorem 3 at that scale too. *)
+  for seed = 1 to 4 do
+    let rng = Prng.create (70 + seed) in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:5 ~n_switches:9 ~avg_degree:4.
+        ~qubits_per_switch:10 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match (Alg_optimal.solve g params, Exact.solve g params) with
+    | Some t2, Some te ->
+        Alcotest.(check (float 1e-9))
+          "alg2 = optimum at |U| = 5"
+          (Ent_tree.rate_neg_log te) (Ent_tree.rate_neg_log t2)
+    | None, None -> ()
+    | _ -> Alcotest.fail "feasibility disagreement"
+  done
+
+let test_bounds_guard () =
+  let rng = Prng.create 1 in
+  let spec = Qnet_topology.Spec.create ~n_users:10 ~n_switches:50 () in
+  let g = Qnet_topology.Waxman.generate rng spec in
+  Alcotest.check_raises "too many users"
+    (Invalid_argument "Exact.solve: too many users") (fun () ->
+      ignore (Exact.solve g params))
+
+let test_single_user () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  match Exact.solve g params with
+  | Some tree -> check_int "empty" 0 (Ent_tree.channel_count tree)
+  | None -> Alcotest.fail "trivial"
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "prufer",
+        [
+          Alcotest.test_case "cayley counts" `Quick test_prufer_counts;
+          Alcotest.test_case "valid trees" `Quick test_prufer_trees_are_trees;
+          Alcotest.test_case "distinct" `Quick test_prufer_trees_distinct;
+          Alcotest.test_case "guards" `Quick test_prufer_guard;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "enumeration" `Quick test_all_simple_paths;
+          Alcotest.test_case "avoid users" `Quick test_paths_avoid_users;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "capacity" `Quick test_solve_respects_capacity;
+          Alcotest.test_case "dominates heuristics" `Quick
+            test_solve_beats_or_ties_heuristics;
+          Alcotest.test_case "five users" `Slow test_five_user_optimality;
+          Alcotest.test_case "bounds guard" `Quick test_bounds_guard;
+          Alcotest.test_case "single user" `Quick test_single_user;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Unit tests for the qnet_experiments library: Config, Runner, Figures,
+   Report.  Experiments here run with few replications to stay fast;
+   the full 20-replication runs live in bench/main.exe. *)
+
+module Spec = Qnet_topology.Spec
+module Config = Qnet_experiments.Config
+module Runner = Qnet_experiments.Runner
+module Figures = Qnet_experiments.Figures
+module Report = Qnet_experiments.Report
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_cfg =
+  Config.create
+    ~spec:(Spec.create ~n_users:5 ~n_switches:15 ())
+    ~replications:3 ()
+
+let test_config_defaults () =
+  let c = Config.default in
+  check_int "20 replications" 20 c.Config.replications;
+  check_bool "alg2 boost on" true c.Config.alg2_boost;
+  Alcotest.check_raises "replications > 0"
+    (Invalid_argument "Config.create: replications <= 0") (fun () ->
+      ignore (Config.create ~replications:0 ()))
+
+let test_method_names () =
+  Alcotest.(check (list string))
+    "paper legend order"
+    [ "Alg-2"; "Alg-3"; "Alg-4"; "N-Fusion"; "E-Q-CAST" ]
+    (List.map Runner.method_name Runner.all_methods)
+
+let test_run_config_shape () =
+  let aggregates = Runner.run_config tiny_cfg in
+  check_int "one aggregate per method" 5 (List.length aggregates);
+  List.iter
+    (fun (a : Runner.aggregate) ->
+      check_int "replication count" 3 a.Runner.replications;
+      check_bool "mean rate in [0,1]" true
+        (a.Runner.mean_rate >= 0. && a.Runner.mean_rate <= 1.);
+      check_bool "feasible within bounds" true
+        (a.Runner.feasible >= 0 && a.Runner.feasible <= 3);
+      check_bool "times non-negative" true (a.Runner.mean_elapsed_s >= 0.))
+    aggregates
+
+let test_run_config_deterministic () =
+  let r1 = Runner.mean_rates (Runner.run_config tiny_cfg) in
+  let r2 = Runner.mean_rates (Runner.run_config tiny_cfg) in
+  List.iter2
+    (fun (m1, x1) (m2, x2) ->
+      check_bool "same method" true (m1 = m2);
+      Alcotest.(check (float 0.)) "same mean" x1 x2)
+    r1 r2
+
+let test_proposed_beat_baselines_on_average () =
+  let rates = Runner.mean_rates (Runner.run_config tiny_cfg) in
+  let get m = List.assoc m rates in
+  check_bool "alg2 >= n-fusion" true (get Runner.Alg2 >= get Runner.N_fusion);
+  check_bool "alg3 >= n-fusion" true (get Runner.Alg3 >= get Runner.N_fusion);
+  check_bool "alg2 >= alg3" true (get Runner.Alg2 >= get Runner.Alg3 -. 1e-12)
+
+let test_alg2_boost_effect () =
+  (* With 2-qubit switches, boost lets Alg-2 route where it otherwise
+     could not even pass the static >= 2 filter... 2 >= 2 holds, so use
+     1-qubit switches to force the difference. *)
+  let cfg =
+    Config.create
+      ~spec:(Spec.create ~n_users:4 ~n_switches:12 ~qubits_per_switch:1 ())
+      ~replications:3 ()
+  in
+  let boosted = List.assoc Runner.Alg2 (Runner.mean_rates (Runner.run_config cfg)) in
+  let plain =
+    List.assoc Runner.Alg2
+      (Runner.mean_rates (Runner.run_config { cfg with Config.alg2_boost = false }))
+  in
+  check_bool "boost never hurts" true (boosted >= plain)
+
+let test_figures_shapes () =
+  let checks =
+    [
+      ("fig5", Figures.fig5 ~cfg:tiny_cfg (), 3);
+      ("fig6a", Figures.fig6a ~cfg:tiny_cfg ~user_counts:[ 3; 4 ] (), 2);
+      ("fig6b", Figures.fig6b ~cfg:tiny_cfg ~switch_counts:[ 10; 15 ] (), 2);
+      ("fig7a", Figures.fig7a ~cfg:tiny_cfg ~degrees:[ 4.; 6. ] (), 2);
+      ("fig8a", Figures.fig8a ~cfg:tiny_cfg ~qubit_counts:[ 2; 4 ] (), 2);
+      ("fig8b", Figures.fig8b ~cfg:tiny_cfg ~swap_rates:[ 0.8; 1.0 ] (), 2);
+    ]
+  in
+  List.iter
+    (fun (id, (s : Figures.series), n_x) ->
+      Alcotest.(check string) "id" id s.Figures.id;
+      check_int (id ^ " x count") n_x (List.length s.Figures.x_values);
+      check_int (id ^ " methods") 5 (List.length s.Figures.rows);
+      List.iter
+        (fun (_, rates) ->
+          check_int (id ^ " rates per row") n_x (List.length rates);
+          List.iter
+            (fun r -> check_bool "rate in [0,1]" true (r >= 0. && r <= 1.))
+            rates)
+        s.Figures.rows)
+    checks
+
+let test_fig7b_shape () =
+  let s = Figures.fig7b ~cfg:tiny_cfg ~edges_per_step:10 ~steps:5 () in
+  check_int "five steps" 5 (List.length s.Figures.x_values);
+  Alcotest.(check string) "starts at ratio 0" "0.00" (List.hd s.Figures.x_values);
+  List.iter
+    (fun (_, rates) -> check_int "rates per method" 5 (List.length rates))
+    s.Figures.rows
+
+let test_fig8b_q1_beats_q_low () =
+  (* Higher swap success rate must not lower any algorithm's mean. *)
+  let s = Figures.fig8b ~cfg:tiny_cfg ~swap_rates:[ 0.7; 1.0 ] () in
+  List.iter
+    (fun (m, rates) ->
+      match rates with
+      | [ low; high ] ->
+          check_bool
+            (Runner.method_name m ^ " monotone in q")
+            true (high >= low -. 1e-12)
+      | _ -> Alcotest.fail "two points expected")
+    s.Figures.rows
+
+let test_headlines () =
+  let s = Figures.fig5 ~cfg:tiny_cfg () in
+  let hs = Figures.headlines [ s ] in
+  check_int "3 algs x 2 baselines" 6 (List.length hs);
+  List.iter
+    (fun (h : Figures.headline) ->
+      check_bool "improvement is a number or n/a" true
+        (h.Figures.best_improvement_pct = neg_infinity
+        || Float.is_finite h.Figures.best_improvement_pct))
+    hs
+
+let test_report_rendering () =
+  let s = Figures.fig5 ~cfg:tiny_cfg () in
+  let str = Report.series_to_string s in
+  check_bool "mentions the id" true
+    (String.length str > 0
+    &&
+    let rec find i =
+      i + 4 <= String.length str && (String.sub str i 4 = "fig5" || find (i + 1))
+    in
+    find 0);
+  let csv = Report.series_to_csv s in
+  check_int "csv line per method + header" 6
+    (List.length (String.split_on_char '\n' csv));
+  let agg = Runner.run_config tiny_cfg in
+  let t = Report.aggregate_table agg in
+  check_bool "aggregate table renders" true
+    (String.length (Qnet_util.Table.to_string t) > 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "method names" `Quick test_method_names;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "shape" `Quick test_run_config_shape;
+          Alcotest.test_case "deterministic" `Quick test_run_config_deterministic;
+          Alcotest.test_case "proposed beat baselines" `Quick
+            test_proposed_beat_baselines_on_average;
+          Alcotest.test_case "alg2 boost" `Quick test_alg2_boost_effect;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "shapes" `Slow test_figures_shapes;
+          Alcotest.test_case "fig7b" `Quick test_fig7b_shape;
+          Alcotest.test_case "monotone in q" `Quick test_fig8b_q1_beats_q_low;
+          Alcotest.test_case "headlines" `Quick test_headlines;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "rendering" `Quick test_report_rendering ] );
+    ]

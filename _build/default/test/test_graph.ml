@@ -1,0 +1,196 @@
+(* Unit tests for Qnet_graph.Graph. *)
+
+module Graph = Qnet_graph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small fixture: two users bridged by two switches.
+     u0 -- s2 -- s3 -- u1   plus a chord u0 -- s3. *)
+let fixture () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:10 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:10 ~x:30. ~y:0.
+  in
+  let s2 =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x:10. ~y:0.
+  in
+  let s3 =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:20. ~y:0.
+  in
+  let e0 = Graph.Builder.add_edge b u0 s2 10. in
+  let e1 = Graph.Builder.add_edge b s2 s3 10. in
+  let e2 = Graph.Builder.add_edge b s3 u1 10. in
+  let e3 = Graph.Builder.add_edge b u0 s3 22. in
+  (Graph.Builder.freeze b, (u0, u1, s2, s3), (e0, e1, e2, e3))
+
+let test_counts () =
+  let g, _, _ = fixture () in
+  check_int "vertices" 4 (Graph.vertex_count g);
+  check_int "edges" 4 (Graph.edge_count g);
+  check_int "users" 2 (Graph.user_count g);
+  check_int "switches" 2 (Graph.switch_count g)
+
+let test_kinds_and_qubits () =
+  let g, (u0, u1, s2, s3), _ = fixture () in
+  check_bool "u0 user" true (Graph.is_user g u0);
+  check_bool "s2 switch" true (Graph.is_switch g s2);
+  check_bool "u1 not switch" false (Graph.is_switch g u1);
+  check_int "switch qubits" 4 (Graph.qubits g s2);
+  check_int "small switch qubits" 2 (Graph.qubits g s3);
+  Alcotest.(check (list int)) "user list" [ u0; u1 ] (Graph.users g);
+  Alcotest.(check (list int)) "switch list" [ s2; s3 ] (Graph.switches g)
+
+let test_adjacency () =
+  let g, (u0, u1, s2, s3), (e0, _, _, e3) = fixture () in
+  check_int "u0 degree" 2 (Graph.degree g u0);
+  check_int "u1 degree" 1 (Graph.degree g u1);
+  check_int "s3 degree" 3 (Graph.degree g s3);
+  Alcotest.(check (list (pair int int)))
+    "u0 neighbors sorted" [ (s2, e0); (s3, e3) ]
+    (Graph.neighbors g u0);
+  check_bool "has edge" true (Graph.has_edge g u0 s2);
+  check_bool "undirected" true (Graph.has_edge g s2 u0);
+  check_bool "absent edge" false (Graph.has_edge g u0 u1);
+  check_bool "find_edge present" true (Graph.find_edge g s2 s3 <> None);
+  check_bool "find_edge absent" true (Graph.find_edge g u1 u0 = None)
+
+let test_edge_accessors () =
+  let g, (u0, _, s2, s3), (e0, e1, _, _) = fixture () in
+  let e = Graph.edge g e0 in
+  check_bool "endpoints normalised" true (e.Graph.a < e.Graph.b);
+  Alcotest.(check (float 1e-9)) "length" 10. e.Graph.length;
+  check_int "other end" s2 (Graph.edge_other_end g e0 u0);
+  check_int "other end reversed" u0 (Graph.edge_other_end g e0 s2);
+  Alcotest.check_raises "not an endpoint"
+    (Invalid_argument "Graph.edge_other_end: vertex not an endpoint")
+    (fun () -> ignore (Graph.edge_other_end g e1 u0));
+  ignore s3
+
+let test_builder_errors () =
+  let b = Graph.Builder.create () in
+  let v0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:1 ~x:0. ~y:0. in
+  let v1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:1 ~x:1. ~y:0. in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.Builder.add_edge: self-loop") (fun () ->
+      ignore (Graph.Builder.add_edge b v0 v0 1.));
+  Alcotest.check_raises "bad vertex"
+    (Invalid_argument "Graph.Builder.add_edge: vertex out of range") (fun () ->
+      ignore (Graph.Builder.add_edge b v0 99 1.));
+  Alcotest.check_raises "non-positive length"
+    (Invalid_argument
+       "Graph.Builder.add_edge: length must be positive and finite")
+    (fun () -> ignore (Graph.Builder.add_edge b v0 v1 0.));
+  ignore (Graph.Builder.add_edge b v0 v1 1.);
+  Alcotest.check_raises "parallel edge"
+    (Invalid_argument "Graph.Builder.add_edge: parallel edge") (fun () ->
+      ignore (Graph.Builder.add_edge b v1 v0 2.));
+  Alcotest.check_raises "negative qubits"
+    (Invalid_argument "Graph.Builder.add_vertex: negative qubits") (fun () ->
+      ignore
+        (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:(-1) ~x:0. ~y:0.))
+
+let test_builder_freeze_once () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:1 ~x:0. ~y:0.);
+  ignore (Graph.Builder.freeze b);
+  Alcotest.check_raises "reuse after freeze"
+    (Invalid_argument "Graph.Builder: builder already frozen") (fun () ->
+      ignore (Graph.Builder.freeze b))
+
+let test_remove_edges () =
+  let g, (u0, u1, s2, s3), (e0, _, _, _) = fixture () in
+  let g' = Graph.remove_edges g [ e0 ] in
+  check_int "one fewer edge" 3 (Graph.edge_count g');
+  check_int "vertices unchanged" 4 (Graph.vertex_count g');
+  check_bool "removed edge gone" false (Graph.has_edge g' u0 s2);
+  check_bool "chord survives" true (Graph.has_edge g' u0 s3);
+  (* Edge ids are dense after removal. *)
+  for i = 0 to Graph.edge_count g' - 1 do
+    check_int "dense ids" i (Graph.edge g' i).Graph.eid
+  done;
+  ignore u1
+
+let test_remove_edges_invalid () =
+  let g, _, _ = fixture () in
+  Alcotest.check_raises "unknown edge id"
+    (Invalid_argument "Graph.edge: out of range") (fun () ->
+      ignore (Graph.remove_edges g [ 99 ]))
+
+let test_with_qubits () =
+  let g, (_, _, s2, s3), _ = fixture () in
+  let g' =
+    Graph.with_qubits g (fun v ->
+        match v.Graph.kind with
+        | Graph.User -> v.Graph.qubits
+        | Graph.Switch -> 8)
+  in
+  check_int "switch boosted" 8 (Graph.qubits g' s2);
+  check_int "other switch boosted" 8 (Graph.qubits g' s3);
+  check_int "edges preserved" (Graph.edge_count g) (Graph.edge_count g');
+  check_int "original untouched" 4 (Graph.qubits g s2)
+
+let test_average_degree () =
+  let g, _, _ = fixture () in
+  Alcotest.(check (float 1e-9)) "2E/V" 2. (Graph.average_degree g)
+
+let test_euclidean () =
+  let g, (u0, u1, _, _), _ = fixture () in
+  Alcotest.(check (float 1e-9))
+    "distance" 30.
+    (Graph.euclidean (Graph.vertex g u0) (Graph.vertex g u1))
+
+let test_iterators () =
+  let g, _, _ = fixture () in
+  let count = ref 0 in
+  Graph.iter_edges g (fun _ -> incr count);
+  check_int "iter_edges visits all" 4 !count;
+  let total =
+    Graph.fold_edges g ~init:0. ~f:(fun acc e -> acc +. e.Graph.length)
+  in
+  Alcotest.(check (float 1e-9)) "fold over lengths" 52. total;
+  let vcount = ref 0 in
+  Graph.iter_vertices g (fun _ -> incr vcount);
+  check_int "iter_vertices" 4 !vcount
+
+let test_out_of_range_accessors () =
+  let g, _, _ = fixture () in
+  Alcotest.check_raises "vertex range"
+    (Invalid_argument "Graph.vertex: out of range") (fun () ->
+      ignore (Graph.vertex g 4));
+  Alcotest.check_raises "edge range"
+    (Invalid_argument "Graph.edge: out of range") (fun () ->
+      ignore (Graph.edge g (-1)));
+  Alcotest.check_raises "neighbors range"
+    (Invalid_argument "Graph.neighbors: out of range") (fun () ->
+      ignore (Graph.neighbors g 7))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "kinds and qubits" `Quick test_kinds_and_qubits;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "edge accessors" `Quick test_edge_accessors;
+          Alcotest.test_case "average degree" `Quick test_average_degree;
+          Alcotest.test_case "euclidean" `Quick test_euclidean;
+          Alcotest.test_case "iterators" `Quick test_iterators;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+          Alcotest.test_case "freeze once" `Quick test_builder_freeze_once;
+        ] );
+      ( "derivation",
+        [
+          Alcotest.test_case "remove edges" `Quick test_remove_edges;
+          Alcotest.test_case "remove invalid" `Quick test_remove_edges_invalid;
+          Alcotest.test_case "with qubits" `Quick test_with_qubits;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "out of range" `Quick test_out_of_range_accessors ]
+      );
+    ]

@@ -1,0 +1,113 @@
+(* Unit tests for Qnet_core.Local_search — tree edge exchange. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let random_network ?(qubits = 2) ?(users = 7) seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:users ~n_switches:20
+      ~qubits_per_switch:qubits ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_never_hurts_and_stays_valid () =
+  for seed = 1 to 15 do
+    let g = random_network seed in
+    match Alg_conflict_free.solve g params with
+    | None -> ()
+    | Some tree ->
+        let improved, stats = Local_search.improve g params tree in
+        check_bool "rate does not regress" true
+          (Ent_tree.rate_neg_log improved
+          <= Ent_tree.rate_neg_log tree +. 1e-12);
+        check_bool "stats consistent" true
+          (stats.Local_search.final_neg_log
+          <= stats.Local_search.initial_neg_log +. 1e-12);
+        check_bool "still verifies" true
+          (Verify.is_valid g params ~users:(Graph.users g) improved)
+  done
+
+let test_improves_a_bad_seed_tree () =
+  (* Feed Algorithm 3 a deliberately bad seed (the E-Q-CAST chain) so
+     local search has something to fix. *)
+  let g = random_network ~qubits:6 3 in
+  match Qnet_baselines.Eqcast.solve g params with
+  | None -> ()
+  | Some chain ->
+      let improved, stats = Local_search.improve g params chain in
+      check_bool "chain improved or kept" true
+        (Ent_tree.rate_neg_log improved
+        <= Ent_tree.rate_neg_log chain +. 1e-12);
+      (* On this seed the chain is strictly suboptimal. *)
+      check_bool "strict improvement happened" true
+        (stats.Local_search.exchanges > 0
+        && Ent_tree.rate_neg_log improved < Ent_tree.rate_neg_log chain)
+
+let test_fixed_point_of_optimal () =
+  (* Under ample capacity Algorithm 2's tree is optimal: local search
+     must accept no exchange. *)
+  for seed = 1 to 8 do
+    let g = random_network ~qubits:20 (20 + seed) in
+    match Alg_optimal.solve g params with
+    | None -> ()
+    | Some tree ->
+        let improved, stats = Local_search.improve g params tree in
+        check_int "no exchanges on the optimum" 0 stats.Local_search.exchanges;
+        Alcotest.(check (float 1e-12))
+          "rate unchanged"
+          (Ent_tree.rate_neg_log tree)
+          (Ent_tree.rate_neg_log improved)
+  done
+
+let test_solve_wrapper () =
+  let g = random_network 5 in
+  match (Alg_conflict_free.solve g params, Local_search.solve g params) with
+  | Some t3, Some ls ->
+      check_bool "wrapper at least as good" true
+        (Ent_tree.rate_neg_log ls <= Ent_tree.rate_neg_log t3 +. 1e-12)
+  | None, None -> ()
+  | _ -> Alcotest.fail "feasibility must agree"
+
+let test_rejects_invalid_tree () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2000. ~y:0. in
+  let s = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 s 1000.);
+  ignore (Graph.Builder.add_edge b s u1 1000.);
+  let g = Graph.Builder.freeze b in
+  let c = Channel.make_exn g params [ u0; s; u1 ] in
+  Alcotest.check_raises "overcommitted input"
+    (Invalid_argument "Local_search.improve: tree exceeds switch budgets")
+    (fun () -> ignore (Local_search.improve g params (Ent_tree.of_channels [ c; c ])))
+
+let test_max_rounds_respected () =
+  let g = random_network 9 in
+  match Alg_conflict_free.solve g params with
+  | None -> ()
+  | Some tree ->
+      let _, stats = Local_search.improve ~max_rounds:1 g params tree in
+      check_bool "at most one round" true (stats.Local_search.iterations <= 1)
+
+let () =
+  Alcotest.run "local_search"
+    [
+      ( "exchange",
+        [
+          Alcotest.test_case "never hurts" `Quick
+            test_never_hurts_and_stays_valid;
+          Alcotest.test_case "improves bad seed" `Quick
+            test_improves_a_bad_seed_tree;
+          Alcotest.test_case "optimal is a fixed point" `Quick
+            test_fixed_point_of_optimal;
+          Alcotest.test_case "solve wrapper" `Quick test_solve_wrapper;
+          Alcotest.test_case "invalid input" `Quick test_rejects_invalid_tree;
+          Alcotest.test_case "max rounds" `Quick test_max_rounds_respected;
+        ] );
+    ]

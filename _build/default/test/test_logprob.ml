@@ -1,0 +1,117 @@
+(* Unit tests for Qnet_util.Logprob. *)
+
+module Logprob = Qnet_util.Logprob
+
+let feq = Alcotest.(check (float 1e-12))
+let check_bool = Alcotest.(check bool)
+
+let test_roundtrip () =
+  List.iter
+    (fun p -> feq (Printf.sprintf "roundtrip %g" p) p
+        (Logprob.to_prob (Logprob.of_prob p)))
+    [ 1.; 0.5; 0.25; 1e-10; 0. ]
+
+let test_certain_impossible () =
+  feq "certain is probability 1" 1. (Logprob.to_prob Logprob.certain);
+  feq "impossible is probability 0" 0. (Logprob.to_prob Logprob.impossible);
+  check_bool "impossible flag" true (Logprob.is_impossible Logprob.impossible);
+  check_bool "certain is not impossible" false
+    (Logprob.is_impossible Logprob.certain);
+  check_bool "of_prob 0 is impossible" true
+    (Logprob.is_impossible (Logprob.of_prob 0.))
+
+let test_of_prob_invalid () =
+  List.iter
+    (fun p ->
+      Alcotest.check_raises "invalid probability"
+        (Invalid_argument "Logprob.of_prob: probability outside [0, 1]")
+        (fun () -> ignore (Logprob.of_prob p)))
+    [ -0.1; 1.1; Float.nan ]
+
+let test_of_neg_log () =
+  feq "neg log 0 = prob 1" 1. (Logprob.to_prob (Logprob.of_neg_log 0.));
+  feq "raw accessor" 2.5 (Logprob.to_neg_log (Logprob.of_neg_log 2.5));
+  Alcotest.check_raises "negative input"
+    (Invalid_argument
+       "Logprob.of_neg_log: negative log-probability must be >= 0") (fun () ->
+      ignore (Logprob.of_neg_log (-1.)))
+
+let test_mul () =
+  let half = Logprob.of_prob 0.5 in
+  feq "0.5 * 0.5" 0.25 (Logprob.to_prob (Logprob.mul half half));
+  feq "x * certain = x" 0.5
+    (Logprob.to_prob (Logprob.mul half Logprob.certain));
+  check_bool "x * impossible = impossible" true
+    (Logprob.is_impossible (Logprob.mul half Logprob.impossible));
+  check_bool "impossible * impossible" true
+    (Logprob.is_impossible (Logprob.mul Logprob.impossible Logprob.impossible))
+
+let test_mul_extreme_underflow () =
+  (* 1000 factors of 0.5: prob underflows to 0. in float space, but the
+     neg-log representation keeps full precision. *)
+  let half = Logprob.of_prob 0.5 in
+  let product =
+    List.fold_left
+      (fun acc _ -> Logprob.mul acc half)
+      Logprob.certain
+      (List.init 2000 (fun i -> i))
+  in
+  check_bool "not confused with impossible" false
+    (Logprob.is_impossible product);
+  Alcotest.(check (float 1e-9))
+    "exact neg-log" (2000. *. log 2.) (Logprob.to_neg_log product)
+
+let test_pow () =
+  let half = Logprob.of_prob 0.5 in
+  feq "pow 3" 0.125 (Logprob.to_prob (Logprob.pow half 3));
+  feq "pow 0 = certain" 1. (Logprob.to_prob (Logprob.pow half 0));
+  feq "pow 0 of impossible = certain" 1.
+    (Logprob.to_prob (Logprob.pow Logprob.impossible 0));
+  check_bool "pow of impossible" true
+    (Logprob.is_impossible (Logprob.pow Logprob.impossible 2));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Logprob.pow: negative exponent") (fun () ->
+      ignore (Logprob.pow half (-1)))
+
+let test_compare () =
+  let high = Logprob.of_prob 0.9 and low = Logprob.of_prob 0.1 in
+  check_bool "desc: larger prob first" true (Logprob.compare_desc high low < 0);
+  check_bool "asc: smaller prob first" true (Logprob.compare_asc low high < 0);
+  Alcotest.(check int) "equal" 0 (Logprob.compare_desc high high);
+  check_bool "impossible sorts last in desc" true
+    (Logprob.compare_desc high Logprob.impossible < 0);
+  check_bool "equal api" true (Logprob.equal high (Logprob.of_prob 0.9))
+
+let test_sort_order () =
+  let probs = [ 0.3; 0.9; 0.; 0.5; 1. ] in
+  let sorted =
+    List.map Logprob.of_prob probs
+    |> List.sort Logprob.compare_desc
+    |> List.map Logprob.to_prob
+  in
+  Alcotest.(check (list (float 1e-12)))
+    "descending probability" [ 1.; 0.9; 0.5; 0.3; 0. ] sorted
+
+let () =
+  Alcotest.run "logprob"
+    [
+      ( "conversion",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "extremes" `Quick test_certain_impossible;
+          Alcotest.test_case "invalid of_prob" `Quick test_of_prob_invalid;
+          Alcotest.test_case "of_neg_log" `Quick test_of_neg_log;
+        ] );
+      ( "arithmetic",
+        [
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "underflow resistance" `Quick
+            test_mul_extreme_underflow;
+          Alcotest.test_case "pow" `Quick test_pow;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "sort" `Quick test_sort_order;
+        ] );
+    ]

@@ -1,0 +1,176 @@
+(* Coverage tests for printers, aggregates and smaller behaviours not
+   exercised elsewhere. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let params = Params.default
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let network seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:5 ~n_switches:15 ~qubits_per_switch:4 ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_graph_pp () =
+  let g = network 1 in
+  let s = Format.asprintf "%a" Graph.pp g in
+  check_bool "mentions users" true (contains s "5 users");
+  check_bool "mentions switches" true (contains s "15 switches")
+
+let test_ent_tree_pp () =
+  let g = network 1 in
+  match Alg_conflict_free.solve g params with
+  | None -> ()
+  | Some tree ->
+      let s = Format.asprintf "%a" Ent_tree.pp tree in
+      check_bool "mentions channels" true (contains s "channels")
+
+let test_verify_violation_printers () =
+  let g = network 2 in
+  let u0, u1 =
+    match Graph.users g with a :: b :: _ -> (a, b) | _ -> assert false
+  in
+  ignore (u0, u1);
+  let render v = Format.asprintf "%a" Verify.pp_violation v in
+  check_bool "not a tree" true
+    (contains (render Verify.Not_a_spanning_tree) "spanning tree");
+  check_bool "capacity" true
+    (contains (render (Verify.Capacity_exceeded (3, 6, 4))) "switch 3");
+  check_bool "rate mismatch" true
+    (contains (render (Verify.Rate_mismatch (1., 2.))) "rate mismatch")
+
+let test_outcome_capacity_flag_for_alg2 () =
+  (* The overcommitted star: Alg-2 returns it; the flag must say so. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1100.);
+  ignore (Graph.Builder.add_edge b u1 hub 1100.);
+  ignore (Graph.Builder.add_edge b u2 hub 1100.);
+  let g = Graph.Builder.freeze b in
+  let inst = Muerp.instance ~params g in
+  let o = Muerp.solve Muerp.Optimal inst in
+  check_bool "alg2 found a tree" true (o.Muerp.tree <> None);
+  check_bool "flagged as over capacity" false (Muerp.outcome_capacity_ok inst o)
+
+let test_runner_feasible_rate_aggregate () =
+  let cfg =
+    Qnet_experiments.Config.create
+      ~spec:(Qnet_topology.Spec.create ~n_users:4 ~n_switches:12 ())
+      ~replications:3 ()
+  in
+  let aggregates = Qnet_experiments.Runner.run_config cfg in
+  List.iter
+    (fun (a : Qnet_experiments.Runner.aggregate) ->
+      match a.Qnet_experiments.Runner.mean_feasible_rate with
+      | None ->
+          Alcotest.(check int)
+            "no feasible runs means count 0" 0
+            a.Qnet_experiments.Runner.feasible
+      | Some r ->
+          check_bool "feasible mean >= overall mean" true
+            (r >= a.Qnet_experiments.Runner.mean_rate -. 1e-15))
+    aggregates
+
+let test_headline_na_rendering () =
+  (* A series where a baseline is always zero yields an n/a headline. *)
+  let series =
+    {
+      Qnet_experiments.Figures.id = "synthetic";
+      title = "synthetic";
+      x_header = "x";
+      x_values = [ "a" ];
+      rows =
+        Qnet_experiments.Runner.
+          [
+            (Alg2, [ 0.5 ]); (Alg3, [ 0.4 ]); (Alg4, [ 0.3 ]);
+            (N_fusion, [ 0. ]); (E_q_cast, [ 0. ]);
+          ];
+    }
+  in
+  let table =
+    Qnet_experiments.Report.headlines_table
+      (Qnet_experiments.Figures.headlines [ series ])
+  in
+  check_bool "renders n/a" true
+    (contains (Qnet_util.Table.to_string table) "n/a")
+
+let test_capacity_overcommitted_accessor () =
+  let g = network 3 in
+  let c = Capacity.of_graph g in
+  Alcotest.(check (list int)) "fresh state clean" [] (Capacity.overcommitted c)
+
+let test_log_levels_are_silent_by_default () =
+  (* Without setup, debug logging must not raise or print to stdout. *)
+  Qnet_util.Log.debug "invisible %d" 42;
+  Qnet_util.Log.info "invisible";
+  Qnet_util.Log.warn "invisible";
+  check_bool "no crash" true true
+
+let test_fidelity_prim_start_validation () =
+  let g = network 4 in
+  let s = List.hd (Graph.switches g) in
+  Alcotest.check_raises "non-user start"
+    (Invalid_argument "Fidelity.solve_prim: start is not a user") (fun () ->
+      ignore
+        (Fidelity.solve_prim ~start:s g params
+           { Fidelity.f0 = 0.98; threshold = 0.9 }))
+
+let test_multipath_direct_only_pair () =
+  (* Two users joined only by a direct fiber: exactly one candidate. *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1000. ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 u1 1000.);
+  let g = Graph.Builder.freeze b in
+  let capacity = Capacity.of_graph g in
+  Alcotest.(check int)
+    "single candidate" 1
+    (List.length
+       (Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:u1 ~k:4))
+
+let () =
+  Alcotest.run "misc_coverage"
+    [
+      ( "printers",
+        [
+          Alcotest.test_case "graph pp" `Quick test_graph_pp;
+          Alcotest.test_case "tree pp" `Quick test_ent_tree_pp;
+          Alcotest.test_case "violations" `Quick test_verify_violation_printers;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "capacity flag" `Quick
+            test_outcome_capacity_flag_for_alg2;
+          Alcotest.test_case "feasible rate" `Quick
+            test_runner_feasible_rate_aggregate;
+          Alcotest.test_case "headline n/a" `Quick test_headline_na_rendering;
+          Alcotest.test_case "overcommitted accessor" `Quick
+            test_capacity_overcommitted_accessor;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "silent logging" `Quick
+            test_log_levels_are_silent_by_default;
+          Alcotest.test_case "fidelity start" `Quick
+            test_fidelity_prim_start_validation;
+          Alcotest.test_case "multipath direct" `Quick
+            test_multipath_direct_only_pair;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(* Unit tests for Qnet_graph.Mst. *)
+
+module Graph = Qnet_graph.Graph
+module Mst = Qnet_graph.Mst
+
+let weight (e : Graph.edge) = e.Graph.length
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Classic 4-cycle with a chord; MST weight is 1+2+3 = 6. *)
+let square () =
+  let b = Graph.Builder.create () in
+  let add () =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.
+  in
+  let v0 = add () and v1 = add () and v2 = add () and v3 = add () in
+  ignore (Graph.Builder.add_edge b v0 v1 1.);
+  ignore (Graph.Builder.add_edge b v1 v2 2.);
+  ignore (Graph.Builder.add_edge b v2 v3 3.);
+  ignore (Graph.Builder.add_edge b v3 v0 4.);
+  ignore (Graph.Builder.add_edge b v0 v2 5.);
+  Graph.Builder.freeze b
+
+let test_kruskal () =
+  let g = square () in
+  let tree = Mst.kruskal g ~weight in
+  check_int "n-1 edges" 3 (List.length tree);
+  Alcotest.(check (float 1e-9)) "weight" 6. (Mst.total_weight ~weight tree);
+  check_bool "spanning" true (Mst.is_spanning_tree g tree)
+
+let test_prim_matches_kruskal () =
+  let g = square () in
+  let k = Mst.total_weight ~weight (Mst.kruskal g ~weight) in
+  for root = 0 to 3 do
+    let p = Mst.total_weight ~weight (Mst.prim g ~weight ~root) in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "prim from %d" root)
+      k p
+  done
+
+let test_disconnected_forest () =
+  let b = Graph.Builder.create () in
+  let add () =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.
+  in
+  let v0 = add () and v1 = add () in
+  let v2 = add () and v3 = add () in
+  ignore (Graph.Builder.add_edge b v0 v1 1.);
+  ignore (Graph.Builder.add_edge b v2 v3 2.);
+  let g = Graph.Builder.freeze b in
+  let forest = Mst.kruskal g ~weight in
+  check_int "forest has 2 edges" 2 (List.length forest);
+  check_bool "not a spanning tree" false (Mst.is_spanning_tree g forest);
+  (* Prim only covers the root's component. *)
+  check_int "prim covers one component" 1
+    (List.length (Mst.prim g ~weight ~root:v0))
+
+let test_prim_bad_root () =
+  let g = square () in
+  Alcotest.check_raises "bad root" (Invalid_argument "Mst.prim: bad root")
+    (fun () -> ignore (Mst.prim g ~weight ~root:9))
+
+let test_is_spanning_tree_rejects_cycle () =
+  let g = square () in
+  let all = Graph.fold_edges g ~init:[] ~f:(fun acc e -> e :: acc) in
+  check_bool "all edges form cycles" false (Mst.is_spanning_tree g all);
+  (* Right count but with a cycle: edges 0-1, 1-2, 0-2. *)
+  let by_ends a b =
+    List.find
+      (fun (e : Graph.edge) -> (e.Graph.a, e.Graph.b) = (min a b, max a b))
+      all
+  in
+  check_bool "cycle of right size" false
+    (Mst.is_spanning_tree g [ by_ends 0 1; by_ends 1 2; by_ends 0 2 ])
+
+let test_singleton_graph () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  Alcotest.(check int) "no edges" 0 (List.length (Mst.kruskal g ~weight));
+  check_bool "empty tree spans singleton" true (Mst.is_spanning_tree g [])
+
+let () =
+  Alcotest.run "mst"
+    [
+      ( "algorithms",
+        [
+          Alcotest.test_case "kruskal" `Quick test_kruskal;
+          Alcotest.test_case "prim = kruskal" `Quick test_prim_matches_kruskal;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_forest;
+          Alcotest.test_case "bad root" `Quick test_prim_bad_root;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "rejects cycles" `Quick
+            test_is_spanning_tree_rejects_cycle;
+          Alcotest.test_case "singleton" `Quick test_singleton_graph;
+        ] );
+    ]

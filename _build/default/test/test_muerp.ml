@@ -1,0 +1,158 @@
+(* Unit tests for Qnet_core.Muerp and Qnet_core.Verify. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let params = Params.default
+
+let network seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:6 ~n_switches:20 ~qubits_per_switch:4 ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_algorithm_names () =
+  Alcotest.(check string) "alg2" "alg2-optimal" (Muerp.algorithm_name Muerp.Optimal);
+  Alcotest.(check string) "alg3" "alg3-conflict-free"
+    (Muerp.algorithm_name Muerp.Conflict_free);
+  Alcotest.(check string) "alg4" "alg4-prim" (Muerp.algorithm_name Muerp.Prim_based);
+  Alcotest.(check string) "exact" "exhaustive" (Muerp.algorithm_name Muerp.Exhaustive);
+  Alcotest.(check int) "three heuristics" 3 (List.length Muerp.all_heuristics)
+
+let test_instance_requires_users () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:0. ~y:0.);
+  let g = Graph.Builder.freeze b in
+  Alcotest.check_raises "no users"
+    (Invalid_argument "Muerp.instance: graph has no users") (fun () ->
+      ignore (Muerp.instance g))
+
+let test_solve_outcomes_consistent () =
+  let g = network 5 in
+  let inst = Muerp.instance ~params g in
+  List.iter
+    (fun alg ->
+      let o = Muerp.solve alg inst in
+      check_bool "rate matches tree" true
+        (match o.Muerp.tree with
+        | None -> o.Muerp.rate = 0. && o.Muerp.neg_log_rate = infinity
+        | Some t ->
+            Float.abs (o.Muerp.rate -. Ent_tree.rate_prob t) < 1e-12
+            && Float.abs (o.Muerp.neg_log_rate -. Ent_tree.rate_neg_log t)
+               < 1e-9);
+      check_bool "elapsed non-negative" true (o.Muerp.elapsed_s >= 0.);
+      Alcotest.(check (float 0.)) "rate_of" o.Muerp.rate (Muerp.rate_of o))
+    Muerp.all_heuristics
+
+let test_outcome_capacity_ok () =
+  let g = network 6 in
+  let inst = Muerp.instance ~params g in
+  List.iter
+    (fun alg ->
+      let o = Muerp.solve alg inst in
+      check_bool "capacity-respecting algorithms pass" true
+        (Muerp.outcome_capacity_ok inst o))
+    [ Muerp.Conflict_free; Muerp.Prim_based ]
+
+let test_verify_accepts_solver_output () =
+  let g = network 7 in
+  let inst = Muerp.instance ~params g in
+  match (Muerp.solve Muerp.Conflict_free inst).Muerp.tree with
+  | None -> ()
+  | Some tree ->
+      Alcotest.(check (list Alcotest.reject))
+        "no violations" []
+        (Verify.check g params ~users:(Graph.users g) tree)
+
+let test_verify_catches_bad_channel () =
+  let g = network 8 in
+  (* Forge a tree with a channel from a different graph topology. *)
+  let g2 = network 9 in
+  let inst2 = Muerp.instance ~params g2 in
+  match (Muerp.solve Muerp.Conflict_free inst2).Muerp.tree with
+  | None -> ()
+  | Some foreign_tree ->
+      let violations =
+        Verify.check g params ~users:(Graph.users g) foreign_tree
+      in
+      check_bool "foreign tree rejected" true (violations <> [])
+
+let test_verify_catches_capacity_violation () =
+  (* Hand-build the over-committed star from test_alg_optimal. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1100.);
+  ignore (Graph.Builder.add_edge b u1 hub 1100.);
+  ignore (Graph.Builder.add_edge b u2 hub 1100.);
+  let g = Graph.Builder.freeze b in
+  let tree =
+    Ent_tree.of_channels
+      [
+        Channel.make_exn g params [ u0; hub; u1 ];
+        Channel.make_exn g params [ u0; hub; u2 ];
+      ]
+  in
+  let violations = Verify.check g params ~users:[ u0; u1; u2 ] tree in
+  check_bool "capacity violation reported" true
+    (List.exists
+       (function Verify.Capacity_exceeded (s, 4, 2) -> s = hub | _ -> false)
+       violations)
+
+let test_verify_catches_non_tree () =
+  let g = network 10 in
+  let users = Graph.users g in
+  let inst = Muerp.instance ~params g in
+  match (Muerp.solve Muerp.Conflict_free inst).Muerp.tree with
+  | None -> ()
+  | Some tree ->
+      (* Drop one channel: no longer spanning. *)
+      let partial =
+        Ent_tree.of_channels (List.tl tree.Ent_tree.channels)
+      in
+      check_bool "partial tree rejected" true
+        (List.exists
+           (function Verify.Not_a_spanning_tree -> true | _ -> false)
+           (Verify.check g params ~users partial))
+
+let test_exhaustive_via_muerp () =
+  let rng = Prng.create 12 in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:3 ~n_switches:5 ~avg_degree:4.
+      ~qubits_per_switch:4 ()
+  in
+  let g = Qnet_topology.Waxman.generate rng spec in
+  let inst = Muerp.instance ~params g in
+  let o = Muerp.solve Muerp.Exhaustive inst in
+  check_bool "exhaustive solves small instances" true (o.Muerp.tree <> None)
+
+let () =
+  Alcotest.run "muerp"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "names" `Quick test_algorithm_names;
+          Alcotest.test_case "instance validation" `Quick
+            test_instance_requires_users;
+          Alcotest.test_case "outcomes" `Quick test_solve_outcomes_consistent;
+          Alcotest.test_case "capacity flag" `Quick test_outcome_capacity_ok;
+          Alcotest.test_case "exhaustive" `Quick test_exhaustive_via_muerp;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "accepts solver output" `Quick
+            test_verify_accepts_solver_output;
+          Alcotest.test_case "bad channel" `Quick test_verify_catches_bad_channel;
+          Alcotest.test_case "capacity violation" `Quick
+            test_verify_catches_capacity_violation;
+          Alcotest.test_case "non tree" `Quick test_verify_catches_non_tree;
+        ] );
+    ]

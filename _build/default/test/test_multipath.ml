@@ -1,0 +1,202 @@
+(* Unit tests for Qnet_core.Multipath (Yen k-best channels) and
+   Qnet_core.Alg_kbest. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let feq = Alcotest.(check (float 1e-12))
+let params = Params.default
+
+(* Three parallel relay routes between u0 and u1 of increasing cost. *)
+let parallel_fixture () =
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let switch x y =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y
+  in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let mk_route off =
+    let s = switch 1000. off in
+    let len = 1000. +. Float.abs off in
+    ignore (Graph.Builder.add_edge b u0 s len);
+    ignore (Graph.Builder.add_edge b s u1 len);
+    s
+  in
+  let s_a = mk_route 0. in
+  let s_b = mk_route 400. in
+  let s_c = mk_route 800. in
+  (Graph.Builder.freeze b, u0, u1, s_a, s_b, s_c)
+
+let test_enumerates_in_rate_order () =
+  let g, u0, u1, s_a, s_b, s_c = parallel_fixture () in
+  let capacity = Capacity.of_graph g in
+  let cs =
+    Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:u1 ~k:3
+  in
+  check_int "three routes" 3 (List.length cs);
+  let mids = List.map (fun (c : Channel.t) -> List.nth c.path 1) cs in
+  Alcotest.(check (list int)) "shortest relay first" [ s_a; s_b; s_c ] mids;
+  let rates = List.map Channel.rate_prob cs in
+  check_bool "strictly descending" true
+    (rates = List.sort (fun a b -> Float.compare b a) rates)
+
+let test_first_matches_algorithm1 () =
+  let g, u0, u1, _, _, _ = parallel_fixture () in
+  let capacity = Capacity.of_graph g in
+  let best = Routing.best_channel g params ~capacity ~src:u0 ~dst:u1 in
+  let cs = Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:u1 ~k:1 in
+  match (best, cs) with
+  | Some b, [ c ] -> feq "same rate" (Channel.rate_prob b) (Channel.rate_prob c)
+  | _ -> Alcotest.fail "both should find the route"
+
+let test_fewer_than_k () =
+  let g, u0, u1, _, _, _ = parallel_fixture () in
+  let capacity = Capacity.of_graph g in
+  let cs =
+    Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:u1 ~k:10
+  in
+  (* Only 3 loopless switch-interior routes exist... plus combinations
+     through two relays?  Relays are not interconnected, so exactly 3. *)
+  check_int "exhausts at 3" 3 (List.length cs)
+
+let test_paths_distinct () =
+  let rng = Prng.create 5 in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:4 ~n_switches:16 ~qubits_per_switch:8 ()
+  in
+  let g = Qnet_topology.Waxman.generate rng spec in
+  let capacity = Capacity.of_graph g in
+  match Graph.users g with
+  | u0 :: u1 :: _ ->
+      let cs =
+        Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:u1 ~k:6
+      in
+      let paths = List.map (fun (c : Channel.t) -> c.Channel.path) cs in
+      check_int "all distinct" (List.length paths)
+        (List.length (List.sort_uniq compare paths));
+      (* And every one validates as a channel of this graph. *)
+      List.iter
+        (fun (c : Channel.t) ->
+          check_bool "valid channel" true
+            (match Channel.make g params c.Channel.path with
+            | Ok _ -> true
+            | Error _ -> false))
+        cs
+  | _ -> Alcotest.fail "fixture"
+
+let test_respects_capacity_filter () =
+  let g, u0, u1, s_a, _, _ = parallel_fixture () in
+  let capacity = Capacity.of_graph g in
+  (* Drain route A's relay. *)
+  Capacity.consume_channel capacity [ u0; s_a; u1 ];
+  Capacity.consume_channel capacity [ u0; s_a; u1 ];
+  let cs =
+    Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:u1 ~k:3
+  in
+  check_int "two routes left" 2 (List.length cs);
+  check_bool "drained relay absent" true
+    (List.for_all
+       (fun (c : Channel.t) -> not (List.mem s_a c.Channel.path))
+       cs)
+
+let test_q_zero () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1. ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 u1 1000.);
+  let g = Graph.Builder.freeze b in
+  let capacity = Capacity.of_graph g in
+  let p0 = Params.create ~q:0. () in
+  check_int "direct only" 1
+    (List.length (Multipath.k_best_channels g p0 ~capacity ~src:u0 ~dst:u1 ~k:5))
+
+let test_validation () =
+  let g, u0, _, s_a, _, _ = parallel_fixture () in
+  let capacity = Capacity.of_graph g in
+  Alcotest.check_raises "k >= 1"
+    (Invalid_argument "Multipath.k_best_channels: k < 1") (fun () ->
+      ignore (Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:1 ~k:0));
+  Alcotest.check_raises "user endpoints"
+    (Invalid_argument "Multipath.k_best_channels: endpoints must be users")
+    (fun () ->
+      ignore
+        (Multipath.k_best_channels g params ~capacity ~src:u0 ~dst:s_a ~k:1))
+
+let test_vertex_disjoint () =
+  let g, u0, u1, s_a, s_b, _ = parallel_fixture () in
+  let via s = Channel.make_exn g params [ u0; s; u1 ] in
+  check_bool "different relays disjoint" true
+    (Multipath.channels_vertex_disjoint (via s_a) (via s_b));
+  check_bool "same relay not disjoint" false
+    (Multipath.channels_vertex_disjoint (via s_a) (via s_a))
+
+(* ---- Alg_kbest ---- *)
+
+let random_network ?(qubits = 2) seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:6 ~n_switches:20
+      ~qubits_per_switch:qubits ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_kbest_solver_valid () =
+  for seed = 1 to 10 do
+    let g = random_network seed in
+    match Alg_kbest.solve g params with
+    | None -> ()
+    | Some tree ->
+        check_bool "verifies" true
+          (Verify.is_valid g params ~users:(Graph.users g) tree)
+  done
+
+let test_kbest_matches_alg3_without_conflicts () =
+  for seed = 1 to 8 do
+    let g = random_network ~qubits:12 (40 + seed) in
+    match (Alg_conflict_free.solve g params, Alg_kbest.solve g params) with
+    | Some t3, Some tk ->
+        Alcotest.(check (float 1e-9))
+          "same rate when capacity is ample"
+          (Ent_tree.rate_neg_log t3) (Ent_tree.rate_neg_log tk)
+    | _ -> Alcotest.fail "ample capacity should solve both"
+  done
+
+let test_kbest_never_beats_alg2 () =
+  for seed = 1 to 10 do
+    let g = random_network (60 + seed) in
+    match (Alg_optimal.solve g params, Alg_kbest.solve g params) with
+    | Some t2, Some tk ->
+        check_bool "upper bounded by alg2" true
+          (Ent_tree.rate_neg_log tk >= Ent_tree.rate_neg_log t2 -. 1e-9)
+    | _ -> ()
+  done
+
+let () =
+  Alcotest.run "multipath"
+    [
+      ( "yen",
+        [
+          Alcotest.test_case "rate order" `Quick test_enumerates_in_rate_order;
+          Alcotest.test_case "k=1 = Algorithm 1" `Quick
+            test_first_matches_algorithm1;
+          Alcotest.test_case "fewer than k" `Quick test_fewer_than_k;
+          Alcotest.test_case "distinct paths" `Quick test_paths_distinct;
+          Alcotest.test_case "capacity filter" `Quick
+            test_respects_capacity_filter;
+          Alcotest.test_case "q = 0" `Quick test_q_zero;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "vertex disjoint" `Quick test_vertex_disjoint;
+        ] );
+      ( "alg_kbest",
+        [
+          Alcotest.test_case "valid" `Quick test_kbest_solver_valid;
+          Alcotest.test_case "matches alg3" `Quick
+            test_kbest_matches_alg3_without_conflicts;
+          Alcotest.test_case "bounded by alg2" `Quick
+            test_kbest_never_beats_alg2;
+        ] );
+    ]

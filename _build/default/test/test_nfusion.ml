@@ -1,0 +1,140 @@
+(* Unit tests for Qnet_baselines.Nfusion. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Nfusion = Qnet_baselines.Nfusion
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let feq = Alcotest.(check (float 1e-9))
+let params = Params.default
+
+let network seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:6 ~n_switches:20 ~qubits_per_switch:4 ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let test_star_structure () =
+  let g = network 1 in
+  match Nfusion.solve g params with
+  | None -> ()
+  | Some r ->
+      let users = Graph.users g in
+      check_bool "center is a user" true (List.mem r.Nfusion.center users);
+      check_int "one spoke per other user" (List.length users - 1)
+        (Ent_tree.channel_count r.Nfusion.star);
+      (* Every spoke has the center as an endpoint. *)
+      List.iter
+        (fun (c : Channel.t) ->
+          check_bool "spoke touches center" true
+            (c.Channel.src = r.Nfusion.center || c.Channel.dst = r.Nfusion.center))
+        r.Nfusion.star.Ent_tree.channels
+
+let test_fusion_penalty_applied () =
+  let g = network 2 in
+  match Nfusion.solve g params with
+  | None -> ()
+  | Some r ->
+      let star_rate = Ent_tree.rate_neg_log r.Nfusion.star in
+      feq "total = star + fusion"
+        (star_rate +. r.Nfusion.fusion_neg_log)
+        r.Nfusion.total_neg_log;
+      check_bool "penalty positive for 6 users" true
+        (r.Nfusion.fusion_neg_log > 0.);
+      (* 6 users: 5 spokes fused -> q_f^4 with q_f = 0.75 * 0.9. *)
+      feq "penalty exponent" (4. *. -.log (0.75 *. 0.9)) r.Nfusion.fusion_neg_log
+
+let test_fusion_discount_configurable () =
+  let g = network 2 in
+  let lenient = { Nfusion.fusion_discount = 1.0 } in
+  let harsh = { Nfusion.fusion_discount = 0.3 } in
+  match (Nfusion.solve ~params:lenient g params, Nfusion.solve ~params:harsh g params)
+  with
+  | Some a, Some b ->
+      check_bool "harsher fusion lowers rate" true
+        (a.Nfusion.total_rate > b.Nfusion.total_rate)
+  | _ -> Alcotest.fail "both should solve"
+
+let test_invalid_discount () =
+  let g = network 2 in
+  Alcotest.check_raises "zero discount"
+    (Invalid_argument "Nfusion.solve: fusion_discount outside (0, 1]")
+    (fun () -> ignore (Nfusion.solve ~params:{ Nfusion.fusion_discount = 0. } g params))
+
+let test_two_users_no_penalty () =
+  (* Two users: a single channel, no GHZ fusion needed — BSM = 2-fusion
+     degenerate case. *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1000. ~y:0.
+  in
+  ignore (Graph.Builder.add_edge b u0 u1 1000.);
+  let g = Graph.Builder.freeze b in
+  match Nfusion.solve g params with
+  | None -> Alcotest.fail "pair should solve"
+  | Some r ->
+      feq "no fusion penalty" 0. r.Nfusion.fusion_neg_log;
+      feq "rate is the channel rate" (exp (-0.1)) r.Nfusion.total_rate
+
+let test_capacity_failure () =
+  (* Three users on a 2-qubit hub: no center can reach both others. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let u0 = user 0. 0. in
+  let u1 = user 2000. 0. in
+  let u2 = user 1000. 1700. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:600.
+  in
+  ignore (Graph.Builder.add_edge b u0 hub 1100.);
+  ignore (Graph.Builder.add_edge b u1 hub 1100.);
+  ignore (Graph.Builder.add_edge b u2 hub 1100.);
+  let g = Graph.Builder.freeze b in
+  check_bool "star infeasible" true (Nfusion.solve g params = None);
+  feq "rate helper returns 0" 0. (Nfusion.rate None)
+
+let test_below_muerp_algorithms () =
+  (* On multi-user instances the fusion penalty must keep N-FUSION below
+     Algorithm 3 — the paper's core comparative claim. *)
+  let worse = ref 0 and total = ref 0 in
+  for seed = 1 to 10 do
+    let g = network (30 + seed) in
+    match (Alg_conflict_free.solve g params, Nfusion.solve g params) with
+    | Some t3, Some r ->
+        incr total;
+        if r.Nfusion.total_rate <= Ent_tree.rate_prob t3 +. 1e-12 then
+          incr worse
+    | _ -> ()
+  done;
+  check_bool "n-fusion never above alg3 on these instances" true
+    (!worse = !total && !total > 0)
+
+let test_rate_helper () =
+  let g = network 4 in
+  match Nfusion.solve g params with
+  | None -> ()
+  | Some r -> feq "rate of Some" r.Nfusion.total_rate (Nfusion.rate (Some r))
+
+let () =
+  Alcotest.run "nfusion"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "star" `Quick test_star_structure;
+          Alcotest.test_case "two users" `Quick test_two_users_no_penalty;
+          Alcotest.test_case "capacity failure" `Quick test_capacity_failure;
+        ] );
+      ( "fusion model",
+        [
+          Alcotest.test_case "penalty" `Quick test_fusion_penalty_applied;
+          Alcotest.test_case "discount knob" `Quick
+            test_fusion_discount_configurable;
+          Alcotest.test_case "invalid discount" `Quick test_invalid_discount;
+          Alcotest.test_case "below MUERP" `Quick test_below_muerp_algorithms;
+          Alcotest.test_case "rate helper" `Quick test_rate_helper;
+        ] );
+    ]

@@ -1,0 +1,65 @@
+(* Unit tests for Qnet_core.Params. *)
+
+module Params = Qnet_core.Params
+
+let feq = Alcotest.(check (float 1e-12))
+
+let test_defaults () =
+  feq "alpha" 1e-4 Params.default.Params.alpha;
+  feq "q" 0.9 Params.default.Params.q
+
+let test_create_overrides () =
+  let p = Params.create ~alpha:2e-4 ~q:0.5 () in
+  feq "alpha override" 2e-4 p.Params.alpha;
+  feq "q override" 0.5 p.Params.q
+
+let test_create_invalid () =
+  Alcotest.check_raises "negative alpha"
+    (Invalid_argument "Params.create: alpha must be >= 0") (fun () ->
+      ignore (Params.create ~alpha:(-1.) ()));
+  Alcotest.check_raises "q above 1"
+    (Invalid_argument "Params.create: q must lie in [0, 1]") (fun () ->
+      ignore (Params.create ~q:1.5 ()));
+  Alcotest.check_raises "q below 0"
+    (Invalid_argument "Params.create: q must lie in [0, 1]") (fun () ->
+      ignore (Params.create ~q:(-0.1) ()))
+
+let test_link_success () =
+  let p = Params.create ~alpha:1e-4 () in
+  feq "zero length" 1. (Params.link_success p 0.);
+  feq "e^-1 at 10k" (exp (-1.)) (Params.link_success p 10_000.);
+  (* Paper's formula p = exp(-alpha L) at a typical 1000-unit fiber. *)
+  feq "typical fiber" (exp (-0.1)) (Params.link_success p 1_000.)
+
+let test_link_neg_log () =
+  let p = Params.create ~alpha:1e-4 () in
+  feq "alpha * L" 0.5 (Params.link_neg_log p 5_000.);
+  feq "consistency with link_success" (Params.link_neg_log p 777.)
+    (-.log (Params.link_success p 777.))
+
+let test_swap_neg_log () =
+  let p = Params.create ~q:0.9 () in
+  feq "-ln q" (-.log 0.9) (Params.swap_neg_log p);
+  let p1 = Params.create ~q:1. () in
+  feq "perfect swaps cost nothing" 0. (Params.swap_neg_log p1);
+  let p0 = Params.create ~q:0. () in
+  Alcotest.(check bool)
+    "q=0 is infinite cost" true
+    (Params.swap_neg_log p0 = infinity)
+
+let () =
+  Alcotest.run "params"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "defaults" `Quick test_defaults;
+          Alcotest.test_case "overrides" `Quick test_create_overrides;
+          Alcotest.test_case "invalid" `Quick test_create_invalid;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "link success" `Quick test_link_success;
+          Alcotest.test_case "link neg log" `Quick test_link_neg_log;
+          Alcotest.test_case "swap neg log" `Quick test_swap_neg_log;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Unit tests for Qnet_util.Prng. *)
+
+module Prng = Qnet_util.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Prng.next_int64 a) (Prng.next_int64 b)) then
+      distinct := true
+  done;
+  check "different seeds diverge" true !distinct
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.copy a in
+  let va = Prng.next_int64 a in
+  let vb = Prng.next_int64 b in
+  Alcotest.(check int64) "copy continues from the same state" va vb;
+  ignore (Prng.next_int64 a);
+  let va2 = Prng.next_int64 a and vb2 = Prng.next_int64 b in
+  check "streams then diverge by position" false (Int64.equal va2 vb2)
+
+let test_split_diverges () =
+  let parent = Prng.create 5 in
+  let child = Prng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Prng.next_int64 parent) (Prng.next_int64 child) then
+      incr same
+  done;
+  check "split stream is distinct" true (!same < 5)
+
+let test_int_bounds () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 7 in
+    check "int in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_covers_all_residues () =
+  let rng = Prng.create 13 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Prng.int rng 5) <- true
+  done;
+  Array.iteri (fun i b -> check (Printf.sprintf "residue %d seen" i) true b) seen
+
+let test_int_invalid () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in_range rng ~min:(-5) ~max:5 in
+    check "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  check_int "degenerate range" 9 (Prng.int_in_range rng ~min:9 ~max:9)
+
+let test_float_bounds () =
+  let rng = Prng.create 17 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 3.5 in
+    check "float in [0,3.5)" true (v >= 0. && v < 3.5)
+  done
+
+let test_float_invalid () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Prng.float: bound must be positive and finite")
+    (fun () -> ignore (Prng.float rng (-1.)))
+
+let test_float_mean () =
+  let rng = Prng.create 23 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng 1.
+  done;
+  let mean = !sum /. float_of_int n in
+  check "uniform mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create 29 in
+  for _ = 1 to 100 do
+    check "p=1 always true" true (Prng.bernoulli rng 1.);
+    check "p=0 always false" false (Prng.bernoulli rng 0.);
+    check "p>1 clamps to true" true (Prng.bernoulli rng 2.);
+    check "p<0 clamps to false" false (Prng.bernoulli rng (-0.5))
+  done
+
+let test_bernoulli_frequency () =
+  let rng = Prng.create 31 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  check "frequency near 0.3" true (Float.abs (freq -. 0.3) < 0.01)
+
+let test_bool_balanced () =
+  let rng = Prng.create 37 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  check "bool near fair" true (Float.abs (freq -. 0.5) < 0.01)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create 41 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted
+
+let test_shuffle_moves_something () =
+  let rng = Prng.create 43 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle_in_place rng a;
+  check "not identity" true (Array.exists (fun _ -> true) a && a <> Array.init 100 (fun i -> i))
+
+let test_pick () =
+  let rng = Prng.create 47 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check "pick from array" true (Array.mem (Prng.pick rng a) a)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick rng [||]))
+
+let test_sample_without_replacement () =
+  let rng = Prng.create 53 in
+  for _ = 1 to 100 do
+    let s = Prng.sample_without_replacement rng 5 20 in
+    check_int "five samples" 5 (List.length s);
+    check_int "distinct" 5 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> check "in range" true (v >= 0 && v < 20)) s
+  done;
+  check_int "k = n is a permutation" 10
+    (List.length (Prng.sample_without_replacement rng 10 10));
+  Alcotest.check_raises "k > n" (Invalid_argument "Prng.sample_without_replacement")
+    (fun () -> ignore (Prng.sample_without_replacement rng 5 3))
+
+let test_exponential () =
+  let rng = Prng.create 59 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Prng.exponential rng 2. in
+    check "positive" true (v >= 0.);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean near 1/lambda" true (Float.abs (mean -. 0.5) < 0.02);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Prng.exponential: rate must be positive") (fun () ->
+      ignore (Prng.exponential rng 0.))
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_diverges;
+        ] );
+      ( "int",
+        [
+          Alcotest.test_case "bounds" `Quick test_int_bounds;
+          Alcotest.test_case "covers residues" `Quick test_int_covers_all_residues;
+          Alcotest.test_case "invalid" `Quick test_int_invalid;
+          Alcotest.test_case "range" `Quick test_int_in_range;
+        ] );
+      ( "float",
+        [
+          Alcotest.test_case "bounds" `Quick test_float_bounds;
+          Alcotest.test_case "invalid" `Quick test_float_invalid;
+          Alcotest.test_case "mean" `Quick test_float_mean;
+        ] );
+      ( "bernoulli",
+        [
+          Alcotest.test_case "extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "frequency" `Quick test_bernoulli_frequency;
+          Alcotest.test_case "bool" `Quick test_bool_balanced;
+        ] );
+      ( "collections",
+        [
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+          Alcotest.test_case "pick" `Quick test_pick;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+        ] );
+      ( "distributions",
+        [ Alcotest.test_case "exponential" `Quick test_exponential ] );
+    ]

@@ -1,0 +1,153 @@
+(* Unit tests for Qnet_core.Purification (BBPSSW recurrence). *)
+
+module Graph = Qnet_graph.Graph
+open Qnet_core
+
+let feq = Alcotest.(check (float 1e-12))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_purify_once_closed_form () =
+  let f = 0.85 in
+  let g = 1. -. f in
+  let p_expected = (f *. f) +. (2. *. f *. g /. 3.) +. (5. *. g *. g /. 9.) in
+  let f_expected = ((f *. f) +. (g *. g /. 9.)) /. p_expected in
+  let f', p = Purification.purify_once f in
+  feq "fidelity" f_expected f';
+  feq "success probability" p_expected p;
+  check_bool "purification helps above 1/2" true (f' > f);
+  check_bool "success prob in (0,1]" true (p > 0. && p <= 1.)
+
+let test_fixed_points () =
+  (* F = 1 is a fixed point with certain success. *)
+  let f', p = Purification.purify_once 1. in
+  feq "perfect stays perfect" 1. f';
+  feq "certain success" 1. p;
+  (* Below 1/2 BBPSSW does not improve. *)
+  let f', _ = Purification.purify_once 0.4 in
+  check_bool "no gain below 1/2" true (f' <= 0.4 +. 1e-9)
+
+let test_purify_rounds () =
+  let f, mult = Purification.purify_rounds 0.8 ~rounds:0 in
+  feq "zero rounds identity f" 0.8 f;
+  feq "zero rounds identity mult" 1. mult;
+  let f1, m1 = Purification.purify_rounds 0.8 ~rounds:1 in
+  let f1', p1 = Purification.purify_once 0.8 in
+  feq "one round fidelity" f1' f1;
+  feq "one round multiplier" (p1 /. 2.) m1;
+  let f3, m3 = Purification.purify_rounds 0.8 ~rounds:3 in
+  check_bool "more rounds, higher fidelity" true (f3 > f1);
+  check_bool "more rounds, lower rate" true (m3 < m1);
+  check_bool "multiplier at most (1/2)^rounds" true (m3 <= 0.125 +. 1e-12);
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Purification.purify_rounds: negative rounds")
+    (fun () -> ignore (Purification.purify_rounds 0.8 ~rounds:(-1)))
+
+let test_rounds_needed () =
+  Alcotest.(check (option int))
+    "already above" (Some 0)
+    (Purification.rounds_needed ~f:0.95 ~threshold:0.9 ~max_rounds:10);
+  (match Purification.rounds_needed ~f:0.8 ~threshold:0.95 ~max_rounds:10 with
+  | None -> Alcotest.fail "reachable threshold"
+  | Some r ->
+      check_bool "positive rounds" true (r > 0);
+      let f, _ = Purification.purify_rounds 0.8 ~rounds:r in
+      check_bool "meets threshold" true (f >= 0.95);
+      let f_prev, _ = Purification.purify_rounds 0.8 ~rounds:(r - 1) in
+      check_bool "minimal" true (f_prev < 0.95));
+  Alcotest.(check (option int))
+    "unreachable below 1/2" None
+    (Purification.rounds_needed ~f:0.4 ~threshold:0.9 ~max_rounds:50)
+
+let test_plan_for_channel () =
+  (* A 5-hop channel at f0 = 0.97 sits below a 0.95 threshold; the plan
+     must fix that. *)
+  let f0 = 0.97 in
+  let hops = 5 in
+  let raw = Fidelity.channel_fidelity ~f0 ~hops in
+  check_bool "fixture premise: raw below threshold" true (raw < 0.95);
+  match Purification.plan_for_channel ~f0 ~hops ~threshold:0.95 ~max_rounds:10
+  with
+  | None -> Alcotest.fail "plan should exist"
+  | Some plan ->
+      check_bool "final meets threshold" true
+        (plan.Purification.final_fidelity >= 0.95);
+      check_bool "rounds positive" true (plan.Purification.rounds > 0);
+      check_bool "rate shrinks" true (plan.Purification.rate_multiplier < 1.)
+
+let test_effective_tree_rate () =
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0.
+  in
+  let u0 = user 0. in
+  let u1 = user 2000. in
+  let u2 = user 4000. in
+  let s3 = switch 1000. in
+  let s4 = switch 3000. in
+  ignore (Graph.Builder.add_edge b u0 s3 1000.);
+  ignore (Graph.Builder.add_edge b s3 u1 1000.);
+  ignore (Graph.Builder.add_edge b u1 s4 1000.);
+  ignore (Graph.Builder.add_edge b s4 u2 1000.);
+  let g = Graph.Builder.freeze b in
+  let params = Params.default in
+  let tree =
+    Ent_tree.of_channels
+      [
+        Channel.make_exn g params [ u0; s3; u1 ];
+        Channel.make_exn g params [ u1; s4; u2 ];
+      ]
+  in
+  let raw = Ent_tree.rate_prob tree in
+  (* Loose threshold: no purification, rate unchanged. *)
+  (match
+     Purification.effective_tree_rate ~f0:0.98 ~threshold:0.5 ~max_rounds:5
+       tree
+   with
+  | Some r -> feq "no purification needed" raw r
+  | None -> Alcotest.fail "loose threshold feasible");
+  (* Tight threshold: purification shrinks the rate. *)
+  (match
+     Purification.effective_tree_rate ~f0:0.98 ~threshold:0.99 ~max_rounds:20
+       tree
+   with
+  | Some r -> check_bool "purified rate lower" true (r < raw)
+  | None -> Alcotest.fail "0.99 reachable from 0.98 pairs via purification");
+  (* Unreachable threshold. *)
+  check_bool "unreachable gives None" true
+    (Purification.effective_tree_rate ~f0:0.6 ~threshold:0.99 ~max_rounds:3
+       tree
+    = None);
+  check_int "tree untouched" 2 (Ent_tree.channel_count tree)
+
+let test_monotone_threshold_cost () =
+  (* The effective rate can only fall as the threshold rises. *)
+  let f = 0.9 in
+  let rate_for threshold =
+    match Purification.rounds_needed ~f ~threshold ~max_rounds:20 with
+    | None -> 0.
+    | Some r -> snd (Purification.purify_rounds f ~rounds:r)
+  in
+  let r1 = rate_for 0.9 and r2 = rate_for 0.95 and r3 = rate_for 0.98 in
+  check_bool "0.9 -> 0.95 costs" true (r2 <= r1);
+  check_bool "0.95 -> 0.98 costs" true (r3 <= r2)
+
+let () =
+  Alcotest.run "purification"
+    [
+      ( "recurrence",
+        [
+          Alcotest.test_case "closed form" `Quick test_purify_once_closed_form;
+          Alcotest.test_case "fixed points" `Quick test_fixed_points;
+          Alcotest.test_case "rounds" `Quick test_purify_rounds;
+          Alcotest.test_case "rounds needed" `Quick test_rounds_needed;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "channel plan" `Quick test_plan_for_channel;
+          Alcotest.test_case "tree rate" `Quick test_effective_tree_rate;
+          Alcotest.test_case "threshold monotone" `Quick
+            test_monotone_threshold_cost;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Unit tests for Qnet_core.Redundancy — parallel backup channels. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let feq = Alcotest.(check (float 1e-12))
+let params = Params.default
+
+let test_group_success_closed_form () =
+  (* Two channels of rates p1, p2: success = 1 - (1-p1)(1-p2). *)
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x y = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y in
+  let u0 = user 0. in
+  let u1 = user 2000. in
+  let s2 = switch 1000. 0. in
+  let s3 = switch 1000. 500. in
+  ignore (Graph.Builder.add_edge b u0 s2 1000.);
+  ignore (Graph.Builder.add_edge b s2 u1 1000.);
+  ignore (Graph.Builder.add_edge b u0 s3 1200.);
+  ignore (Graph.Builder.add_edge b s3 u1 1200.);
+  let g = Graph.Builder.freeze b in
+  let c1 = Channel.make_exn g params [ u0; s2; u1 ] in
+  let c2 = Channel.make_exn g params [ u0; s3; u1 ] in
+  let p1 = Channel.rate_prob c1 and p2 = Channel.rate_prob c2 in
+  feq "closed form"
+    (-.log (1. -. ((1. -. p1) *. (1. -. p2))))
+    (Redundancy.group_success_neg_log [ c1; c2 ]);
+  feq "single channel is its own rate" (-.log p1)
+    (Redundancy.group_success_neg_log [ c1 ]);
+  check_bool "empty group impossible" true
+    (Redundancy.group_success_neg_log [] = infinity)
+
+(* Fixture: a pair with one primary relay and one spare relay, so
+   exactly one backup can be added. *)
+let backed_pair () =
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch y = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y in
+  let u0 = user 0. in
+  let u1 = user 2000. in
+  let s_main = switch 0. in
+  let s_spare = switch 600. in
+  ignore (Graph.Builder.add_edge b u0 s_main 1000.);
+  ignore (Graph.Builder.add_edge b s_main u1 1000.);
+  ignore (Graph.Builder.add_edge b u0 s_spare 1200.);
+  ignore (Graph.Builder.add_edge b s_spare u1 1200.);
+  (Graph.Builder.freeze b, u0, u1, s_main, s_spare)
+
+let test_boost_adds_backup () =
+  let g, u0, u1, s_main, s_spare = backed_pair () in
+  let tree = Ent_tree.of_channels [ Channel.make_exn g params [ u0; s_main; u1 ] ] in
+  let boosted = Redundancy.boost g params tree in
+  check_int "one backup" 1 boosted.Redundancy.backups_added;
+  check_bool "rate improves" true
+    (boosted.Redundancy.rate > Ent_tree.rate_prob tree);
+  (match boosted.Redundancy.groups with
+  | [ group ] ->
+      check_int "two channels in the group" 2
+        (List.length group.Redundancy.channels);
+      check_bool "backup uses the spare relay" true
+        (List.exists
+           (fun (c : Channel.t) -> List.mem s_spare c.Channel.path)
+           group.Redundancy.channels)
+  | _ -> Alcotest.fail "one group expected");
+  (* Capacity accounting: both 2-qubit relays fully used, none over. *)
+  Alcotest.(check (list (pair int int)))
+    "full but legal usage"
+    [ (s_main, 2); (s_spare, 2) ]
+    (Redundancy.qubit_usage boosted)
+
+let test_max_backups_zero () =
+  let g, u0, u1, s_main, _ = backed_pair () in
+  let tree = Ent_tree.of_channels [ Channel.make_exn g params [ u0; s_main; u1 ] ] in
+  let boosted = Redundancy.boost ~max_backups:0 g params tree in
+  check_int "no backups" 0 boosted.Redundancy.backups_added;
+  feq "rate unchanged" (Ent_tree.rate_prob tree) boosted.Redundancy.rate
+
+let test_boost_rejects_invalid_tree () =
+  let g, u0, u1, s_main, _ = backed_pair () in
+  let c = Channel.make_exn g params [ u0; s_main; u1 ] in
+  let over = Ent_tree.of_channels [ c; c ] in
+  Alcotest.check_raises "overcommitted tree"
+    (Invalid_argument "Redundancy.boost: tree exceeds switch budgets")
+    (fun () -> ignore (Redundancy.boost g params over))
+
+let test_direct_fibers_not_duplicated () =
+  (* Pair joined by a direct fiber only: no backup may be added (a free
+     duplicate would loop forever / degenerate). *)
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:1000. ~y:0. in
+  ignore (Graph.Builder.add_edge b u0 u1 1000.);
+  let g = Graph.Builder.freeze b in
+  let tree = Ent_tree.of_channels [ Channel.make_exn g params [ u0; u1 ] ] in
+  let boosted = Redundancy.boost g params tree in
+  check_int "no free duplicates" 0 boosted.Redundancy.backups_added
+
+let test_solve_on_random_networks () =
+  for seed = 1 to 10 do
+    let rng = Prng.create seed in
+    let spec =
+      Qnet_topology.Spec.create ~n_users:6 ~n_switches:20
+        ~qubits_per_switch:6 ()
+    in
+    let g = Qnet_topology.Waxman.generate rng spec in
+    match (Alg_conflict_free.solve g params, Redundancy.solve g params) with
+    | Some tree, Some boosted ->
+        check_bool "boost never hurts" true
+          (boosted.Redundancy.rate >= Ent_tree.rate_prob tree -. 1e-15);
+        (* Aggregate usage within budgets. *)
+        List.iter
+          (fun (s, used) ->
+            check_bool "capacity" true (used <= Graph.qubits g s))
+          (Redundancy.qubit_usage boosted);
+        check_int "one group per tree edge"
+          (Ent_tree.channel_count tree)
+          (List.length boosted.Redundancy.groups)
+    | None, None -> ()
+    | _ -> Alcotest.fail "solve/boost disagree on feasibility"
+  done
+
+let test_backups_target_weakest_edge () =
+  let g, u0, u1, s_main, _ = backed_pair () in
+  let tree = Ent_tree.of_channels [ Channel.make_exn g params [ u0; s_main; u1 ] ] in
+  let boosted = Redundancy.boost ~max_backups:1 g params tree in
+  (* With a single group it trivially targets it; check the group's
+     success equals the closed form of its two channels. *)
+  match boosted.Redundancy.groups with
+  | [ group ] ->
+      feq "group neg-log consistent"
+        (Redundancy.group_success_neg_log group.Redundancy.channels)
+        group.Redundancy.success_neg_log
+  | _ -> Alcotest.fail "one group"
+
+let () =
+  Alcotest.run "redundancy"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "group success" `Quick
+            test_group_success_closed_form;
+        ] );
+      ( "boost",
+        [
+          Alcotest.test_case "adds backup" `Quick test_boost_adds_backup;
+          Alcotest.test_case "max zero" `Quick test_max_backups_zero;
+          Alcotest.test_case "invalid tree" `Quick
+            test_boost_rejects_invalid_tree;
+          Alcotest.test_case "no free duplicates" `Quick
+            test_direct_fibers_not_duplicated;
+          Alcotest.test_case "random networks" `Quick
+            test_solve_on_random_networks;
+          Alcotest.test_case "weakest edge" `Quick
+            test_backups_target_weakest_edge;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Unit tests for Qnet_topology.Reference_nets. *)
+
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+module Prng = Qnet_util.Prng
+module Ref_nets = Qnet_topology.Reference_nets
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build ?(n_users = 4) ?(seed = 1) name =
+  Ref_nets.build (Prng.create seed) name ~n_users ~qubits_per_switch:4
+    ~user_qubits:1_000
+
+let test_nsfnet_shape () =
+  let g = build Ref_nets.Nsfnet in
+  check_int "14 nodes" 14 (Graph.vertex_count g);
+  check_int "21 links" 21 (Graph.edge_count g);
+  check_int "4 users" 4 (Graph.user_count g);
+  check_bool "connected" true (Paths.is_connected g)
+
+let test_arpanet_shape () =
+  let g = build Ref_nets.Arpanet in
+  check_int "20 nodes" 20 (Graph.vertex_count g);
+  check_int "32 links" 32 (Graph.edge_count g);
+  check_bool "connected" true (Paths.is_connected g)
+
+let test_node_count () =
+  check_int "nsfnet" 14 (Ref_nets.node_count Ref_nets.Nsfnet);
+  check_int "arpanet" 20 (Ref_nets.node_count Ref_nets.Arpanet)
+
+let test_lengths_match_geometry () =
+  let g = build Ref_nets.Nsfnet in
+  Graph.iter_edges g (fun e ->
+      let va = Graph.vertex g e.Graph.a and vb = Graph.vertex g e.Graph.b in
+      Alcotest.(check (float 1e-6))
+        "fiber length = euclidean distance" (Graph.euclidean va vb)
+        e.Graph.length)
+
+let test_user_choice_seeded () =
+  let users seed = Graph.users (build ~seed Ref_nets.Nsfnet) in
+  Alcotest.(check (list int)) "same seed, same users" (users 7) (users 7);
+  check_bool "different seeds usually differ" true (users 1 <> users 2)
+
+let test_validation () =
+  Alcotest.check_raises "too many users"
+    (Invalid_argument "Reference_nets.build: more users than nodes")
+    (fun () -> ignore (build ~n_users:15 Ref_nets.Nsfnet));
+  Alcotest.check_raises "zero users"
+    (Invalid_argument "Reference_nets.build: n_users < 1") (fun () ->
+      ignore (build ~n_users:0 Ref_nets.Nsfnet))
+
+let test_routable () =
+  (* The MUERP pipeline must work end-to-end on both reference nets. *)
+  List.iter
+    (fun (_, name) ->
+      let g = build ~n_users:4 name in
+      let inst = Qnet_core.Muerp.instance g in
+      let o = Qnet_core.Muerp.solve Qnet_core.Muerp.Conflict_free inst in
+      check_bool "solvable with 4 users" true (o.Qnet_core.Muerp.tree <> None))
+    Ref_nets.all
+
+let () =
+  Alcotest.run "reference_nets"
+    [
+      ( "topologies",
+        [
+          Alcotest.test_case "nsfnet" `Quick test_nsfnet_shape;
+          Alcotest.test_case "arpanet" `Quick test_arpanet_shape;
+          Alcotest.test_case "node counts" `Quick test_node_count;
+          Alcotest.test_case "geometry" `Quick test_lengths_match_geometry;
+        ] );
+      ( "instantiation",
+        [
+          Alcotest.test_case "seeded users" `Quick test_user_choice_seeded;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "routable" `Quick test_routable;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Unit tests for Qnet_sim.Scheduler — the online admission controller. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Scheduler = Qnet_sim.Scheduler
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let network ?(users = 8) ?(qubits = 4) seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:users ~n_switches:25
+      ~qubits_per_switch:qubits ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+let request ?(duration = 5) id users arrival =
+  { Scheduler.id; users; arrival; duration }
+
+let test_validation () =
+  let g = network 1 in
+  let u = Graph.users g in
+  let u0 = List.nth u 0 and u1 = List.nth u 1 in
+  let bad label reqs msg =
+    Alcotest.check_raises label (Invalid_argument msg) (fun () ->
+        ignore (Scheduler.run g params ~requests:reqs))
+  in
+  bad "duplicate id"
+    [ request 1 [ u0; u1 ] 0; request 1 [ u0; u1 ] 1 ]
+    "Scheduler.run: duplicate request id";
+  bad "bad arrival" [ request 1 [ u0; u1 ] (-1) ]
+    "Scheduler.run: negative arrival";
+  bad "short group" [ request 1 [ u0 ] 0 ]
+    "Scheduler.run: request needs >= 2 users";
+  bad "duplicate member" [ request 1 [ u0; u0 ] 0 ]
+    "Scheduler.run: duplicate users in request";
+  bad "duration"
+    [ { Scheduler.id = 1; users = [ u0; u1 ]; arrival = 0; duration = 0 } ]
+    "Scheduler.run: duration < 1";
+  let s = List.hd (Graph.switches g) in
+  bad "switch member" [ request 1 [ u0; s ] 0 ]
+    "Scheduler.run: request member is not a user"
+
+let test_single_request_accepted () =
+  let g = network 2 in
+  let u = Graph.users g in
+  let reqs = [ request 0 [ List.nth u 0; List.nth u 1 ] 0 ] in
+  let stats, outcomes = Scheduler.run g params ~requests:reqs in
+  check_int "arrived" 1 stats.Scheduler.arrived;
+  check_int "accepted" 1 stats.Scheduler.accepted;
+  Alcotest.(check (float 1e-12)) "ratio" 1. stats.Scheduler.acceptance_ratio;
+  match outcomes with
+  | [ { Scheduler.disposition = Scheduler.Accepted { slot; rate; tree }; _ } ]
+    ->
+      check_int "admitted on arrival" 0 slot;
+      check_bool "positive rate" true (rate > 0.);
+      check_bool "valid tree" true
+        (Verify.is_valid g params
+           ~users:(List.filteri (fun i _ -> i < 2) u)
+           tree)
+  | _ -> Alcotest.fail "expected one acceptance"
+
+let test_contention_drop_policy () =
+  (* Two pair-requests forced through one 2-qubit hub, same slot: the
+     second must be dropped under Drop. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let a0 = user 0. 0. in
+  let a1 = user 2000. 0. in
+  let b0 = user 0. 1000. in
+  let b1 = user 2000. 1000. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:500.
+  in
+  List.iter
+    (fun u -> ignore (Graph.Builder.add_edge b u hub 1200.))
+    [ a0; a1; b0; b1 ];
+  let g = Graph.Builder.freeze b in
+  let reqs =
+    [ request ~duration:4 0 [ a0; a1 ] 0; request ~duration:4 1 [ b0; b1 ] 0 ]
+  in
+  let stats, _ = Scheduler.run ~policy:Scheduler.Drop g params ~requests:reqs in
+  check_int "one accepted" 1 stats.Scheduler.accepted;
+  check_int "one rejected" 1 stats.Scheduler.rejected;
+  (* With queueing, the second waits out the first lease (4 slots). *)
+  let stats, outcomes =
+    Scheduler.run ~policy:(Scheduler.Queue 10) g params ~requests:reqs
+  in
+  check_int "both eventually accepted" 2 stats.Scheduler.accepted;
+  check_bool "waiting happened" true (stats.Scheduler.mean_wait_slots > 0.);
+  List.iter
+    (fun (o : Scheduler.outcome) ->
+      match o.Scheduler.disposition with
+      | Scheduler.Accepted { slot; _ } ->
+          check_bool "second admitted after lease expiry" true
+            (o.Scheduler.request.Scheduler.id = 0 || slot >= 4)
+      | Scheduler.Rejected _ -> Alcotest.fail "no rejections expected")
+    outcomes
+
+let test_queue_timeout () =
+  (* Same contention but the lease outlives the queue patience. *)
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let a0 = user 0. 0. in
+  let a1 = user 2000. 0. in
+  let b0 = user 0. 1000. in
+  let b1 = user 2000. 1000. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:500.
+  in
+  List.iter
+    (fun u -> ignore (Graph.Builder.add_edge b u hub 1200.))
+    [ a0; a1; b0; b1 ];
+  let g = Graph.Builder.freeze b in
+  let reqs =
+    [ request ~duration:50 0 [ a0; a1 ] 0; request ~duration:5 1 [ b0; b1 ] 0 ]
+  in
+  let stats, _ =
+    Scheduler.run ~policy:(Scheduler.Queue 3) g params ~requests:reqs
+  in
+  check_int "queued request times out" 1 stats.Scheduler.rejected
+
+let test_leases_release () =
+  (* Sequential non-overlapping requests through the same hub must all
+     be admitted: leases release qubits. *)
+  let g = network ~qubits:2 3 in
+  let u = Graph.users g in
+  let u0 = List.nth u 0 and u1 = List.nth u 1 in
+  let reqs =
+    List.init 5 (fun i -> request ~duration:2 i [ u0; u1 ] (i * 3))
+  in
+  let stats, _ = Scheduler.run g params ~requests:reqs in
+  check_int "all admitted in turn" 5 stats.Scheduler.accepted;
+  check_bool "peak usage bounded" true (stats.Scheduler.peak_qubits_in_use > 0)
+
+let test_outcomes_cover_all_requests () =
+  let g = network 4 in
+  let rng = Prng.create 9 in
+  let reqs =
+    Scheduler.random_requests rng g ~n:30 ~mean_gap:2. ~max_group:4
+      ~duration_range:(1, 6)
+  in
+  let stats, outcomes = Scheduler.run ~policy:(Scheduler.Queue 5) g params ~requests:reqs in
+  check_int "every request decided" 30 (List.length outcomes);
+  check_int "stats add up" 30
+    (stats.Scheduler.accepted + stats.Scheduler.rejected)
+
+let test_random_requests_wellformed () =
+  let g = network 5 in
+  let rng = Prng.create 11 in
+  let reqs =
+    Scheduler.random_requests rng g ~n:50 ~mean_gap:1.5 ~max_group:5
+      ~duration_range:(2, 4)
+  in
+  check_int "count" 50 (List.length reqs);
+  let sorted_arrivals =
+    List.map (fun r -> r.Scheduler.arrival) reqs
+  in
+  check_bool "arrivals non-decreasing" true
+    (sorted_arrivals = List.sort compare sorted_arrivals);
+  List.iter
+    (fun r ->
+      check_bool "group size" true
+        (List.length r.Scheduler.users >= 2
+        && List.length r.Scheduler.users <= 5);
+      check_bool "duration range" true
+        (r.Scheduler.duration >= 2 && r.Scheduler.duration <= 4);
+      check_bool "distinct members" true
+        (List.length (List.sort_uniq compare r.Scheduler.users)
+        = List.length r.Scheduler.users))
+    reqs;
+  Alcotest.check_raises "max_group too large"
+    (Invalid_argument "Scheduler.random_requests: max_group exceeds user count")
+    (fun () ->
+      ignore
+        (Scheduler.random_requests rng g ~n:1 ~mean_gap:1. ~max_group:100
+           ~duration_range:(1, 2)))
+
+let test_heavier_load_lowers_acceptance () =
+  let g = network ~qubits:2 6 in
+  let run gap =
+    let rng = Prng.create 13 in
+    let reqs =
+      Scheduler.random_requests rng g ~n:40 ~mean_gap:gap ~max_group:3
+        ~duration_range:(4, 8)
+    in
+    (fst (Scheduler.run g params ~requests:reqs)).Scheduler.acceptance_ratio
+  in
+  let sparse = run 10. and dense = run 0.5 in
+  check_bool "denser arrivals accept no more" true (dense <= sparse +. 1e-9)
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ("validation", [ Alcotest.test_case "inputs" `Quick test_validation ]);
+      ( "admission",
+        [
+          Alcotest.test_case "single request" `Quick
+            test_single_request_accepted;
+          Alcotest.test_case "contention + drop" `Quick
+            test_contention_drop_policy;
+          Alcotest.test_case "queue timeout" `Quick test_queue_timeout;
+          Alcotest.test_case "lease release" `Quick test_leases_release;
+          Alcotest.test_case "all decided" `Quick
+            test_outcomes_cover_all_requests;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "random requests" `Quick
+            test_random_requests_wellformed;
+          Alcotest.test_case "load response" `Quick
+            test_heavier_load_lowers_acceptance;
+        ] );
+    ]

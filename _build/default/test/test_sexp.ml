@@ -1,0 +1,237 @@
+(* Unit tests for Qnet_util.Sexp and Qnet_graph.Codec. *)
+
+module Sexp = Qnet_util.Sexp
+module Graph = Qnet_graph.Graph
+module Codec = Qnet_graph.Codec
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let roundtrip t =
+  match Sexp.of_string (Sexp.to_string t) with
+  | Ok t' -> t' = t
+  | Error _ -> false
+
+let test_print_atoms () =
+  check_str "bare atom" "hello" (Sexp.to_string (Sexp.atom "hello"));
+  check_str "empty atom quoted" "\"\"" (Sexp.to_string (Sexp.atom ""));
+  check_str "spaces quoted" "\"a b\"" (Sexp.to_string (Sexp.atom "a b"));
+  check_str "quotes escaped" "\"a\\\"b\"" (Sexp.to_string (Sexp.atom "a\"b"));
+  check_str "list" "(a b (c))"
+    (Sexp.to_string
+       (Sexp.list [ Sexp.atom "a"; Sexp.atom "b"; Sexp.list [ Sexp.atom "c" ] ]))
+
+let test_parse_basics () =
+  check_bool "atom" true (Sexp.of_string "abc" = Ok (Sexp.Atom "abc"));
+  check_bool "list" true
+    (Sexp.of_string "(a b)" = Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]));
+  check_bool "nested" true
+    (Sexp.of_string "((a) (b c))"
+    = Ok
+        (Sexp.List
+           [
+             Sexp.List [ Sexp.Atom "a" ];
+             Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ];
+           ]));
+  check_bool "whitespace tolerated" true
+    (Sexp.of_string "  ( a\n\tb )  " = Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]));
+  check_bool "comments skipped" true
+    (Sexp.of_string "; header\n(a ; inline\n b)"
+    = Ok (Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]))
+
+let test_parse_quoted () =
+  check_bool "quoted atom" true
+    (Sexp.of_string "\"a b\"" = Ok (Sexp.Atom "a b"));
+  check_bool "escapes" true
+    (Sexp.of_string "\"a\\\"b\\\\c\\nd\"" = Ok (Sexp.Atom "a\"b\\c\nd"))
+
+let test_parse_errors () =
+  let is_error s = match Sexp.of_string s with Error _ -> true | Ok _ -> false in
+  check_bool "empty" true (is_error "");
+  check_bool "unbalanced open" true (is_error "(a");
+  check_bool "unbalanced close" true (is_error "a)");
+  check_bool "trailing garbage" true (is_error "(a) b");
+  check_bool "unterminated quote" true (is_error "\"abc");
+  check_bool "bare close" true (is_error ")")
+
+let test_roundtrip_random_shapes () =
+  let cases =
+    [
+      Sexp.atom "x";
+      Sexp.list [];
+      Sexp.list [ Sexp.atom "weird atom"; Sexp.int 42; Sexp.float 3.14 ];
+      Sexp.list
+        [ Sexp.list [ Sexp.list [ Sexp.atom "deep" ] ]; Sexp.atom "a;b" ];
+    ]
+  in
+  List.iter
+    (fun t -> check_bool (Sexp.to_string t ^ " roundtrips") true (roundtrip t))
+    cases
+
+let test_hum_rendering_parses () =
+  (* A wide structure forces multi-line rendering; it must re-parse. *)
+  let wide =
+    Sexp.list
+      (Sexp.atom "root"
+      :: List.init 30 (fun i -> Sexp.list [ Sexp.atom "item"; Sexp.int i ]))
+  in
+  let rendered = Sexp.to_string_hum wide in
+  check_bool "multi-line" true (String.contains rendered '\n');
+  check_bool "re-parses" true (Sexp.of_string rendered = Ok wide)
+
+let test_typed_helpers () =
+  check_bool "int" true (Sexp.to_int (Sexp.int 7) = Ok 7);
+  check_bool "bad int" true
+    (match Sexp.to_int (Sexp.atom "x") with Error _ -> true | Ok _ -> false);
+  check_bool "float roundtrip" true
+    (Sexp.to_float (Sexp.float 0.1) = Ok 0.1);
+  check_bool "float of int atom" true (Sexp.to_float (Sexp.atom "2") = Ok 2.);
+  let doc =
+    Sexp.list
+      [
+        Sexp.atom "doc";
+        Sexp.list [ Sexp.atom "single"; Sexp.int 1 ];
+        Sexp.list [ Sexp.atom "multi"; Sexp.int 1; Sexp.int 2 ];
+      ]
+  in
+  check_bool "single field unwraps" true
+    (Sexp.field doc "single" = Ok (Sexp.int 1));
+  check_bool "multi field wraps" true
+    (Sexp.field doc "multi" = Ok (Sexp.list [ Sexp.int 1; Sexp.int 2 ]));
+  check_bool "missing field" true
+    (match Sexp.field doc "absent" with Error _ -> true | Ok _ -> false)
+
+(* ---- Codec ---- *)
+
+let sample_graph () =
+  let rng = Qnet_util.Prng.create 5 in
+  let spec = Qnet_topology.Spec.create ~n_users:4 ~n_switches:10 () in
+  Qnet_topology.Waxman.generate rng spec
+
+let graphs_equal g1 g2 =
+  Graph.vertex_count g1 = Graph.vertex_count g2
+  && Graph.edge_count g1 = Graph.edge_count g2
+  && List.for_all
+       (fun i ->
+         let v1 = Graph.vertex g1 i and v2 = Graph.vertex g2 i in
+         v1.Graph.kind = v2.Graph.kind
+         && v1.Graph.qubits = v2.Graph.qubits
+         && v1.Graph.x = v2.Graph.x
+         && v1.Graph.y = v2.Graph.y)
+       (List.init (Graph.vertex_count g1) (fun i -> i))
+  && List.for_all
+       (fun i ->
+         let e1 = Graph.edge g1 i and e2 = Graph.edge g2 i in
+         e1.Graph.a = e2.Graph.a
+         && e1.Graph.b = e2.Graph.b
+         && e1.Graph.length = e2.Graph.length)
+       (List.init (Graph.edge_count g1) (fun i -> i))
+
+let test_codec_roundtrip () =
+  let g = sample_graph () in
+  match Codec.graph_of_sexp (Codec.graph_to_sexp g) with
+  | Error msg -> Alcotest.fail msg
+  | Ok g' -> check_bool "exact roundtrip" true (graphs_equal g g')
+
+let test_codec_through_disk () =
+  let g = sample_graph () in
+  let path = Filename.temp_file "qnet" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save_graph path g;
+      match Codec.load_graph path with
+      | Error msg -> Alcotest.fail msg
+      | Ok g' ->
+          check_bool "disk roundtrip" true (graphs_equal g g');
+          (* And the loaded graph routes identically. *)
+          let solve g =
+            (Qnet_core.Muerp.solve Qnet_core.Muerp.Conflict_free
+               (Qnet_core.Muerp.instance g))
+              .Qnet_core.Muerp.rate
+          in
+          Alcotest.(check (float 0.)) "same solution" (solve g) (solve g'))
+
+let test_codec_rejects_garbage () =
+  let bad s =
+    match Sexp.of_string s with
+    | Error _ -> true
+    | Ok sexp -> (
+        match Codec.graph_of_sexp sexp with Error _ -> true | Ok _ -> false)
+  in
+  check_bool "not a graph" true (bad "(something-else)");
+  check_bool "bad version" true
+    (bad "(qnet-graph (version 99) (vertices) (edges))");
+  check_bool "bad kind" true
+    (bad
+       "(qnet-graph (version 1) (vertices (0 alien 0 0 0)) (edges))");
+  check_bool "sparse ids" true
+    (bad
+       "(qnet-graph (version 1) (vertices (5 user 0 0 0)) (edges))")
+
+let test_codec_single_vertex () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:3 ~x:1. ~y:2.);
+  let g = Graph.Builder.freeze b in
+  match Codec.graph_of_sexp (Codec.graph_to_sexp g) with
+  | Error msg -> Alcotest.fail msg
+  | Ok g' ->
+      check_int "one vertex" 1 (Graph.vertex_count g');
+      check_int "no edges" 0 (Graph.edge_count g')
+
+(* Property: arbitrary sexp values round-trip through print/parse. *)
+let sexp_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self size ->
+        let atom =
+          map (fun s -> Sexp.Atom s) (string_size ~gen:printable (int_bound 12))
+        in
+        if size = 0 then atom
+        else
+          frequency
+            [
+              (2, atom);
+              ( 1,
+                map
+                  (fun items -> Sexp.List items)
+                  (list_size (int_bound 4) (self (size / 2))) );
+            ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:300
+    (QCheck.make ~print:Sexp.to_string sexp_gen)
+    (fun t -> Sexp.of_string (Sexp.to_string t) = Ok t)
+
+let prop_roundtrip_hum =
+  QCheck.Test.make ~name:"hum print/parse roundtrip" ~count:300
+    (QCheck.make ~print:Sexp.to_string sexp_gen)
+    (fun t -> Sexp.of_string (Sexp.to_string_hum t) = Ok t)
+
+let () =
+  Alcotest.run "sexp"
+    [
+      ( "printer",
+        [
+          Alcotest.test_case "atoms" `Quick test_print_atoms;
+          Alcotest.test_case "hum" `Quick test_hum_rendering_parses;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "quoted" `Quick test_parse_quoted;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_random_shapes;
+          Alcotest.test_case "helpers" `Quick test_typed_helpers;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_roundtrip_hum ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "disk" `Quick test_codec_through_disk;
+          Alcotest.test_case "garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "single vertex" `Quick test_codec_single_vertex;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Shape-regression tests: the paper's §V-B qualitative claims, encoded
+   as executable assertions over the real experiment drivers (at a
+   reduced replication count to stay fast — 5 networks per point). *)
+
+module Config = Qnet_experiments.Config
+module Figures = Qnet_experiments.Figures
+module Runner = Qnet_experiments.Runner
+
+let check_bool = Alcotest.(check bool)
+let cfg = Config.create ~replications:5 ()
+let row (s : Figures.series) m = List.assoc m s.Figures.rows
+
+let weakly_monotone ~dir xs =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        (match dir with
+        | `Down -> b <= a *. 1.10 +. 1e-12 (* 10% noise allowance *)
+        | `Up -> b >= a *. 0.90 -. 1e-12)
+        && go rest
+    | _ -> true
+  in
+  go xs
+
+let dominated_by alg base = List.for_all2 (fun a b -> a >= b -. 1e-15) alg base
+
+let test_fig5_ordering () =
+  let s = Figures.fig5 ~cfg () in
+  (* Proposed algorithms beat both baselines on every topology. *)
+  List.iter
+    (fun alg ->
+      check_bool "alg >= n-fusion" true
+        (dominated_by (row s alg) (row s Runner.N_fusion));
+      check_bool "alg >= e-q-cast" true
+        (dominated_by (row s alg) (row s Runner.E_q_cast)))
+    Runner.[ Alg2; Alg3; Alg4 ];
+  (* Alg-2 upper-bounds the other two throughout. *)
+  check_bool "alg2 tops alg3" true
+    (dominated_by (row s Runner.Alg2) (row s Runner.Alg3));
+  check_bool "alg2 tops alg4" true
+    (dominated_by (row s Runner.Alg2) (row s Runner.Alg4))
+
+let test_fig6a_rate_falls_with_users () =
+  let s = Figures.fig6a ~cfg ~user_counts:[ 4; 8; 12 ] () in
+  List.iter
+    (fun m ->
+      check_bool
+        (Runner.method_name m ^ " falls with users")
+        true
+        (weakly_monotone ~dir:`Down (row s m)))
+    Runner.all_methods
+
+let test_fig7a_rate_rises_with_degree () =
+  let s = Figures.fig7a ~cfg ~degrees:[ 4.; 6.; 10. ] () in
+  List.iter
+    (fun m ->
+      check_bool
+        (Runner.method_name m ^ " rises with degree")
+        true
+        (weakly_monotone ~dir:`Up (row s m)))
+    Runner.all_methods
+
+let test_fig8a_saturation () =
+  let s = Figures.fig8a ~cfg ~qubit_counts:[ 2; 6 ] () in
+  (* Alg-2 runs on boosted switches: flat across the sweep. *)
+  (match row s Runner.Alg2 with
+  | [ a; b ] -> Alcotest.(check (float 1e-12)) "alg2 flat" a b
+  | _ -> Alcotest.fail "two points");
+  (* Heuristics reach Alg-2's level by Q = 6. *)
+  List.iter
+    (fun m ->
+      match (row s m, row s Runner.Alg2) with
+      | [ _; at6 ], [ _; alg2 ] ->
+          check_bool
+            (Runner.method_name m ^ " saturates by Q=6")
+            true
+            (at6 >= alg2 *. 0.99)
+      | _ -> Alcotest.fail "two points")
+    Runner.[ Alg3; Alg4 ]
+
+let test_fig8b_rate_rises_with_q () =
+  let s = Figures.fig8b ~cfg ~swap_rates:[ 0.7; 0.9; 1.0 ] () in
+  List.iter
+    (fun m ->
+      check_bool
+        (Runner.method_name m ^ " rises with q")
+        true
+        (weakly_monotone ~dir:`Up (row s m)))
+    Runner.all_methods
+
+let test_fig7b_eventual_infeasibility () =
+  let s = Figures.fig7b ~cfg ~edges_per_step:60 ~steps:10 () in
+  (* By 540/600 edges removed everything must be dead or nearly so. *)
+  List.iter
+    (fun m ->
+      let rates = row s m in
+      let last = List.nth rates (List.length rates - 1) in
+      check_bool
+        (Runner.method_name m ^ " collapses at heavy removal")
+        true (last < 1e-3))
+    Runner.all_methods
+
+let test_headline_magnitudes () =
+  (* At the paper's default configuration the improvement over each
+     baseline is at least an order of magnitude. *)
+  let s = Figures.fig5 ~cfg () in
+  let at_waxman m = List.hd (row s m) in
+  check_bool "alg3 >= 10x n-fusion" true
+    (at_waxman Runner.Alg3 >= 10. *. at_waxman Runner.N_fusion);
+  check_bool "alg3 >= 10x e-q-cast" true
+    (at_waxman Runner.Alg3 >= 10. *. at_waxman Runner.E_q_cast)
+
+let () =
+  Alcotest.run "shapes"
+    [
+      ( "paper claims",
+        [
+          Alcotest.test_case "fig5 ordering" `Slow test_fig5_ordering;
+          Alcotest.test_case "fig6a users" `Slow test_fig6a_rate_falls_with_users;
+          Alcotest.test_case "fig7a degree" `Slow test_fig7a_rate_rises_with_degree;
+          Alcotest.test_case "fig7b collapse" `Slow
+            test_fig7b_eventual_infeasibility;
+          Alcotest.test_case "fig8a saturation" `Slow test_fig8a_saturation;
+          Alcotest.test_case "fig8b swap rate" `Slow test_fig8b_rate_rises_with_q;
+          Alcotest.test_case "headline magnitudes" `Slow
+            test_headline_magnitudes;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* Unit tests for the qnet_sim library: Trial, Monte_carlo, Protocol. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+module Trial = Qnet_sim.Trial
+module Monte_carlo = Qnet_sim.Monte_carlo
+module Protocol = Qnet_sim.Protocol
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A two-channel tree over three users through two switches, with
+   everything deterministic except the sampled events. *)
+let fixture () =
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0. in
+  let u0 = user 0. in
+  let u1 = user 2000. in
+  let u2 = user 4000. in
+  let s3 = switch 1000. in
+  let s4 = switch 3000. in
+  ignore (Graph.Builder.add_edge b u0 s3 1000.);
+  ignore (Graph.Builder.add_edge b s3 u1 1000.);
+  ignore (Graph.Builder.add_edge b u1 s4 1000.);
+  ignore (Graph.Builder.add_edge b s4 u2 1000.);
+  let g = Graph.Builder.freeze b in
+  let params = Params.create ~alpha:1e-4 ~q:0.9 () in
+  let tree =
+    Ent_tree.of_channels
+      [
+        Channel.make_exn g params [ u0; s3; u1 ];
+        Channel.make_exn g params [ u1; s4; u2 ];
+      ]
+  in
+  (g, params, tree)
+
+let test_trial_determinism () =
+  let g, params, tree = fixture () in
+  let run seed = (Trial.run (Prng.create seed) g params tree).Trial.success in
+  List.iter
+    (fun seed ->
+      check_bool "same seed, same outcome" (run seed) (run seed))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_trial_certain_success () =
+  let g, _, tree = fixture () in
+  (* alpha = 0 and q = 1: every event succeeds. *)
+  let sure = Params.create ~alpha:0. ~q:1. () in
+  for seed = 1 to 20 do
+    check_bool "always succeeds" true
+      (Trial.run (Prng.create seed) g sure tree).Trial.success
+  done
+
+let test_trial_certain_failure () =
+  let g, _, tree = fixture () in
+  let dead = Params.create ~alpha:0. ~q:0. () in
+  for seed = 1 to 20 do
+    check_bool "always fails (swaps)" false
+      (Trial.run (Prng.create seed) g dead tree).Trial.success
+  done
+
+let test_trial_channel_outcomes () =
+  let g, params, tree = fixture () in
+  let t = Trial.run (Prng.create 3) g params tree in
+  check_int "one outcome per channel" 2 (List.length t.Trial.channel_outcomes);
+  check_bool "tree success = all channels" true
+    (t.Trial.success
+    = List.for_all Trial.channel_success t.Trial.channel_outcomes)
+
+let test_estimate_within_ci () =
+  let g, params, tree = fixture () in
+  let est =
+    Monte_carlo.estimate_rate (Prng.create 11) g params tree ~trials:200_000
+  in
+  check_bool "analytic inside Wilson CI" true est.Monte_carlo.within_ci;
+  check_bool "p_hat sane" true
+    (est.Monte_carlo.p_hat > 0. && est.Monte_carlo.p_hat < 1.);
+  Alcotest.(check (float 1e-9))
+    "analytic is Eq.2" (Ent_tree.rate_prob tree) est.Monte_carlo.analytic
+
+let test_estimate_empty_tree () =
+  let g, params, _ = fixture () in
+  let empty = Ent_tree.of_channels [] in
+  let est = Monte_carlo.estimate_rate (Prng.create 1) g params empty ~trials:100 in
+  Alcotest.(check int) "all succeed" 100 est.Monte_carlo.successes
+
+let test_estimate_invalid_trials () =
+  let g, params, tree = fixture () in
+  Alcotest.check_raises "trials > 0"
+    (Invalid_argument "Monte_carlo.estimate_rate: trials <= 0") (fun () ->
+      ignore (Monte_carlo.estimate_rate (Prng.create 1) g params tree ~trials:0))
+
+let test_slots_until_success () =
+  let g, params, tree = fixture () in
+  (match
+     Monte_carlo.slots_until_success (Prng.create 5) g params tree
+       ~max_slots:1_000_000
+   with
+  | None -> Alcotest.fail "should eventually succeed"
+  | Some s -> check_bool "positive slot index" true (s >= 1));
+  (* Impossible tree times out. *)
+  let dead = Params.create ~alpha:0. ~q:0. () in
+  check_bool "timeout on impossible" true
+    (Monte_carlo.slots_until_success (Prng.create 5) g dead tree ~max_slots:50
+    = None)
+
+let test_mean_slots_matches_geometric () =
+  let g, params, tree = fixture () in
+  let p = Ent_tree.rate_prob tree in
+  match
+    Monte_carlo.mean_slots (Prng.create 17) g params tree ~runs:3000
+      ~max_slots:100_000
+  with
+  | None -> Alcotest.fail "all runs should converge"
+  | Some mean ->
+      let expected = 1. /. p in
+      check_bool
+        (Printf.sprintf "mean %.2f near 1/p = %.2f" mean expected)
+        true
+        (Float.abs (mean -. expected) < 0.1 *. expected)
+
+let test_protocol_allocations () =
+  let g, _, tree = fixture () in
+  let allocations = Protocol.plan_allocations g tree in
+  check_int "two switches allocated" 2 (List.length allocations);
+  List.iter
+    (fun (a : Protocol.allocation) ->
+      check_int "2 qubits each" 2 a.Protocol.allocated;
+      check_int "budget recorded" 4 a.Protocol.budget)
+    allocations
+
+let test_protocol_rejects_overcommit () =
+  let g, params, _ = fixture () in
+  (* Force both channels through switch s3 = vertex 3. *)
+  let c = Channel.make_exn g params [ 0; 3; 1 ] in
+  let over = Ent_tree.of_channels [ c; c; c ] in
+  check_bool "overcommit detected" true
+    (try
+       ignore (Protocol.plan_allocations g over);
+       false
+     with Failure _ -> true)
+
+let test_protocol_execute () =
+  let g, params, tree = fixture () in
+  let run =
+    Protocol.execute (Prng.create 23) g params tree ~max_slots:100_000
+  in
+  (match run.Protocol.succeeded_at with
+  | None -> Alcotest.fail "should succeed within the budget"
+  | Some s ->
+      check_int "slot count matches reports" s (List.length run.Protocol.slots));
+  (* Exactly the last slot succeeds; all earlier ones failed. *)
+  let rec split_last = function
+    | [] -> ([], None)
+    | [ x ] -> ([], Some x)
+    | x :: rest ->
+        let init, last = split_last rest in
+        (x :: init, last)
+  in
+  let earlier, last = split_last run.Protocol.slots in
+  (match last with
+  | Some r -> check_bool "final slot succeeded" true r.Protocol.success
+  | None -> Alcotest.fail "no slots");
+  List.iter
+    (fun (r : Protocol.slot_report) ->
+      check_bool "earlier slots failed" false r.Protocol.success)
+    earlier
+
+let test_protocol_failure_accounting () =
+  let g, _, tree = fixture () in
+  (* q = 0: every slot must report swap failures or skipped swaps, and
+     never succeed. *)
+  let dead = Params.create ~alpha:0. ~q:0. () in
+  let run = Protocol.execute (Prng.create 1) g dead tree ~max_slots:10 in
+  check_bool "never succeeds" true (run.Protocol.succeeded_at = None);
+  check_int "all slots executed" 10 (List.length run.Protocol.slots);
+  List.iter
+    (fun (r : Protocol.slot_report) ->
+      check_bool "swap failures recorded" true
+        (r.Protocol.swap_failures + r.Protocol.swaps_skipped > 0);
+      check_int "no link failures at alpha 0" 0 r.Protocol.link_failures)
+    run.Protocol.slots
+
+let test_protocol_empirical_rate () =
+  (* Channel-up frequency across many slots approximates Eq. (2). *)
+  let g, params, tree = fixture () in
+  let rng = Prng.create 31 in
+  let successes = ref 0 in
+  let slots = 50_000 in
+  (* Run the protocol slot-by-slot without early exit by restarting. *)
+  for _ = 1 to slots do
+    let r = Protocol.execute rng g params tree ~max_slots:1 in
+    if r.Protocol.succeeded_at = Some 1 then incr successes
+  done;
+  let p_hat = float_of_int !successes /. float_of_int slots in
+  let p = Ent_tree.rate_prob tree in
+  check_bool
+    (Printf.sprintf "protocol frequency %.4f near analytic %.4f" p_hat p)
+    true
+    (Float.abs (p_hat -. p) < 0.01)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "trial",
+        [
+          Alcotest.test_case "determinism" `Quick test_trial_determinism;
+          Alcotest.test_case "certain success" `Quick test_trial_certain_success;
+          Alcotest.test_case "certain failure" `Quick test_trial_certain_failure;
+          Alcotest.test_case "channel outcomes" `Quick
+            test_trial_channel_outcomes;
+        ] );
+      ( "monte carlo",
+        [
+          Alcotest.test_case "within CI" `Slow test_estimate_within_ci;
+          Alcotest.test_case "empty tree" `Quick test_estimate_empty_tree;
+          Alcotest.test_case "invalid trials" `Quick test_estimate_invalid_trials;
+          Alcotest.test_case "slots until success" `Quick
+            test_slots_until_success;
+          Alcotest.test_case "geometric mean slots" `Slow
+            test_mean_slots_matches_geometric;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "allocations" `Quick test_protocol_allocations;
+          Alcotest.test_case "overcommit" `Quick test_protocol_rejects_overcommit;
+          Alcotest.test_case "execute" `Quick test_protocol_execute;
+          Alcotest.test_case "failure accounting" `Quick
+            test_protocol_failure_accounting;
+          Alcotest.test_case "empirical rate" `Slow test_protocol_empirical_rate;
+        ] );
+    ]

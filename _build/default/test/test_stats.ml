@@ -1,0 +1,119 @@
+(* Unit tests for Qnet_util.Stats. *)
+
+module Stats = Qnet_util.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+let feq_loose = Alcotest.(check (float 1e-6))
+
+let test_mean () =
+  feq "mean of constants" 3. (Stats.mean [| 3.; 3.; 3. |]);
+  feq "mean simple" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "singleton" 7. (Stats.mean [| 7. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance () =
+  feq "variance of constants" 0. (Stats.variance [| 5.; 5.; 5. |]);
+  (* Sample variance of 1..4 around 2.5: (2.25+0.25+0.25+2.25)/3 *)
+  feq "variance simple" (5. /. 3.) (Stats.variance [| 1.; 2.; 3.; 4. |]);
+  feq "singleton variance" 0. (Stats.variance [| 9. |])
+
+let test_stddev () =
+  feq "stddev" (sqrt (5. /. 3.)) (Stats.stddev [| 1.; 2.; 3.; 4. |])
+
+let test_geometric_mean () =
+  feq "geomean powers of two" 4. (Stats.geometric_mean [| 2.; 8. |]);
+  feq "geomean with zero" 0. (Stats.geometric_mean [| 0.; 8. |]);
+  feq "geomean singleton" 5. (Stats.geometric_mean [| 5. |]);
+  Alcotest.check_raises "negative element"
+    (Invalid_argument "Stats.geometric_mean: negative element") (fun () ->
+      ignore (Stats.geometric_mean [| 1.; -1. |]))
+
+let test_median () =
+  feq "odd length" 3. (Stats.median [| 5.; 1.; 3. |]);
+  feq "even length" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  feq "singleton" 9. (Stats.median [| 9. |])
+
+let test_median_does_not_mutate () =
+  let a = [| 3.; 1.; 2. |] in
+  ignore (Stats.median a);
+  Alcotest.(check (array (float 0.))) "input untouched" [| 3.; 1.; 2. |] a
+
+let test_percentile () =
+  let a = [| 10.; 20.; 30.; 40.; 50. |] in
+  feq "p0 is min" 10. (Stats.percentile a 0.);
+  feq "p100 is max" 50. (Stats.percentile a 100.);
+  feq "p50 is median" 30. (Stats.percentile a 50.);
+  feq "p25 interpolates" 20. (Stats.percentile a 25.);
+  feq "p10 interpolates" 14. (Stats.percentile a 10.);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile a 101.))
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7.; 0. |] in
+  feq "min" (-1.) lo;
+  feq "max" 7. hi
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "n" 5 s.Stats.n;
+  feq "mean" 3. s.Stats.mean;
+  feq "median" 3. s.Stats.median;
+  feq "min" 1. s.Stats.min;
+  feq "max" 5. s.Stats.max;
+  feq "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_mean_ci95 () =
+  let lo, hi = Stats.mean_ci95 [| 4. |] in
+  feq "singleton degenerates" 4. lo;
+  feq "singleton degenerates hi" 4. hi;
+  let lo, hi = Stats.mean_ci95 [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check bool) "contains mean" true (lo < 3. && 3. < hi);
+  feq_loose "symmetric" (3. -. lo) (hi -. 3.)
+
+let test_wilson () =
+  let lo, hi = Stats.wilson_ci95 ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "contains p-hat" true (lo < 0.5 && 0.5 < hi);
+  let lo, _ = Stats.wilson_ci95 ~successes:0 ~trials:100 in
+  feq "zero successes clamps at 0" 0. lo;
+  let _, hi = Stats.wilson_ci95 ~successes:100 ~trials:100 in
+  feq "all successes clamps at 1" 1. hi;
+  Alcotest.check_raises "bad trials"
+    (Invalid_argument "Stats.wilson_ci95: trials must be positive") (fun () ->
+      ignore (Stats.wilson_ci95 ~successes:0 ~trials:0));
+  Alcotest.check_raises "inconsistent"
+    (Invalid_argument "Stats.wilson_ci95: inconsistent counts") (fun () ->
+      ignore (Stats.wilson_ci95 ~successes:5 ~trials:3))
+
+let test_wilson_narrows () =
+  let lo1, hi1 = Stats.wilson_ci95 ~successes:30 ~trials:100 in
+  let lo2, hi2 = Stats.wilson_ci95 ~successes:3000 ~trials:10000 in
+  Alcotest.(check bool) "more trials narrow the interval" true
+    (hi2 -. lo2 < hi1 -. lo1)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "central",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "median purity" `Quick test_median_does_not_mutate;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "min max" `Quick test_min_max;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+        ] );
+      ( "intervals",
+        [
+          Alcotest.test_case "mean ci95" `Quick test_mean_ci95;
+          Alcotest.test_case "wilson" `Quick test_wilson;
+          Alcotest.test_case "wilson narrows" `Quick test_wilson_narrows;
+        ] );
+    ]

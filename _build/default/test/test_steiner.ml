@@ -1,0 +1,123 @@
+(* Unit tests for Qnet_graph.Steiner (KMB heuristic). *)
+
+module Graph = Qnet_graph.Graph
+module Steiner = Qnet_graph.Steiner
+
+let weight (e : Graph.edge) = e.Graph.length
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Three terminals around a cheap hub, with expensive direct edges:
+   the Steiner tree should use the hub. *)
+let hub_graph () =
+  let b = Graph.Builder.create () in
+  let add () =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.
+  in
+  let t0 = add () and t1 = add () and t2 = add () and hub = add () in
+  ignore (Graph.Builder.add_edge b t0 hub 1.);
+  ignore (Graph.Builder.add_edge b t1 hub 1.);
+  ignore (Graph.Builder.add_edge b t2 hub 1.);
+  ignore (Graph.Builder.add_edge b t0 t1 10.);
+  ignore (Graph.Builder.add_edge b t1 t2 10.);
+  (Graph.Builder.freeze b, [ t0; t1; t2 ], hub)
+
+let test_uses_steiner_point () =
+  let g, terminals, hub = hub_graph () in
+  match Steiner.kmb g ~terminals ~weight with
+  | None -> Alcotest.fail "expected a tree"
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "hub tree weight" 3. r.Steiner.weight;
+      check_int "three edges" 3 (List.length r.Steiner.tree_edges);
+      check_int "hub degree 3" 3 (Steiner.tree_degree r.Steiner.tree_edges hub);
+      check_bool "spans terminals" true
+        (Steiner.spans r.Steiner.tree_edges terminals)
+
+let test_prunes_non_terminal_leaves () =
+  (* A dangling path off the tree must not appear. *)
+  let b = Graph.Builder.create () in
+  let add () =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.
+  in
+  let t0 = add () and t1 = add () and mid = add () and dangle = add () in
+  ignore (Graph.Builder.add_edge b t0 mid 1.);
+  ignore (Graph.Builder.add_edge b mid t1 1.);
+  ignore (Graph.Builder.add_edge b mid dangle 1.);
+  let g = Graph.Builder.freeze b in
+  match Steiner.kmb g ~terminals:[ t0; t1 ] ~weight with
+  | None -> Alcotest.fail "expected a tree"
+  | Some r ->
+      check_int "only path edges" 2 (List.length r.Steiner.tree_edges);
+      check_int "dangle excluded" 0 (Steiner.tree_degree r.Steiner.tree_edges dangle)
+
+let test_unreachable_terminals () =
+  let b = Graph.Builder.create () in
+  let add () =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0.
+  in
+  let t0 = add () and t1 = add () in
+  let g = Graph.Builder.freeze b in
+  check_bool "disconnected gives None" true
+    (Steiner.kmb g ~terminals:[ t0; t1 ] ~weight = None)
+
+let test_single_terminal () =
+  let g, terminals, _ = hub_graph () in
+  match Steiner.kmb g ~terminals:[ List.hd terminals ] ~weight with
+  | None -> Alcotest.fail "singleton should succeed"
+  | Some r ->
+      check_int "empty tree" 0 (List.length r.Steiner.tree_edges);
+      Alcotest.(check (float 1e-9)) "zero weight" 0. r.Steiner.weight
+
+let test_two_terminals_shortest_path () =
+  let g, terminals, _ = hub_graph () in
+  match terminals with
+  | [ t0; t1; _ ] -> begin
+      match Steiner.kmb g ~terminals:[ t0; t1 ] ~weight with
+      | None -> Alcotest.fail "expected path"
+      | Some r ->
+          (* Path through hub (1+1=2) beats the direct edge (10). *)
+          Alcotest.(check (float 1e-9)) "shortest path weight" 2. r.Steiner.weight
+    end
+  | _ -> Alcotest.fail "fixture"
+
+let test_duplicate_terminals () =
+  let g, terminals, _ = hub_graph () in
+  let doubled = terminals @ terminals in
+  match (Steiner.kmb g ~terminals:doubled ~weight, Steiner.kmb g ~terminals ~weight)
+  with
+  | Some r1, Some r2 ->
+      Alcotest.(check (float 1e-9))
+        "duplicates ignored" r2.Steiner.weight r1.Steiner.weight
+  | _ -> Alcotest.fail "both should solve"
+
+let test_empty_terminals_rejected () =
+  let g, _, _ = hub_graph () in
+  Alcotest.check_raises "no terminals"
+    (Invalid_argument "Steiner.kmb: no terminals") (fun () ->
+      ignore (Steiner.kmb g ~terminals:[] ~weight))
+
+let test_spans_helper () =
+  let g, terminals, _ = hub_graph () in
+  let all = Graph.fold_edges g ~init:[] ~f:(fun acc e -> e :: acc) in
+  check_bool "full edge set spans" true (Steiner.spans all terminals);
+  check_bool "empty set spans single" true (Steiner.spans [] [ 0 ]);
+  check_bool "empty set fails pair" false (Steiner.spans [] [ 0; 1 ])
+
+let () =
+  Alcotest.run "steiner"
+    [
+      ( "kmb",
+        [
+          Alcotest.test_case "uses steiner point" `Quick test_uses_steiner_point;
+          Alcotest.test_case "prunes leaves" `Quick
+            test_prunes_non_terminal_leaves;
+          Alcotest.test_case "unreachable" `Quick test_unreachable_terminals;
+          Alcotest.test_case "single terminal" `Quick test_single_terminal;
+          Alcotest.test_case "two terminals" `Quick
+            test_two_terminals_shortest_path;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_terminals;
+          Alcotest.test_case "empty rejected" `Quick
+            test_empty_terminals_rejected;
+        ] );
+      ("helpers", [ Alcotest.test_case "spans" `Quick test_spans_helper ]);
+    ]

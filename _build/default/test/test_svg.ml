@@ -1,0 +1,95 @@
+(* Unit tests for Qnet_graph.Svg. *)
+
+module Graph = Qnet_graph.Graph
+module Svg = Qnet_graph.Svg
+
+let check_bool = Alcotest.(check bool)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i acc =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then scan (i + 1) (acc + 1)
+    else scan (i + 1) acc
+  in
+  scan 0 0
+
+let fixture () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2000. ~y:500.
+  in
+  let s2 =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x:1000. ~y:900.
+  in
+  ignore (Graph.Builder.add_edge b u0 s2 1345.);
+  ignore (Graph.Builder.add_edge b s2 u1 1077.);
+  (Graph.Builder.freeze b, u0, u1, s2)
+
+let test_document_structure () =
+  let g, _, _, _ = fixture () in
+  let svg = Svg.render g in
+  check_bool "opens svg" true (contains svg "<svg xmlns=");
+  check_bool "closes svg" true (contains svg "</svg>");
+  check_bool "two user circles" true (count_occurrences svg "<circle" = 2);
+  check_bool "one switch rect (plus background)" true
+    (count_occurrences svg "<rect" = 2);
+  check_bool "two fibers" true (count_occurrences svg "stroke=\"#cccccc\"" = 2);
+  check_bool "user labels" true (contains svg ">u0<" && contains svg ">u1<")
+
+let test_title () =
+  let g, _, _, _ = fixture () in
+  check_bool "title rendered" true
+    (contains (Svg.render ~title:"my net" g) "my net")
+
+let test_highlight () =
+  let g, u0, u1, s2 = fixture () in
+  let svg = Svg.render ~highlight_paths:[ [ u0; s2; u1 ] ] g in
+  check_bool "overlay color present" true (contains svg "#d62728");
+  check_bool "two overlay segments" true
+    (count_occurrences svg "stroke-width=\"3\"" = 2);
+  (* A path with a missing fiber renders nothing extra. *)
+  let svg2 = Svg.render ~highlight_paths:[ [ u0; u1 ] ] g in
+  check_bool "missing segment skipped" true
+    (count_occurrences svg2 "stroke-width=\"3\"" = 0)
+
+let test_save () =
+  let g, _, _, _ = fixture () in
+  let path = Filename.temp_file "qnet" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Svg.save path g;
+      let ic = open_in path in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check_bool "file holds the document" true (contains content "</svg>"))
+
+let test_width_scaling () =
+  let g, _, _, _ = fixture () in
+  check_bool "custom width" true
+    (contains (Svg.render ~width:400 g) "width=\"400\"")
+
+let () =
+  Alcotest.run "svg"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "structure" `Quick test_document_structure;
+          Alcotest.test_case "title" `Quick test_title;
+          Alcotest.test_case "highlight" `Quick test_highlight;
+          Alcotest.test_case "save" `Quick test_save;
+          Alcotest.test_case "width" `Quick test_width_scaling;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Unit tests for Qnet_core.Swap_policy — swapping-tree build times. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let feq = Alcotest.(check (float 1e-9))
+
+(* A straight channel of [n] 3000-unit links. *)
+let chain n =
+  let b = Graph.Builder.create () in
+  let user x = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y:0. in
+  let switch x = Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:4 ~x ~y:0. in
+  let u0 = user 0. in
+  let relays =
+    List.init (n - 1) (fun i -> switch (3000. *. float_of_int (i + 1)))
+  in
+  let u1 = user (3000. *. float_of_int n) in
+  let path = (u0 :: relays) @ [ u1 ] in
+  let rec wire = function
+    | a :: (b' :: _ as rest) ->
+        ignore (Graph.Builder.add_edge b a b' 3000.);
+        wire rest
+    | _ -> ()
+  in
+  wire path;
+  let g = Graph.Builder.freeze b in
+  let params = Params.create ~alpha:2e-4 ~q:0.9 () in
+  (g, params, Channel.make_exn g params path)
+
+let test_tree_constructors () =
+  Alcotest.(check (list int)) "balanced leaves" [ 0; 1; 2; 3 ]
+    (Swap_policy.leaves (Swap_policy.balanced 4));
+  Alcotest.(check (list int)) "linear leaves" [ 0; 1; 2 ]
+    (Swap_policy.leaves (Swap_policy.linear 3));
+  check_bool "single link" true (Swap_policy.balanced 1 = Swap_policy.Leaf 0);
+  Alcotest.check_raises "zero links"
+    (Invalid_argument "Swap_policy.balanced: links < 1") (fun () ->
+      ignore (Swap_policy.balanced 0))
+
+let test_validate () =
+  check_bool "balanced valid" true
+    (Swap_policy.validate (Swap_policy.balanced 5) ~links:5 = Ok ());
+  check_bool "wrong arity" true
+    (match Swap_policy.validate (Swap_policy.balanced 5) ~links:4 with
+    | Error _ -> true
+    | Ok () -> false);
+  (* Out-of-order leaves are rejected. *)
+  let bad = Swap_policy.(Node (Leaf 1, Leaf 0)) in
+  check_bool "out of order" true
+    (match Swap_policy.validate bad ~links:2 with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_single_link_exact () =
+  let g, params, c = chain 1 in
+  let p = Channel.rate_prob c in
+  feq "1/p for one link" (1. /. p)
+    (Swap_policy.expected_slots_estimate g params c (Swap_policy.balanced 1))
+
+let test_estimate_vs_simulation () =
+  let g, params, c = chain 4 in
+  List.iter
+    (fun (name, tree) ->
+      let est = Swap_policy.expected_slots_estimate g params c tree in
+      match
+        Swap_policy.simulate_slots (Prng.create 3) g params c tree ~runs:4_000
+          ~max_slots:1_000_000
+      with
+      | None -> Alcotest.fail "simulation should complete"
+      | Some sim ->
+          check_bool
+            (Printf.sprintf "%s: estimate %.1f vs simulated %.1f" name est sim)
+            true
+            (Float.abs (est -. sim) < 0.35 *. sim))
+    [
+      ("balanced", Swap_policy.balanced 4); ("linear", Swap_policy.linear 4);
+    ]
+
+let test_balanced_beats_linear_on_long_chains () =
+  let g, params, c = chain 8 in
+  let est tree = Swap_policy.expected_slots_estimate g params c tree in
+  check_bool "balanced no slower" true
+    (est (Swap_policy.balanced 8) <= est (Swap_policy.linear 8) +. 1e-9)
+
+let test_memory_beats_synchronous () =
+  (* Even the linear policy with memories beats the synchronous
+     all-at-once expectation 1/rate for a 4-link channel. *)
+  let g, params, c = chain 4 in
+  let synchronous = 1. /. Channel.rate_prob c in
+  let linear =
+    Swap_policy.expected_slots_estimate g params c (Swap_policy.linear 4)
+  in
+  check_bool "memories help" true (linear < synchronous)
+
+let test_q_zero_never_completes () =
+  let g, _, c = chain 3 in
+  let dead = Params.create ~alpha:2e-4 ~q:0. () in
+  check_bool "estimate infinite" true
+    (Swap_policy.expected_slots_estimate g dead c (Swap_policy.balanced 3)
+    = infinity);
+  check_bool "simulation times out" true
+    (Swap_policy.simulate_slots (Prng.create 1) g dead c
+       (Swap_policy.balanced 3) ~runs:2 ~max_slots:100
+    = None)
+
+let test_arity_mismatch_rejected () =
+  let g, params, c = chain 3 in
+  Alcotest.check_raises "wrong tree"
+    (Invalid_argument "Swap_policy: tree leaves must be links 0..l-1 in order")
+    (fun () ->
+      ignore
+        (Swap_policy.expected_slots_estimate g params c
+           (Swap_policy.balanced 4)))
+
+let () =
+  Alcotest.run "swap_policy"
+    [
+      ( "trees",
+        [
+          Alcotest.test_case "constructors" `Quick test_tree_constructors;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ] );
+      ( "expectations",
+        [
+          Alcotest.test_case "single link" `Quick test_single_link_exact;
+          Alcotest.test_case "estimate vs simulation" `Slow
+            test_estimate_vs_simulation;
+          Alcotest.test_case "balanced vs linear" `Quick
+            test_balanced_beats_linear_on_long_chains;
+          Alcotest.test_case "memories help" `Quick
+            test_memory_beats_synchronous;
+          Alcotest.test_case "q = 0" `Quick test_q_zero_never_completes;
+          Alcotest.test_case "arity" `Quick test_arity_mismatch_rejected;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+(* Unit tests for Qnet_util.Table. *)
+
+module Table = Qnet_util.Table
+
+let check_str = Alcotest.(check string)
+
+let test_basic_render () =
+  let t = Table.create [ "name"; "value" ] in
+  let t = Table.add_row t [ "alpha"; "1" ] in
+  let t = Table.add_row t [ "b"; "22" ] in
+  check_str "aligned ascii"
+    "| name  | value |\n|-------|-------|\n| alpha |     1 |\n| b     |    22 |"
+    (Table.to_string t)
+
+let test_alignment_override () =
+  let t = Table.create ~aligns:[ Table.Right; Table.Left ] [ "a"; "b" ] in
+  let t = Table.add_row t [ "x"; "yy" ] in
+  check_str "custom alignment" "| a | b  |\n|---|----|\n| x | yy |"
+    (Table.to_string t)
+
+let test_header_only () =
+  let t = Table.create [ "solo" ] in
+  check_str "no rows" "| solo |\n|------|" (Table.to_string t)
+
+let test_arity_errors () =
+  Alcotest.check_raises "empty header"
+    (Invalid_argument "Table.create: empty header") (fun () ->
+      ignore (Table.create []));
+  Alcotest.check_raises "aligns mismatch"
+    (Invalid_argument "Table.create: aligns arity mismatch") (fun () ->
+      ignore (Table.create ~aligns:[ Table.Left ] [ "a"; "b" ]));
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "row mismatch"
+    (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      ignore (Table.add_row t [ "only-one" ]))
+
+let test_float_cell () =
+  check_str "zero" "0" (Table.float_cell 0.);
+  check_str "plain" "1.234" (Table.float_cell 1.234);
+  check_str "scientific small" "1.000e-05" (Table.float_cell 1e-5);
+  check_str "scientific large" "1.000e+06" (Table.float_cell 1e6);
+  check_str "nan" "nan" (Table.float_cell Float.nan)
+
+let test_add_float_row () =
+  let t = Table.create [ "m"; "x"; "y" ] in
+  let t = Table.add_float_row t "r" [ 0.; 0.5 ] in
+  check_str "float row rendering" "| m | x |   y |\n|---|---|-----|\n| r | 0 | 0.5 |"
+    (Table.to_string t)
+
+let test_csv_plain () =
+  let t = Table.create [ "a"; "b" ] in
+  let t = Table.add_row t [ "1"; "2" ] in
+  check_str "plain csv" "a,b\n1,2" (Table.to_csv t)
+
+let test_csv_quoting () =
+  let t = Table.create [ "a"; "b" ] in
+  let t = Table.add_row t [ "x,y"; "say \"hi\"" ] in
+  check_str "quoted csv" "a,b\n\"x,y\",\"say \"\"hi\"\"\"" (Table.to_csv t)
+
+let test_pp_matches_to_string () =
+  let t = Table.add_row (Table.create [ "h" ]) [ "v" ] in
+  check_str "pp = to_string" (Table.to_string t)
+    (Format.asprintf "%a" Table.pp t)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_render;
+          Alcotest.test_case "alignment" `Quick test_alignment_override;
+          Alcotest.test_case "header only" `Quick test_header_only;
+          Alcotest.test_case "pp" `Quick test_pp_matches_to_string;
+        ] );
+      ( "cells",
+        [
+          Alcotest.test_case "float cell" `Quick test_float_cell;
+          Alcotest.test_case "float row" `Quick test_add_float_row;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "plain" `Quick test_csv_plain;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+        ] );
+      ("errors", [ Alcotest.test_case "arity" `Quick test_arity_errors ]);
+    ]

@@ -1,0 +1,104 @@
+(* Unit tests for Qnet_graph.Union_find. *)
+
+module UF = Qnet_graph.Union_find
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_initial_state () =
+  let uf = UF.create 5 in
+  check_int "size" 5 (UF.size uf);
+  check_int "all singletons" 5 (UF.count_sets uf);
+  for i = 0 to 4 do
+    check_int "own representative" i (UF.find uf i);
+    check_int "singleton size" 1 (UF.set_size uf i)
+  done
+
+let test_union_merges () =
+  let uf = UF.create 4 in
+  check_bool "first union merges" true (UF.union uf 0 1);
+  check_bool "redundant union" false (UF.union uf 0 1);
+  check_bool "same" true (UF.same uf 0 1);
+  check_bool "not same" false (UF.same uf 0 2);
+  check_int "three sets" 3 (UF.count_sets uf);
+  check_int "merged size" 2 (UF.set_size uf 1)
+
+let test_transitive () =
+  let uf = UF.create 6 in
+  ignore (UF.union uf 0 1);
+  ignore (UF.union uf 2 3);
+  ignore (UF.union uf 1 2);
+  check_bool "0 ~ 3 transitively" true (UF.same uf 0 3);
+  check_int "set of four" 4 (UF.set_size uf 0);
+  check_int "sets remaining" 3 (UF.count_sets uf)
+
+let test_groups () =
+  let uf = UF.create 5 in
+  ignore (UF.union uf 0 4);
+  ignore (UF.union uf 1 2);
+  Alcotest.(check (list (list int)))
+    "groups sorted by smallest member"
+    [ [ 0; 4 ]; [ 1; 2 ]; [ 3 ] ]
+    (UF.groups uf)
+
+let test_all_same () =
+  let uf = UF.create 4 in
+  check_bool "empty list" true (UF.all_same uf []);
+  check_bool "singleton list" true (UF.all_same uf [ 2 ]);
+  check_bool "not merged yet" false (UF.all_same uf [ 0; 1 ]);
+  ignore (UF.union uf 0 1);
+  ignore (UF.union uf 1 2);
+  check_bool "three merged" true (UF.all_same uf [ 0; 1; 2 ]);
+  check_bool "fourth outside" false (UF.all_same uf [ 0; 1; 2; 3 ])
+
+let test_chain_collapse () =
+  let n = 1000 in
+  let uf = UF.create n in
+  for i = 0 to n - 2 do
+    ignore (UF.union uf i (i + 1))
+  done;
+  check_int "single set" 1 (UF.count_sets uf);
+  check_int "full size" n (UF.set_size uf 0);
+  check_bool "ends connected" true (UF.same uf 0 (n - 1))
+
+let test_out_of_range () =
+  let uf = UF.create 3 in
+  Alcotest.check_raises "negative element"
+    (Invalid_argument "Union_find: element out of range") (fun () ->
+      ignore (UF.find uf (-1)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Union_find: element out of range") (fun () ->
+      ignore (UF.find uf 3))
+
+let test_create_negative () =
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Union_find.create: negative size") (fun () ->
+      ignore (UF.create (-1)))
+
+let test_empty () =
+  let uf = UF.create 0 in
+  check_int "no sets" 0 (UF.count_sets uf);
+  Alcotest.(check (list (list int))) "no groups" [] (UF.groups uf)
+
+let () =
+  Alcotest.run "union_find"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_state;
+          Alcotest.test_case "union" `Quick test_union_merges;
+          Alcotest.test_case "transitive" `Quick test_transitive;
+          Alcotest.test_case "chain" `Quick test_chain_collapse;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "groups" `Quick test_groups;
+          Alcotest.test_case "all_same" `Quick test_all_same;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "negative create" `Quick test_create_negative;
+          Alcotest.test_case "empty" `Quick test_empty;
+        ] );
+    ]
