@@ -6,6 +6,7 @@
      dune exec bench/main.exe fig5       # one experiment
      dune exec bench/main.exe headline   # §V-B improvement ratios
      dune exec bench/main.exe micro      # Bechamel timings only
+     dune exec bench/main.exe snapshot   # perf snapshot -> BENCH_muerp.json
 
    MUERP_REPLICATIONS=<n> overrides the 20-network averaging for quick
    runs. *)
@@ -28,6 +29,9 @@ let print_series s =
   print_endline (Report.series_to_string s);
   print_newline ()
 
+let all_figure_ids =
+  [ "fig5"; "fig6a"; "fig6b"; "fig7a"; "fig7b"; "fig8a"; "fig8b" ]
+
 let run_figure id =
   let s =
     match id with
@@ -38,13 +42,13 @@ let run_figure id =
     | "fig7b" -> Figures.fig7b ~cfg ()
     | "fig8a" -> Figures.fig8a ~cfg ()
     | "fig8b" -> Figures.fig8b ~cfg ()
-    | _ -> failwith ("unknown figure: " ^ id)
+    | other ->
+        Printf.eprintf "unknown figure: %s\nvalid figures: %s\n" other
+          (String.concat ", " all_figure_ids);
+        exit 1
   in
   print_series s;
   s
-
-let all_figure_ids =
-  [ "fig5"; "fig6a"; "fig6b"; "fig7a"; "fig7b"; "fig8a"; "fig8b" ]
 
 let run_headline series =
   let series =
@@ -176,11 +180,11 @@ let scaling () =
         let inst = Qnet_core.Muerp.instance g in
         let time alg =
           let reps = 5 in
-          let t0 = Unix.gettimeofday () in
+          let t0 = Qnet_telemetry.Clock.now_s () in
           for _ = 1 to reps do
             ignore (Qnet_core.Muerp.solve alg inst)
           done;
-          (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1000.
+          Qnet_telemetry.Clock.elapsed_since t0 /. float_of_int reps *. 1000.
         in
         Qnet_util.Table.add_row t
           [
@@ -195,6 +199,117 @@ let scaling () =
   print_endline "Runtime scaling with network size (10 users, degree 6):";
   print_endline (Qnet_util.Table.to_string t);
   print_newline ()
+
+(* Perf snapshot: run every method over the default configuration with
+   telemetry on, then write a machine-readable BENCH_muerp.json —
+   method-level mean rate / mean elapsed / latency quantiles plus every
+   registry counter.  This file seeds the perf trajectory that later
+   optimisation PRs report against. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+let jobj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> jstr k ^ ": " ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat ", " items ^ "]"
+
+let jhistogram (s : Qnet_telemetry.Metrics.Histogram.summary) =
+  let open Qnet_telemetry.Metrics.Histogram in
+  jobj
+    [
+      ("count", string_of_int s.count);
+      ("sum_s", jfloat s.sum);
+      ("min_s", jfloat s.min);
+      ("max_s", jfloat s.max);
+      ("mean_s", jfloat s.mean);
+      ("p50_s", jfloat s.p50);
+      ("p90_s", jfloat s.p90);
+      ("p95_s", jfloat s.p95);
+      ("p99_s", jfloat s.p99);
+    ]
+
+let snapshot path =
+  let module R = Qnet_experiments.Runner in
+  let module Tm = Qnet_telemetry.Metrics in
+  (* Open the output before the (minutes-long) harness so an
+     unwritable path fails immediately. *)
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      Printf.eprintf "cannot write snapshot: %s\n" msg;
+      exit 1
+  in
+  Tm.set_enabled true;
+  Tm.reset ();
+  Printf.printf "perf snapshot — %d replications per method\n%!" replications;
+  let aggregates = R.run_config cfg in
+  let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
+  let methods =
+    List.map
+      (fun (a : R.aggregate) ->
+        let name = R.method_name a.method_ in
+        let hist =
+          Tm.Histogram.summarize
+            (Tm.histogram
+               ("runner." ^ String.lowercase_ascii name ^ ".seconds"))
+        in
+        jobj
+          [
+            ("name", jstr name);
+            ("mean_rate", jfloat a.mean_rate);
+            ( "mean_feasible_rate",
+              match a.mean_feasible_rate with
+              | None -> "null"
+              | Some r -> jfloat r );
+            ("feasible", string_of_int a.feasible);
+            ("replications", string_of_int a.replications);
+            ("mean_elapsed_s", jfloat a.mean_elapsed_s);
+            ("wall_time", jhistogram hist);
+          ])
+      aggregates
+  in
+  let counters, gauges, histograms =
+    List.fold_left
+      (fun (cs, gs, hs) (name, v) ->
+        match v with
+        | Tm.Counter_v n -> ((name, string_of_int n) :: cs, gs, hs)
+        | Tm.Gauge_v x -> (cs, (name, jfloat x) :: gs, hs)
+        | Tm.Histogram_v s -> (cs, gs, (name, jhistogram s) :: hs))
+      ([], [], []) (List.rev registry)
+  in
+  let doc =
+    jobj
+      [
+        ("schema", jstr "muerp-bench-snapshot/1");
+        ("replications", string_of_int replications);
+        ("methods", jarr methods);
+        ("counters", jobj counters);
+        ("gauges", jobj gauges);
+        ("histograms", jobj histograms);
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc doc;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" path
 
 let write_csvs dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -224,6 +339,8 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "csv"; dir ] -> write_csvs dir
+  | [ "snapshot" ] -> snapshot "BENCH_muerp.json"
+  | [ "snapshot"; path ] -> snapshot path
   | [] ->
       Printf.printf
         "MUERP benchmark suite — %d replications per point (set \

@@ -57,6 +57,47 @@ let verbose_t =
 let apply_verbose verbose =
   if verbose then Qnet_util.Log.setup ~level:(Some Logs.Debug)
 
+(* Telemetry: --metrics enables the process-wide registry before the
+   work runs and prints it afterwards (work counters, wall-time
+   histograms with quantiles).  See the Telemetry section of DESIGN.md
+   for what each metric means. *)
+let metrics_t =
+  let doc =
+    "Collect telemetry while running and print the metrics registry \
+     afterwards.  $(docv) is $(b,table), $(b,csv) or $(b,sexp); a bare \
+     $(b,--metrics) prints the table."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "table") (some string) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let metrics_begin = function
+  | None -> ()
+  | Some format ->
+      (match format with
+      | "table" | "csv" | "sexp" -> ()
+      | other ->
+          prerr_endline
+            ("unknown metrics format: " ^ other ^ " (expected table|csv|sexp)");
+          exit 1);
+      Qnet_telemetry.Metrics.set_enabled true;
+      Qnet_telemetry.Metrics.reset ()
+
+let metrics_report = function
+  | None -> ()
+  | Some format ->
+      print_newline ();
+      (match format with
+      | "csv" -> print_endline (Qnet_telemetry.Export.to_csv ())
+      | "sexp" ->
+          print_endline
+            (Qnet_util.Sexp.to_string_hum (Qnet_telemetry.Export.to_sexp ()))
+      | _ ->
+          print_endline "telemetry:";
+          print_endline
+            (Qnet_util.Table.to_string (Qnet_telemetry.Export.to_table ())))
+
 let build_spec ~users ~switches ~degree ~qubits =
   Spec.create ~n_users:users ~n_switches:switches ~avg_degree:degree
     ~qubits_per_switch:qubits ()
@@ -85,8 +126,10 @@ let describe_tree g = function
         tree.channels;
       ignore g
 
-let solve_run verbose seed users switches degree qubits q alpha topology load =
+let solve_run verbose seed users switches degree qubits q alpha topology load
+    metrics =
   apply_verbose verbose;
+  metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
   let network =
     match load with
@@ -116,7 +159,8 @@ let solve_run verbose seed users switches degree qubits q alpha topology load =
       | None -> print_endline "  infeasible (rate 0)"
       | Some r ->
           Printf.printf "  rate %.6g via center %d (fusion -ln %.4f)\n"
-            r.total_rate r.center r.fusion_neg_log)
+            r.total_rate r.center r.fusion_neg_log);
+      metrics_report metrics
 
 let solve_cmd =
   let load_t =
@@ -127,7 +171,7 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const solve_run $ verbose_t $ seed_t $ users_t $ switches_t $ degree_t
-      $ qubits_t $ q_t $ alpha_t $ topology_t $ load_t)
+      $ qubits_t $ q_t $ alpha_t $ topology_t $ load_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                            *)
@@ -173,7 +217,8 @@ let topology_cmd =
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 
-let experiment_run figure replications csv =
+let experiment_run figure replications csv metrics =
+  metrics_begin metrics;
   let cfg = Qnet_experiments.Config.create ~replications () in
   let module F = Qnet_experiments.Figures in
   let module R = Qnet_experiments.Report in
@@ -190,7 +235,7 @@ let experiment_run figure replications csv =
             output_char oc '\n');
         Printf.printf "csv written to %s\n" path
   in
-  match figure with
+  (match figure with
   | "all" ->
       let series = F.all ~cfg () in
       List.iter print series;
@@ -205,7 +250,8 @@ let experiment_run figure replications csv =
   | "fig8b" -> print (F.fig8b ~cfg ())
   | other ->
       prerr_endline ("unknown figure: " ^ other);
-      exit 1
+      exit 1);
+  metrics_report metrics
 
 let experiment_cmd =
   let figure_t =
@@ -221,12 +267,15 @@ let experiment_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
   let info = Cmd.info "experiment" ~doc:"Reproduce a paper figure." in
-  Cmd.v info Term.(const experiment_run $ figure_t $ replications_t $ csv_t)
+  Cmd.v info
+    Term.(const experiment_run $ figure_t $ replications_t $ csv_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
-let simulate_run seed users switches degree qubits q alpha topology trials =
+let simulate_run seed users switches degree qubits q alpha topology trials
+    metrics =
+  metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
   match build_network ~seed ~topology ~spec with
   | Error (`Msg m) -> prerr_endline m; exit 1
@@ -246,7 +295,8 @@ let simulate_run seed users switches degree qubits q alpha topology trials =
              wilson 95%% CI [%.6g, %.6g] — analytic %s\n"
             est.analytic est.p_hat est.successes est.trials est.ci_low
             est.ci_high
-            (if est.within_ci then "inside CI" else "OUTSIDE CI"))
+            (if est.within_ci then "inside CI" else "OUTSIDE CI"));
+      metrics_report metrics
 
 let simulate_cmd =
   let trials_t =
@@ -260,12 +310,13 @@ let simulate_cmd =
   Cmd.v info
     Term.(
       const simulate_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
-      $ q_t $ alpha_t $ topology_t $ trials_t)
+      $ q_t $ alpha_t $ topology_t $ trials_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 
-let sweep_run parameter values replications =
+let sweep_run parameter values replications metrics =
+  metrics_begin metrics;
   let module C = Qnet_experiments.Config in
   let module R = Qnet_experiments.Runner in
   let parse_values () =
@@ -326,7 +377,8 @@ let sweep_run parameter values replications =
          (parameter :: List.map (fun m -> R.method_name m) R.all_methods))
       configs
   in
-  print_endline (Qnet_util.Table.to_string t)
+  print_endline (Qnet_util.Table.to_string t);
+  metrics_report metrics
 
 let sweep_cmd =
   let parameter_t =
@@ -342,7 +394,8 @@ let sweep_cmd =
     Arg.(value & opt int 20 & info [ "replications"; "r" ] ~docv:"N" ~doc)
   in
   let info = Cmd.info "sweep" ~doc:"One-dimensional parameter sweep." in
-  Cmd.v info Term.(const sweep_run $ parameter_t $ values_t $ replications_t)
+  Cmd.v info
+    Term.(const sweep_run $ parameter_t $ values_t $ replications_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -575,8 +628,9 @@ let reference_cmd =
 (* schedule                                                            *)
 
 let schedule_run verbose seed users switches degree qubits q alpha topology n
-    mean_gap max_group queue_slots =
+    mean_gap max_group queue_slots metrics =
   apply_verbose verbose;
+  metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
   match build_network ~seed ~topology ~spec with
   | Error (`Msg m) -> prerr_endline m; exit 1
@@ -618,7 +672,8 @@ let schedule_run verbose seed users switches degree qubits q alpha topology n
                 (String.concat ","
                    (List.map string_of_int r.Qnet_sim.Scheduler.users))
                 slot)
-        outcomes
+        outcomes;
+      metrics_report metrics
 
 let schedule_cmd =
   let n_t =
@@ -645,7 +700,7 @@ let schedule_cmd =
     Term.(
       const schedule_run $ verbose_t $ seed_t $ users_t $ switches_t
       $ degree_t $ qubits_t $ q_t $ alpha_t $ topology_t $ n_t $ gap_t
-      $ group_t $ queue_t)
+      $ group_t $ queue_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 

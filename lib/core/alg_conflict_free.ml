@@ -1,6 +1,11 @@
 module Graph = Qnet_graph.Graph
 module Union_find = Qnet_graph.Union_find
 module Logprob = Qnet_util.Logprob
+module Tm = Qnet_telemetry.Metrics
+
+let c_seed_rejected = Tm.counter "core.alg3.seed_rejected"
+let c_reconnect_rounds = Tm.counter "core.alg3.reconnect_rounds"
+let c_reconnect_added = Tm.counter "core.alg3.reconnect_channels"
 
 let channel_feasible capacity (c : Channel.t) =
   List.for_all
@@ -14,6 +19,7 @@ let reconnect g params capacity uf users =
   let rec loop acc =
     if Union_find.all_same uf users then Some acc
     else begin
+      Tm.Counter.incr c_reconnect_rounds;
       let best = ref None in
       let consider (c : Channel.t) =
         if not (Union_find.same uf c.src c.dst) then
@@ -74,6 +80,7 @@ let solve ?seed_channels g params =
           [] seed
       in
       let rejected = List.length seed - List.length kept in
+      Tm.Counter.add c_seed_rejected rejected;
       if rejected > 0 then
         Qnet_util.Log.debug
           "alg3: %d seed channel(s) rejected by capacity, reconnecting"
@@ -83,6 +90,7 @@ let solve ?seed_channels g params =
         match reconnect g params capacity uf users with
         | None -> None
         | Some extra ->
+            Tm.Counter.add c_reconnect_added (List.length extra);
             if extra <> [] then
               Qnet_util.Log.debug "alg3: reconnection added %d channel(s)"
                 (List.length extra);

@@ -10,10 +10,16 @@ let compare_channels (c1 : Channel.t) (c2 : Channel.t) =
   let by_rate = Logprob.compare_desc c1.rate c2.rate in
   if by_rate <> 0 then by_rate else compare (c1.src, c1.dst) (c2.src, c2.dst)
 
+let c_candidates = Qnet_telemetry.Metrics.counter "core.alg2.candidate_channels"
+
 let candidate_channels g params =
   let capacity = Capacity.of_graph g in
-  Routing.all_pairs_best g params ~capacity ~users:(Graph.users g)
-  |> List.sort compare_channels
+  let candidates =
+    Routing.all_pairs_best g params ~capacity ~users:(Graph.users g)
+    |> List.sort compare_channels
+  in
+  Qnet_telemetry.Metrics.Counter.add c_candidates (List.length candidates);
+  candidates
 
 let solve g params =
   let users = Graph.users g in

@@ -2,6 +2,8 @@ module Graph = Qnet_graph.Graph
 module Logprob = Qnet_util.Logprob
 module Prng = Qnet_util.Prng
 
+let c_rounds = Qnet_telemetry.Metrics.counter "core.alg4.grow_rounds"
+
 let solve ?start ?rng g params =
   let users = Graph.users g in
   match users with
@@ -24,6 +26,7 @@ let solve ?start ?rng g params =
       let rec grow acc =
         if !remaining = 0 then Some (Ent_tree.of_channels (List.rev acc))
         else begin
+          Qnet_telemetry.Metrics.Counter.incr c_rounds;
           let best = ref None in
           let consider (c : Channel.t) =
             match !best with

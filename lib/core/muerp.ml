@@ -1,4 +1,6 @@
 module Graph = Qnet_graph.Graph
+module Clock = Qnet_telemetry.Clock
+module Tm = Qnet_telemetry.Metrics
 
 type algorithm = Optimal | Conflict_free | Prim_based | Exhaustive
 
@@ -52,16 +54,37 @@ let validate_outcome inst algorithm tree =
         (Format.asprintf "Muerp.solve: %s produced an invalid tree: %a"
            (algorithm_name algorithm) Verify.pp_violation v)
 
+(* Per-algorithm wall-time histograms (seconds), fed on every solve.
+   Timing uses the monotone telemetry clock so a wall-clock step cannot
+   produce negative or inflated solver timings. *)
+let hist_optimal = Tm.histogram "solve.alg2-optimal.seconds"
+let hist_conflict_free = Tm.histogram "solve.alg3-conflict-free.seconds"
+let hist_prim = Tm.histogram "solve.alg4-prim.seconds"
+let hist_exhaustive = Tm.histogram "solve.exhaustive.seconds"
+
+let wall_time_hist = function
+  | Optimal -> hist_optimal
+  | Conflict_free -> hist_conflict_free
+  | Prim_based -> hist_prim
+  | Exhaustive -> hist_exhaustive
+
+let c_solves = Tm.counter "solve.calls"
+let c_infeasible = Tm.counter "solve.infeasible"
+
 let solve ?rng algorithm inst =
-  let t0 = Unix.gettimeofday () in
+  Tm.Counter.incr c_solves;
+  let t0 = Clock.now_s () in
   let tree =
-    match algorithm with
-    | Optimal -> Alg_optimal.solve inst.graph inst.params
-    | Conflict_free -> Alg_conflict_free.solve inst.graph inst.params
-    | Prim_based -> Alg_prim.solve ?rng inst.graph inst.params
-    | Exhaustive -> Exact.solve inst.graph inst.params
+    Qnet_telemetry.Span.with_span (algorithm_name algorithm) (fun () ->
+        match algorithm with
+        | Optimal -> Alg_optimal.solve inst.graph inst.params
+        | Conflict_free -> Alg_conflict_free.solve inst.graph inst.params
+        | Prim_based -> Alg_prim.solve ?rng inst.graph inst.params
+        | Exhaustive -> Exact.solve inst.graph inst.params)
   in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s = Clock.elapsed_since t0 in
+  Tm.Histogram.observe (wall_time_hist algorithm) elapsed_s;
+  if tree = None then Tm.Counter.incr c_infeasible;
   Option.iter (validate_outcome inst algorithm) tree;
   let rate, neg_log_rate =
     match tree with

@@ -1,5 +1,10 @@
 module Graph = Qnet_graph.Graph
 module Paths = Qnet_graph.Paths
+module Tm = Qnet_telemetry.Metrics
+
+let c_sssp_runs = Tm.counter "core.routing.sssp_runs"
+let c_channels_built = Tm.counter "core.routing.channels_built"
+let c_enumerations = Tm.counter "core.routing.enumerations"
 
 let edge_weight params (e : Graph.edge) =
   Params.link_neg_log params e.length +. Params.swap_neg_log params
@@ -16,12 +21,15 @@ let direct_only g params ~src =
     (fun (v, _) ->
       if Graph.is_user g v then
         match Channel.make g params [ src; v ] with
-        | Ok c -> Some (v, c)
+        | Ok c ->
+            Tm.Counter.incr c_channels_built;
+            Some (v, c)
         | Error _ -> None
       else None)
     (Graph.neighbors g src)
 
 let sssp g params ~capacity ~src =
+  Tm.Counter.incr c_sssp_runs;
   let admit v =
     if Graph.is_user g v then v <> src else Capacity.can_relay capacity v
   in
@@ -33,7 +41,9 @@ let channel_from_result g params result ~src ~dst =
   | None -> None
   | Some path -> begin
       match Channel.make g params path with
-      | Ok c -> Some c
+      | Ok c ->
+          Tm.Counter.incr c_channels_built;
+          Some c
       | Error _ -> None
     end
 
@@ -48,6 +58,7 @@ let best_channel g params ~capacity ~src ~dst =
 
 let best_channels_from g params ~capacity ~src =
   check_user g src;
+  Tm.Counter.incr c_enumerations;
   if params.Params.q = 0. then
     List.sort compare (direct_only g params ~src)
   else begin

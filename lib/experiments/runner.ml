@@ -1,5 +1,6 @@
 module Graph = Qnet_graph.Graph
 module Prng = Qnet_util.Prng
+module Clock = Qnet_telemetry.Clock
 open Qnet_core
 
 type method_ = Alg2 | Alg3 | Alg4 | E_q_cast | N_fusion
@@ -21,6 +22,12 @@ type aggregate = {
   replications : int;
   mean_elapsed_s : float;
 }
+
+(* Per-method wall-time histogram, one observation per replication
+   (registry lookup is a hashtable hit — negligible next to a solve). *)
+let wall_time_hist m =
+  Qnet_telemetry.Metrics.histogram
+    ("runner." ^ String.lowercase_ascii (method_name m) ^ ".seconds")
 
 let boost_graph g =
   let bound = 2 * Graph.user_count g in
@@ -60,11 +67,16 @@ let run_config (cfg : Config.t) =
     List.iter
       (fun m ->
         let rng_alg = Prng.create (seed * 7919) in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_s () in
         let rate =
-          run_method g cfg.params ~rng:rng_alg ~alg2_boost:cfg.alg2_boost m
+          Qnet_telemetry.Span.with_span
+            ("runner." ^ String.lowercase_ascii (method_name m))
+            (fun () ->
+              run_method g cfg.params ~rng:rng_alg ~alg2_boost:cfg.alg2_boost
+                m)
         in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Clock.elapsed_since t0 in
+        Qnet_telemetry.Metrics.Histogram.observe (wall_time_hist m) dt;
         let rates, times = Hashtbl.find per_method m in
         Hashtbl.replace per_method m (rate :: rates, dt :: times))
       all_methods

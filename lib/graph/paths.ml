@@ -1,23 +1,38 @@
 type dijkstra_result = { dist : float array; prev : int array }
 
+(* Work counters for the shortest-path hot path (no-ops unless
+   telemetry is enabled).  Every solver funnels through here, so these
+   are the substrate-level cost measure of a routing run. *)
+module Tm = Qnet_telemetry.Metrics
+
+let c_runs = Tm.counter "graph.dijkstra.runs"
+let c_pushes = Tm.counter "graph.dijkstra.heap_pushes"
+let c_pops = Tm.counter "graph.dijkstra.heap_pops"
+let c_relaxations = Tm.counter "graph.dijkstra.edge_relaxations"
+let c_improvements = Tm.counter "graph.dijkstra.dist_improvements"
+
 let dijkstra g ~source ~weight ?(admit = fun _ -> true)
     ?(expand = fun _ -> true) () =
   let n = Graph.vertex_count g in
   if source < 0 || source >= n then invalid_arg "Paths.dijkstra: bad source";
+  Tm.Counter.incr c_runs;
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
   let done_ = Array.make n false in
   let heap = Binary_heap.create ~capacity:(n + 1) () in
   dist.(source) <- 0.;
   Binary_heap.push heap 0. source;
+  Tm.Counter.incr c_pushes;
   let rec loop () =
     match Binary_heap.pop_min heap with
     | None -> ()
     | Some (d, u) ->
+        Tm.Counter.incr c_pops;
         if not done_.(u) && d <= dist.(u) then begin
           done_.(u) <- true;
           if u = source || expand u then begin
           let relax (v, eid) =
+            Tm.Counter.incr c_relaxations;
             if not done_.(v) && (v = source || admit v) then begin
               let e = Graph.edge g eid in
               let w = weight e in
@@ -27,7 +42,9 @@ let dijkstra g ~source ~weight ?(admit = fun _ -> true)
               if cand < dist.(v) then begin
                 dist.(v) <- cand;
                 prev.(v) <- u;
-                Binary_heap.push heap cand v
+                Tm.Counter.incr c_improvements;
+                Binary_heap.push heap cand v;
+                Tm.Counter.incr c_pushes
               end
             end
           in

@@ -1,5 +1,9 @@
 module Stats = Qnet_util.Stats
+module Tm = Qnet_telemetry.Metrics
 open Qnet_core
+
+let c_trials = Tm.counter "sim.monte_carlo.trials"
+let c_successes = Tm.counter "sim.monte_carlo.successes"
 
 type estimate = {
   trials : int;
@@ -14,10 +18,13 @@ type estimate = {
 let estimate_rate rng g params tree ~trials =
   if trials <= 0 then invalid_arg "Monte_carlo.estimate_rate: trials <= 0";
   let successes = ref 0 in
-  for _ = 1 to trials do
-    if (Trial.run rng g params tree).success then incr successes
-  done;
+  Qnet_telemetry.Span.with_span "monte_carlo.estimate" (fun () ->
+      for _ = 1 to trials do
+        if (Trial.run rng g params tree).success then incr successes
+      done);
   let successes = !successes in
+  Tm.Counter.add c_trials trials;
+  Tm.Counter.add c_successes successes;
   let p_hat = float_of_int successes /. float_of_int trials in
   let ci_low, ci_high = Stats.wilson_ci95 ~successes ~trials in
   let analytic = Ent_tree.rate_prob tree in

@@ -1,6 +1,12 @@
 module Graph = Qnet_graph.Graph
 module Prng = Qnet_util.Prng
+module Tm = Qnet_telemetry.Metrics
 open Qnet_core
+
+let c_accepted = Tm.counter "sim.scheduler.accepted_leases"
+let c_rejected = Tm.counter "sim.scheduler.rejected_requests"
+let c_expired = Tm.counter "sim.scheduler.expired_leases"
+let g_peak_qubits = Tm.gauge "sim.scheduler.peak_qubits_in_use"
 
 type request = { id : int; users : int list; arrival : int; duration : int }
 type policy = Drop | Queue of int
@@ -65,8 +71,12 @@ let run ?(policy = Drop) g params ~requests =
   let outcomes = ref [] in
   let peak = ref 0 in
   let decide slot r =
-    match Multi_group.prim_for_users g params ~capacity ~users:r.users with
+    match
+      Qnet_telemetry.Span.with_span "scheduler.admit" (fun () ->
+          Multi_group.prim_for_users g params ~capacity ~users:r.users)
+    with
     | Some tree ->
+        Tm.Counter.incr c_accepted;
         (* prim_for_users already consumed the qubits. *)
         leases :=
           ( slot + r.duration,
@@ -90,6 +100,7 @@ let run ?(policy = Drop) g params ~requests =
     let t = !slot in
     (* 1. Expire leases that end at this slot. *)
     let expired, alive = List.partition (fun (e, _) -> e <= t) !leases in
+    Tm.Counter.add c_expired (List.length expired);
     List.iter
       (fun (_, paths) -> List.iter (Capacity.release_channel capacity) paths)
       expired;
@@ -99,8 +110,10 @@ let run ?(policy = Drop) g params ~requests =
     List.iter
       (fun (r, deadline) ->
         if decide t r then ()
-        else if t >= deadline then
+        else if t >= deadline then begin
+          Tm.Counter.incr c_rejected;
           outcomes := { request = r; disposition = Rejected { slot = t } } :: !outcomes
+        end
         else still_waiting := (r, deadline) :: !still_waiting)
       (List.rev !waiting);
     waiting := List.rev !still_waiting;
@@ -113,6 +126,7 @@ let run ?(policy = Drop) g params ~requests =
         else
           match policy with
           | Drop ->
+              Tm.Counter.incr c_rejected;
               outcomes :=
                 { request = r; disposition = Rejected { slot = t } }
                 :: !outcomes
@@ -132,6 +146,7 @@ let run ?(policy = Drop) g params ~requests =
   in
   let accepted = List.length accepted_rates in
   let arrived = List.length requests in
+  Tm.Gauge.set_max g_peak_qubits (float_of_int !peak);
   let mean l =
     match l with
     | [] -> 0.

@@ -1,0 +1,19 @@
+(* A process-local monotone clock.  The sealed environment exposes no
+   CLOCK_MONOTONIC binding, so we clamp the wall clock instead: the
+   reading never decreases within the process, which is the property
+   solver timings need (a backwards NTP step freezes the clock for its
+   duration instead of producing negative durations). *)
+
+let last = ref neg_infinity
+
+let now_s () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed_since t0 = now_s () -. t0
+
+let time f =
+  let t0 = now_s () in
+  let x = f () in
+  (x, elapsed_since t0)

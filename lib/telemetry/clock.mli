@@ -1,0 +1,19 @@
+(** Monotone process clock for solver timings.
+
+    Readings are guaranteed non-decreasing within the process, so
+    durations computed from two readings are never negative even if the
+    system wall clock is stepped backwards mid-run (NTP adjustment,
+    manual reset).  Implemented as a clamped wall clock because the
+    sealed environment has no CLOCK_MONOTONIC binding: during a
+    backwards step the clock freezes rather than rewinding. *)
+
+val now_s : unit -> float
+(** Current reading in seconds.  Monotone non-decreasing. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now_s () -. t0]; non-negative whenever [t0]
+    came from a previous {!now_s} in this process. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed
+    seconds. *)

@@ -1,0 +1,98 @@
+(* Renderers for the metrics registry: human table, machine CSV and
+   s-expression.  By default metrics still at their reset state are
+   hidden so a report shows only what the run actually exercised. *)
+
+module Table = Qnet_util.Table
+module Sexp = Qnet_util.Sexp
+
+let select ~all () =
+  let snap = Metrics.snapshot () in
+  if all then snap else List.filter (fun (_, v) -> Metrics.touched v) snap
+
+let compact x =
+  if Float.is_nan x then "-"
+  else if Float.abs x >= 0.01 && Float.abs x < 10000. then
+    Printf.sprintf "%.4g" x
+  else if x = 0. then "0"
+  else Printf.sprintf "%.3e" x
+
+let to_table ?(all = false) () =
+  let t =
+    Table.create
+      [ "metric"; "kind"; "count"; "value"; "mean"; "p50"; "p95"; "max" ]
+  in
+  List.fold_left
+    (fun t (name, v) ->
+      let row =
+        match v with
+        | Metrics.Counter_v n ->
+            [ name; "counter"; string_of_int n; "-"; "-"; "-"; "-"; "-" ]
+        | Metrics.Gauge_v x ->
+            [ name; "gauge"; "-"; compact x; "-"; "-"; "-"; "-" ]
+        | Metrics.Histogram_v s ->
+            [
+              name; "histogram";
+              string_of_int s.Metrics.Histogram.count;
+              "-";
+              compact s.Metrics.Histogram.mean;
+              compact s.Metrics.Histogram.p50;
+              compact s.Metrics.Histogram.p95;
+              compact s.Metrics.Histogram.max;
+            ]
+      in
+      Table.add_row t row)
+    t (select ~all ())
+
+(* Full-precision float for the machine formats; "-" marks a field
+   that does not apply to the metric kind. *)
+let exact x = if Float.is_nan x then "nan" else Printf.sprintf "%.17g" x
+
+let to_csv ?(all = false) () =
+  let line (name, v) =
+    let cells =
+      match v with
+      | Metrics.Counter_v n ->
+          [ name; "counter"; string_of_int n; ""; ""; ""; ""; ""; ""; ""; "" ]
+      | Metrics.Gauge_v x ->
+          [ name; "gauge"; ""; exact x; ""; ""; ""; ""; ""; ""; "" ]
+      | Metrics.Histogram_v s ->
+          let open Metrics.Histogram in
+          [
+            name; "histogram"; string_of_int s.count; ""; exact s.sum;
+            exact s.min; exact s.max; exact s.mean; exact s.p50; exact s.p90;
+            exact s.p95;
+          ]
+    in
+    String.concat "," cells
+  in
+  String.concat "\n"
+    ("metric,kind,value,gauge,sum,min,max,mean,p50,p90,p95"
+    :: List.map line (select ~all ()))
+
+let to_sexp ?(all = false) () =
+  let entry (name, v) =
+    let fields =
+      match v with
+      | Metrics.Counter_v n ->
+          [
+            Sexp.list [ Sexp.atom "kind"; Sexp.atom "counter" ];
+            Sexp.list [ Sexp.atom "value"; Sexp.int n ];
+          ]
+      | Metrics.Gauge_v x ->
+          [
+            Sexp.list [ Sexp.atom "kind"; Sexp.atom "gauge" ];
+            Sexp.list [ Sexp.atom "value"; Sexp.float x ];
+          ]
+      | Metrics.Histogram_v s ->
+          let open Metrics.Histogram in
+          let f name x = Sexp.list [ Sexp.atom name; Sexp.float x ] in
+          [
+            Sexp.list [ Sexp.atom "kind"; Sexp.atom "histogram" ];
+            Sexp.list [ Sexp.atom "count"; Sexp.int s.count ];
+            f "sum" s.sum; f "min" s.min; f "max" s.max; f "mean" s.mean;
+            f "p50" s.p50; f "p90" s.p90; f "p95" s.p95; f "p99" s.p99;
+          ]
+    in
+    Sexp.list (Sexp.atom name :: fields)
+  in
+  Sexp.list (List.map entry (select ~all ()))

@@ -1,0 +1,19 @@
+(** Renderers for the metrics registry.
+
+    All three renderers read {!Metrics.snapshot} and by default skip
+    metrics still at their reset state ([?all:true] includes them), so
+    a report shows only what the run exercised. *)
+
+val to_table : ?all:bool -> unit -> Qnet_util.Table.t
+(** Human-readable table: one row per metric with count/value, mean and
+    p50/p95/max for histograms (compact float formatting). *)
+
+val to_csv : ?all:bool -> unit -> string
+(** CSV with header
+    [metric,kind,value,gauge,sum,min,max,mean,p50,p90,p95]; fields not
+    applicable to a metric kind are left empty.  Floats are printed at
+    full precision ([%.17g]) so the export round-trips. *)
+
+val to_sexp : ?all:bool -> unit -> Qnet_util.Sexp.t
+(** S-expression: a list of [(name (kind ...) (field value) ...)]
+    entries compatible with {!Qnet_util.Sexp.field} lookup. *)

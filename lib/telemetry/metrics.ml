@@ -1,0 +1,243 @@
+(* Process-wide metrics registry: counters, gauges and log-bucketed
+   latency histograms.  Every mutation is guarded by a single [on]
+   flag so instrumented hot paths cost one load-and-branch when
+   telemetry is disabled (the default). *)
+
+let on = ref false
+let set_enabled v = on := v
+let enabled () = !on
+
+module Counter = struct
+  type t = { mutable count : int }
+
+  let make () = { count = 0 }
+  let incr c = if !on then c.count <- c.count + 1
+  let add c n = if !on then c.count <- c.count + n
+  let value c = c.count
+  let reset c = c.count <- 0
+end
+
+module Gauge = struct
+  type t = { mutable value : float }
+
+  let make () = { value = 0. }
+  let set g v = if !on then g.value <- v
+  let add g v = if !on then g.value <- g.value +. v
+  let set_max g v = if !on && v > g.value then g.value <- v
+  let value g = g.value
+  let reset g = g.value <- 0.
+end
+
+module Histogram = struct
+  (* Log2-bucketed.  Bucket [i] holds observations [v] with
+     [upper (i-1) < v <= upper i] where [upper i = 2^(i + min_exp)].
+     The range 2^-30 s (~1 ns) .. 2^11 s (~34 min) covers every
+     latency this codebase produces; out-of-range values clamp into
+     the first/last bucket and stay exact through [min]/[max]. *)
+  let min_exp = -30
+  let bucket_count = 42
+
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+    buckets : int array;
+  }
+
+  let make () =
+    {
+      n = 0;
+      sum = 0.;
+      vmin = infinity;
+      vmax = neg_infinity;
+      buckets = Array.make bucket_count 0;
+    }
+
+  let upper_bound i = Float.ldexp 1.0 (i + min_exp)
+
+  let bucket_of v =
+    if v <= 0. then 0
+    else begin
+      let m, e = Float.frexp v in
+      (* v = m * 2^e with 0.5 <= m < 1, so ceil(log2 v) is e except
+         exactly at powers of two where it is e - 1. *)
+      let ceil_log2 = if m = 0.5 then e - 1 else e in
+      let i = ceil_log2 - min_exp in
+      if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+    end
+
+  let observe h v =
+    if !on then begin
+      h.n <- h.n + 1;
+      h.sum <- h.sum +. v;
+      if v < h.vmin then h.vmin <- v;
+      if v > h.vmax then h.vmax <- v;
+      let i = bucket_of v in
+      h.buckets.(i) <- h.buckets.(i) + 1
+    end
+
+  let count h = h.n
+  let sum h = h.sum
+  let min_value h = h.vmin
+  let max_value h = h.vmax
+
+  let reset h =
+    h.n <- 0;
+    h.sum <- 0.;
+    h.vmin <- infinity;
+    h.vmax <- neg_infinity;
+    Array.fill h.buckets 0 bucket_count 0
+
+  let nonzero_buckets h =
+    let acc = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      if h.buckets.(i) > 0 then acc := (upper_bound i, h.buckets.(i)) :: !acc
+    done;
+    !acc
+
+  (* Merging is pure and unguarded: it combines recorded data rather
+     than recording new data.  Bucket counts and extrema merge
+     exactly, so merge is commutative; only [sum] is subject to
+     floating-point rounding under re-association. *)
+  let merge a b =
+    {
+      n = a.n + b.n;
+      sum = a.sum +. b.sum;
+      vmin = Float.min a.vmin b.vmin;
+      vmax = Float.max a.vmax b.vmax;
+      buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
+    }
+
+  let quantile h q =
+    if h.n = 0 then nan
+    else if q <= 0. then h.vmin
+    else if q >= 1. then h.vmax
+    else begin
+      let rank = q *. float_of_int h.n in
+      let rec find i before =
+        let c = h.buckets.(i) in
+        if float_of_int (before + c) >= rank || i = bucket_count - 1 then
+          (i, before, c)
+        else find (i + 1) (before + c)
+      in
+      let b, before, c = find 0 0 in
+      let hi = upper_bound b in
+      (* Geometric interpolation inside the bucket, then clamped to the
+         observed range so estimates never exceed real extrema. *)
+      let f =
+        if c = 0 then 1.
+        else (rank -. float_of_int before) /. float_of_int c
+      in
+      let est = hi /. 2. *. (2. ** f) in
+      Float.max h.vmin (Float.min h.vmax est)
+    end
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+    p50 : float;
+    p90 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  let summarize h =
+    {
+      count = h.n;
+      sum = h.sum;
+      min = h.vmin;
+      max = h.vmax;
+      mean = (if h.n = 0 then nan else h.sum /. float_of_int h.n);
+      p50 = quantile h 0.5;
+      p90 = quantile h 0.9;
+      p95 = quantile h 0.95;
+      p99 = quantile h 0.99;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type metric =
+  | Counter_m of Counter.t
+  | Gauge_m of Gauge.t
+  | Histogram_m of Histogram.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter_m _ -> "counter"
+  | Gauge_m _ -> "gauge"
+  | Histogram_m _ -> "histogram"
+
+let register name wrap make unwrap =
+  match Hashtbl.find_opt registry name with
+  | Some m -> begin
+      match unwrap m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name m))
+    end
+  | None ->
+      let v = make () in
+      Hashtbl.replace registry name (wrap v);
+      v
+
+let counter name =
+  register name
+    (fun c -> Counter_m c)
+    Counter.make
+    (function Counter_m c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun g -> Gauge_m g)
+    Gauge.make
+    (function Gauge_m g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun h -> Histogram_m h)
+    Histogram.make
+    (function Histogram_m h -> Some h | _ -> None)
+
+(* Zero every registered metric but keep the registrations: metric
+   handles are bound at module initialisation and must stay valid. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter_m c -> Counter.reset c
+      | Gauge_m g -> Gauge.reset g
+      | Histogram_m h -> Histogram.reset h)
+    registry
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Histogram.summary
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Counter_m c -> Counter_v (Counter.value c)
+        | Gauge_m g -> Gauge_v (Gauge.value g)
+        | Histogram_m h -> Histogram_v (Histogram.summarize h)
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let touched = function
+  | Counter_v 0 -> false
+  | Gauge_v 0. -> false
+  | Histogram_v s -> s.Histogram.count > 0
+  | Counter_v _ | Gauge_v _ -> true

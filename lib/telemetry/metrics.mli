@@ -1,0 +1,133 @@
+(** Process-wide metrics: counters, gauges and log-bucketed latency
+    histograms.
+
+    Metrics live in a global registry keyed by a dotted name
+    ([graph.dijkstra.heap_pushes]).  Handles are cheap records bound
+    once (typically at module initialisation); every mutation first
+    checks a single process-wide enable flag, so instrumentation on hot
+    paths costs one load-and-branch while telemetry is disabled — the
+    default.  Enable with {!set_enabled} (the CLI's [--metrics] flag and
+    [bench/main.exe snapshot] do), then read the registry back with
+    {!snapshot} or the renderers in {!Export}. *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off process-wide.  Off by default. *)
+
+val enabled : unit -> bool
+
+(** Monotone event counters. *)
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  (** A standalone counter not attached to the registry (tests,
+      scratch aggregation).  Registry counters come from {!counter}. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Last-value (or running) float gauges. *)
+module Gauge : sig
+  type t
+
+  val make : unit -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+
+  val set_max : t -> float -> unit
+  (** Keep the running maximum of the values offered. *)
+
+  val value : t -> float
+  val reset : t -> unit
+end
+
+(** Latency histograms with logarithmic (power-of-two) buckets.
+
+    Bucket [i] covers [(2^(i-31), 2^(i-30)]] seconds for
+    [i = 0 .. 41]; values outside the covered range clamp into the
+    first or last bucket but remain exact through [min]/[max]. *)
+module Histogram : sig
+  type t
+
+  val make : unit -> t
+  (** A standalone histogram (tests, pure merging).  Registry
+      histograms come from {!histogram}. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation (seconds).  No-op while disabled. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** Smallest observation; [infinity] when empty. *)
+
+  val max_value : t -> float
+  (** Largest observation; [neg_infinity] when empty. *)
+
+  val bucket_of : float -> int
+  (** Index of the bucket an observation falls into. *)
+
+  val upper_bound : int -> float
+  (** Inclusive upper bound of bucket [i], i.e. [2^(i - 30)]. *)
+
+  val bucket_count : int
+
+  val nonzero_buckets : t -> (float * int) list
+  (** [(upper_bound, count)] for every populated bucket, ascending. *)
+
+  val merge : t -> t -> t
+  (** Pure combination of two histograms (e.g. across shards).  Bucket
+      counts, [count], [min] and [max] merge exactly, so [merge] is
+      commutative and associative on them; only [sum] is subject to
+      floating-point re-association error. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [[0, 1]]: rank-based estimate using
+      geometric interpolation inside the target bucket, clamped to the
+      observed [[min, max]] range.  Monotone in [q]; [nan] when
+      empty. *)
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+    p50 : float;
+    p90 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  val summarize : t -> summary
+
+  val reset : t -> unit
+end
+
+val counter : string -> Counter.t
+(** Find or create the registry counter of that name.
+    @raise Invalid_argument if the name is registered as another
+    kind. *)
+
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+
+val reset : unit -> unit
+(** Zero every registered metric, keeping registrations (handles bound
+    at module initialisation stay valid). *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Histogram.summary
+
+val snapshot : unit -> (string * value) list
+(** Current value of every registered metric, sorted by name. *)
+
+val touched : value -> bool
+(** [false] for metrics still at their reset state (zero counter/gauge,
+    empty histogram) — used to hide idle metrics in reports. *)

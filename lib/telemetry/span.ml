@@ -1,0 +1,34 @@
+(* Lightweight nested span tracing.  Each completed span feeds a
+   per-name duration histogram and call counter in the registry; a
+   process-local stack tracks nesting so instrumented code can ask for
+   its current depth/path.  When telemetry is disabled a span is just a
+   direct call of the wrapped thunk. *)
+
+type frame = { name : string; start : float }
+
+let stack : frame list ref = ref []
+
+let depth () = List.length !stack
+
+let path () =
+  match !stack with
+  | [] -> ""
+  | frames -> String.concat "/" (List.rev_map (fun f -> f.name) frames)
+
+let with_span name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let start = Clock.now_s () in
+    stack := { name; start } :: !stack;
+    let finish () =
+      (match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ());
+      let dt = Clock.elapsed_since start in
+      Metrics.Histogram.observe
+        (Metrics.histogram ("trace." ^ name ^ ".seconds"))
+        dt;
+      Metrics.Counter.incr (Metrics.counter ("trace." ^ name ^ ".calls"))
+    in
+    Fun.protect ~finally:finish f
+  end

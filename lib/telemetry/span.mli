@@ -1,0 +1,19 @@
+(** Lightweight nested span tracing over the metrics registry.
+
+    [with_span "solve" f] times [f ()] and records the duration into
+    the registry histogram [trace.solve.seconds] plus the call counter
+    [trace.solve.calls].  Spans nest: a process-local stack tracks the
+    enclosing spans, exposed through {!depth} and {!path}.  While
+    telemetry is disabled ({!Metrics.enabled}[ () = false]) a span is a
+    plain call of the thunk — no clock read, no stack push. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  The stack is restored and the
+    duration recorded even if the thunk raises. *)
+
+val depth : unit -> int
+(** Number of spans currently open (0 outside any span). *)
+
+val path : unit -> string
+(** Slash-joined names of the open spans, outermost first
+    (e.g. ["runner.alg-4/alg4-prim"]); [""] outside any span. *)

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full local check: build, run the test suite, then smoke the bench
+# snapshot (2 replications keep it fast) and verify the JSON artifact
+# appears.  Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench snapshot smoke =="
+snapshot=$(mktemp -t muerp_snapshot.XXXXXX.json)
+trap 'rm -f "$snapshot"' EXIT
+MUERP_REPLICATIONS=2 dune exec bench/main.exe -- snapshot "$snapshot"
+test -s "$snapshot" || { echo "snapshot produced no output" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$snapshot" >/dev/null
+  echo "snapshot JSON parses"
+fi
+
+echo "== all checks passed =="

@@ -123,6 +123,24 @@ let test_sweep () =
   check_int "exit 0" 0 code;
   check_bool "one row per value" true (contains out "| 2" && contains out "| 4")
 
+let test_solve_metrics () =
+  let code, out = run "solve --users 4 --switches 12 --seed 2 --metrics" in
+  check_int "exit 0" 0 code;
+  check_bool "telemetry table follows the solve report" true
+    (contains out "telemetry:");
+  check_bool "graph-layer work counters" true
+    (contains out "graph.dijkstra.heap_pushes"
+    && contains out "graph.dijkstra.edge_relaxations");
+  check_bool "solver wall-time histograms" true
+    (contains out "solve.alg3-conflict-free.seconds");
+  let code, out =
+    run "solve --users 4 --switches 12 --seed 2 --metrics=csv"
+  in
+  check_int "csv exit 0" 0 code;
+  check_bool "csv header" true (contains out "metric,kind,value");
+  let code, _ = run "solve --users 4 --switches 12 --metrics=bogus" in
+  check_bool "unknown metrics format fails" true (code <> 0)
+
 let test_bad_arguments () =
   let code, _ = run "experiment figNaN" in
   check_bool "unknown figure fails" true (code <> 0);
@@ -148,6 +166,7 @@ let () =
           Alcotest.test_case "reference" `Quick test_reference;
           Alcotest.test_case "schedule" `Quick test_schedule;
           Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "solve --metrics" `Quick test_solve_metrics;
           Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
         ] );
     ]

@@ -1,0 +1,401 @@
+(* Telemetry subsystem: counter/gauge semantics, histogram buckets and
+   quantiles, span nesting, exporter round-trips, plus qcheck
+   properties that histogram merge is commutative/associative and that
+   quantiles stay inside the observed range. *)
+
+module Tm = Qnet_telemetry.Metrics
+module Clock = Qnet_telemetry.Clock
+module Span = Qnet_telemetry.Span
+module Export = Qnet_telemetry.Export
+module Histogram = Tm.Histogram
+module Sexp = Qnet_util.Sexp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* The registry and enable flag are process-wide; every test starts
+   from a clean, enabled state. *)
+let fresh () =
+  Tm.set_enabled true;
+  Tm.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_monotone () =
+  let a = Clock.now_s () in
+  let b = Clock.now_s () in
+  check_bool "non-decreasing" true (b >= a);
+  let (), dt = Clock.time (fun () -> ignore (Sys.opaque_identity 42)) in
+  check_bool "elapsed non-negative" true (dt >= 0.);
+  check_bool "elapsed_since non-negative" true (Clock.elapsed_since a >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges *)
+
+let test_counter () =
+  fresh ();
+  let c = Tm.counter "test.counter" in
+  check_int "starts at zero" 0 (Tm.Counter.value c);
+  Tm.Counter.incr c;
+  Tm.Counter.add c 4;
+  check_int "incr + add" 5 (Tm.Counter.value c);
+  check_bool "same handle on re-registration" true (c == Tm.counter "test.counter");
+  Tm.set_enabled false;
+  Tm.Counter.incr c;
+  check_int "disabled increments are dropped" 5 (Tm.Counter.value c);
+  Tm.set_enabled true;
+  Tm.reset ();
+  check_int "reset zeroes but keeps the handle" 0 (Tm.Counter.value c)
+
+let test_gauge () =
+  fresh ();
+  let g = Tm.gauge "test.gauge" in
+  Tm.Gauge.set g 2.5;
+  check_float "set" 2.5 (Tm.Gauge.value g);
+  Tm.Gauge.add g 0.5;
+  check_float "add" 3.0 (Tm.Gauge.value g);
+  Tm.Gauge.set_max g 1.0;
+  check_float "set_max keeps larger" 3.0 (Tm.Gauge.value g);
+  Tm.Gauge.set_max g 7.0;
+  check_float "set_max takes larger" 7.0 (Tm.Gauge.value g)
+
+let test_kind_mismatch () =
+  fresh ();
+  ignore (Tm.counter "test.kinded");
+  Alcotest.check_raises "counter name reused as histogram"
+    (Invalid_argument "Metrics: \"test.kinded\" already registered as a counter")
+    (fun () -> ignore (Tm.histogram "test.kinded"))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets and quantiles *)
+
+let hist_of values =
+  fresh ();
+  let h = Histogram.make () in
+  List.iter (Histogram.observe h) values;
+  h
+
+let test_histogram_buckets () =
+  (* Boundaries are powers of two with the upper bound inclusive:
+     1.0 lands in the bucket whose upper bound is exactly 1.0, and
+     1.5 in the next one up (upper bound 2.0). *)
+  check_int "1.0 and 2.0 one bucket apart" 1
+    (Histogram.bucket_of 2.0 - Histogram.bucket_of 1.0);
+  check_float "upper bound of 1.0's bucket" 1.0
+    (Histogram.upper_bound (Histogram.bucket_of 1.0));
+  check_float "upper bound of 1.5's bucket" 2.0
+    (Histogram.upper_bound (Histogram.bucket_of 1.5));
+  check_float "upper bound of 0.75's bucket" 1.0
+    (Histogram.upper_bound (Histogram.bucket_of 0.75));
+  check_int "non-positive clamps to first bucket" 0 (Histogram.bucket_of 0.);
+  check_int "huge clamps to last bucket"
+    (Histogram.bucket_count - 1)
+    (Histogram.bucket_of 1e12);
+  let h = hist_of [ 1.0; 1.0; 1.5; 3.0 ] in
+  check_int "count" 4 (Histogram.count h);
+  check_float "sum" 6.5 (Histogram.sum h);
+  check_float "min" 1.0 (Histogram.min_value h);
+  check_float "max" 3.0 (Histogram.max_value h);
+  match Histogram.nonzero_buckets h with
+  | [ (b1, c1); (b2, c2); (b3, c3) ] ->
+      check_float "first populated bucket" 1.0 b1;
+      check_int "two observations at 1.0" 2 c1;
+      check_float "second populated bucket" 2.0 b2;
+      check_int "one observation at 1.5" 1 c2;
+      check_float "third populated bucket" 4.0 b3;
+      check_int "one observation at 3.0" 1 c3
+  | other ->
+      Alcotest.failf "expected 3 populated buckets, got %d" (List.length other)
+
+let test_histogram_quantiles () =
+  let h = hist_of [ 0.001; 0.002; 0.004; 0.008; 0.016; 0.032 ] in
+  check_float "q=0 is min" 0.001 (Histogram.quantile h 0.);
+  check_float "q=1 is max" 0.032 (Histogram.quantile h 1.);
+  let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ] in
+  let est = List.map (Histogram.quantile h) qs in
+  List.iter
+    (fun e ->
+      check_bool "bounded below" true (e >= 0.001);
+      check_bool "bounded above" true (e <= 0.032))
+    est;
+  check_bool "monotone in q" true (List.sort compare est = est);
+  check_bool "empty histogram quantile is nan" true
+    (Float.is_nan (Histogram.quantile (Histogram.make ()) 0.5));
+  let s = Histogram.summarize h in
+  check_int "summary count" 6 s.Histogram.count;
+  check_float "summary mean" (0.063 /. 6.) s.Histogram.mean;
+  check_bool "p50 <= p95" true (s.Histogram.p50 <= s.Histogram.p95)
+
+let test_histogram_disabled () =
+  fresh ();
+  let h = Histogram.make () in
+  Tm.set_enabled false;
+  Histogram.observe h 1.0;
+  check_int "disabled observations are dropped" 0 (Histogram.count h);
+  Tm.set_enabled true
+
+let test_histogram_merge () =
+  let a = hist_of [ 0.5; 1.0 ] in
+  let b = hist_of [ 2.0; 4.0; 8.0 ] in
+  let m = Histogram.merge a b in
+  check_int "merged count" 5 (Histogram.count m);
+  check_float "merged sum" 15.5 (Histogram.sum m);
+  check_float "merged min" 0.5 (Histogram.min_value m);
+  check_float "merged max" 8.0 (Histogram.max_value m);
+  let empty = Histogram.make () in
+  let me = Histogram.merge m empty in
+  check_int "merge with empty keeps count" 5 (Histogram.count me);
+  check_float "merge with empty keeps min" 0.5 (Histogram.min_value me)
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_nesting () =
+  fresh ();
+  check_int "no open span" 0 (Span.depth ());
+  check_string "empty path" "" (Span.path ());
+  let result =
+    Span.with_span "outer" (fun () ->
+        check_int "outer depth" 1 (Span.depth ());
+        check_string "outer path" "outer" (Span.path ());
+        Span.with_span "inner" (fun () ->
+            check_int "inner depth" 2 (Span.depth ());
+            check_string "nested path" "outer/inner" (Span.path ());
+            17))
+  in
+  check_int "value returned through spans" 17 result;
+  check_int "stack unwound" 0 (Span.depth ());
+  check_int "outer recorded" 1
+    (Tm.Counter.value (Tm.counter "trace.outer.calls"));
+  check_int "inner recorded" 1
+    (Tm.Counter.value (Tm.counter "trace.inner.calls"));
+  check_int "outer duration recorded" 1
+    (Histogram.count (Tm.histogram "trace.outer.seconds"))
+
+let test_span_exception_safety () =
+  fresh ();
+  (try
+     Span.with_span "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  check_int "stack unwound after raise" 0 (Span.depth ());
+  check_int "failed span still recorded" 1
+    (Tm.Counter.value (Tm.counter "trace.boom.calls"))
+
+let test_span_disabled () =
+  fresh ();
+  Tm.set_enabled false;
+  let x = Span.with_span "off" (fun () -> Span.depth ()) in
+  check_int "disabled span does not push" 0 x;
+  Tm.set_enabled true;
+  check_int "disabled span not recorded" 0
+    (Tm.Counter.value (Tm.counter "trace.off.calls"))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let populate () =
+  fresh ();
+  Tm.Counter.add (Tm.counter "t.count") 7;
+  Tm.Gauge.set (Tm.gauge "t.gauge") 2.5;
+  let h = Tm.histogram "t.hist" in
+  List.iter (Histogram.observe h) [ 0.5; 1.0; 2.0 ]
+
+let test_export_sexp_round_trip () =
+  populate ();
+  let rendered = Sexp.to_string (Export.to_sexp ()) in
+  let parsed =
+    match Sexp.of_string rendered with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "rendered sexp does not parse: %s" msg
+  in
+  let field_of entry name =
+    match Sexp.field entry name with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "missing %s: %s" name msg
+  in
+  let entry = field_of parsed "t.count" in
+  check_int "counter survives the round-trip" 7
+    (Result.get_ok (Sexp.to_int (field_of entry "value")));
+  let entry = field_of parsed "t.gauge" in
+  check_float "gauge survives the round-trip" 2.5
+    (Result.get_ok (Sexp.to_float (field_of entry "value")));
+  let entry = field_of parsed "t.hist" in
+  check_int "histogram count survives" 3
+    (Result.get_ok (Sexp.to_int (field_of entry "count")));
+  check_float "histogram sum survives" 3.5
+    (Result.get_ok (Sexp.to_float (field_of entry "sum")));
+  check_float "histogram min survives" 0.5
+    (Result.get_ok (Sexp.to_float (field_of entry "min")));
+  check_float "histogram max survives" 2.0
+    (Result.get_ok (Sexp.to_float (field_of entry "max")))
+
+let test_export_csv () =
+  populate ();
+  let csv = Export.to_csv () in
+  let lines = String.split_on_char '\n' csv in
+  check_string "header" "metric,kind,value,gauge,sum,min,max,mean,p50,p90,p95"
+    (List.hd lines);
+  check_bool "counter row" true
+    (List.exists (fun l -> l = "t.count,counter,7,,,,,,,,") lines);
+  let hist_row =
+    List.find_opt
+      (fun l -> String.length l > 6 && String.sub l 0 7 = "t.hist,")
+      lines
+  in
+  (match hist_row with
+  | None -> Alcotest.fail "histogram row missing from csv"
+  | Some row ->
+      (* metric,kind,value,gauge,sum,min,max,... *)
+      (match String.split_on_char ',' row with
+      | _ :: kind :: count :: _ :: sum :: mn :: mx :: _ ->
+          check_string "kind" "histogram" kind;
+          check_string "count" "3" count;
+          check_float "sum parses back" 3.5 (float_of_string sum);
+          check_float "min parses back" 0.5 (float_of_string mn);
+          check_float "max parses back" 2.0 (float_of_string mx)
+      | _ -> Alcotest.fail "histogram row has wrong arity"))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_export_table () =
+  populate ();
+  let rendered = Qnet_util.Table.to_string (Export.to_table ()) in
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " present") true (contains rendered needle))
+    [ "metric"; "t.count"; "t.gauge"; "t.hist"; "counter"; "gauge";
+      "histogram" ];
+  check_bool "idle metrics hidden by default" false
+    (contains
+       (Qnet_util.Table.to_string
+          (ignore (Tm.counter "t.never.touched");
+           Export.to_table ()))
+       "t.never.touched")
+
+let test_export_hides_idle_metrics () =
+  fresh ();
+  ignore (Tm.counter "t.idle");
+  Tm.Counter.incr (Tm.counter "t.busy");
+  let snap = Tm.snapshot () in
+  check_bool "idle metric snapshotted" true
+    (List.mem_assoc "t.idle" snap);
+  check_bool "idle metric filtered from reports" false
+    (List.exists (fun (n, _) -> n = "t.idle")
+       (List.filter (fun (_, v) -> Tm.touched v) snap))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties *)
+
+let durations_arb =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 40)
+    (QCheck.float_range 1e-9 1000.)
+
+let same_histogram a b =
+  Histogram.count a = Histogram.count b
+  && Histogram.nonzero_buckets a = Histogram.nonzero_buckets b
+  && Histogram.min_value a = Histogram.min_value b
+  && Histogram.max_value a = Histogram.max_value b
+  && Float.abs (Histogram.sum a -. Histogram.sum b)
+     <= 1e-9 *. (1. +. Float.abs (Histogram.sum a))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"histogram merge is commutative"
+    (QCheck.pair durations_arb durations_arb)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      same_histogram (Histogram.merge a b) (Histogram.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"histogram merge is associative"
+    (QCheck.triple durations_arb durations_arb durations_arb)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      same_histogram
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+let prop_quantiles_bounded =
+  QCheck.Test.make ~count:200 ~name:"quantiles stay within observed range"
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 40)
+          (QCheck.float_range 1e-9 1000.))
+       (QCheck.float_range 0. 1.))
+    (fun (xs, q) ->
+      let h = hist_of xs in
+      let lo = List.fold_left Float.min infinity xs in
+      let hi = List.fold_left Float.max neg_infinity xs in
+      let est = Histogram.quantile h q in
+      est >= lo && est <= hi)
+
+let prop_merge_quantiles_bounded =
+  QCheck.Test.make ~count:200
+    ~name:"merged quantiles stay within the union of ranges"
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 40)
+          (QCheck.float_range 1e-9 1000.))
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 40)
+          (QCheck.float_range 1e-9 1000.)))
+    (fun (xs, ys) ->
+      let m = Histogram.merge (hist_of xs) (hist_of ys) in
+      let all = xs @ ys in
+      let lo = List.fold_left Float.min infinity all in
+      let hi = List.fold_left Float.max neg_infinity all in
+      List.for_all
+        (fun q ->
+          let est = Histogram.quantile m q in
+          est >= lo && est <= hi)
+        [ 0.; 0.25; 0.5; 0.75; 0.95; 1. ])
+
+let qcheck tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "telemetry"
+    [
+        ( "clock",
+          [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+        ( "metrics",
+          [
+            Alcotest.test_case "counter" `Quick test_counter;
+            Alcotest.test_case "gauge" `Quick test_gauge;
+            Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          ] );
+        ( "histogram",
+          [
+            Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+            Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+            Alcotest.test_case "disabled" `Quick test_histogram_disabled;
+            Alcotest.test_case "merge" `Quick test_histogram_merge;
+          ] );
+        ( "span",
+          [
+            Alcotest.test_case "nesting" `Quick test_span_nesting;
+            Alcotest.test_case "exception safety" `Quick
+              test_span_exception_safety;
+            Alcotest.test_case "disabled" `Quick test_span_disabled;
+          ] );
+        ( "export",
+          [
+            Alcotest.test_case "sexp round-trip" `Quick
+              test_export_sexp_round_trip;
+            Alcotest.test_case "csv" `Quick test_export_csv;
+            Alcotest.test_case "table" `Quick test_export_table;
+            Alcotest.test_case "hides idle metrics" `Quick
+              test_export_hides_idle_metrics;
+          ] );
+        ( "properties",
+        qcheck
+          [
+            prop_merge_commutative;
+            prop_merge_associative;
+            prop_quantiles_bounded;
+            prop_merge_quantiles_bounded;
+          ] );
+    ]
