@@ -5,6 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe fig5       # one experiment
      dune exec bench/main.exe headline   # §V-B improvement ratios
+     dune exec bench/main.exe traffic    # online traffic engine, per policy
      dune exec bench/main.exe micro      # Bechamel timings only
      dune exec bench/main.exe snapshot   # perf snapshot -> BENCH_muerp.json
 
@@ -105,6 +106,74 @@ let run_ablations () =
     (fun (title, table) ->
       Printf.printf "%s\n%s\n\n" title (Qnet_util.Table.to_string table))
     (Qnet_experiments.Ablation.all ~cfg ())
+
+(* Online traffic scenario: a fixed dynamic workload (Poisson arrivals,
+   groups of 2-4 users, bounded patience) served over the §V-A default
+   network by each routing policy.  Deterministic per seed, so the
+   throughput numbers land in BENCH_muerp.json as a perf trajectory. *)
+
+let traffic_policies = [ "prim"; "alg3"; "eqcast"; "cached-prim" ]
+
+let traffic_scenario ~seed policy_name =
+  let rng = Qnet_util.Prng.create seed in
+  let g = Qnet_topology.Waxman.generate rng Qnet_topology.Spec.default in
+  let params = Qnet_core.Params.default in
+  let wspec =
+    Qnet_online.Workload.spec ~requests:120
+      ~arrivals:(Qnet_online.Workload.Poisson 1.) ()
+  in
+  let reqs =
+    Qnet_online.Workload.generate (Qnet_util.Prng.create (seed + 8_191)) g
+      wspec
+  in
+  let policy =
+    match Qnet_online.Policy.of_name policy_name with
+    | Some p -> p
+    | None -> failwith ("unknown traffic policy: " ^ policy_name)
+  in
+  let config = Qnet_online.Engine.config policy in
+  fst (Qnet_online.Engine.run ~config g params ~requests:reqs)
+
+let run_traffic () =
+  let module E = Qnet_online.Engine in
+  let t =
+    Qnet_util.Table.create
+      [
+        "policy"; "served"; "expired"; "acceptance"; "throughput";
+        "mean wait"; "p95 wait"; "mean rate"; "utilization";
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t name ->
+        (* Average the per-seed SLA metrics over the replication seeds
+           (each seed is a fresh network and workload). *)
+        let reports =
+          List.init replications (fun i -> traffic_scenario ~seed:(1 + i) name)
+        in
+        let mean f =
+          Qnet_util.Stats.mean
+            (Array.of_list (List.map f reports))
+        in
+        Qnet_util.Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.1f" (mean (fun r -> float_of_int r.E.served));
+            Printf.sprintf "%.1f" (mean (fun r -> float_of_int r.E.expired));
+            Qnet_util.Table.float_cell (mean (fun r -> r.E.acceptance_ratio));
+            Qnet_util.Table.float_cell (mean (fun r -> r.E.throughput));
+            Qnet_util.Table.float_cell (mean (fun r -> r.E.mean_wait));
+            Qnet_util.Table.float_cell (mean (fun r -> r.E.p95_wait));
+            Qnet_util.Table.float_cell (mean (fun r -> r.E.mean_rate));
+            Qnet_util.Table.float_cell (mean (fun r -> r.E.mean_utilization));
+          ])
+      t traffic_policies
+  in
+  print_endline
+    "Online traffic (120 requests, Poisson 1/t, default network, per \
+     policy):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
 
 (* Bechamel micro-benchmarks: per-algorithm wall-clock on the default
    network. *)
@@ -259,6 +328,31 @@ let snapshot path =
   Tm.reset ();
   Printf.printf "perf snapshot — %d replications per method\n%!" replications;
   let aggregates = R.run_config cfg in
+  (* Online traffic throughput: one fixed-seed scenario per policy, so
+     the JSON trajectory is deterministic run to run. *)
+  let traffic =
+    List.map
+      (fun name ->
+        let module E = Qnet_online.Engine in
+        let r = traffic_scenario ~seed:42 name in
+        jobj
+          [
+            ("policy", jstr name);
+            ("served", string_of_int r.E.served);
+            ("rejected", string_of_int r.E.rejected);
+            ("expired", string_of_int r.E.expired);
+            ("acceptance_ratio", jfloat r.E.acceptance_ratio);
+            ("throughput", jfloat r.E.throughput);
+            ("mean_wait", jfloat r.E.mean_wait);
+            ("p95_wait", jfloat r.E.p95_wait);
+            ("mean_rate", jfloat r.E.mean_rate);
+            ("makespan", jfloat r.E.makespan);
+            ("peak_qubits_in_use", string_of_int r.E.peak_qubits_in_use);
+            ("retries", string_of_int r.E.retries);
+            ("mean_utilization", jfloat r.E.mean_utilization);
+          ])
+      traffic_policies
+  in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
     List.map
@@ -296,9 +390,10 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/1");
+        ("schema", jstr "muerp-bench-snapshot/2");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
+        ("traffic", jarr traffic);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
         ("histograms", jobj histograms);
@@ -350,11 +445,13 @@ let () =
       run_headline series;
       run_reference_nets ();
       run_ablations ();
+      run_traffic ();
       scaling ();
       micro ()
   | [ "headline" ] -> run_headline []
   | [ "reference" ] -> run_reference_nets ()
   | [ "ablation" ] -> run_ablations ()
+  | [ "traffic" ] -> run_traffic ()
   | [ "scaling" ] -> scaling ()
   | [ "micro" ] -> micro ()
   | ids -> List.iter (fun id -> ignore (run_figure id)) ids

@@ -5,7 +5,8 @@
      topology    generate a network and print its composition
      experiment  reproduce a paper figure (fig5 .. fig8b, or "all")
      simulate    Monte-Carlo-validate the analytic rate of a solution
-     sweep       one-dimensional parameter sweep with a chosen method *)
+     sweep       one-dimensional parameter sweep with a chosen method
+     traffic     serve a dynamic request workload with the online engine *)
 
 open Cmdliner
 module Graph = Qnet_graph.Graph
@@ -16,8 +17,14 @@ open Qnet_core
 (* ------------------------------------------------------------------ *)
 (* Shared command-line terms                                           *)
 
+(* The one seed term every subcommand shares: topology generation,
+   workload sampling and experiment replication seeds all derive from
+   it, so a whole invocation is reproducible from this single flag. *)
 let seed_t =
-  let doc = "PRNG seed for topology generation and random choices." in
+  let doc =
+    "PRNG seed: topology generation, synthetic workloads and every \
+     random choice derive from it, so equal seeds reproduce the run."
+  in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let users_t =
@@ -315,10 +322,11 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 
-let sweep_run parameter values replications metrics =
+let sweep_run seed parameter values replications metrics =
   metrics_begin metrics;
   let module C = Qnet_experiments.Config in
   let module R = Qnet_experiments.Runner in
+  let create = C.create ~base_seed:seed in
   let parse_values () =
     String.split_on_char ',' values
     |> List.filter (fun s -> String.trim s <> "")
@@ -331,7 +339,7 @@ let sweep_run parameter values replications metrics =
           (fun v ->
             let n = int_of_string v in
             ( v,
-              C.create
+              create
                 ~spec:(Spec.create ~n_users:n ())
                 ~replications () ))
           (parse_values ())
@@ -339,20 +347,20 @@ let sweep_run parameter values replications metrics =
         List.map
           (fun v ->
             let n = int_of_string v in
-            (v, C.create ~spec:(Spec.create ~n_switches:n ()) ~replications ()))
+            (v, create ~spec:(Spec.create ~n_switches:n ()) ~replications ()))
           (parse_values ())
     | "degree" ->
         List.map
           (fun v ->
             let d = float_of_string v in
-            (v, C.create ~spec:(Spec.create ~avg_degree:d ()) ~replications ()))
+            (v, create ~spec:(Spec.create ~avg_degree:d ()) ~replications ()))
           (parse_values ())
     | "qubits" ->
         List.map
           (fun v ->
             let n = int_of_string v in
             ( v,
-              C.create
+              create
                 ~spec:(Spec.create ~qubits_per_switch:n ())
                 ~replications () ))
           (parse_values ())
@@ -360,7 +368,7 @@ let sweep_run parameter values replications metrics =
         List.map
           (fun v ->
             let q = float_of_string v in
-            (v, C.create ~params:(Params.create ~q ()) ~replications ()))
+            (v, create ~params:(Params.create ~q ()) ~replications ()))
           (parse_values ())
     | other ->
         prerr_endline
@@ -395,7 +403,7 @@ let sweep_cmd =
   in
   let info = Cmd.info "sweep" ~doc:"One-dimensional parameter sweep." in
   Cmd.v info
-    Term.(const sweep_run $ parameter_t $ values_t $ replications_t $ metrics_t)
+    Term.(const sweep_run $ seed_t $ parameter_t $ values_t $ replications_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -703,6 +711,181 @@ let schedule_cmd =
       $ group_t $ queue_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
+(* traffic                                                             *)
+
+let traffic_run verbose seed users switches degree qubits q alpha topology
+    requests arrival_rate batch_size batch_period group_min group_max
+    duration_min duration_max patience_min patience_max policy_name cache
+    queue retry_base retry_max show_outcomes metrics =
+  apply_verbose verbose;
+  metrics_begin metrics;
+  let spec = build_spec ~users ~switches ~degree ~qubits in
+  match build_network ~seed ~topology ~spec with
+  | Error (`Msg m) -> prerr_endline m; exit 1
+  | Ok g ->
+      let params = Params.create ~alpha ~q () in
+      let wspec =
+        try
+          Qnet_online.Workload.spec ~requests
+            ~arrivals:
+              (if batch_size > 0 then
+                 Qnet_online.Workload.Batched
+                   { period = batch_period; size = batch_size }
+               else Qnet_online.Workload.Poisson arrival_rate)
+            ~group_size:(Qnet_online.Workload.Uniform (group_min, group_max))
+            ~duration:(duration_min, duration_max)
+            ~patience:(patience_min, patience_max)
+            ()
+        with Invalid_argument msg -> prerr_endline msg; exit 1
+      in
+      let policy =
+        match
+          Qnet_online.Policy.of_name
+            (if cache then "cached-" ^ policy_name else policy_name)
+        with
+        | Some p -> p
+        | None ->
+            prerr_endline
+              ("unknown policy: " ^ policy_name
+             ^ " (expected prim|alg2|alg3|eqcast, optionally with --cache)");
+            exit 1
+      in
+      let config =
+        try
+          Qnet_online.Engine.config
+            ~admission:
+              (if queue > 0 then Qnet_online.Engine.Queue queue
+               else Qnet_online.Engine.Reject)
+            ~retry_base ~retry_max policy
+        with Invalid_argument msg -> prerr_endline msg; exit 1
+      in
+      let rng = Qnet_util.Prng.create (seed + 8_191) in
+      let reqs =
+        try Qnet_online.Workload.generate rng g wspec
+        with Invalid_argument msg -> prerr_endline msg; exit 1
+      in
+      Format.printf "%a, seed %d@." Graph.pp g seed;
+      Format.printf "workload: %a@." Qnet_online.Workload.pp_spec wspec;
+      Printf.printf "policy: %s, queue bound %s\n"
+        policy.Qnet_online.Policy.name
+        (if queue > 0 then string_of_int queue else "none (reject)");
+      let report, outcomes =
+        Qnet_online.Engine.run ~config g params ~requests:reqs
+      in
+      print_endline
+        (Qnet_util.Table.to_string (Qnet_online.Engine.report_table report));
+      if show_outcomes then
+        List.iter
+          (fun (o : Qnet_online.Engine.outcome) ->
+            let r = o.Qnet_online.Engine.request in
+            let users =
+              String.concat ","
+                (List.map string_of_int r.Qnet_online.Workload.users)
+            in
+            match o.Qnet_online.Engine.resolution with
+            | Qnet_online.Engine.Served { start; rate; attempts; _ } ->
+                Printf.printf
+                  "  #%-3d t=%-7.2f {%s}  SERVED @%.2f  rate %.4g  \
+                   attempts %d\n"
+                  r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
+                  users start rate attempts
+            | Qnet_online.Engine.Rejected { at; queue_full } ->
+                Printf.printf "  #%-3d t=%-7.2f {%s}  REJECTED @%.2f%s\n"
+                  r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
+                  users at
+                  (if queue_full then " (queue full)" else "")
+            | Qnet_online.Engine.Expired { at; attempts } ->
+                Printf.printf
+                  "  #%-3d t=%-7.2f {%s}  EXPIRED @%.2f  attempts %d\n"
+                  r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
+                  users at attempts)
+          outcomes;
+      metrics_report metrics
+
+let traffic_cmd =
+  let requests_t =
+    let doc = "Number of requests in the workload." in
+    Arg.(value & opt int 100 & info [ "requests"; "n" ] ~docv:"N" ~doc)
+  in
+  let arrival_rate_t =
+    let doc = "Poisson arrival rate (requests per time unit)." in
+    Arg.(value & opt float 0.5 & info [ "arrival-rate" ] ~docv:"RATE" ~doc)
+  in
+  let batch_size_t =
+    let doc =
+      "Arrive in synchronised batches of $(docv) requests instead of a \
+       Poisson process (0 disables batching)."
+    in
+    Arg.(value & opt int 0 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let batch_period_t =
+    let doc = "Time between batches (with --batch)." in
+    Arg.(value & opt float 5. & info [ "batch-period" ] ~docv:"T" ~doc)
+  in
+  let group_min_t =
+    let doc = "Smallest user-group size." in
+    Arg.(value & opt int 2 & info [ "group-min" ] ~docv:"N" ~doc)
+  in
+  let group_max_t =
+    let doc = "Largest user-group size." in
+    Arg.(value & opt int 4 & info [ "group-max" ] ~docv:"N" ~doc)
+  in
+  let duration_min_t =
+    let doc = "Shortest lease duration." in
+    Arg.(value & opt float 3. & info [ "duration-min" ] ~docv:"T" ~doc)
+  in
+  let duration_max_t =
+    let doc = "Longest lease duration." in
+    Arg.(value & opt float 8. & info [ "duration-max" ] ~docv:"T" ~doc)
+  in
+  let patience_min_t =
+    let doc = "Shortest deadline slack before a request abandons." in
+    Arg.(value & opt float 0. & info [ "patience-min" ] ~docv:"T" ~doc)
+  in
+  let patience_max_t =
+    let doc = "Longest deadline slack before a request abandons." in
+    Arg.(value & opt float 10. & info [ "patience-max" ] ~docv:"T" ~doc)
+  in
+  let policy_t =
+    let doc = "Serving policy: prim, alg2, alg3 or eqcast." in
+    Arg.(value & opt string "prim" & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
+  let cache_t =
+    let doc = "Memoise trees per user group (cached-* policy variant)." in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
+  let queue_t =
+    let doc = "Waiting-queue bound (0 = reject unroutable arrivals)." in
+    Arg.(value & opt int 32 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let retry_base_t =
+    let doc = "Initial retry backoff after a failed routing attempt." in
+    Arg.(value & opt float 0.5 & info [ "retry-base" ] ~docv:"T" ~doc)
+  in
+  let retry_max_t =
+    let doc = "Retry backoff cap (doubling saturates here)." in
+    Arg.(value & opt float 8. & info [ "retry-max" ] ~docv:"T" ~doc)
+  in
+  let outcomes_t =
+    let doc = "Also print one line per request outcome." in
+    Arg.(value & flag & info [ "outcomes" ] ~doc)
+  in
+  let info =
+    Cmd.info "traffic"
+      ~doc:
+        "Serve a dynamic multi-user request workload with the online \
+         traffic engine."
+  in
+  Cmd.v info
+    Term.(
+      const traffic_run $ verbose_t $ seed_t $ users_t $ switches_t
+      $ degree_t $ qubits_t $ q_t $ alpha_t $ topology_t $ requests_t
+      $ arrival_rate_t $ batch_size_t $ batch_period_t $ group_min_t
+      $ group_max_t $ duration_min_t $ duration_max_t $ patience_min_t
+      $ patience_max_t $ policy_t $ cache_t $ queue_t $ retry_base_t
+      $ retry_max_t $ outcomes_t $ metrics_t)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let info =
@@ -713,6 +896,7 @@ let main =
     [
       solve_cmd; topology_cmd; experiment_cmd; simulate_cmd; sweep_cmd;
       dot_cmd; svg_cmd; fidelity_cmd; groups_cmd; reference_cmd; schedule_cmd;
+      traffic_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,339 @@
+module Graph = Qnet_graph.Graph
+module Lease = Qnet_sim.Scheduler.Lease
+module Tm = Qnet_telemetry.Metrics
+open Qnet_core
+
+let c_arrivals = Tm.counter "online.engine.arrivals"
+let c_served = Tm.counter "online.engine.served"
+let c_rejected = Tm.counter "online.engine.rejected"
+let c_expired = Tm.counter "online.engine.expired"
+let c_retries = Tm.counter "online.engine.retries"
+let g_peak_qubits = Tm.gauge "online.engine.peak_qubits_in_use"
+let g_peak_queue = Tm.gauge "online.engine.peak_queue_depth"
+let g_utilization = Tm.gauge "online.engine.mean_utilization"
+let h_wait = Tm.histogram "online.engine.wait_time"
+let h_rate = Tm.histogram "online.engine.served_rate"
+
+type admission = Reject | Queue of int
+
+type config = {
+  policy : Policy.t;
+  admission : admission;
+  retry_base : float;
+  retry_max : float;
+}
+
+let config ?(admission = Queue 32) ?(retry_base = 0.5) ?(retry_max = 8.)
+    policy =
+  (match admission with
+  | Reject -> ()
+  | Queue n -> if n < 1 then invalid_arg "Engine.config: queue bound < 1");
+  if retry_base <= 0. || not (Float.is_finite retry_base) then
+    invalid_arg "Engine.config: retry_base must be positive";
+  if retry_max < retry_base then
+    invalid_arg "Engine.config: retry_max < retry_base";
+  { policy; admission; retry_base; retry_max }
+
+type resolution =
+  | Served of {
+      start : float;
+      finish : float;
+      tree : Ent_tree.t;
+      rate : float;
+      attempts : int;
+    }
+  | Rejected of { at : float; queue_full : bool }
+  | Expired of { at : float; attempts : int }
+
+type outcome = { request : Workload.request; resolution : resolution }
+
+type report = {
+  arrived : int;
+  served : int;
+  rejected : int;
+  expired : int;
+  acceptance_ratio : float;
+  mean_wait : float;
+  p95_wait : float;
+  mean_rate : float;
+  throughput : float;
+  makespan : float;
+  peak_qubits_in_use : int;
+  peak_queue_depth : int;
+  retries : int;
+  mean_utilization : float;
+}
+
+type event = Arrival of Workload.request | Retry of int | Expiry of int
+
+type req_state = {
+  req : Workload.request;
+  mutable attempts : int;
+  mutable backoff : float;
+  mutable waiting : bool;
+  mutable resolved : bool;
+}
+
+let validate g requests =
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Workload.request) ->
+      if Hashtbl.mem ids r.Workload.id then
+        invalid_arg "Engine.run: duplicate request id";
+      Hashtbl.replace ids r.Workload.id ();
+      if r.Workload.arrival < 0. || not (Float.is_finite r.Workload.arrival)
+      then invalid_arg "Engine.run: bad arrival time";
+      if r.Workload.duration <= 0. || not (Float.is_finite r.Workload.duration)
+      then invalid_arg "Engine.run: duration must be positive";
+      if r.Workload.deadline < r.Workload.arrival then
+        invalid_arg "Engine.run: deadline before arrival";
+      if List.length r.Workload.users < 2 then
+        invalid_arg "Engine.run: request needs >= 2 users";
+      if
+        List.length (List.sort_uniq compare r.Workload.users)
+        <> List.length r.Workload.users
+      then invalid_arg "Engine.run: duplicate users in request";
+      List.iter
+        (fun u ->
+          if not (Graph.is_user g u) then
+            invalid_arg "Engine.run: request member is not a user")
+        r.Workload.users)
+    requests
+
+let total_switch_qubits g =
+  List.fold_left (fun acc s -> acc + Graph.qubits g s) 0 (Graph.switches g)
+
+let run ?config:(cfg = config Policy.prim) g params ~requests =
+  validate g requests;
+  let capacity = Capacity.of_graph g in
+  let events : event Event_queue.t = Event_queue.create () in
+  let states : (int, req_state) Hashtbl.t = Hashtbl.create 64 in
+  let leases : (int, Lease.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_lease = ref 0 in
+  let queue = ref [] in
+  (* waiting request ids, FIFO (head = oldest) *)
+  let outcomes = ref [] in
+  let in_use = ref 0 in
+  let peak_qubits = ref 0 in
+  let peak_queue = ref 0 in
+  let retries = ref 0 in
+  let util_integral = ref 0. in
+  let last_time = ref 0. in
+  let makespan = ref 0. in
+  let resolve st resolution =
+    st.resolved <- true;
+    st.waiting <- false;
+    outcomes := { request = st.req; resolution } :: !outcomes
+  in
+  (* One routing attempt for [st] at time [t]; on success the lease is
+     registered and its expiry scheduled. *)
+  let try_serve t st =
+    let r = st.req in
+    st.attempts <- st.attempts + 1;
+    match
+      Qnet_telemetry.Span.with_span "online.route" (fun () ->
+          cfg.policy.Policy.route g params ~capacity ~users:r.Workload.users)
+    with
+    | None -> false
+    | Some tree ->
+        let lease = Lease.acquire tree in
+        let lid = !next_lease in
+        incr next_lease;
+        Hashtbl.replace leases lid lease;
+        Event_queue.push events (t +. r.Workload.duration) (Expiry lid);
+        in_use := !in_use + Lease.qubits lease;
+        peak_qubits := max !peak_qubits !in_use;
+        let rate = Ent_tree.rate_prob tree in
+        Tm.Counter.incr c_served;
+        Tm.Histogram.observe h_wait (t -. r.Workload.arrival);
+        Tm.Histogram.observe h_rate rate;
+        resolve st
+          (Served
+             {
+               start = t;
+               finish = t +. r.Workload.duration;
+               tree;
+               rate;
+               attempts = st.attempts;
+             });
+        true
+  in
+  let schedule_retry t st =
+    let rt = min (t +. st.backoff) st.req.Workload.deadline in
+    st.backoff <- min (2. *. st.backoff) cfg.retry_max;
+    Event_queue.push events rt (Retry st.req.Workload.id)
+  in
+  let expire t st =
+    Tm.Counter.incr c_expired;
+    queue := List.filter (fun id -> id <> st.req.Workload.id) !queue;
+    resolve st (Expired { at = t; attempts = st.attempts })
+  in
+  let on_arrival t (r : Workload.request) =
+    Tm.Counter.incr c_arrivals;
+    let st =
+      {
+        req = r;
+        attempts = 0;
+        backoff = cfg.retry_base;
+        waiting = false;
+        resolved = false;
+      }
+    in
+    Hashtbl.replace states r.Workload.id st;
+    if not (try_serve t st) then
+      match cfg.admission with
+      | Reject ->
+          Tm.Counter.incr c_rejected;
+          resolve st (Rejected { at = t; queue_full = false })
+      | Queue bound ->
+          if r.Workload.deadline <= t then expire t st
+          else if List.length !queue >= bound then begin
+            Tm.Counter.incr c_rejected;
+            resolve st (Rejected { at = t; queue_full = true })
+          end
+          else begin
+            st.waiting <- true;
+            queue := !queue @ [ r.Workload.id ];
+            peak_queue := max !peak_queue (List.length !queue);
+            schedule_retry t st
+          end
+  in
+  let on_retry t id =
+    let st = Hashtbl.find states id in
+    if st.waiting then begin
+      incr retries;
+      Tm.Counter.incr c_retries;
+      if try_serve t st then
+        queue := List.filter (fun i -> i <> id) !queue
+      else if t >= st.req.Workload.deadline then expire t st
+      else schedule_retry t st
+    end
+  in
+  let on_expiry t lid =
+    let lease = Hashtbl.find leases lid in
+    Hashtbl.remove leases lid;
+    in_use := !in_use - Lease.qubits lease;
+    Lease.release capacity lease;
+    (* Work conservation: freed qubits go to the longest-waiting
+       requests first, without waiting out their backoff timers. *)
+    queue :=
+      List.filter
+        (fun id ->
+          let st = Hashtbl.find states id in
+          if st.req.Workload.deadline < t then begin
+            (* Lapsed while waiting for its own retry event; settle it
+               now so the freed capacity is not offered to a request
+               that has already abandoned. *)
+            resolve st (Expired { at = st.req.Workload.deadline; attempts = st.attempts });
+            Tm.Counter.incr c_expired;
+            false
+          end
+          else begin
+            incr retries;
+            Tm.Counter.incr c_retries;
+            not (try_serve t st)
+          end)
+        !queue
+  in
+  List.iter
+    (fun (r : Workload.request) ->
+      Event_queue.push events r.Workload.arrival (Arrival r))
+    requests;
+  let rec drain () =
+    match Event_queue.pop events with
+    | None -> ()
+    | Some (t, ev) ->
+        util_integral := !util_integral +. ((t -. !last_time) *. float_of_int !in_use);
+        last_time := t;
+        makespan := max !makespan t;
+        (match ev with
+        | Arrival r -> on_arrival t r
+        | Retry id -> on_retry t id
+        | Expiry lid -> on_expiry t lid);
+        drain ()
+  in
+  drain ();
+  let outcomes =
+    List.sort
+      (fun a b -> compare a.request.Workload.id b.request.Workload.id)
+      !outcomes
+  in
+  let waits, rates =
+    List.fold_left
+      (fun (ws, rs) o ->
+        match o.resolution with
+        | Served { start; rate; _ } ->
+            ((start -. o.request.Workload.arrival) :: ws, rate :: rs)
+        | Rejected _ | Expired _ -> (ws, rs))
+      ([], []) outcomes
+  in
+  let count pred = List.length (List.filter pred outcomes) in
+  let served = List.length waits in
+  let rejected =
+    count (fun o -> match o.resolution with Rejected _ -> true | _ -> false)
+  in
+  let expired =
+    count (fun o -> match o.resolution with Expired _ -> true | _ -> false)
+  in
+  let arrived = List.length requests in
+  let mean = function
+    | [] -> 0.
+    | l -> Qnet_util.Stats.mean (Array.of_list l)
+  in
+  let p95 = function
+    | [] -> 0.
+    | l -> Qnet_util.Stats.percentile (Array.of_list l) 95.
+  in
+  let budget = total_switch_qubits g in
+  let mean_utilization =
+    if !makespan > 0. && budget > 0 then
+      !util_integral /. (!makespan *. float_of_int budget)
+    else 0.
+  in
+  Tm.Gauge.set_max g_peak_qubits (float_of_int !peak_qubits);
+  Tm.Gauge.set_max g_peak_queue (float_of_int !peak_queue);
+  Tm.Gauge.set g_utilization mean_utilization;
+  ( {
+      arrived;
+      served;
+      rejected;
+      expired;
+      acceptance_ratio =
+        (if arrived = 0 then 0.
+         else float_of_int served /. float_of_int arrived);
+      mean_wait = mean waits;
+      p95_wait = p95 waits;
+      mean_rate = mean rates;
+      throughput =
+        (if !makespan > 0. then float_of_int served /. !makespan else 0.);
+      makespan = !makespan;
+      peak_qubits_in_use = !peak_qubits;
+      peak_queue_depth = !peak_queue;
+      retries = !retries;
+      mean_utilization;
+    },
+    outcomes )
+
+let report_table r =
+  let t = Qnet_util.Table.create [ "metric"; "value" ] in
+  let int name v = (name, string_of_int v) in
+  let flt name v = (name, Qnet_util.Table.float_cell v) in
+  List.fold_left
+    (fun t (name, v) -> Qnet_util.Table.add_row t [ name; v ])
+    t
+    [
+      int "arrived" r.arrived;
+      int "served" r.served;
+      int "rejected" r.rejected;
+      int "expired" r.expired;
+      flt "acceptance_ratio" r.acceptance_ratio;
+      flt "mean_wait" r.mean_wait;
+      flt "p95_wait" r.p95_wait;
+      flt "mean_rate" r.mean_rate;
+      flt "throughput" r.throughput;
+      flt "makespan" r.makespan;
+      int "peak_qubits_in_use" r.peak_qubits_in_use;
+      int "peak_queue_depth" r.peak_queue_depth;
+      int "retries" r.retries;
+      flt "mean_utilization" r.mean_utilization;
+    ]

@@ -1,0 +1,97 @@
+(** The online traffic engine: serve a dynamic request workload over a
+    shared quantum network.
+
+    A deterministic discrete-event simulation.  Three event kinds drive
+    it, ordered by a binary-heap {!Event_queue} (FIFO among equal
+    timestamps):
+
+    - {e arrival} — a {!Workload.request} appears and is routed by the
+      configured {!Policy} against the live residual capacity;
+    - {e retry} — a queued request re-attempts routing after an
+      exponential-backoff delay (and expires at its deadline);
+    - {e lease expiry} — a served request's lease ends; its switch
+      qubits return to the pool ({!Qnet_sim.Scheduler.Lease.release},
+      which asserts the capacity invariant), and the waiting queue is
+      re-scanned in FIFO order (work conservation).
+
+    Admission control bounds the waiting queue: an unroutable arrival is
+    rejected outright ({!Reject}) or queued up to a maximum queue length
+    ({!Queue}).  Every request ends in exactly one of three states —
+    served, rejected (admission), or expired (deadline) — and the
+    engine's SLA accounting (waiting times, service rates, utilization)
+    is mirrored into the [online.engine.*] telemetry metrics. *)
+
+type admission =
+  | Reject  (** Drop unroutable arrivals immediately. *)
+  | Queue of int
+      (** Queue unroutable arrivals, rejecting new ones while the
+          queue already holds this many requests ([>= 1]). *)
+
+type config = {
+  policy : Policy.t;
+  admission : admission;
+  retry_base : float;  (** First backoff delay after a failed attempt. *)
+  retry_max : float;  (** Backoff growth cap (doubling saturates here). *)
+}
+
+val config :
+  ?admission:admission ->
+  ?retry_base:float ->
+  ?retry_max:float ->
+  Policy.t ->
+  config
+(** Defaults: [Queue 32], [retry_base = 0.5], [retry_max = 8.].
+    @raise Invalid_argument on a non-positive backoff, [retry_max <
+    retry_base] or [Queue n] with [n < 1]. *)
+
+type resolution =
+  | Served of {
+      start : float;  (** Admission time ([>= arrival]). *)
+      finish : float;  (** Lease expiry ([start + duration]). *)
+      tree : Qnet_core.Ent_tree.t;  (** The entanglement tree served. *)
+      rate : float;  (** Eq. (2) rate of the served tree. *)
+      attempts : int;  (** Routing attempts including the final one. *)
+    }
+  | Rejected of { at : float; queue_full : bool }
+      (** Turned away at arrival: unroutable under {!Reject}, or the
+          bounded queue was full. *)
+  | Expired of { at : float; attempts : int }
+      (** Queued but not served before its deadline. *)
+
+type outcome = { request : Workload.request; resolution : resolution }
+
+type report = {
+  arrived : int;
+  served : int;
+  rejected : int;
+  expired : int;
+  acceptance_ratio : float;  (** served / arrived; [0.] when empty. *)
+  mean_wait : float;  (** Mean admission wait over served requests. *)
+  p95_wait : float;
+  mean_rate : float;  (** Mean Eq. (2) rate over served requests. *)
+  throughput : float;  (** Served requests per time unit of makespan. *)
+  makespan : float;  (** Last event time (final lease expiry). *)
+  peak_qubits_in_use : int;
+  peak_queue_depth : int;
+  retries : int;  (** Total re-routing attempts beyond first tries. *)
+  mean_utilization : float;
+      (** Time-averaged leased fraction of all switch qubits over the
+          makespan, in [\[0, 1\]]. *)
+}
+
+val run :
+  ?config:config ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  requests:Workload.request list ->
+  report * outcome list
+(** Serve the workload to completion (default config: {!Policy.prim}
+    with the {!config} defaults).  Outcomes are returned in request-id
+    order.  Deterministic: identical inputs give identical reports and
+    outcomes.  @raise Invalid_argument on malformed requests (non-user
+    members, fewer than 2 users, duplicate ids, negative times, deadline
+    before arrival). *)
+
+val report_table : report -> Qnet_util.Table.t
+(** Two-column (metric, value) rendering of the SLA summary — the
+    reproducible artifact [muerp traffic] prints. *)

@@ -1,0 +1,167 @@
+module Graph = Qnet_graph.Graph
+module Tm = Qnet_telemetry.Metrics
+open Qnet_core
+
+let c_cache_hits = Tm.counter "online.policy.cache.hits"
+let c_cache_misses = Tm.counter "online.policy.cache.misses"
+let c_cache_invalidations = Tm.counter "online.policy.cache.invalidations"
+
+type t = {
+  name : string;
+  route :
+    Graph.t ->
+    Params.t ->
+    capacity:Capacity.t ->
+    users:int list ->
+    Ent_tree.t option;
+}
+
+let try_consume capacity (tree : Ent_tree.t) =
+  let usage = Ent_tree.qubit_usage tree in
+  if
+    List.for_all (fun (v, q) -> Capacity.remaining capacity v >= q) usage
+  then begin
+    List.iter
+      (fun (c : Channel.t) -> Capacity.consume_channel capacity c.path)
+      tree.Ent_tree.channels;
+    true
+  end
+  else false
+
+let prim =
+  {
+    name = "prim";
+    route =
+      (fun g params ~capacity ~users ->
+        Multi_group.prim_for_users g params ~capacity ~users);
+  }
+
+(* A residual view of the network for whole-network solvers: the
+   request's users are the only user vertices, every other vertex is a
+   switch whose budget is its current residual (idle users become
+   0-qubit switches — they could not relay as users either, since
+   channel interiors must be switches).  Vertices are re-added in id
+   order, so view ids coincide with real ids and paths translate back
+   verbatim. *)
+let residual_view g ~capacity ~users =
+  let member = Array.make (Graph.vertex_count g) false in
+  List.iter (fun u -> member.(u) <- true) users;
+  let b = Graph.Builder.create () in
+  Graph.iter_vertices g (fun v ->
+      let kind, qubits =
+        if member.(v.Graph.id) then (Graph.User, 0)
+        else if Graph.is_switch g v.Graph.id then
+          (Graph.Switch, Capacity.remaining capacity v.Graph.id)
+        else (Graph.Switch, 0)
+      in
+      ignore
+        (Graph.Builder.add_vertex b ~kind ~qubits ~x:v.Graph.x ~y:v.Graph.y));
+  Graph.iter_edges g (fun e ->
+      ignore (Graph.Builder.add_edge b e.Graph.a e.Graph.b e.Graph.length));
+  Graph.Builder.freeze b
+
+(* Rebuild a view tree's channels on the real graph (re-validating
+   every path), then admit it against the true capacity state. *)
+let admit_view_tree g params ~capacity (tree : Ent_tree.t) =
+  let channels =
+    List.fold_left
+      (fun acc (c : Channel.t) ->
+        match acc with
+        | None -> None
+        | Some cs -> (
+            match Channel.make g params c.Channel.path with
+            | Ok c -> Some (c :: cs)
+            | Error _ -> None))
+      (Some []) tree.Ent_tree.channels
+  in
+  match channels with
+  | None -> None
+  | Some cs ->
+      let tree = Ent_tree.of_channels (List.rev cs) in
+      if try_consume capacity tree then Some tree else None
+
+let of_algorithm alg =
+  let name =
+    match alg with
+    | Muerp.Optimal -> "alg2"
+    | Muerp.Conflict_free -> "alg3"
+    | Muerp.Prim_based -> "alg4"
+    | Muerp.Exhaustive -> "exhaustive"
+  in
+  {
+    name;
+    route =
+      (fun g params ~capacity ~users ->
+        let view = residual_view g ~capacity ~users in
+        let outcome = Muerp.solve alg (Muerp.instance ~params view) in
+        match outcome.Muerp.tree with
+        | None -> None
+        | Some tree -> admit_view_tree g params ~capacity tree);
+  }
+
+let eqcast =
+  {
+    name = "eqcast";
+    route =
+      (fun g params ~capacity ~users ->
+        let view = residual_view g ~capacity ~users in
+        match Qnet_baselines.Eqcast.solve view params with
+        | None -> None
+        | Some tree -> admit_view_tree g params ~capacity tree);
+  }
+
+let cached inner =
+  let table : (int list, Ent_tree.t) Hashtbl.t = Hashtbl.create 64 in
+  {
+    name = "cached-" ^ inner.name;
+    route =
+      (fun g params ~capacity ~users ->
+        let key = List.sort compare users in
+        match Hashtbl.find_opt table key with
+        | Some tree when try_consume capacity tree ->
+            Tm.Counter.incr c_cache_hits;
+            Some tree
+        | found -> (
+            if found <> None then begin
+              (* The memoised tree no longer fits the residual state:
+                 drop it and route afresh. *)
+              Tm.Counter.incr c_cache_invalidations;
+              Hashtbl.remove table key
+            end;
+            Tm.Counter.incr c_cache_misses;
+            match inner.route g params ~capacity ~users with
+            | None -> None
+            | Some tree ->
+                Hashtbl.replace table key tree;
+                Some tree));
+  }
+
+let base =
+  [
+    prim;
+    of_algorithm Muerp.Conflict_free;
+    of_algorithm Muerp.Optimal;
+    eqcast;
+  ]
+
+(* Fresh instances on every call: a cached policy owns a memo table, and
+   sharing one across engine runs would let an earlier run's trees leak
+   into a later one. *)
+let all () =
+  List.map (fun p -> (p.name, p)) base
+  @ List.map
+      (fun p ->
+        let c = cached p in
+        (c.name, c))
+      base
+
+let of_name name =
+  match List.find_opt (fun p -> p.name = name) base with
+  | Some p -> Some p
+  | None ->
+      let prefix = "cached-" in
+      let n = String.length prefix in
+      if String.length name > n && String.sub name 0 n = prefix then
+        List.find_opt (fun p -> p.name = String.sub name n (String.length name - n)) base
+        |> Option.map cached
+      else None

@@ -1,0 +1,71 @@
+(** Pluggable per-request routing policies for the traffic engine.
+
+    A policy answers one question: given the live residual capacity,
+    find an entanglement tree for this user group — and, on success,
+    consume the tree's switch qubits from that capacity (the engine
+    releases them when the lease expires, via
+    {!Qnet_sim.Scheduler.Lease}).  The contract makes oversubscription
+    impossible by construction: a policy may only return a tree whose
+    qubits it successfully consumed.
+
+    Three families are provided:
+
+    - {!prim}: the native per-request kernel,
+      {!Qnet_core.Multi_group.prim_for_users} (Algorithm 4 generalised
+      to a user subset under external capacity);
+    - adapters ({!of_algorithm}, {!eqcast}) that run any whole-network
+      solver on a {e residual view} of the network — a copy where the
+      request's users are the only user vertices and every switch's
+      budget is its current residual — then re-validate and consume the
+      resulting tree against the true capacity state;
+    - {!cached}, a memoising wrapper: trees are remembered per user
+      group and replayed without re-running the solver while they still
+      fit the residual capacity, invalidating lazily when they no
+      longer do. *)
+
+type t = {
+  name : string;
+  route :
+    Qnet_graph.Graph.t ->
+    Qnet_core.Params.t ->
+    capacity:Qnet_core.Capacity.t ->
+    users:int list ->
+    Qnet_core.Ent_tree.t option;
+      (** [None] = no feasible tree right now (capacity state
+          untouched).  [Some tree] ⇒ the tree's qubits have been
+          consumed from [capacity]. *)
+}
+
+val try_consume : Qnet_core.Capacity.t -> Qnet_core.Ent_tree.t -> bool
+(** Atomically consume the tree's aggregate switch-qubit demand if every
+    switch can afford it; [false] leaves the capacity state unchanged.
+    The admission primitive the adapters and cache replay use. *)
+
+val prim : t
+(** ["prim"] — Algorithm 4 on the live residual state; consumes
+    directly. *)
+
+val of_algorithm : Qnet_core.Muerp.algorithm -> t
+(** Run one of the paper's solvers on the residual view.  Algorithm 2 is
+    capacity-oblivious, so its trees can fail the final admission check
+    (then the request is simply not served this attempt) — the engine
+    still never oversubscribes. *)
+
+val eqcast : t
+(** ["eqcast"] — the E-Q-CAST chaining baseline on the residual view. *)
+
+val cached : t -> t
+(** [cached p] memoises [p]'s trees per (sorted) user group.  A cache
+    hit replays the stored tree if {!try_consume} accepts it under the
+    current residual capacity; otherwise the entry is invalidated and
+    [p] re-routes.  Counters:
+    [online.policy.cache.{hits,misses,invalidations}]. *)
+
+val all : unit -> (string * t) list
+(** Fresh instances of every selectable policy, cached variants included
+    (["cached-prim"], …), keyed by {!of_name}-compatible names.  A new
+    list per call so no memo table is shared between runs. *)
+
+val of_name : string -> t option
+(** ["prim"], ["alg2"], ["alg3"], ["eqcast"], or any of them prefixed
+    with ["cached-"] (a fresh cache per call). *)

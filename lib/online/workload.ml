@@ -1,0 +1,108 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+
+type arrivals = Poisson of float | Batched of { period : float; size : int }
+type group_size = Fixed of int | Uniform of int * int
+
+type spec = {
+  requests : int;
+  arrivals : arrivals;
+  group_size : group_size;
+  duration : float * float;
+  patience : float * float;
+}
+
+let check_range name (lo, hi) =
+  if lo < 0. || hi < lo || not (Float.is_finite hi) then
+    invalid_arg (Printf.sprintf "Workload.spec: bad %s range" name)
+
+let spec ?(requests = 100) ?(arrivals = Poisson 0.5)
+    ?(group_size = Uniform (2, 4)) ?(duration = (3., 8.))
+    ?(patience = (0., 10.)) () =
+  if requests < 0 then invalid_arg "Workload.spec: negative request count";
+  (match arrivals with
+  | Poisson rate ->
+      if rate <= 0. || not (Float.is_finite rate) then
+        invalid_arg "Workload.spec: Poisson rate must be positive"
+  | Batched { period; size } ->
+      if period <= 0. || not (Float.is_finite period) then
+        invalid_arg "Workload.spec: batch period must be positive";
+      if size < 1 then invalid_arg "Workload.spec: batch size < 1");
+  (match group_size with
+  | Fixed k -> if k < 2 then invalid_arg "Workload.spec: group size < 2"
+  | Uniform (lo, hi) ->
+      if lo < 2 then invalid_arg "Workload.spec: group size < 2";
+      if hi < lo then invalid_arg "Workload.spec: inverted group range");
+  check_range "duration" duration;
+  (if fst duration <= 0. then
+     invalid_arg "Workload.spec: duration must be positive");
+  check_range "patience" patience;
+  { requests; arrivals; group_size; duration; patience }
+
+let default = spec ()
+
+type request = {
+  id : int;
+  users : int list;
+  arrival : float;
+  duration : float;
+  deadline : float;
+}
+
+let uniform_float rng (lo, hi) =
+  if hi <= lo then lo else lo +. Prng.float rng (hi -. lo)
+
+let max_group = function Fixed k -> k | Uniform (_, hi) -> hi
+
+let sample_group rng spec =
+  match spec.group_size with
+  | Fixed k -> k
+  | Uniform (lo, hi) -> Prng.int_in_range rng ~min:lo ~max:hi
+
+let generate rng g spec =
+  let users = Array.of_list (Graph.users g) in
+  let population = Array.length users in
+  if max_group spec.group_size > population then
+    invalid_arg "Workload.generate: group size exceeds user population";
+  let arrival = ref 0. in
+  let requests =
+    List.init spec.requests (fun id ->
+        (match spec.arrivals with
+        | Poisson rate ->
+            if id > 0 then arrival := !arrival +. Prng.exponential rng rate
+        | Batched { period; size } ->
+            arrival := float_of_int (id / size) *. period);
+        let size = sample_group rng spec in
+        let members =
+          Prng.sample_without_replacement rng size population
+          |> List.map (fun i -> users.(i))
+          |> List.sort compare
+        in
+        let duration = uniform_float rng spec.duration in
+        let patience = uniform_float rng spec.patience in
+        {
+          id;
+          users = members;
+          arrival = !arrival;
+          duration;
+          deadline = !arrival +. patience;
+        })
+  in
+  List.sort (fun a b -> compare (a.arrival, a.id) (b.arrival, b.id)) requests
+
+let pp_spec fmt spec =
+  let arrivals =
+    match spec.arrivals with
+    | Poisson rate -> Printf.sprintf "poisson %g/t" rate
+    | Batched { period; size } ->
+        Printf.sprintf "batches of %d every %gt" size period
+  in
+  let groups =
+    match spec.group_size with
+    | Fixed k -> string_of_int k
+    | Uniform (lo, hi) -> Printf.sprintf "%d-%d" lo hi
+  in
+  Format.fprintf fmt
+    "%d requests, %s, groups %s, lease %g-%gt, patience %g-%gt" spec.requests
+    arrivals groups (fst spec.duration) (snd spec.duration)
+    (fst spec.patience) (snd spec.patience)

@@ -1,0 +1,70 @@
+(** Multi-user entanglement-request workload generation.
+
+    Where {!Qnet_sim.Scheduler.random_requests} produces a slotted batch
+    for the offline admission controller, this module generates the
+    continuous-time workloads the online traffic engine serves: requests
+    arrive via a Poisson process (or in periodic batches, the regime of
+    Shi & Qian's time-slotted protocol model), name a user group drawn
+    from a configurable size distribution, hold their lease for a random
+    service duration, and abandon the system if not served before a
+    per-request deadline.
+
+    All randomness flows through {!Qnet_util.Prng} — a workload is a
+    pure function of [(seed, graph, spec)]. *)
+
+type arrivals =
+  | Poisson of float
+      (** Memoryless arrivals at the given mean rate (requests per time
+          unit); inter-arrival gaps are exponential. *)
+  | Batched of { period : float; size : int }
+      (** [size] simultaneous requests every [period] time units —
+          synchronised demand spikes, the adversarial case for
+          admission control. *)
+
+type group_size =
+  | Fixed of int  (** Every request names exactly this many users. *)
+  | Uniform of int * int  (** Uniform over [\[min, max\]] inclusive. *)
+
+type spec = {
+  requests : int;  (** Number of requests to generate. *)
+  arrivals : arrivals;
+  group_size : group_size;
+  duration : float * float;
+      (** Uniform lease length [(lo, hi)] once admitted. *)
+  patience : float * float;
+      (** Uniform deadline slack [(lo, hi)]: a request not served within
+          [arrival + patience] abandons (expires). *)
+}
+
+val spec :
+  ?requests:int ->
+  ?arrivals:arrivals ->
+  ?group_size:group_size ->
+  ?duration:float * float ->
+  ?patience:float * float ->
+  unit ->
+  spec
+(** Defaults: 100 requests, [Poisson 0.5], [Uniform (2, 4)] users,
+    durations [(3., 8.)], patience [(0., 10.)].
+    @raise Invalid_argument on non-positive rates/periods/sizes, a group
+    size below 2, inverted ranges, or negative durations/patience. *)
+
+val default : spec
+
+type request = {
+  id : int;  (** Dense index in generation order. *)
+  users : int list;  (** Distinct user vertices, [>= 2] of them. *)
+  arrival : float;
+  duration : float;  (** Lease length once admitted ([> 0]). *)
+  deadline : float;  (** Absolute abandon time ([>= arrival]). *)
+}
+
+val generate : Qnet_util.Prng.t -> Qnet_graph.Graph.t -> spec -> request list
+(** Sample a workload on the graph's user population, sorted by
+    (arrival, id).  Deterministic for a given generator state.
+    @raise Invalid_argument when the group-size distribution can exceed
+    the graph's user count. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+(** One-line human summary ("100 requests, poisson 0.5/t, groups 2-4,
+    ..."). *)

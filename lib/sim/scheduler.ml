@@ -11,6 +11,42 @@ let g_peak_qubits = Tm.gauge "sim.scheduler.peak_qubits_in_use"
 type request = { id : int; users : int list; arrival : int; duration : int }
 type policy = Drop | Queue of int
 
+module Lease = struct
+  type t = {
+    paths : int list list;
+    usage : (int * int) list;
+    mutable released : bool;
+  }
+
+  let acquire (tree : Ent_tree.t) =
+    {
+      paths =
+        List.map (fun (c : Channel.t) -> c.path) tree.Ent_tree.channels;
+      usage = Ent_tree.qubit_usage tree;
+      released = false;
+    }
+
+  let channels t = t.paths
+  let qubits t = List.fold_left (fun acc (_, q) -> acc + q) 0 t.usage
+
+  let release capacity t =
+    if t.released then invalid_arg "Scheduler.Lease.release: already released";
+    (* Invariant: a refund may never push a switch above its budget,
+       i.e. every switch the lease pinned must still show at least the
+       lease's consumption.  A violation means the lease's qubits were
+       double-released or released by someone else — a controller bug,
+       caught here rather than as silent over-capacity later. *)
+    List.iter
+      (fun (v, q) ->
+        if Capacity.used capacity v < q then
+          invalid_arg
+            "Scheduler.Lease.release: capacity invariant violated (refund \
+             exceeds recorded consumption)")
+      t.usage;
+    List.iter (Capacity.release_channel capacity) t.paths;
+    t.released <- true
+end
+
 type disposition =
   | Accepted of { slot : int; tree : Ent_tree.t; rate : float }
   | Rejected of { slot : int }
@@ -67,7 +103,7 @@ let run ?(policy = Drop) g params ~requests =
   let waiting = ref [] in
   (* (request, deadline_slot) *)
   let leases = ref [] in
-  (* (expiry_slot, channel paths) *)
+  (* (expiry_slot, lease) *)
   let outcomes = ref [] in
   let peak = ref 0 in
   let decide slot r =
@@ -78,10 +114,7 @@ let run ?(policy = Drop) g params ~requests =
     | Some tree ->
         Tm.Counter.incr c_accepted;
         (* prim_for_users already consumed the qubits. *)
-        leases :=
-          ( slot + r.duration,
-            List.map (fun (c : Channel.t) -> c.path) tree.Ent_tree.channels )
-          :: !leases;
+        leases := (slot + r.duration, Lease.acquire tree) :: !leases;
         peak := max !peak (total_used g capacity);
         Qnet_util.Log.debug "scheduler: accepted request %d at slot %d" r.id
           slot;
@@ -101,9 +134,7 @@ let run ?(policy = Drop) g params ~requests =
     (* 1. Expire leases that end at this slot. *)
     let expired, alive = List.partition (fun (e, _) -> e <= t) !leases in
     Tm.Counter.add c_expired (List.length expired);
-    List.iter
-      (fun (_, paths) -> List.iter (Capacity.release_channel capacity) paths)
-      expired;
+    List.iter (fun (_, lease) -> Lease.release capacity lease) expired;
     leases := alive;
     (* 2. Retry the waiting queue in FIFO order. *)
     let still_waiting = ref [] in

@@ -27,6 +27,36 @@ type policy =
       (** Retry an unroutable request every slot for at most the given
           number of additional slots, then reject. *)
 
+(** A lease over the switch qubits an admitted entanglement tree pins.
+
+    The router ({!Qnet_core.Multi_group.prim_for_users} or any
+    {!Qnet_online.Policy}-style router) consumes the qubits when it
+    admits the tree; {!Lease.acquire} snapshots what was consumed so the
+    reservation can later be torn down exactly once.  Shared with the
+    continuous-time traffic engine ([Qnet_online.Engine]). *)
+module Lease : sig
+  type t
+
+  val acquire : Qnet_core.Ent_tree.t -> t
+  (** Record the tree's channel paths and per-switch qubit consumption.
+      The capacity state must already reflect the consumption (the
+      routing call performed it). *)
+
+  val channels : t -> int list list
+  (** The leased channels' vertex paths. *)
+
+  val qubits : t -> int
+  (** Total switch qubits the lease pins. *)
+
+  val release : Qnet_core.Capacity.t -> t -> unit
+  (** Refund every channel of the lease into the residual state.
+      Asserts the capacity invariant: each touched switch must still
+      show at least the lease's recorded consumption, so a refund can
+      never lift a switch above its qubit budget.  @raise
+      Invalid_argument on double release or on an invariant
+      violation. *)
+end
+
 type disposition =
   | Accepted of { slot : int; tree : Qnet_core.Ent_tree.t; rate : float }
   | Rejected of { slot : int }

@@ -12,11 +12,27 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== traffic smoke =="
+# A small fixed-seed workload must serve something, and two identical
+# invocations must print byte-identical SLA summaries.
+run_a=$(mktemp -t muerp_traffic_a.XXXXXX)
+run_b=$(mktemp -t muerp_traffic_b.XXXXXX)
+trap 'rm -f "$run_a" "$run_b"' EXIT
+dune exec bin/muerp_cli.exe -- traffic --seed 42 -n 40 --switches 40 >"$run_a"
+dune exec bin/muerp_cli.exe -- traffic --seed 42 -n 40 --switches 40 >"$run_b"
+cmp "$run_a" "$run_b" || { echo "traffic run not reproducible" >&2; exit 1; }
+served=$(awk '$2 == "served" { print $4 }' "$run_a")
+[ -n "$served" ] && [ "$served" -gt 0 ] ||
+  { echo "traffic smoke served nothing (served=$served)" >&2; exit 1; }
+echo "traffic reproducible, served=$served"
+
 echo "== bench snapshot smoke =="
 snapshot=$(mktemp -t muerp_snapshot.XXXXXX.json)
-trap 'rm -f "$snapshot"' EXIT
+trap 'rm -f "$run_a" "$run_b" "$snapshot"' EXIT
 MUERP_REPLICATIONS=2 dune exec bench/main.exe -- snapshot "$snapshot"
 test -s "$snapshot" || { echo "snapshot produced no output" >&2; exit 1; }
+grep -q '"traffic"' "$snapshot" ||
+  { echo "snapshot is missing the traffic section" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "$snapshot" >/dev/null
   echo "snapshot JSON parses"

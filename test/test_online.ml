@@ -1,0 +1,439 @@
+(* Unit and property tests for qnet_online — the dynamic traffic engine:
+   event-queue ordering, workload determinism, admission / queue /
+   expiry semantics, policy adapters and cache, and the central safety
+   property that concurrent leases never oversubscribe a switch. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Event_queue = Qnet_online.Event_queue
+module Workload = Qnet_online.Workload
+module Policy = Qnet_online.Policy
+module Engine = Qnet_online.Engine
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let network ?(users = 8) ?(switches = 25) ?(qubits = 4) seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:users ~n_switches:switches
+      ~qubits_per_switch:qubits ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+(* Four users joined through one 2-qubit hub: exactly one pair-channel
+   fits at a time.  The canonical contention instance. *)
+let hub_network () =
+  let b = Graph.Builder.create () in
+  let user x y = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x ~y in
+  let a0 = user 0. 0. in
+  let a1 = user 2000. 0. in
+  let b0 = user 0. 1000. in
+  let b1 = user 2000. 1000. in
+  let hub =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:500.
+  in
+  List.iter
+    (fun u -> ignore (Graph.Builder.add_edge b u hub 1200.))
+    [ a0; a1; b0; b1 ];
+  (Graph.Builder.freeze b, (a0, a1), (b0, b1))
+
+let request ?(duration = 4.) ?(patience = 0.) id users arrival =
+  {
+    Workload.id;
+    users;
+    arrival;
+    duration;
+    deadline = arrival +. patience;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q 3. "c";
+  Event_queue.push q 1. "a";
+  Event_queue.push q 2. "b";
+  Alcotest.(check (option (pair (float 0.) string)))
+    "peek is earliest" (Some (1., "a"))
+    (Option.map (fun t -> (t, "a")) (Event_queue.peek_time q));
+  let drain () =
+    let rec go acc =
+      match Event_queue.pop q with
+      | None -> List.rev acc
+      | Some (_, v) -> go (v :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (drain ());
+  (* FIFO among equal timestamps — the determinism guarantee. *)
+  List.iteri (fun i v -> Event_queue.push q (float_of_int (i mod 2)) v)
+    [ "e0"; "o0"; "e1"; "o1"; "e2"; "o2" ];
+  Alcotest.(check (list string))
+    "fifo within a timestamp"
+    [ "e0"; "e1"; "e2"; "o0"; "o1"; "o2" ]
+    (drain ());
+  check_bool "empty" true (Event_queue.is_empty q);
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Event_queue.push: NaN timestamp") (fun () ->
+      Event_queue.push q Float.nan "x")
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let test_workload_deterministic () =
+  let g = network 1 in
+  let spec = Workload.spec ~requests:40 () in
+  let gen seed = Workload.generate (Prng.create seed) g spec in
+  check_bool "same seed, same workload" true (gen 5 = gen 5);
+  check_bool "different seed, different workload" true (gen 5 <> gen 6)
+
+let test_workload_shapes () =
+  let g = network 2 in
+  let spec =
+    Workload.spec ~requests:60
+      ~arrivals:(Workload.Batched { period = 4.; size = 5 })
+      ~group_size:(Workload.Fixed 3) ~duration:(2., 2.) ~patience:(1., 3.) ()
+  in
+  let reqs = Workload.generate (Prng.create 3) g spec in
+  check_int "count" 60 (List.length reqs);
+  List.iter
+    (fun (r : Workload.request) ->
+      check_int "fixed group" 3 (List.length r.Workload.users);
+      check_bool "batched arrival on grid" true
+        (Float.rem r.Workload.arrival 4. = 0.);
+      check_bool "duration pinned" true (r.Workload.duration = 2.);
+      check_bool "deadline after arrival" true
+        (r.Workload.deadline >= r.Workload.arrival +. 1.))
+    reqs;
+  (* 5 per batch instant *)
+  let at_zero =
+    List.length
+      (List.filter (fun (r : Workload.request) -> r.Workload.arrival = 0.) reqs)
+  in
+  check_int "batch size" 5 at_zero
+
+let test_workload_validation () =
+  let g = network 3 in
+  let raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  ignore g;
+  raises "Workload.spec: Poisson rate must be positive" (fun () ->
+      ignore (Workload.spec ~arrivals:(Workload.Poisson 0.) ()));
+  raises "Workload.spec: group size < 2" (fun () ->
+      ignore (Workload.spec ~group_size:(Workload.Fixed 1) ()));
+  raises "Workload.spec: duration must be positive" (fun () ->
+      ignore (Workload.spec ~duration:(0., 1.) ()));
+  raises "Workload.spec: bad patience range" (fun () ->
+      ignore (Workload.spec ~patience:(3., 1.) ()));
+  Alcotest.check_raises "population bound"
+    (Invalid_argument "Workload.generate: group size exceeds user population")
+    (fun () ->
+      ignore
+        (Workload.generate (Prng.create 1) g
+           (Workload.spec ~group_size:(Workload.Uniform (2, 100)) ())))
+
+(* ------------------------------------------------------------------ *)
+(* Engine semantics                                                    *)
+
+let test_single_request_served () =
+  let g = network 4 in
+  let u = Graph.users g in
+  let reqs = [ request 0 [ List.nth u 0; List.nth u 1 ] 0. ] in
+  let report, outcomes = Engine.run g params ~requests:reqs in
+  check_int "served" 1 report.Engine.served;
+  match outcomes with
+  | [ { Engine.resolution = Engine.Served { start; tree; rate; _ }; _ } ] ->
+      check_bool "served on arrival" true (start = 0.);
+      check_bool "positive rate" true (rate > 0.);
+      check_bool "tree valid" true
+        (Verify.is_valid g params
+           ~users:[ List.nth u 0; List.nth u 1 ]
+           tree)
+  | _ -> Alcotest.fail "expected one served outcome"
+
+let test_contention_and_queueing () =
+  let g, (a0, a1), (b0, b1) = hub_network () in
+  let reqs patience =
+    [
+      request ~duration:4. ~patience 0 [ a0; a1 ] 0.;
+      request ~duration:4. ~patience 1 [ b0; b1 ] 0.;
+    ]
+  in
+  (* Reject admission: the loser is turned away at arrival. *)
+  let config = Engine.config ~admission:Engine.Reject Policy.prim in
+  let report, outcomes = Engine.run ~config g params ~requests:(reqs 0.) in
+  check_int "reject: one served" 1 report.Engine.served;
+  check_int "reject: one rejected" 1 report.Engine.rejected;
+  (match (List.nth outcomes 1).Engine.resolution with
+  | Engine.Rejected { queue_full; _ } ->
+      check_bool "rejected for routing, not queue bound" false queue_full
+  | _ -> Alcotest.fail "expected request 1 rejected");
+  (* Queueing with enough patience: the loser waits out the lease. *)
+  let config = Engine.config ~retry_base:0.5 Policy.prim in
+  let report, outcomes = Engine.run ~config g params ~requests:(reqs 10.) in
+  check_int "queue: both served" 2 report.Engine.served;
+  check_bool "waiting happened" true (report.Engine.mean_wait > 0.);
+  (match (List.nth outcomes 1).Engine.resolution with
+  | Engine.Served { start; attempts; _ } ->
+      check_bool "served only after the lease expired" true (start >= 4.);
+      check_bool "took retries" true (attempts > 1)
+  | _ -> Alcotest.fail "expected request 1 served");
+  check_bool "retries counted" true (report.Engine.retries > 0);
+  (* Patience shorter than the lease: the loser expires. *)
+  let report, outcomes = Engine.run ~config g params ~requests:(reqs 2.) in
+  check_int "short patience: one served" 1 report.Engine.served;
+  check_int "short patience: one expired" 1 report.Engine.expired;
+  match (List.nth outcomes 1).Engine.resolution with
+  | Engine.Expired { at; _ } ->
+      check_bool "expired at its deadline" true (at = 2.)
+  | _ -> Alcotest.fail "expected request 1 expired"
+
+let test_queue_bound () =
+  let g, (a0, a1), (b0, b1) = hub_network () in
+  (* Three contenders behind one lease; a queue bound of 1 admits only
+     the first into the queue, the next is turned away queue-full. *)
+  let reqs =
+    [
+      request ~duration:10. ~patience:20. 0 [ a0; a1 ] 0.;
+      request ~duration:2. ~patience:20. 1 [ b0; b1 ] 0.;
+      request ~duration:2. ~patience:20. 2 [ a0; b1 ] 0.5;
+    ]
+  in
+  let config = Engine.config ~admission:(Engine.Queue 1) Policy.prim in
+  let report, outcomes = Engine.run ~config g params ~requests:reqs in
+  check_int "one queue-full rejection" 1 report.Engine.rejected;
+  (match (List.nth outcomes 2).Engine.resolution with
+  | Engine.Rejected { queue_full; _ } ->
+      check_bool "rejected because the queue was full" true queue_full
+  | _ -> Alcotest.fail "expected request 2 rejected");
+  check_int "queue depth peaked at the bound" 1 report.Engine.peak_queue_depth
+
+let test_conservation_and_determinism () =
+  let g = network ~qubits:2 5 in
+  let spec =
+    Workload.spec ~requests:50 ~arrivals:(Workload.Poisson 2.)
+      ~patience:(0., 6.) ()
+  in
+  let run () =
+    let reqs = Workload.generate (Prng.create 11) g spec in
+    (* Fresh policy per run: a cached policy's memo table must not leak
+       between runs. *)
+    let config = Engine.config (Policy.cached Policy.prim) in
+    Engine.run ~config g params ~requests:reqs
+  in
+  let report, outcomes = run () in
+  check_int "every request resolved" 50 (List.length outcomes);
+  check_int "conservation" 50
+    (report.Engine.served + report.Engine.rejected + report.Engine.expired);
+  let report', outcomes' = run () in
+  check_bool "identical reports across runs" true (report = report');
+  check_bool "identical outcome count" true
+    (List.length outcomes = List.length outcomes');
+  let budget =
+    List.fold_left (fun acc s -> acc + Graph.qubits g s) 0 (Graph.switches g)
+  in
+  check_bool "peak within total budget" true
+    (report.Engine.peak_qubits_in_use <= budget);
+  check_bool "utilization in [0,1]" true
+    (report.Engine.mean_utilization >= 0.
+    && report.Engine.mean_utilization <= 1.)
+
+let test_engine_validation () =
+  let g = network 6 in
+  let u = Graph.users g in
+  let u0 = List.nth u 0 and u1 = List.nth u 1 in
+  let bad label reqs msg =
+    Alcotest.check_raises label (Invalid_argument msg) (fun () ->
+        ignore (Engine.run g params ~requests:reqs))
+  in
+  bad "duplicate id"
+    [ request 1 [ u0; u1 ] 0.; request 1 [ u0; u1 ] 1. ]
+    "Engine.run: duplicate request id";
+  bad "negative arrival" [ request 1 [ u0; u1 ] (-1.) ]
+    "Engine.run: bad arrival time";
+  bad "short group" [ request 1 [ u0 ] 0. ]
+    "Engine.run: request needs >= 2 users";
+  bad "duplicate users" [ request 1 [ u0; u0 ] 0. ]
+    "Engine.run: duplicate users in request";
+  bad "zero duration"
+    [ request ~duration:0. 1 [ u0; u1 ] 0. ]
+    "Engine.run: duration must be positive";
+  bad "deadline before arrival"
+    [ { Workload.id = 1; users = [ u0; u1 ]; arrival = 2.; duration = 1.;
+        deadline = 1. } ]
+    "Engine.run: deadline before arrival";
+  let s = List.hd (Graph.switches g) in
+  bad "non-user member" [ request 1 [ u0; s ] 0. ]
+    "Engine.run: request member is not a user";
+  Alcotest.check_raises "bad config"
+    (Invalid_argument "Engine.config: retry_max < retry_base") (fun () ->
+      ignore (Engine.config ~retry_base:2. ~retry_max:1. Policy.prim))
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+
+let test_policy_names () =
+  check_bool "prim" true (Policy.of_name "prim" <> None);
+  check_bool "alg3" true (Policy.of_name "alg3" <> None);
+  check_bool "cached-eqcast" true (Policy.of_name "cached-eqcast" <> None);
+  check_bool "unknown" true (Policy.of_name "dijkstra" = None);
+  check_bool "bare cached-" true (Policy.of_name "cached-" = None);
+  check_int "8 selectable policies" 8 (List.length (Policy.all ()))
+
+let test_try_consume () =
+  let g, (a0, a1), _ = hub_network () in
+  let capacity = Capacity.of_graph g in
+  let tree =
+    match Multi_group.prim_for_users g params ~capacity ~users:[ a0; a1 ] with
+    | Some t -> t
+    | None -> Alcotest.fail "hub pair must route"
+  in
+  (* prim_for_users consumed the hub's 2 qubits; a second copy of the
+     same tree must be refused and leave the state untouched. *)
+  let hub = List.hd (Graph.switches g) in
+  check_int "hub full" 0 (Capacity.remaining capacity hub);
+  check_bool "second copy refused" false (Policy.try_consume capacity tree);
+  check_int "refusal left state untouched" 0 (Capacity.remaining capacity hub);
+  Capacity.release_channel capacity
+    (List.hd tree.Ent_tree.channels).Channel.path;
+  check_bool "fits after release" true (Policy.try_consume capacity tree);
+  check_int "consumed again" 0 (Capacity.remaining capacity hub)
+
+let test_adapter_respects_residual () =
+  let g, (a0, a1), (b0, b1) = hub_network () in
+  let alg3 = Option.get (Policy.of_name "alg3") in
+  let capacity = Capacity.of_graph g in
+  check_bool "first pair routes" true
+    (alg3.Policy.route g params ~capacity ~users:[ a0; a1 ] <> None);
+  check_bool "hub depleted: second pair refused" true
+    (alg3.Policy.route g params ~capacity ~users:[ b0; b1 ] = None)
+
+let test_cached_policy () =
+  let g = network 7 in
+  let u = Graph.users g in
+  let users = [ List.nth u 0; List.nth u 1 ] in
+  let p = Policy.cached Policy.prim in
+  let capacity = Capacity.of_graph g in
+  let t1 = p.Policy.route g params ~capacity ~users in
+  let t2 = p.Policy.route g params ~capacity ~users in
+  (match (t1, t2) with
+  | Some t1, Some t2 ->
+      check_bool "cache replays the same tree" true
+        (List.for_all2 Channel.equal t1.Ent_tree.channels
+           t2.Ent_tree.channels)
+  | _ -> Alcotest.fail "both lookups must route");
+  ignore (p.Policy.route g params ~capacity ~users)
+
+(* ------------------------------------------------------------------ *)
+(* Safety property: concurrent leases never oversubscribe a switch.    *)
+
+(* Replay every served outcome's lease interval and check that at all
+   times the summed per-switch demand of the live trees fits the
+   switch's budget — releases happen before grants at equal instants,
+   exactly like the engine's event order. *)
+let assert_never_oversubscribed g outcomes =
+  let events =
+    List.concat_map
+      (fun (o : Engine.outcome) ->
+        match o.Engine.resolution with
+        | Engine.Served { start; finish; tree; _ } ->
+            let usage = Ent_tree.qubit_usage tree in
+            [ (finish, 0, List.map (fun (v, q) -> (v, -q)) usage);
+              (start, 1, usage) ]
+        | _ -> [])
+      outcomes
+    |> List.sort compare
+  in
+  let used = Array.make (Graph.vertex_count g) 0 in
+  List.iter
+    (fun (_, _, deltas) ->
+      List.iter
+        (fun (v, dq) ->
+          used.(v) <- used.(v) + dq;
+          if used.(v) < 0 then Alcotest.fail "negative usage in replay";
+          if used.(v) > Graph.qubits g v then
+            Alcotest.failf "switch %d oversubscribed: %d > %d" v used.(v)
+              (Graph.qubits g v))
+        deltas)
+    events
+
+let test_never_oversubscribed_qcheck () =
+  let prop seed =
+    let g = network ~users:6 ~switches:15 ~qubits:2 ((seed mod 50) + 1) in
+    let spec =
+      Workload.spec ~requests:30
+        ~arrivals:(Workload.Poisson 2.)
+        ~group_size:(Workload.Uniform (2, 3))
+        ~duration:(1., 5.) ~patience:(0., 8.) ()
+    in
+    let reqs = Workload.generate (Prng.create seed) g spec in
+    let policy =
+      match seed mod 3 with
+      | 0 -> Policy.prim
+      | 1 -> Policy.cached Policy.prim
+      | _ -> Option.get (Policy.of_name "alg3")
+    in
+    let config = Engine.config policy in
+    let report, outcomes = Engine.run ~config g params ~requests:reqs in
+    assert_never_oversubscribed g outcomes;
+    (* Every served tree must also be individually valid for its
+       request's users on the real network. *)
+    List.iter
+      (fun (o : Engine.outcome) ->
+        match o.Engine.resolution with
+        | Engine.Served { tree; _ } ->
+            if
+              not
+                (Verify.is_valid g params ~users:o.Engine.request.Workload.users
+                   tree)
+            then Alcotest.fail "served tree invalid"
+        | _ -> ())
+      outcomes;
+    report.Engine.served + report.Engine.rejected + report.Engine.expired
+    = report.Engine.arrived
+  in
+  let test =
+    QCheck.Test.make ~count:25 ~name:"no oversubscription under load"
+      QCheck.(int_range 1 10_000)
+      prop
+  in
+  QCheck.Test.check_exn test
+
+let () =
+  Alcotest.run "online"
+    [
+      ( "event_queue",
+        [ Alcotest.test_case "ordering" `Quick test_event_queue_order ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "shapes" `Quick test_workload_shapes;
+          Alcotest.test_case "validation" `Quick test_workload_validation;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "single request" `Quick test_single_request_served;
+          Alcotest.test_case "contention + queueing" `Quick
+            test_contention_and_queueing;
+          Alcotest.test_case "queue bound" `Quick test_queue_bound;
+          Alcotest.test_case "conservation + determinism" `Quick
+            test_conservation_and_determinism;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "names" `Quick test_policy_names;
+          Alcotest.test_case "try_consume" `Quick test_try_consume;
+          Alcotest.test_case "residual adapter" `Quick
+            test_adapter_respects_residual;
+          Alcotest.test_case "cached" `Quick test_cached_policy;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "never oversubscribed (qcheck)" `Slow
+            test_never_oversubscribed_qcheck;
+        ] );
+    ]

@@ -179,6 +179,55 @@ let test_random_requests_wellformed () =
         (Scheduler.random_requests rng g ~n:1 ~mean_gap:1. ~max_group:100
            ~duration_range:(1, 2)))
 
+let test_lease_roundtrip () =
+  let g = network ~qubits:4 7 in
+  let u = Graph.users g in
+  let users = [ List.nth u 0; List.nth u 1 ] in
+  let capacity = Capacity.of_graph g in
+  let tree =
+    match Multi_group.prim_for_users g params ~capacity ~users with
+    | Some t -> t
+    | None -> Alcotest.fail "pair must route on a fresh network"
+  in
+  let lease = Scheduler.Lease.acquire tree in
+  check_bool "lease covers qubits" true (Scheduler.Lease.qubits lease > 0);
+  check_int "one channel path per channel"
+    (List.length tree.Ent_tree.channels)
+    (List.length (Scheduler.Lease.channels lease));
+  let consumed_somewhere =
+    List.exists (fun s -> Capacity.used capacity s > 0) (Graph.switches g)
+  in
+  check_bool "routing consumed capacity" true consumed_somewhere;
+  Scheduler.Lease.release capacity lease;
+  List.iter
+    (fun s -> check_int "release restores residual" 0 (Capacity.used capacity s))
+    (Graph.switches g);
+  Alcotest.check_raises "double release rejected"
+    (Invalid_argument "Scheduler.Lease.release: already released") (fun () ->
+      Scheduler.Lease.release capacity lease)
+
+let test_lease_invariant_violation () =
+  (* Releasing a lease whose qubits were already refunded behind its
+     back must trip the capacity invariant, not silently underflow. *)
+  let g = network ~qubits:4 8 in
+  let u = Graph.users g in
+  let users = [ List.nth u 0; List.nth u 1 ] in
+  let capacity = Capacity.of_graph g in
+  let tree =
+    match Multi_group.prim_for_users g params ~capacity ~users with
+    | Some t -> t
+    | None -> Alcotest.fail "pair must route on a fresh network"
+  in
+  let lease = Scheduler.Lease.acquire tree in
+  List.iter
+    (fun (c : Channel.t) -> Capacity.release_channel capacity c.Channel.path)
+    tree.Ent_tree.channels;
+  Alcotest.check_raises "invariant trips"
+    (Invalid_argument
+       "Scheduler.Lease.release: capacity invariant violated (refund exceeds \
+        recorded consumption)") (fun () ->
+      Scheduler.Lease.release capacity lease)
+
 let test_heavier_load_lowers_acceptance () =
   let g = network ~qubits:2 6 in
   let run gap =
@@ -206,6 +255,12 @@ let () =
           Alcotest.test_case "lease release" `Quick test_leases_release;
           Alcotest.test_case "all decided" `Quick
             test_outcomes_cover_all_requests;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lease_roundtrip;
+          Alcotest.test_case "invariant violation" `Quick
+            test_lease_invariant_violation;
         ] );
       ( "workload",
         [
