@@ -313,6 +313,125 @@ let jhistogram (s : Qnet_telemetry.Metrics.Histogram.summary) =
       ("p99_s", jfloat s.p99);
     ]
 
+(* Parallel-runtime benchmark: the same fixed-seed Monte-Carlo and
+   replication workloads at several --jobs levels.  Wall time and
+   speedup go into the snapshot as the perf trajectory; the equality
+   flags assert the determinism contract (estimates, aggregates and
+   merged telemetry counters identical at every level). *)
+
+let parallel_jobs_levels = [ 1; 2; 4 ]
+
+let counter_values () =
+  let module Tm = Qnet_telemetry.Metrics in
+  List.filter_map
+    (fun (name, v) ->
+      match v with Tm.Counter_v n -> Some (name, n) | _ -> None)
+    (Tm.snapshot ())
+
+(* Per-run counter increments, robust to metrics first registered
+   mid-run. *)
+let counter_delta ~before ~after =
+  List.map
+    (fun (name, n) ->
+      (name, n - Option.value ~default:0 (List.assoc_opt name before)))
+    after
+
+let timed f =
+  let t0 = Qnet_telemetry.Clock.now_s () in
+  let result = f () in
+  (Qnet_telemetry.Clock.elapsed_since t0, result)
+
+(* Runs [work] at each jobs level (pool creation excluded from the
+   timing) and returns [(jobs, wall_s, result, counter_delta)]. *)
+let bench_jobs_levels work =
+  List.map
+    (fun jobs ->
+      let before = counter_values () in
+      let wall, result =
+        if jobs = 1 then timed (fun () -> work None)
+        else
+          Qnet_util.Pool.with_pool ~jobs (fun pool ->
+              timed (fun () -> work (Some pool)))
+      in
+      (jobs, wall, result, counter_delta ~before ~after:(counter_values ())))
+    parallel_jobs_levels
+
+let jruns runs =
+  let _, serial_wall, _, _ = List.hd runs in
+  jarr
+    (List.map
+       (fun (jobs, wall, _, _) ->
+         jobj
+           [
+             ("jobs", string_of_int jobs);
+             ("wall_s", jfloat wall);
+             ("speedup", jfloat (serial_wall /. wall));
+           ])
+       runs)
+
+let all_equal project runs =
+  let _, _, first, _ = List.hd runs in
+  List.for_all (fun (_, _, r, _) -> project r = project first) runs
+
+let counters_equal runs =
+  let _, _, _, first = List.hd runs in
+  List.for_all (fun (_, _, _, d) -> d = first) runs
+
+let parallel_section () =
+  let module R = Qnet_experiments.Runner in
+  (* Monte-Carlo workload: one routed tree on the default network,
+     trial count scaled with MUERP_REPLICATIONS so smoke runs stay
+     quick. *)
+  let rng = Qnet_util.Prng.create 42 in
+  let g = Qnet_topology.Waxman.generate rng Qnet_topology.Spec.default in
+  let params = Qnet_core.Params.default in
+  let tree =
+    match
+      (Qnet_core.Muerp.solve Qnet_core.Muerp.Conflict_free
+         (Qnet_core.Muerp.instance ~params g))
+        .Qnet_core.Muerp.tree
+    with
+    | Some t -> t
+    | None -> failwith "parallel bench: default instance infeasible"
+  in
+  let trials = replications * 20_000 in
+  Printf.printf "parallel bench — Monte-Carlo, %d trials\n%!" trials;
+  let mc_runs =
+    bench_jobs_levels (fun pool ->
+        let rng = Qnet_util.Prng.create 4242 in
+        Qnet_sim.Monte_carlo.estimate_rate ?pool rng g params tree ~trials)
+  in
+  Printf.printf "parallel bench — sweep, %d replications\n%!" replications;
+  let sweep_runs =
+    bench_jobs_levels (fun pool -> R.mean_rates (R.run_config ?pool cfg))
+  in
+  jobj
+    [
+      ( "jobs_levels",
+        jarr (List.map string_of_int parallel_jobs_levels) );
+      ( "monte_carlo",
+        jobj
+          [
+            ("trials", string_of_int trials);
+            ( "estimate_equal",
+              string_of_bool
+                (all_equal
+                   (fun (e : Qnet_sim.Monte_carlo.estimate) ->
+                     (e.successes, e.p_hat))
+                   mc_runs) );
+            ("counters_equal", string_of_bool (counters_equal mc_runs));
+            ("runs", jruns mc_runs);
+          ] );
+      ( "sweep",
+        jobj
+          [
+            ("replications", string_of_int replications);
+            ("mean_rates_equal", string_of_bool (all_equal Fun.id sweep_runs));
+            ("counters_equal", string_of_bool (counters_equal sweep_runs));
+            ("runs", jruns sweep_runs);
+          ] );
+    ]
+
 let snapshot path =
   let module R = Qnet_experiments.Runner in
   let module Tm = Qnet_telemetry.Metrics in
@@ -353,6 +472,7 @@ let snapshot path =
           ])
       traffic_policies
   in
+  let parallel = parallel_section () in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
     List.map
@@ -390,10 +510,11 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/2");
+        ("schema", jstr "muerp-bench-snapshot/3");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);
+        ("parallel", parallel);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
         ("histograms", jobj histograms);

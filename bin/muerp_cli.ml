@@ -61,6 +61,29 @@ let verbose_t =
   let doc = "Enable library debug logging on stderr." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+(* Parallelism: replication/trial loops fan out over a domain pool.
+   Results are deterministic — identical at every jobs level — because
+   task seeding never depends on the schedule (see DESIGN.md,
+   "Parallel runtime"). *)
+let jobs_t =
+  let doc =
+    "Worker domains for replication and Monte-Carlo loops.  Results are \
+     identical at every $(docv); 0 means one per CPU core."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+(* [None] when jobs = 1 so serial runs take the pool-free code path. *)
+let with_jobs jobs f =
+  let jobs =
+    if jobs = 0 then Qnet_util.Pool.recommended_jobs ()
+    else if jobs < 0 then (
+      prerr_endline "jobs must be >= 0";
+      exit 1)
+    else jobs
+  in
+  if jobs = 1 then f None
+  else Qnet_util.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 let apply_verbose verbose =
   if verbose then Qnet_util.Log.setup ~level:(Some Logs.Debug)
 
@@ -224,7 +247,7 @@ let topology_cmd =
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
 
-let experiment_run figure replications csv metrics =
+let experiment_run figure replications jobs csv metrics =
   metrics_begin metrics;
   let cfg = Qnet_experiments.Config.create ~replications () in
   let module F = Qnet_experiments.Figures in
@@ -242,22 +265,24 @@ let experiment_run figure replications csv metrics =
             output_char oc '\n');
         Printf.printf "csv written to %s\n" path
   in
-  (match figure with
-  | "all" ->
-      let series = F.all ~cfg () in
-      List.iter print series;
-      print_endline
-        (Qnet_util.Table.to_string (R.headlines_table (F.headlines series)))
-  | "fig5" -> print (F.fig5 ~cfg ())
-  | "fig6a" -> print (F.fig6a ~cfg ())
-  | "fig6b" -> print (F.fig6b ~cfg ())
-  | "fig7a" -> print (F.fig7a ~cfg ())
-  | "fig7b" -> print (F.fig7b ~cfg ())
-  | "fig8a" -> print (F.fig8a ~cfg ())
-  | "fig8b" -> print (F.fig8b ~cfg ())
-  | other ->
-      prerr_endline ("unknown figure: " ^ other);
-      exit 1);
+  with_jobs jobs (fun pool ->
+      match figure with
+      | "all" ->
+          let series = F.all ?pool ~cfg () in
+          List.iter print series;
+          print_endline
+            (Qnet_util.Table.to_string
+               (R.headlines_table (F.headlines series)))
+      | "fig5" -> print (F.fig5 ?pool ~cfg ())
+      | "fig6a" -> print (F.fig6a ?pool ~cfg ())
+      | "fig6b" -> print (F.fig6b ?pool ~cfg ())
+      | "fig7a" -> print (F.fig7a ?pool ~cfg ())
+      | "fig7b" -> print (F.fig7b ?pool ~cfg ())
+      | "fig8a" -> print (F.fig8a ?pool ~cfg ())
+      | "fig8b" -> print (F.fig8b ?pool ~cfg ())
+      | other ->
+          prerr_endline ("unknown figure: " ^ other);
+          exit 1);
   metrics_report metrics
 
 let experiment_cmd =
@@ -275,13 +300,15 @@ let experiment_cmd =
   in
   let info = Cmd.info "experiment" ~doc:"Reproduce a paper figure." in
   Cmd.v info
-    Term.(const experiment_run $ figure_t $ replications_t $ csv_t $ metrics_t)
+    Term.(
+      const experiment_run $ figure_t $ replications_t $ jobs_t $ csv_t
+      $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
 
 let simulate_run seed users switches degree qubits q alpha topology trials
-    metrics =
+    jobs metrics =
   metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
   match build_network ~seed ~topology ~spec with
@@ -295,7 +322,9 @@ let simulate_run seed users switches degree qubits q alpha topology trials
       | Some tree ->
           let rng = Qnet_util.Prng.create (seed + 1_000_003) in
           let est =
-            Qnet_sim.Monte_carlo.estimate_rate rng g params tree ~trials
+            with_jobs jobs (fun pool ->
+                Qnet_sim.Monte_carlo.estimate_rate ?pool rng g params tree
+                  ~trials)
           in
           Printf.printf
             "analytic rate  %.6g\nempirical rate %.6g (%d/%d successes)\n\
@@ -317,12 +346,12 @@ let simulate_cmd =
   Cmd.v info
     Term.(
       const simulate_run $ seed_t $ users_t $ switches_t $ degree_t $ qubits_t
-      $ q_t $ alpha_t $ topology_t $ trials_t $ metrics_t)
+      $ q_t $ alpha_t $ topology_t $ trials_t $ jobs_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
 
-let sweep_run seed parameter values replications metrics =
+let sweep_run seed parameter values replications jobs csv metrics =
   metrics_begin metrics;
   let module C = Qnet_experiments.Config in
   let module R = Qnet_experiments.Runner in
@@ -377,15 +406,24 @@ let sweep_run seed parameter values replications metrics =
         exit 1
   in
   let t =
-    List.fold_left
-      (fun t (label, cfg) ->
-        let rates = R.mean_rates (R.run_config cfg) in
-        Qnet_util.Table.add_float_row t label (List.map snd rates))
-      (Qnet_util.Table.create
-         (parameter :: List.map (fun m -> R.method_name m) R.all_methods))
-      configs
+    with_jobs jobs (fun pool ->
+        List.fold_left
+          (fun t (label, cfg) ->
+            let rates = R.mean_rates (R.run_config ?pool cfg) in
+            Qnet_util.Table.add_float_row t label (List.map snd rates))
+          (Qnet_util.Table.create
+             (parameter :: List.map (fun m -> R.method_name m) R.all_methods))
+          configs)
   in
   print_endline (Qnet_util.Table.to_string t);
+  (match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Qnet_util.Table.to_csv t));
+      Printf.printf "csv written to %s\n" path);
   metrics_report metrics
 
 let sweep_cmd =
@@ -401,9 +439,15 @@ let sweep_cmd =
     let doc = "Random networks averaged per data point." in
     Arg.(value & opt int 20 & info [ "replications"; "r" ] ~docv:"N" ~doc)
   in
+  let csv_t =
+    let doc = "Also write the sweep table as CSV to this file." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
   let info = Cmd.info "sweep" ~doc:"One-dimensional parameter sweep." in
   Cmd.v info
-    Term.(const sweep_run $ seed_t $ parameter_t $ values_t $ replications_t $ metrics_t)
+    Term.(
+      const sweep_run $ seed_t $ parameter_t $ values_t $ replications_t
+      $ jobs_t $ csv_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)

@@ -28,13 +28,14 @@ let direct_only g params ~src =
       else None)
     (Graph.neighbors g src)
 
-let sssp g params ~capacity ~src =
+let sssp ?target g params ~capacity ~src =
   Tm.Counter.incr c_sssp_runs;
   let admit v =
     if Graph.is_user g v then v <> src else Capacity.can_relay capacity v
   in
   let expand v = Graph.is_switch g v in
-  Paths.dijkstra g ~source:src ~weight:(edge_weight params) ~admit ~expand ()
+  Paths.dijkstra g ~source:src ~weight:(edge_weight params) ~admit ~expand
+    ?target ()
 
 let channel_from_result g params result ~src ~dst =
   match Paths.extract_path result ~source:src ~target:dst with
@@ -54,7 +55,10 @@ let best_channel g params ~capacity ~src ~dst =
   if params.Params.q = 0. then
     List.assoc_opt dst (direct_only g params ~src)
   else
-    channel_from_result g params (sssp g params ~capacity ~src) ~src ~dst
+    (* A point query: let Dijkstra stop once [dst] settles instead of
+       settling the whole graph. *)
+    channel_from_result g params (sssp ~target:dst g params ~capacity ~src) ~src
+      ~dst
 
 let best_channels_from g params ~capacity ~src =
   check_user g src;

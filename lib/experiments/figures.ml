@@ -11,11 +11,14 @@ type series = {
 }
 
 (* Run one configuration per x value and transpose into per-method
-   rows. *)
-let sweep ~id ~title ~x_header points =
+   rows.  The x points stay sequential — parallelism lives inside
+   [Runner.run_config]'s replication loop, which keeps one shared pool
+   busy without nesting parallel regions. *)
+let sweep ?pool ~id ~title ~x_header points =
   let columns =
     List.map
-      (fun (label, cfg) -> (label, Runner.mean_rates (Runner.run_config cfg)))
+      (fun (label, cfg) ->
+        (label, Runner.mean_rates (Runner.run_config ?pool cfg)))
       points
   in
   let rows =
@@ -27,16 +30,16 @@ let sweep ~id ~title ~x_header points =
   in
   { id; title; x_header; x_values = List.map fst columns; rows }
 
-let fig5 ?(cfg = Config.default) () =
-  sweep ~id:"fig5" ~title:"Entanglement rate vs. network topology"
+let fig5 ?pool ?(cfg = Config.default) () =
+  sweep ?pool ~id:"fig5" ~title:"Entanglement rate vs. network topology"
     ~x_header:"topology"
     (List.map
        (fun (name, kind) -> (name, { cfg with kind }))
        Generate.all_paper_kinds)
 
-let fig6a ?(cfg = Config.default) ?(user_counts = [ 4; 6; 8; 10; 12; 14 ]) ()
+let fig6a ?pool ?(cfg = Config.default) ?(user_counts = [ 4; 6; 8; 10; 12; 14 ]) ()
     =
-  sweep ~id:"fig6a" ~title:"Entanglement rate vs. number of users"
+  sweep ?pool ~id:"fig6a" ~title:"Entanglement rate vs. number of users"
     ~x_header:"users"
     (List.map
        (fun n ->
@@ -44,9 +47,9 @@ let fig6a ?(cfg = Config.default) ?(user_counts = [ 4; 6; 8; 10; 12; 14 ]) ()
            { cfg with spec = { cfg.spec with Spec.n_users = n } } ))
        user_counts)
 
-let fig6b ?(cfg = Config.default) ?(switch_counts = [ 10; 20; 30; 40; 50 ])
+let fig6b ?pool ?(cfg = Config.default) ?(switch_counts = [ 10; 20; 30; 40; 50 ])
     () =
-  sweep ~id:"fig6b" ~title:"Entanglement rate vs. number of switches"
+  sweep ?pool ~id:"fig6b" ~title:"Entanglement rate vs. number of switches"
     ~x_header:"switches"
     (List.map
        (fun n ->
@@ -54,8 +57,8 @@ let fig6b ?(cfg = Config.default) ?(switch_counts = [ 10; 20; 30; 40; 50 ])
            { cfg with spec = { cfg.spec with Spec.n_switches = n } } ))
        switch_counts)
 
-let fig7a ?(cfg = Config.default) ?(degrees = [ 4.; 6.; 8.; 10. ]) () =
-  sweep ~id:"fig7a" ~title:"Entanglement rate vs. average degree"
+let fig7a ?pool ?(cfg = Config.default) ?(degrees = [ 4.; 6.; 8.; 10. ]) () =
+  sweep ?pool ~id:"fig7a" ~title:"Entanglement rate vs. average degree"
     ~x_header:"avg degree"
     (List.map
        (fun d ->
@@ -65,30 +68,31 @@ let fig7a ?(cfg = Config.default) ?(degrees = [ 4.; 6.; 8.; 10. ]) () =
 
 (* Fig. 7b is not a family of independent configs: within one
    replication the same network loses 30 more fibers at each step, so
-   we drive the sweep manually instead of through Runner.run_config. *)
-let fig7b ?(cfg = Config.default) ?(edges_per_step = 30) ?(steps = 19) () =
+   we drive the sweep manually instead of through Runner.run_config.
+   Replications stay independent, though — each runs its whole removal
+   trajectory as one task, and the per-step sums are folded in
+   replication order afterwards, matching the serial total bit for
+   bit. *)
+let fig7b ?pool ?(cfg = Config.default) ?(edges_per_step = 30) ?(steps = 19)
+    () =
   let spec = { cfg.spec with Spec.avg_degree = 20. } in
   let n_steps = steps in
-  let sums =
-    List.map (fun m -> (m, Array.make n_steps 0.)) Runner.all_methods
-  in
+  let methods = Array.of_list Runner.all_methods in
+  let n_methods = Array.length methods in
   let total_edges = Spec.target_edges spec in
-  for i = 0 to cfg.replications - 1 do
+  let run_replication i =
     let seed = cfg.base_seed + i in
     let rng = Prng.create seed in
-    let g0 = Generate.run cfg.kind rng spec in
-    let g = ref g0 in
+    let g = ref (Generate.run cfg.kind rng spec) in
+    let rates = Array.make_matrix n_methods n_steps 0. in
     for step = 0 to n_steps - 1 do
-      List.iter
-        (fun m ->
+      Array.iteri
+        (fun j m ->
           let rng_alg = Prng.create ((seed * 7919) + step) in
-          let rate =
+          rates.(j).(step) <-
             Runner.run_method !g cfg.params ~rng:rng_alg
-              ~alg2_boost:cfg.alg2_boost m
-          in
-          let acc = List.assoc m sums in
-          acc.(step) <- acc.(step) +. rate)
-        Runner.all_methods;
+              ~alg2_boost:cfg.alg2_boost m)
+        methods;
       (* Remove the next batch of random fibers for the following step. *)
       let remaining = Qnet_graph.Graph.edge_count !g in
       let batch = min edges_per_step remaining in
@@ -96,8 +100,16 @@ let fig7b ?(cfg = Config.default) ?(edges_per_step = 30) ?(steps = 19) () =
         let doomed = Prng.sample_without_replacement rng batch remaining in
         g := Qnet_graph.Graph.remove_edges !g doomed
       end
-    done
-  done;
+    done;
+    rates
+  in
+  let per_rep =
+    match pool with
+    | Some pool when Qnet_util.Pool.jobs pool > 1 ->
+        Qnet_util.Pool.parallel_map pool ~chunk:1 cfg.replications
+          run_replication
+    | _ -> Array.init cfg.replications run_replication
+  in
   let n = float_of_int cfg.replications in
   {
     id = "fig7b";
@@ -109,14 +121,17 @@ let fig7b ?(cfg = Config.default) ?(edges_per_step = 30) ?(steps = 19) () =
             (float_of_int (step * edges_per_step)
             /. float_of_int total_edges));
     rows =
-      List.map
-        (fun (m, acc) ->
-          (m, Array.to_list (Array.map (fun s -> s /. n) acc)))
-        sums;
+      List.init n_methods (fun j ->
+          ( methods.(j),
+            List.init n_steps (fun step ->
+                Array.fold_left
+                  (fun acc rates -> acc +. rates.(j).(step))
+                  0. per_rep
+                /. n) ));
   }
 
-let fig8a ?(cfg = Config.default) ?(qubit_counts = [ 2; 4; 6; 8 ]) () =
-  sweep ~id:"fig8a" ~title:"Entanglement rate vs. qubits per switch"
+let fig8a ?pool ?(cfg = Config.default) ?(qubit_counts = [ 2; 4; 6; 8 ]) () =
+  sweep ?pool ~id:"fig8a" ~title:"Entanglement rate vs. qubits per switch"
     ~x_header:"qubits"
     (List.map
        (fun q ->
@@ -124,8 +139,8 @@ let fig8a ?(cfg = Config.default) ?(qubit_counts = [ 2; 4; 6; 8 ]) () =
            { cfg with spec = { cfg.spec with Spec.qubits_per_switch = q } } ))
        qubit_counts)
 
-let fig8b ?(cfg = Config.default) ?(swap_rates = [ 0.7; 0.8; 0.9; 1.0 ]) () =
-  sweep ~id:"fig8b" ~title:"Entanglement rate vs. swap success rate"
+let fig8b ?pool ?(cfg = Config.default) ?(swap_rates = [ 0.7; 0.8; 0.9; 1.0 ]) () =
+  sweep ?pool ~id:"fig8b" ~title:"Entanglement rate vs. swap success rate"
     ~x_header:"q"
     (List.map
        (fun q ->
@@ -133,15 +148,15 @@ let fig8b ?(cfg = Config.default) ?(swap_rates = [ 0.7; 0.8; 0.9; 1.0 ]) () =
            { cfg with params = Qnet_core.Params.create ~q () } ))
        swap_rates)
 
-let all ?(cfg = Config.default) () =
+let all ?pool ?(cfg = Config.default) () =
   [
-    fig5 ~cfg ();
-    fig6a ~cfg ();
-    fig6b ~cfg ();
-    fig7a ~cfg ();
-    fig7b ~cfg ();
-    fig8a ~cfg ();
-    fig8b ~cfg ();
+    fig5 ?pool ~cfg ();
+    fig6a ?pool ~cfg ();
+    fig6b ?pool ~cfg ();
+    fig7a ?pool ~cfg ();
+    fig7b ?pool ~cfg ();
+    fig8a ?pool ~cfg ();
+    fig8b ?pool ~cfg ();
   ]
 
 type headline = {

@@ -4,6 +4,11 @@
     method, averaged over the configured replications.  Rendering to
     text tables lives in {!Report}.
 
+    Every driver accepts [?pool] to spread its replications over a
+    {!Qnet_util.Pool}; results are identical at every pool size (the
+    per-replication seeding never depends on scheduling).  x points run
+    sequentially so a single shared pool is never entered twice.
+
     Note on figure numbering: the paper's Fig. 6 sub-captions are
     swapped relative to its body text; we follow the body text (§V-B):
     Fig. 6(a) sweeps the number of {e users}, Fig. 6(b) the number of
@@ -18,35 +23,57 @@ type series = {
       (** Mean entanglement rate per method, one value per x. *)
 }
 
-val fig5 : ?cfg:Config.t -> unit -> series
+val fig5 : ?pool:Qnet_util.Pool.t -> ?cfg:Config.t -> unit -> series
 (** Entanglement rate vs. network topology (Waxman / Watts–Strogatz /
     Volchenkov). *)
 
-val fig6a : ?cfg:Config.t -> ?user_counts:int list -> unit -> series
+val fig6a :
+  ?pool:Qnet_util.Pool.t -> ?cfg:Config.t -> ?user_counts:int list -> unit -> series
 (** Rate vs. number of users (default sweep 4–14). *)
 
-val fig6b : ?cfg:Config.t -> ?switch_counts:int list -> unit -> series
+val fig6b :
+  ?pool:Qnet_util.Pool.t ->
+  ?cfg:Config.t ->
+  ?switch_counts:int list ->
+  unit ->
+  series
 (** Rate vs. number of switches (default sweep 10–50). *)
 
-val fig7a : ?cfg:Config.t -> ?degrees:float list -> unit -> series
+val fig7a :
+  ?pool:Qnet_util.Pool.t -> ?cfg:Config.t -> ?degrees:float list -> unit -> series
 (** Rate vs. average vertex degree (default sweep 4–10). *)
 
 val fig7b :
-  ?cfg:Config.t -> ?edges_per_step:int -> ?steps:int -> unit -> series
+  ?pool:Qnet_util.Pool.t ->
+  ?cfg:Config.t ->
+  ?edges_per_step:int ->
+  ?steps:int ->
+  unit ->
+  series
 (** Rate vs. removed-edge ratio: builds the paper's dense network
     (600 fibers via average degree 20), then removes [edges_per_step]
     uniformly random fibers per step (default 30, i.e. ratio step 0.05),
     re-running every method on each partial network.  Removals are
     cumulative within a replication and differ across replications. *)
 
-val fig8a : ?cfg:Config.t -> ?qubit_counts:int list -> unit -> series
+val fig8a :
+  ?pool:Qnet_util.Pool.t ->
+  ?cfg:Config.t ->
+  ?qubit_counts:int list ->
+  unit ->
+  series
 (** Rate vs. qubits per switch (default sweep 2–8); Algorithm 2's
     networks keep [2·|U|] qubits per switch throughout, per the paper. *)
 
-val fig8b : ?cfg:Config.t -> ?swap_rates:float list -> unit -> series
+val fig8b :
+  ?pool:Qnet_util.Pool.t ->
+  ?cfg:Config.t ->
+  ?swap_rates:float list ->
+  unit ->
+  series
 (** Rate vs. BSM swap success rate [q] (default sweep 0.7–1.0). *)
 
-val all : ?cfg:Config.t -> unit -> series list
+val all : ?pool:Qnet_util.Pool.t -> ?cfg:Config.t -> unit -> series list
 (** Every figure in order, with shared configuration. *)
 
 type headline = {

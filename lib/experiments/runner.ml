@@ -55,17 +55,22 @@ let run_method g params ~rng ~alg2_boost method_ =
     end
   | N_fusion -> Qnet_baselines.Nfusion.rate (Qnet_baselines.Nfusion.solve g params)
 
-let run_config (cfg : Config.t) =
-  let per_method = Hashtbl.create 8 in
-  List.iter
-    (fun m -> Hashtbl.replace per_method m ([], []))
-    all_methods;
-  for i = 0 to cfg.replications - 1 do
+let run_config ?pool (cfg : Config.t) =
+  let methods = Array.of_list all_methods in
+  (* Registered up front so metric ids don't depend on which domain
+     races to the first observation. *)
+  let hists = Array.map wall_time_hist methods in
+  (* One replication is a self-contained task: its network and
+     per-method rngs derive from [base_seed + i] alone, so replications
+     may run on any domain in any order.  Results land at slot [i] and
+     are aggregated in index order below — identical at every pool
+     size. *)
+  let run_replication i =
     let seed = cfg.base_seed + i in
     let rng = Prng.create seed in
     let g = Qnet_topology.Generate.run cfg.kind rng cfg.spec in
-    List.iter
-      (fun m ->
+    Array.mapi
+      (fun j m ->
         let rng_alg = Prng.create (seed * 7919) in
         let t0 = Clock.now_s () in
         let rate =
@@ -76,16 +81,24 @@ let run_config (cfg : Config.t) =
                 m)
         in
         let dt = Clock.elapsed_since t0 in
-        Qnet_telemetry.Metrics.Histogram.observe (wall_time_hist m) dt;
-        let rates, times = Hashtbl.find per_method m in
-        Hashtbl.replace per_method m (rate :: rates, dt :: times))
-      all_methods
-  done;
-  List.map
-    (fun m ->
-      let rates, times = Hashtbl.find per_method m in
-      let rates = Array.of_list rates in
-      let feasible_rates = Array.of_list (List.filter (fun r -> r > 0.) (Array.to_list rates)) in
+        Qnet_telemetry.Metrics.Histogram.observe hists.(j) dt;
+        (rate, dt))
+      methods
+  in
+  let results =
+    match pool with
+    | Some pool when Qnet_util.Pool.jobs pool > 1 ->
+        Qnet_util.Pool.parallel_map pool ~chunk:1 cfg.replications
+          run_replication
+    | _ -> Array.init cfg.replications run_replication
+  in
+  List.mapi
+    (fun j m ->
+      let rates = Array.map (fun row -> fst row.(j)) results in
+      let times = Array.map (fun row -> snd row.(j)) results in
+      let feasible_rates =
+        Array.of_list (List.filter (fun r -> r > 0.) (Array.to_list rates))
+      in
       {
         method_ = m;
         mean_rate = Qnet_util.Stats.mean rates;
@@ -94,7 +107,7 @@ let run_config (cfg : Config.t) =
            else Some (Qnet_util.Stats.mean feasible_rates));
         feasible = Array.length feasible_rates;
         replications = cfg.replications;
-        mean_elapsed_s = Qnet_util.Stats.mean (Array.of_list times);
+        mean_elapsed_s = Qnet_util.Stats.mean times;
       })
     all_methods
 

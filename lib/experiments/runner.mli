@@ -38,10 +38,13 @@ val run_method :
     [alg2_boost], Alg-2 runs on a copy of the network whose switches
     hold [2·|U|] qubits (see {!Config.t.alg2_boost}). *)
 
-val run_config : Config.t -> aggregate list
+val run_config : ?pool:Qnet_util.Pool.t -> Config.t -> aggregate list
 (** All methods across the configured replications; replication [i]
     generates its network from seed [base_seed + i].  The same network
-    is shared by all methods within a replication. *)
+    is shared by all methods within a replication.  With [?pool] the
+    replications run across the pool's domains; each is seeded
+    independently and aggregation happens in replication order, so the
+    aggregates are identical at every pool size. *)
 
 val mean_rates : aggregate list -> (method_ * float) list
 (** Convenience projection of {!run_config} output. *)

@@ -4,7 +4,13 @@
     selection queues in the routing algorithms.  Duplicate insertions of
     an element with improved priority are handled by the caller via lazy
     deletion (checking a [visited]/[dist] array on pop), which is simpler
-    and in practice as fast as decrease-key for sparse graphs. *)
+    and in practice as fast as decrease-key for sparse graphs.
+
+    Storage is two parallel flat arrays (an unboxed float array of keys
+    and a value array) that grow in place by doubling: a push allocates
+    nothing, so tight loops like repeated SSSP runs produce no
+    per-entry garbage.  {!reset} empties the heap while keeping the
+    storage for reuse. *)
 
 type 'a t
 
@@ -29,3 +35,8 @@ val peek_min : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
 (** Remove all entries, retaining the backing storage. *)
+
+val reset : 'a t -> unit
+(** Synonym of {!clear}, named for the reuse idiom: reset and refill
+    the same heap across repeated runs (e.g. one SSSP per request)
+    instead of allocating a fresh one. *)

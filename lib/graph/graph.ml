@@ -14,6 +14,13 @@ type t = {
   vertices : vertex array;
   edges : edge array;
   adjacency : (int * int) list array; (* vertex id -> (neighbor, edge id) *)
+  (* CSR mirror of [adjacency] for the traversal hot paths: vertex
+     [v]'s incidences are the flattened (neighbor, edge id) pairs at
+     positions [csr_off.(v) .. csr_off.(v+1) - 1] of [csr_pairs],
+     pair [k] living at indices [2k] (neighbor) and [2k+1] (edge id).
+     Same deterministic sorted order as the lists. *)
+  csr_off : int array;
+  csr_pairs : int array;
   user_ids : int list;
   switch_ids : int list;
 }
@@ -97,6 +104,21 @@ module Builder = struct
     Array.iteri
       (fun i l -> adjacency.(i) <- List.sort compare l)
       adjacency;
+    let n = Array.length vertices in
+    let csr_off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      csr_off.(v + 1) <- csr_off.(v) + List.length adjacency.(v)
+    done;
+    let csr_pairs = Array.make (2 * csr_off.(n)) 0 in
+    Array.iteri
+      (fun v l ->
+        List.iteri
+          (fun j (w, eid) ->
+            let k = csr_off.(v) + j in
+            csr_pairs.(2 * k) <- w;
+            csr_pairs.((2 * k) + 1) <- eid)
+          l)
+      adjacency;
     let user_ids, switch_ids =
       Array.fold_right
         (fun v (us, rs) ->
@@ -105,7 +127,7 @@ module Builder = struct
           | Switch -> (us, v.id :: rs))
         vertices ([], [])
     in
-    { vertices; edges; adjacency; user_ids; switch_ids }
+    { vertices; edges; adjacency; csr_off; csr_pairs; user_ids; switch_ids }
 end
 
 let vertex_count g = Array.length g.vertices
@@ -126,7 +148,21 @@ let neighbors g v =
     invalid_arg "Graph.neighbors: out of range";
   g.adjacency.(v)
 
-let degree g v = List.length (neighbors g v)
+let degree g v =
+  if v < 0 || v >= Array.length g.adjacency then
+    invalid_arg "Graph.degree: out of range";
+  g.csr_off.(v + 1) - g.csr_off.(v)
+
+let csr_offsets g = g.csr_off
+let csr_pairs g = g.csr_pairs
+
+let iter_adjacent g v f =
+  if v < 0 || v >= Array.length g.adjacency then
+    invalid_arg "Graph.iter_adjacent: out of range";
+  let pairs = g.csr_pairs in
+  for k = g.csr_off.(v) to g.csr_off.(v + 1) - 1 do
+    f pairs.(2 * k) pairs.((2 * k) + 1)
+  done
 
 let find_edge g u v =
   let rec scan = function

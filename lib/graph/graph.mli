@@ -71,6 +71,29 @@ val neighbors : t -> int -> (int * int) list
 val degree : t -> int -> int
 val has_edge : t -> int -> int -> bool
 
+(** {2 CSR adjacency}
+
+    A compact int-array mirror of the adjacency lists for traversal
+    hot paths (Dijkstra relaxation, BFS): no list-cell chasing, no
+    tuple allocation, cache-linear scans.  Order per vertex is the
+    same deterministic sorted order as {!neighbors}. *)
+
+val csr_offsets : t -> int array
+(** Length [vertex_count + 1]; vertex [v]'s incident pairs occupy
+    slots [csr_offsets g.(v) .. csr_offsets g.(v+1) - 1] of
+    {!csr_pairs}.  The returned array is the graph's own storage —
+    treat it as read-only. *)
+
+val csr_pairs : t -> int array
+(** Flattened (neighbor, edge id) pairs: pair [k] is
+    [(csr_pairs g.(2*k), csr_pairs g.(2*k+1))].  Read-only, like
+    {!csr_offsets}. *)
+
+val iter_adjacent : t -> int -> (int -> int -> unit) -> unit
+(** [iter_adjacent g v f] calls [f neighbor edge_id] for each incident
+    edge of [v] in CSR order — allocation-free equivalent of iterating
+    {!neighbors}. *)
+
 val find_edge : t -> int -> int -> int option
 (** Edge id between two vertices, if the fiber exists. *)
 

@@ -11,49 +11,74 @@ let c_pops = Tm.counter "graph.dijkstra.heap_pops"
 let c_relaxations = Tm.counter "graph.dijkstra.edge_relaxations"
 let c_improvements = Tm.counter "graph.dijkstra.dist_improvements"
 
+(* Each domain reuses one scratch heap across its SSSP runs (the
+   routing layer performs thousands per solve — see
+   [core.routing.sssp_runs]).  The take/put-back dance keeps a nested
+   run, should a [weight]/[admit] callback ever trigger one, on a
+   private freshly-allocated heap. *)
+let scratch_heap : int Binary_heap.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_scratch_heap n f =
+  let cell = Domain.DLS.get scratch_heap in
+  match !cell with
+  | Some heap ->
+      cell := None;
+      Binary_heap.reset heap;
+      Fun.protect ~finally:(fun () -> cell := Some heap) (fun () -> f heap)
+  | None ->
+      let heap = Binary_heap.create ~capacity:(n + 1) () in
+      Fun.protect ~finally:(fun () -> cell := Some heap) (fun () -> f heap)
+
 let dijkstra g ~source ~weight ?(admit = fun _ -> true)
-    ?(expand = fun _ -> true) () =
+    ?(expand = fun _ -> true) ?target () =
   let n = Graph.vertex_count g in
   if source < 0 || source >= n then invalid_arg "Paths.dijkstra: bad source";
+  (match target with
+  | Some t when t < 0 || t >= n -> invalid_arg "Paths.dijkstra: bad target"
+  | _ -> ());
   Tm.Counter.incr c_runs;
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
   let done_ = Array.make n false in
-  let heap = Binary_heap.create ~capacity:(n + 1) () in
-  dist.(source) <- 0.;
-  Binary_heap.push heap 0. source;
-  Tm.Counter.incr c_pushes;
-  let rec loop () =
-    match Binary_heap.pop_min heap with
-    | None -> ()
-    | Some (d, u) ->
-        Tm.Counter.incr c_pops;
-        if not done_.(u) && d <= dist.(u) then begin
-          done_.(u) <- true;
-          if u = source || expand u then begin
-          let relax (v, eid) =
-            Tm.Counter.incr c_relaxations;
-            if not done_.(v) && (v = source || admit v) then begin
-              let e = Graph.edge g eid in
-              let w = weight e in
-              if w < 0. then
-                invalid_arg "Paths.dijkstra: negative edge weight";
-              let cand = d +. w in
-              if cand < dist.(v) then begin
-                dist.(v) <- cand;
-                prev.(v) <- u;
-                Tm.Counter.incr c_improvements;
-                Binary_heap.push heap cand v;
-                Tm.Counter.incr c_pushes
-              end
+  let off = Graph.csr_offsets g and pairs = Graph.csr_pairs g in
+  let target = match target with Some t -> t | None -> -1 in
+  with_scratch_heap n (fun heap ->
+      dist.(source) <- 0.;
+      Binary_heap.push heap 0. source;
+      Tm.Counter.incr c_pushes;
+      let running = ref true in
+      while !running do
+        match Binary_heap.pop_min heap with
+        | None -> running := false
+        | Some (d, u) ->
+            Tm.Counter.incr c_pops;
+            if not done_.(u) && d <= dist.(u) then begin
+              done_.(u) <- true;
+              (* The popped distance is final, so the target's settling
+                 ends the s-t query — no need to drain the frontier. *)
+              if u = target then running := false
+              else if u = source || expand u then
+                for k = off.(u) to off.(u + 1) - 1 do
+                  let v = pairs.(2 * k) in
+                  Tm.Counter.incr c_relaxations;
+                  if not done_.(v) && (v = source || admit v) then begin
+                    let e = Graph.edge g pairs.((2 * k) + 1) in
+                    let w = weight e in
+                    if w < 0. then
+                      invalid_arg "Paths.dijkstra: negative edge weight";
+                    let cand = d +. w in
+                    if cand < dist.(v) then begin
+                      dist.(v) <- cand;
+                      prev.(v) <- u;
+                      Tm.Counter.incr c_improvements;
+                      Binary_heap.push heap cand v;
+                      Tm.Counter.incr c_pushes
+                    end
+                  end
+                done
             end
-          in
-          List.iter relax (Graph.neighbors g u)
-          end
-        end;
-        loop ()
-  in
-  loop ();
+      done);
   { dist; prev }
 
 let extract_path { dist; prev } ~source ~target =
@@ -66,7 +91,7 @@ let extract_path { dist; prev } ~source ~target =
   end
 
 let shortest_path g ~source ~target ~weight ?admit ?expand () =
-  let result = dijkstra g ~source ~weight ?admit ?expand () in
+  let result = dijkstra g ~source ~weight ?admit ?expand ~target () in
   match extract_path result ~source ~target with
   | None -> None
   | Some path -> Some (path, result.dist.(target))
@@ -75,18 +100,19 @@ let bfs_hops g ~source =
   let n = Graph.vertex_count g in
   if source < 0 || source >= n then invalid_arg "Paths.bfs_hops: bad source";
   let hops = Array.make n (-1) in
+  let off = Graph.csr_offsets g and pairs = Graph.csr_pairs g in
   let q = Queue.create () in
   hops.(source) <- 0;
   Queue.add source q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    let visit (v, _) =
+    for k = off.(u) to off.(u + 1) - 1 do
+      let v = pairs.(2 * k) in
       if hops.(v) < 0 then begin
         hops.(v) <- hops.(u) + 1;
         Queue.add v q
       end
-    in
-    List.iter visit (Graph.neighbors g u)
+    done
   done;
   hops
 
@@ -94,6 +120,7 @@ let bfs_order g ~source =
   let n = Graph.vertex_count g in
   if source < 0 || source >= n then invalid_arg "Paths.bfs_order: bad source";
   let seen = Array.make n false in
+  let off = Graph.csr_offsets g and pairs = Graph.csr_pairs g in
   let q = Queue.create () in
   let order = ref [] in
   seen.(source) <- true;
@@ -101,13 +128,13 @@ let bfs_order g ~source =
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
     order := u :: !order;
-    let visit (v, _) =
+    for k = off.(u) to off.(u + 1) - 1 do
+      let v = pairs.(2 * k) in
       if not seen.(v) then begin
         seen.(v) <- true;
         Queue.add v q
       end
-    in
-    List.iter visit (Graph.neighbors g u)
+    done
   done;
   List.rev !order
 

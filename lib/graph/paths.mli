@@ -19,6 +19,7 @@ val dijkstra :
   weight:(Graph.edge -> float) ->
   ?admit:(int -> bool) ->
   ?expand:(int -> bool) ->
+  ?target:int ->
   unit ->
   dijkstra_result
 (** [dijkstra g ~source ~weight ()] runs single-source shortest paths.
@@ -29,6 +30,14 @@ val dijkstra :
     neighbours — with [expand] false a vertex can terminate paths but
     not relay them, which is how quantum users are kept out of channel
     interiors.  The source is always expanded.
+
+    With [?target] the run stops as soon as [target] is settled
+    (popped from the heap), turning an s-t query from settle-the-graph
+    into settle-until-target.  [dist.(target)], [prev.(target)] and
+    every vertex settled earlier are exactly as in the full run —
+    {!extract_path} to [target] is unaffected — but vertices that were
+    still on the frontier keep tentative (over-)estimates.  Omit
+    [target] when the result is reused for several destinations.
     @raise Invalid_argument if any relaxed edge has negative weight. *)
 
 val extract_path : dijkstra_result -> source:int -> target:int -> int list option

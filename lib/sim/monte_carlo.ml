@@ -15,14 +15,40 @@ type estimate = {
   within_ci : bool;
 }
 
-let estimate_rate rng g params tree ~trials =
+(* Trials are partitioned into fixed-size chunks whose rngs are split
+   sequentially off the caller's stream, so the sampled trajectories —
+   and hence the estimate — are bitwise identical at every [?pool]
+   size, including the serial default.  Chunks large enough that the
+   per-chunk split/closure overhead is noise against [Trial.run]. *)
+let chunk_trials = 4096
+
+let estimate_rate ?pool rng g params tree ~trials =
   if trials <= 0 then invalid_arg "Monte_carlo.estimate_rate: trials <= 0";
-  let successes = ref 0 in
-  Qnet_telemetry.Span.with_span "monte_carlo.estimate" (fun () ->
-      for _ = 1 to trials do
-        if (Trial.run rng g params tree).success then incr successes
-      done);
-  let successes = !successes in
+  let n_chunks = (trials + chunk_trials - 1) / chunk_trials in
+  let rngs = Qnet_util.Pool.split_seeds rng n_chunks in
+  let run_chunk c =
+    let rng = rngs.(c) in
+    let lo = c * chunk_trials in
+    let hi = min trials (lo + chunk_trials) in
+    let hits = ref 0 in
+    for _ = lo + 1 to hi do
+      if (Trial.run rng g params tree).success then incr hits
+    done;
+    !hits
+  in
+  let successes =
+    Qnet_telemetry.Span.with_span "monte_carlo.estimate" (fun () ->
+        match pool with
+        | Some pool when Qnet_util.Pool.jobs pool > 1 ->
+            Qnet_util.Pool.parallel_map pool ~chunk:1 n_chunks run_chunk
+            |> Array.fold_left ( + ) 0
+        | _ ->
+            let total = ref 0 in
+            for c = 0 to n_chunks - 1 do
+              total := !total + run_chunk c
+            done;
+            !total)
+  in
   Tm.Counter.add c_trials trials;
   Tm.Counter.add c_successes successes;
   let p_hat = float_of_int successes /. float_of_int trials in

@@ -16,6 +16,7 @@ type estimate = {
 }
 
 val estimate_rate :
+  ?pool:Qnet_util.Pool.t ->
   Qnet_util.Prng.t ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
@@ -23,7 +24,11 @@ val estimate_rate :
   trials:int ->
   estimate
 (** [estimate_rate rng g params tree ~trials] samples [trials]
-    independent slots.  @raise Invalid_argument if [trials <= 0]. *)
+    independent slots.  With [?pool] the trials run chunked across the
+    pool's domains; the chunk rngs are split off [rng] sequentially, so
+    the estimate is bitwise identical for every pool size (and for no
+    pool at all) given the same [rng] state.
+    @raise Invalid_argument if [trials <= 0]. *)
 
 val slots_until_success :
   Qnet_util.Prng.t ->

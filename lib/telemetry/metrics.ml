@@ -1,59 +1,188 @@
 (* Process-wide metrics registry: counters, gauges and log-bucketed
    latency histograms.  Every mutation is guarded by a single [on]
    flag so instrumented hot paths cost one load-and-branch when
-   telemetry is disabled (the default). *)
+   telemetry is disabled (the default).
+
+   Domain safety: handles are plain mutable records owned by the main
+   domain.  Inside a {!Qnet_util.Pool} parallel region every
+   participating domain (the submitting one included) installs a
+   domain-local shard — a table of private cells keyed by handle id —
+   so hot-path mutations stay unsynchronised; when the domain finishes
+   its share of the region the shard is folded into the owning records
+   under a lock using the commutative merges (counters add, gauges
+   max, histograms bucket-wise add).  Outside a region the
+   domain-local lookup finds no shard and mutations hit the handle
+   directly, exactly as before. *)
 
 let on = ref false
 let set_enabled v = on := v
 let enabled () = !on
 
-module Counter = struct
-  type t = { mutable count : int }
+(* One lock serialises the rare slow paths: handle-id assignment,
+   registry registration and shard folding.  Hot-path mutations never
+   take it. *)
+let lock = Mutex.create ()
 
-  let make () = { count = 0 }
-  let incr c = if !on then c.count <- c.count + 1
-  let add c n = if !on then c.count <- c.count + n
-  let value c = c.count
-  let reset c = c.count <- 0
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Dense ids shared by all metric kinds; they index shard tables. *)
+let next_id = ref 0
+
+let fresh_id () =
+  with_lock (fun () ->
+      let id = !next_id in
+      next_id := id + 1;
+      id)
+
+type counter = { c_id : int; mutable c_count : int }
+type gauge = { g_id : int; mutable g_value : float }
+
+(* Log2-bucketed histogram.  Bucket [i] holds observations [v] with
+   [upper (i-1) < v <= upper i] where [upper i = 2^(i + min_exp)].
+   The range 2^-30 s (~1 ns) .. 2^11 s (~34 min) covers every
+   latency this codebase produces; out-of-range values clamp into
+   the first/last bucket and stay exact through [min]/[max]. *)
+let hist_min_exp = -30
+let hist_buckets = 42
+
+type hist = {
+  h_id : int;
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_vmin : float;
+  mutable h_vmax : float;
+  h_counts : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain shards                                                   *)
+
+type slot =
+  | S_counter of counter * counter  (* owner handle, local cell *)
+  | S_gauge of gauge * gauge
+  | S_hist of hist * hist
+
+type shard = { mutable slots : slot option array }
+
+let shard_key : shard option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let slot_for shard id make =
+  let len = Array.length shard.slots in
+  if id >= len then begin
+    let grown = Array.make (max (id + 1) (2 * max 1 len)) None in
+    Array.blit shard.slots 0 grown 0 len;
+    shard.slots <- grown
+  end;
+  match shard.slots.(id) with
+  | Some s -> s
+  | None ->
+      let s = make () in
+      shard.slots.(id) <- Some s;
+      s
+
+(* The cell a mutation should hit: the handle itself outside parallel
+   regions, the domain-local twin inside one. *)
+
+let live_counter (c : counter) =
+  match Domain.DLS.get shard_key with
+  | None -> c
+  | Some sh -> (
+      match
+        slot_for sh c.c_id (fun () ->
+            S_counter (c, { c_id = c.c_id; c_count = 0 }))
+      with
+      | S_counter (_, local) -> local
+      | _ -> assert false)
+
+let live_gauge (g : gauge) =
+  match Domain.DLS.get shard_key with
+  | None -> g
+  | Some sh -> (
+      match
+        slot_for sh g.g_id (fun () ->
+            S_gauge (g, { g_id = g.g_id; g_value = 0. }))
+      with
+      | S_gauge (_, local) -> local
+      | _ -> assert false)
+
+let make_hist id =
+  {
+    h_id = id;
+    h_n = 0;
+    h_sum = 0.;
+    h_vmin = infinity;
+    h_vmax = neg_infinity;
+    h_counts = Array.make hist_buckets 0;
+  }
+
+let live_hist (h : hist) =
+  match Domain.DLS.get shard_key with
+  | None -> h
+  | Some sh -> (
+      match slot_for sh h.h_id (fun () -> S_hist (h, make_hist h.h_id)) with
+      | S_hist (_, local) -> local
+      | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Metric kinds                                                        *)
+
+module Counter = struct
+  type t = counter
+
+  let make () = { c_id = fresh_id (); c_count = 0 }
+
+  let incr c =
+    if !on then begin
+      let c = live_counter c in
+      c.c_count <- c.c_count + 1
+    end
+
+  let add c n =
+    if !on then begin
+      let c = live_counter c in
+      c.c_count <- c.c_count + n
+    end
+
+  let value c = c.c_count
+  let reset c = c.c_count <- 0
 end
 
 module Gauge = struct
-  type t = { mutable value : float }
+  type t = gauge
 
-  let make () = { value = 0. }
-  let set g v = if !on then g.value <- v
-  let add g v = if !on then g.value <- g.value +. v
-  let set_max g v = if !on && v > g.value then g.value <- v
-  let value g = g.value
-  let reset g = g.value <- 0.
+  let make () = { g_id = fresh_id (); g_value = 0. }
+
+  let set g v =
+    if !on then begin
+      let g = live_gauge g in
+      g.g_value <- v
+    end
+
+  let add g v =
+    if !on then begin
+      let g = live_gauge g in
+      g.g_value <- g.g_value +. v
+    end
+
+  let set_max g v =
+    if !on then begin
+      let g = live_gauge g in
+      if v > g.g_value then g.g_value <- v
+    end
+
+  let value g = g.g_value
+  let reset g = g.g_value <- 0.
 end
 
 module Histogram = struct
-  (* Log2-bucketed.  Bucket [i] holds observations [v] with
-     [upper (i-1) < v <= upper i] where [upper i = 2^(i + min_exp)].
-     The range 2^-30 s (~1 ns) .. 2^11 s (~34 min) covers every
-     latency this codebase produces; out-of-range values clamp into
-     the first/last bucket and stay exact through [min]/[max]. *)
-  let min_exp = -30
-  let bucket_count = 42
+  type t = hist
 
-  type t = {
-    mutable n : int;
-    mutable sum : float;
-    mutable vmin : float;
-    mutable vmax : float;
-    buckets : int array;
-  }
-
-  let make () =
-    {
-      n = 0;
-      sum = 0.;
-      vmin = infinity;
-      vmax = neg_infinity;
-      buckets = Array.make bucket_count 0;
-    }
-
+  let min_exp = hist_min_exp
+  let bucket_count = hist_buckets
+  let make () = make_hist (fresh_id ())
   let upper_bound i = Float.ldexp 1.0 (i + min_exp)
 
   let bucket_of v =
@@ -69,30 +198,31 @@ module Histogram = struct
 
   let observe h v =
     if !on then begin
-      h.n <- h.n + 1;
-      h.sum <- h.sum +. v;
-      if v < h.vmin then h.vmin <- v;
-      if v > h.vmax then h.vmax <- v;
+      let h = live_hist h in
+      h.h_n <- h.h_n + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_vmin then h.h_vmin <- v;
+      if v > h.h_vmax then h.h_vmax <- v;
       let i = bucket_of v in
-      h.buckets.(i) <- h.buckets.(i) + 1
+      h.h_counts.(i) <- h.h_counts.(i) + 1
     end
 
-  let count h = h.n
-  let sum h = h.sum
-  let min_value h = h.vmin
-  let max_value h = h.vmax
+  let count h = h.h_n
+  let sum h = h.h_sum
+  let min_value h = h.h_vmin
+  let max_value h = h.h_vmax
 
   let reset h =
-    h.n <- 0;
-    h.sum <- 0.;
-    h.vmin <- infinity;
-    h.vmax <- neg_infinity;
-    Array.fill h.buckets 0 bucket_count 0
+    h.h_n <- 0;
+    h.h_sum <- 0.;
+    h.h_vmin <- infinity;
+    h.h_vmax <- neg_infinity;
+    Array.fill h.h_counts 0 bucket_count 0
 
   let nonzero_buckets h =
     let acc = ref [] in
     for i = bucket_count - 1 downto 0 do
-      if h.buckets.(i) > 0 then acc := (upper_bound i, h.buckets.(i)) :: !acc
+      if h.h_counts.(i) > 0 then acc := (upper_bound i, h.h_counts.(i)) :: !acc
     done;
     !acc
 
@@ -102,21 +232,33 @@ module Histogram = struct
      floating-point rounding under re-association. *)
   let merge a b =
     {
-      n = a.n + b.n;
-      sum = a.sum +. b.sum;
-      vmin = Float.min a.vmin b.vmin;
-      vmax = Float.max a.vmax b.vmax;
-      buckets = Array.init bucket_count (fun i -> a.buckets.(i) + b.buckets.(i));
+      h_id = fresh_id ();
+      h_n = a.h_n + b.h_n;
+      h_sum = a.h_sum +. b.h_sum;
+      h_vmin = Float.min a.h_vmin b.h_vmin;
+      h_vmax = Float.max a.h_vmax b.h_vmax;
+      h_counts =
+        Array.init bucket_count (fun i -> a.h_counts.(i) + b.h_counts.(i));
     }
 
+  (* In-place variant used when folding a shard into its owner. *)
+  let merge_into ~src ~dst =
+    dst.h_n <- dst.h_n + src.h_n;
+    dst.h_sum <- dst.h_sum +. src.h_sum;
+    if src.h_vmin < dst.h_vmin then dst.h_vmin <- src.h_vmin;
+    if src.h_vmax > dst.h_vmax then dst.h_vmax <- src.h_vmax;
+    for i = 0 to bucket_count - 1 do
+      dst.h_counts.(i) <- dst.h_counts.(i) + src.h_counts.(i)
+    done
+
   let quantile h q =
-    if h.n = 0 then nan
-    else if q <= 0. then h.vmin
-    else if q >= 1. then h.vmax
+    if h.h_n = 0 then nan
+    else if q <= 0. then h.h_vmin
+    else if q >= 1. then h.h_vmax
     else begin
-      let rank = q *. float_of_int h.n in
+      let rank = q *. float_of_int h.h_n in
       let rec find i before =
-        let c = h.buckets.(i) in
+        let c = h.h_counts.(i) in
         if float_of_int (before + c) >= rank || i = bucket_count - 1 then
           (i, before, c)
         else find (i + 1) (before + c)
@@ -130,7 +272,7 @@ module Histogram = struct
         else (rank -. float_of_int before) /. float_of_int c
       in
       let est = hi /. 2. *. (2. ** f) in
-      Float.max h.vmin (Float.min h.vmax est)
+      Float.max h.h_vmin (Float.min h.h_vmax est)
     end
 
   type summary = {
@@ -147,17 +289,51 @@ module Histogram = struct
 
   let summarize h =
     {
-      count = h.n;
-      sum = h.sum;
-      min = h.vmin;
-      max = h.vmax;
-      mean = (if h.n = 0 then nan else h.sum /. float_of_int h.n);
+      count = h.h_n;
+      sum = h.h_sum;
+      min = h.h_vmin;
+      max = h.h_vmax;
+      mean = (if h.h_n = 0 then nan else h.h_sum /. float_of_int h.h_n);
       p50 = quantile h 0.5;
       p90 = quantile h 0.9;
       p95 = quantile h 0.95;
       p99 = quantile h 0.99;
     }
 end
+
+(* ------------------------------------------------------------------ *)
+(* Shard lifecycle                                                     *)
+
+module Shard = struct
+  let active () = Domain.DLS.get shard_key <> None
+
+  let enter () =
+    if active () then invalid_arg "Metrics.Shard.enter: shard already active";
+    Domain.DLS.set shard_key (Some { slots = Array.make 128 None })
+
+  let leave () =
+    match Domain.DLS.get shard_key with
+    | None -> ()
+    | Some sh ->
+        Domain.DLS.set shard_key None;
+        with_lock (fun () ->
+            Array.iter
+              (function
+                | None -> ()
+                | Some (S_counter (owner, local)) ->
+                    owner.c_count <- owner.c_count + local.c_count
+                | Some (S_gauge (owner, local)) ->
+                    if local.g_value > owner.g_value then
+                      owner.g_value <- local.g_value
+                | Some (S_hist (owner, local)) ->
+                    Histogram.merge_into ~src:local ~dst:owner)
+              sh.slots)
+end
+
+(* Fold shards around every Pool region so parallel loops aggregate
+   telemetry exactly like their serial counterparts. *)
+let () =
+  Qnet_util.Pool.add_region_hooks ~enter:Shard.enter ~leave:Shard.leave
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -174,49 +350,65 @@ let kind_name = function
   | Gauge_m _ -> "gauge"
   | Histogram_m _ -> "histogram"
 
+(* Registration takes the lock: solver modules register at
+   initialisation, but per-name lookups (spans, per-method histograms)
+   also happen inside parallel regions. *)
 let register name wrap make unwrap =
-  match Hashtbl.find_opt registry name with
-  | Some m -> begin
-      match unwrap m with
-      | Some v -> v
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> begin
+          match unwrap m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as a %s" name
+                   (kind_name m))
+        end
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered as a %s" name
-               (kind_name m))
-    end
-  | None ->
-      let v = make () in
-      Hashtbl.replace registry name (wrap v);
-      v
+          let v = make () in
+          Hashtbl.replace registry name (wrap v);
+          v)
 
+(* [make] functions take the lock for their id, so build them outside
+   [register]'s critical section via the unlocked primitives. *)
 let counter name =
   register name
     (fun c -> Counter_m c)
-    Counter.make
+    (fun () ->
+      let id = !next_id in
+      next_id := id + 1;
+      { c_id = id; c_count = 0 })
     (function Counter_m c -> Some c | _ -> None)
 
 let gauge name =
   register name
     (fun g -> Gauge_m g)
-    Gauge.make
+    (fun () ->
+      let id = !next_id in
+      next_id := id + 1;
+      { g_id = id; g_value = 0. })
     (function Gauge_m g -> Some g | _ -> None)
 
 let histogram name =
   register name
     (fun h -> Histogram_m h)
-    Histogram.make
+    (fun () ->
+      let id = !next_id in
+      next_id := id + 1;
+      make_hist id)
     (function Histogram_m h -> Some h | _ -> None)
 
 (* Zero every registered metric but keep the registrations: metric
    handles are bound at module initialisation and must stay valid. *)
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter_m c -> Counter.reset c
-      | Gauge_m g -> Gauge.reset g
-      | Histogram_m h -> Histogram.reset h)
-    registry
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter_m c -> Counter.reset c
+          | Gauge_m g -> Gauge.reset g
+          | Histogram_m h -> Histogram.reset h)
+        registry)
 
 type value =
   | Counter_v of int
@@ -224,16 +416,17 @@ type value =
   | Histogram_v of Histogram.summary
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
-      let v =
-        match m with
-        | Counter_m c -> Counter_v (Counter.value c)
-        | Gauge_m g -> Gauge_v (Gauge.value g)
-        | Histogram_m h -> Histogram_v (Histogram.summarize h)
-      in
-      (name, v) :: acc)
-    registry []
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | Counter_m c -> Counter_v (Counter.value c)
+            | Gauge_m g -> Gauge_v (Gauge.value g)
+            | Histogram_m h -> Histogram_v (Histogram.summarize h)
+          in
+          (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let touched = function

@@ -8,7 +8,17 @@
     paths costs one load-and-branch while telemetry is disabled — the
     default.  Enable with {!set_enabled} (the CLI's [--metrics] flag and
     [bench/main.exe snapshot] do), then read the registry back with
-    {!snapshot} or the renderers in {!Export}. *)
+    {!snapshot} or the renderers in {!Export}.
+
+    {b Domains.}  Handles are owned by the main domain.  Inside a
+    {!Qnet_util.Pool} parallel region each participating domain
+    mutates a private shard instead (installed and folded back by the
+    pool's region hooks — see {!Shard}), so instrumented code needs no
+    changes to run under the pool.  Shard folding uses commutative
+    merges: counters add, gauges keep the maximum, histograms add
+    bucket-wise.  Counter totals are therefore exact and identical at
+    every pool size; histogram [sum]s can differ in the last few ulps
+    from the serial run because float addition re-associates. *)
 
 val set_enabled : bool -> unit
 (** Turn recording on or off process-wide.  Off by default. *)
@@ -106,6 +116,23 @@ module Histogram : sig
   val summarize : t -> summary
 
   val reset : t -> unit
+end
+
+(** Per-domain metric shards.  {!Qnet_util.Pool} drives this module
+    automatically through its region hooks; call it directly only when
+    parallelising with raw [Domain]s. *)
+module Shard : sig
+  val active : unit -> bool
+  (** Whether the calling domain currently records into a shard. *)
+
+  val enter : unit -> unit
+  (** Install a fresh empty shard for the calling domain: subsequent
+      metric mutations on this domain go to private cells.
+      @raise Invalid_argument if a shard is already active here. *)
+
+  val leave : unit -> unit
+  (** Fold the calling domain's shard into the owning handles (under
+      the registry lock) and uninstall it.  No-op without a shard. *)
 end
 
 val counter : string -> Counter.t

@@ -1,17 +1,22 @@
 (* Lightweight nested span tracing.  Each completed span feeds a
    per-name duration histogram and call counter in the registry; a
-   process-local stack tracks nesting so instrumented code can ask for
-   its current depth/path.  When telemetry is disabled a span is just a
-   direct call of the wrapped thunk. *)
+   domain-local stack tracks nesting so instrumented code can ask for
+   its current depth/path — spans opened by pool workers nest within
+   that worker only, and their histogram observations go through the
+   worker's metric shard like any other mutation.  When telemetry is
+   disabled a span is just a direct call of the wrapped thunk. *)
 
 type frame = { name : string; start : float }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let depth () = List.length !stack
+let stack () = Domain.DLS.get stack_key
+
+let depth () = List.length !(stack ())
 
 let path () =
-  match !stack with
+  match !(stack ()) with
   | [] -> ""
   | frames -> String.concat "/" (List.rev_map (fun f -> f.name) frames)
 
@@ -19,6 +24,7 @@ let with_span name f =
   if not (Metrics.enabled ()) then f ()
   else begin
     let start = Clock.now_s () in
+    let stack = stack () in
     stack := { name; start } :: !stack;
     let finish () =
       (match !stack with

@@ -26,13 +26,33 @@ served=$(awk '$2 == "served" { print $4 }' "$run_a")
   { echo "traffic smoke served nothing (served=$served)" >&2; exit 1; }
 echo "traffic reproducible, served=$served"
 
+echo "== jobs determinism smoke =="
+# The same fixed-seed sweep must emit byte-identical CSV tables at
+# every --jobs level (the parallel runtime's determinism contract).
+sweep_j1=$(mktemp -t muerp_sweep_j1.XXXXXX.csv)
+sweep_j4=$(mktemp -t muerp_sweep_j4.XXXXXX.csv)
+trap 'rm -f "$run_a" "$run_b" "$sweep_j1" "$sweep_j4"' EXIT
+dune exec bin/muerp_cli.exe -- sweep users 4,6 --seed 7 -r 3 --jobs 1 \
+  --csv "$sweep_j1" >/dev/null
+dune exec bin/muerp_cli.exe -- sweep users 4,6 --seed 7 -r 3 --jobs 4 \
+  --csv "$sweep_j4" >/dev/null
+cmp "$sweep_j1" "$sweep_j4" ||
+  { echo "sweep results differ between --jobs 1 and --jobs 4" >&2; exit 1; }
+echo "sweep identical at --jobs 1 and --jobs 4"
+
 echo "== bench snapshot smoke =="
 snapshot=$(mktemp -t muerp_snapshot.XXXXXX.json)
-trap 'rm -f "$run_a" "$run_b" "$snapshot"' EXIT
+trap 'rm -f "$run_a" "$run_b" "$sweep_j1" "$sweep_j4" "$snapshot"' EXIT
 MUERP_REPLICATIONS=2 dune exec bench/main.exe -- snapshot "$snapshot"
 test -s "$snapshot" || { echo "snapshot produced no output" >&2; exit 1; }
 grep -q '"traffic"' "$snapshot" ||
   { echo "snapshot is missing the traffic section" >&2; exit 1; }
+grep -q '"parallel"' "$snapshot" ||
+  { echo "snapshot is missing the parallel section" >&2; exit 1; }
+grep -q '"estimate_equal": true' "$snapshot" ||
+  { echo "parallel bench: estimates differ across jobs levels" >&2; exit 1; }
+grep -q '"mean_rates_equal": true' "$snapshot" ||
+  { echo "parallel bench: sweep rates differ across jobs levels" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "$snapshot" >/dev/null
   echo "snapshot JSON parses"

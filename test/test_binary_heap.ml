@@ -85,6 +85,25 @@ let test_negative_and_inf_keys () =
     "order with special floats" [ "neg"; "zero"; "inf" ]
     (List.map snd (drain h))
 
+(* Reset-and-refill is the reuse idiom of the SSSP scratch heap: many
+   rounds over one heap must behave like fresh heaps every round. *)
+let test_reset_reuse () =
+  let h = Heap.create ~capacity:2 () in
+  for round = 1 to 5 do
+    Heap.reset h;
+    check_bool "empty after reset" true (Heap.is_empty h);
+    (* Descending pushes force sift-ups; size exceeds the initial
+       capacity so growth happens on a reused heap too. *)
+    for i = 64 downto 1 do
+      Heap.push h (float_of_int (i * round)) i
+    done;
+    let popped = List.map snd (drain h) in
+    check_bool
+      (Printf.sprintf "round %d ascending" round)
+      true
+      (popped = List.init 64 (fun i -> i + 1))
+  done
+
 (* Property: heap sort agrees with List.sort on random inputs. *)
 let prop_heapsort =
   QCheck.Test.make ~name:"heap sort matches list sort" ~count:200
@@ -110,6 +129,7 @@ let () =
         [
           Alcotest.test_case "growth" `Quick test_growth;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "reset reuse" `Quick test_reset_reuse;
           Alcotest.test_case "special keys" `Quick test_negative_and_inf_keys;
         ] );
       ( "properties",

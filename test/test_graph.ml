@@ -166,6 +166,56 @@ let test_out_of_range_accessors () =
     (Invalid_argument "Graph.neighbors: out of range") (fun () ->
       ignore (Graph.neighbors g 7))
 
+(* The CSR arrays are a mirror of the adjacency lists; any divergence
+   (order included) would silently change Dijkstra/BFS results. *)
+let csr_agrees g =
+  let off = Graph.csr_offsets g and pairs = Graph.csr_pairs g in
+  Array.length off = Graph.vertex_count g + 1
+  && 2 * off.(Graph.vertex_count g) = Array.length pairs
+  && List.for_all
+       (fun v ->
+         let from_csr =
+           List.init
+             (off.(v + 1) - off.(v))
+             (fun j ->
+               let k = off.(v) + j in
+               (pairs.(2 * k), pairs.((2 * k) + 1)))
+         in
+         let from_iter = ref [] in
+         Graph.iter_adjacent g v (fun w eid ->
+             from_iter := (w, eid) :: !from_iter);
+         from_csr = Graph.neighbors g v
+         && List.rev !from_iter = from_csr
+         && Graph.degree g v = List.length from_csr)
+       (List.init (Graph.vertex_count g) Fun.id)
+
+let prop_csr_matches_adjacency =
+  QCheck.Test.make ~name:"CSR mirrors adjacency lists" ~count:100
+    QCheck.(pair (int_range 1 10_000) (int_range 2 30))
+    (fun (seed, n) ->
+      let rng = Qnet_util.Prng.create seed in
+      let b = Graph.Builder.create () in
+      for i = 0 to n - 1 do
+        ignore
+          (Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2
+             ~x:(float_of_int i) ~y:0.)
+      done;
+      (* Random simple edges, density ~half of all pairs. *)
+      for _ = 1 to n * 2 do
+        let u = Qnet_util.Prng.int rng n and v = Qnet_util.Prng.int rng n in
+        if u <> v && not (Graph.Builder.has_edge b u v) then
+          ignore (Graph.Builder.add_edge b u v 1.)
+      done;
+      csr_agrees (Graph.Builder.freeze b))
+
+let test_csr_after_derivation () =
+  let g, _, _ = fixture () in
+  check_bool "frozen graph" true (csr_agrees g);
+  let g' = Graph.remove_edges g [ 0 ] in
+  check_bool "after remove_edges" true (csr_agrees g');
+  let g'' = Graph.with_qubits g (fun v -> v.Graph.qubits + 1) in
+  check_bool "after with_qubits" true (csr_agrees g'')
+
 let () =
   Alcotest.run "graph"
     [
@@ -193,4 +243,10 @@ let () =
       ( "errors",
         [ Alcotest.test_case "out of range" `Quick test_out_of_range_accessors ]
       );
+      ( "csr",
+        [
+          QCheck_alcotest.to_alcotest prop_csr_matches_adjacency;
+          Alcotest.test_case "csr after derivation" `Quick
+            test_csr_after_derivation;
+        ] );
     ]

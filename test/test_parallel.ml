@@ -1,0 +1,123 @@
+(* Determinism of the parallel runtime end to end: Monte-Carlo
+   estimates, experiment aggregates and merged telemetry counters must
+   be identical at every --jobs level on a fixed seed. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Pool = Qnet_util.Pool
+module Spec = Qnet_topology.Spec
+module Config = Qnet_experiments.Config
+module Runner = Qnet_experiments.Runner
+module Figures = Qnet_experiments.Figures
+module Monte_carlo = Qnet_sim.Monte_carlo
+module Tm = Qnet_telemetry.Metrics
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+
+let fixture seed =
+  let rng = Prng.create seed in
+  let spec = Spec.create ~n_users:4 ~n_switches:12 () in
+  let g = Qnet_topology.Generate.run Qnet_topology.Generate.waxman rng spec in
+  let params = Params.default in
+  (g, params, (Muerp.solve Conflict_free (Muerp.instance ~params g)).tree)
+
+(* Same rng seed, same trial count — the estimate must not depend on
+   the pool size (None = the pool-free serial path). *)
+let estimate jobs ~seed ~trials =
+  let g, params, tree = fixture seed in
+  match tree with
+  | None -> None
+  | Some tree ->
+      let rng = Prng.create (seed + 1_000_003) in
+      let run pool = Monte_carlo.estimate_rate ?pool rng g params tree ~trials in
+      Some
+        (match jobs with
+        | 1 -> run None
+        | jobs -> Pool.with_pool ~jobs (fun p -> run (Some p)))
+
+let prop_estimate_independent_of_jobs =
+  QCheck.Test.make ~name:"Monte-Carlo estimate independent of jobs" ~count:10
+    QCheck.(pair (int_range 1 1000) (int_range 1 20_000))
+    (fun (seed, trials) ->
+      let base = estimate 1 ~seed ~trials in
+      List.for_all (fun jobs -> estimate jobs ~seed ~trials = base) [ 2; 4 ])
+
+let tiny_cfg =
+  Config.create
+    ~spec:(Spec.create ~n_users:4 ~n_switches:12 ())
+    ~replications:4 ()
+
+let test_run_config_independent_of_jobs () =
+  let serial = Runner.run_config tiny_cfg in
+  List.iter
+    (fun jobs ->
+      let parallel =
+        Pool.with_pool ~jobs (fun pool -> Runner.run_config ~pool tiny_cfg)
+      in
+      List.iter2
+        (fun (a : Runner.aggregate) (b : Runner.aggregate) ->
+          check_bool
+            (Printf.sprintf "%s mean_rate at jobs=%d"
+               (Runner.method_name a.Runner.method_)
+               jobs)
+            true
+            (a.Runner.mean_rate = b.Runner.mean_rate);
+          check_bool "feasible count" true
+            (a.Runner.feasible = b.Runner.feasible))
+        serial parallel)
+    [ 2; 4 ]
+
+let test_fig7b_independent_of_jobs () =
+  let cfg =
+    Config.create
+      ~spec:(Spec.create ~n_users:4 ~n_switches:10 ())
+      ~replications:2 ()
+  in
+  let strip (s : Figures.series) = (s.Figures.x_values, s.Figures.rows) in
+  let serial = strip (Figures.fig7b ~cfg ~steps:3 ()) in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        strip (Figures.fig7b ~pool ~cfg ~steps:3 ()))
+  in
+  check_bool "fig7b identical at jobs=4" true (serial = parallel)
+
+(* Counters are merged exactly (integer addition is commutative), so
+   the folded registry must match the serial one bit for bit. *)
+let counters () =
+  List.filter_map
+    (fun (name, v) ->
+      match v with Tm.Counter_v n -> Some (name, n) | _ -> None)
+    (Tm.snapshot ())
+
+let test_counters_independent_of_jobs () =
+  Tm.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Tm.reset ();
+      Tm.set_enabled false)
+    (fun () ->
+      Tm.reset ();
+      ignore (Runner.run_config tiny_cfg);
+      let serial = counters () in
+      Tm.reset ();
+      Pool.with_pool ~jobs:4 (fun pool ->
+          ignore (Runner.run_config ~pool tiny_cfg));
+      let parallel = counters () in
+      check_bool "some counters collected" true (serial <> []);
+      check_bool "merged counters identical" true (serial = parallel))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_estimate_independent_of_jobs;
+          Alcotest.test_case "run_config independent of jobs" `Quick
+            test_run_config_independent_of_jobs;
+          Alcotest.test_case "fig7b independent of jobs" `Quick
+            test_fig7b_independent_of_jobs;
+          Alcotest.test_case "counters independent of jobs" `Quick
+            test_counters_independent_of_jobs;
+        ] );
+    ]

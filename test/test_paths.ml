@@ -144,6 +144,36 @@ let test_path_measures () =
     (Invalid_argument "Paths: consecutive vertices not adjacent") (fun () ->
       ignore (Paths.path_length g [ v0; v4 ]))
 
+(* ?target is an early exit, not a different algorithm: the settled
+   prefix — in particular the target itself — must agree with the full
+   run for every choice of target. *)
+let test_target_early_exit () =
+  let g, (v0, _, _, _, _) = diamond () in
+  let full = Paths.dijkstra g ~source:v0 ~weight:length_weight () in
+  for t = 0 to Graph.vertex_count g - 1 do
+    let r = Paths.dijkstra g ~source:v0 ~weight:length_weight ~target:t () in
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "dist to %d" t)
+      full.Paths.dist.(t) r.Paths.dist.(t);
+    Alcotest.(check (option (list int)))
+      (Printf.sprintf "path to %d" t)
+      (Paths.extract_path full ~source:v0 ~target:t)
+      (Paths.extract_path r ~source:v0 ~target:t)
+  done
+
+let test_target_with_filters () =
+  let g, (v0, v1, _, v3, _) = diamond () in
+  let admit v = v <> v1 in
+  let full = Paths.dijkstra g ~source:v0 ~weight:length_weight ~admit () in
+  let r =
+    Paths.dijkstra g ~source:v0 ~weight:length_weight ~admit ~target:v3 ()
+  in
+  Alcotest.(check (float 1e-12))
+    "detour distance with target" full.Paths.dist.(v3) r.Paths.dist.(v3);
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Paths.dijkstra: bad target") (fun () ->
+      ignore (Paths.dijkstra g ~source:v0 ~weight:length_weight ~target:99 ()))
+
 let () =
   Alcotest.run "paths"
     [
@@ -157,6 +187,9 @@ let () =
           Alcotest.test_case "negative weight" `Quick
             test_negative_weight_rejected;
           Alcotest.test_case "wrapper" `Quick test_shortest_path_wrapper;
+          Alcotest.test_case "target early exit" `Quick test_target_early_exit;
+          Alcotest.test_case "target with filters" `Quick
+            test_target_with_filters;
         ] );
       ( "traversal",
         [
