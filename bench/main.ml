@@ -6,6 +6,7 @@
      dune exec bench/main.exe fig5       # one experiment
      dune exec bench/main.exe headline   # §V-B improvement ratios
      dune exec bench/main.exe traffic    # online traffic engine, per policy
+     dune exec bench/main.exe faults     # acceptance under failure, per MTBF
      dune exec bench/main.exe micro      # Bechamel timings only
      dune exec bench/main.exe snapshot   # perf snapshot -> BENCH_muerp.json
 
@@ -175,6 +176,70 @@ let run_traffic () =
   print_endline (Qnet_util.Table.to_string t);
   print_newline ()
 
+(* Chaos benchmark: the prim policy's traffic scenario at a few
+   failure rates — acceptance under failure plus recovery latency from
+   the online.faults.recovery_seconds histogram.  Fixed seeds keep the
+   section deterministic, so it lands in BENCH_muerp.json as the
+   fault-tolerance trajectory. *)
+
+let fault_mtbf_levels = [ 40.; 15.; 6. ]
+
+let chaos_scenario ~seed mtbf =
+  let rng = Qnet_util.Prng.create seed in
+  let g = Qnet_topology.Waxman.generate rng Qnet_topology.Spec.default in
+  let params = Qnet_core.Params.default in
+  let wspec =
+    Qnet_online.Workload.spec ~requests:120
+      ~arrivals:(Qnet_online.Workload.Poisson 1.) ()
+  in
+  let reqs =
+    Qnet_online.Workload.generate (Qnet_util.Prng.create (seed + 8_191)) g
+      wspec
+  in
+  let policy = Option.get (Qnet_online.Policy.of_name "prim") in
+  let config =
+    Qnet_online.Engine.config ~recovery:Qnet_online.Engine.Repair policy
+  in
+  let faults =
+    Option.map
+      (fun mtbf ->
+        Qnet_faults.Model.make ~mtbf ~mttr:5. ~seed:(seed + 40_961) ())
+      mtbf
+  in
+  fst (Qnet_online.Engine.run ~config ?faults g params ~requests:reqs)
+
+let run_faults () =
+  let module E = Qnet_online.Engine in
+  let t =
+    Qnet_util.Table.create
+      [
+        "mtbf"; "served"; "acceptance"; "faults"; "interrupted"; "recovered";
+        "aborted"; "observed mttr";
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t mtbf ->
+        let r = chaos_scenario ~seed:42 mtbf in
+        Qnet_util.Table.add_row t
+          [
+            (match mtbf with None -> "inf" | Some m -> Printf.sprintf "%g" m);
+            string_of_int r.E.served;
+            Qnet_util.Table.float_cell r.E.acceptance_ratio;
+            string_of_int r.E.faults_injected;
+            string_of_int r.E.leases_interrupted;
+            string_of_int r.E.leases_recovered;
+            string_of_int r.E.leases_aborted;
+            Qnet_util.Table.float_cell r.E.mean_time_to_repair;
+          ])
+      t
+      (None :: List.map Option.some fault_mtbf_levels)
+  in
+  print_endline
+    "Acceptance under failure (prim policy, repair recovery, mttr 5):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
+
 (* Bechamel micro-benchmarks: per-algorithm wall-clock on the default
    network. *)
 let micro () =
@@ -312,6 +377,42 @@ let jhistogram (s : Qnet_telemetry.Metrics.Histogram.summary) =
       ("p95_s", jfloat s.p95);
       ("p99_s", jfloat s.p99);
     ]
+
+(* Chaos section of the snapshot: one fixed-seed scenario per failure
+   rate, recovery latency read off the telemetry histogram as a
+   before/after delta. *)
+let faults_section () =
+  let module E = Qnet_online.Engine in
+  let module Tm = Qnet_telemetry.Metrics in
+  let h_recovery = Tm.histogram "online.faults.recovery_seconds" in
+  List.map
+    (fun mtbf ->
+      let before = Tm.Histogram.summarize h_recovery in
+      let r = chaos_scenario ~seed:42 mtbf in
+      let after = Tm.Histogram.summarize h_recovery in
+      let recoveries = after.Tm.Histogram.count - before.Tm.Histogram.count in
+      let mean_recovery_s =
+        if recoveries = 0 then 0.
+        else
+          (after.Tm.Histogram.sum -. before.Tm.Histogram.sum)
+          /. float_of_int recoveries
+      in
+      jobj
+        [
+          ("mtbf", match mtbf with None -> "null" | Some m -> jfloat m);
+          ("mttr", match mtbf with None -> "null" | Some _ -> jfloat 5.);
+          ("served", string_of_int r.E.served);
+          ("acceptance_ratio", jfloat r.E.acceptance_ratio);
+          ("faults_injected", string_of_int r.E.faults_injected);
+          ("leases_interrupted", string_of_int r.E.leases_interrupted);
+          ("leases_recovered", string_of_int r.E.leases_recovered);
+          ("leases_aborted", string_of_int r.E.leases_aborted);
+          ("mean_time_to_repair_s", jfloat r.E.mean_time_to_repair);
+          ("mean_lost_service_s", jfloat r.E.mean_lost_service);
+          ("recoveries_timed", string_of_int recoveries);
+          ("mean_recovery_wall_s", jfloat mean_recovery_s);
+        ])
+    (None :: List.map Option.some fault_mtbf_levels)
 
 (* Parallel-runtime benchmark: the same fixed-seed Monte-Carlo and
    replication workloads at several --jobs levels.  Wall time and
@@ -472,6 +573,7 @@ let snapshot path =
           ])
       traffic_policies
   in
+  let faults = faults_section () in
   let parallel = parallel_section () in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
@@ -510,10 +612,11 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/3");
+        ("schema", jstr "muerp-bench-snapshot/4");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);
+        ("faults", jarr faults);
         ("parallel", parallel);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
@@ -567,12 +670,14 @@ let () =
       run_reference_nets ();
       run_ablations ();
       run_traffic ();
+      run_faults ();
       scaling ();
       micro ()
   | [ "headline" ] -> run_headline []
   | [ "reference" ] -> run_reference_nets ()
   | [ "ablation" ] -> run_ablations ()
   | [ "traffic" ] -> run_traffic ()
+  | [ "faults" ] -> run_faults ()
   | [ "scaling" ] -> scaling ()
   | [ "micro" ] -> micro ()
   | ids -> List.iter (fun id -> ignore (run_figure id)) ids

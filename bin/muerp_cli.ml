@@ -164,9 +164,21 @@ let solve_run verbose seed users switches degree qubits q alpha topology load
   let network =
     match load with
     | Some path -> (
-        match Qnet_graph.Codec.load_graph path with
+        (* load_graph reports parse problems as [Error] but lets I/O
+           exceptions escape; a missing or unreadable file must be a
+           clean CLI error, not a backtrace. *)
+        match
+          try
+            Result.map_error
+              (fun msg -> path ^ ": " ^ msg)
+              (Qnet_graph.Codec.load_graph path)
+          with
+          (* [Sys_error] messages already name the path. *)
+          | Sys_error msg -> Error msg
+          | Failure msg -> Error (path ^ ": " ^ msg)
+        with
         | Ok g -> Ok g
-        | Error msg -> Error (`Msg (path ^ ": " ^ msg)))
+        | Error msg -> Error (`Msg msg))
     | None -> build_network ~seed ~topology ~spec
   in
   match network with
@@ -760,7 +772,8 @@ let schedule_cmd =
 let traffic_run verbose seed users switches degree qubits q alpha topology
     requests arrival_rate batch_size batch_period group_min group_max
     duration_min duration_max patience_min patience_max policy_name cache
-    queue retry_base retry_max show_outcomes metrics =
+    queue retry_base retry_max fault_mtbf fault_mttr fault_targets
+    fault_regional fault_radius recovery_name jobs show_outcomes metrics =
   apply_verbose verbose;
   metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
@@ -794,14 +807,39 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
              ^ " (expected prim|alg2|alg3|eqcast, optionally with --cache)");
             exit 1
       in
+      let recovery =
+        match Qnet_online.Engine.recovery_of_string recovery_name with
+        | Ok r -> r
+        | Error msg -> prerr_endline msg; exit 1
+      in
       let config =
         try
           Qnet_online.Engine.config
             ~admission:
               (if queue > 0 then Qnet_online.Engine.Queue queue
                else Qnet_online.Engine.Reject)
-            ~retry_base ~retry_max policy
+            ~retry_base ~retry_max ~recovery policy
         with Invalid_argument msg -> prerr_endline msg; exit 1
+      in
+      let faults =
+        if fault_mtbf > 0. || fault_regional > 0. then begin
+          let targets =
+            match Qnet_faults.Model.target_of_string fault_targets with
+            | Ok t -> t
+            | Error msg -> prerr_endline msg; exit 1
+          in
+          try
+            Some
+              (Qnet_faults.Model.make
+                 ~mtbf:(if fault_mtbf > 0. then fault_mtbf else infinity)
+                 ~mttr:fault_mttr ~targets ~regional_rate:fault_regional
+                 ~regional_radius:fault_radius
+                   (* Distinct stream from the workload's, still driven
+                      by the one --seed. *)
+                 ~seed:(seed + 40_961) ())
+          with Invalid_argument msg -> prerr_endline msg; exit 1
+        end
+        else None
       in
       let rng = Qnet_util.Prng.create (seed + 8_191) in
       let reqs =
@@ -813,8 +851,15 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
       Printf.printf "policy: %s, queue bound %s\n"
         policy.Qnet_online.Policy.name
         (if queue > 0 then string_of_int queue else "none (reject)");
+      (match faults with
+      | None -> ()
+      | Some model ->
+          Format.printf "%a, recovery %s@." Qnet_faults.Model.pp model
+            (Qnet_online.Engine.recovery_to_string recovery));
       let report, outcomes =
-        Qnet_online.Engine.run ~config g params ~requests:reqs
+        with_jobs jobs (fun pool ->
+            Qnet_online.Engine.run ~config ?faults ?pool g params
+              ~requests:reqs)
       in
       print_endline
         (Qnet_util.Table.to_string (Qnet_online.Engine.report_table report));
@@ -842,7 +887,13 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
                 Printf.printf
                   "  #%-3d t=%-7.2f {%s}  EXPIRED @%.2f  attempts %d\n"
                   r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
-                  users at attempts)
+                  users at attempts
+            | Qnet_online.Engine.Interrupted { start; at; recoveries; _ } ->
+                Printf.printf
+                  "  #%-3d t=%-7.2f {%s}  INTERRUPTED @%.2f (served from \
+                   %.2f, %d recoveries)\n"
+                  r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
+                  users at start recoveries)
           outcomes;
       metrics_report metrics
 
@@ -910,6 +961,42 @@ let traffic_cmd =
     let doc = "Retry backoff cap (doubling saturates here)." in
     Arg.(value & opt float 8. & info [ "retry-max" ] ~docv:"T" ~doc)
   in
+  let fault_mtbf_t =
+    let doc =
+      "Mean time between failures per infrastructure element (0 disables \
+       the independent failure process)."
+    in
+    Arg.(value & opt float 0. & info [ "fault-mtbf" ] ~docv:"T" ~doc)
+  in
+  let fault_mttr_t =
+    let doc = "Mean time to repair a failed element." in
+    Arg.(value & opt float 10. & info [ "fault-mttr" ] ~docv:"T" ~doc)
+  in
+  let fault_targets_t =
+    let doc =
+      "Element class the failure process hits: $(b,links), $(b,switches) \
+       or $(b,both)."
+    in
+    Arg.(value & opt string "both" & info [ "fault-targets" ] ~docv:"KIND" ~doc)
+  in
+  let fault_regional_t =
+    let doc =
+      "Correlated regional-outage rate (outages per time unit; 0 \
+       disables)."
+    in
+    Arg.(value & opt float 0. & info [ "fault-regional" ] ~docv:"RATE" ~doc)
+  in
+  let fault_radius_t =
+    let doc = "Radius of a regional outage (km, in layout units)." in
+    Arg.(value & opt float 100. & info [ "fault-radius" ] ~docv:"R" ~doc)
+  in
+  let recovery_t =
+    let doc =
+      "Mid-lease fault response: $(b,abort), $(b,repair) (replace dead \
+       channels) or $(b,reroute) (route the group afresh)."
+    in
+    Arg.(value & opt string "repair" & info [ "recovery" ] ~docv:"MODE" ~doc)
+  in
   let outcomes_t =
     let doc = "Also print one line per request outcome." in
     Arg.(value & flag & info [ "outcomes" ] ~doc)
@@ -927,7 +1014,9 @@ let traffic_cmd =
       $ arrival_rate_t $ batch_size_t $ batch_period_t $ group_min_t
       $ group_max_t $ duration_min_t $ duration_max_t $ patience_min_t
       $ patience_max_t $ policy_t $ cache_t $ queue_t $ retry_base_t
-      $ retry_max_t $ outcomes_t $ metrics_t)
+      $ retry_max_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
+      $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t
+      $ outcomes_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 

@@ -35,11 +35,11 @@ let validate_groups g groups =
 
 (* One best channel from the grown set to an outside user of the group,
    under the shared residual capacity. *)
-let best_attachment g params ~capacity ~inside ~outside_users =
+let best_attachment ?exclude g params ~capacity ~inside ~outside_users =
   let best = ref None in
   Hashtbl.iter
     (fun src () ->
-      Routing.best_channels_from g params ~capacity ~src
+      Routing.best_channels_from ?exclude g params ~capacity ~src
       |> List.iter (fun (dst, (c : Channel.t)) ->
              if List.mem dst outside_users then
                match !best with
@@ -50,7 +50,7 @@ let best_attachment g params ~capacity ~inside ~outside_users =
     inside;
   !best
 
-let prim_for_users g params ~capacity ~users =
+let prim_for_users ?exclude g params ~capacity ~users =
   match users with
   | [] -> invalid_arg "Multi_group.prim_for_users: empty user set"
   | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -63,7 +63,7 @@ let prim_for_users g params ~capacity ~users =
         if !remaining = [] then Some (Ent_tree.of_channels (List.rev acc))
         else
           match
-            best_attachment g params ~capacity ~inside
+            best_attachment ?exclude g params ~capacity ~inside
               ~outside_users:!remaining
           with
           | None ->

@@ -51,6 +51,7 @@ val solve :
     members. *)
 
 val prim_for_users :
+  ?exclude:Routing.exclusion ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -58,4 +59,6 @@ val prim_for_users :
   Ent_tree.t option
 (** Algorithm 4 generalised to an arbitrary user subset and an external
     residual-capacity state (consumed on success, partially consumed on
-    failure paths are rolled back).  Exposed for reuse and testing. *)
+    failure paths are rolled back).  [exclude] (default
+    {!Routing.no_exclusion}) keeps the grown tree clear of failed
+    switches and fibers.  Exposed for reuse and testing. *)

@@ -9,6 +9,20 @@ let c_enumerations = Tm.counter "core.routing.enumerations"
 let edge_weight params (e : Graph.edge) =
   Params.link_neg_log params e.length +. Params.swap_neg_log params
 
+type exclusion = { vertex_ok : int -> bool; edge_ok : int -> bool }
+
+let no_exclusion = { vertex_ok = (fun _ -> true); edge_ok = (fun _ -> true) }
+
+let path_ok g exclude path =
+  let rec edges_up = function
+    | [] | [ _ ] -> true
+    | u :: (v :: _ as rest) -> (
+        match Graph.find_edge g u v with
+        | None -> false
+        | Some eid -> exclude.edge_ok eid && edges_up rest)
+  in
+  List.for_all exclude.vertex_ok path && edges_up path
+
 let check_user g v =
   if not (Graph.is_user g v) then
     invalid_arg "Routing: endpoint is not a quantum user"
@@ -16,10 +30,10 @@ let check_user g v =
 (* With q = 0 every swap fails, so the only viable channels are direct
    user-to-user fibers; the additive-weight transform would degenerate
    to infinity - infinity there, hence the special case. *)
-let direct_only g params ~src =
+let direct_only g params ~exclude ~src =
   List.filter_map
-    (fun (v, _) ->
-      if Graph.is_user g v then
+    (fun (v, eid) ->
+      if Graph.is_user g v && exclude.vertex_ok v && exclude.edge_ok eid then
         match Channel.make g params [ src; v ] with
         | Ok c ->
             Tm.Counter.incr c_channels_built;
@@ -28,14 +42,15 @@ let direct_only g params ~src =
       else None)
     (Graph.neighbors g src)
 
-let sssp ?target g params ~capacity ~src =
+let sssp ?target g params ~capacity ~exclude ~src =
   Tm.Counter.incr c_sssp_runs;
   let admit v =
-    if Graph.is_user g v then v <> src else Capacity.can_relay capacity v
+    exclude.vertex_ok v
+    && if Graph.is_user g v then v <> src else Capacity.can_relay capacity v
   in
   let expand v = Graph.is_switch g v in
   Paths.dijkstra g ~source:src ~weight:(edge_weight params) ~admit ~expand
-    ?target ()
+    ~edge_ok:exclude.edge_ok ?target ()
 
 let channel_from_result g params result ~src ~dst =
   match Paths.extract_path result ~source:src ~target:dst with
@@ -48,25 +63,26 @@ let channel_from_result g params result ~src ~dst =
       | Error _ -> None
     end
 
-let best_channel g params ~capacity ~src ~dst =
+let best_channel ?(exclude = no_exclusion) g params ~capacity ~src ~dst =
   check_user g src;
   check_user g dst;
   if src = dst then invalid_arg "Routing.best_channel: src = dst";
   if params.Params.q = 0. then
-    List.assoc_opt dst (direct_only g params ~src)
+    List.assoc_opt dst (direct_only g params ~exclude ~src)
   else
     (* A point query: let Dijkstra stop once [dst] settles instead of
        settling the whole graph. *)
-    channel_from_result g params (sssp ~target:dst g params ~capacity ~src) ~src
-      ~dst
+    channel_from_result g params
+      (sssp ~target:dst g params ~capacity ~exclude ~src)
+      ~src ~dst
 
-let best_channels_from g params ~capacity ~src =
+let best_channels_from ?(exclude = no_exclusion) g params ~capacity ~src =
   check_user g src;
   Tm.Counter.incr c_enumerations;
   if params.Params.q = 0. then
-    List.sort compare (direct_only g params ~src)
+    List.sort compare (direct_only g params ~exclude ~src)
   else begin
-    let result = sssp g params ~capacity ~src in
+    let result = sssp g params ~capacity ~exclude ~src in
     Graph.users g
     |> List.filter_map (fun u ->
            if u = src then None
@@ -76,11 +92,11 @@ let best_channels_from g params ~capacity ~src =
              | Some c -> Some (u, c))
   end
 
-let all_pairs_best g params ~capacity ~users =
+let all_pairs_best ?exclude g params ~capacity ~users =
   let users = List.sort_uniq compare users in
   List.concat_map
     (fun src ->
-      best_channels_from g params ~capacity ~src
+      best_channels_from ?exclude g params ~capacity ~src
       |> List.filter_map (fun (dst, c) ->
              (* Keep each unordered pair once. *)
              if List.mem dst users && src < dst then Some c else None))

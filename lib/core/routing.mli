@@ -13,7 +13,29 @@ val edge_weight : Params.t -> Qnet_graph.Graph.edge -> float
 (** The −log-space edge weight [alpha · L_e − ln q].  [infinity] when
     [q = 0.]. *)
 
+(** {2 Fault exclusion}
+
+    Routing normally sees the full graph; under infrastructure failure
+    (see [Qnet_faults]) callers pass an {!exclusion} so relaxation never
+    enters a failed switch nor crosses a failed fiber.  The hooks are
+    plain predicates, so this module stays independent of any particular
+    fault model. *)
+
+type exclusion = {
+  vertex_ok : int -> bool;  (** May the path enter this vertex? *)
+  edge_ok : int -> bool;  (** May the path cross this edge (by id)? *)
+}
+
+val no_exclusion : exclusion
+(** Permits everything — the default for every [?exclude] below. *)
+
+val path_ok : Qnet_graph.Graph.t -> exclusion -> int list -> bool
+(** Whether a vertex path survives the exclusion: every vertex passes
+    [vertex_ok] and every consecutive pair is joined by an edge passing
+    [edge_ok].  [false] when some pair has no edge at all. *)
+
 val best_channel :
+  ?exclude:exclusion ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -26,6 +48,7 @@ val best_channel :
     [src = dst]. *)
 
 val best_channels_from :
+  ?exclude:exclusion ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -37,6 +60,7 @@ val best_channels_from :
     Algorithm 2 from [|U|²] to [|U|] Dijkstra runs. *)
 
 val all_pairs_best :
+  ?exclude:exclusion ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->

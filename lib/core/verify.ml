@@ -57,3 +57,28 @@ let check g params ~users (tree : Ent_tree.t) =
   List.rev !violations
 
 let is_valid g params ~users tree = check g params ~users tree = []
+
+exception Violations of violation list
+
+let () =
+  Printexc.register_printer (function
+    | Violations vs ->
+        Some
+          (Format.asprintf "Verify.Violations [@[%a@]]"
+             (Format.pp_print_list
+                ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+                pp_violation)
+             vs)
+    | _ -> None)
+
+let check_exn ?context g params ~users tree =
+  match check g params ~users tree with
+  | [] -> ()
+  | vs ->
+      List.iter
+        (fun v ->
+          Qnet_util.Log.warn "verify%s: %s"
+            (match context with None -> "" | Some c -> " (" ^ c ^ ")")
+            (Format.asprintf "%a" pp_violation v))
+        vs;
+      raise (Violations vs)

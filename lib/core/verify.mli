@@ -34,3 +34,19 @@ val check :
 val is_valid :
   Qnet_graph.Graph.t -> Params.t -> users:int list -> Ent_tree.t -> bool
 (** [check] is empty. *)
+
+exception Violations of violation list
+(** Raised by {!check_exn}; carries every violation found. *)
+
+val check_exn :
+  ?context:string ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  users:int list ->
+  Ent_tree.t ->
+  unit
+(** Watchdog mode: {!check}, raising {!Violations} if any violation is
+    found.  [context] prefixes the log line emitted before raising
+    (e.g. ["engine repair"]) so chaos runs can tell which code path
+    produced the bad tree.  The online engine runs every repaired or
+    rerouted tree through this before putting it back in service. *)

@@ -1,0 +1,90 @@
+module Graph = Qnet_graph.Graph
+module Routing = Qnet_core.Routing
+
+type transition = No_change | Went_down | Came_up
+
+type t = {
+  graph : Graph.t;
+  link_down : int array;  (* concurrent-outage counts *)
+  switch_down : int array;
+  link_since : float array;  (* Went_down time while a spell is open *)
+  switch_since : float array;
+  mutable repairs : int;
+  mutable total_downtime : float;
+}
+
+let create g =
+  {
+    graph = g;
+    link_down = Array.make (max 1 (Graph.edge_count g)) 0;
+    switch_down = Array.make (max 1 (Graph.vertex_count g)) 0;
+    link_since = Array.make (max 1 (Graph.edge_count g)) 0.;
+    switch_since = Array.make (max 1 (Graph.vertex_count g)) 0.;
+    repairs = 0;
+    total_downtime = 0.;
+  }
+
+let slot t = function
+  | Schedule.Link eid -> (t.link_down, t.link_since, eid)
+  | Schedule.Switch vid -> (t.switch_down, t.switch_since, vid)
+
+let apply t (e : Schedule.event) =
+  let counts, since, i = slot t e.element in
+  if e.up then
+    if counts.(i) = 0 then No_change (* spurious repair: clamp *)
+    else begin
+      counts.(i) <- counts.(i) - 1;
+      if counts.(i) = 0 then begin
+        t.repairs <- t.repairs + 1;
+        t.total_downtime <- t.total_downtime +. Float.max 0. (e.time -. since.(i));
+        Came_up
+      end
+      else No_change
+    end
+  else begin
+    counts.(i) <- counts.(i) + 1;
+    if counts.(i) = 1 then begin
+      since.(i) <- e.time;
+      Went_down
+    end
+    else No_change
+  end
+
+let link_up t eid = t.link_down.(eid) = 0
+let switch_up t vid = t.switch_down.(vid) = 0
+
+let element_up t = function
+  | Schedule.Link eid -> link_up t eid
+  | Schedule.Switch vid -> switch_up t vid
+
+let any_down t =
+  Array.exists (fun c -> c > 0) t.link_down
+  || Array.exists (fun c -> c > 0) t.switch_down
+
+let downs counts n =
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if counts.(i) > 0 then acc := i :: !acc
+  done;
+  !acc
+
+let down_links t = downs t.link_down (Graph.edge_count t.graph)
+let down_switches t = downs t.switch_down (Graph.vertex_count t.graph)
+
+let exclusion t =
+  {
+    Routing.vertex_ok = (fun v -> t.switch_down.(v) = 0);
+    edge_ok = (fun eid -> t.link_down.(eid) = 0);
+  }
+
+let dead_channel t g path = not (Routing.path_ok g (exclusion t) path)
+
+let tree_ok t g (tree : Qnet_core.Ent_tree.t) =
+  List.for_all
+    (fun (c : Qnet_core.Channel.t) -> not (dead_channel t g c.path))
+    tree.channels
+
+let repairs t = t.repairs
+
+let observed_mttr t =
+  if t.repairs = 0 then 0. else t.total_downtime /. float_of_int t.repairs

@@ -1,0 +1,61 @@
+(** Live infrastructure health during a run.
+
+    Tracks, per element, {e how many} concurrent outages currently hold
+    it down — a count, not a flag, because the independent process and a
+    regional outage (or two overlapping regional outages) can fail the
+    same element at once, and the element is only truly back once every
+    cause has been repaired.  Applying a schedule event reports whether
+    the element actually changed observable state, which is what the
+    engine's recovery machinery keys on. *)
+
+type t
+
+type transition =
+  | No_change  (** Already down (another cause) or spurious repair. *)
+  | Went_down  (** First active outage: the element just became unusable. *)
+  | Came_up  (** Last outage cleared: the element is usable again. *)
+
+val create : Qnet_graph.Graph.t -> t
+(** Everything starts healthy. *)
+
+val apply : t -> Schedule.event -> transition
+(** Fold one schedule event in.  Spurious repairs (no active outage —
+    possible in adversarial replay tests) are clamped to {!No_change}
+    rather than driving the count negative. *)
+
+val link_up : t -> int -> bool
+val switch_up : t -> int -> bool
+val element_up : t -> Schedule.element -> bool
+val any_down : t -> bool
+
+val down_links : t -> int list
+(** Ascending edge ids. *)
+
+val down_switches : t -> int list
+(** Ascending vertex ids. *)
+
+val exclusion : t -> Qnet_core.Routing.exclusion
+(** Routing exclusion backed live by this health state: failed switches
+    are not enterable, failed fibers not crossable.  The closure reads
+    [t] at query time, so one value stays valid as health evolves. *)
+
+val tree_ok : t -> Qnet_graph.Graph.t -> Qnet_core.Ent_tree.t -> bool
+(** Whether every channel of the tree survives the current health
+    state. *)
+
+val dead_channel : t -> Qnet_graph.Graph.t -> int list -> bool
+(** Whether a channel path crosses any failed element ([not] of
+    {!Qnet_core.Routing.path_ok} under {!exclusion}). *)
+
+(** {2 Downtime accounting}
+
+    Observed (not modelled) repair statistics, fed by {!apply}'s event
+    times: an element's downtime spell runs from its [Went_down] to its
+    [Came_up]. *)
+
+val repairs : t -> int
+(** Completed downtime spells so far. *)
+
+val observed_mttr : t -> float
+(** Mean length of completed downtime spells; [0.] before the first
+    repair. *)

@@ -1,0 +1,39 @@
+type target = Links | Switches | Both
+
+type t = {
+  mtbf : float;
+  mttr : float;
+  targets : target;
+  regional_rate : float;
+  regional_radius : float;
+  seed : int;
+}
+
+let make ?(mtbf = infinity) ?(mttr = 10.) ?(targets = Both)
+    ?(regional_rate = 0.) ?(regional_radius = 100.) ?(seed = 0) () =
+  if not (mttr > 0.) then invalid_arg "Faults.Model.make: mttr must be > 0";
+  if regional_rate < 0. || Float.is_nan regional_rate then
+    invalid_arg "Faults.Model.make: negative regional_rate";
+  if regional_radius < 0. || Float.is_nan regional_radius then
+    invalid_arg "Faults.Model.make: negative regional_radius";
+  { mtbf; mttr; targets; regional_rate; regional_radius; seed }
+
+let independent_enabled t = t.mtbf > 0. && Float.is_finite t.mtbf
+let enabled t = independent_enabled t || t.regional_rate > 0.
+
+let target_of_string = function
+  | "links" -> Ok Links
+  | "switches" -> Ok Switches
+  | "both" -> Ok Both
+  | s -> Error (Printf.sprintf "unknown fault target %S (expected links|switches|both)" s)
+
+let target_to_string = function
+  | Links -> "links"
+  | Switches -> "switches"
+  | Both -> "both"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "faults { mtbf=%g; mttr=%g; targets=%s; regional=%g/s r=%gkm; seed=%d }"
+    t.mtbf t.mttr (target_to_string t.targets) t.regional_rate
+    t.regional_radius t.seed

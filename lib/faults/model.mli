@@ -1,0 +1,59 @@
+(** Failure-model parameters for fault injection.
+
+    Infrastructure elements (optical fibers and switches) fail and come
+    back following the classic availability model: each element
+    alternates exponentially distributed up-times (mean {!mtbf}) and
+    down-times (mean {!mttr}), independently of every other element.  On
+    top of the independent process, optional {e regional outages} take
+    down every element within a disc of the simulation area at once and
+    repair them together — the correlated-failure mode (power cuts,
+    backhoes) that independent exponentials cannot produce.
+
+    A model is pure configuration; {!Schedule.generate} turns it into a
+    concrete, deterministic event list for one run. *)
+
+type target = Links | Switches | Both
+(** Which element class the independent failure process applies to.
+    Regional outages always hit both classes — a disaster does not
+    distinguish fiber from switch. *)
+
+type t = {
+  mtbf : float;
+      (** Mean time between failures per element, in simulation seconds.
+          Non-positive or infinite disables the independent process. *)
+  mttr : float;  (** Mean time to repair, in simulation seconds. *)
+  targets : target;
+  regional_rate : float;
+      (** Regional outages per simulation second over the whole area;
+          [0.] (the default) disables them. *)
+  regional_radius : float;
+      (** Radius (km) of the disc an outage takes down. *)
+  seed : int;  (** Fault randomness is split from this seed alone. *)
+}
+
+val make :
+  ?mtbf:float ->
+  ?mttr:float ->
+  ?targets:target ->
+  ?regional_rate:float ->
+  ?regional_radius:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [mtbf = infinity] (no faults), [mttr = 10.],
+    [targets = Both], [regional_rate = 0.], [regional_radius = 100.],
+    [seed = 0].  @raise Invalid_argument on a non-positive [mttr] or
+    negative rate/radius. *)
+
+val enabled : t -> bool
+(** Whether the model can produce any fault at all. *)
+
+val independent_enabled : t -> bool
+(** Whether the per-element exponential process is active (finite,
+    positive [mtbf]). *)
+
+val target_of_string : string -> (target, string) result
+(** Parses ["links" | "switches" | "both"] (the CLI vocabulary). *)
+
+val target_to_string : target -> string
+val pp : Format.formatter -> t -> unit

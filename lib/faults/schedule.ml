@@ -1,0 +1,136 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+
+type element = Link of int | Switch of int
+
+type event = { time : float; element : element; up : bool }
+
+let compare_element a b =
+  match (a, b) with
+  | Link x, Link y | Switch x, Switch y -> Int.compare x y
+  | Link _, Switch _ -> -1
+  | Switch _, Link _ -> 1
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c
+  else
+    (* Repairs before failures at an exact tie, so an element that is
+       flapping at one instant ends the instant in its failed state. *)
+    let c = Bool.compare b.up a.up in
+    if c <> 0 then c else compare_element a.element b.element
+
+(* Alternating Exp(mtbf) up / Exp(mttr) down renewal chain for one
+   element, from its own generator. *)
+let element_chain rng ~mtbf ~mttr ~horizon element acc =
+  let fail_rate = 1. /. mtbf and repair_rate = 1. /. mttr in
+  (* Every element starts the run healthy. *)
+  let rec loop t acc =
+    let t_fail = t +. Prng.exponential rng fail_rate in
+    if t_fail >= horizon then acc
+    else
+      let acc = { time = t_fail; element; up = false } :: acc in
+      let t_repair = t_fail +. Prng.exponential rng repair_rate in
+      if t_repair >= horizon then acc
+      else loop t_repair ({ time = t_repair; element; up = true } :: acc)
+  in
+  loop 0. acc
+
+let independent model g ~horizon acc =
+  if not (Model.independent_enabled model) then acc
+  else begin
+    let rng = Prng.create model.Model.seed in
+    let acc = ref acc in
+    (* Fixed element order (links by eid, then switches by vid) so each
+       element's split stream is stable across runs and graphs edits
+       elsewhere. *)
+    let links_on =
+      match model.targets with Model.Links | Model.Both -> true | _ -> false
+    and switches_on =
+      match model.targets with
+      | Model.Switches | Model.Both -> true
+      | _ -> false
+    in
+    if links_on then
+      for eid = 0 to Graph.edge_count g - 1 do
+        let r = Prng.split rng in
+        acc :=
+          element_chain r ~mtbf:model.mtbf ~mttr:model.mttr ~horizon
+            (Link eid) !acc
+      done;
+    if switches_on then
+      List.iter
+        (fun vid ->
+          let r = Prng.split rng in
+          acc :=
+            element_chain r ~mtbf:model.mtbf ~mttr:model.mttr ~horizon
+              (Switch vid) !acc)
+        (Graph.switches g);
+    !acc
+  end
+
+let bounding_box g =
+  let min_x = ref infinity
+  and max_x = ref neg_infinity
+  and min_y = ref infinity
+  and max_y = ref neg_infinity in
+  Graph.iter_vertices g (fun v ->
+      if v.Graph.x < !min_x then min_x := v.x;
+      if v.x > !max_x then max_x := v.x;
+      if v.y < !min_y then min_y := v.y;
+      if v.y > !max_y then max_y := v.y);
+  (!min_x, !max_x, !min_y, !max_y)
+
+let uniform_in rng lo hi =
+  if hi > lo then lo +. Prng.float rng (hi -. lo) else lo
+
+let regional model g ~horizon acc =
+  if model.Model.regional_rate <= 0. then acc
+  else begin
+    let rng = Prng.create (model.Model.seed lxor 0x5eed_fa11) in
+    let min_x, max_x, min_y, max_y = bounding_box g in
+    let radius = model.regional_radius in
+    let acc = ref acc in
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      t := !t +. Prng.exponential rng model.regional_rate;
+      if !t >= horizon then continue := false
+      else begin
+        let cx = uniform_in rng min_x max_x
+        and cy = uniform_in rng min_y max_y in
+        let repair_at = !t +. Prng.exponential rng (1. /. model.mttr) in
+        let inside vid =
+          let v = Graph.vertex g vid in
+          let dx = v.Graph.x -. cx and dy = v.Graph.y -. cy in
+          (dx *. dx) +. (dy *. dy) <= radius *. radius
+        in
+        let hit element =
+          acc := { time = !t; element; up = false } :: !acc;
+          if repair_at < horizon then
+            acc := { time = repair_at; element; up = true } :: !acc
+        in
+        List.iter
+          (fun vid -> if inside vid then hit (Switch vid))
+          (Graph.switches g);
+        Graph.iter_edges g (fun e ->
+            if inside e.Graph.a || inside e.Graph.b then hit (Link e.eid))
+      end
+    done;
+    !acc
+  end
+
+let generate model g ~horizon =
+  if horizon <= 0. || not (Model.enabled model) then []
+  else
+    independent model g ~horizon [] |> regional model g ~horizon
+    |> List.sort compare_event
+
+let pp_element fmt = function
+  | Link eid -> Format.fprintf fmt "link %d" eid
+  | Switch vid -> Format.fprintf fmt "switch %d" vid
+
+let pp_event fmt e =
+  Format.fprintf fmt "%.3f %s %a" e.time
+    (if e.up then "repair" else "fail")
+    pp_element e.element

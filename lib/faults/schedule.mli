@@ -1,0 +1,45 @@
+(** Deterministic fault/repair schedules.
+
+    {!generate} expands a {!Model.t} over a concrete graph and horizon
+    into the full ordered list of up/down transitions, before the run
+    starts.  Pre-materialising the schedule (rather than sampling faults
+    inside the event loop) is what keeps chaos runs bitwise reproducible
+    regardless of how the engine interleaves its own events or how many
+    domains execute the surrounding pipeline: the schedule depends only
+    on the model, the graph, and the horizon. *)
+
+type element = Link of int  (** edge id *) | Switch of int  (** vertex id *)
+
+type event = {
+  time : float;
+  element : element;
+  up : bool;  (** [false] = failure, [true] = repair. *)
+}
+
+val compare_element : element -> element -> int
+val compare_event : event -> event -> int
+(** Total order: time, then repairs before failures, then element — the
+    tie-break that makes simultaneous regional transitions
+    deterministic. *)
+
+val generate :
+  Model.t -> Qnet_graph.Graph.t -> horizon:float -> event list
+(** All transitions in [\[0, horizon)], sorted by {!compare_event}.
+
+    Independent process: each eligible element (per [targets]) runs its
+    own alternating Exp(mtbf) up / Exp(mttr) down renewal chain from its
+    own PRNG stream, split off the model seed in a fixed element order —
+    so one element's draws never perturb another's.
+
+    Regional outages: outage starts arrive as a Poisson process of rate
+    [regional_rate]; each picks a centre uniformly in the bounding box
+    of the vertex layout and one shared Exp(mttr) repair delay.  Every
+    switch inside the radius, and every fiber with an endpoint inside,
+    goes down at the start time and comes back at the shared repair
+    time (correlated failure and correlated repair).
+
+    An element can be down for several overlapping reasons at once;
+    consumers must count down/up transitions per element (see
+    {!Health}) rather than treat them as a toggle. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -31,7 +31,7 @@ let with_scratch_heap n f =
       Fun.protect ~finally:(fun () -> cell := Some heap) (fun () -> f heap)
 
 let dijkstra g ~source ~weight ?(admit = fun _ -> true)
-    ?(expand = fun _ -> true) ?target () =
+    ?(expand = fun _ -> true) ?(edge_ok = fun _ -> true) ?target () =
   let n = Graph.vertex_count g in
   if source < 0 || source >= n then invalid_arg "Paths.dijkstra: bad source";
   (match target with
@@ -62,7 +62,11 @@ let dijkstra g ~source ~weight ?(admit = fun _ -> true)
                 for k = off.(u) to off.(u + 1) - 1 do
                   let v = pairs.(2 * k) in
                   Tm.Counter.incr c_relaxations;
-                  if not done_.(v) && (v = source || admit v) then begin
+                  if
+                    (not done_.(v))
+                    && (v = source || admit v)
+                    && edge_ok pairs.((2 * k) + 1)
+                  then begin
                     let e = Graph.edge g pairs.((2 * k) + 1) in
                     let w = weight e in
                     if w < 0. then
@@ -90,8 +94,8 @@ let extract_path { dist; prev } ~source ~target =
     Some (walk target [])
   end
 
-let shortest_path g ~source ~target ~weight ?admit ?expand () =
-  let result = dijkstra g ~source ~weight ?admit ?expand ~target () in
+let shortest_path g ~source ~target ~weight ?admit ?expand ?edge_ok () =
+  let result = dijkstra g ~source ~weight ?admit ?expand ?edge_ok ~target () in
   match extract_path result ~source ~target with
   | None -> None
   | Some path -> Some (path, result.dist.(target))

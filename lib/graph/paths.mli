@@ -19,6 +19,7 @@ val dijkstra :
   weight:(Graph.edge -> float) ->
   ?admit:(int -> bool) ->
   ?expand:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
   ?target:int ->
   unit ->
   dijkstra_result
@@ -29,7 +30,10 @@ val dijkstra :
     controls whether a settled non-source vertex relaxes its own
     neighbours — with [expand] false a vertex can terminate paths but
     not relay them, which is how quantum users are kept out of channel
-    interiors.  The source is always expanded.
+    interiors.  The source is always expanded.  [edge_ok eid] (default:
+    always [true]) filters individual edges out of relaxation — the
+    hook fault-aware routing uses to exclude failed fibers without
+    rebuilding the graph.
 
     With [?target] the run stops as soon as [target] is settled
     (popped from the heap), turning an s-t query from settle-the-graph
@@ -51,6 +55,7 @@ val shortest_path :
   weight:(Graph.edge -> float) ->
   ?admit:(int -> bool) ->
   ?expand:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
   unit ->
   (int list * float) option
 (** One-shot wrapper returning the path and its total weight. *)

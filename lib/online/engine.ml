@@ -1,6 +1,9 @@
 module Graph = Qnet_graph.Graph
 module Lease = Qnet_sim.Scheduler.Lease
 module Tm = Qnet_telemetry.Metrics
+module Fmodel = Qnet_faults.Model
+module Fsched = Qnet_faults.Schedule
+module Fhealth = Qnet_faults.Health
 open Qnet_core
 
 let c_arrivals = Tm.counter "online.engine.arrivals"
@@ -13,18 +16,39 @@ let g_peak_queue = Tm.gauge "online.engine.peak_queue_depth"
 let g_utilization = Tm.gauge "online.engine.mean_utilization"
 let h_wait = Tm.histogram "online.engine.wait_time"
 let h_rate = Tm.histogram "online.engine.served_rate"
+let c_faults_injected = Tm.counter "online.faults.injected"
+let c_faults_repaired = Tm.counter "online.faults.repaired"
+let c_leases_interrupted = Tm.counter "online.faults.interrupted"
+let c_leases_recovered = Tm.counter "online.faults.recovered"
+let c_leases_aborted = Tm.counter "online.faults.aborted"
+let h_recovery = Tm.histogram "online.faults.recovery_seconds"
 
 type admission = Reject | Queue of int
+type recovery = Abort | Repair | Reroute
+
+let recovery_of_string = function
+  | "abort" -> Ok Abort
+  | "repair" -> Ok Repair
+  | "reroute" -> Ok Reroute
+  | s ->
+      Error
+        (Printf.sprintf "unknown recovery policy %S (expected abort|repair|reroute)" s)
+
+let recovery_to_string = function
+  | Abort -> "abort"
+  | Repair -> "repair"
+  | Reroute -> "reroute"
 
 type config = {
   policy : Policy.t;
   admission : admission;
   retry_base : float;
   retry_max : float;
+  recovery : recovery;
 }
 
 let config ?(admission = Queue 32) ?(retry_base = 0.5) ?(retry_max = 8.)
-    policy =
+    ?(recovery = Repair) policy =
   (match admission with
   | Reject -> ()
   | Queue n -> if n < 1 then invalid_arg "Engine.config: queue bound < 1");
@@ -32,7 +56,7 @@ let config ?(admission = Queue 32) ?(retry_base = 0.5) ?(retry_max = 8.)
     invalid_arg "Engine.config: retry_base must be positive";
   if retry_max < retry_base then
     invalid_arg "Engine.config: retry_max < retry_base";
-  { policy; admission; retry_base; retry_max }
+  { policy; admission; retry_base; retry_max; recovery }
 
 type resolution =
   | Served of {
@@ -41,11 +65,26 @@ type resolution =
       tree : Ent_tree.t;
       rate : float;
       attempts : int;
+      recoveries : int;
     }
   | Rejected of { at : float; queue_full : bool }
   | Expired of { at : float; attempts : int }
+  | Interrupted of {
+      start : float;
+      at : float;
+      attempts : int;
+      recoveries : int;
+    }
 
 type outcome = { request : Workload.request; resolution : resolution }
+
+type incident = {
+  at : float;
+  request_id : int;
+  element : Fsched.element;
+  before : Ent_tree.t;
+  after : Ent_tree.t option;
+}
 
 type report = {
   arrived : int;
@@ -62,9 +101,20 @@ type report = {
   peak_queue_depth : int;
   retries : int;
   mean_utilization : float;
+  faults_injected : int;
+  faults_repaired : int;
+  leases_interrupted : int;
+  leases_recovered : int;
+  leases_aborted : int;
+  mean_time_to_repair : float;
+  mean_lost_service : float;
 }
 
-type event = Arrival of Workload.request | Retry of int | Expiry of int
+type event =
+  | Arrival of Workload.request
+  | Retry of int
+  | Expiry of int
+  | Fault of Fsched.event
 
 type req_state = {
   req : Workload.request;
@@ -72,6 +122,18 @@ type req_state = {
   mutable backoff : float;
   mutable waiting : bool;
   mutable resolved : bool;
+}
+
+(* A lease in service, with everything a mid-lease fault needs to
+   repair or settle it. *)
+type active = {
+  lid : int;
+  st : req_state;
+  mutable lease : Lease.t;
+  mutable tree : Ent_tree.t;
+  started : float;
+  finish : float;
+  mutable recoveries : int;
 }
 
 let validate g requests =
@@ -103,16 +165,53 @@ let validate g requests =
 let total_switch_qubits g =
   List.fold_left (fun acc s -> acc + Graph.qubits g s) 0 (Graph.switches g)
 
-let run ?config:(cfg = config Policy.prim) g params ~requests =
+(* Nothing after [max (arrival, deadline) + duration] of any request can
+   affect an outcome, so the fault schedule needs no more horizon. *)
+let fault_horizon requests =
+  List.fold_left
+    (fun acc (r : Workload.request) ->
+      Float.max acc
+        (Float.max r.Workload.arrival r.Workload.deadline
+        +. r.Workload.duration))
+    0. requests
+
+let validate_schedule g schedule =
+  List.iter
+    (fun (fe : Fsched.event) ->
+      if Float.is_nan fe.time || fe.time < 0. then
+        invalid_arg "Engine.run: fault event with bad timestamp";
+      match fe.element with
+      | Fsched.Link eid ->
+          if eid < 0 || eid >= Graph.edge_count g then
+            invalid_arg "Engine.run: fault event on unknown edge"
+      | Fsched.Switch vid ->
+          if vid < 0 || vid >= Graph.vertex_count g then
+            invalid_arg "Engine.run: fault event on unknown vertex")
+    schedule
+
+let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
+    ?pool g params ~requests =
   validate g requests;
+  Option.iter (validate_schedule g) fault_schedule;
   let capacity = Capacity.of_graph g in
+  let health =
+    match (faults, fault_schedule) with
+    | None, None -> None
+    | _ -> Some (Fhealth.create g)
+  in
+  let exclude =
+    match health with
+    | None -> Routing.no_exclusion
+    | Some h -> Fhealth.exclusion h
+  in
   let events : event Event_queue.t = Event_queue.create () in
   let states : (int, req_state) Hashtbl.t = Hashtbl.create 64 in
-  let leases : (int, Lease.t) Hashtbl.t = Hashtbl.create 64 in
+  let active : (int, active) Hashtbl.t = Hashtbl.create 64 in
   let next_lease = ref 0 in
   let queue = ref [] in
   (* waiting request ids, FIFO (head = oldest) *)
   let outcomes = ref [] in
+  let unresolved = ref (List.length requests) in
   let in_use = ref 0 in
   let peak_qubits = ref 0 in
   let peak_queue = ref 0 in
@@ -120,42 +219,49 @@ let run ?config:(cfg = config Policy.prim) g params ~requests =
   let util_integral = ref 0. in
   let last_time = ref 0. in
   let makespan = ref 0. in
+  let faults_injected = ref 0 in
+  let faults_repaired = ref 0 in
+  let leases_interrupted = ref 0 in
+  let leases_recovered = ref 0 in
+  let leases_aborted = ref 0 in
+  let lost_service = ref 0. in
   let resolve st resolution =
     st.resolved <- true;
     st.waiting <- false;
+    decr unresolved;
     outcomes := { request = st.req; resolution } :: !outcomes
   in
   (* One routing attempt for [st] at time [t]; on success the lease is
-     registered and its expiry scheduled. *)
+     registered and its expiry scheduled — resolution waits for the
+     lease to complete (it may yet be interrupted by a fault). *)
   let try_serve t st =
     let r = st.req in
     st.attempts <- st.attempts + 1;
     match
       Qnet_telemetry.Span.with_span "online.route" (fun () ->
-          cfg.policy.Policy.route g params ~capacity ~users:r.Workload.users)
+          cfg.policy.Policy.route ~exclude g params ~capacity
+            ~users:r.Workload.users)
     with
     | None -> false
     | Some tree ->
         let lease = Lease.acquire tree in
         let lid = !next_lease in
         incr next_lease;
-        Hashtbl.replace leases lid lease;
+        Hashtbl.replace active lid
+          {
+            lid;
+            st;
+            lease;
+            tree;
+            started = t;
+            finish = t +. r.Workload.duration;
+            recoveries = 0;
+          };
         Event_queue.push events (t +. r.Workload.duration) (Expiry lid);
         in_use := !in_use + Lease.qubits lease;
         peak_qubits := max !peak_qubits !in_use;
-        let rate = Ent_tree.rate_prob tree in
-        Tm.Counter.incr c_served;
+        st.waiting <- false;
         Tm.Histogram.observe h_wait (t -. r.Workload.arrival);
-        Tm.Histogram.observe h_rate rate;
-        resolve st
-          (Served
-             {
-               start = t;
-               finish = t +. r.Workload.duration;
-               tree;
-               rate;
-               attempts = st.attempts;
-             });
         true
   in
   let schedule_retry t st =
@@ -203,19 +309,16 @@ let run ?config:(cfg = config Policy.prim) g params ~requests =
     if st.waiting then begin
       incr retries;
       Tm.Counter.incr c_retries;
-      if try_serve t st then
-        queue := List.filter (fun i -> i <> id) !queue
+      if try_serve t st then queue := List.filter (fun i -> i <> id) !queue
       else if t >= st.req.Workload.deadline then expire t st
       else schedule_retry t st
     end
   in
-  let on_expiry t lid =
-    let lease = Hashtbl.find leases lid in
-    Hashtbl.remove leases lid;
-    in_use := !in_use - Lease.qubits lease;
-    Lease.release capacity lease;
-    (* Work conservation: freed qubits go to the longest-waiting
-       requests first, without waiting out their backoff timers. *)
+  (* Work conservation: whenever capacity or connectivity improves
+     (lease expiry, fault abort, element repair), offer it to the
+     longest-waiting requests first, without waiting out their backoff
+     timers. *)
+  let rescan_queue t =
     queue :=
       List.filter
         (fun id ->
@@ -224,7 +327,9 @@ let run ?config:(cfg = config Policy.prim) g params ~requests =
             (* Lapsed while waiting for its own retry event; settle it
                now so the freed capacity is not offered to a request
                that has already abandoned. *)
-            resolve st (Expired { at = st.req.Workload.deadline; attempts = st.attempts });
+            resolve st
+              (Expired
+                 { at = st.req.Workload.deadline; attempts = st.attempts });
             Tm.Counter.incr c_expired;
             false
           end
@@ -235,36 +340,244 @@ let run ?config:(cfg = config Policy.prim) g params ~requests =
           end)
         !queue
   in
+  let on_expiry t lid =
+    match Hashtbl.find_opt active lid with
+    | None -> () (* aborted mid-lease; stale expiry *)
+    | Some a ->
+        Hashtbl.remove active lid;
+        in_use := !in_use - Lease.qubits a.lease;
+        Lease.release capacity a.lease;
+        let rate = Ent_tree.rate_prob a.tree in
+        Tm.Counter.incr c_served;
+        Tm.Histogram.observe h_rate rate;
+        resolve a.st
+          (Served
+             {
+               start = a.started;
+               finish = t;
+               tree = a.tree;
+               rate;
+               attempts = a.st.attempts;
+               recoveries = a.recoveries;
+             });
+        rescan_queue t
+  in
+  let dead_path path = not (Routing.path_ok g exclude path) in
+  let tree_dead (tree : Ent_tree.t) =
+    List.exists
+      (fun (c : Channel.t) -> dead_path c.Channel.path)
+      tree.Ent_tree.channels
+  in
+  (* Channel-level repair: refund only the dead channels, then find a
+     replacement channel between the same endpoints over the residual
+     graph minus the failed elements. *)
+  let repair a =
+    let live, dead_cs =
+      List.partition
+        (fun (c : Channel.t) -> not (dead_path c.Channel.path))
+        a.tree.Ent_tree.channels
+    in
+    let remainder, _dead_paths =
+      Lease.release_where capacity a.lease ~dead:dead_path
+    in
+    let rec replace acc = function
+      | [] -> Some (List.rev acc)
+      | (c : Channel.t) :: rest -> (
+          match
+            Routing.best_channel ~exclude g params ~capacity ~src:c.src
+              ~dst:c.dst
+          with
+          | Some (repl : Channel.t) ->
+              Capacity.consume_channel capacity repl.Channel.path;
+              replace (repl :: acc) rest
+          | None ->
+              List.iter
+                (fun (r : Channel.t) ->
+                  Capacity.release_channel capacity r.Channel.path)
+                acc;
+              None)
+    in
+    match replace [] dead_cs with
+    | None ->
+        Option.iter (fun rem -> Lease.release capacity rem) remainder;
+        None
+    | Some repls ->
+        let tree' = Ent_tree.of_channels (live @ repls) in
+        Verify.check_exn ~context:"fault repair" g params
+          ~users:a.st.req.Workload.users tree';
+        a.tree <- tree';
+        a.lease <- Lease.acquire tree';
+        Some tree'
+  in
+  let reroute a =
+    Lease.release capacity a.lease;
+    match
+      cfg.policy.Policy.route ~exclude g params ~capacity
+        ~users:a.st.req.Workload.users
+    with
+    | None -> None
+    | Some tree' ->
+        Verify.check_exn ~context:"fault reroute" g params
+          ~users:a.st.req.Workload.users tree';
+        a.tree <- tree';
+        a.lease <- Lease.acquire tree';
+        Some tree'
+  in
+  let recover t element a =
+    incr leases_interrupted;
+    Tm.Counter.incr c_leases_interrupted;
+    let before = a.tree in
+    let t0 = Qnet_telemetry.Clock.now_s () in
+    in_use := !in_use - Lease.qubits a.lease;
+    let after =
+      Qnet_telemetry.Span.with_span "online.recover" (fun () ->
+          match cfg.recovery with
+          | Abort ->
+              Lease.release capacity a.lease;
+              None
+          | Repair -> repair a
+          | Reroute -> reroute a)
+    in
+    (match after with
+    | Some _ ->
+        in_use := !in_use + Lease.qubits a.lease;
+        peak_qubits := max !peak_qubits !in_use;
+        a.recoveries <- a.recoveries + 1;
+        incr leases_recovered;
+        Tm.Counter.incr c_leases_recovered;
+        Tm.Histogram.observe h_recovery (Qnet_telemetry.Clock.elapsed_since t0)
+    | None ->
+        (* Abort-and-refund: the capacity is already back in the pool;
+           the request ends here, with the unserved remainder of its
+           lease recorded as lost service. *)
+        incr leases_aborted;
+        Tm.Counter.incr c_leases_aborted;
+        lost_service := !lost_service +. Float.max 0. (a.finish -. t);
+        Hashtbl.remove active a.lid;
+        resolve a.st
+          (Interrupted
+             {
+               start = a.started;
+               at = t;
+               attempts = a.st.attempts;
+               recoveries = a.recoveries;
+             }));
+    match on_incident with
+    | None -> ()
+    | Some f ->
+        f { at = t; request_id = a.st.req.Workload.id; element; before; after }
+  in
+  let on_fault t (fe : Fsched.event) =
+    match health with
+    | None -> ()
+    | Some h -> (
+        match Fhealth.apply h fe with
+        | Fhealth.No_change -> ()
+        | Fhealth.Went_down ->
+            incr faults_injected;
+            Tm.Counter.incr c_faults_injected;
+            (* Active trees are all healthy between fault events, so the
+               dead ones now are exactly those crossing the failed
+               element.  Lease-id order keeps multi-victim recovery
+               deterministic. *)
+            let affected =
+              Hashtbl.fold
+                (fun _ a acc -> if tree_dead a.tree then a :: acc else acc)
+                active []
+              |> List.sort (fun (x : active) y -> compare x.lid y.lid)
+            in
+            List.iter (recover t fe.element) affected;
+            if affected <> [] then rescan_queue t
+        | Fhealth.Came_up ->
+            incr faults_repaired;
+            Tm.Counter.incr c_faults_repaired;
+            (* Connectivity improved: queued requests that were blocked
+               by the failed element may route now. *)
+            rescan_queue t)
+  in
   List.iter
     (fun (r : Workload.request) ->
       Event_queue.push events r.Workload.arrival (Arrival r))
     requests;
+  let schedule =
+    match fault_schedule with
+    | Some s -> List.sort Fsched.compare_event s
+    | None -> (
+        match faults with
+        | None -> []
+        | Some model -> Fsched.generate model g ~horizon:(fault_horizon requests))
+  in
+  List.iter
+    (fun (fe : Fsched.event) -> Event_queue.push events fe.time (Fault fe))
+    schedule;
+  (* An event that can no longer change any outcome must not stretch the
+     makespan or the utilization window. *)
+  let inert = function
+    | Fault _ -> !unresolved = 0
+    | Expiry lid -> not (Hashtbl.mem active lid)
+    | Arrival _ | Retry _ -> false
+  in
   let rec drain () =
     match Event_queue.pop events with
     | None -> ()
     | Some (t, ev) ->
-        util_integral := !util_integral +. ((t -. !last_time) *. float_of_int !in_use);
-        last_time := t;
-        makespan := max !makespan t;
-        (match ev with
-        | Arrival r -> on_arrival t r
-        | Retry id -> on_retry t id
-        | Expiry lid -> on_expiry t lid);
+        if not (inert ev) then begin
+          util_integral :=
+            !util_integral +. ((t -. !last_time) *. float_of_int !in_use);
+          last_time := t;
+          makespan := max !makespan t;
+          match ev with
+          | Arrival r -> on_arrival t r
+          | Retry id -> on_retry t id
+          | Expiry lid -> on_expiry t lid
+          | Fault fe -> on_fault t fe
+        end;
         drain ()
   in
   drain ();
+  (* Every lease has completed or been aborted; any residual consumption
+     now is a refund bug, caught here rather than as silent
+     over-capacity in the next run. *)
+  List.iter
+    (fun s ->
+      if Capacity.used capacity s <> 0 then
+        failwith "Engine.run: internal capacity leak (unreleased qubits)")
+    (Graph.switches g);
   let outcomes =
     List.sort
       (fun a b -> compare a.request.Workload.id b.request.Workload.id)
       !outcomes
   in
+  (* Watchdog pass: independently re-validate every tree that was put in
+     service, including repaired and rerouted ones.  Read-only, so the
+     optional pool parallelises it without affecting determinism. *)
+  let served_trees =
+    List.filter_map
+      (fun o ->
+        match o.resolution with
+        | Served { tree; _ } -> Some (o.request.Workload.users, tree)
+        | _ -> None)
+      outcomes
+    |> Array.of_list
+  in
+  let verify_one i =
+    let users, tree = served_trees.(i) in
+    Verify.check_exn ~context:"served tree" g params ~users tree
+  in
+  (match pool with
+  | Some p ->
+      Qnet_util.Pool.parallel_for p (Array.length served_trees) verify_one
+  | None ->
+      for i = 0 to Array.length served_trees - 1 do
+        verify_one i
+      done);
   let waits, rates =
     List.fold_left
       (fun (ws, rs) o ->
         match o.resolution with
         | Served { start; rate; _ } ->
             ((start -. o.request.Workload.arrival) :: ws, rate :: rs)
-        | Rejected _ | Expired _ -> (ws, rs))
+        | Rejected _ | Expired _ | Interrupted _ -> (ws, rs))
       ([], []) outcomes
   in
   let count pred = List.length (List.filter pred outcomes) in
@@ -311,6 +624,16 @@ let run ?config:(cfg = config Policy.prim) g params ~requests =
       peak_queue_depth = !peak_queue;
       retries = !retries;
       mean_utilization;
+      faults_injected = !faults_injected;
+      faults_repaired = !faults_repaired;
+      leases_interrupted = !leases_interrupted;
+      leases_recovered = !leases_recovered;
+      leases_aborted = !leases_aborted;
+      mean_time_to_repair =
+        (match health with None -> 0. | Some h -> Fhealth.observed_mttr h);
+      mean_lost_service =
+        (if !leases_aborted = 0 then 0.
+         else !lost_service /. float_of_int !leases_aborted);
     },
     outcomes )
 
@@ -336,4 +659,11 @@ let report_table r =
       int "peak_queue_depth" r.peak_queue_depth;
       int "retries" r.retries;
       flt "mean_utilization" r.mean_utilization;
+      int "faults_injected" r.faults_injected;
+      int "faults_repaired" r.faults_repaired;
+      int "leases_interrupted" r.leases_interrupted;
+      int "leases_recovered" r.leases_recovered;
+      int "leases_aborted" r.leases_aborted;
+      flt "mean_time_to_repair" r.mean_time_to_repair;
+      flt "mean_lost_service" r.mean_lost_service;
     ]

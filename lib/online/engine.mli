@@ -1,7 +1,7 @@
 (** The online traffic engine: serve a dynamic request workload over a
     shared quantum network.
 
-    A deterministic discrete-event simulation.  Three event kinds drive
+    A deterministic discrete-event simulation.  Four event kinds drive
     it, ordered by a binary-heap {!Event_queue} (FIFO among equal
     timestamps):
 
@@ -12,14 +12,33 @@
     - {e lease expiry} — a served request's lease ends; its switch
       qubits return to the pool ({!Qnet_sim.Scheduler.Lease.release},
       which asserts the capacity invariant), and the waiting queue is
-      re-scanned in FIFO order (work conservation).
+      re-scanned in FIFO order (work conservation);
+    - {e fault/repair} — an infrastructure element (fiber or switch)
+      fails or comes back, per a pre-materialised
+      {!Qnet_faults.Schedule}.  A failure that lands on an in-service
+      lease triggers the configured {!recovery} policy; a repair
+      re-scans the waiting queue, since connectivity just improved.
 
     Admission control bounds the waiting queue: an unroutable arrival is
     rejected outright ({!Reject}) or queued up to a maximum queue length
-    ({!Queue}).  Every request ends in exactly one of three states —
-    served, rejected (admission), or expired (deadline) — and the
-    engine's SLA accounting (waiting times, service rates, utilization)
-    is mirrored into the [online.engine.*] telemetry metrics. *)
+    ({!Queue}).  Every request ends in exactly one of four states —
+    served, rejected (admission), expired (deadline), or interrupted
+    (fault with no recovery) — and the engine's SLA accounting is
+    mirrored into the [online.engine.*] and [online.faults.*] telemetry
+    metrics.
+
+    {b Determinism.}  The event loop is serial and every tie is broken
+    by push order or lease id; the fault schedule is materialised before
+    the run from the fault model's own seed.  A fixed (workload, fault)
+    seed therefore reproduces the report bit-for-bit at every [--jobs]
+    level — the optional pool only parallelises the read-only final
+    verification pass.
+
+    {b Self-checking.}  Every repaired or rerouted tree passes
+    {!Qnet_core.Verify.check_exn} before re-entering service, every
+    served tree is re-validated after the run, and the engine fails loud
+    if any switch shows residual consumption once all leases are gone
+    (a refund bug, not a routing outcome). *)
 
 type admission =
   | Reject  (** Drop unroutable arrivals immediately. *)
@@ -27,38 +46,80 @@ type admission =
       (** Queue unroutable arrivals, rejecting new ones while the
           queue already holds this many requests ([>= 1]). *)
 
+(** What to do when a fault kills a channel of an in-service lease. *)
+type recovery =
+  | Abort  (** Release the lease, refund everything, end the request. *)
+  | Repair
+      (** Refund only the dead channels and re-route each between its
+          own endpoints over the residual graph minus the failed
+          elements ({!Qnet_core.Routing.best_channel} with exclusion);
+          falls back to [Abort] when any replacement is infeasible. *)
+  | Reroute
+      (** Release the whole lease and route the user group from scratch
+          with the policy (excluding failed elements); falls back to
+          [Abort] when no tree is found. *)
+
+val recovery_of_string : string -> (recovery, string) result
+(** Parses ["abort" | "repair" | "reroute"] (the CLI vocabulary). *)
+
+val recovery_to_string : recovery -> string
+
 type config = {
   policy : Policy.t;
   admission : admission;
   retry_base : float;  (** First backoff delay after a failed attempt. *)
   retry_max : float;  (** Backoff growth cap (doubling saturates here). *)
+  recovery : recovery;  (** Mid-lease fault response. *)
 }
 
 val config :
   ?admission:admission ->
   ?retry_base:float ->
   ?retry_max:float ->
+  ?recovery:recovery ->
   Policy.t ->
   config
-(** Defaults: [Queue 32], [retry_base = 0.5], [retry_max = 8.].
-    @raise Invalid_argument on a non-positive backoff, [retry_max <
-    retry_base] or [Queue n] with [n < 1]. *)
+(** Defaults: [Queue 32], [retry_base = 0.5], [retry_max = 8.],
+    [recovery = Repair].  @raise Invalid_argument on a non-positive
+    backoff, [retry_max < retry_base] or [Queue n] with [n < 1]. *)
 
 type resolution =
   | Served of {
       start : float;  (** Admission time ([>= arrival]). *)
       finish : float;  (** Lease expiry ([start + duration]). *)
-      tree : Qnet_core.Ent_tree.t;  (** The entanglement tree served. *)
-      rate : float;  (** Eq. (2) rate of the served tree. *)
+      tree : Qnet_core.Ent_tree.t;
+          (** The tree in service at completion — after any mid-lease
+              repairs, so it can differ from the tree admitted. *)
+      rate : float;  (** Eq. (2) rate of the final tree. *)
       attempts : int;  (** Routing attempts including the final one. *)
+      recoveries : int;  (** Mid-lease fault recoveries survived. *)
     }
   | Rejected of { at : float; queue_full : bool }
       (** Turned away at arrival: unroutable under {!Reject}, or the
           bounded queue was full. *)
   | Expired of { at : float; attempts : int }
       (** Queued but not served before its deadline. *)
+  | Interrupted of {
+      start : float;  (** When the lease had started. *)
+      at : float;  (** When the fault ended it. *)
+      attempts : int;
+      recoveries : int;  (** Recoveries survived before the fatal one. *)
+    }
+      (** In service when a fault killed a channel and recovery failed
+          (or was configured off): the lease was refunded and the
+          request ended unserved. *)
 
 type outcome = { request : Workload.request; resolution : resolution }
+
+(** One service-affecting fault hit, as seen by [?on_incident]. *)
+type incident = {
+  at : float;
+  request_id : int;
+  element : Qnet_faults.Schedule.element;  (** What failed. *)
+  before : Qnet_core.Ent_tree.t;  (** Tree in service when it failed. *)
+  after : Qnet_core.Ent_tree.t option;
+      (** The repaired/rerouted tree, or [None] when aborted. *)
+}
 
 type report = {
   arrived : int;
@@ -70,27 +131,57 @@ type report = {
   p95_wait : float;
   mean_rate : float;  (** Mean Eq. (2) rate over served requests. *)
   throughput : float;  (** Served requests per time unit of makespan. *)
-  makespan : float;  (** Last event time (final lease expiry). *)
+  makespan : float;
+      (** Last consequential event time; infrastructure churn after the
+          final request resolution does not extend it. *)
   peak_qubits_in_use : int;
   peak_queue_depth : int;
   retries : int;  (** Total re-routing attempts beyond first tries. *)
   mean_utilization : float;
       (** Time-averaged leased fraction of all switch qubits over the
           makespan, in [\[0, 1\]]. *)
+  faults_injected : int;
+      (** Element down-transitions applied during the run. *)
+  faults_repaired : int;  (** Element up-transitions applied. *)
+  leases_interrupted : int;
+      (** Fault hits on in-service leases (one lease can be hit more
+          than once); equals [leases_recovered + leases_aborted]. *)
+  leases_recovered : int;  (** Hits survived via repair/reroute. *)
+  leases_aborted : int;  (** Hits that ended the request unserved. *)
+  mean_time_to_repair : float;
+      (** Observed mean element downtime over completed repairs. *)
+  mean_lost_service : float;
+      (** Mean unserved lease remainder over aborted leases. *)
 }
 
 val run :
   ?config:config ->
+  ?faults:Qnet_faults.Model.t ->
+  ?fault_schedule:Qnet_faults.Schedule.event list ->
+  ?on_incident:(incident -> unit) ->
+  ?pool:Qnet_util.Pool.t ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
   requests:Workload.request list ->
   report * outcome list
 (** Serve the workload to completion (default config: {!Policy.prim}
-    with the {!config} defaults).  Outcomes are returned in request-id
-    order.  Deterministic: identical inputs give identical reports and
-    outcomes.  @raise Invalid_argument on malformed requests (non-user
-    members, fewer than 2 users, duplicate ids, negative times, deadline
-    before arrival). *)
+    with the {!config} defaults).  [faults] enables fault injection: the
+    schedule is generated over the horizon no request can outlive.
+    [fault_schedule] replays an explicit (arbitrary, even adversarial)
+    transition list instead — it is sorted with
+    {!Qnet_faults.Schedule.compare_event} and overrides [faults]; the
+    chaos tests use it to pin failures to exact instants.
+    [on_incident] observes every service-affecting hit as it happens
+    (chaos tests reconstruct per-lease tree timelines from it).  [pool]
+    parallelises only the final read-only verification pass.  Outcomes
+    are returned in request-id order.  Deterministic: identical inputs
+    give identical reports and outcomes at every pool size.
+    @raise Invalid_argument on malformed requests (non-user members,
+    fewer than 2 users, duplicate ids, negative times, deadline before
+    arrival).
+    @raise Qnet_core.Verify.Violations if a repaired or served tree
+    fails independent re-validation (a routing bug, never a workload
+    property). *)
 
 val report_table : report -> Qnet_util.Table.t
 (** Two-column (metric, value) rendering of the SLA summary — the

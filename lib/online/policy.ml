@@ -9,12 +9,16 @@ let c_cache_invalidations = Tm.counter "online.policy.cache.invalidations"
 type t = {
   name : string;
   route :
+    exclude:Routing.exclusion ->
     Graph.t ->
     Params.t ->
     capacity:Capacity.t ->
     users:int list ->
     Ent_tree.t option;
 }
+
+let route p ?(exclude = Routing.no_exclusion) g params ~capacity ~users =
+  p.route ~exclude g params ~capacity ~users
 
 let try_consume capacity (tree : Ent_tree.t) =
   let usage = Ent_tree.qubit_usage tree in
@@ -32,8 +36,8 @@ let prim =
   {
     name = "prim";
     route =
-      (fun g params ~capacity ~users ->
-        Multi_group.prim_for_users g params ~capacity ~users);
+      (fun ~exclude g params ~capacity ~users ->
+        Multi_group.prim_for_users ~exclude g params ~capacity ~users);
   }
 
 (* A residual view of the network for whole-network solvers: the
@@ -43,7 +47,7 @@ let prim =
    channel interiors must be switches).  Vertices are re-added in id
    order, so view ids coincide with real ids and paths translate back
    verbatim. *)
-let residual_view g ~capacity ~users =
+let residual_view ~exclude g ~capacity ~users =
   let member = Array.make (Graph.vertex_count g) false in
   List.iter (fun u -> member.(u) <- true) users;
   let b = Graph.Builder.create () in
@@ -51,27 +55,40 @@ let residual_view g ~capacity ~users =
       let kind, qubits =
         if member.(v.Graph.id) then (Graph.User, 0)
         else if Graph.is_switch g v.Graph.id then
-          (Graph.Switch, Capacity.remaining capacity v.Graph.id)
+          ( Graph.Switch,
+            (* A failed switch routes nothing, whatever its residual. *)
+            if exclude.Routing.vertex_ok v.Graph.id then
+              Capacity.remaining capacity v.Graph.id
+            else 0 )
         else (Graph.Switch, 0)
       in
       ignore
         (Graph.Builder.add_vertex b ~kind ~qubits ~x:v.Graph.x ~y:v.Graph.y));
   Graph.iter_edges g (fun e ->
-      ignore (Graph.Builder.add_edge b e.Graph.a e.Graph.b e.Graph.length));
+      (* Failed fibers simply do not exist in the view.  View edge ids
+         shift, but channels translate back by vertex path, never by
+         edge id. *)
+      if exclude.Routing.edge_ok e.Graph.eid then
+        ignore (Graph.Builder.add_edge b e.Graph.a e.Graph.b e.Graph.length));
   Graph.Builder.freeze b
 
 (* Rebuild a view tree's channels on the real graph (re-validating
-   every path), then admit it against the true capacity state. *)
-let admit_view_tree g params ~capacity (tree : Ent_tree.t) =
+   every path), then admit it against the true capacity state.  The
+   exclusion re-check matters for capacity-oblivious solvers (Alg. 2
+   ignores the zeroed budget of a failed switch in the view), and keeps
+   admission sound even if a view and the exclusion ever disagree. *)
+let admit_view_tree ~exclude g params ~capacity (tree : Ent_tree.t) =
   let channels =
     List.fold_left
       (fun acc (c : Channel.t) ->
         match acc with
         | None -> None
-        | Some cs -> (
-            match Channel.make g params c.Channel.path with
-            | Ok c -> Some (c :: cs)
-            | Error _ -> None))
+        | Some cs ->
+            if not (Routing.path_ok g exclude c.Channel.path) then None
+            else (
+              match Channel.make g params c.Channel.path with
+              | Ok c -> Some (c :: cs)
+              | Error _ -> None))
       (Some []) tree.Ent_tree.channels
   in
   match channels with
@@ -91,45 +108,52 @@ let of_algorithm alg =
   {
     name;
     route =
-      (fun g params ~capacity ~users ->
-        let view = residual_view g ~capacity ~users in
+      (fun ~exclude g params ~capacity ~users ->
+        let view = residual_view ~exclude g ~capacity ~users in
         let outcome = Muerp.solve alg (Muerp.instance ~params view) in
         match outcome.Muerp.tree with
         | None -> None
-        | Some tree -> admit_view_tree g params ~capacity tree);
+        | Some tree -> admit_view_tree ~exclude g params ~capacity tree);
   }
 
 let eqcast =
   {
     name = "eqcast";
     route =
-      (fun g params ~capacity ~users ->
-        let view = residual_view g ~capacity ~users in
+      (fun ~exclude g params ~capacity ~users ->
+        let view = residual_view ~exclude g ~capacity ~users in
         match Qnet_baselines.Eqcast.solve view params with
         | None -> None
-        | Some tree -> admit_view_tree g params ~capacity tree);
+        | Some tree -> admit_view_tree ~exclude g params ~capacity tree);
   }
+
+let tree_alive g exclude (tree : Ent_tree.t) =
+  List.for_all
+    (fun (c : Channel.t) -> Routing.path_ok g exclude c.Channel.path)
+    tree.Ent_tree.channels
 
 let cached inner =
   let table : (int list, Ent_tree.t) Hashtbl.t = Hashtbl.create 64 in
   {
     name = "cached-" ^ inner.name;
     route =
-      (fun g params ~capacity ~users ->
+      (fun ~exclude g params ~capacity ~users ->
         let key = List.sort compare users in
         match Hashtbl.find_opt table key with
-        | Some tree when try_consume capacity tree ->
+        | Some tree when tree_alive g exclude tree && try_consume capacity tree
+          ->
             Tm.Counter.incr c_cache_hits;
             Some tree
         | found -> (
             if found <> None then begin
-              (* The memoised tree no longer fits the residual state:
-                 drop it and route afresh. *)
+              (* The memoised tree no longer fits the residual state —
+                 or now crosses a failed element: drop it and route
+                 afresh. *)
               Tm.Counter.incr c_cache_invalidations;
               Hashtbl.remove table key
             end;
             Tm.Counter.incr c_cache_misses;
-            match inner.route g params ~capacity ~users with
+            match inner.route ~exclude g params ~capacity ~users with
             | None -> None
             | Some tree ->
                 Hashtbl.replace table key tree;

@@ -26,6 +26,7 @@
 type t = {
   name : string;
   route :
+    exclude:Qnet_core.Routing.exclusion ->
     Qnet_graph.Graph.t ->
     Qnet_core.Params.t ->
     capacity:Qnet_core.Capacity.t ->
@@ -33,8 +34,23 @@ type t = {
     Qnet_core.Ent_tree.t option;
       (** [None] = no feasible tree right now (capacity state
           untouched).  [Some tree] ⇒ the tree's qubits have been
-          consumed from [capacity]. *)
+          consumed from [capacity], and no channel of the tree crosses
+          an element ruled out by [exclude] (the fault-awareness
+          contract: a policy may never put a dead switch or fiber back
+          in service). *)
 }
+
+val route :
+  t ->
+  ?exclude:Qnet_core.Routing.exclusion ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  capacity:Qnet_core.Capacity.t ->
+  users:int list ->
+  Qnet_core.Ent_tree.t option
+(** [route p] is [p.route] with [exclude] defaulting to
+    {!Qnet_core.Routing.no_exclusion} — the convenient call form for
+    fault-free contexts. *)
 
 val try_consume : Qnet_core.Capacity.t -> Qnet_core.Ent_tree.t -> bool
 (** Atomically consume the tree's aggregate switch-qubit demand if every
@@ -56,9 +72,10 @@ val eqcast : t
 
 val cached : t -> t
 (** [cached p] memoises [p]'s trees per (sorted) user group.  A cache
-    hit replays the stored tree if {!try_consume} accepts it under the
-    current residual capacity; otherwise the entry is invalidated and
-    [p] re-routes.  Counters:
+    hit replays the stored tree if it survives the current exclusion
+    (no channel through a failed element) and {!try_consume} accepts it
+    under the current residual capacity; otherwise the entry is
+    invalidated and [p] re-routes.  Counters:
     [online.policy.cache.{hits,misses,invalidations}]. *)
 
 val all : unit -> (string * t) list

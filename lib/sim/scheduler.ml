@@ -29,6 +29,63 @@ module Lease = struct
   let channels t = t.paths
   let qubits t = List.fold_left (fun acc (_, q) -> acc + q) 0 t.usage
 
+  (* Interior vertices of a channel path (everything but the user
+     endpoints) — by construction all switches, each pinning 2 qubits;
+     the same rule as [Capacity.consume_channel]. *)
+  let interior = function
+    | [] | [ _ ] -> []
+    | _ :: rest ->
+        let rec drop_last = function
+          | [] | [ _ ] -> []
+          | x :: tl -> x :: drop_last tl
+        in
+        drop_last rest
+
+  let usage_of_paths paths =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun v ->
+            Hashtbl.replace tbl v
+              (2 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+          (interior p))
+      paths;
+    Hashtbl.fold (fun v q acc -> (v, q) :: acc) tbl [] |> List.sort compare
+
+  let check_refund ~who capacity usage =
+    List.iter
+      (fun (v, q) ->
+        if Capacity.used capacity v < q then
+          invalid_arg
+            (who
+           ^ ": capacity invariant violated (refund exceeds recorded \
+              consumption)"))
+      usage
+
+  let release_where capacity t ~dead =
+    if t.released then
+      invalid_arg "Scheduler.Lease.release_where: already released";
+    let dead_paths, live_paths = List.partition dead t.paths in
+    if dead_paths = [] then (Some t, [])
+    else begin
+      check_refund ~who:"Scheduler.Lease.release_where" capacity
+        (usage_of_paths dead_paths);
+      List.iter (Capacity.release_channel capacity) dead_paths;
+      t.released <- true;
+      let remainder =
+        if live_paths = [] then None
+        else
+          Some
+            {
+              paths = live_paths;
+              usage = usage_of_paths live_paths;
+              released = false;
+            }
+      in
+      (remainder, dead_paths)
+    end
+
   let release capacity t =
     if t.released then invalid_arg "Scheduler.Lease.release: already released";
     (* Invariant: a refund may never push a switch above its budget,

@@ -55,6 +55,21 @@ module Lease : sig
       never lift a switch above its qubit budget.  @raise
       Invalid_argument on double release or on an invariant
       violation. *)
+
+  val release_where :
+    Qnet_core.Capacity.t ->
+    t ->
+    dead:(int list -> bool) ->
+    t option * int list list
+  (** Partial release, for mid-lease infrastructure failure: refund
+      only the channels whose path satisfies [dead], retiring this
+      lease and returning [(remainder, dead_paths)] — a fresh lease
+      over the surviving channels ([None] when every channel died) and
+      the refunded paths.  When no channel is dead the lease is
+      returned unchanged (still live, nothing refunded).  The refund is
+      checked against the same capacity invariant as {!release}.
+      @raise Invalid_argument on an already-released lease or an
+      invariant violation. *)
 end
 
 type disposition =

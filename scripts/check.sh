@@ -26,6 +26,27 @@ served=$(awk '$2 == "served" { print $4 }' "$run_a")
   { echo "traffic smoke served nothing (served=$served)" >&2; exit 1; }
 echo "traffic reproducible, served=$served"
 
+echo "== chaos smoke =="
+# Fault injection must be just as reproducible: the same seeded chaos
+# run twice, and at --jobs 1 vs --jobs 2, must print byte-identical
+# reports — and must actually interrupt some leases.
+chaos_a=$(mktemp -t muerp_chaos_a.XXXXXX)
+chaos_b=$(mktemp -t muerp_chaos_b.XXXXXX)
+chaos_j2=$(mktemp -t muerp_chaos_j2.XXXXXX)
+trap 'rm -f "$run_a" "$run_b" "$chaos_a" "$chaos_b" "$chaos_j2"' EXIT
+chaos_flags="--seed 42 -n 40 --switches 40 --fault-mtbf 15 --fault-mttr 4 --recovery repair"
+dune exec bin/muerp_cli.exe -- traffic $chaos_flags --jobs 1 >"$chaos_a"
+dune exec bin/muerp_cli.exe -- traffic $chaos_flags --jobs 1 >"$chaos_b"
+cmp "$chaos_a" "$chaos_b" ||
+  { echo "chaos run not reproducible" >&2; exit 1; }
+dune exec bin/muerp_cli.exe -- traffic $chaos_flags --jobs 2 >"$chaos_j2"
+cmp "$chaos_a" "$chaos_j2" ||
+  { echo "chaos run differs between --jobs 1 and --jobs 2" >&2; exit 1; }
+faults=$(awk '$2 == "faults_injected" { print $4 }' "$chaos_a")
+[ -n "$faults" ] && [ "$faults" -gt 0 ] ||
+  { echo "chaos smoke injected no faults (faults=$faults)" >&2; exit 1; }
+echo "chaos reproducible at --jobs 1 and 2, faults_injected=$faults"
+
 echo "== jobs determinism smoke =="
 # The same fixed-seed sweep must emit byte-identical CSV tables at
 # every --jobs level (the parallel runtime's determinism contract).
@@ -49,6 +70,8 @@ grep -q '"traffic"' "$snapshot" ||
   { echo "snapshot is missing the traffic section" >&2; exit 1; }
 grep -q '"parallel"' "$snapshot" ||
   { echo "snapshot is missing the parallel section" >&2; exit 1; }
+grep -q '"faults"' "$snapshot" ||
+  { echo "snapshot is missing the faults section" >&2; exit 1; }
 grep -q '"estimate_equal": true' "$snapshot" ||
   { echo "parallel bench: estimates differ across jobs levels" >&2; exit 1; }
 grep -q '"mean_rates_equal": true' "$snapshot" ||

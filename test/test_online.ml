@@ -6,6 +6,7 @@
 module Graph = Qnet_graph.Graph
 module Prng = Qnet_util.Prng
 module Event_queue = Qnet_online.Event_queue
+module Fsched = Qnet_faults.Schedule
 module Workload = Qnet_online.Workload
 module Policy = Qnet_online.Policy
 module Engine = Qnet_online.Engine
@@ -307,9 +308,9 @@ let test_adapter_respects_residual () =
   let alg3 = Option.get (Policy.of_name "alg3") in
   let capacity = Capacity.of_graph g in
   check_bool "first pair routes" true
-    (alg3.Policy.route g params ~capacity ~users:[ a0; a1 ] <> None);
+    (Qnet_online.Policy.route alg3 g params ~capacity ~users:[ a0; a1 ] <> None);
   check_bool "hub depleted: second pair refused" true
-    (alg3.Policy.route g params ~capacity ~users:[ b0; b1 ] = None)
+    (Qnet_online.Policy.route alg3 g params ~capacity ~users:[ b0; b1 ] = None)
 
 let test_cached_policy () =
   let g = network 7 in
@@ -317,15 +318,15 @@ let test_cached_policy () =
   let users = [ List.nth u 0; List.nth u 1 ] in
   let p = Policy.cached Policy.prim in
   let capacity = Capacity.of_graph g in
-  let t1 = p.Policy.route g params ~capacity ~users in
-  let t2 = p.Policy.route g params ~capacity ~users in
+  let t1 = Qnet_online.Policy.route p g params ~capacity ~users in
+  let t2 = Qnet_online.Policy.route p g params ~capacity ~users in
   (match (t1, t2) with
   | Some t1, Some t2 ->
       check_bool "cache replays the same tree" true
         (List.for_all2 Channel.equal t1.Ent_tree.channels
            t2.Ent_tree.channels)
   | _ -> Alcotest.fail "both lookups must route");
-  ignore (p.Policy.route g params ~capacity ~users)
+  ignore (Qnet_online.Policy.route p g params ~capacity ~users)
 
 (* ------------------------------------------------------------------ *)
 (* Safety property: concurrent leases never oversubscribe a switch.    *)
@@ -402,6 +403,167 @@ let test_never_oversubscribed_qcheck () =
   in
   QCheck.Test.check_exn test
 
+(* ------------------------------------------------------------------ *)
+(* Chaos replay property: under ANY fault/repair schedule — including
+   spurious repairs and duplicate failures — no switch is ever
+   oversubscribed and every interrupted lease is refunded exactly
+   once.  Incidents let us reconstruct each request's full tree
+   timeline: a lease holds its admitted tree until the first incident,
+   then each incident's [after] tree until the next, ending at the
+   lease expiry (served) or at the single aborting incident
+   (interrupted). *)
+
+let assert_fault_replay_safe g outcomes incidents =
+  let by_req = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Engine.incident) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt by_req i.Engine.request_id)
+      in
+      Hashtbl.replace by_req i.Engine.request_id (prev @ [ i ]))
+    incidents;
+  let segments = ref [] in
+  let rec walk ~finish ~final_tree t0 = function
+    | [] ->
+        Option.iter
+          (fun f -> segments := (t0, f, Option.get final_tree) :: !segments)
+          finish
+    | (i : Engine.incident) :: rest -> (
+        segments := (t0, i.Engine.at, i.Engine.before) :: !segments;
+        match i.Engine.after with
+        | Some _ -> walk ~finish ~final_tree i.Engine.at rest
+        | None ->
+            (* The abort must be the request's last incident. *)
+            if rest <> [] then
+              Alcotest.fail "incidents after an aborting incident")
+  in
+  List.iter
+    (fun (o : Engine.outcome) ->
+      let incs =
+        Option.value ~default:[]
+          (Hashtbl.find_opt by_req o.Engine.request.Workload.id)
+      in
+      match o.Engine.resolution with
+      | Engine.Served { start; finish; tree; _ } ->
+          List.iter
+            (fun (i : Engine.incident) ->
+              if i.Engine.after = None then
+                Alcotest.fail "served request has an aborting incident")
+            incs;
+          walk ~finish:(Some finish) ~final_tree:(Some tree) start incs
+      | Engine.Interrupted { start; at; _ } -> (
+          match List.rev incs with
+          | [] -> Alcotest.fail "interrupted without an incident"
+          | last :: _ ->
+              if last.Engine.after <> None then
+                Alcotest.fail "interrupted but the last incident recovered";
+              if last.Engine.at <> at then
+                Alcotest.fail "abort time mismatch";
+              if
+                List.length
+                  (List.filter
+                     (fun (i : Engine.incident) -> i.Engine.after = None)
+                     incs)
+                <> 1
+              then Alcotest.fail "lease aborted (refunded) more than once";
+              walk ~finish:None ~final_tree:None start incs)
+      | Engine.Rejected _ | Engine.Expired _ ->
+          if incs <> [] then
+            Alcotest.fail "request without a lease saw an incident")
+    outcomes;
+  (* Sweep the reconstructed segments: releases before grants at equal
+     instants, per-switch demand within budget at all times, and every
+     qubit given back by the end. *)
+  let events =
+    List.concat_map
+      (fun (t0, t1, tree) ->
+        let usage = Ent_tree.qubit_usage tree in
+        [ (t1, 0, List.map (fun (v, q) -> (v, -q)) usage); (t0, 1, usage) ])
+      !segments
+    |> List.sort compare
+  in
+  let used = Array.make (Graph.vertex_count g) 0 in
+  List.iter
+    (fun (_, _, deltas) ->
+      List.iter
+        (fun (v, dq) ->
+          used.(v) <- used.(v) + dq;
+          if used.(v) < 0 then Alcotest.fail "negative usage in replay";
+          if used.(v) > Graph.qubits g v then
+            Alcotest.failf "switch %d oversubscribed: %d > %d" v used.(v)
+              (Graph.qubits g v))
+        deltas)
+    events;
+  Array.iteri
+    (fun v u -> if u <> 0 then Alcotest.failf "switch %d not fully refunded" v)
+    used
+
+let test_fault_replay_qcheck () =
+  let prop seed =
+    let rng = Prng.create ((seed * 7) + 1) in
+    let g = network ~users:6 ~switches:15 ~qubits:2 ((seed mod 50) + 1) in
+    let spec =
+      Workload.spec ~requests:25
+        ~arrivals:(Workload.Poisson 1.5)
+        ~group_size:(Workload.Uniform (2, 3))
+        ~duration:(1., 5.) ~patience:(0., 8.) ()
+    in
+    let reqs = Workload.generate (Prng.create seed) g spec in
+    (* Adversarial schedule: random instants, random elements, random
+       direction — repairs of healthy elements and double failures
+       included on purpose. *)
+    let schedule =
+      List.init
+        (1 + Prng.int rng 60)
+        (fun _ ->
+          {
+            Fsched.time = Prng.float rng 40.;
+            element =
+              (if Prng.bool rng then
+                 Fsched.Link (Prng.int rng (Graph.edge_count g))
+               else Fsched.Switch (Prng.int rng (Graph.vertex_count g)));
+            up = Prng.bool rng;
+          })
+    in
+    let recovery =
+      match seed mod 3 with
+      | 0 -> Engine.Abort
+      | 1 -> Engine.Repair
+      | _ -> Engine.Reroute
+    in
+    let config = Engine.config ~recovery Policy.prim in
+    let incidents = ref [] in
+    let report, outcomes =
+      Engine.run ~config ~fault_schedule:schedule
+        ~on_incident:(fun i -> incidents := i :: !incidents)
+        g params ~requests:reqs
+    in
+    assert_fault_replay_safe g outcomes (List.rev !incidents);
+    let interrupted =
+      List.length
+        (List.filter
+           (fun o ->
+             match o.Engine.resolution with
+             | Engine.Interrupted _ -> true
+             | _ -> false)
+           outcomes)
+    in
+    check_int "aborts match interrupted outcomes" report.Engine.leases_aborted
+      interrupted;
+    check_int "interruption ledger balances" report.Engine.leases_interrupted
+      (report.Engine.leases_recovered + report.Engine.leases_aborted);
+    report.Engine.served + report.Engine.rejected + report.Engine.expired
+    + interrupted
+    = report.Engine.arrived
+  in
+  let test =
+    QCheck.Test.make ~count:120
+      ~name:"fault replay: refund exactly once, never oversubscribed"
+      QCheck.(int_range 1 10_000)
+      prop
+  in
+  QCheck.Test.check_exn test
+
 let () =
   Alcotest.run "online"
     [
@@ -435,5 +597,7 @@ let () =
         [
           Alcotest.test_case "never oversubscribed (qcheck)" `Slow
             test_never_oversubscribed_qcheck;
+          Alcotest.test_case "fault replay (qcheck)" `Slow
+            test_fault_replay_qcheck;
         ] );
     ]

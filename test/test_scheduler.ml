@@ -228,6 +228,116 @@ let test_lease_invariant_violation () =
         recorded consumption)") (fun () ->
       Scheduler.Lease.release capacity lease)
 
+(* Route a 3-user group so the lease spans at least two channels —
+   partial release needs something to keep. *)
+let multi_channel_lease seed =
+  let g = network ~qubits:4 seed in
+  let u = Graph.users g in
+  let users = [ List.nth u 0; List.nth u 1; List.nth u 2 ] in
+  let capacity = Capacity.of_graph g in
+  match Multi_group.prim_for_users g params ~capacity ~users with
+  | Some t -> (g, capacity, Scheduler.Lease.acquire t)
+  | None -> Alcotest.fail "triple must route on a fresh network"
+
+let test_release_where_partial () =
+  let g, capacity, lease = multi_channel_lease 21 in
+  let paths = Scheduler.Lease.channels lease in
+  check_bool "multi-channel tree" true (List.length paths >= 2);
+  (* No dead channel: the very same live lease comes back, nothing is
+     refunded. *)
+  (match Scheduler.Lease.release_where capacity lease ~dead:(fun _ -> false) with
+  | Some l, [] -> check_bool "lease returned untouched" true (l == lease)
+  | _ -> Alcotest.fail "expected the unchanged lease");
+  (* Kill exactly the first channel. *)
+  let victim = List.hd paths in
+  let remainder, dead =
+    Scheduler.Lease.release_where capacity lease ~dead:(fun p -> p = victim)
+  in
+  Alcotest.(check (list (list int))) "dead path reported" [ victim ] dead;
+  let remainder =
+    match remainder with
+    | Some r -> r
+    | None -> Alcotest.fail "survivors must form a remainder lease"
+  in
+  check_int "remainder keeps the other channels"
+    (List.length paths - 1)
+    (List.length (Scheduler.Lease.channels remainder));
+  check_int "qubits split exactly"
+    (Scheduler.Lease.qubits lease)
+    (Scheduler.Lease.qubits remainder + (2 * (List.length victim - 2)));
+  (* The original lease is retired; only the remainder is live. *)
+  Alcotest.check_raises "original retired"
+    (Invalid_argument "Scheduler.Lease.release_where: already released")
+    (fun () ->
+      ignore (Scheduler.Lease.release_where capacity lease ~dead:(fun _ -> true)));
+  Scheduler.Lease.release capacity remainder;
+  List.iter
+    (fun s -> check_int "everything refunded" 0 (Capacity.used capacity s))
+    (Graph.switches g)
+
+let test_release_where_all_dead () =
+  let g, capacity, lease = multi_channel_lease 22 in
+  let paths = Scheduler.Lease.channels lease in
+  let remainder, dead =
+    Scheduler.Lease.release_where capacity lease ~dead:(fun _ -> true)
+  in
+  check_bool "no remainder" true (remainder = None);
+  check_int "every path refunded" (List.length paths) (List.length dead);
+  List.iter
+    (fun s -> check_int "fully refunded" 0 (Capacity.used capacity s))
+    (Graph.switches g);
+  Alcotest.check_raises "double release rejected"
+    (Invalid_argument "Scheduler.Lease.release: already released") (fun () ->
+      Scheduler.Lease.release capacity lease)
+
+let test_release_where_refunds_once_qcheck () =
+  (* Any random subset of channels may die; afterwards the books must
+     balance and the retired lease must refuse a second refund. *)
+  let prop seed =
+    let g = network ~users:6 ~qubits:3 ((seed mod 40) + 1) in
+    let rng = Prng.create seed in
+    let u = Array.of_list (Graph.users g) in
+    Prng.shuffle_in_place rng u;
+    let users = Array.to_list (Array.sub u 0 (2 + Prng.int rng 3)) in
+    let capacity = Capacity.of_graph g in
+    match Multi_group.prim_for_users g params ~capacity ~users with
+    | None -> true (* infeasible draw: nothing to lease *)
+    | Some tree ->
+        let lease = Scheduler.Lease.acquire tree in
+        let marks =
+          List.map
+            (fun p -> (p, Prng.bool rng))
+            (Scheduler.Lease.channels lease)
+        in
+        let remainder, dead_paths =
+          Scheduler.Lease.release_where capacity lease ~dead:(fun p ->
+              List.assoc p marks)
+        in
+        List.iter
+          (fun p ->
+            if not (List.assoc p marks) then
+              Alcotest.fail "live channel reported dead")
+          dead_paths;
+        Option.iter (fun r -> Scheduler.Lease.release capacity r) remainder;
+        List.iter
+          (fun s ->
+            if Capacity.used capacity s <> 0 then
+              Alcotest.failf "switch %d not fully refunded" s)
+          (Graph.switches g);
+        (* Whichever way it went, the original lease handle is spent. *)
+        (try
+           Scheduler.Lease.release capacity lease;
+           Alcotest.fail "second refund accepted"
+         with Invalid_argument _ -> ());
+        true
+  in
+  let test =
+    QCheck.Test.make ~count:100 ~name:"release_where refunds exactly once"
+      QCheck.(int_range 1 10_000)
+      prop
+  in
+  QCheck.Test.check_exn test
+
 let test_heavier_load_lowers_acceptance () =
   let g = network ~qubits:2 6 in
   let run gap =
@@ -261,6 +371,12 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_lease_roundtrip;
           Alcotest.test_case "invariant violation" `Quick
             test_lease_invariant_violation;
+          Alcotest.test_case "partial release" `Quick
+            test_release_where_partial;
+          Alcotest.test_case "all channels dead" `Quick
+            test_release_where_all_dead;
+          Alcotest.test_case "refunds exactly once (qcheck)" `Slow
+            test_release_where_refunds_once_qcheck;
         ] );
       ( "workload",
         [
