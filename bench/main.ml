@@ -240,6 +240,76 @@ let run_faults () =
   print_endline (Qnet_util.Table.to_string t);
   print_newline ()
 
+(* Overload sweep: the same fixed-seed workload at rising offered
+   loads, served under admission limits and a tiered degradation
+   policy.  Shed rate, degradation-tier histogram and queue-wait tail
+   go into the snapshot as the overload trajectory. *)
+
+let overload_offered_loads = [ 0.5; 1.5; 3.; 6. ]
+
+let overload_scenario ~seed offered_load =
+  let rng = Qnet_util.Prng.create seed in
+  let g = Qnet_topology.Waxman.generate rng Qnet_topology.Spec.default in
+  let params = Qnet_core.Params.default in
+  let wspec =
+    Qnet_online.Workload.spec ~requests:160
+      ~arrivals:(Qnet_online.Workload.Poisson offered_load) ()
+  in
+  let reqs =
+    Qnet_online.Workload.generate (Qnet_util.Prng.create (seed + 8_191)) g
+      wspec
+  in
+  (* Fresh tier stats per scenario: the tiered combinator's breakers
+     and histogram are stateful. *)
+  let policy, tier_stats =
+    Qnet_online.Policy.tiered ~fuel:400
+      [
+        Option.get (Qnet_online.Policy.of_name "alg3");
+        Option.get (Qnet_online.Policy.of_name "prim");
+      ]
+  in
+  let overload =
+    Qnet_overload.Admission.make ~max_queue:8 ~max_inflight:10 ~rate:2. ()
+  in
+  let config = Qnet_online.Engine.config ~overload ~tier_stats policy in
+  fst (Qnet_online.Engine.run ~config g params ~requests:reqs)
+
+let run_overload () =
+  let module E = Qnet_online.Engine in
+  let t =
+    Qnet_util.Table.create
+      [
+        "offered"; "served"; "shed"; "shed rate"; "degraded"; "exhaustions";
+        "p99 wait"; "peak queue";
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t load ->
+        let r = overload_scenario ~seed:42 load in
+        let shed_rate =
+          if r.E.arrived = 0 then 0.
+          else float_of_int r.E.shed /. float_of_int r.E.arrived
+        in
+        Qnet_util.Table.add_row t
+          [
+            Printf.sprintf "%g" load;
+            string_of_int r.E.served;
+            string_of_int r.E.shed;
+            Qnet_util.Table.float_cell shed_rate;
+            string_of_int r.E.degraded;
+            string_of_int r.E.budget_exhaustions;
+            Qnet_util.Table.float_cell r.E.p99_wait;
+            string_of_int r.E.peak_queue_depth;
+          ])
+      t overload_offered_loads
+  in
+  print_endline
+    "Overload control (160 requests, tiers alg3>prim, max-queue 8, \
+     max-inflight 10, rate 2):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
+
 (* Bechamel micro-benchmarks: per-algorithm wall-clock on the default
    network. *)
 let micro () =
@@ -414,6 +484,36 @@ let faults_section () =
         ])
     (None :: List.map Option.some fault_mtbf_levels)
 
+let overload_section () =
+  let module E = Qnet_online.Engine in
+  List.map
+    (fun load ->
+      let r = overload_scenario ~seed:42 load in
+      let shed_rate =
+        if r.E.arrived = 0 then 0.
+        else float_of_int r.E.shed /. float_of_int r.E.arrived
+      in
+      jobj
+        [
+          ("offered_load", jfloat load);
+          ("arrived", string_of_int r.E.arrived);
+          ("served", string_of_int r.E.served);
+          ("shed", string_of_int r.E.shed);
+          ("shed_rate", jfloat shed_rate);
+          ("degraded", string_of_int r.E.degraded);
+          ("budget_exhaustions", string_of_int r.E.budget_exhaustions);
+          ("breaker_opens", string_of_int r.E.breaker_opens);
+          ( "tier_served",
+            jobj
+              (List.map
+                 (fun (name, n) -> (name, string_of_int n))
+                 r.E.tier_served) );
+          ("acceptance_ratio", jfloat r.E.acceptance_ratio);
+          ("p99_queue_wait_s", jfloat r.E.p99_wait);
+          ("peak_queue_depth", string_of_int r.E.peak_queue_depth);
+        ])
+    overload_offered_loads
+
 (* Parallel-runtime benchmark: the same fixed-seed Monte-Carlo and
    replication workloads at several --jobs levels.  Wall time and
    speedup go into the snapshot as the perf trajectory; the equality
@@ -574,6 +674,7 @@ let snapshot path =
       traffic_policies
   in
   let faults = faults_section () in
+  let overload = overload_section () in
   let parallel = parallel_section () in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
@@ -612,11 +713,12 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/4");
+        ("schema", jstr "muerp-bench-snapshot/5");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);
         ("faults", jarr faults);
+        ("overload", jarr overload);
         ("parallel", parallel);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
@@ -671,6 +773,7 @@ let () =
       run_ablations ();
       run_traffic ();
       run_faults ();
+      run_overload ();
       scaling ();
       micro ()
   | [ "headline" ] -> run_headline []
@@ -678,6 +781,7 @@ let () =
   | [ "ablation" ] -> run_ablations ()
   | [ "traffic" ] -> run_traffic ()
   | [ "faults" ] -> run_faults ()
+  | [ "overload" ] -> run_overload ()
   | [ "scaling" ] -> scaling ()
   | [ "micro" ] -> micro ()
   | ids -> List.iter (fun id -> ignore (run_figure id)) ids

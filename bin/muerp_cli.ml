@@ -769,11 +769,68 @@ let schedule_cmd =
 (* ------------------------------------------------------------------ *)
 (* traffic                                                             *)
 
+(* --arrival poisson:<rate> | batch:<size>:<period> | pareto:<a>:<lo>:<hi> *)
+let parse_arrival_spec spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad --arrival %S (expected poisson:<rate>, batch:<size>:<period> \
+          or pareto:<alpha>:<min>:<max>)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "poisson"; r ] -> (
+      match float_of_string_opt r with
+      | Some r -> Ok (Qnet_online.Workload.Poisson r)
+      | None -> fail ())
+  | [ "batch"; size; period ] -> (
+      match (int_of_string_opt size, float_of_string_opt period) with
+      | Some size, Some period ->
+          Ok (Qnet_online.Workload.Batched { period; size })
+      | _ -> fail ())
+  | [ "pareto"; a; lo; hi ] -> (
+      match
+        (float_of_string_opt a, float_of_string_opt lo, float_of_string_opt hi)
+      with
+      | Some alpha, Some lo, Some hi ->
+          Ok (Qnet_online.Workload.Pareto { alpha; lo; hi })
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* --group fixed:<k> | uniform:<lo>:<hi> | pareto:<a>:<lo>:<hi> *)
+let parse_group_spec spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad --group %S (expected fixed:<k>, uniform:<min>:<max> or \
+          pareto:<alpha>:<min>:<max>)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "fixed"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Qnet_online.Workload.Fixed k)
+      | None -> fail ())
+  | [ "uniform"; lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> Ok (Qnet_online.Workload.Uniform (lo, hi))
+      | _ -> fail ())
+  | [ "pareto"; a; lo; hi ] -> (
+      match
+        (float_of_string_opt a, int_of_string_opt lo, int_of_string_opt hi)
+      with
+      | Some alpha, Some lo, Some hi ->
+          Ok (Qnet_online.Workload.Pareto_group { alpha; lo; hi })
+      | _ -> fail ())
+  | _ -> fail ()
+
 let traffic_run verbose seed users switches degree qubits q alpha topology
-    requests arrival_rate batch_size batch_period group_min group_max
-    duration_min duration_max patience_min patience_max policy_name cache
-    queue retry_base retry_max fault_mtbf fault_mttr fault_targets
-    fault_regional fault_radius recovery_name jobs show_outcomes metrics =
+    requests arrival_rate batch_size batch_period arrival_spec group_min
+    group_max group_spec duration_min duration_max patience_min patience_max
+    policy_name cache tiers_spec queue retry_base retry_max max_queue
+    max_inflight rate_limit burst budget fail_on_sla fault_mtbf fault_mttr
+    fault_targets fault_regional fault_radius recovery_name jobs show_outcomes
+    metrics =
   apply_verbose verbose;
   metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
@@ -781,36 +838,78 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
   | Error (`Msg m) -> prerr_endline m; exit 1
   | Ok g ->
       let params = Params.create ~alpha ~q () in
+      let arrivals =
+        match arrival_spec with
+        | Some spec -> (
+            match parse_arrival_spec spec with
+            | Ok a -> a
+            | Error msg -> prerr_endline msg; exit 1)
+        | None ->
+            if batch_size > 0 then
+              Qnet_online.Workload.Batched
+                { period = batch_period; size = batch_size }
+            else Qnet_online.Workload.Poisson arrival_rate
+      in
+      let group_size =
+        match group_spec with
+        | Some spec -> (
+            match parse_group_spec spec with
+            | Ok gsp -> gsp
+            | Error msg -> prerr_endline msg; exit 1)
+        | None -> Qnet_online.Workload.Uniform (group_min, group_max)
+      in
       let wspec =
         try
-          Qnet_online.Workload.spec ~requests
-            ~arrivals:
-              (if batch_size > 0 then
-                 Qnet_online.Workload.Batched
-                   { period = batch_period; size = batch_size }
-               else Qnet_online.Workload.Poisson arrival_rate)
-            ~group_size:(Qnet_online.Workload.Uniform (group_min, group_max))
+          Qnet_online.Workload.spec ~requests ~arrivals ~group_size
             ~duration:(duration_min, duration_max)
             ~patience:(patience_min, patience_max)
             ()
         with Invalid_argument msg -> prerr_endline msg; exit 1
       in
-      let policy =
+      let named name =
         match
-          Qnet_online.Policy.of_name
-            (if cache then "cached-" ^ policy_name else policy_name)
+          Qnet_online.Policy.of_name (if cache then "cached-" ^ name else name)
         with
         | Some p -> p
         | None ->
             prerr_endline
-              ("unknown policy: " ^ policy_name
+              ("unknown policy: " ^ name
              ^ " (expected prim|alg2|alg3|eqcast, optionally with --cache)");
             exit 1
+      in
+      let policy, tier_stats =
+        match tiers_spec with
+        | "" -> (named policy_name, None)
+        | spec ->
+            let names =
+              String.split_on_char ',' spec
+              |> List.map String.trim
+              |> List.filter (fun n -> n <> "")
+            in
+            if names = [] then begin
+              prerr_endline "bad --tiers: no tier names";
+              exit 1
+            end;
+            let fuel = if budget > 0 then budget else 4096 in
+            let p, stats =
+              Qnet_online.Policy.tiered ~fuel (List.map named names)
+            in
+            (p, Some stats)
       in
       let recovery =
         match Qnet_online.Engine.recovery_of_string recovery_name with
         | Ok r -> r
         | Error msg -> prerr_endline msg; exit 1
+      in
+      let overload =
+        try
+          Qnet_overload.Admission.make
+            ?max_queue:(if max_queue > 0 then Some max_queue else None)
+            ?max_inflight:(if max_inflight > 0 then Some max_inflight else None)
+            ?rate:(if rate_limit > 0. then Some rate_limit else None)
+            ?burst:(if burst > 0. then Some burst else None)
+            ()
+        with Invalid_argument msg -> prerr_endline msg; exit 1
       in
       let config =
         try
@@ -818,7 +917,10 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
             ~admission:
               (if queue > 0 then Qnet_online.Engine.Queue queue
                else Qnet_online.Engine.Reject)
-            ~retry_base ~retry_max ~recovery policy
+            ~retry_base ~retry_max ~recovery ~overload
+            ?budget:
+              (if budget > 0 && tier_stats = None then Some budget else None)
+            ?tier_stats policy
         with Invalid_argument msg -> prerr_endline msg; exit 1
       in
       let faults =
@@ -872,17 +974,25 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
                 (List.map string_of_int r.Qnet_online.Workload.users)
             in
             match o.Qnet_online.Engine.resolution with
-            | Qnet_online.Engine.Served { start; rate; attempts; _ } ->
+            | Qnet_online.Engine.Served { start; rate; attempts; tier; _ } ->
                 Printf.printf
                   "  #%-3d t=%-7.2f {%s}  SERVED @%.2f  rate %.4g  \
-                   attempts %d\n"
+                   attempts %d%s\n"
                   r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
                   users start rate attempts
+                  (if tier > 0 then Printf.sprintf "  tier %d" tier else "")
             | Qnet_online.Engine.Rejected { at; queue_full } ->
                 Printf.printf "  #%-3d t=%-7.2f {%s}  REJECTED @%.2f%s\n"
                   r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
                   users at
                   (if queue_full then " (queue full)" else "")
+            | Qnet_online.Engine.Shed { at; reason } ->
+                Printf.printf "  #%-3d t=%-7.2f {%s}  SHED @%.2f (%s)\n"
+                  r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
+                  users at
+                  (match reason with
+                  | Qnet_online.Engine.Rate_limit -> "rate limit"
+                  | Qnet_online.Engine.Queue_pressure -> "queue pressure")
             | Qnet_online.Engine.Expired { at; attempts } ->
                 Printf.printf
                   "  #%-3d t=%-7.2f {%s}  EXPIRED @%.2f  attempts %d\n"
@@ -895,7 +1005,16 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
                   r.Qnet_online.Workload.id r.Qnet_online.Workload.arrival
                   users at start recoveries)
           outcomes;
-      metrics_report metrics
+      metrics_report metrics;
+      if
+        fail_on_sla >= 0.
+        && report.Qnet_online.Engine.acceptance_ratio *. 100. < fail_on_sla
+      then begin
+        Printf.eprintf "SLA gate failed: acceptance %.2f%% < %.2f%%\n"
+          (report.Qnet_online.Engine.acceptance_ratio *. 100.)
+          fail_on_sla;
+        exit 1
+      end
 
 let traffic_cmd =
   let requests_t =
@@ -1001,6 +1120,70 @@ let traffic_cmd =
     let doc = "Also print one line per request outcome." in
     Arg.(value & flag & info [ "outcomes" ] ~doc)
   in
+  let arrival_spec_t =
+    let doc =
+      "Arrival process spec: $(b,poisson:<rate>), \
+       $(b,batch:<size>:<period>) or $(b,pareto:<alpha>:<min>:<max>) \
+       (bounded-Pareto inter-arrival gaps).  Overrides --arrival-rate \
+       and --batch."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "arrival" ] ~docv:"SPEC" ~doc)
+  in
+  let group_spec_t =
+    let doc =
+      "Group-size spec: $(b,fixed:<k>), $(b,uniform:<min>:<max>) or \
+       $(b,pareto:<alpha>:<min>:<max>).  Overrides --group-min/--group-max."
+    in
+    Arg.(value & opt (some string) None & info [ "group" ] ~docv:"SPEC" ~doc)
+  in
+  let tiers_t =
+    let doc =
+      "Graceful-degradation tiers: comma-separated policy names tried in \
+       order under per-tier fuel budgets and circuit breakers (e.g. \
+       $(b,alg3,alg2,prim)).  Replaces --policy."
+    in
+    Arg.(value & opt string "" & info [ "tiers" ] ~docv:"NAMES" ~doc)
+  in
+  let max_queue_t =
+    let doc =
+      "Admission control: shed cheapest-to-refuse requests once the \
+       waiting queue holds $(docv) entries (0 = unlimited)."
+    in
+    Arg.(value & opt int 0 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_t =
+    let doc =
+      "Admission control: defer new serves while $(docv) leases are \
+       active (0 = unlimited)."
+    in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let rate_t =
+    let doc =
+      "Token-bucket admission rate (requests per time unit; 0 = \
+       unlimited)."
+    in
+    Arg.(value & opt float 0. & info [ "rate" ] ~docv:"RATE" ~doc)
+  in
+  let burst_t =
+    let doc = "Token-bucket burst size (defaults to max 1 --rate)." in
+    Arg.(value & opt float 0. & info [ "burst" ] ~docv:"N" ~doc)
+  in
+  let budget_t =
+    let doc =
+      "Solver fuel budget in Dijkstra node expansions per routing \
+       attempt (0 = unmetered).  With --tiers this is the per-tier fuel."
+    in
+    Arg.(value & opt int 0 & info [ "budget" ] ~docv:"FUEL" ~doc)
+  in
+  let fail_on_sla_t =
+    let doc =
+      "Exit nonzero when the acceptance ratio falls below $(docv) \
+       percent (negative disables the gate)."
+    in
+    Arg.(value & opt float (-1.) & info [ "fail-on-sla" ] ~docv:"PCT" ~doc)
+  in
   let info =
     Cmd.info "traffic"
       ~doc:
@@ -1011,10 +1194,12 @@ let traffic_cmd =
     Term.(
       const traffic_run $ verbose_t $ seed_t $ users_t $ switches_t
       $ degree_t $ qubits_t $ q_t $ alpha_t $ topology_t $ requests_t
-      $ arrival_rate_t $ batch_size_t $ batch_period_t $ group_min_t
-      $ group_max_t $ duration_min_t $ duration_max_t $ patience_min_t
-      $ patience_max_t $ policy_t $ cache_t $ queue_t $ retry_base_t
-      $ retry_max_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
+      $ arrival_rate_t $ batch_size_t $ batch_period_t $ arrival_spec_t
+      $ group_min_t $ group_max_t $ group_spec_t $ duration_min_t
+      $ duration_max_t $ patience_min_t $ patience_max_t $ policy_t
+      $ cache_t $ tiers_t $ queue_t $ retry_base_t $ retry_max_t
+      $ max_queue_t $ max_inflight_t $ rate_t $ burst_t $ budget_t
+      $ fail_on_sla_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
       $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t
       $ outcomes_t $ metrics_t)
 

@@ -34,7 +34,7 @@ let chain_order order g users =
           List.rev !chain
     end
 
-let solve ?(order = By_id) g params =
+let solve ?(order = By_id) ?budget g params =
   let users = Graph.users g in
   match users with
   | [] | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -44,7 +44,7 @@ let solve ?(order = By_id) g params =
       let rec route acc = function
         | [] | [ _ ] -> Some (Ent_tree.of_channels (List.rev acc))
         | src :: (dst :: _ as rest) -> begin
-            match Routing.best_channel g params ~capacity ~src ~dst with
+            match Routing.best_channel ?budget g params ~capacity ~src ~dst with
             | None -> None
             | Some c ->
                 Capacity.consume_channel capacity c.path;

@@ -21,9 +21,11 @@ type order =
 
 val solve :
   ?order:order ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
   Qnet_core.Ent_tree.t option
 (** Run the baseline (default [By_id]).  The produced tree is a path in
     the user-adjacency sense (each user chained to the next) and always
-    respects switch capacities. *)
+    respects switch capacities.  [budget] meters the per-pair Dijkstra
+    runs (local capacity only — exhaustion leaks nothing). *)

@@ -15,7 +15,7 @@ let channel_feasible capacity (c : Channel.t) =
 (* Phase 2: repeatedly bridge two user unions with the best residual-
    capacity channel.  Returns the accepted channels, or None when some
    unions can no longer be joined. *)
-let reconnect g params capacity uf users =
+let reconnect ?budget g params capacity uf users =
   let rec loop acc =
     if Union_find.all_same uf users then Some acc
     else begin
@@ -31,7 +31,7 @@ let reconnect g params capacity uf users =
       in
       List.iter
         (fun src ->
-          Routing.best_channels_from g params ~capacity ~src
+          Routing.best_channels_from ?budget g params ~capacity ~src
           |> List.iter (fun (_, c) -> consider c))
         users;
       match !best with
@@ -47,7 +47,7 @@ let reconnect g params capacity uf users =
   in
   loop []
 
-let solve ?seed_channels g params =
+let solve ?seed_channels ?budget g params =
   let users = Graph.users g in
   match users with
   | [] | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -56,7 +56,7 @@ let solve ?seed_channels g params =
         match seed_channels with
         | Some cs -> List.sort Alg_optimal.compare_channels cs
         | None -> begin
-            match Alg_optimal.solve g params with
+            match Alg_optimal.solve ?budget g params with
             | None -> []
             | Some tree -> List.sort Alg_optimal.compare_channels tree.channels
           end
@@ -87,7 +87,7 @@ let solve ?seed_channels g params =
           rejected;
       (* Phase 2: reconnect the unions split by rejected channels. *)
       begin
-        match reconnect g params capacity uf users with
+        match reconnect ?budget g params capacity uf users with
         | None -> None
         | Some extra ->
             Tm.Counter.add c_reconnect_added (List.length extra);

@@ -18,10 +18,14 @@
 
 val solve :
   ?seed_channels:Channel.t list ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Params.t ->
   Ent_tree.t option
 (** [solve g params] runs the full pipeline (Algorithm 2 to obtain the
     seed channels, then conflict repair).  [seed_channels] overrides the
     seed set — tests use this to exercise specific conflict patterns;
-    they are re-sorted by descending rate as the paper specifies. *)
+    they are re-sorted by descending rate as the paper specifies.
+    [budget] meters both the seeding and reconnection Dijkstra runs and
+    propagates {!Qnet_overload.Budget.Exhausted}; capacity here is a
+    local view, so exhaustion leaks nothing. *)

@@ -12,16 +12,16 @@ let compare_channels (c1 : Channel.t) (c2 : Channel.t) =
 
 let c_candidates = Qnet_telemetry.Metrics.counter "core.alg2.candidate_channels"
 
-let candidate_channels g params =
+let candidate_channels ?budget g params =
   let capacity = Capacity.of_graph g in
   let candidates =
-    Routing.all_pairs_best g params ~capacity ~users:(Graph.users g)
+    Routing.all_pairs_best ?budget g params ~capacity ~users:(Graph.users g)
     |> List.sort compare_channels
   in
   Qnet_telemetry.Metrics.Counter.add c_candidates (List.length candidates);
   candidates
 
-let solve g params =
+let solve ?budget g params =
   let users = Graph.users g in
   match users with
   | [] | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -33,7 +33,7 @@ let solve g params =
           (fun acc (c : Channel.t) ->
             if Union_find.union uf c.src c.dst then c :: acc else acc)
           []
-          (candidate_channels g params)
+          (candidate_channels ?budget g params)
       in
       if Union_find.all_same uf users then
         Some (Ent_tree.of_channels (List.rev chosen))

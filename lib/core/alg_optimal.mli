@@ -22,12 +22,22 @@ val compare_channels : Channel.t -> Channel.t -> int
     the selection order shared by Algorithms 2 and 3. *)
 
 val candidate_channels :
-  Qnet_graph.Graph.t -> Params.t -> Channel.t list
+  ?budget:Qnet_overload.Budget.t ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  Channel.t list
 (** Maximum-rate channels for all user pairs, sorted by descending
     entanglement rate (ties broken by endpoint ids for determinism).
     Pairs with no channel at all are absent. *)
 
-val solve : Qnet_graph.Graph.t -> Params.t -> Ent_tree.t option
+val solve :
+  ?budget:Qnet_overload.Budget.t ->
+  Qnet_graph.Graph.t ->
+  Params.t ->
+  Ent_tree.t option
 (** The Kruskal-style selection over {!candidate_channels}.  [None] when
     the users cannot all be connected by channels (the graph
-    disconnects them or 0-rate channels block merging). *)
+    disconnects them or 0-rate channels block merging).  [budget]
+    meters the candidate-enumeration Dijkstra runs and propagates
+    {!Qnet_overload.Budget.Exhausted}; only local capacity views are
+    touched, so an exhausted run leaks nothing. *)

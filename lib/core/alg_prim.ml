@@ -4,7 +4,7 @@ module Prng = Qnet_util.Prng
 
 let c_rounds = Qnet_telemetry.Metrics.counter "core.alg4.grow_rounds"
 
-let solve ?start ?rng g params =
+let solve ?start ?rng ?budget g params =
   let users = Graph.users g in
   match users with
   | [] | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -37,7 +37,7 @@ let solve ?start ?rng g params =
           in
           Hashtbl.iter
             (fun src () ->
-              Routing.best_channels_from g params ~capacity ~src
+              Routing.best_channels_from ?budget g params ~capacity ~src
               |> List.iter (fun (dst, c) -> if outside dst then consider c))
             inside;
           match !best with

@@ -11,10 +11,12 @@
 val solve :
   ?start:int ->
   ?rng:Qnet_util.Prng.t ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Params.t ->
   Ent_tree.t option
 (** [solve g params] grows the tree from a start user: [start] if given
     (must be a user id), else a user drawn from [rng] (the paper picks
     uniformly at random), else the smallest user id.  The produced tree
-    always respects switch capacities. *)
+    always respects switch capacities.  [budget] meters the underlying
+    Dijkstra runs (local capacity only — exhaustion leaks nothing). *)

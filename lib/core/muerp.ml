@@ -71,15 +71,16 @@ let wall_time_hist = function
 let c_solves = Tm.counter "solve.calls"
 let c_infeasible = Tm.counter "solve.infeasible"
 
-let solve ?rng algorithm inst =
+let solve ?rng ?budget algorithm inst =
   Tm.Counter.incr c_solves;
   let t0 = Clock.now_s () in
   let tree =
     Qnet_telemetry.Span.with_span (algorithm_name algorithm) (fun () ->
         match algorithm with
-        | Optimal -> Alg_optimal.solve inst.graph inst.params
-        | Conflict_free -> Alg_conflict_free.solve inst.graph inst.params
-        | Prim_based -> Alg_prim.solve ?rng inst.graph inst.params
+        | Optimal -> Alg_optimal.solve ?budget inst.graph inst.params
+        | Conflict_free ->
+            Alg_conflict_free.solve ?budget inst.graph inst.params
+        | Prim_based -> Alg_prim.solve ?rng ?budget inst.graph inst.params
         | Exhaustive -> Exact.solve inst.graph inst.params)
   in
   let elapsed_s = Clock.elapsed_since t0 in

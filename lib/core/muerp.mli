@@ -37,9 +37,16 @@ type outcome = {
 }
 
 val solve :
-  ?rng:Qnet_util.Prng.t -> algorithm -> instance -> outcome
+  ?rng:Qnet_util.Prng.t ->
+  ?budget:Qnet_overload.Budget.t ->
+  algorithm ->
+  instance ->
+  outcome
 (** Run one solver.  [rng] seeds Algorithm 4's random start user (and is
     ignored by the others); without it the smallest user id starts.
+    [budget] meters the heuristics' Dijkstra expansions and propagates
+    {!Qnet_overload.Budget.Exhausted} ([Exhaustive] ignores it — its
+    cost is bounded by instance size, not search).
     The returned tree, when present, has been checked against
     {!Verify.check} — a violation raises [Failure] (it would indicate a
     solver bug, not a user error), except for [Optimal] whose

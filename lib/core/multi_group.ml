@@ -35,11 +35,12 @@ let validate_groups g groups =
 
 (* One best channel from the grown set to an outside user of the group,
    under the shared residual capacity. *)
-let best_attachment ?exclude g params ~capacity ~inside ~outside_users =
+let best_attachment ?exclude ?budget g params ~capacity ~inside ~outside_users
+    =
   let best = ref None in
   Hashtbl.iter
     (fun src () ->
-      Routing.best_channels_from ?exclude g params ~capacity ~src
+      Routing.best_channels_from ?exclude ?budget g params ~capacity ~src
       |> List.iter (fun (dst, (c : Channel.t)) ->
              if List.mem dst outside_users then
                match !best with
@@ -50,7 +51,7 @@ let best_attachment ?exclude g params ~capacity ~inside ~outside_users =
     inside;
   !best
 
-let prim_for_users ?exclude g params ~capacity ~users =
+let prim_for_users ?exclude ?budget g params ~capacity ~users =
   match users with
   | [] -> invalid_arg "Multi_group.prim_for_users: empty user set"
   | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -59,17 +60,20 @@ let prim_for_users ?exclude g params ~capacity ~users =
       Hashtbl.replace inside start ();
       let remaining = ref (List.filter (fun u -> u <> start) users) in
       let consumed = ref [] in
+      let rollback () =
+        (* Roll back so a failed (or fuel-starved) group leaves shared
+           capacity unchanged for the groups after it. *)
+        List.iter (Capacity.release_channel capacity) !consumed
+      in
       let rec grow acc =
         if !remaining = [] then Some (Ent_tree.of_channels (List.rev acc))
         else
           match
-            best_attachment ?exclude g params ~capacity ~inside
+            best_attachment ?exclude ?budget g params ~capacity ~inside
               ~outside_users:!remaining
           with
           | None ->
-              (* Roll back so a failed group leaves shared capacity
-                 unchanged for the groups after it. *)
-              List.iter (Capacity.release_channel capacity) !consumed;
+              rollback ();
               None
           | Some c ->
               Capacity.consume_channel capacity c.path;
@@ -79,7 +83,12 @@ let prim_for_users ?exclude g params ~capacity ~users =
               remaining := List.filter (fun u -> u <> fresh) !remaining;
               grow (c :: acc)
       in
-      grow []
+      (* Budget exhaustion mid-grow must not leak partial consumption
+         into the shared capacity the engine asserts over. *)
+      (try grow [] with
+      | Qnet_overload.Budget.Exhausted _ as e ->
+          rollback ();
+          raise e)
 
 (* Round-robin: every group keeps a grown set; rounds attach one channel
    per unfinished group.  A group that cannot extend is marked failed

@@ -52,6 +52,7 @@ val solve :
 
 val prim_for_users :
   ?exclude:Routing.exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -61,4 +62,8 @@ val prim_for_users :
     residual-capacity state (consumed on success, partially consumed on
     failure paths are rolled back).  [exclude] (default
     {!Routing.no_exclusion}) keeps the grown tree clear of failed
-    switches and fibers.  Exposed for reuse and testing. *)
+    switches and fibers.  [budget] meters the underlying Dijkstra runs;
+    on {!Qnet_overload.Budget.Exhausted} any channels already consumed
+    from [capacity] are released before the exception propagates, so a
+    fuel-starved call leaves shared capacity exactly as it found it.
+    Exposed for reuse and testing. *)

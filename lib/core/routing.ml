@@ -42,7 +42,7 @@ let direct_only g params ~exclude ~src =
       else None)
     (Graph.neighbors g src)
 
-let sssp ?target g params ~capacity ~exclude ~src =
+let sssp ?target ?budget g params ~capacity ~exclude ~src =
   Tm.Counter.incr c_sssp_runs;
   let admit v =
     exclude.vertex_ok v
@@ -50,7 +50,7 @@ let sssp ?target g params ~capacity ~exclude ~src =
   in
   let expand v = Graph.is_switch g v in
   Paths.dijkstra g ~source:src ~weight:(edge_weight params) ~admit ~expand
-    ~edge_ok:exclude.edge_ok ?target ()
+    ~edge_ok:exclude.edge_ok ?target ?budget ()
 
 let channel_from_result g params result ~src ~dst =
   match Paths.extract_path result ~source:src ~target:dst with
@@ -63,7 +63,8 @@ let channel_from_result g params result ~src ~dst =
       | Error _ -> None
     end
 
-let best_channel ?(exclude = no_exclusion) g params ~capacity ~src ~dst =
+let best_channel ?(exclude = no_exclusion) ?budget g params ~capacity ~src ~dst
+    =
   check_user g src;
   check_user g dst;
   if src = dst then invalid_arg "Routing.best_channel: src = dst";
@@ -73,16 +74,17 @@ let best_channel ?(exclude = no_exclusion) g params ~capacity ~src ~dst =
     (* A point query: let Dijkstra stop once [dst] settles instead of
        settling the whole graph. *)
     channel_from_result g params
-      (sssp ~target:dst g params ~capacity ~exclude ~src)
+      (sssp ~target:dst ?budget g params ~capacity ~exclude ~src)
       ~src ~dst
 
-let best_channels_from ?(exclude = no_exclusion) g params ~capacity ~src =
+let best_channels_from ?(exclude = no_exclusion) ?budget g params ~capacity
+    ~src =
   check_user g src;
   Tm.Counter.incr c_enumerations;
   if params.Params.q = 0. then
     List.sort compare (direct_only g params ~exclude ~src)
   else begin
-    let result = sssp g params ~capacity ~exclude ~src in
+    let result = sssp ?budget g params ~capacity ~exclude ~src in
     Graph.users g
     |> List.filter_map (fun u ->
            if u = src then None
@@ -92,11 +94,11 @@ let best_channels_from ?(exclude = no_exclusion) g params ~capacity ~src =
              | Some c -> Some (u, c))
   end
 
-let all_pairs_best ?exclude g params ~capacity ~users =
+let all_pairs_best ?exclude ?budget g params ~capacity ~users =
   let users = List.sort_uniq compare users in
   List.concat_map
     (fun src ->
-      best_channels_from ?exclude g params ~capacity ~src
+      best_channels_from ?exclude ?budget g params ~capacity ~src
       |> List.filter_map (fun (dst, c) ->
              (* Keep each unordered pair once. *)
              if List.mem dst users && src < dst then Some c else None))

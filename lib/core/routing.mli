@@ -36,6 +36,7 @@ val path_ok : Qnet_graph.Graph.t -> exclusion -> int list -> bool
 
 val best_channel :
   ?exclude:exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -44,11 +45,15 @@ val best_channel :
   Channel.t option
 (** Maximum-rate channel between users [src] and [dst] given residual
     switch capacities, or [None] when no capacity-feasible channel
-    exists.  @raise Invalid_argument if either endpoint is not a user or
+    exists.  [?budget] charges underlying Dijkstra heap pops (see
+    {!Qnet_graph.Paths.dijkstra}) and propagates
+    {!Qnet_overload.Budget.Exhausted}.
+    @raise Invalid_argument if either endpoint is not a user or
     [src = dst]. *)
 
 val best_channels_from :
   ?exclude:exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -61,6 +66,7 @@ val best_channels_from :
 
 val all_pairs_best :
   ?exclude:exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->

@@ -31,12 +31,19 @@ let with_scratch_heap n f =
       Fun.protect ~finally:(fun () -> cell := Some heap) (fun () -> f heap)
 
 let dijkstra g ~source ~weight ?(admit = fun _ -> true)
-    ?(expand = fun _ -> true) ?(edge_ok = fun _ -> true) ?target () =
+    ?(expand = fun _ -> true) ?(edge_ok = fun _ -> true) ?target ?budget () =
   let n = Graph.vertex_count g in
   if source < 0 || source >= n then invalid_arg "Paths.dijkstra: bad source";
   (match target with
   | Some t when t < 0 || t >= n -> invalid_arg "Paths.dijkstra: bad target"
   | _ -> ());
+  (* Bind the fuel charge once so the unbudgeted hot path stays a
+     single closure call away from free. *)
+  let charge =
+    match budget with
+    | None -> Fun.id
+    | Some b -> fun () -> Qnet_overload.Budget.tick b
+  in
   Tm.Counter.incr c_runs;
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
@@ -52,6 +59,7 @@ let dijkstra g ~source ~weight ?(admit = fun _ -> true)
         match Binary_heap.pop_min heap with
         | None -> running := false
         | Some (d, u) ->
+            charge ();
             Tm.Counter.incr c_pops;
             if not done_.(u) && d <= dist.(u) then begin
               done_.(u) <- true;
@@ -94,8 +102,10 @@ let extract_path { dist; prev } ~source ~target =
     Some (walk target [])
   end
 
-let shortest_path g ~source ~target ~weight ?admit ?expand ?edge_ok () =
-  let result = dijkstra g ~source ~weight ?admit ?expand ?edge_ok ~target () in
+let shortest_path g ~source ~target ~weight ?admit ?expand ?edge_ok ?budget () =
+  let result =
+    dijkstra g ~source ~weight ?admit ?expand ?edge_ok ~target ?budget ()
+  in
   match extract_path result ~source ~target with
   | None -> None
   | Some path -> Some (path, result.dist.(target))

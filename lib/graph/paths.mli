@@ -21,6 +21,7 @@ val dijkstra :
   ?expand:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
   ?target:int ->
+  ?budget:Qnet_overload.Budget.t ->
   unit ->
   dijkstra_result
 (** [dijkstra g ~source ~weight ()] runs single-source shortest paths.
@@ -42,7 +43,14 @@ val dijkstra :
     {!extract_path} to [target] is unaffected — but vertices that were
     still on the frontier keep tentative (over-)estimates.  Omit
     [target] when the result is reused for several destinations.
-    @raise Invalid_argument if any relaxed edge has negative weight. *)
+
+    With [?budget] every heap pop charges one unit of fuel;
+    {!Qnet_overload.Budget.Exhausted} aborts the run the moment the
+    budget empties (the per-domain scratch heap is still returned).
+    Fuel counts expansions, not time, so budgeted runs stay
+    deterministic at every [--jobs] level.
+    @raise Invalid_argument if any relaxed edge has negative weight.
+    @raise Qnet_overload.Budget.Exhausted when the fuel runs out. *)
 
 val extract_path : dijkstra_result -> source:int -> target:int -> int list option
 (** The vertex sequence [source; …; target] along the recorded
@@ -56,6 +64,7 @@ val shortest_path :
   ?admit:(int -> bool) ->
   ?expand:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
+  ?budget:Qnet_overload.Budget.t ->
   unit ->
   (int list * float) option
 (** One-shot wrapper returning the path and its total weight. *)

@@ -4,6 +4,10 @@ module Tm = Qnet_telemetry.Metrics
 module Fmodel = Qnet_faults.Model
 module Fsched = Qnet_faults.Schedule
 module Fhealth = Qnet_faults.Health
+module Admission_ctl = Qnet_overload.Admission
+module Limiter = Qnet_overload.Limiter
+module Budget = Qnet_overload.Budget
+module Breaker = Qnet_overload.Breaker
 open Qnet_core
 
 let c_arrivals = Tm.counter "online.engine.arrivals"
@@ -22,6 +26,13 @@ let c_leases_interrupted = Tm.counter "online.faults.interrupted"
 let c_leases_recovered = Tm.counter "online.faults.recovered"
 let c_leases_aborted = Tm.counter "online.faults.aborted"
 let h_recovery = Tm.histogram "online.faults.recovery_seconds"
+let c_shed = Tm.counter "online.overload.shed"
+let c_shed_rate = Tm.counter "online.overload.shed_rate_limited"
+let c_shed_queue = Tm.counter "online.overload.shed_queue_pressure"
+let c_inflight_blocked = Tm.counter "online.overload.inflight_blocked"
+let c_budget_exhausted = Tm.counter "online.overload.budget_exhausted"
+let c_degraded = Tm.counter "online.overload.degraded"
+let g_queue_limit = Tm.gauge "online.overload.max_queue"
 
 type admission = Reject | Queue of int
 type recovery = Abort | Repair | Reroute
@@ -45,10 +56,14 @@ type config = {
   retry_base : float;
   retry_max : float;
   recovery : recovery;
+  overload : Admission_ctl.t;
+  budget : int option;
+  tier_stats : Policy.tier_stats option;
 }
 
 let config ?(admission = Queue 32) ?(retry_base = 0.5) ?(retry_max = 8.)
-    ?(recovery = Repair) policy =
+    ?(recovery = Repair) ?(overload = Admission_ctl.none) ?budget ?tier_stats
+    policy =
   (match admission with
   | Reject -> ()
   | Queue n -> if n < 1 then invalid_arg "Engine.config: queue bound < 1");
@@ -56,7 +71,13 @@ let config ?(admission = Queue 32) ?(retry_base = 0.5) ?(retry_max = 8.)
     invalid_arg "Engine.config: retry_base must be positive";
   if retry_max < retry_base then
     invalid_arg "Engine.config: retry_max < retry_base";
-  { policy; admission; retry_base; retry_max; recovery }
+  (match budget with
+  | Some f when f <= 0 -> invalid_arg "Engine.config: budget must be positive"
+  | _ -> ());
+  { policy; admission; retry_base; retry_max; recovery; overload; budget;
+    tier_stats }
+
+type shed_reason = Rate_limit | Queue_pressure
 
 type resolution =
   | Served of {
@@ -66,8 +87,10 @@ type resolution =
       rate : float;
       attempts : int;
       recoveries : int;
+      tier : int;
     }
   | Rejected of { at : float; queue_full : bool }
+  | Shed of { at : float; reason : shed_reason }
   | Expired of { at : float; attempts : int }
   | Interrupted of {
       start : float;
@@ -108,6 +131,12 @@ type report = {
   leases_aborted : int;
   mean_time_to_repair : float;
   mean_lost_service : float;
+  shed : int;
+  degraded : int;
+  tier_served : (string * int) list;
+  budget_exhaustions : int;
+  breaker_opens : int;
+  p99_wait : float;
 }
 
 type event =
@@ -134,6 +163,7 @@ type active = {
   started : float;
   finish : float;
   mutable recoveries : int;
+  mutable tier : int;
 }
 
 let validate g requests =
@@ -207,6 +237,15 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   let events : event Event_queue.t = Event_queue.create () in
   let states : (int, req_state) Hashtbl.t = Hashtbl.create 64 in
   let active : (int, active) Hashtbl.t = Hashtbl.create 64 in
+  let limiter = Admission_ctl.limiter cfg.overload in
+  (match cfg.overload.Admission_ctl.max_queue with
+  | Some q -> Tm.Gauge.set_max g_queue_limit (float_of_int q)
+  | None -> ());
+  let fresh_budget () =
+    Option.map (fun fuel -> Budget.create ~fuel) cfg.budget
+  in
+  let shed_total = ref 0 in
+  let budget_exhaustions = ref 0 in
   let next_lease = ref 0 in
   let queue = ref [] in
   (* waiting request ids, FIFO (head = oldest) *)
@@ -234,35 +273,62 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   (* One routing attempt for [st] at time [t]; on success the lease is
      registered and its expiry scheduled — resolution waits for the
      lease to complete (it may yet be interrupted by a fault). *)
+  let inflight_full () =
+    match cfg.overload.Admission_ctl.max_inflight with
+    | None -> false
+    | Some m ->
+        let full = Hashtbl.length active >= m in
+        if full then Tm.Counter.incr c_inflight_blocked;
+        full
+  in
+  (* One policy invocation under the configured fuel budget; exhaustion
+     counts as a failed attempt (capacity already rolled back by the
+     solver layer), never as an engine error. *)
+  let route_once users =
+    match
+      Qnet_telemetry.Span.with_span "online.route" (fun () ->
+          cfg.policy.Policy.route ~exclude ~budget:(fresh_budget ()) g params
+            ~capacity ~users)
+    with
+    | tree -> tree
+    | exception Budget.Exhausted _ ->
+        incr budget_exhaustions;
+        Tm.Counter.incr c_budget_exhausted;
+        None
+  in
+  let served_tier () =
+    match cfg.tier_stats with
+    | None -> -1
+    | Some stats -> stats.Policy.last
+  in
   let try_serve t st =
     let r = st.req in
     st.attempts <- st.attempts + 1;
-    match
-      Qnet_telemetry.Span.with_span "online.route" (fun () ->
-          cfg.policy.Policy.route ~exclude g params ~capacity
-            ~users:r.Workload.users)
-    with
-    | None -> false
-    | Some tree ->
-        let lease = Lease.acquire tree in
-        let lid = !next_lease in
-        incr next_lease;
-        Hashtbl.replace active lid
-          {
-            lid;
-            st;
-            lease;
-            tree;
-            started = t;
-            finish = t +. r.Workload.duration;
-            recoveries = 0;
-          };
-        Event_queue.push events (t +. r.Workload.duration) (Expiry lid);
-        in_use := !in_use + Lease.qubits lease;
-        peak_qubits := max !peak_qubits !in_use;
-        st.waiting <- false;
-        Tm.Histogram.observe h_wait (t -. r.Workload.arrival);
-        true
+    if inflight_full () then false
+    else
+      match route_once r.Workload.users with
+      | None -> false
+      | Some tree ->
+          let lease = Lease.acquire tree in
+          let lid = !next_lease in
+          incr next_lease;
+          Hashtbl.replace active lid
+            {
+              lid;
+              st;
+              lease;
+              tree;
+              started = t;
+              finish = t +. r.Workload.duration;
+              recoveries = 0;
+              tier = served_tier ();
+            };
+          Event_queue.push events (t +. r.Workload.duration) (Expiry lid);
+          in_use := !in_use + Lease.qubits lease;
+          peak_qubits := max !peak_qubits !in_use;
+          st.waiting <- false;
+          Tm.Histogram.observe h_wait (t -. r.Workload.arrival);
+          true
   in
   let schedule_retry t st =
     let rt = min (t +. st.backoff) st.req.Workload.deadline in
@@ -273,6 +339,49 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     Tm.Counter.incr c_expired;
     queue := List.filter (fun id -> id <> st.req.Workload.id) !queue;
     resolve st (Expired { at = t; attempts = st.attempts })
+  in
+  let shed t st reason =
+    incr shed_total;
+    Tm.Counter.incr c_shed;
+    (match reason with
+    | Rate_limit -> Tm.Counter.incr c_shed_rate
+    | Queue_pressure -> Tm.Counter.incr c_shed_queue);
+    queue := List.filter (fun id -> id <> st.req.Workload.id) !queue;
+    resolve st (Shed { at = t; reason })
+  in
+  let victim_of t (st : req_state) =
+    {
+      Admission_ctl.id = st.req.Workload.id;
+      group = List.length st.req.Workload.users;
+      slack = st.req.Workload.deadline -. t;
+    }
+  in
+  (* Queue-pressure shedding: with the depth limit hit, refuse the
+     cheapest-to-refuse request among the waiters and the newcomer
+     (largest group, then loosest deadline, then id).  Returns [true]
+     when the newcomer survived and may be enqueued. *)
+  let shed_for_room t (newcomer : req_state) =
+    match cfg.overload.Admission_ctl.max_queue with
+    | None -> true
+    | Some limit ->
+        if List.length !queue < limit then true
+        else begin
+          let candidates =
+            victim_of t newcomer
+            :: List.map (fun id -> victim_of t (Hashtbl.find states id)) !queue
+          in
+          match Admission_ctl.pick_victim candidates with
+          | None -> true
+          | Some v ->
+              if v.Admission_ctl.id = newcomer.req.Workload.id then begin
+                shed t newcomer Queue_pressure;
+                false
+              end
+              else begin
+                shed t (Hashtbl.find states v.Admission_ctl.id) Queue_pressure;
+                true
+              end
+        end
   in
   let on_arrival t (r : Workload.request) =
     Tm.Counter.incr c_arrivals;
@@ -286,13 +395,20 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       }
     in
     Hashtbl.replace states r.Workload.id st;
-    if not (try_serve t st) then
+    let over_rate =
+      match limiter with
+      | None -> false
+      | Some lim -> not (Limiter.try_take lim ~now:t)
+    in
+    if over_rate then shed t st Rate_limit
+    else if not (try_serve t st) then
       match cfg.admission with
       | Reject ->
           Tm.Counter.incr c_rejected;
           resolve st (Rejected { at = t; queue_full = false })
       | Queue bound ->
           if r.Workload.deadline <= t then expire t st
+          else if not (shed_for_room t st) then ()
           else if List.length !queue >= bound then begin
             Tm.Counter.incr c_rejected;
             resolve st (Rejected { at = t; queue_full = true })
@@ -306,13 +422,18 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   in
   let on_retry t id =
     let st = Hashtbl.find states id in
-    if st.waiting then begin
-      incr retries;
-      Tm.Counter.incr c_retries;
-      if try_serve t st then queue := List.filter (fun i -> i <> id) !queue
-      else if t >= st.req.Workload.deadline then expire t st
-      else schedule_retry t st
-    end
+    if st.waiting then
+      if t >= st.req.Workload.deadline then
+        (* Patience ran out while queued: settle as expired without a
+           futile final routing attempt (the serve window is
+           [arrival, deadline) once waiting). *)
+        expire t st
+      else begin
+        incr retries;
+        Tm.Counter.incr c_retries;
+        if try_serve t st then queue := List.filter (fun i -> i <> id) !queue
+        else schedule_retry t st
+      end
   in
   (* Work conservation: whenever capacity or connectivity improves
      (lease expiry, fault abort, element repair), offer it to the
@@ -323,7 +444,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       List.filter
         (fun id ->
           let st = Hashtbl.find states id in
-          if st.req.Workload.deadline < t then begin
+          if st.req.Workload.deadline <= t then begin
             (* Lapsed while waiting for its own retry event; settle it
                now so the freed capacity is not offered to a request
                that has already abandoned. *)
@@ -350,6 +471,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         let rate = Ent_tree.rate_prob a.tree in
         Tm.Counter.incr c_served;
         Tm.Histogram.observe h_rate rate;
+        if a.tier > 0 then Tm.Counter.incr c_degraded;
         resolve a.st
           (Served
              {
@@ -359,6 +481,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
                rate;
                attempts = a.st.attempts;
                recoveries = a.recoveries;
+               tier = a.tier;
              });
         rescan_queue t
   in
@@ -412,15 +535,20 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   let reroute a =
     Lease.release capacity a.lease;
     match
-      cfg.policy.Policy.route ~exclude g params ~capacity
-        ~users:a.st.req.Workload.users
+      cfg.policy.Policy.route ~exclude ~budget:(fresh_budget ()) g params
+        ~capacity ~users:a.st.req.Workload.users
     with
+    | exception Budget.Exhausted _ ->
+        incr budget_exhaustions;
+        Tm.Counter.incr c_budget_exhausted;
+        None
     | None -> None
     | Some tree' ->
         Verify.check_exn ~context:"fault reroute" g params
           ~users:a.st.req.Workload.users tree';
         a.tree <- tree';
         a.lease <- Lease.acquire tree';
+        a.tier <- served_tier ();
         Some tree'
   in
   let recover t element a =
@@ -577,7 +705,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         match o.resolution with
         | Served { start; rate; _ } ->
             ((start -. o.request.Workload.arrival) :: ws, rate :: rs)
-        | Rejected _ | Expired _ | Interrupted _ -> (ws, rs))
+        | Rejected _ | Shed _ | Expired _ | Interrupted _ -> (ws, rs))
       ([], []) outcomes
   in
   let count pred = List.length (List.filter pred outcomes) in
@@ -596,6 +724,44 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   let p95 = function
     | [] -> 0.
     | l -> Qnet_util.Stats.percentile (Array.of_list l) 95.
+  in
+  let p99 = function
+    | [] -> 0.
+    | l -> Qnet_util.Stats.percentile (Array.of_list l) 99.
+  in
+  let degraded =
+    count (fun o ->
+        match o.resolution with Served { tier; _ } -> tier > 0 | _ -> false)
+  in
+  let tier_served =
+    match cfg.tier_stats with
+    | None -> []
+    | Some stats ->
+        let counts = Array.make (Array.length stats.Policy.names) 0 in
+        List.iter
+          (fun o ->
+            match o.resolution with
+            | Served { tier; _ }
+              when tier >= 0 && tier < Array.length counts ->
+                counts.(tier) <- counts.(tier) + 1
+            | _ -> ())
+          outcomes;
+        Array.to_list
+          (Array.mapi (fun i n -> (stats.Policy.names.(i), n)) counts)
+  in
+  let budget_exhaustions =
+    !budget_exhaustions
+    + (match cfg.tier_stats with
+      | None -> 0
+      | Some stats -> Array.fold_left ( + ) 0 stats.Policy.exhaustions)
+  in
+  let breaker_opens =
+    match cfg.tier_stats with
+    | None -> 0
+    | Some stats ->
+        Array.fold_left
+          (fun acc b -> acc + Breaker.opens b)
+          0 stats.Policy.breakers
   in
   let budget = total_switch_qubits g in
   let mean_utilization =
@@ -634,6 +800,12 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       mean_lost_service =
         (if !leases_aborted = 0 then 0.
          else !lost_service /. float_of_int !leases_aborted);
+      shed = !shed_total;
+      degraded;
+      tier_served;
+      budget_exhaustions;
+      breaker_opens;
+      p99_wait = p99 waits;
     },
     outcomes )
 
@@ -667,3 +839,25 @@ let report_table r =
       flt "mean_time_to_repair" r.mean_time_to_repair;
       flt "mean_lost_service" r.mean_lost_service;
     ]
+  |> fun t ->
+  (* Overload rows appear only when overload control did something, so
+     a limits-disabled run prints the exact PR-4 era table. *)
+  if
+    r.shed = 0 && r.degraded = 0 && r.budget_exhaustions = 0
+    && r.breaker_opens = 0
+    && r.tier_served = []
+  then t
+  else
+    List.fold_left
+      (fun t (name, v) -> Qnet_util.Table.add_row t [ name; v ])
+      t
+      ([
+         int "shed" r.shed;
+         int "degraded" r.degraded;
+         int "budget_exhaustions" r.budget_exhaustions;
+         int "breaker_opens" r.breaker_opens;
+         flt "p99_wait" r.p99_wait;
+       ]
+      @ List.map
+          (fun (name, n) -> int ("tier_served:" ^ name) n)
+          r.tier_served)

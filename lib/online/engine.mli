@@ -21,11 +21,23 @@
 
     Admission control bounds the waiting queue: an unroutable arrival is
     rejected outright ({!Reject}) or queued up to a maximum queue length
-    ({!Queue}).  Every request ends in exactly one of four states —
-    served, rejected (admission), expired (deadline), or interrupted
-    (fault with no recovery) — and the engine's SLA accounting is
-    mirrored into the [online.engine.*] and [online.faults.*] telemetry
-    metrics.
+    ({!Queue}).  Every request ends in exactly one of five states —
+    served, rejected (admission), shed (overload control), expired
+    (deadline), or interrupted (fault with no recovery) — and the
+    engine's SLA accounting is mirrored into the [online.engine.*],
+    [online.faults.*] and [online.overload.*] telemetry metrics.
+
+    {b Overload control.}  An optional {!Qnet_overload.Admission.t}
+    bounds the run three ways: a token-bucket rate limit sheds
+    over-rate arrivals before any routing, an in-flight lease cap
+    blocks new serves while the network is saturated, and a queue-depth
+    limit sheds the {e cheapest-to-refuse} waiter (largest group, then
+    loosest deadline, then id) instead of letting the backlog grow.
+    [budget] meters every policy invocation with a fresh
+    {!Qnet_overload.Budget} so a pathological instance exhausts fuel
+    (counted, treated as a failed attempt) instead of stalling the run;
+    a {!Policy.tiered} policy plugs in through [tier_stats] so the
+    report can attribute each served request to its degradation tier.
 
     {b Determinism.}  The event loop is serial and every tie is broken
     by push order or lease id; the fault schedule is materialised before
@@ -70,6 +82,18 @@ type config = {
   retry_base : float;  (** First backoff delay after a failed attempt. *)
   retry_max : float;  (** Backoff growth cap (doubling saturates here). *)
   recovery : recovery;  (** Mid-lease fault response. *)
+  overload : Qnet_overload.Admission.t;
+      (** Admission limits; {!Qnet_overload.Admission.none} (the
+          default) reproduces the unlimited engine exactly. *)
+  budget : int option;
+      (** Fuel per policy invocation; [None] (default) = unmetered.
+          Ignored by {!Policy.tiered} policies, which own their own
+          per-tier budgets. *)
+  tier_stats : Policy.tier_stats option;
+      (** The stats handle returned by {!Policy.tiered} when [policy]
+          is a tiered stack — lets the engine label each served request
+          with its serving tier and fold breaker/exhaustion counts into
+          the report. *)
 }
 
 val config :
@@ -77,11 +101,22 @@ val config :
   ?retry_base:float ->
   ?retry_max:float ->
   ?recovery:recovery ->
+  ?overload:Qnet_overload.Admission.t ->
+  ?budget:int ->
+  ?tier_stats:Policy.tier_stats ->
   Policy.t ->
   config
 (** Defaults: [Queue 32], [retry_base = 0.5], [retry_max = 8.],
-    [recovery = Repair].  @raise Invalid_argument on a non-positive
-    backoff, [retry_max < retry_base] or [Queue n] with [n < 1]. *)
+    [recovery = Repair], no overload limits, no budget.
+    @raise Invalid_argument on a non-positive backoff,
+    [retry_max < retry_base], [Queue n] with [n < 1] or a non-positive
+    budget. *)
+
+type shed_reason =
+  | Rate_limit  (** The token bucket was empty at arrival. *)
+  | Queue_pressure
+      (** The queue-depth limit was hit and this request ranked
+          cheapest-to-refuse. *)
 
 type resolution =
   | Served of {
@@ -93,10 +128,18 @@ type resolution =
       rate : float;  (** Eq. (2) rate of the final tree. *)
       attempts : int;  (** Routing attempts including the final one. *)
       recoveries : int;  (** Mid-lease fault recoveries survived. *)
+      tier : int;
+          (** Index of the {!Policy.tiered} tier that produced the tree
+              in service ([0] = primary), or [-1] under an untiered
+              policy. *)
     }
   | Rejected of { at : float; queue_full : bool }
       (** Turned away at arrival: unroutable under {!Reject}, or the
           bounded queue was full. *)
+  | Shed of { at : float; reason : shed_reason }
+      (** Refused by overload control — deliberately, before consuming
+          solver time, unlike [Rejected] which records capacity
+          pressure. *)
   | Expired of { at : float; attempts : int }
       (** Queued but not served before its deadline. *)
   | Interrupted of {
@@ -152,6 +195,18 @@ type report = {
       (** Observed mean element downtime over completed repairs. *)
   mean_lost_service : float;
       (** Mean unserved lease remainder over aborted leases. *)
+  shed : int;  (** Requests refused by overload control. *)
+  degraded : int;
+      (** Served requests whose final tree came from a fallback tier
+          (tier index > 0). *)
+  tier_served : (string * int) list;
+      (** Served-request count per tier, in tier order; [\[\]] under an
+          untiered policy. *)
+  budget_exhaustions : int;
+      (** Policy invocations aborted by fuel exhaustion (engine-level
+          budget plus all tier budgets). *)
+  breaker_opens : int;  (** Circuit-breaker trips across all tiers. *)
+  p99_wait : float;
 }
 
 val run :
@@ -185,4 +240,8 @@ val run :
 
 val report_table : report -> Qnet_util.Table.t
 (** Two-column (metric, value) rendering of the SLA summary — the
-    reproducible artifact [muerp traffic] prints. *)
+    reproducible artifact [muerp traffic] prints.  Overload rows (shed,
+    degraded, budget exhaustions, breaker trips, p99 wait, per-tier
+    serve counts) are appended only when overload control actually did
+    something, so limits-disabled runs print the historical table
+    byte-for-byte. *)

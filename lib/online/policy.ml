@@ -10,6 +10,7 @@ type t = {
   name : string;
   route :
     exclude:Routing.exclusion ->
+    budget:Qnet_overload.Budget.t option ->
     Graph.t ->
     Params.t ->
     capacity:Capacity.t ->
@@ -17,8 +18,9 @@ type t = {
     Ent_tree.t option;
 }
 
-let route p ?(exclude = Routing.no_exclusion) g params ~capacity ~users =
-  p.route ~exclude g params ~capacity ~users
+let route p ?(exclude = Routing.no_exclusion) ?budget g params ~capacity
+    ~users =
+  p.route ~exclude ~budget g params ~capacity ~users
 
 let try_consume capacity (tree : Ent_tree.t) =
   let usage = Ent_tree.qubit_usage tree in
@@ -36,8 +38,8 @@ let prim =
   {
     name = "prim";
     route =
-      (fun ~exclude g params ~capacity ~users ->
-        Multi_group.prim_for_users ~exclude g params ~capacity ~users);
+      (fun ~exclude ~budget g params ~capacity ~users ->
+        Multi_group.prim_for_users ~exclude ?budget g params ~capacity ~users);
   }
 
 (* A residual view of the network for whole-network solvers: the
@@ -108,9 +110,9 @@ let of_algorithm alg =
   {
     name;
     route =
-      (fun ~exclude g params ~capacity ~users ->
+      (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
-        let outcome = Muerp.solve alg (Muerp.instance ~params view) in
+        let outcome = Muerp.solve ?budget alg (Muerp.instance ~params view) in
         match outcome.Muerp.tree with
         | None -> None
         | Some tree -> admit_view_tree ~exclude g params ~capacity tree);
@@ -120,9 +122,9 @@ let eqcast =
   {
     name = "eqcast";
     route =
-      (fun ~exclude g params ~capacity ~users ->
+      (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
-        match Qnet_baselines.Eqcast.solve view params with
+        match Qnet_baselines.Eqcast.solve ?budget view params with
         | None -> None
         | Some tree -> admit_view_tree ~exclude g params ~capacity tree);
   }
@@ -137,7 +139,7 @@ let cached inner =
   {
     name = "cached-" ^ inner.name;
     route =
-      (fun ~exclude g params ~capacity ~users ->
+      (fun ~exclude ~budget g params ~capacity ~users ->
         let key = List.sort compare users in
         match Hashtbl.find_opt table key with
         | Some tree when tree_alive g exclude tree && try_consume capacity tree
@@ -153,7 +155,7 @@ let cached inner =
               Hashtbl.remove table key
             end;
             Tm.Counter.incr c_cache_misses;
-            match inner.route ~exclude g params ~capacity ~users with
+            match inner.route ~exclude ~budget g params ~capacity ~users with
             | None -> None
             | Some tree ->
                 Hashtbl.replace table key tree;
@@ -189,3 +191,121 @@ let of_name name =
         List.find_opt (fun p -> p.name = String.sub name n (String.length name - n)) base
         |> Option.map cached
       else None
+
+(* -------------------------------------------------------------------- *)
+(* Tiered graceful degradation.                                          *)
+
+module Budget = Qnet_overload.Budget
+module Breaker = Qnet_overload.Breaker
+
+let c_tier_exhaustions = Tm.counter "online.overload.budget_exhausted"
+let c_tier_verify_rejects = Tm.counter "online.overload.verify_rejected"
+let c_tier_breaker_skips = Tm.counter "online.overload.breaker_skips"
+let c_tier_breaker_opens = Tm.counter "online.overload.breaker_opens"
+
+type tier_stats = {
+  names : string array;
+  serves : int array;
+  exhaustions : int array;
+  verify_rejects : int array;
+  breaker_skips : int array;
+  breakers : Breaker.t array;
+  mutable last : int;
+}
+
+let tier_stats_make names breakers =
+  let n = Array.length names in
+  {
+    names;
+    serves = Array.make n 0;
+    exhaustions = Array.make n 0;
+    verify_rejects = Array.make n 0;
+    breaker_skips = Array.make n 0;
+    breakers;
+    last = -1;
+  }
+
+let release_tree capacity (tree : Ent_tree.t) =
+  List.iter
+    (fun (c : Channel.t) -> Capacity.release_channel capacity c.path)
+    tree.Ent_tree.channels
+
+let tiered ?(fuel = 4096) ?breaker_threshold ?breaker_cooldown tiers =
+  if tiers = [] then invalid_arg "Policy.tiered: no tiers";
+  if fuel <= 0 then invalid_arg "Policy.tiered: fuel must be positive";
+  let tiers = Array.of_list tiers in
+  let n = Array.length tiers in
+  let breakers =
+    Array.init n (fun _ ->
+        Breaker.create ?failure_threshold:breaker_threshold
+          ?cooldown:breaker_cooldown ())
+  in
+  let stats = tier_stats_make (Array.map (fun p -> p.name) tiers) breakers in
+  let name =
+    "tiered("
+    ^ String.concat ">" (Array.to_list (Array.map (fun p -> p.name) tiers))
+    ^ ")"
+  in
+  let route ~exclude ~budget:_ g params ~capacity ~users =
+    (* The combinator owns fuel policy: every tier but the floor gets a
+       fresh budget, the floor runs unmetered so overload degrades to
+       cheap routing instead of blanket rejection. *)
+    let breaker_failure i =
+      let br = breakers.(i) in
+      let before = Breaker.opens br in
+      Breaker.failure br;
+      if Breaker.opens br > before then Tm.Counter.incr c_tier_breaker_opens
+    in
+    let rec attempt i =
+      if i >= n then None
+      else if not (Breaker.allow breakers.(i)) then begin
+        stats.breaker_skips.(i) <- stats.breaker_skips.(i) + 1;
+        Tm.Counter.incr c_tier_breaker_skips;
+        attempt (i + 1)
+      end
+      else begin
+        let budget = if i = n - 1 then None else Some (Budget.create ~fuel) in
+        match tiers.(i).route ~exclude ~budget g params ~capacity ~users with
+        | exception Budget.Exhausted _ ->
+            stats.exhaustions.(i) <- stats.exhaustions.(i) + 1;
+            Tm.Counter.incr c_tier_exhaustions;
+            breaker_failure i;
+            attempt (i + 1)
+        | None ->
+            (* Infeasibility under the residual state is an honest
+               answer, not a tier fault: leave the breaker alone and let
+               a cheaper tier (different search order) try. *)
+            attempt (i + 1)
+        | Some tree ->
+            let structural =
+              Verify.check g params ~users tree
+              |> List.filter (function
+                   | Verify.Capacity_exceeded _ ->
+                       (* The policy contract already consumed the tree
+                          from the shared residual state, so cumulative
+                          capacity holds; a single tree can never exceed
+                          total budgets on its own. *)
+                       false
+                   | Verify.Bad_channel _ | Verify.Not_a_spanning_tree
+                   | Verify.Rate_mismatch _ ->
+                       true)
+            in
+            if structural <> [] then begin
+              release_tree capacity tree;
+              stats.verify_rejects.(i) <- stats.verify_rejects.(i) + 1;
+              Tm.Counter.incr c_tier_verify_rejects;
+              breaker_failure i;
+              attempt (i + 1)
+            end
+            else begin
+              Breaker.success breakers.(i);
+              stats.serves.(i) <- stats.serves.(i) + 1;
+              stats.last <- i;
+              Some tree
+            end
+      end
+    in
+    stats.last <- -1;
+    attempt 0
+  in
+  ({ name; route }, stats)

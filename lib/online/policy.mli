@@ -27,6 +27,7 @@ type t = {
   name : string;
   route :
     exclude:Qnet_core.Routing.exclusion ->
+    budget:Qnet_overload.Budget.t option ->
     Qnet_graph.Graph.t ->
     Qnet_core.Params.t ->
     capacity:Qnet_core.Capacity.t ->
@@ -37,20 +38,25 @@ type t = {
           consumed from [capacity], and no channel of the tree crosses
           an element ruled out by [exclude] (the fault-awareness
           contract: a policy may never put a dead switch or fiber back
-          in service). *)
+          in service).  [budget], when given, meters the underlying
+          Dijkstra expansions; a policy must propagate
+          {!Qnet_overload.Budget.Exhausted} with the capacity state
+          rolled back — fuel exhaustion, like [None], never leaks
+          consumption. *)
 }
 
 val route :
   t ->
   ?exclude:Qnet_core.Routing.exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
   capacity:Qnet_core.Capacity.t ->
   users:int list ->
   Qnet_core.Ent_tree.t option
 (** [route p] is [p.route] with [exclude] defaulting to
-    {!Qnet_core.Routing.no_exclusion} — the convenient call form for
-    fault-free contexts. *)
+    {!Qnet_core.Routing.no_exclusion} and no fuel budget — the
+    convenient call form for fault-free, unmetered contexts. *)
 
 val try_consume : Qnet_core.Capacity.t -> Qnet_core.Ent_tree.t -> bool
 (** Atomically consume the tree's aggregate switch-qubit demand if every
@@ -86,3 +92,47 @@ val all : unit -> (string * t) list
 val of_name : string -> t option
 (** ["prim"], ["alg2"], ["alg3"], ["eqcast"], or any of them prefixed
     with ["cached-"] (a fresh cache per call). *)
+
+(** {2 Tiered graceful degradation}
+
+    Under overload a single expensive policy either answers slowly or
+    not at all.  {!tiered} stacks policies from expensive to cheap:
+    each tier runs under a fresh fuel budget and behind its own
+    {!Qnet_overload.Breaker}; budget exhaustion or a structural
+    {!Qnet_core.Verify} failure trips the tier's breaker and falls
+    through to the next tier, and the final tier (typically {!prim})
+    runs unmetered so the stack degrades to cheap routing before it
+    ever rejects. *)
+
+type tier_stats = {
+  names : string array;  (** Tier policy names, outermost first. *)
+  serves : int array;  (** Requests served by each tier. *)
+  exhaustions : int array;  (** Budget exhaustions per tier. *)
+  verify_rejects : int array;
+      (** Trees discarded by the structural verification gate. *)
+  breaker_skips : int array;
+      (** Attempts skipped because the tier's breaker was open. *)
+  breakers : Qnet_overload.Breaker.t array;
+  mutable last : int;
+      (** Index of the tier that produced the most recent successful
+          route, [-1] if the last call served nothing.  The engine
+          samples this immediately after each [route] call to label the
+          request with its serving tier. *)
+}
+
+val tiered :
+  ?fuel:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:int ->
+  t list ->
+  t * tier_stats
+(** [tiered policies] composes the given tiers (ordered expensive to
+    cheap) into one policy plus its live stats.  Every tier except the
+    last gets a fresh [fuel]-unit budget per attempt (default 4096);
+    the last tier runs unmetered.  [breaker_threshold] /
+    [breaker_cooldown] forward to {!Qnet_overload.Breaker.create}.  A
+    tier returning [None] (honest infeasibility) falls through without
+    penalising its breaker.  Counters:
+    [online.overload.{budget_exhausted,verify_rejected,breaker_skips,breaker_opens}].
+    @raise Invalid_argument on an empty tier list or non-positive
+    fuel. *)

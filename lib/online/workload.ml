@@ -1,8 +1,15 @@
 module Graph = Qnet_graph.Graph
 module Prng = Qnet_util.Prng
 
-type arrivals = Poisson of float | Batched of { period : float; size : int }
-type group_size = Fixed of int | Uniform of int * int
+type arrivals =
+  | Poisson of float
+  | Batched of { period : float; size : int }
+  | Pareto of { alpha : float; lo : float; hi : float }
+
+type group_size =
+  | Fixed of int
+  | Uniform of int * int
+  | Pareto_group of { alpha : float; lo : int; hi : int }
 
 type spec = {
   requests : int;
@@ -27,10 +34,22 @@ let spec ?(requests = 100) ?(arrivals = Poisson 0.5)
   | Batched { period; size } ->
       if period <= 0. || not (Float.is_finite period) then
         invalid_arg "Workload.spec: batch period must be positive";
-      if size < 1 then invalid_arg "Workload.spec: batch size < 1");
+      if size < 1 then invalid_arg "Workload.spec: batch size < 1"
+  | Pareto { alpha; lo; hi } ->
+      if alpha <= 0. || not (Float.is_finite alpha) then
+        invalid_arg "Workload.spec: Pareto alpha must be positive";
+      if lo <= 0. || not (Float.is_finite lo) then
+        invalid_arg "Workload.spec: Pareto min gap must be positive";
+      if hi < lo || not (Float.is_finite hi) then
+        invalid_arg "Workload.spec: inverted Pareto gap range");
   (match group_size with
   | Fixed k -> if k < 2 then invalid_arg "Workload.spec: group size < 2"
   | Uniform (lo, hi) ->
+      if lo < 2 then invalid_arg "Workload.spec: group size < 2";
+      if hi < lo then invalid_arg "Workload.spec: inverted group range"
+  | Pareto_group { alpha; lo; hi } ->
+      if alpha <= 0. || not (Float.is_finite alpha) then
+        invalid_arg "Workload.spec: Pareto alpha must be positive";
       if lo < 2 then invalid_arg "Workload.spec: group size < 2";
       if hi < lo then invalid_arg "Workload.spec: inverted group range");
   check_range "duration" duration;
@@ -52,12 +71,25 @@ type request = {
 let uniform_float rng (lo, hi) =
   if hi <= lo then lo else lo +. Prng.float rng (hi -. lo)
 
-let max_group = function Fixed k -> k | Uniform (_, hi) -> hi
+let max_group = function
+  | Fixed k -> k
+  | Uniform (_, hi) -> hi
+  | Pareto_group { hi; _ } -> hi
 
 let sample_group rng spec =
   match spec.group_size with
   | Fixed k -> k
   | Uniform (lo, hi) -> Prng.int_in_range rng ~min:lo ~max:hi
+  | Pareto_group { alpha; lo; hi } ->
+      (* Sample the continuous bounded Pareto on [lo, hi + 1) and
+         floor, so each integer k gets the probability mass of
+         [k, k + 1) — keeping the heavy upper tail while never
+         exceeding [hi]. *)
+      let x =
+        Prng.bounded_pareto rng ~alpha ~lo:(float_of_int lo)
+          ~hi:(float_of_int (hi + 1))
+      in
+      min hi (int_of_float x)
 
 let generate rng g spec =
   let users = Array.of_list (Graph.users g) in
@@ -71,7 +103,10 @@ let generate rng g spec =
         | Poisson rate ->
             if id > 0 then arrival := !arrival +. Prng.exponential rng rate
         | Batched { period; size } ->
-            arrival := float_of_int (id / size) *. period);
+            arrival := float_of_int (id / size) *. period
+        | Pareto { alpha; lo; hi } ->
+            if id > 0 then
+              arrival := !arrival +. Prng.bounded_pareto rng ~alpha ~lo ~hi);
         let size = sample_group rng spec in
         let members =
           Prng.sample_without_replacement rng size population
@@ -96,11 +131,15 @@ let pp_spec fmt spec =
     | Poisson rate -> Printf.sprintf "poisson %g/t" rate
     | Batched { period; size } ->
         Printf.sprintf "batches of %d every %gt" size period
+    | Pareto { alpha; lo; hi } ->
+        Printf.sprintf "pareto gaps a=%g in %g-%gt" alpha lo hi
   in
   let groups =
     match spec.group_size with
     | Fixed k -> string_of_int k
     | Uniform (lo, hi) -> Printf.sprintf "%d-%d" lo hi
+    | Pareto_group { alpha; lo; hi } ->
+        Printf.sprintf "pareto a=%g in %d-%d" alpha lo hi
   in
   Format.fprintf fmt
     "%d requests, %s, groups %s, lease %g-%gt, patience %g-%gt" spec.requests

@@ -20,10 +20,20 @@ type arrivals =
       (** [size] simultaneous requests every [period] time units —
           synchronised demand spikes, the adversarial case for
           admission control. *)
+  | Pareto of { alpha : float; lo : float; hi : float }
+      (** Heavy-tailed inter-arrival gaps from the bounded Pareto
+          distribution on [\[lo, hi\]] with tail index [alpha] (see
+          {!Qnet_util.Prng.bounded_pareto}): most gaps hug [lo]
+          (bursts), a heavy tail of long lulls reaches [hi] — the
+          overload-control stress regime. *)
 
 type group_size =
   | Fixed of int  (** Every request names exactly this many users. *)
   | Uniform of int * int  (** Uniform over [\[min, max\]] inclusive. *)
+  | Pareto_group of { alpha : float; lo : int; hi : int }
+      (** Heavy-tailed sizes: the continuous bounded Pareto on
+          [\[lo, hi + 1)] floored to an integer, clamped to
+          [\[lo, hi\]] — mostly small groups with rare large ones. *)
 
 type spec = {
   requests : int;  (** Number of requests to generate. *)

@@ -1,0 +1,67 @@
+type t = {
+  max_queue : int option;
+  max_inflight : int option;
+  rate : float option;
+  burst : float;
+}
+
+let none = { max_queue = None; max_inflight = None; rate = None; burst = 1. }
+
+let make ?max_queue ?max_inflight ?rate ?burst () =
+  (match max_queue with
+  | Some q when q < 0 -> invalid_arg "Admission.make: max_queue must be >= 0"
+  | _ -> ());
+  (match max_inflight with
+  | Some i when i <= 0 -> invalid_arg "Admission.make: max_inflight must be > 0"
+  | _ -> ());
+  (match rate with
+  | Some r when not (r > 0. && Float.is_finite r) ->
+      invalid_arg "Admission.make: rate must be positive"
+  | _ -> ());
+  let burst =
+    match (burst, rate) with
+    | Some b, _ ->
+        if not (b >= 1. && Float.is_finite b) then
+          invalid_arg "Admission.make: burst must be at least 1";
+        b
+    | None, Some r -> Float.max 1. r
+    | None, None -> 1.
+  in
+  { max_queue; max_inflight; rate; burst }
+
+let enabled t =
+  t.max_queue <> None || t.max_inflight <> None || t.rate <> None
+
+let limiter t =
+  match t.rate with
+  | None -> None
+  | Some rate -> Some (Limiter.create ~rate ~burst:t.burst)
+
+type victim = { id : int; group : int; slack : float }
+
+let shed_order a b =
+  (* Cheapest-to-refuse first: big groups, then loose deadlines. *)
+  let c = compare b.group a.group in
+  if c <> 0 then c
+  else
+    let c = compare b.slack a.slack in
+    if c <> 0 then c else compare a.id b.id
+
+let pick_victim = function
+  | [] -> None
+  | v :: vs ->
+      Some
+        (List.fold_left (fun best v -> if shed_order v best < 0 then v else best)
+           v vs)
+
+let pp ppf t =
+  let opt_int ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some n -> Format.pp_print_int ppf n
+  in
+  let opt_f ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some r -> Format.fprintf ppf "%g" r
+  in
+  Format.fprintf ppf "queue<=%a inflight<=%a rate=%a burst=%g" opt_int
+    t.max_queue opt_int t.max_inflight opt_f t.rate t.burst

@@ -1,0 +1,51 @@
+(** Admission-control configuration and deterministic load shedding.
+
+    This module owns the {e decisions about which work to refuse};
+    the online engine owns the queues and leases themselves.  Three
+    independent limits can be enabled:
+
+    - [max_queue] — upper bound on requests waiting for capacity;
+    - [max_inflight] — upper bound on concurrently held leases;
+    - [rate] — token-bucket arrival rate limit (see {!Limiter}).
+
+    When the queue limit is hit the engine sheds the
+    {b cheapest-to-refuse} request among the waiters and the newcomer:
+    the one with the largest group (most capacity to satisfy), then the
+    loosest deadline (most slack — it has the best chance to come back
+    later), with request id as the final tie-break so shedding is a
+    total, deterministic order. *)
+
+type t = {
+  max_queue : int option;  (** [None] = unbounded. *)
+  max_inflight : int option;  (** [None] = unbounded. *)
+  rate : float option;  (** Tokens per simulated second; [None] = off. *)
+  burst : float;  (** Bucket depth when [rate] is set. *)
+}
+
+val none : t
+(** All limits disabled — the engine behaves exactly as without
+    overload control. *)
+
+val make :
+  ?max_queue:int -> ?max_inflight:int -> ?rate:float -> ?burst:float -> unit -> t
+(** [burst] defaults to [max 1. rate] when [rate] is given.
+    @raise Invalid_argument on non-positive limits. *)
+
+val enabled : t -> bool
+(** Whether any limit is active. *)
+
+val limiter : t -> Limiter.t option
+(** A fresh token bucket for [rate]/[burst], if rate limiting is on. *)
+
+(** A shedding candidate: enough of a request to rank it. *)
+type victim = { id : int; group : int; slack : float }
+
+val shed_order : victim -> victim -> int
+(** Total order, cheapest-to-refuse first: larger [group] first, then
+    larger [slack] (loosest deadline), then smaller [id]. *)
+
+val pick_victim : victim list -> victim option
+(** The minimum of {!shed_order} — the request to shed.  [None] on an
+    empty list. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  failure_threshold : int;
+  cooldown : int;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable cooldown_left : int;
+  mutable opens : int;
+}
+
+let create ?(failure_threshold = 3) ?(cooldown = 16) () =
+  if failure_threshold <= 0 then
+    invalid_arg "Breaker.create: failure_threshold must be positive";
+  if cooldown <= 0 then invalid_arg "Breaker.create: cooldown must be positive";
+  {
+    failure_threshold;
+    cooldown;
+    state = Closed;
+    consecutive_failures = 0;
+    cooldown_left = 0;
+    opens = 0;
+  }
+
+let state t = t.state
+
+let allow t =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+      t.cooldown_left <- t.cooldown_left - 1;
+      if t.cooldown_left <= 0 then begin
+        t.state <- Half_open;
+        true
+      end
+      else false
+
+let success t =
+  t.state <- Closed;
+  t.consecutive_failures <- 0
+
+let trip t =
+  t.state <- Open;
+  t.consecutive_failures <- 0;
+  t.cooldown_left <- t.cooldown;
+  t.opens <- t.opens + 1
+
+let failure t =
+  match t.state with
+  | Half_open -> trip t
+  | Open -> ()
+  | Closed ->
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures >= t.failure_threshold then trip t
+
+let opens t = t.opens
+
+let pp_state ppf = function
+  | Closed -> Format.pp_print_string ppf "closed"
+  | Open -> Format.pp_print_string ppf "open"
+  | Half_open -> Format.pp_print_string ppf "half-open"

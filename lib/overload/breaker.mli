@@ -1,0 +1,44 @@
+(** Per-tier circuit breaker with deterministic event-count cooldown.
+
+    A breaker protects one serving tier from burning fuel on every
+    request while the tier is persistently failing (budget exhaustion,
+    [Verify] rejection).  States follow the classic pattern:
+
+    - {b Closed} — requests flow; [failure_threshold] {e consecutive}
+      failures trip the breaker open.
+    - {b Open} — requests are skipped.  Instead of a wall-clock timer
+      (which would break determinism) the breaker counts skipped
+      probes: after [cooldown] calls to {!allow} it moves to
+      half-open.
+    - {b Half_open} — exactly one trial request is let through; success
+      closes the breaker, failure re-opens it (restarting the
+      cooldown). *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?failure_threshold:int -> ?cooldown:int -> unit -> t
+(** Defaults: [failure_threshold = 3], [cooldown = 16].
+    @raise Invalid_argument unless both are positive. *)
+
+val state : t -> state
+
+val allow : t -> bool
+(** Whether the next request may be attempted.  In the open state this
+    consumes one cooldown step (and transitions to half-open when the
+    cooldown is spent, admitting that very call as the trial). *)
+
+val success : t -> unit
+(** Report a successful attempt: closes the breaker and clears the
+    consecutive-failure count. *)
+
+val failure : t -> unit
+(** Report a failed attempt (budget exhausted / verification reject).
+    Trips the breaker when the consecutive-failure threshold is
+    reached; a half-open trial failure re-opens immediately. *)
+
+val opens : t -> int
+(** How many times the breaker has tripped open over its lifetime. *)
+
+val pp_state : Format.formatter -> state -> unit

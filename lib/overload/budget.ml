@@ -1,0 +1,24 @@
+type t = { fuel : int; mutable remaining : int }
+
+exception Exhausted of { fuel : int }
+
+let create ~fuel =
+  if fuel <= 0 then invalid_arg "Budget.create: fuel must be positive";
+  { fuel; remaining = fuel }
+
+let spend t n =
+  if n < 0 then invalid_arg "Budget.spend: negative charge";
+  if t.remaining < n then begin
+    t.remaining <- 0;
+    raise (Exhausted { fuel = t.fuel })
+  end;
+  t.remaining <- t.remaining - n
+
+let tick t =
+  if t.remaining < 1 then raise (Exhausted { fuel = t.fuel });
+  t.remaining <- t.remaining - 1
+
+let remaining t = t.remaining
+let spent t = t.fuel - t.remaining
+let fuel t = t.fuel
+let exhausted t = t.remaining = 0

@@ -1,0 +1,45 @@
+(** Cooperative solver fuel budgets.
+
+    A budget is a mutable fuel counter handed to a solver invocation.
+    Hot loops charge it (one unit per Dijkstra heap pop, per Prim
+    attachment scan, ...) and the charge raises {!Exhausted} the moment
+    the fuel runs out.  Because fuel counts node expansions — never
+    wall-clock time — budgeted runs remain bit-for-bit deterministic:
+    the same instance exhausts at exactly the same expansion on every
+    machine and at every [--jobs] level.
+
+    Budgets are intentionally single-use: create one per serving
+    attempt, let the solver burn it, inspect {!spent} afterwards.
+    Callers that hand shared capacity to a solver must treat
+    {!Exhausted} like any other abort path and roll back partial
+    consumption before re-raising (see
+    {!Qnet_core.Multi_group.prim_for_users}). *)
+
+type t
+
+exception Exhausted of { fuel : int }
+(** Raised by {!spend} / {!tick} when the counter hits zero.  [fuel] is
+    the budget's initial allowance, for diagnostics. *)
+
+val create : fuel:int -> t
+(** [create ~fuel] is a fresh budget holding [fuel] units.
+    @raise Invalid_argument if [fuel <= 0]. *)
+
+val spend : t -> int -> unit
+(** [spend t n] consumes [n >= 0] units.  @raise Exhausted if fewer
+    than [n] units remain (the budget is left empty). *)
+
+val tick : t -> unit
+(** [tick t] is [spend t 1] — the common hot-loop charge. *)
+
+val remaining : t -> int
+(** Units left; [0] once exhausted. *)
+
+val spent : t -> int
+(** Units consumed so far. *)
+
+val fuel : t -> int
+(** The initial allowance. *)
+
+val exhausted : t -> bool
+(** Whether the budget has raised (or would raise on the next tick). *)

@@ -76,3 +76,22 @@ let sample_without_replacement t k n =
 let exponential t lambda =
   if lambda <= 0. then invalid_arg "Prng.exponential: rate must be positive";
   -.log (1. -. unit_float t) /. lambda
+
+let bounded_pareto t ~alpha ~lo ~hi =
+  if not (alpha > 0. && Float.is_finite alpha) then
+    invalid_arg "Prng.bounded_pareto: alpha must be positive";
+  if not (lo > 0. && Float.is_finite lo) then
+    invalid_arg "Prng.bounded_pareto: lo must be positive";
+  if not (hi >= lo && Float.is_finite hi) then
+    invalid_arg "Prng.bounded_pareto: hi must be >= lo";
+  if lo = hi then lo
+  else begin
+    (* Inverse CDF of the bounded (truncated) Pareto distribution:
+       F(x) = (1 - (lo/x)^alpha) / (1 - (lo/hi)^alpha) on [lo, hi].
+       u = 0 maps to lo, u -> 1 approaches hi; the clamp absorbs the
+       last-ulp excursions of the float powers. *)
+    let u = unit_float t in
+    let ratio = (lo /. hi) ** alpha in
+    let x = lo /. ((1. -. (u *. (1. -. ratio))) ** (1. /. alpha)) in
+    Float.min hi (Float.max lo x)
+  end

@@ -60,3 +60,12 @@ val sample_without_replacement : t -> int -> int -> int list
 val exponential : t -> float -> float
 (** [exponential t lambda] samples an exponential variate with rate
     [lambda] via inverse transform. *)
+
+val bounded_pareto : t -> alpha:float -> lo:float -> hi:float -> float
+(** [bounded_pareto t ~alpha ~lo ~hi] samples the bounded (truncated)
+    Pareto distribution on [\[lo, hi\]] with tail index [alpha] via
+    inverse transform — the heavy-tailed variate overload experiments
+    use for bursty inter-arrival gaps and group sizes.  Smaller [alpha]
+    means heavier tail (more mass near [hi]).  Always within
+    [\[lo, hi\]].  @raise Invalid_argument unless [alpha > 0],
+    [lo > 0] and [hi >= lo]. *)

@@ -47,6 +47,45 @@ faults=$(awk '$2 == "faults_injected" { print $4 }' "$chaos_a")
   { echo "chaos smoke injected no faults (faults=$faults)" >&2; exit 1; }
 echo "chaos reproducible at --jobs 1 and 2, faults_injected=$faults"
 
+echo "== overload smoke =="
+# A seeded burst far above capacity, served under admission limits and
+# a tiered degradation policy, must (a) print byte-identical reports
+# twice and at --jobs 1 vs --jobs 2, (b) actually shed and degrade.
+over_a=$(mktemp -t muerp_over_a.XXXXXX)
+over_b=$(mktemp -t muerp_over_b.XXXXXX)
+over_j2=$(mktemp -t muerp_over_j2.XXXXXX)
+trap 'rm -f "$run_a" "$run_b" "$over_a" "$over_b" "$over_j2"' EXIT
+over_flags="--seed 7 -n 120 --switches 60 --users 12 \
+  --arrival pareto:1.5:0.05:2 --group pareto:1.2:2:6 \
+  --max-queue 8 --rate 3 --budget 40 --tiers alg3,prim"
+dune exec bin/muerp_cli.exe -- traffic $over_flags --jobs 1 >"$over_a"
+dune exec bin/muerp_cli.exe -- traffic $over_flags --jobs 1 >"$over_b"
+cmp "$over_a" "$over_b" ||
+  { echo "overload run not reproducible" >&2; exit 1; }
+dune exec bin/muerp_cli.exe -- traffic $over_flags --jobs 2 >"$over_j2"
+cmp "$over_a" "$over_j2" ||
+  { echo "overload run differs between --jobs 1 and --jobs 2" >&2; exit 1; }
+shed=$(awk '$2 == "shed" { print $4 }' "$over_a")
+degraded=$(awk '$2 == "degraded" { print $4 }' "$over_a")
+[ -n "$shed" ] && [ "$shed" -gt 0 ] ||
+  { echo "overload smoke shed nothing (shed=$shed)" >&2; exit 1; }
+[ -n "$degraded" ] && [ "$degraded" -gt 0 ] ||
+  { echo "overload smoke never degraded (degraded=$degraded)" >&2; exit 1; }
+echo "overload reproducible at --jobs 1 and 2, shed=$shed degraded=$degraded"
+
+echo "== SLA gate smoke =="
+# --fail-on-sla must exit nonzero when acceptance lands below the bar
+# and zero when it clears it.
+if dune exec bin/muerp_cli.exe -- traffic $over_flags --fail-on-sla 99 \
+  >/dev/null 2>&1; then
+  echo "--fail-on-sla 99 should have failed an overloaded run" >&2
+  exit 1
+fi
+dune exec bin/muerp_cli.exe -- traffic --seed 42 -n 40 --switches 40 \
+  --fail-on-sla 50 >/dev/null ||
+  { echo "--fail-on-sla 50 failed a healthy run" >&2; exit 1; }
+echo "SLA gate trips under overload, passes when healthy"
+
 echo "== jobs determinism smoke =="
 # The same fixed-seed sweep must emit byte-identical CSV tables at
 # every --jobs level (the parallel runtime's determinism contract).
@@ -72,6 +111,8 @@ grep -q '"parallel"' "$snapshot" ||
   { echo "snapshot is missing the parallel section" >&2; exit 1; }
 grep -q '"faults"' "$snapshot" ||
   { echo "snapshot is missing the faults section" >&2; exit 1; }
+grep -q '"overload"' "$snapshot" ||
+  { echo "snapshot is missing the overload section" >&2; exit 1; }
 grep -q '"estimate_equal": true' "$snapshot" ||
   { echo "parallel bench: estimates differ across jobs levels" >&2; exit 1; }
 grep -q '"mean_rates_equal": true' "$snapshot" ||

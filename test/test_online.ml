@@ -273,6 +273,31 @@ let test_engine_validation () =
     (Invalid_argument "Engine.config: retry_max < retry_base") (fun () ->
       ignore (Engine.config ~retry_base:2. ~retry_max:1. Policy.prim))
 
+(* Regression: a queued request whose patience runs out exactly at a
+   retry instant must be recorded [Expired], not retried into service
+   past its deadline (and never [Rejected]).  The winner's lease ends
+   at t = 2 — the very instant the loser's clamped final retry fires —
+   so capacity IS available then; serving it anyway would breach the
+   deadline contract. *)
+let test_retry_at_deadline_expires () =
+  let g, (a0, a1), (b0, b1) = hub_network () in
+  let reqs =
+    [
+      request ~duration:2. ~patience:10. 0 [ a0; a1 ] 0.;
+      request ~duration:2. ~patience:2. 1 [ b0; b1 ] 0.;
+    ]
+  in
+  let config = Engine.config ~retry_base:0.5 Policy.prim in
+  let report, outcomes = Engine.run ~config g params ~requests:reqs in
+  check_int "winner served" 1 report.Engine.served;
+  check_int "loser expired" 1 report.Engine.expired;
+  check_int "nothing rejected" 0 report.Engine.rejected;
+  check_int "nothing shed" 0 report.Engine.shed;
+  match (List.nth outcomes 1).Engine.resolution with
+  | Engine.Expired { at; _ } ->
+      check_bool "expired exactly at its deadline" true (at = 2.)
+  | _ -> Alcotest.fail "expected request 1 to expire at its deadline"
+
 (* ------------------------------------------------------------------ *)
 (* Policies                                                            *)
 
@@ -467,7 +492,7 @@ let assert_fault_replay_safe g outcomes incidents =
                 <> 1
               then Alcotest.fail "lease aborted (refunded) more than once";
               walk ~finish:None ~final_tree:None start incs)
-      | Engine.Rejected _ | Engine.Expired _ ->
+      | Engine.Rejected _ | Engine.Shed _ | Engine.Expired _ ->
           if incs <> [] then
             Alcotest.fail "request without a lease saw an incident")
     outcomes;
@@ -584,6 +609,8 @@ let () =
           Alcotest.test_case "conservation + determinism" `Quick
             test_conservation_and_determinism;
           Alcotest.test_case "validation" `Quick test_engine_validation;
+          Alcotest.test_case "retry at deadline expires" `Quick
+            test_retry_at_deadline_expires;
         ] );
       ( "policy",
         [
