@@ -7,6 +7,7 @@
      dune exec bench/main.exe headline   # §V-B improvement ratios
      dune exec bench/main.exe traffic    # online traffic engine, per policy
      dune exec bench/main.exe faults     # acceptance under failure, per MTBF
+     dune exec bench/main.exe hier       # flat vs hierarchical routing at scale
      dune exec bench/main.exe micro      # Bechamel timings only
      dune exec bench/main.exe snapshot   # perf snapshot -> BENCH_muerp.json
 
@@ -307,6 +308,154 @@ let run_overload () =
   print_endline
     "Overload control (160 requests, tiers alg3>prim, max-queue 8, \
      max-inflight 10, rate 2):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
+
+(* Hierarchical routing benchmark: flat whole-graph Dijkstra vs the
+   qnet_hier corridor router, on the continent-of-Waxmans networks the
+   subsystem exists for.  Fixed seeds make the rates, ratios and
+   feasible counts deterministic, so they land in BENCH_muerp.json as
+   the hier trajectory; the wall times are machine-dependent context.
+   The hier speedup compares flat query wall against oracle setup plus
+   query wall, so the hierarchy pays for its own construction. *)
+
+let hier_switch_sizes =
+  (* The 100k-switch row costs minutes; only run it at full depth. *)
+  if replications >= 5 then [ 1_000; 10_000; 100_000 ]
+  else [ 1_000; 10_000 ]
+
+type hier_result = {
+  h_switches : int;
+  h_regions : int;
+  h_pairs : int;
+  flat_feasible : int;
+  hier_feasible : int;
+  wall_flat_s : float;
+  wall_hier_s : float;  (* queries only; setup is separate *)
+  setup_s : float;  (* partition + oracle construction *)
+  mean_rate_ratio : float;  (* hier rate / flat rate, pairs both found *)
+  min_rate_ratio : float;
+}
+
+let hier_scenario n_switches =
+  let regions = max 4 (n_switches / 200) in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:12 ~n_switches ~qubits_per_switch:6 ()
+  in
+  let g, labels =
+    Qnet_topology.Continent.generate_labeled
+      ~params:{ Qnet_topology.Continent.default_params with regions }
+      (Qnet_util.Prng.create 42) spec
+  in
+  let params = Qnet_core.Params.default in
+  let users = Array.of_list (Qnet_graph.Graph.users g) in
+  let rng = Qnet_util.Prng.create 4242 in
+  let pairs =
+    List.init 40 (fun _ ->
+        let i = Qnet_util.Prng.int rng (Array.length users) in
+        let rec pick () =
+          let j = Qnet_util.Prng.int rng (Array.length users) in
+          if j = i then pick () else j
+        in
+        (users.(i), users.(pick ())))
+  in
+  let time f =
+    let t0 = Qnet_telemetry.Clock.now_s () in
+    let r = f () in
+    (Qnet_telemetry.Clock.elapsed_since t0, r)
+  in
+  (* Fresh capacity per side: both route the same 40 point-to-point
+     queries without consuming, so the searches are independent.  The
+     batch is large enough to amortise the hier side's one-time lazy
+     segment-cache fill, matching how the oracle is used in serving. *)
+  let wall_flat_s, flat =
+    time (fun () ->
+        let capacity = Qnet_core.Capacity.of_graph g in
+        List.map
+          (fun (src, dst) ->
+            Qnet_core.Routing.best_channel g params ~capacity ~src ~dst)
+          pairs)
+  in
+  let setup_s, oracle =
+    time (fun () ->
+        let part = Qnet_hier.Partition.of_assignment g labels in
+        Qnet_hier.Oracle.create g params part)
+  in
+  let wall_hier_s, hier =
+    time (fun () ->
+        let capacity = Qnet_core.Capacity.of_graph g in
+        List.map
+          (fun (src, dst) ->
+            Qnet_hier.Oracle.best_channel oracle ~capacity ~src ~dst)
+          pairs)
+  in
+  let neg_log (c : Qnet_core.Channel.t) =
+    Qnet_util.Logprob.to_neg_log c.Qnet_core.Channel.rate
+  in
+  let ratios =
+    List.filter_map
+      (fun (f, h) ->
+        match (f, h) with
+        (* rate_hier / rate_flat in probability space, ≤ 1 by
+           optimality of the flat search. *)
+        | Some f, Some h -> Some (exp (neg_log f -. neg_log h))
+        | _ -> None)
+      (List.combine flat hier)
+  in
+  let count side = List.length (List.filter Option.is_some side) in
+  {
+    h_switches = n_switches;
+    h_regions = regions;
+    h_pairs = List.length pairs;
+    flat_feasible = count flat;
+    hier_feasible = count hier;
+    wall_flat_s;
+    wall_hier_s;
+    setup_s;
+    mean_rate_ratio =
+      (match ratios with
+      | [] -> 1.
+      | rs -> Qnet_util.Stats.mean (Array.of_list rs));
+    min_rate_ratio = List.fold_left min 1. ratios;
+  }
+
+let hier_results () =
+  List.map
+    (fun n ->
+      Printf.printf "hier bench — %d switches\n%!" n;
+      hier_scenario n)
+    hier_switch_sizes
+
+let run_hier () =
+  let t =
+    Qnet_util.Table.create
+      [
+        "switches"; "regions"; "flat ok"; "hier ok"; "flat (s)"; "hier (s)";
+        "setup (s)"; "speedup"; "mean ratio"; "min ratio";
+      ]
+  in
+  let t =
+    List.fold_left
+      (fun t r ->
+        Qnet_util.Table.add_row t
+          [
+            string_of_int r.h_switches;
+            string_of_int r.h_regions;
+            Printf.sprintf "%d/%d" r.flat_feasible r.h_pairs;
+            Printf.sprintf "%d/%d" r.hier_feasible r.h_pairs;
+            Printf.sprintf "%.3f" r.wall_flat_s;
+            Printf.sprintf "%.3f" r.wall_hier_s;
+            Printf.sprintf "%.3f" r.setup_s;
+            Qnet_util.Table.float_cell
+              (r.wall_flat_s /. (r.setup_s +. r.wall_hier_s));
+            Qnet_util.Table.float_cell r.mean_rate_ratio;
+            Qnet_util.Table.float_cell r.min_rate_ratio;
+          ])
+      t (hier_results ())
+  in
+  print_endline
+    "Hierarchical routing (continent topology, 12 users, 40 best-channel \
+     queries; ratio = hier rate / flat rate):";
   print_endline (Qnet_util.Table.to_string t);
   print_newline ()
 
@@ -675,6 +824,26 @@ let snapshot path =
   in
   let faults = faults_section () in
   let overload = overload_section () in
+  let hier =
+    List.map
+      (fun r ->
+        jobj
+          [
+            ("switches", string_of_int r.h_switches);
+            ("regions", string_of_int r.h_regions);
+            ("pairs", string_of_int r.h_pairs);
+            ("flat_feasible", string_of_int r.flat_feasible);
+            ("hier_feasible", string_of_int r.hier_feasible);
+            ("wall_flat_s", jfloat r.wall_flat_s);
+            ("wall_hier_s", jfloat r.wall_hier_s);
+            ("setup_s", jfloat r.setup_s);
+            ( "speedup",
+              jfloat (r.wall_flat_s /. (r.setup_s +. r.wall_hier_s)) );
+            ("mean_rate_ratio", jfloat r.mean_rate_ratio);
+            ("min_rate_ratio", jfloat r.min_rate_ratio);
+          ])
+      (hier_results ())
+  in
   let parallel = parallel_section () in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
@@ -713,12 +882,13 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/5");
+        ("schema", jstr "muerp-bench-snapshot/6");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);
         ("faults", jarr faults);
         ("overload", jarr overload);
+        ("hier", jarr hier);
         ("parallel", parallel);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
@@ -774,6 +944,7 @@ let () =
       run_traffic ();
       run_faults ();
       run_overload ();
+      run_hier ();
       scaling ();
       micro ()
   | [ "headline" ] -> run_headline []
@@ -782,6 +953,7 @@ let () =
   | [ "traffic" ] -> run_traffic ()
   | [ "faults" ] -> run_faults ()
   | [ "overload" ] -> run_overload ()
+  | [ "hier" ] -> run_hier ()
   | [ "scaling" ] -> scaling ()
   | [ "micro" ] -> micro ()
   | ids -> List.iter (fun id -> ignore (run_figure id)) ids

@@ -53,9 +53,32 @@ let alpha_t =
 
 let topology_t =
   let doc =
-    "Topology generator: waxman, watts-strogatz, volchenkov or grid."
+    "Topology generator: waxman, watts-strogatz, volchenkov, grid or \
+     continent (a grid of Waxman regions wired by long-haul fibers; \
+     see --regions)."
   in
   Arg.(value & opt string "waxman" & info [ "topology"; "t" ] ~docv:"KIND" ~doc)
+
+(* Hierarchical routing (see DESIGN.md, "Hierarchical routing"):
+   --hier routes through the qnet_hier oracle — region partition,
+   contracted gateway skeleton, corridor-restricted exact search —
+   instead of whole-graph Dijkstra.  --regions sizes both the continent
+   generator's tile grid and the k-means fallback partition. *)
+let hier_t =
+  let doc =
+    "Route hierarchically: partition the network into regions, route a \
+     contracted gateway skeleton, and re-run the exact search only \
+     inside the chosen corridor.  Feasibility-equivalent to flat \
+     routing; built for networks too large for whole-graph Dijkstra."
+  in
+  Arg.(value & flag & info [ "hier" ] ~doc)
+
+let regions_t =
+  let doc =
+    "Region count: tiles of the $(b,continent) topology and clusters \
+     of the k-means partition that --hier derives on other topologies."
+  in
+  Arg.(value & opt int 8 & info [ "regions" ] ~docv:"N" ~doc)
 
 let verbose_t =
   let doc = "Enable library debug logging on stderr." in
@@ -139,6 +162,26 @@ let build_network ~seed ~topology ~spec =
       let rng = Qnet_util.Prng.create seed in
       Ok (Generate.run kind rng spec)
 
+(* Like [build_network], but the continent generator also returns its
+   exact tile labels so --hier can partition for free instead of
+   re-deriving regions by k-means. *)
+let build_network_labeled ~seed ~topology ~regions ~spec =
+  if topology = "continent" then
+    let params =
+      { Qnet_topology.Continent.default_params with regions }
+    in
+    let rng = Qnet_util.Prng.create seed in
+    match Qnet_topology.Continent.generate_labeled ~params rng spec with
+    | g, labels -> Ok (g, Some labels)
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  else
+    Result.map (fun g -> (g, None)) (build_network ~seed ~topology ~spec)
+
+let hier_partition ~seed ~regions g labels =
+  match labels with
+  | Some labels -> Qnet_hier.Partition.of_assignment g labels
+  | None -> Qnet_hier.Partition.kmeans ~regions ~seed g
+
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 
@@ -157,7 +200,7 @@ let describe_tree g = function
       ignore g
 
 let solve_run verbose seed users switches degree qubits q alpha topology load
-    metrics =
+    hier regions metrics =
   apply_verbose verbose;
   metrics_begin metrics;
   let spec = build_spec ~users ~switches ~degree ~qubits in
@@ -177,31 +220,46 @@ let solve_run verbose seed users switches degree qubits q alpha topology load
           | Sys_error msg -> Error msg
           | Failure msg -> Error (path ^ ": " ^ msg)
         with
-        | Ok g -> Ok g
+        | Ok g -> Ok (g, None)
         | Error msg -> Error (`Msg msg))
-    | None -> build_network ~seed ~topology ~spec
+    | None -> build_network_labeled ~seed ~topology ~regions ~spec
   in
   match network with
   | Error (`Msg m) -> prerr_endline m; exit 1
-  | Ok g ->
+  | Ok (g, labels) ->
       let params = Params.create ~alpha ~q () in
-      let inst = Muerp.instance ~params g in
       Format.printf "%a, seed %d@." Graph.pp g seed;
-      List.iter
-        (fun alg ->
-          Printf.printf "%s:\n" (Muerp.algorithm_name alg);
-          let rng = Qnet_util.Prng.create seed in
-          let outcome = Muerp.solve ~rng alg inst in
-          describe_tree g outcome.tree)
-        Muerp.all_heuristics;
-      Printf.printf "e-q-cast:\n";
-      describe_tree g (Qnet_baselines.Eqcast.solve g params);
-      Printf.printf "n-fusion:\n";
-      (match Qnet_baselines.Nfusion.solve g params with
-      | None -> print_endline "  infeasible (rate 0)"
-      | Some r ->
-          Printf.printf "  rate %.6g via center %d (fusion -ln %.4f)\n"
-            r.total_rate r.center r.fusion_neg_log);
+      if hier then begin
+        (* Hierarchical mode exists for networks where every flat
+           method is too slow, so it solves with the hier oracle only
+           instead of sweeping the whole method roster. *)
+        let part = hier_partition ~seed ~regions g labels in
+        Format.printf "partition: %a@." Qnet_hier.Partition.pp part;
+        let oracle = Qnet_hier.Oracle.create g params part in
+        let capacity = Capacity.of_graph g in
+        Printf.printf "hier-prim:\n";
+        describe_tree g
+          (Qnet_hier.Oracle.route_users oracle ~capacity
+             ~users:(Graph.users g))
+      end
+      else begin
+        let inst = Muerp.instance ~params g in
+        List.iter
+          (fun alg ->
+            Printf.printf "%s:\n" (Muerp.algorithm_name alg);
+            let rng = Qnet_util.Prng.create seed in
+            let outcome = Muerp.solve ~rng alg inst in
+            describe_tree g outcome.tree)
+          Muerp.all_heuristics;
+        Printf.printf "e-q-cast:\n";
+        describe_tree g (Qnet_baselines.Eqcast.solve g params);
+        Printf.printf "n-fusion:\n";
+        match Qnet_baselines.Nfusion.solve g params with
+        | None -> print_endline "  infeasible (rate 0)"
+        | Some r ->
+            Printf.printf "  rate %.6g via center %d (fusion -ln %.4f)\n"
+              r.total_rate r.center r.fusion_neg_log
+      end;
       metrics_report metrics
 
 let solve_cmd =
@@ -213,7 +271,8 @@ let solve_cmd =
   Cmd.v info
     Term.(
       const solve_run $ verbose_t $ seed_t $ users_t $ switches_t $ degree_t
-      $ qubits_t $ q_t $ alpha_t $ topology_t $ load_t $ metrics_t)
+      $ qubits_t $ q_t $ alpha_t $ topology_t $ load_t $ hier_t $ regions_t
+      $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                            *)
@@ -827,16 +886,22 @@ let parse_group_spec spec =
 let traffic_run verbose seed users switches degree qubits q alpha topology
     requests arrival_rate batch_size batch_period arrival_spec group_min
     group_max group_spec duration_min duration_max patience_min patience_max
-    policy_name cache tiers_spec queue retry_base retry_max max_queue
-    max_inflight rate_limit burst budget fail_on_sla fault_mtbf fault_mttr
-    fault_targets fault_regional fault_radius recovery_name jobs show_outcomes
-    metrics =
+    policy_name cache hier regions tiers_spec queue retry_base retry_max
+    max_queue max_inflight rate_limit burst budget fail_on_sla fault_mtbf
+    fault_mttr fault_targets fault_regional fault_radius recovery_name jobs
+    show_outcomes metrics =
   apply_verbose verbose;
   metrics_begin metrics;
+  if hier && tiers_spec <> "" then begin
+    (* The tier ladder degrades across flat policies; the hier policy
+       is a different oracle, not a rung on that ladder. *)
+    prerr_endline "--hier cannot be combined with --tiers";
+    exit 1
+  end;
   let spec = build_spec ~users ~switches ~degree ~qubits in
-  match build_network ~seed ~topology ~spec with
+  match build_network_labeled ~seed ~topology ~regions ~spec with
   | Error (`Msg m) -> prerr_endline m; exit 1
-  | Ok g ->
+  | Ok (g, labels) ->
       let params = Params.create ~alpha ~q () in
       let arrivals =
         match arrival_spec with
@@ -877,10 +942,21 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
              ^ " (expected prim|alg2|alg3|eqcast, optionally with --cache)");
             exit 1
       in
+      let hier_oracle =
+        if not hier then None
+        else begin
+          let part = hier_partition ~seed ~regions g labels in
+          Format.printf "partition: %a@." Qnet_hier.Partition.pp part;
+          Some (Qnet_hier.Oracle.create g params part)
+        end
+      in
       let policy, tier_stats =
-        match tiers_spec with
-        | "" -> (named policy_name, None)
-        | spec ->
+        match (hier_oracle, tiers_spec) with
+        | Some oracle, _ ->
+            let p = Qnet_hier.Serve.policy oracle in
+            ((if cache then Qnet_online.Policy.cached p else p), None)
+        | None, "" -> (named policy_name, None)
+        | None, spec ->
             let names =
               String.split_on_char ',' spec
               |> List.map String.trim
@@ -958,9 +1034,17 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
       | Some model ->
           Format.printf "%a, recovery %s@." Qnet_faults.Model.pp model
             (Qnet_online.Engine.recovery_to_string recovery));
+      (* With faults in play, eagerly invalidate the hier oracle's
+         region caches on every element transition instead of waiting
+         for lazy revalidation to notice. *)
+      let on_health =
+        Option.map
+          (fun oracle health -> Qnet_hier.Serve.attach_health oracle health)
+          hier_oracle
+      in
       let report, outcomes =
         with_jobs jobs (fun pool ->
-            Qnet_online.Engine.run ~config ?faults ?pool g params
+            Qnet_online.Engine.run ~config ?faults ?pool ?on_health g params
               ~requests:reqs)
       in
       print_endline
@@ -1197,7 +1281,8 @@ let traffic_cmd =
       $ arrival_rate_t $ batch_size_t $ batch_period_t $ arrival_spec_t
       $ group_min_t $ group_max_t $ group_spec_t $ duration_min_t
       $ duration_max_t $ patience_min_t $ patience_max_t $ policy_t
-      $ cache_t $ tiers_t $ queue_t $ retry_base_t $ retry_max_t
+      $ cache_t $ hier_t $ regions_t $ tiers_t $ queue_t $ retry_base_t
+      $ retry_max_t
       $ max_queue_t $ max_inflight_t $ rate_t $ burst_t $ budget_t
       $ fail_on_sla_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
       $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t

@@ -34,24 +34,40 @@ let validate_groups g groups =
     groups
 
 (* One best channel from the grown set to an outside user of the group,
-   under the shared residual capacity. *)
-let best_attachment ?exclude ?budget g params ~capacity ~inside ~outside_users
-    =
+   under the shared residual capacity.  With an [oracle] the enumeration
+   becomes per-pair point queries (the oracle is expected to make each
+   query cheap — e.g. hierarchically); without one it keeps the paper's
+   one-SSSP-per-inside-user enumeration. *)
+let best_attachment ?exclude ?budget ?oracle g params ~capacity ~inside
+    ~outside_users =
   let best = ref None in
-  Hashtbl.iter
-    (fun src () ->
-      Routing.best_channels_from ?exclude ?budget g params ~capacity ~src
-      |> List.iter (fun (dst, (c : Channel.t)) ->
-             if List.mem dst outside_users then
-               match !best with
-               | Some (b : Channel.t)
-                 when Logprob.compare_desc b.rate c.rate <= 0 ->
-                   ()
-               | _ -> best := Some c))
-    inside;
+  let consider (c : Channel.t) =
+    match !best with
+    | Some (b : Channel.t) when Logprob.compare_desc b.rate c.rate <= 0 -> ()
+    | _ -> best := Some c
+  in
+  (match oracle with
+  | Some (query : Routing.channel_oracle) ->
+      let exclude = Option.value exclude ~default:Routing.no_exclusion in
+      Hashtbl.iter
+        (fun src () ->
+          List.iter
+            (fun dst ->
+              match query ~exclude ~budget ~capacity ~src ~dst with
+              | None -> ()
+              | Some c -> consider c)
+            outside_users)
+        inside
+  | None ->
+      Hashtbl.iter
+        (fun src () ->
+          Routing.best_channels_from ?exclude ?budget g params ~capacity ~src
+          |> List.iter (fun (dst, (c : Channel.t)) ->
+                 if List.mem dst outside_users then consider c))
+        inside);
   !best
 
-let prim_for_users ?exclude ?budget g params ~capacity ~users =
+let prim_for_users ?exclude ?budget ?oracle g params ~capacity ~users =
   match users with
   | [] -> invalid_arg "Multi_group.prim_for_users: empty user set"
   | [ _ ] -> Some (Ent_tree.of_channels [])
@@ -69,8 +85,8 @@ let prim_for_users ?exclude ?budget g params ~capacity ~users =
         if !remaining = [] then Some (Ent_tree.of_channels (List.rev acc))
         else
           match
-            best_attachment ?exclude ?budget g params ~capacity ~inside
-              ~outside_users:!remaining
+            best_attachment ?exclude ?budget ?oracle g params ~capacity
+              ~inside ~outside_users:!remaining
           with
           | None ->
               rollback ();

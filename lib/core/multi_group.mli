@@ -53,6 +53,7 @@ val solve :
 val prim_for_users :
   ?exclude:Routing.exclusion ->
   ?budget:Qnet_overload.Budget.t ->
+  ?oracle:Routing.channel_oracle ->
   Qnet_graph.Graph.t ->
   Params.t ->
   capacity:Capacity.t ->
@@ -66,4 +67,7 @@ val prim_for_users :
     on {!Qnet_overload.Budget.Exhausted} any channels already consumed
     from [capacity] are released before the exception propagates, so a
     fuel-starved call leaves shared capacity exactly as it found it.
-    Exposed for reuse and testing. *)
+    [oracle] replaces the flat per-source channel enumeration with
+    point queries (see {!Routing.channel_oracle}) — how the
+    hierarchical router drops in under Algorithm 4 without this module
+    knowing about regions.  Exposed for reuse and testing. *)

@@ -11,6 +11,7 @@ type t = {
   switch_since : float array;
   mutable repairs : int;
   mutable total_downtime : float;
+  mutable observers : (Schedule.element -> transition -> unit) list;
 }
 
 let create g =
@@ -22,7 +23,10 @@ let create g =
     switch_since = Array.make (max 1 (Graph.vertex_count g)) 0.;
     repairs = 0;
     total_downtime = 0.;
+    observers = [];
   }
+
+let on_transition t f = t.observers <- t.observers @ [ f ]
 
 let slot t = function
   | Schedule.Link eid -> (t.link_down, t.link_since, eid)
@@ -30,25 +34,31 @@ let slot t = function
 
 let apply t (e : Schedule.event) =
   let counts, since, i = slot t e.element in
-  if e.up then
-    if counts.(i) = 0 then No_change (* spurious repair: clamp *)
+  let result =
+    if e.up then
+      if counts.(i) = 0 then No_change (* spurious repair: clamp *)
+      else begin
+        counts.(i) <- counts.(i) - 1;
+        if counts.(i) = 0 then begin
+          t.repairs <- t.repairs + 1;
+          t.total_downtime <-
+            t.total_downtime +. Float.max 0. (e.time -. since.(i));
+          Came_up
+        end
+        else No_change
+      end
     else begin
-      counts.(i) <- counts.(i) - 1;
-      if counts.(i) = 0 then begin
-        t.repairs <- t.repairs + 1;
-        t.total_downtime <- t.total_downtime +. Float.max 0. (e.time -. since.(i));
-        Came_up
+      counts.(i) <- counts.(i) + 1;
+      if counts.(i) = 1 then begin
+        since.(i) <- e.time;
+        Went_down
       end
       else No_change
     end
-  else begin
-    counts.(i) <- counts.(i) + 1;
-    if counts.(i) = 1 then begin
-      since.(i) <- e.time;
-      Went_down
-    end
-    else No_change
-  end
+  in
+  if result <> No_change then
+    List.iter (fun f -> f e.element result) t.observers;
+  result
 
 let link_up t eid = t.link_down.(eid) = 0
 let switch_up t vid = t.switch_down.(vid) = 0

@@ -23,6 +23,15 @@ val apply : t -> Schedule.event -> transition
     possible in adversarial replay tests) are clamped to {!No_change}
     rather than driving the count negative. *)
 
+val on_transition : t -> (Schedule.element -> transition -> unit) -> unit
+(** Register an observer called from {!apply} whenever an element
+    actually changes observable state ({!Went_down} or {!Came_up};
+    {!No_change} events are filtered out).  Observers fire in
+    registration order, after the health state has been updated — the
+    hook caching layers (e.g. the hierarchical router's precomputed
+    region segments) use to invalidate eagerly on fault transitions
+    instead of discovering staleness lazily at the next lookup. *)
+
 val link_up : t -> int -> bool
 val switch_up : t -> int -> bool
 val element_up : t -> Schedule.element -> bool

@@ -1,0 +1,71 @@
+(** The hierarchical channel oracle — a drop-in {!Qnet_core.Routing}
+    replacement for large networks.
+
+    A best-channel query runs in three steps:
+
+    + if both endpoints share a region, the corridor is that single
+      region;
+    + otherwise the {!Skeleton} is routed to pick a corridor — the
+      region sequence under the best gateway-level route;
+    + one {e exact} Dijkstra, restricted to the corridor's vertices but
+      otherwise identical to Algorithm 1's (same admission, weights and
+      capacity filtering), stitches the concrete channel.
+
+    Because the final channel always comes from an exact search under
+    the flat admission rule, every returned channel is capacity-
+    feasible and passes [Verify.check_exn] — the hierarchy can only
+    cost rate (when the true optimum leaves the corridor), never
+    correctness.  When the corridor search finds nothing (or the
+    skeleton has no route), the oracle falls back to the flat
+    whole-graph search, so hierarchical routing is feasibility-
+    equivalent to flat routing: it returns a channel exactly when
+    {!Qnet_core.Routing.best_channel} would.  Telemetry:
+    [hier.queries], [hier.local], [hier.corridor_hits],
+    [hier.fallbacks]. *)
+
+type t
+
+val create :
+  Qnet_graph.Graph.t -> Qnet_core.Params.t -> Partition.t -> t
+
+val graph : t -> Qnet_graph.Graph.t
+val params : t -> Qnet_core.Params.t
+val partition : t -> Partition.t
+val skeleton : t -> Skeleton.t
+
+val best_channel :
+  ?exclude:Qnet_core.Routing.exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
+  t ->
+  capacity:Qnet_core.Capacity.t ->
+  src:int ->
+  dst:int ->
+  Qnet_core.Channel.t option
+(** Hierarchical analogue of {!Qnet_core.Routing.best_channel}: same
+    contract (user endpoints, no consumption, exclusion respected,
+    budget metered), feasibility-equivalent to the flat search.  With
+    [q = 0] the query delegates to the flat direct-fiber special case
+    outright. *)
+
+val channel_oracle : t -> Qnet_core.Routing.channel_oracle
+(** {!best_channel} packaged for {!Qnet_core.Multi_group.prim_for_users}'
+    [?oracle] seam. *)
+
+val route_users :
+  ?exclude:Qnet_core.Routing.exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
+  t ->
+  capacity:Qnet_core.Capacity.t ->
+  users:int list ->
+  Qnet_core.Ent_tree.t option
+(** Algorithm 4 over this oracle: grow one entanglement tree spanning
+    [users], consuming from [capacity] on success (rolled back on
+    failure), with every attachment found hierarchically. *)
+
+val invalidate_switch : t -> int -> unit
+(** Eagerly drop cached segments of the region holding this switch —
+    call on a fault transition instead of waiting for lazy
+    revalidation. *)
+
+val invalidate_link : t -> int -> unit
+(** Same, for both endpoint regions of a fiber. *)

@@ -1,0 +1,171 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+
+type t = {
+  count : int;
+  region_of : int array;
+  members : int array array;
+  gateways : int array array;
+  is_gateway : bool array;
+}
+
+let finalize g ~count ~region_of =
+  let n = Graph.vertex_count g in
+  let sizes = Array.make count 0 in
+  Array.iter (fun r -> sizes.(r) <- sizes.(r) + 1) region_of;
+  let members = Array.map (fun s -> Array.make s 0) sizes in
+  let fill = Array.make count 0 in
+  for v = 0 to n - 1 do
+    let r = region_of.(v) in
+    members.(r).(fill.(r)) <- v;
+    fill.(r) <- fill.(r) + 1
+  done;
+  (* A gateway is a switch touching another region: the only vertices a
+     cross-region path must pass through, hence the skeleton nodes. *)
+  let is_gateway = Array.make n false in
+  for v = 0 to n - 1 do
+    if Graph.is_switch g v then
+      Graph.iter_adjacent g v (fun w _eid ->
+          if region_of.(w) <> region_of.(v) then is_gateway.(v) <- true)
+  done;
+  let gw_sizes = Array.make count 0 in
+  for v = 0 to n - 1 do
+    if is_gateway.(v) then
+      gw_sizes.(region_of.(v)) <- gw_sizes.(region_of.(v)) + 1
+  done;
+  let gateways = Array.map (fun s -> Array.make s 0) gw_sizes in
+  let gw_fill = Array.make count 0 in
+  for v = 0 to n - 1 do
+    if is_gateway.(v) then begin
+      let r = region_of.(v) in
+      gateways.(r).(gw_fill.(r)) <- v;
+      gw_fill.(r) <- gw_fill.(r) + 1
+    end
+  done;
+  { count; region_of; members; gateways; is_gateway }
+
+let of_assignment g labels =
+  let n = Graph.vertex_count g in
+  if Array.length labels <> n then
+    invalid_arg "Partition.of_assignment: label arity mismatch";
+  let count = ref 0 in
+  Array.iter
+    (fun r ->
+      if r < 0 then invalid_arg "Partition.of_assignment: negative label";
+      if r + 1 > !count then count := r + 1)
+    labels;
+  if !count = 0 then invalid_arg "Partition.of_assignment: empty graph";
+  finalize g ~count:!count ~region_of:(Array.copy labels)
+
+let kmeans ?(iterations = 16) ~regions ~seed g =
+  let n = Graph.vertex_count g in
+  if regions < 1 then invalid_arg "Partition.kmeans: regions must be >= 1";
+  if n = 0 then invalid_arg "Partition.kmeans: empty graph";
+  let k = min regions n in
+  let px = Array.init n (fun v -> (Graph.vertex g v).Graph.x) in
+  let py = Array.init n (fun v -> (Graph.vertex g v).Graph.y) in
+  let rng = Prng.create seed in
+  let order = Array.init n Fun.id in
+  Prng.shuffle_in_place rng order;
+  let cx = Array.init k (fun i -> px.(order.(i))) in
+  let cy = Array.init k (fun i -> py.(order.(i))) in
+  let region_of = Array.make n 0 in
+  let d2 v c =
+    let dx = px.(v) -. cx.(c) and dy = py.(v) -. cy.(c) in
+    (dx *. dx) +. (dy *. dy)
+  in
+  let assign () =
+    let changed = ref false in
+    for v = 0 to n - 1 do
+      (* Strict [<] keeps the lowest-index centroid on exact ties, so
+         the labelling is a pure function of seed and coordinates. *)
+      let best = ref 0 and best_d = ref (d2 v 0) in
+      for c = 1 to k - 1 do
+        let d = d2 v c in
+        if d < !best_d then begin
+          best := c;
+          best_d := d
+        end
+      done;
+      if region_of.(v) <> !best then begin
+        region_of.(v) <- !best;
+        changed := true
+      end
+    done;
+    !changed
+  in
+  let recenter () =
+    let sx = Array.make k 0. and sy = Array.make k 0. in
+    let counts = Array.make k 0 in
+    for v = 0 to n - 1 do
+      let c = region_of.(v) in
+      sx.(c) <- sx.(c) +. px.(v);
+      sy.(c) <- sy.(c) +. py.(v);
+      counts.(c) <- counts.(c) + 1
+    done;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then begin
+        let m = float_of_int counts.(c) in
+        cx.(c) <- sx.(c) /. m;
+        cy.(c) <- sy.(c) /. m
+      end
+      else begin
+        (* Emptied cluster: restart it at the vertex farthest from its
+           own centroid (deterministic argmax, first index wins). *)
+        let far = ref 0 and far_d = ref neg_infinity in
+        for v = 0 to n - 1 do
+          let d = d2 v region_of.(v) in
+          if d > !far_d then begin
+            far := v;
+            far_d := d
+          end
+        done;
+        cx.(c) <- px.(!far);
+        cy.(c) <- py.(!far);
+        region_of.(!far) <- c
+      end
+    done
+  in
+  ignore (assign ());
+  (let continue = ref true and round = ref 1 in
+   while !continue && !round < iterations do
+     recenter ();
+     continue := assign ();
+     incr round
+   done);
+  (* Guarantee non-empty regions even if the loop ended on an [assign]
+     that emptied one: steal the farthest vertex for each empty label. *)
+  let counts = Array.make k 0 in
+  Array.iter (fun r -> counts.(r) <- counts.(r) + 1) region_of;
+  for c = 0 to k - 1 do
+    if counts.(c) = 0 then begin
+      let far = ref (-1) and far_d = ref neg_infinity in
+      for v = 0 to n - 1 do
+        if counts.(region_of.(v)) > 1 then begin
+          let d = d2 v region_of.(v) in
+          if d > !far_d then begin
+            far := v;
+            far_d := d
+          end
+        end
+      done;
+      if !far >= 0 then begin
+        counts.(region_of.(!far)) <- counts.(region_of.(!far)) - 1;
+        region_of.(!far) <- c;
+        counts.(c) <- 1
+      end
+    end
+  done;
+  finalize g ~count:k ~region_of
+
+let region t v = t.region_of.(v)
+
+let gateway_count t =
+  Array.fold_left (fun acc gws -> acc + Array.length gws) 0 t.gateways
+
+let pp fmt t =
+  let sizes = Array.map Array.length t.members in
+  let min_s = Array.fold_left min max_int sizes
+  and max_s = Array.fold_left max 0 sizes in
+  Format.fprintf fmt "%d regions (sizes %d..%d), %d gateways" t.count min_s
+    max_s (gateway_count t)

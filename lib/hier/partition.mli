@@ -1,0 +1,53 @@
+(** Region partitioning — the first layer of the hierarchical router.
+
+    Every vertex gets a region label; the {e gateways} of a region are
+    its border switches (switches with at least one edge into another
+    region).  Only gateways appear in the contracted skeleton graph
+    (see {!Skeleton}), so a good partition is one with few, physically
+    meaningful borders.
+
+    Two ways in:
+
+    - {!of_assignment} adopts an explicit region map — exact and free
+      for reference topologies that know their regions, like the
+      continent-of-Waxmans generator's tile labels;
+    - {!kmeans} derives one geometrically, by seeded k-means over the
+      vertex coordinates — deterministic (fixed iteration budget,
+      index-ordered tie-breaking, PRNG-seeded initialisation) so equal
+      seeds give equal partitions on any topology. *)
+
+type t = private {
+  count : int;  (** Number of regions (≥ 1). *)
+  region_of : int array;  (** Vertex id → region label. *)
+  members : int array array;
+      (** Region → member vertex ids, ascending.  Regions may be empty
+          under an explicit assignment with unused labels. *)
+  gateways : int array array;
+      (** Region → border switch ids, ascending. *)
+  is_gateway : bool array;  (** Vertex id → border-switch flag. *)
+}
+
+val of_assignment : Qnet_graph.Graph.t -> int array -> t
+(** [of_assignment g labels] adopts [labels] (one non-negative region
+    label per vertex; the region count is [1 + max label]) and derives
+    members and gateways.
+    @raise Invalid_argument on an arity mismatch or a negative label. *)
+
+val kmeans :
+  ?iterations:int -> regions:int -> seed:int -> Qnet_graph.Graph.t -> t
+(** [kmeans ~regions ~seed g] clusters vertices by Euclidean distance
+    to [regions] centroids (Lloyd's algorithm, at most [iterations]
+    rounds, default 16).  Initial centroids are a seeded uniform vertex
+    sample; an emptied cluster is re-seeded at the vertex farthest from
+    its current centroid, so every region ends non-empty.  [regions] is
+    clamped to the vertex count.
+    @raise Invalid_argument if [regions < 1] or the graph is empty. *)
+
+val region : t -> int -> int
+(** [region t v] is [t.region_of.(v)]. *)
+
+val gateway_count : t -> int
+(** Total gateways over all regions — the skeleton's vertex count. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: region count, sizes, gateway count. *)

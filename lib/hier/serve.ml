@@ -1,0 +1,19 @@
+module Policy = Qnet_online.Policy
+module Health = Qnet_faults.Health
+module Schedule = Qnet_faults.Schedule
+
+let policy oracle =
+  {
+    Policy.name = "hier-prim";
+    route =
+      (fun ~exclude ~budget g _params ~capacity ~users ->
+        if not (g == Oracle.graph oracle) then
+          invalid_arg "Serve.policy: oracle was built over a different graph";
+        Oracle.route_users ~exclude ?budget oracle ~capacity ~users);
+  }
+
+let attach_health oracle health =
+  Health.on_transition health (fun element _transition ->
+      match element with
+      | Schedule.Switch v -> Oracle.invalidate_switch oracle v
+      | Schedule.Link eid -> Oracle.invalidate_link oracle eid)

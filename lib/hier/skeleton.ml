@@ -1,0 +1,454 @@
+module Graph = Qnet_graph.Graph
+module Paths = Qnet_graph.Paths
+module Binary_heap = Qnet_graph.Binary_heap
+module Routing = Qnet_core.Routing
+module Capacity = Qnet_core.Capacity
+module Tm = Qnet_telemetry.Metrics
+
+let c_routes = Tm.counter "hier.skeleton_routes"
+let c_seg_sssp = Tm.counter "hier.segment_sssp"
+let c_seg_hits = Tm.counter "hier.segment_hits"
+let c_seg_stale = Tm.counter "hier.segment_stale"
+
+(* [edges] are the path's edge ids, recorded at compute time so
+   revalidation never has to look an edge up again — [seg_ok] is then a
+   walk of two short lists with O(1) predicates, cheap enough to run
+   once per source per query. *)
+type seg = { cost : float; path : int list; edges : int list }
+
+(* All segments out of one gateway, aligned with its region's gateway
+   row — one region-restricted SSSP fills the whole entry.  [stamp]
+   marks the query that computed or last revalidated it, so one query
+   never validates (or recomputes) the same source twice. *)
+type entry = { segs : seg array; mutable stamp : int }
+
+(* Generation-stamped SSSP workspace.  A slot is meaningful only when
+   its mark equals the current generation, so starting a fresh run is a
+   counter bump, not an O(n) array sweep — the difference between a
+   region-restricted search costing O(region) and costing O(network).
+   With hundreds of lazy segment SSSPs behind one cold cache, the O(n)
+   re-initialisation of [Paths.dijkstra] would dominate the whole
+   hierarchical query. *)
+type scratch = {
+  sc_dist : float array;
+  sc_prev : int array;
+  sc_prev_edge : int array;
+  sc_mark : int array;  (* dist/prev valid iff = gen *)
+  sc_done : int array;  (* vertex settled iff = gen *)
+  sc_heap : int Binary_heap.t;
+  mutable sc_gen : int;
+}
+
+let scratch_make n =
+  {
+    sc_dist = Array.make n infinity;
+    sc_prev = Array.make n (-1);
+    sc_prev_edge = Array.make n (-1);
+    sc_mark = Array.make n (-1);
+    sc_done = Array.make n (-1);
+    sc_heap = Binary_heap.create ~capacity:1024 ();
+    sc_gen = 0;
+  }
+
+let sc_dist sc v = if sc.sc_mark.(v) = sc.sc_gen then sc.sc_dist.(v) else infinity
+
+type t = {
+  g : Graph.t;
+  params : Qnet_core.Params.t;
+  part : Partition.t;
+  node_of : int array;
+  vertex_of : int array;
+  region_nodes : int array array;
+  inter : (int * float * int) array array;
+  cache : (int, entry) Hashtbl.t;
+  scratch : scratch;
+  h_rate : float;
+      (* A-star heuristic slope: cost-per-km lower bound.  Any route
+         spanning straight-line distance D uses at least D / l_max
+         fibers (l_max = longest fiber in the network), so it costs at
+         least [alpha·D + swap_neg_log·D/l_max] — i.e. [h_rate · D]
+         with [h_rate = alpha + swap/l_max].  Consistent: an edge of
+         length L costs [alpha·L + swap ≥ h_rate·L ≥ h_rate·euclid]. *)
+  mutable query : int;
+}
+
+(* Same semantics as [Paths.dijkstra] (admit gates entering a
+   non-source vertex, expand gates leaving one, budget ticks per pop),
+   but into the reusable workspace.  Results must be read back — via
+   [sc_dist]/[sc_path] — before the next [sssp] call reuses it. *)
+let sssp t ~source ~admit ~expand ~edge_ok ~budget =
+  let sc = t.scratch in
+  sc.sc_gen <- sc.sc_gen + 1;
+  Binary_heap.reset sc.sc_heap;
+  let charge =
+    match budget with
+    | None -> Fun.id
+    | Some b -> fun () -> Qnet_overload.Budget.tick b
+  in
+  let off = Graph.csr_offsets t.g and pairs = Graph.csr_pairs t.g in
+  sc.sc_dist.(source) <- 0.;
+  sc.sc_prev.(source) <- -1;
+  sc.sc_mark.(source) <- sc.sc_gen;
+  Binary_heap.push sc.sc_heap 0. source;
+  let running = ref true in
+  while !running do
+    match Binary_heap.pop_min sc.sc_heap with
+    | None -> running := false
+    | Some (d, u) ->
+        charge ();
+        if sc.sc_done.(u) <> sc.sc_gen && d <= sc_dist sc u then begin
+          sc.sc_done.(u) <- sc.sc_gen;
+          if u = source || expand u then
+            for k = off.(u) to off.(u + 1) - 1 do
+              let v = pairs.(2 * k) in
+              if
+                sc.sc_done.(v) <> sc.sc_gen
+                && (v = source || admit v)
+                && edge_ok pairs.((2 * k) + 1)
+              then begin
+                let eid = pairs.((2 * k) + 1) in
+                let e = Graph.edge t.g eid in
+                let cand = d +. Routing.edge_weight t.params e in
+                if cand < sc_dist sc v then begin
+                  sc.sc_dist.(v) <- cand;
+                  sc.sc_prev.(v) <- u;
+                  sc.sc_prev_edge.(v) <- eid;
+                  sc.sc_mark.(v) <- sc.sc_gen;
+                  Binary_heap.push sc.sc_heap cand v
+                end
+              end
+            done
+        end
+  done
+
+(* Vertex path (both endpoints, like [Paths.extract_path]) plus the
+   matching edge ids. *)
+let sc_path t ~source ~target =
+  let sc = t.scratch in
+  if sc_dist sc target = infinity then None
+  else begin
+    let rec walk v vs es =
+      if v = source then (v :: vs, es)
+      else walk sc.sc_prev.(v) (v :: vs) (sc.sc_prev_edge.(v) :: es)
+    in
+    Some (walk target [] [])
+  end
+
+let create g params (part : Partition.t) =
+  let n = Graph.vertex_count g in
+  let node_of = Array.make n (-1) in
+  let m = Partition.gateway_count part in
+  let vertex_of = Array.make m 0 in
+  let region_nodes = Array.make part.Partition.count [||] in
+  let next = ref 0 in
+  Array.iteri
+    (fun r gws ->
+      region_nodes.(r) <-
+        Array.map
+          (fun v ->
+            let node = !next in
+            incr next;
+            node_of.(v) <- node;
+            vertex_of.(node) <- v;
+            node)
+          gws)
+    part.Partition.gateways;
+  let inter_lists = Array.make m [] in
+  Graph.iter_edges g (fun e ->
+      let ra = part.Partition.region_of.(e.Graph.a)
+      and rb = part.Partition.region_of.(e.Graph.b) in
+      if ra <> rb then begin
+        let na = node_of.(e.Graph.a) and nb = node_of.(e.Graph.b) in
+        (* Cross edges with a user endpoint exist only in arbitrary
+           partitions; they never join two gateways, and user endpoints
+           are reached by the per-query attachment searches instead. *)
+        if na >= 0 && nb >= 0 then begin
+          let w = Routing.edge_weight params e in
+          inter_lists.(na) <- (nb, w, e.Graph.eid) :: inter_lists.(na);
+          inter_lists.(nb) <- (na, w, e.Graph.eid) :: inter_lists.(nb)
+        end
+      end);
+  let l_max =
+    Graph.fold_edges g ~init:0. ~f:(fun acc e -> Float.max acc e.Graph.length)
+  in
+  let h_rate =
+    params.Qnet_core.Params.alpha
+    +. (if l_max > 0. then Qnet_core.Params.swap_neg_log params /. l_max
+        else 0.)
+  in
+  {
+    g;
+    params;
+    part;
+    node_of;
+    vertex_of;
+    region_nodes;
+    inter = Array.map (fun l -> Array.of_list (List.rev l)) inter_lists;
+    cache = Hashtbl.create 256;
+    scratch = scratch_make n;
+    h_rate;
+    query = 0;
+  }
+
+let partition t = t.part
+let graph t = t.g
+let node_count t = Array.length t.vertex_of
+
+let inter_edge_count t =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.inter / 2
+
+let seg_ok ~exclude ~capacity (s : seg) =
+  s.cost < infinity
+  && List.for_all exclude.Routing.vertex_ok s.path
+  && List.for_all exclude.Routing.edge_ok s.edges
+  && List.for_all (fun v -> Capacity.can_relay capacity v) s.path
+
+let compute_entry t ~exclude ~budget ~capacity a =
+  Tm.Counter.incr c_seg_sssp;
+  let va = t.vertex_of.(a) in
+  let r = t.part.Partition.region_of.(va) in
+  let admit v =
+    t.part.Partition.region_of.(v) = r
+    && exclude.Routing.vertex_ok v
+    && Graph.is_switch t.g v
+    && Capacity.can_relay capacity v
+  in
+  sssp t ~source:va ~admit
+    ~expand:(fun v -> Graph.is_switch t.g v)
+    ~edge_ok:exclude.Routing.edge_ok ~budget;
+  let segs =
+    Array.map
+      (fun b ->
+        if b = a then { cost = 0.; path = []; edges = [] }
+        else
+          let vb = t.vertex_of.(b) in
+          match sc_path t ~source:va ~target:vb with
+          | None -> { cost = infinity; path = []; edges = [] }
+          | Some (p, es) ->
+              { cost = sc_dist t.scratch vb; path = p; edges = es })
+      t.region_nodes.(r)
+  in
+  let e = { segs; stamp = t.query } in
+  Hashtbl.replace t.cache a e;
+  e
+
+(* Optimistic reuse: relaxation trusts cached segment costs outright.
+   Validation is deferred to the winning route (see [route]), so a
+   query pays for the handful of segments it actually uses, not for
+   every entry the search settles — at 10k+ switches the per-settled-
+   entry validation walk was most of the query.  A stale winner can
+   only cost a retry or a fallback, never correctness: the corridor
+   search downstream is exact against the live exclusion and capacity
+   state.  [stamp] marks entries computed during the current query;
+   those are exact and skip even the winner validation. *)
+let entry t ~exclude ~budget ~capacity a =
+  match Hashtbl.find_opt t.cache a with
+  | Some e ->
+      Tm.Counter.incr c_seg_hits;
+      e
+  | None -> compute_entry t ~exclude ~budget ~capacity a
+
+let route t ~exclude ~budget ~capacity ~src ~dst =
+  Tm.Counter.incr c_routes;
+  t.query <- t.query + 1;
+  let m = Array.length t.vertex_of in
+  let region_of = t.part.Partition.region_of in
+  let r_src = region_of.(src) and r_dst = region_of.(dst) in
+  (* Attach each endpoint to its region's gateways with one exact
+     region-restricted search (same admission rule as flat routing).
+     The scratch workspace is shared with the lazy segment SSSPs that
+     run later in the search, so the gateway distances are snapshotted
+     out immediately, aligned with the region's gateway row. *)
+  let attach u r =
+    let admit v =
+      region_of.(v) = r
+      && exclude.Routing.vertex_ok v
+      &&
+      if Graph.is_user t.g v then v <> u
+      else Capacity.can_relay capacity v
+    in
+    sssp t ~source:u ~admit
+      ~expand:(fun v -> Graph.is_switch t.g v)
+      ~edge_ok:exclude.Routing.edge_ok ~budget;
+    Array.map
+      (fun node -> sc_dist t.scratch t.vertex_of.(node))
+      t.region_nodes.(r)
+  in
+  let src_d = attach src r_src in
+  let dst_d = attach dst r_dst in
+  (* Node ids are assigned consecutively region by region, so a
+     gateway's index within its region row is an offset from the row's
+     first node. *)
+  let dst_base =
+    if Array.length t.region_nodes.(r_dst) > 0 then
+      t.region_nodes.(r_dst).(0)
+    else 0
+  in
+  let s_node = m and d_node = m + 1 in
+  let admit_node b =
+    let vb = t.vertex_of.(b) in
+    exclude.Routing.vertex_ok vb && Capacity.can_relay capacity vb
+  in
+  (* One goal-directed A-star search over the contracted graph, virtual
+     source and destination attached through the snapshots above;
+     re-run after a stale winner forces a recompute.  The heuristic
+     [h_rate × straight-line distance to dst] (see the field's
+     definition) lower-bounds any remaining route cost, and it is what
+     keeps the search — and therefore the lazy segment-cache fill —
+     confined to gateways near the corridor instead of settling the
+     whole skeleton. *)
+  let search () =
+    let dist = Array.make (m + 2) infinity in
+    let prev = Array.make (m + 2) (-1) in
+    let done_ = Array.make (m + 2) false in
+    let heap = Binary_heap.create ~capacity:(m + 2) () in
+    let dv = Graph.vertex t.g dst in
+    let h v =
+      if v >= m then 0.
+      else begin
+        let p = Graph.vertex t.g t.vertex_of.(v) in
+        let dx = p.Graph.x -. dv.Graph.x and dy = p.Graph.y -. dv.Graph.y in
+        t.h_rate *. sqrt ((dx *. dx) +. (dy *. dy))
+      end
+    in
+    let relax u d v w =
+      if w < infinity then begin
+        let cand = d +. w in
+        if cand < dist.(v) then begin
+          dist.(v) <- cand;
+          prev.(v) <- u;
+          Binary_heap.push heap (cand +. h v) v
+        end
+      end
+    in
+    dist.(s_node) <- 0.;
+    Binary_heap.push heap 0. s_node;
+    let running = ref true in
+    while !running do
+      match Binary_heap.pop_min heap with
+      | None -> running := false
+      | Some (_, u) ->
+          if not done_.(u) then begin
+            let d = dist.(u) in
+            done_.(u) <- true;
+            if u = d_node then running := false
+            else if u = s_node then
+              Array.iteri
+                (fun i b -> if admit_node b then relax u d b src_d.(i))
+                t.region_nodes.(r_src)
+            else begin
+              let vu = t.vertex_of.(u) in
+              let ru = region_of.(vu) in
+              let e = entry t ~exclude ~budget ~capacity u in
+              Array.iteri
+                (fun i b ->
+                  if b <> u && (not done_.(b)) && admit_node b then
+                    relax u d b e.segs.(i).cost)
+                t.region_nodes.(ru);
+              Array.iter
+                (fun (b, w, eid) ->
+                  if
+                    (not done_.(b))
+                    && exclude.Routing.edge_ok eid
+                    && admit_node b
+                  then relax u d b w)
+                t.inter.(u);
+              if ru = r_dst then relax u d d_node dst_d.(u - dst_base)
+            end
+          end
+    done;
+    (dist, prev)
+  in
+  (* Corridor: the distinct regions under the winning gateway route,
+     in path order. *)
+  let corridor_of prev =
+    let seen = Array.make t.part.Partition.count false in
+    let rec walk v acc =
+      if v = s_node || v < 0 then acc
+      else
+        let acc =
+          if v < m then begin
+            let r = region_of.(t.vertex_of.(v)) in
+            if seen.(r) then acc
+            else begin
+              seen.(r) <- true;
+              r :: acc
+            end
+          end
+          else acc
+        in
+        walk prev.(v) acc
+    in
+    let mids = walk prev.(d_node) [] in
+    let tail = if seen.(r_dst) then mids else mids @ [ r_dst ] in
+    if seen.(r_src) then tail else r_src :: tail
+  in
+  (* Winner validation: walk the chosen route and check only the
+     cached segments it uses — witness path still admitted, every
+     interior switch still able to relay.  Entries computed during
+     this query are exact by construction and skip the check. *)
+  let stale_sources prev =
+    let rec walk v acc =
+      if v = s_node || v < 0 then acc
+      else begin
+        let u = prev.(v) in
+        let acc =
+          if
+            u >= 0 && u < m && v < m
+            && region_of.(t.vertex_of.(u)) = region_of.(t.vertex_of.(v))
+          then
+            match Hashtbl.find_opt t.cache u with
+            | Some e when e.stamp <> t.query ->
+                let base =
+                  t.region_nodes.(region_of.(t.vertex_of.(v))).(0)
+                in
+                if seg_ok ~exclude ~capacity e.segs.(v - base) then acc
+                else u :: acc
+            | _ -> acc
+          else acc
+        in
+        walk u acc
+      end
+    in
+    walk d_node []
+  in
+  (* On a no-route answer, entries from earlier queries may be hiding
+     capacity that has since been freed (a segment cached as infeasible
+     is never relaxed).  Dropping them once and re-searching keeps the
+     skeleton's no-route answers honest without paying a revalidation
+     sweep on every query. *)
+  let drop_old () =
+    let old =
+      Hashtbl.fold
+        (fun a e acc -> if e.stamp <> t.query then a :: acc else acc)
+        t.cache []
+    in
+    List.iter (Hashtbl.remove t.cache) old;
+    old <> []
+  in
+  let rec attempt ~refreshed retries =
+    let dist, prev = search () in
+    if dist.(d_node) = infinity then
+      if (not refreshed) && drop_old () then attempt ~refreshed:true retries
+      else None
+    else
+      match stale_sources prev with
+      | [] -> Some (corridor_of prev)
+      | dead ->
+          if retries = 0 then None
+          else begin
+            List.iter
+              (fun a ->
+                Tm.Counter.incr c_seg_stale;
+                ignore (compute_entry t ~exclude ~budget ~capacity a))
+              dead;
+            attempt ~refreshed (retries - 1)
+          end
+  in
+  attempt ~refreshed:false 3
+
+let invalidate_region t r =
+  if r >= 0 && r < Array.length t.region_nodes then
+    Array.iter (fun node -> Hashtbl.remove t.cache node) t.region_nodes.(r)
+
+let invalidate_all t = Hashtbl.reset t.cache

@@ -1,0 +1,80 @@
+(** The contracted gateway graph and its cached region segments.
+
+    The skeleton has one node per gateway (border switch) plus, per
+    query, two virtual endpoints.  Its edges are:
+
+    - {e inter-region} fibers — the physical switch-to-switch edges
+      crossing a region border, at their exact −log-rate weight;
+    - {e intra-region} segments — for each region, every gateway pair,
+      weighted by the best capacity-feasible switch path between them
+      {e inside} that region (a target-pruned Dijkstra restricted to
+      the region's vertices).
+
+    Segment costs are computed lazily — one region-restricted SSSP per
+    gateway yields that gateway's segments to all siblings at once —
+    and cached with their witness paths and edge ids.  Lookups reuse
+    cached segments {e optimistically}: the skeleton search trusts the
+    cached costs, and only the segments on the {e winning} route are
+    validated against the live exclusion and capacity (can every
+    witness switch still relay?).  Stale winners trigger a recompute
+    of just those source gateways and a bounded retry.  Staleness can
+    therefore only cost a retry or a slightly worse corridor — never a
+    wrong channel, because the corridor search below is exact.  Fault
+    transitions also invalidate eagerly via {!invalidate_region}
+    (wired from [Qnet_faults.Health.on_transition] by
+    {!Serve.attach_health}).
+
+    The skeleton search itself is A-star: the heuristic is euclidean
+    distance to the destination times a per-km −log-rate lower bound
+    (attenuation [alpha] plus one swap spread over the longest fiber),
+    admissible because fiber length equals euclidean distance.  Goal
+    direction keeps the lazy cache fill confined to corridor-adjacent
+    gateways instead of settling the whole skeleton.
+
+    Routing the skeleton answers one question cheaply: {e which regions
+    should the exact search look at?}  The result is a corridor — the
+    region sequence under the best gateway-level route — and the caller
+    ({!Oracle}) re-runs the exact flat Dijkstra restricted to corridor
+    vertices to produce the concrete channel.  Telemetry:
+    [hier.segment_sssp], [hier.segment_hits], [hier.segment_stale],
+    [hier.skeleton_routes]. *)
+
+type t
+
+val create :
+  Qnet_graph.Graph.t -> Qnet_core.Params.t -> Partition.t -> t
+(** Index the gateways and the inter-region fibers; no segment is
+    computed yet (O(V + E) setup). *)
+
+val partition : t -> Partition.t
+val graph : t -> Qnet_graph.Graph.t
+
+val node_count : t -> int
+(** Gateways in the skeleton. *)
+
+val inter_edge_count : t -> int
+(** Cross-region switch-to-switch fibers. *)
+
+val route :
+  t ->
+  exclude:Qnet_core.Routing.exclusion ->
+  budget:Qnet_overload.Budget.t option ->
+  capacity:Qnet_core.Capacity.t ->
+  src:int ->
+  dst:int ->
+  int list option
+(** [route t ~src ~dst] runs Dijkstra over the skeleton between user
+    vertices [src] and [dst] (attached to their regions' gateways by
+    two region-restricted exact searches) and returns the corridor: the
+    distinct region labels along the best gateway route, in path order,
+    [src]'s region first.  [None] when the skeleton offers no
+    capacity-feasible gateway route.  Expects [src] and [dst] in
+    different regions (same-region queries never need the skeleton).
+    [budget] meters the underlying exact searches. *)
+
+val invalidate_region : t -> int -> unit
+(** Drop every cached segment of the given region (eager invalidation
+    on a fault transition). *)
+
+val invalidate_all : t -> unit
+(** Drop the whole segment cache. *)

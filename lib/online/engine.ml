@@ -220,7 +220,7 @@ let validate_schedule g schedule =
     schedule
 
 let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
-    ?pool g params ~requests =
+    ?on_health ?pool g params ~requests =
   validate g requests;
   Option.iter (validate_schedule g) fault_schedule;
   let capacity = Capacity.of_graph g in
@@ -229,6 +229,9 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     | None, None -> None
     | _ -> Some (Fhealth.create g)
   in
+  (match (health, on_health) with
+  | Some h, Some f -> f h
+  | _ -> ());
   let exclude =
     match health with
     | None -> Routing.no_exclusion

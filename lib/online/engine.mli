@@ -214,6 +214,7 @@ val run :
   ?faults:Qnet_faults.Model.t ->
   ?fault_schedule:Qnet_faults.Schedule.event list ->
   ?on_incident:(incident -> unit) ->
+  ?on_health:(Qnet_faults.Health.t -> unit) ->
   ?pool:Qnet_util.Pool.t ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
@@ -227,7 +228,12 @@ val run :
     {!Qnet_faults.Schedule.compare_event} and overrides [faults]; the
     chaos tests use it to pin failures to exact instants.
     [on_incident] observes every service-affecting hit as it happens
-    (chaos tests reconstruct per-lease tree timelines from it).  [pool]
+    (chaos tests reconstruct per-lease tree timelines from it).
+    [on_health] receives the live {!Qnet_faults.Health.t} once, before
+    the first event — the hook callers use to register
+    {!Qnet_faults.Health.on_transition} observers (e.g. eager cache
+    invalidation in the hierarchical router); it is not called when no
+    fault source is configured.  [pool]
     parallelises only the final read-only verification pass.  Outcomes
     are returned in request-id order.  Deterministic: identical inputs
     give identical reports and outcomes at every pool size.

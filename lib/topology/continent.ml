@@ -1,0 +1,184 @@
+module Prng = Qnet_util.Prng
+module Graph = Qnet_graph.Graph
+
+type params = {
+  regions : int;
+  inter_fibers : int;
+  boundary_band : int;
+  alpha_w : float;
+}
+
+let default_params =
+  { regions = 8; inter_fibers = 2; boundary_band = 48; alpha_w = 0.15 }
+
+(* Even split of [total] across [regions]; the first [total mod regions]
+   tiles get one extra. *)
+let share total regions r = (total / regions) + if r < total mod regions then 1 else 0
+
+(* Weighted Waxman edge sample inside one region of [k] vertices, local
+   indices.  Mirrors Waxman.generate (Efraimidis–Spirakis keys, fixed
+   edge budget from the average degree) but works on a vertex slice, so
+   the quadratic pair scan stays bounded by the region size. *)
+let region_edges rng ~alpha_w ~area ~avg_degree (points : Layout.point array) =
+  let k = Array.length points in
+  if k < 2 then []
+  else begin
+    let scale = alpha_w *. Layout.max_distance ~area in
+    let m = k * (k - 1) / 2 in
+    let keyed = Array.make m (0., 0) in
+    let idx = ref 0 in
+    for u = 0 to k - 1 do
+      for v = u + 1 to k - 1 do
+        let d = Layout.distance points.(u) points.(v) in
+        let w = exp (-.d /. scale) in
+        let u01 = Float.max 1e-300 (Prng.float rng 1.) in
+        keyed.(!idx) <- (log u01 /. w, (u * k) + v);
+        incr idx
+      done
+    done;
+    Array.sort (fun (k1, _) (k2, _) -> Float.compare k2 k1) keyed;
+    let wanted =
+      int_of_float (Float.round (avg_degree *. float_of_int k /. 2.))
+    in
+    let budget = max (k - 1) (min wanted m) in
+    let edges = ref [] in
+    for i = budget - 1 downto 0 do
+      let _, code = keyed.(i) in
+      edges := (code / k, code mod k) :: !edges
+    done;
+    !edges
+  end
+
+(* Squared-up tile grid: regions laid out row-major in [cols] columns. *)
+let grid_shape regions =
+  let cols = int_of_float (ceil (sqrt (float_of_int regions))) in
+  let rows = (regions + cols - 1) / cols in
+  (cols, rows)
+
+let generate_labeled ?(params = default_params) rng (spec : Spec.t) =
+  Spec.validate spec;
+  if params.regions < 1 then
+    invalid_arg "Continent.generate: regions must be >= 1";
+  if params.inter_fibers < 1 then
+    invalid_arg "Continent.generate: inter_fibers must be >= 1";
+  if params.boundary_band < 1 then
+    invalid_arg "Continent.generate: boundary_band must be >= 1";
+  if not (params.alpha_w > 0.) then
+    invalid_arg "Continent.generate: alpha_w must be positive";
+  if spec.Spec.n_switches < params.regions then
+    invalid_arg "Continent.generate: need at least one switch per region";
+  let regions = params.regions in
+  let cols, _rows = grid_shape regions in
+  let n = Spec.vertex_count spec in
+  let b = Graph.Builder.create () in
+  let labels = Array.make n 0 in
+  let points = Array.make n { Layout.x = 0.; y = 0. } in
+  let offsets = Array.make (regions + 1) 0 in
+  (* Per-region switch lists (global ids) for the long-haul wiring. *)
+  let region_switches = Array.make regions [] in
+  for r = 0 to regions - 1 do
+    let users_r = share spec.Spec.n_users regions r in
+    let switches_r = share spec.Spec.n_switches regions r in
+    let k = users_r + switches_r in
+    let off = offsets.(r) in
+    offsets.(r + 1) <- off + k;
+    let ox = float_of_int (r mod cols) *. spec.Spec.area in
+    let oy = float_of_int (r / cols) *. spec.Spec.area in
+    let local = Layout.random_points rng ~area:spec.Spec.area k in
+    let roles =
+      Array.init k (fun i -> if i < users_r then Graph.User else Graph.Switch)
+    in
+    Prng.shuffle_in_place rng roles;
+    for i = 0 to k - 1 do
+      let p = { Layout.x = ox +. local.(i).Layout.x; y = oy +. local.(i).Layout.y } in
+      let qubits =
+        match roles.(i) with
+        | Graph.User -> spec.Spec.user_qubits
+        | Graph.Switch -> spec.Spec.qubits_per_switch
+      in
+      let id = Graph.Builder.add_vertex b ~kind:roles.(i) ~qubits ~x:p.x ~y:p.y in
+      labels.(id) <- r;
+      points.(id) <- p;
+      if roles.(i) = Graph.Switch then
+        region_switches.(r) <- id :: region_switches.(r)
+    done;
+    region_switches.(r) <- List.rev region_switches.(r);
+    let add_local (u, v) =
+      let gu = off + u and gv = off + v in
+      if gu <> gv && not (Graph.Builder.has_edge b gu gv) then begin
+        let d = Float.max 1e-9 (Layout.distance points.(gu) points.(gv)) in
+        ignore (Graph.Builder.add_edge b gu gv d)
+      end
+    in
+    let local_edges =
+      region_edges rng ~alpha_w:params.alpha_w ~area:spec.Spec.area
+        ~avg_degree:spec.Spec.avg_degree local
+    in
+    List.iter add_local local_edges;
+    (* Local connectivity repair: the component merge stays O(k²), not
+       O(n²), because it only ever sees this region's slice. *)
+    List.iter add_local (Assemble.connect_components local local_edges)
+  done;
+  (* Long-haul fibers between adjacent tiles.  Candidates are the
+     [boundary_band] switches nearest the shared boundary on each side;
+     among the cross pairs we take the [inter_fibers] shortest,
+     preferring endpoint-disjoint pairs so one switch outage cannot
+     sever a whole border. *)
+  let nearest_boundary ~dist_to_boundary switches =
+    let arr = Array.of_list switches in
+    let keyed =
+      Array.map (fun v -> (dist_to_boundary points.(v), v)) arr
+    in
+    Array.sort compare keyed;
+    let take = min params.boundary_band (Array.length keyed) in
+    Array.init take (fun i -> snd keyed.(i))
+  in
+  let wire_tiles r1 r2 ~dist_to_boundary =
+    let s1 = nearest_boundary ~dist_to_boundary region_switches.(r1) in
+    let s2 = nearest_boundary ~dist_to_boundary region_switches.(r2) in
+    let pairs = ref [] in
+    Array.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            pairs := (Layout.distance points.(u) points.(v), u, v) :: !pairs)
+          s2)
+      s1;
+    let sorted = List.sort compare !pairs in
+    let used = Hashtbl.create 8 in
+    let added = ref 0 in
+    let add (d, u, v) =
+      if !added < params.inter_fibers && not (Graph.Builder.has_edge b u v)
+      then begin
+        ignore (Graph.Builder.add_edge b u v (Float.max 1e-9 d));
+        Hashtbl.replace used u ();
+        Hashtbl.replace used v ();
+        incr added
+      end
+    in
+    (* First pass: endpoint-disjoint pairs only; second pass fills any
+       shortfall (e.g. single-switch regions). *)
+    List.iter
+      (fun ((_, u, v) as p) ->
+        if not (Hashtbl.mem used u || Hashtbl.mem used v) then add p)
+      sorted;
+    List.iter add sorted
+  in
+  for r = 0 to regions - 1 do
+    let col = r mod cols in
+    (* Right neighbour shares the vertical line x = (col+1)·area. *)
+    if col + 1 < cols && r + 1 < regions && (r + 1) mod cols <> 0 then begin
+      let bx = float_of_int (col + 1) *. spec.Spec.area in
+      wire_tiles r (r + 1) ~dist_to_boundary:(fun (p : Layout.point) ->
+          Float.abs (p.x -. bx))
+    end;
+    (* Down neighbour shares the horizontal line y = (row+1)·area. *)
+    if r + cols < regions then begin
+      let by = float_of_int ((r / cols) + 1) *. spec.Spec.area in
+      wire_tiles r (r + cols) ~dist_to_boundary:(fun (p : Layout.point) ->
+          Float.abs (p.y -. by))
+    end
+  done;
+  (Graph.Builder.freeze b, labels)
+
+let generate ?params rng spec = fst (generate_labeled ?params rng spec)

@@ -1,0 +1,58 @@
+(** Continent-of-Waxmans — the internet-scale topology generator.
+
+    The paper's Waxman instances top out at thousands of switches
+    because every generator (and every flat solve) is quadratic in the
+    vertex count.  Real continental networks are not one uniform cloud:
+    they are dense metropolitan regions stitched together by a handful
+    of long-haul fibers.  This generator reproduces that shape — [N]
+    independent Waxman regions, each laid out in its own tile of a
+    near-square grid, wired to each adjacent tile by a few short
+    boundary-crossing fibers — and is the reference workload for the
+    hierarchical router in [Qnet_hier]: the tile index of every vertex
+    is returned as an explicit region map, so partitioning the result
+    is exact and free.
+
+    Generation cost is O(Σ k_r²) over per-region vertex counts k_r
+    rather than O(n²) over the whole network, which is what makes
+    100k-switch instances practical. *)
+
+type params = {
+  regions : int;  (** Number of Waxman tiles (≥ 1). *)
+  inter_fibers : int;
+      (** Long-haul fibers per adjacent tile pair (≥ 1).  Endpoints are
+          switches; the pairs chosen are the shortest boundary-crossing
+          ones, preferring disjoint endpoints for fault tolerance. *)
+  boundary_band : int;
+      (** How many switches nearest the shared boundary are considered
+          on each side when picking inter-region fibers — bounds the
+          cross-pair scan at O(band²) per tile pair. *)
+  alpha_w : float;
+      (** Waxman locality parameter for the intra-region wiring, as in
+          {!Waxman.params}. *)
+}
+
+val default_params : params
+(** [{ regions = 8; inter_fibers = 2; boundary_band = 48;
+      alpha_w = 0.15 }]. *)
+
+val generate_labeled :
+  ?params:params ->
+  Qnet_util.Prng.t ->
+  Spec.t ->
+  Qnet_graph.Graph.t * int array
+(** [generate_labeled rng spec] builds the network and its region map
+    ([labels.(v)] is the tile index of vertex [v], in
+    [\[0, params.regions)]).  [spec.n_users] and [spec.n_switches] are
+    totals, spread as evenly as possible across regions; [spec.area] is
+    the side of {e one} tile so each region matches the paper's
+    geometry.  Every region is internally connected and holds at least
+    one switch, and adjacent tiles are always wired, so the whole
+    network is connected.
+    @raise Invalid_argument if the spec is invalid, [params.regions < 1],
+    [params.inter_fibers < 1], [params.boundary_band < 1], or
+    [spec.n_switches < params.regions] (each tile needs a switch to
+    anchor its long-haul fibers). *)
+
+val generate :
+  ?params:params -> Qnet_util.Prng.t -> Spec.t -> Qnet_graph.Graph.t
+(** {!generate_labeled} without the region map. *)

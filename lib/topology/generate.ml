@@ -3,17 +3,20 @@ type kind =
   | Watts_strogatz of Watts_strogatz.params
   | Volchenkov of Volchenkov.params
   | Grid
+  | Continent of Continent.params
 
 let waxman = Waxman Waxman.default_params
 let watts_strogatz = Watts_strogatz Watts_strogatz.default_params
 let volchenkov = Volchenkov Volchenkov.default_params
 let grid = Grid
+let continent = Continent Continent.default_params
 
 let name = function
   | Waxman _ -> "waxman"
   | Watts_strogatz _ -> "watts-strogatz"
   | Volchenkov _ -> "volchenkov"
   | Grid -> "grid"
+  | Continent _ -> "continent"
 
 let all_paper_kinds =
   [
@@ -27,6 +30,7 @@ let of_name = function
   | "watts-strogatz" | "watts_strogatz" | "ws" -> Some watts_strogatz
   | "volchenkov" | "power-law" | "powerlaw" -> Some volchenkov
   | "grid" | "lattice" -> Some grid
+  | "continent" -> Some continent
   | _ -> None
 
 let run kind rng spec =
@@ -35,3 +39,4 @@ let run kind rng spec =
   | Watts_strogatz params -> Watts_strogatz.generate ~params rng spec
   | Volchenkov params -> Volchenkov.generate ~params rng spec
   | Grid -> Grid.generate rng spec
+  | Continent params -> Continent.generate ~params rng spec

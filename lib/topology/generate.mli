@@ -5,6 +5,7 @@ type kind =
   | Watts_strogatz of Watts_strogatz.params
   | Volchenkov of Volchenkov.params
   | Grid
+  | Continent of Continent.params
 
 val waxman : kind
 (** [Waxman Waxman.default_params] — the paper's default generator. *)
@@ -13,11 +14,17 @@ val watts_strogatz : kind
 val volchenkov : kind
 val grid : kind
 
+val continent : kind
+(** [Continent Continent.default_params] — the internet-scale
+    continent-of-Waxmans family (see {!Continent}); the reference
+    workload for hierarchical routing. *)
+
 val all_paper_kinds : (string * kind) list
 (** The three generators of Fig. 5 with their display names. *)
 
 val name : kind -> string
-(** Display name ("waxman", "watts-strogatz", "volchenkov", "grid"). *)
+(** Display name ("waxman", "watts-strogatz", "volchenkov", "grid",
+    "continent"). *)
 
 val of_name : string -> kind option
 (** Inverse of {!name} with default parameters; [None] on unknown

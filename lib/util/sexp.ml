@@ -25,15 +25,58 @@ let quote s =
 
 let atom_to_string s = if needs_quoting s then quote s else s
 
-let rec to_string = function
-  | Atom s -> atom_to_string s
-  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+(* Printing is Buffer-based and iterates siblings with constant stack —
+   a 100k-row graph document is a long flat list, so the old
+   [String.concat (List.map ...)] rendering allocated the whole
+   document once per nesting level and leaned on non-tail [List.map].
+   Recursion depth here is the s-expression's nesting depth only
+   (codec documents nest 3 deep, never with the row count). *)
+let rec add_to_buffer buf = function
+  | Atom s -> Buffer.add_string buf (atom_to_string s)
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          add_to_buffer buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  add_to_buffer buf t;
+  Buffer.contents buf
+
+(* Flat rendered width, capped: bails as soon as it exceeds [limit], so
+   the hum printer's fits-on-this-line test is O(line width) per node
+   instead of rendering the node's whole subtree to a throwaway
+   string. *)
+let width_within t ~limit =
+  let rec go acc t =
+    if acc > limit then acc
+    else
+      match t with
+      | Atom s -> acc + String.length (atom_to_string s)
+      | List items ->
+          let acc = acc + 2 in
+          let rec items_go acc first = function
+            | [] -> acc
+            | item :: rest ->
+                if acc > limit then acc
+                else
+                  items_go
+                    (go (if first then acc else acc + 1) item)
+                    false rest
+          in
+          items_go acc true items
+  in
+  go 0 t
 
 let to_string_hum ?(indent = 2) t =
   let buf = Buffer.create 256 in
   let rec render prefix t =
-    let flat = to_string t in
-    if String.length flat + prefix <= 78 then Buffer.add_string buf flat
+    if prefix + width_within t ~limit:(78 - prefix) <= 78 then
+      add_to_buffer buf t
     else
       match t with
       | Atom s -> Buffer.add_string buf (atom_to_string s)

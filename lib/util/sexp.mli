@@ -10,11 +10,17 @@ type t = Atom of string | List of t list
 
 val to_string : t -> string
 (** Render on one line; atoms are quoted iff they contain whitespace,
-    parentheses, quotes or are empty. *)
+    parentheses, quotes or are empty.  Stack- and allocation-safe for
+    wide documents: siblings are iterated, not mapped, so a 100k-row
+    graph document renders with recursion bounded by nesting depth
+    only. *)
 
 val to_string_hum : ?indent:int -> t -> string
 (** Multi-line rendering with the given indent (default 2) — lists
-    whose rendered width exceeds ~78 columns break across lines. *)
+    whose rendered width exceeds ~78 columns break across lines.  The
+    fits-on-one-line test is width-measured with an early bail, not
+    rendered, so the cost is linear in the output (same wide-document
+    guarantee as {!to_string}). *)
 
 val of_string : string -> (t, string) result
 (** Parse one s-expression (leading/trailing whitespace allowed;

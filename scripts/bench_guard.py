@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: compare a fresh snapshot against the committed
+BENCH_muerp.json on the deterministic fixed-seed sections.
+
+Wall-clock fields (wall_*, setup, speedup, recovery timings, per-method
+timing histograms) and the replication-count-dependent methods section are
+excluded; everything compared here is a function of the fixed seeds alone,
+so any drift is a behaviour change, not noise.
+
+Usage: bench_guard.py COMMITTED.json FRESH.json
+Exit 0 when every compared field matches, 1 with a diff listing otherwise.
+"""
+
+import json
+import sys
+
+REL_TOL = 1e-9
+
+# section name -> (key field, compared fields)
+SECTIONS = {
+    "traffic": (
+        "policy",
+        [
+            "served",
+            "rejected",
+            "expired",
+            "acceptance_ratio",
+            "mean_rate",
+            "peak_qubits_in_use",
+            "retries",
+        ],
+    ),
+    "faults": (
+        "mtbf",
+        [
+            "served",
+            "acceptance_ratio",
+            "faults_injected",
+            "leases_interrupted",
+            "leases_recovered",
+            "leases_aborted",
+        ],
+    ),
+    "overload": (
+        "offered_load",
+        [
+            "arrived",
+            "served",
+            "shed",
+            "degraded",
+            "budget_exhaustions",
+            "breaker_opens",
+            "acceptance_ratio",
+            "peak_queue_depth",
+        ],
+    ),
+    "hier": (
+        "switches",
+        [
+            "regions",
+            "pairs",
+            "flat_feasible",
+            "hier_feasible",
+            "mean_rate_ratio",
+            "min_rate_ratio",
+        ],
+    ),
+}
+
+
+def values_match(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        a, b = float(a), float(b)
+        return abs(a - b) <= REL_TOL * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+def index_rows(rows, key):
+    return {json.dumps(row.get(key)): row for row in rows}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        committed = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    diffs = []
+    for section, (key, fields) in SECTIONS.items():
+        old_rows = index_rows(committed.get(section, []), key)
+        new_rows = index_rows(fresh.get(section, []), key)
+        # Rows present in only one snapshot are allowed: the hier size
+        # ladder (and nothing else today) grows with MUERP_REPLICATIONS.
+        for row_key in sorted(old_rows.keys() & new_rows.keys()):
+            old, new = old_rows[row_key], new_rows[row_key]
+            for field in fields:
+                if field not in old or field not in new:
+                    continue
+                if not values_match(old[field], new[field]):
+                    diffs.append(
+                        f"{section}[{key}={row_key}].{field}: "
+                        f"committed {old[field]!r} != fresh {new[field]!r}"
+                    )
+
+    if diffs:
+        print("bench snapshot drifted from committed BENCH_muerp.json:")
+        for d in diffs:
+            print(f"  {d}")
+        sys.exit(1)
+    print("bench snapshot matches committed deterministic sections")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,32 @@ dune exec bin/muerp_cli.exe -- traffic --seed 42 -n 40 --switches 40 \
   { echo "--fail-on-sla 50 failed a healthy run" >&2; exit 1; }
 echo "SLA gate trips under overload, passes when healthy"
 
+echo "== hier smoke =="
+# Hierarchical routing on a continent topology must be reproducible
+# (twice, and at --jobs 1 vs --jobs 2) and must actually serve.
+hier_a=$(mktemp -t muerp_hier_a.XXXXXX)
+hier_b=$(mktemp -t muerp_hier_b.XXXXXX)
+hier_j2=$(mktemp -t muerp_hier_j2.XXXXXX)
+trap 'rm -f "$run_a" "$run_b" "$hier_a" "$hier_b" "$hier_j2"' EXIT
+hier_flags="--topology continent --regions 4 --switches 120 --users 12 \
+  --hier --seed 42 -n 40"
+dune exec bin/muerp_cli.exe -- traffic $hier_flags --jobs 1 >"$hier_a"
+dune exec bin/muerp_cli.exe -- traffic $hier_flags --jobs 1 >"$hier_b"
+cmp "$hier_a" "$hier_b" ||
+  { echo "hier traffic run not reproducible" >&2; exit 1; }
+dune exec bin/muerp_cli.exe -- traffic $hier_flags --jobs 2 >"$hier_j2"
+cmp "$hier_a" "$hier_j2" ||
+  { echo "hier traffic run differs between --jobs 1 and --jobs 2" >&2; exit 1; }
+hier_served=$(awk '$2 == "served" { print $4 }' "$hier_a")
+[ -n "$hier_served" ] && [ "$hier_served" -gt 0 ] ||
+  { echo "hier smoke served nothing (served=$hier_served)" >&2; exit 1; }
+# The one-shot solver must also route through the hierarchy.
+dune exec bin/muerp_cli.exe -- solve --topology continent --regions 4 \
+  --switches 120 --users 12 --hier --seed 42 |
+  grep -q "^hier-prim:" ||
+  { echo "solve --hier printed no hier-prim tree" >&2; exit 1; }
+echo "hier reproducible at --jobs 1 and 2, served=$hier_served"
+
 echo "== jobs determinism smoke =="
 # The same fixed-seed sweep must emit byte-identical CSV tables at
 # every --jobs level (the parallel runtime's determinism contract).
@@ -113,6 +139,8 @@ grep -q '"faults"' "$snapshot" ||
   { echo "snapshot is missing the faults section" >&2; exit 1; }
 grep -q '"overload"' "$snapshot" ||
   { echo "snapshot is missing the overload section" >&2; exit 1; }
+grep -q '"hier"' "$snapshot" ||
+  { echo "snapshot is missing the hier section" >&2; exit 1; }
 grep -q '"estimate_equal": true' "$snapshot" ||
   { echo "parallel bench: estimates differ across jobs levels" >&2; exit 1; }
 grep -q '"mean_rates_equal": true' "$snapshot" ||
@@ -120,6 +148,11 @@ grep -q '"mean_rates_equal": true' "$snapshot" ||
 if command -v python3 >/dev/null 2>&1; then
   python3 -m json.tool "$snapshot" >/dev/null
   echo "snapshot JSON parses"
+  echo "== bench regression guard =="
+  # The fixed-seed sections (traffic, faults, overload, hier counts and
+  # rate ratios — never wall times) must match the committed snapshot.
+  python3 scripts/bench_guard.py BENCH_muerp.json "$snapshot" ||
+    { echo "bench regression guard failed" >&2; exit 1; }
 fi
 
 echo "== all checks passed =="

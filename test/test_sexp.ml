@@ -180,6 +180,40 @@ let test_codec_single_vertex () =
       check_int "one vertex" 1 (Graph.vertex_count g');
       check_int "no edges" 0 (Graph.edge_count g')
 
+(* Stack-safety at the hierarchical scale (satellite of the qnet_hier
+   work): a ~120k-vertex network must survive print/parse/codec without
+   overflowing — the printer iterates siblings, the parser loops. *)
+let test_codec_large_graph () =
+  let n = 120_000 in
+  let b = Graph.Builder.create () in
+  for i = 0 to n - 1 do
+    let kind = if i < 2 then Graph.User else Graph.Switch in
+    ignore
+      (Graph.Builder.add_vertex b ~kind ~qubits:4
+         ~x:(float_of_int (i mod 1000))
+         ~y:(float_of_int (i / 1000)))
+  done;
+  for i = 0 to n - 2 do
+    ignore (Graph.Builder.add_edge b i (i + 1) 1.)
+  done;
+  let g = Graph.Builder.freeze b in
+  let doc = Codec.graph_to_sexp g in
+  (* Both printers and the parser must handle the wide document. *)
+  let flat = Sexp.to_string doc in
+  check_bool "flat render is large" true (String.length flat > n);
+  let hum = Sexp.to_string_hum doc in
+  match Sexp.of_string hum with
+  | Error msg -> Alcotest.fail msg
+  | Ok parsed -> (
+      match Codec.graph_of_sexp parsed with
+      | Error msg -> Alcotest.fail msg
+      | Ok g' ->
+          check_int "vertices survive" n (Graph.vertex_count g');
+          check_int "edges survive" (n - 1) (Graph.edge_count g');
+          let v = Graph.vertex g' (n - 1) in
+          check_bool "spot vertex" true
+            (v.Graph.kind = Graph.Switch && v.Graph.x = float_of_int ((n - 1) mod 1000)))
+
 (* Property: arbitrary sexp values round-trip through print/parse. *)
 let sexp_gen =
   QCheck.Gen.(
@@ -233,5 +267,6 @@ let () =
           Alcotest.test_case "disk" `Quick test_codec_through_disk;
           Alcotest.test_case "garbage" `Quick test_codec_rejects_garbage;
           Alcotest.test_case "single vertex" `Quick test_codec_single_vertex;
+          Alcotest.test_case "large graph" `Slow test_codec_large_graph;
         ] );
     ]
