@@ -114,7 +114,7 @@ let run_ablations () =
    network by each routing policy.  Deterministic per seed, so the
    throughput numbers land in BENCH_muerp.json as a perf trajectory. *)
 
-let traffic_policies = [ "prim"; "alg3"; "eqcast"; "cached-prim" ]
+let traffic_policies = [ "prim"; "alg3"; "eqcast"; "cached-prim"; "flow" ]
 
 let traffic_scenario ~seed policy_name =
   let rng = Qnet_util.Prng.create seed in
@@ -338,7 +338,7 @@ type hier_result = {
 }
 
 let hier_scenario n_switches =
-  let regions = max 4 (n_switches / 200) in
+  let regions = Qnet_hier.Partition.auto_regions n_switches in
   let spec =
     Qnet_topology.Spec.create ~n_users:12 ~n_switches ~qubits_per_switch:6 ()
   in
@@ -663,6 +663,144 @@ let overload_section () =
         ])
     overload_offered_loads
 
+(* Flow-bound section: the LP optimality-gap trajectory.  One
+   fixed-seed instance per topology (the default Waxman plus each
+   reference WAN), every method's achieved rate against the flow LP
+   ceiling.  Everything here is seed-pinned and wall-time-free, so the
+   guard can demand bitwise-identical gaps run to run; a gap below
+   zero would be a bound-soundness bug, and the guard rejects it. *)
+
+type flow_row = {
+  f_topology : string;
+  f_structure_neg_log : float;  (* structure-only bound (all methods) *)
+  f_bound_neg_log : float;  (* capacity-aware bound (tighter) *)
+  f_bound_rate : float;  (* exp(-bound): the provable rate ceiling *)
+  f_pivots : int;
+  f_gaps : (string * float) list;
+  f_rounding_neg_log : float;
+  f_rounding_verified : bool;
+}
+
+let flow_networks () =
+  ( "waxman-default",
+    Qnet_topology.Waxman.generate (Qnet_util.Prng.create 42)
+      Qnet_topology.Spec.default )
+  :: List.map
+       (fun (name, net) ->
+         ( name,
+           Qnet_topology.Reference_nets.build (Qnet_util.Prng.create 1) net
+             ~n_users:5 ~qubits_per_switch:4 ~user_qubits:1_000_000 ))
+       Qnet_topology.Reference_nets.all
+
+let flow_row (name, g) =
+  let module Lp = Qnet_flow.Lp in
+  let module C = Qnet_core.Muerp in
+  let params = Qnet_core.Params.default in
+  let users = Qnet_graph.Graph.users g in
+  let neg_log_of = function Lp.Bound b -> b.Lp.neg_log | _ -> infinity in
+  let structure = neg_log_of (Lp.relax ~capacity_rows:false g params ~users) in
+  let cap_result = Lp.relax g params ~users in
+  let cap = neg_log_of cap_result in
+  let pivots, bound_rate =
+    match cap_result with
+    | Lp.Bound b -> (b.Lp.pivots, b.Lp.rate)
+    | _ -> (0, 0.)
+  in
+  let inst = C.instance ~params g in
+  let gap_of bound achieved =
+    C.optimality_gap ~bound_neg_log:bound ~achieved_neg_log:achieved
+  in
+  let method_gap alg =
+    let o = C.solve ~rng:(Qnet_util.Prng.create 7) alg inst in
+    (* Capacity-oblivious outcomes (Algorithm 2 past the sufficient
+       condition) compare against the structure-only bound; everything
+       else against the tighter capacity-aware bound. *)
+    let bound = if C.outcome_capacity_ok inst o then cap else structure in
+    gap_of bound o.C.neg_log_rate
+  in
+  let eqcast_neg_log =
+    match Qnet_baselines.Eqcast.solve g params with
+    | Some t -> Qnet_core.Ent_tree.rate_neg_log t
+    | None -> infinity
+  in
+  let rounding_neg_log, rounding_verified =
+    match cap_result with
+    | Lp.Bound bound -> (
+        let capacity = Qnet_core.Capacity.of_graph g in
+        match
+          Qnet_flow.Rounding.round ~seed:42 g params ~capacity ~users ~bound
+        with
+        | Some t ->
+            ( Qnet_core.Ent_tree.rate_neg_log t,
+              Qnet_core.Verify.is_valid g params ~users t )
+        | None -> (infinity, true))
+    | _ -> (infinity, true)
+  in
+  {
+    f_topology = name;
+    f_structure_neg_log = structure;
+    f_bound_neg_log = cap;
+    f_bound_rate = bound_rate;
+    f_pivots = pivots;
+    f_gaps =
+      [
+        ("gap_alg2", method_gap C.Optimal);
+        ("gap_alg3", method_gap C.Conflict_free);
+        ("gap_alg4", method_gap C.Prim_based);
+        ("gap_eqcast", gap_of cap eqcast_neg_log);
+        ("gap_flow", gap_of cap rounding_neg_log);
+      ];
+    f_rounding_neg_log = rounding_neg_log;
+    f_rounding_verified = rounding_verified;
+  }
+
+let flow_rows () = List.map flow_row (flow_networks ())
+
+let run_flow () =
+  let rows = flow_rows () in
+  let t =
+    Qnet_util.Table.create
+      ([ "topology"; "lp bound"; "rate ceiling"; "pivots" ]
+      @ List.map fst (List.hd rows).f_gaps
+      @ [ "verified" ])
+  in
+  let t =
+    List.fold_left
+      (fun t r ->
+        Qnet_util.Table.add_row t
+          ([
+             r.f_topology;
+             Printf.sprintf "%.4f" r.f_bound_neg_log;
+             Printf.sprintf "%.6g" r.f_bound_rate;
+             string_of_int r.f_pivots;
+           ]
+          @ List.map (fun (_, gap) -> Printf.sprintf "%.4f" gap) r.f_gaps
+          @ [ string_of_bool r.f_rounding_verified ]))
+      t rows
+  in
+  print_endline
+    "Flow LP bound vs achieved rates (gap = 1 - achieved/ceiling):";
+  print_endline (Qnet_util.Table.to_string t);
+  print_newline ()
+
+let flow_section () =
+  List.map
+    (fun r ->
+      jobj
+        ([
+           ("topology", jstr r.f_topology);
+           ("structure_neg_log", jfloat r.f_structure_neg_log);
+           ("bound_neg_log", jfloat r.f_bound_neg_log);
+           ("bound_rate", jfloat r.f_bound_rate);
+           ("pivots", string_of_int r.f_pivots);
+         ]
+        @ List.map (fun (k, gap) -> (k, jfloat gap)) r.f_gaps
+        @ [
+            ("rounding_neg_log", jfloat r.f_rounding_neg_log);
+            ("rounding_verified", string_of_bool r.f_rounding_verified);
+          ]))
+    (flow_rows ())
+
 (* Parallel-runtime benchmark: the same fixed-seed Monte-Carlo and
    replication workloads at several --jobs levels.  Wall time and
    speedup go into the snapshot as the perf trajectory; the equality
@@ -844,6 +982,7 @@ let snapshot path =
           ])
       (hier_results ())
   in
+  let flow = flow_section () in
   let parallel = parallel_section () in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
@@ -882,13 +1021,14 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/6");
+        ("schema", jstr "muerp-bench-snapshot/7");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);
         ("faults", jarr faults);
         ("overload", jarr overload);
         ("hier", jarr hier);
+        ("flow", jarr flow);
         ("parallel", parallel);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
@@ -927,6 +1067,10 @@ let write_csvs dir =
     all_figure_ids
 
 let () =
+  (* The traffic scenarios resolve the flow policy by name; register it
+     before any dispatch (selective linking drops unreferenced module
+     initialisers). *)
+  Qnet_flow.Serve.register ();
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "csv"; dir ] -> write_csvs dir
@@ -945,6 +1089,7 @@ let () =
       run_faults ();
       run_overload ();
       run_hier ();
+      run_flow ();
       scaling ();
       micro ()
   | [ "headline" ] -> run_headline []
@@ -954,6 +1099,7 @@ let () =
   | [ "faults" ] -> run_faults ()
   | [ "overload" ] -> run_overload ()
   | [ "hier" ] -> run_hier ()
+  | [ "flow" ] -> run_flow ()
   | [ "scaling" ] -> scaling ()
   | [ "micro" ] -> micro ()
   | ids -> List.iter (fun id -> ignore (run_figure id)) ids

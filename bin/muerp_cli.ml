@@ -76,9 +76,21 @@ let hier_t =
 let regions_t =
   let doc =
     "Region count: tiles of the $(b,continent) topology and clusters \
-     of the k-means partition that --hier derives on other topologies."
+     of the k-means partition that --hier derives on other topologies. \
+     0 (the default) autotunes to a square-root rule on the switch \
+     count (about sqrt(n)/2 regions, at least 4)."
   in
-  Arg.(value & opt int 8 & info [ "regions" ] ~docv:"N" ~doc)
+  Arg.(value & opt int 0 & info [ "regions" ] ~docv:"N" ~doc)
+
+(* 0 = autotune: region count grows with the square root of the network
+   so per-region and skeleton work stay balanced (DESIGN.md,
+   "Hierarchical routing").  An explicit --regions always wins. *)
+let resolve_regions ~switches regions =
+  if regions = 0 then Qnet_hier.Partition.auto_regions switches
+  else if regions < 0 then (
+    prerr_endline "regions must be >= 0";
+    exit 1)
+  else regions
 
 let verbose_t =
   let doc = "Enable library debug logging on stderr." in
@@ -199,10 +211,66 @@ let describe_tree g = function
         tree.channels;
       ignore g
 
+(* The optimality-gap report: every heuristic's achieved −ln rate next
+   to the flow LP bound it provably cannot beat, and the relative gap
+   (Muerp.optimality_gap).  Capacity-respecting outcomes compare
+   against the capacity-aware bound; capacity-oblivious ones (Algorithm
+   2 past the sufficient condition) against the structure-only bound —
+   both directions of the comparison are valid by construction, so
+   every printed gap is >= 0 unless there is a bound bug, which is
+   exactly what the bench guard watches for. *)
+let gap_table g params rows =
+  let users = Graph.users g in
+  let bound_of = function
+    | Qnet_flow.Lp.Bound b -> b.Qnet_flow.Lp.neg_log
+    | Qnet_flow.Lp.Disconnected | Qnet_flow.Lp.Infeasible -> infinity
+  in
+  let structure =
+    bound_of (Qnet_flow.Lp.relax ~capacity_rows:false g params ~users)
+  in
+  let capacity = bound_of (Qnet_flow.Lp.relax g params ~users) in
+  List.fold_left
+    (fun t (name, achieved, capacity_ok) ->
+      let bound = if capacity_ok then capacity else structure in
+      Qnet_util.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.6f" achieved;
+          Printf.sprintf "%.6f" bound;
+          Printf.sprintf "%.6f"
+            (Muerp.optimality_gap ~bound_neg_log:bound
+               ~achieved_neg_log:achieved);
+        ])
+    (Qnet_util.Table.create [ "method"; "-ln rate"; "lp bound"; "gap" ])
+    rows
+
 let solve_run verbose seed users switches degree qubits q alpha topology load
-    hier regions metrics =
+    hier regions policy_name jobs metrics =
   apply_verbose verbose;
   metrics_begin metrics;
+  (* Flag validation mirrors traffic's hardened paths: conflicting
+     flags are a clean one-line error, never a silently-ignored flag or
+     a backtrace. *)
+  (match policy_name with
+  | "all" | "flow" -> ()
+  | other ->
+      prerr_endline ("unknown solve policy: " ^ other ^ " (expected all|flow)");
+      exit 1);
+  if hier && policy_name <> "all" then begin
+    (* The hier oracle replaces the whole method roster; a policy
+       selection under it would be silently ignored. *)
+    prerr_endline "--hier cannot be combined with --policy";
+    exit 1
+  end;
+  if load <> None && topology <> "waxman" then begin
+    (* --load replaces the generated network entirely; accepting a
+       topology selection (continent in particular, whose --regions
+       wiring only exists at generation time) would silently ignore
+       it. *)
+    prerr_endline "--load cannot be combined with --topology";
+    exit 1
+  end;
+  let regions = resolve_regions ~switches regions in
   let spec = build_spec ~users ~switches ~degree ~qubits in
   let network =
     match load with
@@ -242,23 +310,97 @@ let solve_run verbose seed users switches degree qubits q alpha topology load
           (Qnet_hier.Oracle.route_users oracle ~capacity
              ~users:(Graph.users g))
       end
+      else if policy_name = "flow" then begin
+        (* The flow optimizer alone: LP relaxation, the provable rate
+           ceiling it yields, and the seeded rounding of its fractional
+           optimum to an integral verified tree.  Nothing here depends
+           on the pool, so output is trivially identical at every
+           --jobs level. *)
+        let users_l = Graph.users g in
+        match Qnet_flow.Lp.relax g params ~users:users_l with
+        | Qnet_flow.Lp.Disconnected ->
+            print_endline
+              "flow: user group disconnected over relay-capable switches \
+               (provably infeasible)"
+        | Qnet_flow.Lp.Infeasible ->
+            print_endline "flow: LP infeasible (provably unservable)"
+        | Qnet_flow.Lp.Bound bound ->
+            Printf.printf
+              "flow-lp-bound:\n\
+              \  -ln rate %.4f (rate ceiling %.6g), %d pairs, %d pivots\n"
+              bound.Qnet_flow.Lp.neg_log bound.Qnet_flow.Lp.rate
+              (Array.length bound.Qnet_flow.Lp.pairs)
+              bound.Qnet_flow.Lp.pivots;
+            let capacity = Capacity.of_graph g in
+            Printf.printf "flow-rounding:\n";
+            let tree =
+              Qnet_flow.Rounding.round ~seed g params ~capacity
+                ~users:users_l ~bound
+            in
+            describe_tree g tree;
+            let achieved =
+              match tree with
+              | Some t -> Ent_tree.rate_neg_log t
+              | None -> infinity
+            in
+            print_endline "optimality gap vs LP bound:";
+            print_endline
+              (Qnet_util.Table.to_string
+                 (gap_table g params [ ("flow", achieved, true) ]))
+      end
       else begin
         let inst = Muerp.instance ~params g in
-        List.iter
-          (fun alg ->
-            Printf.printf "%s:\n" (Muerp.algorithm_name alg);
-            let rng = Qnet_util.Prng.create seed in
-            let outcome = Muerp.solve ~rng alg inst in
+        let heuristics = Array.of_list Muerp.all_heuristics in
+        (* Each method draws from its own seed-derived stream, so the
+           roster parallelises without any cross-method RNG coupling —
+           the output is identical at every --jobs level. *)
+        let solve_one i =
+          Muerp.solve ~rng:(Qnet_util.Prng.create seed) heuristics.(i) inst
+        in
+        let outcomes =
+          with_jobs jobs (fun pool ->
+              match pool with
+              | Some pool ->
+                  Qnet_util.Pool.parallel_map pool
+                    (Array.length heuristics)
+                    solve_one
+              | None -> Array.init (Array.length heuristics) solve_one)
+        in
+        Array.iteri
+          (fun i (outcome : Muerp.outcome) ->
+            Printf.printf "%s:\n" (Muerp.algorithm_name heuristics.(i));
             describe_tree g outcome.tree)
-          Muerp.all_heuristics;
+          outcomes;
         Printf.printf "e-q-cast:\n";
-        describe_tree g (Qnet_baselines.Eqcast.solve g params);
+        let eqcast = Qnet_baselines.Eqcast.solve g params in
+        describe_tree g eqcast;
         Printf.printf "n-fusion:\n";
-        match Qnet_baselines.Nfusion.solve g params with
+        (match Qnet_baselines.Nfusion.solve g params with
         | None -> print_endline "  infeasible (rate 0)"
         | Some r ->
             Printf.printf "  rate %.6g via center %d (fusion -ln %.4f)\n"
-              r.total_rate r.center r.fusion_neg_log
+              r.total_rate r.center r.fusion_neg_log);
+        (* The gap report: n-fusion is absent because its fused-star
+           rate model is not the Eq. (2) tree objective the LP
+           relaxes. *)
+        let rows =
+          Array.to_list
+            (Array.mapi
+               (fun i (o : Muerp.outcome) ->
+                 ( Muerp.algorithm_name heuristics.(i),
+                   o.Muerp.neg_log_rate,
+                   Muerp.outcome_capacity_ok inst o ))
+               outcomes)
+          @ [
+              ( "e-q-cast",
+                (match eqcast with
+                | Some t -> Ent_tree.rate_neg_log t
+                | None -> infinity),
+                true );
+            ]
+        in
+        print_endline "optimality gap vs LP bound:";
+        print_endline (Qnet_util.Table.to_string (gap_table g params rows))
       end;
       metrics_report metrics
 
@@ -267,12 +409,20 @@ let solve_cmd =
     let doc = "Load the network from this file instead of generating one." in
     Arg.(value & opt (some string) None & info [ "load" ] ~docv:"FILE" ~doc)
   in
+  let policy_t =
+    let doc =
+      "What to solve with: $(b,all) (the full method roster plus the \
+       optimality-gap report) or $(b,flow) (the LP relaxation bound and \
+       its randomized rounding alone)."
+    in
+    Arg.(value & opt string "all" & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
   let info = Cmd.info "solve" ~doc:"Solve one MUERP instance with every method." in
   Cmd.v info
     Term.(
       const solve_run $ verbose_t $ seed_t $ users_t $ switches_t $ degree_t
       $ qubits_t $ q_t $ alpha_t $ topology_t $ load_t $ hier_t $ regions_t
-      $ metrics_t)
+      $ policy_t $ jobs_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)
 (* topology                                                            *)
@@ -887,9 +1037,9 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
     requests arrival_rate batch_size batch_period arrival_spec group_min
     group_max group_spec duration_min duration_max patience_min patience_max
     policy_name cache hier regions tiers_spec queue retry_base retry_max
-    max_queue max_inflight rate_limit burst budget fail_on_sla fault_mtbf
-    fault_mttr fault_targets fault_regional fault_radius recovery_name jobs
-    show_outcomes metrics =
+    max_queue max_inflight rate_limit burst budget flow_gate gap fail_on_sla
+    fault_mtbf fault_mttr fault_targets fault_regional fault_radius
+    recovery_name jobs show_outcomes metrics =
   apply_verbose verbose;
   metrics_begin metrics;
   if hier && tiers_spec <> "" then begin
@@ -898,6 +1048,7 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
     prerr_endline "--hier cannot be combined with --tiers";
     exit 1
   end;
+  let regions = resolve_regions ~switches regions in
   let spec = build_spec ~users ~switches ~degree ~qubits in
   match build_network_labeled ~seed ~topology ~regions ~spec with
   | Error (`Msg m) -> prerr_endline m; exit 1
@@ -939,7 +1090,8 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
         | None ->
             prerr_endline
               ("unknown policy: " ^ name
-             ^ " (expected prim|alg2|alg3|eqcast, optionally with --cache)");
+             ^ " (expected prim|alg2|alg3|eqcast|flow, optionally with \
+                --cache)");
             exit 1
       in
       let hier_oracle =
@@ -984,6 +1136,8 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
             ?max_inflight:(if max_inflight > 0 then Some max_inflight else None)
             ?rate:(if rate_limit > 0. then Some rate_limit else None)
             ?burst:(if burst > 0. then Some burst else None)
+            ?infeasible:
+              (if flow_gate then Some (Qnet_flow.Gate.predicate g) else None)
             ()
         with Invalid_argument msg -> prerr_endline msg; exit 1
       in
@@ -1049,6 +1203,34 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
       in
       print_endline
         (Qnet_util.Table.to_string (Qnet_online.Engine.report_table report));
+      if gap then begin
+        (* How much headroom the network itself leaves: each one-shot
+           method on the *full-capacity* instance against the flow LP
+           ceiling.  A static companion to the dynamic SLA report above
+           — it answers "was the policy the bottleneck, or the
+           network?". *)
+        let inst = Muerp.instance ~params g in
+        let rows =
+          List.map
+            (fun alg ->
+              let o =
+                Muerp.solve ~rng:(Qnet_util.Prng.create seed) alg inst
+              in
+              ( Muerp.algorithm_name alg,
+                o.Muerp.neg_log_rate,
+                Muerp.outcome_capacity_ok inst o ))
+            Muerp.all_heuristics
+          @ [
+              ( "e-q-cast",
+                (match Qnet_baselines.Eqcast.solve g params with
+                | Some t -> Ent_tree.rate_neg_log t
+                | None -> infinity),
+                true );
+            ]
+        in
+        print_endline "optimality gap vs LP bound (full-capacity instance):";
+        print_endline (Qnet_util.Table.to_string (gap_table g params rows))
+      end;
       if show_outcomes then
         List.iter
           (fun (o : Qnet_online.Engine.outcome) ->
@@ -1145,7 +1327,11 @@ let traffic_cmd =
     Arg.(value & opt float 10. & info [ "patience-max" ] ~docv:"T" ~doc)
   in
   let policy_t =
-    let doc = "Serving policy: prim, alg2, alg3 or eqcast." in
+    let doc =
+      "Serving policy: prim, alg2, alg3, eqcast or flow (the LP \
+       relaxation + randomized rounding optimizer, falling back to prim \
+       when rounding fails)."
+    in
     Arg.(value & opt string "prim" & info [ "policy" ] ~docv:"NAME" ~doc)
   in
   let cache_t =
@@ -1261,6 +1447,22 @@ let traffic_cmd =
     in
     Arg.(value & opt int 0 & info [ "budget" ] ~docv:"FUEL" ~doc)
   in
+  let flow_gate_t =
+    let doc =
+      "Admission control: reject provably-unservable groups (users not \
+       connected over relay-capable switches) before any solver search, \
+       via the flow subsystem's feasibility oracle.  Sound — it never \
+       rejects a group any policy could serve."
+    in
+    Arg.(value & flag & info [ "flow-gate" ] ~doc)
+  in
+  let gap_t =
+    let doc =
+      "After the SLA report, print each one-shot method's optimality \
+       gap against the flow LP bound on the full-capacity instance."
+    in
+    Arg.(value & flag & info [ "gap" ] ~doc)
+  in
   let fail_on_sla_t =
     let doc =
       "Exit nonzero when the acceptance ratio falls below $(docv) \
@@ -1284,6 +1486,7 @@ let traffic_cmd =
       $ cache_t $ hier_t $ regions_t $ tiers_t $ queue_t $ retry_base_t
       $ retry_max_t
       $ max_queue_t $ max_inflight_t $ rate_t $ burst_t $ budget_t
+      $ flow_gate_t $ gap_t
       $ fail_on_sla_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
       $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t
       $ outcomes_t $ metrics_t)
@@ -1302,4 +1505,9 @@ let main =
       traffic_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Dune's selective linking drops module initialisers that nothing
+     references, so the flow policy registers itself here, explicitly,
+     before any Policy.of_name lookup can run. *)
+  Qnet_flow.Serve.register ();
+  exit (Cmd.eval main)

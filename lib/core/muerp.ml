@@ -95,3 +95,11 @@ let solve ?rng ?budget algorithm inst =
   { algorithm; tree; rate; neg_log_rate; elapsed_s }
 
 let rate_of o = o.rate
+
+(* The gap convention shared by the solve/traffic reports and the bench
+   flow section: how far below a proven rate ceiling a heuristic
+   landed, as a fraction of the ceiling. *)
+let optimality_gap ~bound_neg_log ~achieved_neg_log =
+  if not (Float.is_finite achieved_neg_log) then 1.
+  else if not (Float.is_finite bound_neg_log) then 0.
+  else 1. -. exp (bound_neg_log -. achieved_neg_log)

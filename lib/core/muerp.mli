@@ -62,3 +62,15 @@ val outcome_capacity_ok : instance -> outcome -> bool
 
 val rate_of : outcome -> float
 (** The outcome's entanglement rate ([0.] when infeasible). *)
+
+val optimality_gap : bound_neg_log:float -> achieved_neg_log:float -> float
+(** [1 − achieved/bound] in rate space, computed stably in negative-log
+    space: [1 − exp (bound_neg_log − achieved_neg_log)].  [0.] = the
+    heuristic met the ceiling, [1.] = it delivered nothing (including
+    [achieved_neg_log = infinity], i.e. infeasible); an infinite
+    [bound_neg_log] (the ceiling itself proves infeasibility) reports
+    [0.] — nothing was left on the table.  Deliberately {e not} clamped
+    below at 0: with a valid bound the result is always ≥ 0 (the flow
+    LP subtracts its float-noise slack on its side), so a negative gap
+    is a real bound violation and must stay visible to the bench
+    guard. *)

@@ -1,0 +1,122 @@
+module Graph = Qnet_graph.Graph
+open Qnet_core
+
+(* Edmonds-Karp on a split-vertex network.  Vertex v becomes
+   v_in = 2v and v_out = 2v + 1, joined by an arc whose capacity is the
+   vertex throughput cap; each undirected fiber contributes a directed
+   arc out->in both ways.  Arcs are built in (vertex, then edge) index
+   order and BFS scans adjacency in insertion order, so the augmenting
+   sequence — and the float result — is deterministic. *)
+
+let eps = 1e-12
+let user_cap = 1e15 (* effectively unlimited, but finite arithmetic *)
+
+type arc = { dst : int; mutable residual : float }
+
+let max_flow n_nodes arcs ~s ~t =
+  let adj = Array.make n_nodes [] in
+  (* [arcs] holds (from, arc, reverse arc); adjacency keeps (arc, rev). *)
+  List.iter
+    (fun (src, a, rev) ->
+      adj.(src) <- (a, rev) :: adj.(src);
+      adj.(a.dst) <- (rev, a) :: adj.(a.dst))
+    arcs;
+  let adj = Array.map (fun l -> Array.of_list (List.rev l)) adj in
+  let prev = Array.make n_nodes None in
+  let total = ref 0.0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Array.fill prev 0 n_nodes None;
+    let q = Queue.create () in
+    Queue.add s q;
+    let reached = ref false in
+    while (not !reached) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      Array.iter
+        (fun (a, rev) ->
+          if (not !reached) && a.residual > eps && prev.(a.dst) = None
+             && a.dst <> s
+          then begin
+            prev.(a.dst) <- Some (a, rev);
+            if a.dst = t then reached := true else Queue.add a.dst q
+          end)
+        adj.(v)
+    done;
+    if not !reached then continue_ := false
+    else begin
+      (* Bottleneck along the recorded path, then augment.  The reverse
+         arc's [dst] is the forward arc's tail, which is how the walk
+         steps backwards. *)
+      let rec walk v acc =
+        match prev.(v) with
+        | None -> acc
+        | Some (arc, rev) -> walk rev.dst (Float.min acc arc.residual)
+      in
+      let delta = walk t infinity in
+      let rec push v =
+        match prev.(v) with
+        | None -> ()
+        | Some (arc, rev) ->
+            arc.residual <- arc.residual -. delta;
+            rev.residual <- rev.residual +. delta;
+            push rev.dst
+      in
+      if delta > eps then begin
+        push t;
+        total := !total +. delta
+      end
+      else continue_ := false
+    end
+  done;
+  !total
+
+let build_network ?(exclude = Routing.no_exclusion) g params =
+  let n = Graph.vertex_count g in
+  let arcs = ref [] in
+  let add src dst cap =
+    let a = { dst; residual = cap } in
+    let rev = { dst = src; residual = 0.0 } in
+    arcs := (src, a, rev) :: !arcs
+  in
+  for v = 0 to n - 1 do
+    if exclude.Routing.vertex_ok v then
+      let cap =
+        if Graph.is_user g v then user_cap
+        else float_of_int (Graph.qubits g v / 2)
+      in
+      if cap > 0.0 then add ((2 * v) + 0) ((2 * v) + 1) cap
+  done;
+  ignore
+    (Graph.fold_edges g ~init:() ~f:(fun () (e : Graph.edge) ->
+         if
+           exclude.Routing.edge_ok e.Graph.eid
+           && exclude.Routing.vertex_ok e.Graph.a
+           && exclude.Routing.vertex_ok e.Graph.b
+         then begin
+           let rate = Params.link_success params e.Graph.length in
+           add ((2 * e.Graph.a) + 1) (2 * e.Graph.b) rate;
+           add ((2 * e.Graph.b) + 1) (2 * e.Graph.a) rate
+         end));
+  (2 * n, List.rev !arcs)
+
+let pair_ceiling ?exclude g params ~src ~dst =
+  if not (Graph.is_user g src && Graph.is_user g dst) then
+    invalid_arg "Capacity_bound.pair_ceiling: endpoints must be users";
+  if src = dst then
+    invalid_arg "Capacity_bound.pair_ceiling: src = dst";
+  let n_nodes, arcs = build_network ?exclude g params in
+  max_flow n_nodes arcs ~s:((2 * src) + 1) ~t:(2 * dst)
+
+let group_ceiling ?exclude g params ~users =
+  let users = List.sort_uniq compare users in
+  match users with
+  | [] | [ _ ] -> invalid_arg "Capacity_bound.group_ceiling: need 2+ users"
+  | _ ->
+      let rec pairs = function
+        | [] -> []
+        | u :: rest -> List.map (fun v -> (u, v)) rest @ pairs rest
+      in
+      List.fold_left
+        (fun acc (u, v) ->
+          Float.min acc (pair_ceiling ?exclude g params ~src:u ~dst:v))
+        infinity (pairs users)

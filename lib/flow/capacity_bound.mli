@@ -1,0 +1,44 @@
+(** Analytic bipartite capacity ceiling, Vardoyan-style: max-flow over
+    per-edge entanglement-generation rates.
+
+    Model each fiber as a pipe carrying Bell pairs at rate
+    [exp (−α·L)] (its Eq. (1) generation success per time slot, in
+    either direction) and each switch as a station that can swap at
+    most [⌊Q/2⌋] simultaneous channels — each contributing at most rate
+    1 — so its throughput is capped at [⌊Q/2⌋].  The maximum s–t flow
+    of that network upper-bounds the {e aggregate} entanglement rate
+    any set of simultaneous channels can deliver between the two users:
+    by max-flow/min-cut, every channel family must squeeze through the
+    bottleneck cut, and a single channel's Eq. (1) rate is at most the
+    smallest edge rate it crosses.  In particular the ceiling dominates
+    the best single channel (Algorithm 1) and, minimised over a group's
+    user pairs, dominates any group tree's rate — the tree entangles
+    every pair at the tree rate.
+
+    This is an {e analytic} ceiling — no routing, no rounding — and
+    complements {!Lp}: the LP bound is per-group and structural, the
+    flow ceiling is per-pair and physical.  Computed with
+    Edmonds–Karp (breadth-first augmenting paths, vertex splitting for
+    the switch caps), deterministic by construction. *)
+
+val pair_ceiling :
+  ?exclude:Qnet_core.Routing.exclusion ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  src:int ->
+  dst:int ->
+  float
+(** Max-flow value between two users: an upper bound on the aggregate
+    entanglement-generation rate between them, [0.] when disconnected.
+    @raise Invalid_argument if either endpoint is not a user or
+    [src = dst]. *)
+
+val group_ceiling :
+  ?exclude:Qnet_core.Routing.exclusion ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  users:int list ->
+  float
+(** [min] of {!pair_ceiling} over the group's unordered user pairs — an
+    upper bound on any entanglement tree's Eq. (2) rate for the group.
+    @raise Invalid_argument on fewer than 2 users. *)

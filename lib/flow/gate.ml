@@ -1,0 +1,48 @@
+module Graph = Qnet_graph.Graph
+module Tm = Qnet_telemetry.Metrics
+
+let c_checks = Tm.counter "flow.gate.checks"
+let c_rejections = Tm.counter "flow.gate.rejections"
+
+(* Connectivity over the capacity-eligible subgraph: group users are
+   traversable (a tree may join u1-u2 and u2-u3, linking u1 to u3
+   through an endpoint), foreign users are not, and switches relay only
+   with >= 2 qubits. *)
+let infeasible g ~users =
+  match List.sort_uniq compare users with
+  | [] | [ _ ] -> false
+  | (u0 :: _) as group ->
+      if List.exists (fun u -> not (Graph.is_user g u)) group then true
+      else begin
+        let in_group = Hashtbl.create 8 in
+        List.iter (fun u -> Hashtbl.replace in_group u ()) group;
+        let seen = Array.make (Graph.vertex_count g) false in
+        let reached = ref 0 in
+        let q = Queue.create () in
+        seen.(u0) <- true;
+        incr reached;
+        Queue.add u0 q;
+        let k = List.length group in
+        while !reached < k && not (Queue.is_empty q) do
+          let v = Queue.pop q in
+          Graph.iter_adjacent g v (fun w _eid ->
+              if not seen.(w) then
+                if Hashtbl.mem in_group w then begin
+                  seen.(w) <- true;
+                  incr reached;
+                  Queue.add w q
+                end
+                else if Graph.is_switch g w && Graph.qubits g w >= 2 then begin
+                  seen.(w) <- true;
+                  Queue.add w q
+                end)
+        done;
+        !reached < k
+      end
+
+let predicate g =
+  fun users ->
+    Tm.Counter.incr c_checks;
+    let verdict = infeasible g ~users in
+    if verdict then Tm.Counter.incr c_rejections;
+    verdict

@@ -1,0 +1,24 @@
+(** Provable-infeasibility admission gate.
+
+    A group can only be entangled if its users all sit in one connected
+    component of the {e capacity-eligible} subgraph — fibers, group
+    users, and switches holding at least 2 qubits (a switch with fewer
+    can never relay a channel, Definition 3).  That condition depends
+    only on the static topology, so it can be checked in O(V + E)
+    before any search, LP, or qubit is spent: the overload layer's
+    admission control uses it to reject provably-unservable groups at
+    arrival instead of burning solver fuel discovering the same answer.
+
+    The gate is {e sound, not complete}: [true] means no solver could
+    ever serve the group (rejection is free); [false] promises
+    nothing — residual capacity may still defeat every solver. *)
+
+val infeasible : Qnet_graph.Graph.t -> users:int list -> bool
+(** Whether the group is provably unservable on this graph (users not
+    all connected in the capacity-eligible subgraph).  Groups of fewer
+    than 2 users are vacuously servable. *)
+
+val predicate : Qnet_graph.Graph.t -> int list -> bool
+(** {!infeasible} packaged for
+    {!Qnet_overload.Admission.make}'s [?infeasible] hook, with
+    [flow.gate.{checks,rejections}] counters on every call. *)

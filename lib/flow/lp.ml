@@ -1,0 +1,237 @@
+module Graph = Qnet_graph.Graph
+module Simplex = Qnet_util.Simplex
+module Tm = Qnet_telemetry.Metrics
+open Qnet_core
+
+let c_solves = Tm.counter "flow.lp.solves"
+let c_pivots = Tm.counter "flow.lp.pivots"
+let c_infeasible = Tm.counter "flow.lp.infeasible"
+
+type pair = {
+  u : int;
+  v : int;
+  weight : float;
+  min_interior : int;
+  unavoidable : int list;
+}
+
+type bound = {
+  neg_log : float;
+  rate : float;
+  pairs : pair array;
+  x : float array;
+  pivots : int;
+}
+
+type result = Bound of bound | Disconnected | Infeasible
+
+let validate_users g users =
+  (match users with
+  | [] | [ _ ] -> invalid_arg "Lp.relax: need at least 2 users"
+  | _ -> ());
+  List.iter
+    (fun u ->
+      if not (Graph.is_user g u) then
+        invalid_arg "Lp.relax: group member is not a user")
+    users;
+  let sorted = List.sort_uniq compare users in
+  if List.length sorted <> List.length users then
+    invalid_arg "Lp.relax: repeated user in group";
+  sorted
+
+(* Breadth-first search over the capacity-eligible subgraph: interior
+   vertices must be relay-capable switches passing the exclusion;
+   [avoid] drops one extra switch (the unavoidability probe).  Returns
+   the hop-minimal vertex path [src; …; dst], or [None]. *)
+let eligible_path g capacity exclude ?avoid ~src ~dst () =
+  let n = Graph.vertex_count g in
+  let prev = Array.make n (-2) in
+  (* -2 = unvisited, -1 = source *)
+  prev.(src) <- -1;
+  let q = Queue.create () in
+  Queue.add src q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Graph.iter_adjacent g v (fun w eid ->
+        if
+          (not !found)
+          && prev.(w) = -2
+          && exclude.Routing.edge_ok eid
+          && avoid <> Some w
+        then
+          if w = dst then begin
+            prev.(w) <- v;
+            found := true
+          end
+          else if
+            Graph.is_switch g w
+            && Capacity.can_relay capacity w
+            && exclude.Routing.vertex_ok w
+          then begin
+            prev.(w) <- v;
+            Queue.add w q
+          end)
+  done;
+  if not !found then None
+  else begin
+    let rec walk v acc =
+      if v = src then src :: acc else walk prev.(v) (v :: acc)
+    in
+    Some (walk dst [])
+  end
+
+(* Switches that appear on every eligible src-dst path.  A switch can
+   only be unavoidable if it lies on the hop-minimal path, so only its
+   interior is probed: drop each switch in turn and re-run the BFS. *)
+let unavoidable_switches g capacity exclude ~src ~dst =
+  match eligible_path g capacity exclude ~src ~dst () with
+  | None -> (0, [])
+  | Some path ->
+      let interior =
+        match path with
+        | [] | [ _ ] -> []
+        | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+      in
+      let blocking =
+        List.filter
+          (fun s ->
+            eligible_path g capacity exclude ~avoid:s ~src ~dst () = None)
+          interior
+      in
+      (List.length interior, List.sort compare blocking)
+
+let relax ?(exclude = Routing.no_exclusion) ?budget ?capacity
+    ?(capacity_rows = true) g params ~users =
+  let users = validate_users g users in
+  let capacity =
+    match capacity with Some c -> c | None -> Capacity.of_graph g
+  in
+  let k = List.length users in
+  let in_group = Hashtbl.create 8 in
+  List.iter (fun u -> Hashtbl.replace in_group u ()) users;
+  (* Candidate pairs: one Dijkstra sweep per user covers every pair
+     once ([v > u] keeps each unordered pair at its smaller endpoint),
+     in ascending (u, v) order by construction. *)
+  let pairs =
+    List.concat_map
+      (fun u ->
+        Routing.best_channels_from ~exclude ?budget g params ~capacity ~src:u
+        |> List.filter_map (fun (v, (ch : Channel.t)) ->
+               if v > u && Hashtbl.mem in_group v then
+                 let weight = Qnet_util.Logprob.to_neg_log ch.Channel.rate in
+                 let min_interior, unavoidable =
+                   if capacity_rows then
+                     unavoidable_switches g capacity exclude ~src:u ~dst:v
+                   else (0, [])
+                 in
+                 Some { u; v; weight; min_interior; unavoidable }
+               else None))
+      users
+    |> Array.of_list
+  in
+  let n = Array.length pairs in
+  (* No tree can exist unless the candidate pairs connect the group. *)
+  let uf = Qnet_graph.Union_find.create (Graph.vertex_count g) in
+  Array.iter (fun p -> ignore (Qnet_graph.Union_find.union uf p.u p.v)) pairs;
+  if not (Qnet_graph.Union_find.all_same uf users) then Disconnected
+  else begin
+    let constraints = ref [] in
+    let add c = constraints := c :: !constraints in
+    (* Upper bounds first so the final list starts with the structural
+       rows (the list is reversed below; order only affects pivoting,
+       and must merely be deterministic). *)
+    for i = n - 1 downto 0 do
+      add { Simplex.coeffs = [ (i, 1.0) ]; sense = Simplex.Le; rhs = 1.0 }
+    done;
+    if capacity_rows then begin
+      (* Per-switch rows for unavoidable switches, ascending switch id. *)
+      let per_switch = Hashtbl.create 8 in
+      Array.iteri
+        (fun i p ->
+          List.iter
+            (fun s ->
+              let prior =
+                Option.value ~default:[] (Hashtbl.find_opt per_switch s)
+              in
+              Hashtbl.replace per_switch s (i :: prior))
+            p.unavoidable)
+        pairs;
+      let switch_rows =
+        Hashtbl.fold (fun s is acc -> (s, is) :: acc) per_switch []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (s, is) ->
+          let remaining = Capacity.remaining capacity s in
+          if remaining < max_int then
+            add
+              {
+                Simplex.coeffs = List.rev_map (fun i -> (i, 2.0)) is;
+                sense = Simplex.Le;
+                rhs = float_of_int remaining;
+              })
+        switch_rows;
+      (* Aggregate row: every pair pays 2 qubits per interior switch,
+         and has at least [min_interior] of them. *)
+      let total_budget =
+        List.fold_left
+          (fun acc s -> acc + Capacity.remaining capacity s)
+          0 (Graph.switches g)
+      in
+      let hop_coeffs =
+        Array.to_list
+          (Array.mapi
+             (fun i p -> (i, 2.0 *. float_of_int p.min_interior))
+             pairs)
+        |> List.filter (fun (_, c) -> c > 0.)
+      in
+      if hop_coeffs <> [] then
+        add
+          {
+            Simplex.coeffs = hop_coeffs;
+            sense = Simplex.Le;
+            rhs = float_of_int total_budget;
+          }
+    end;
+    (* Coverage: every user meets at least one tree channel. *)
+    List.iter
+      (fun u ->
+        let coeffs = ref [] in
+        Array.iteri
+          (fun i p -> if p.u = u || p.v = u then coeffs := (i, 1.0) :: !coeffs)
+          pairs;
+        add { Simplex.coeffs = !coeffs; sense = Simplex.Ge; rhs = 1.0 })
+      (List.rev users);
+    (* A tree over k users has exactly k - 1 channels. *)
+    add
+      {
+        Simplex.coeffs = List.init n (fun i -> (i, 1.0));
+        sense = Simplex.Eq;
+        rhs = float_of_int (k - 1);
+      };
+    let problem =
+      {
+        Simplex.n_vars = n;
+        objective = Array.map (fun p -> p.weight) pairs;
+        constraints = !constraints;
+      }
+    in
+    Tm.Counter.incr c_solves;
+    match Simplex.minimize problem with
+    | Simplex.Infeasible ->
+        Tm.Counter.incr c_infeasible;
+        Infeasible
+    | Simplex.Unbounded ->
+        (* Impossible: weights are >= 0 and x is boxed into [0,1]. *)
+        assert false
+    | Simplex.Optimal { objective_value; x; pivots } ->
+        Tm.Counter.add c_pivots pivots;
+        (* Deterministic slack: the simplex optimum and a heuristic's
+           independently summed neg-log can disagree in the last few
+           ulps; pulling the bound down by a relative epsilon keeps
+           gap >= 0 honest (no clamping downstream). *)
+        let slack = 1e-9 *. (1.0 +. Float.abs objective_value) in
+        let neg_log = Float.max 0.0 (objective_value -. slack) in
+        Bound { neg_log; rate = exp (-.neg_log); pairs; x; pivots }
+  end

@@ -1,0 +1,104 @@
+(** LP relaxation of multi-user entanglement routing — the provable
+    rate ceiling behind the optimality-gap column.
+
+    The relaxation works over {e user pairs}, not explicit paths.  For
+    every unordered pair [(i, j)] of group users, let [w_ij] be the
+    negative-log rate of the best channel between them under the given
+    capacity view (Algorithm 1).  Any entanglement tree — from any
+    solver — consists of [k − 1] channels whose endpoint pairs span the
+    group, and each channel for pair [(i, j)] has negative-log rate at
+    least [w_ij] (it is some channel; [w_ij] belongs to the best one).
+    So the indicator vector of the tree's endpoint pairs is feasible
+    for the program
+
+    {v
+      minimize    Σ w_ij · x_ij
+      subject to  Σ x_ij                    = k − 1
+                  Σ_{pairs ∋ u} x_ij        ≥ 1        for every user u
+                  0 ≤ x_ij ≤ 1
+      (+ capacity rows, below)
+    v}
+
+    with objective no larger than the tree's negative-log rate; the LP
+    minimum is therefore a {e lower} bound on every achievable tree's
+    negative-log rate, i.e. [exp (−LP)] is an {e upper} bound on every
+    achievable entanglement rate — including rates achieved by
+    Algorithms 2–4, E-Q-CAST and the rounding in {!Rounding}.
+
+    With [capacity_rows] two families of provably valid qubit rows
+    tighten the bound for capacity-respecting solvers:
+
+    - {e aggregate}: a channel for pair [(i, j)] crosses at least
+      [h_ij] interior switches ([h_ij] = fewest interior switches over
+      the capacity-eligible subgraph), each costing 2 qubits, so
+      [Σ 2·h_ij·x_ij ≤ Σ_s Q_s];
+    - {e per-switch}: when switch [s] is {e unavoidable} for pair
+      [(i, j)] (removing [s] disconnects [i] from [j] in the eligible
+      subgraph), every channel for the pair pays 2 qubits at [s], so
+      [Σ_{(i,j) : s unavoidable} 2·x_ij ≤ Q_s].
+
+    Algorithm 2 is capacity-oblivious, so its gap must be measured
+    against the structure-only relaxation ([capacity_rows:false]),
+    which drops those rows and dominates {e every} method.
+
+    The solve is deterministic — candidate pairs, constraint rows and
+    simplex pivots are all built in fixed index order — so the reported
+    bound (and hence the gap column) is bitwise-identical across runs
+    and [--jobs] levels. *)
+
+(** One candidate user pair of the relaxation. *)
+type pair = {
+  u : int;  (** User endpoint, [u < v]. *)
+  v : int;  (** User endpoint. *)
+  weight : float;
+      (** Negative-log rate of the best channel for the pair under the
+          capacity view the relaxation was built from. *)
+  min_interior : int;
+      (** Fewest interior switches on any eligible [u]–[v] path. *)
+  unavoidable : int list;
+      (** Switches present on {e every} eligible [u]–[v] path,
+          ascending.  Empty unless [capacity_rows] was requested. *)
+}
+
+type bound = {
+  neg_log : float;
+      (** Lower bound on every achievable tree's negative-log rate,
+          with a deterministic epsilon of slack subtracted so float
+          round-off can never push a true optimum above it (the gap
+          column stays ≥ 0 without clamping). *)
+  rate : float;  (** [exp (−neg_log)] — the entanglement-rate ceiling. *)
+  pairs : pair array;  (** Candidate pairs, ascending by [(u, v)]. *)
+  x : float array;  (** Optimal fractional solution, aligned with
+                        [pairs] — the rounding input. *)
+  pivots : int;  (** Simplex pivots spent. *)
+}
+
+type result =
+  | Bound of bound
+  | Disconnected
+      (** The group is not connected in the capacity-eligible subgraph:
+          no tree exists (and {!Gate} would have rejected it). *)
+  | Infeasible
+      (** The capacity rows admit no fractional point: no
+          capacity-respecting tree exists under this capacity view. *)
+
+val relax :
+  ?exclude:Qnet_core.Routing.exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
+  ?capacity:Qnet_core.Capacity.t ->
+  ?capacity_rows:bool ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  users:int list ->
+  result
+(** Build and solve the relaxation for the given user group.
+    [capacity] defaults to a fresh full-budget view of the graph (the
+    bound for offline solve reports); pass the live residual state to
+    relax on the online serving path.  [capacity_rows] (default [true])
+    adds the qubit rows; disable for the structure-only bound that also
+    dominates capacity-oblivious Algorithm 2.  [exclude] and [budget]
+    thread through to the underlying channel searches ([budget] may
+    raise {!Qnet_overload.Budget.Exhausted}; nothing is consumed from
+    [capacity] either way).
+    @raise Invalid_argument on fewer than 2 users, repeated users, or a
+    non-user vertex. *)

@@ -1,0 +1,97 @@
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Tm = Qnet_telemetry.Metrics
+open Qnet_core
+
+let c_trees = Tm.counter "flow.rounding.trees"
+let c_failures = Tm.counter "flow.rounding.failures"
+let c_verify_rejects = Tm.counter "flow.rounding.verify_rejects"
+
+exception Unroutable
+
+let round ?(seed = 0) ?(exclude = Routing.no_exclusion) ?budget g params
+    ~capacity ~users ~bound =
+  let users = List.sort_uniq compare users in
+  let k = List.length users in
+  let pairs = bound.Lp.pairs in
+  let n = Array.length pairs in
+  let rng = Prng.create seed in
+  (* Exponential clocks, drawn in pair-index order (the draw order is
+     part of the determinism contract — never Array.init, whose
+     evaluation order is unspecified). *)
+  let keys = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let u01 = 1.0 -. Prng.float rng 1.0 in
+    (* (0, 1] *)
+    let xi = Float.max bound.Lp.x.(i) 1e-9 in
+    keys.(i) <- -.log u01 /. xi
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare keys.(a) keys.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  (* Kruskal over the users: first k - 1 component-joining pairs win. *)
+  let index_of = Hashtbl.create 8 in
+  List.iteri (fun i u -> Hashtbl.replace index_of u i) users;
+  let uf = Qnet_graph.Union_find.create k in
+  let chosen = ref [] in
+  Array.iter
+    (fun i ->
+      if List.length !chosen < k - 1 then begin
+        let p = pairs.(i) in
+        let a = Hashtbl.find index_of p.Lp.u
+        and b = Hashtbl.find index_of p.Lp.v in
+        if Qnet_graph.Union_find.union uf a b then
+          chosen := (p.Lp.u, p.Lp.v) :: !chosen
+      end)
+    order;
+  let chosen = List.rev !chosen in
+  if List.length chosen < k - 1 then begin
+    Tm.Counter.incr c_failures;
+    None
+  end
+  else begin
+    (* Route each selected pair under the live residual state, consuming
+       as we go so later pairs see what earlier ones took.  Any failure
+       refunds everything. *)
+    let consumed = ref [] in
+    let rollback () =
+      List.iter (fun path -> Capacity.release_channel capacity path) !consumed
+    in
+    match
+      List.map
+        (fun (u, v) ->
+          match
+            Routing.best_channel ~exclude ?budget g params ~capacity ~src:u
+              ~dst:v
+          with
+          | None -> raise Unroutable
+          | Some ch ->
+              Capacity.consume_channel capacity ch.Channel.path;
+              consumed := ch.Channel.path :: !consumed;
+              ch)
+        chosen
+    with
+    | channels -> (
+        let tree = Ent_tree.of_channels channels in
+        match Verify.check g params ~users tree with
+        | [] ->
+            Tm.Counter.incr c_trees;
+            Some tree
+        | _violations ->
+            (* Would indicate a rounding bug; refuse the tree rather
+               than serve something invalid, and let the caller fall
+               back. *)
+            Tm.Counter.incr c_verify_rejects;
+            rollback ();
+            None)
+    | exception Unroutable ->
+        Tm.Counter.incr c_failures;
+        rollback ();
+        None
+    | exception Qnet_overload.Budget.Exhausted { fuel } ->
+        rollback ();
+        raise (Qnet_overload.Budget.Exhausted { fuel })
+  end

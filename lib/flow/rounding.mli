@@ -1,0 +1,38 @@
+(** Seeded randomized rounding: fractional LP solution → integral
+    entanglement tree.
+
+    The LP's [x] values say how strongly each user pair wants a direct
+    channel; rounding turns them into a spanning tree with the classic
+    exponential-clock scheme: pair [i] draws key
+    [−ln U / max x_i ε] (smaller key = earlier), and Kruskal's scan in
+    key order keeps the first [k − 1] pairs that join new components.
+    High-[x] pairs get stochastically smaller keys, so the tree
+    concentrates on the LP's support while the perturbation breaks
+    ties — and the whole draw is a pure function of [seed], so equal
+    seeds give equal trees on every run and [--jobs] level.
+
+    Each selected pair is then routed with Algorithm 1 under the live
+    residual capacity and consumed {e channel by channel}; a pair that
+    cannot be routed rolls the whole attempt back (capacity exactly as
+    found) and returns [None] — the caller falls back to a heuristic,
+    so rounding never serves anything the existing solvers could not.
+    The assembled tree is re-validated with {!Qnet_core.Verify} before
+    it is returned: a rounding result is always a checked, feasible
+    tree. *)
+
+val round :
+  ?seed:int ->
+  ?exclude:Qnet_core.Routing.exclusion ->
+  ?budget:Qnet_overload.Budget.t ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  capacity:Qnet_core.Capacity.t ->
+  users:int list ->
+  bound:Lp.bound ->
+  Qnet_core.Ent_tree.t option
+(** Extract an integral tree for [users] from [bound] (a {!Lp.relax}
+    result for the same group).  On success the tree's qubits have been
+    consumed from [capacity]; on [None] (or a
+    {!Qnet_overload.Budget.Exhausted} escape) the capacity state is
+    exactly as the call found it.  Counters:
+    [flow.rounding.{trees,failures,verify_rejects}]. *)

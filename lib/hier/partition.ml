@@ -169,3 +169,13 @@ let pp fmt t =
   and max_s = Array.fold_left max 0 sizes in
   Format.fprintf fmt "%d regions (sizes %d..%d), %d gateways" t.count min_s
     max_s (gateway_count t)
+
+(* √n-based region autotune.  The PR 6 ladder fixed regions to
+   switches/200 and found 100k switches ran faster at 10k's ratio (50
+   regions) — i.e. the good operating point grows sublinearly.  √n/2
+   reproduces 50 at 10k while growing the count gently (158 at 100k,
+   16 at 1k), and the floor of 4 keeps small networks from collapsing
+   into a trivial partition. *)
+let auto_regions n_switches =
+  if n_switches < 0 then invalid_arg "Partition.auto_regions: negative count";
+  max 4 (int_of_float (sqrt (float_of_int n_switches) /. 2.))

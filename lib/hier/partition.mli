@@ -51,3 +51,12 @@ val gateway_count : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: region count, sizes, gateway count. *)
+
+val auto_regions : int -> int
+(** [auto_regions n_switches] is the default region count for a network
+    of that size: [max 4 (√n / 2)] — 16 at 1k switches, 50 at 10k, 158
+    at 100k.  Derived from the PR 6 scaling result that the fixed
+    [switches / 200] ratio over-partitions large networks; callers
+    ([--regions 0], the bench hier ladder) use this unless the user
+    overrides the count explicitly.
+    @raise Invalid_argument on a negative count. *)

@@ -32,6 +32,7 @@ let c_shed_queue = Tm.counter "online.overload.shed_queue_pressure"
 let c_inflight_blocked = Tm.counter "online.overload.inflight_blocked"
 let c_budget_exhausted = Tm.counter "online.overload.budget_exhausted"
 let c_degraded = Tm.counter "online.overload.degraded"
+let c_gate_rejected = Tm.counter "online.flow.gate_rejected"
 let g_queue_limit = Tm.gauge "online.overload.max_queue"
 
 type admission = Reject | Queue of int
@@ -132,6 +133,7 @@ type report = {
   mean_time_to_repair : float;
   mean_lost_service : float;
   shed : int;
+  gate_rejected : int;
   degraded : int;
   tier_served : (string * int) list;
   budget_exhaustions : int;
@@ -248,6 +250,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     Option.map (fun fuel -> Budget.create ~fuel) cfg.budget
   in
   let shed_total = ref 0 in
+  let gate_rejected = ref 0 in
   let budget_exhaustions = ref 0 in
   let next_lease = ref 0 in
   let queue = ref [] in
@@ -403,7 +406,23 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       | None -> false
       | Some lim -> not (Limiter.try_take lim ~now:t)
     in
+    let gate_infeasible =
+      (* Provable-infeasibility gate: a group the oracle condemns can
+         never be served, so reject before any routing work (and before
+         it can occupy queue space other requests could use). *)
+      (not over_rate)
+      &&
+      match cfg.overload.Admission_ctl.infeasible with
+      | Some oracle -> oracle r.Workload.users
+      | None -> false
+    in
     if over_rate then shed t st Rate_limit
+    else if gate_infeasible then begin
+      incr gate_rejected;
+      Tm.Counter.incr c_gate_rejected;
+      Tm.Counter.incr c_rejected;
+      resolve st (Rejected { at = t; queue_full = false })
+    end
     else if not (try_serve t st) then
       match cfg.admission with
       | Reject ->
@@ -804,6 +823,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         (if !leases_aborted = 0 then 0.
          else !lost_service /. float_of_int !leases_aborted);
       shed = !shed_total;
+      gate_rejected = !gate_rejected;
       degraded;
       tier_served;
       budget_exhaustions;
@@ -847,7 +867,7 @@ let report_table r =
      a limits-disabled run prints the exact PR-4 era table. *)
   if
     r.shed = 0 && r.degraded = 0 && r.budget_exhaustions = 0
-    && r.breaker_opens = 0
+    && r.breaker_opens = 0 && r.gate_rejected = 0
     && r.tier_served = []
   then t
   else
@@ -856,6 +876,7 @@ let report_table r =
       t
       ([
          int "shed" r.shed;
+         int "gate_rejected" r.gate_rejected;
          int "degraded" r.degraded;
          int "budget_exhaustions" r.budget_exhaustions;
          int "breaker_opens" r.breaker_opens;

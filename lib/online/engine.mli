@@ -196,6 +196,10 @@ type report = {
   mean_lost_service : float;
       (** Mean unserved lease remainder over aborted leases. *)
   shed : int;  (** Requests refused by overload control. *)
+  gate_rejected : int;
+      (** Arrivals rejected by the provable-infeasibility oracle
+          ({!Qnet_overload.Admission.t.infeasible}) before any routing
+          work; a subset of [rejected]. *)
   degraded : int;
       (** Served requests whose final tree came from a fallback tier
           (tier index > 0). *)

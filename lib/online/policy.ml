@@ -170,25 +170,47 @@ let base =
     eqcast;
   ]
 
+(* External policies (e.g. the flow optimizer in [Qnet_flow]) plug into
+   the roster here instead of this module depending on them.  The
+   registry stores constructors, not instances, for the same freshness
+   reason as [all] below. *)
+let registry : (string, unit -> t) Hashtbl.t = Hashtbl.create 8
+
+let register name mk =
+  if name = "" then invalid_arg "Policy.register: empty name";
+  if List.exists (fun p -> p.name = name) base then
+    invalid_arg ("Policy.register: " ^ name ^ " is a built-in policy");
+  Hashtbl.replace registry name mk
+
+let registered () =
+  Hashtbl.fold (fun name mk acc -> (name, mk) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* Fresh instances on every call: a cached policy owns a memo table, and
    sharing one across engine runs would let an earlier run's trees leak
    into a later one. *)
 let all () =
-  List.map (fun p -> (p.name, p)) base
+  let roster = base @ List.map (fun (_, mk) -> mk ()) (registered ()) in
+  List.map (fun p -> (p.name, p)) roster
   @ List.map
       (fun p ->
         let c = cached p in
         (c.name, c))
-      base
+      roster
 
 let of_name name =
-  match List.find_opt (fun p -> p.name = name) base with
+  let lookup name =
+    match List.find_opt (fun p -> p.name = name) base with
+    | Some p -> Some p
+    | None -> Option.map (fun mk -> mk ()) (Hashtbl.find_opt registry name)
+  in
+  match lookup name with
   | Some p -> Some p
   | None ->
       let prefix = "cached-" in
       let n = String.length prefix in
       if String.length name > n && String.sub name 0 n = prefix then
-        List.find_opt (fun p -> p.name = String.sub name n (String.length name - n)) base
+        lookup (String.sub name n (String.length name - n))
         |> Option.map cached
       else None
 

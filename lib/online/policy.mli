@@ -90,8 +90,19 @@ val all : unit -> (string * t) list
     list per call so no memo table is shared between runs. *)
 
 val of_name : string -> t option
-(** ["prim"], ["alg2"], ["alg3"], ["eqcast"], or any of them prefixed
-    with ["cached-"] (a fresh cache per call). *)
+(** ["prim"], ["alg2"], ["alg3"], ["eqcast"], any {!register}ed name,
+    or any of them prefixed with ["cached-"] (a fresh cache per
+    call). *)
+
+val register : string -> (unit -> t) -> unit
+(** [register name mk] adds an externally provided policy constructor
+    to the selectable roster: {!of_name} and {!all} instantiate it on
+    demand (a fresh instance per call, like the built-ins), and
+    ["cached-" ^ name] works too.  This is how subsystems that sit
+    above this library — the flow optimizer, hierarchical routing —
+    become CLI-selectable without a dependency cycle.  Re-registering a
+    name replaces the previous constructor.
+    @raise Invalid_argument on an empty or built-in name. *)
 
 (** {2 Tiered graceful degradation}
 

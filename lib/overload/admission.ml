@@ -3,11 +3,19 @@ type t = {
   max_inflight : int option;
   rate : float option;
   burst : float;
+  infeasible : (int list -> bool) option;
 }
 
-let none = { max_queue = None; max_inflight = None; rate = None; burst = 1. }
+let none =
+  {
+    max_queue = None;
+    max_inflight = None;
+    rate = None;
+    burst = 1.;
+    infeasible = None;
+  }
 
-let make ?max_queue ?max_inflight ?rate ?burst () =
+let make ?max_queue ?max_inflight ?rate ?burst ?infeasible () =
   (match max_queue with
   | Some q when q < 0 -> invalid_arg "Admission.make: max_queue must be >= 0"
   | _ -> ());
@@ -27,10 +35,11 @@ let make ?max_queue ?max_inflight ?rate ?burst () =
     | None, Some r -> Float.max 1. r
     | None, None -> 1.
   in
-  { max_queue; max_inflight; rate; burst }
+  { max_queue; max_inflight; rate; burst; infeasible }
 
 let enabled t =
   t.max_queue <> None || t.max_inflight <> None || t.rate <> None
+  || t.infeasible <> None
 
 let limiter t =
   match t.rate with
@@ -63,5 +72,6 @@ let pp ppf t =
     | None -> Format.pp_print_string ppf "-"
     | Some r -> Format.fprintf ppf "%g" r
   in
-  Format.fprintf ppf "queue<=%a inflight<=%a rate=%a burst=%g" opt_int
+  Format.fprintf ppf "queue<=%a inflight<=%a rate=%a burst=%g%s" opt_int
     t.max_queue opt_int t.max_inflight opt_f t.rate t.burst
+    (if t.infeasible = None then "" else " gate=on")

@@ -20,6 +20,14 @@ type t = {
   max_inflight : int option;  (** [None] = unbounded. *)
   rate : float option;  (** Tokens per simulated second; [None] = off. *)
   burst : float;  (** Bucket depth when [rate] is set. *)
+  infeasible : (int list -> bool) option;
+      (** Feasibility oracle over a request's user group: [true] means
+          the group is {e provably} unservable on this network and the
+          engine rejects it at arrival, before any routing work.  The
+          oracle must be sound (never condemn a servable group) and
+          pure — it sees no capacity state, only the group.  [None] =
+          no gate.  The flow subsystem's capacity-connectivity check
+          ([Qnet_flow.Gate]) is the intended plug. *)
 }
 
 val none : t
@@ -27,7 +35,13 @@ val none : t
     overload control. *)
 
 val make :
-  ?max_queue:int -> ?max_inflight:int -> ?rate:float -> ?burst:float -> unit -> t
+  ?max_queue:int ->
+  ?max_inflight:int ->
+  ?rate:float ->
+  ?burst:float ->
+  ?infeasible:(int list -> bool) ->
+  unit ->
+  t
 (** [burst] defaults to [max 1. rate] when [rate] is given.
     @raise Invalid_argument on non-positive limits. *)
 

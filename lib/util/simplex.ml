@@ -1,0 +1,271 @@
+(* Two-phase dense-tableau primal simplex with Bland's rule.
+
+   Determinism note: every loop below walks arrays in index order and
+   breaks ties by smallest index (Bland), so the pivot sequence — and
+   therefore the exact floating-point result — is a pure function of
+   the problem. *)
+
+type sense = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; sense : sense; rhs : float }
+
+type problem = {
+  n_vars : int;
+  objective : float array;
+  constraints : constr list;
+}
+
+type solution = { objective_value : float; x : float array; pivots : int }
+
+type outcome = Optimal of solution | Unbounded | Infeasible
+
+let eps = 1e-9
+
+let validate p =
+  if p.n_vars <= 0 then invalid_arg "Simplex: n_vars must be positive";
+  if Array.length p.objective <> p.n_vars then
+    invalid_arg "Simplex: objective length differs from n_vars";
+  Array.iter
+    (fun c ->
+      if not (Float.is_finite c) then
+        invalid_arg "Simplex: non-finite objective coefficient")
+    p.objective;
+  List.iter
+    (fun { coeffs; rhs; _ } ->
+      if not (Float.is_finite rhs) then invalid_arg "Simplex: non-finite rhs";
+      List.iter
+        (fun (j, c) ->
+          if j < 0 || j >= p.n_vars then
+            invalid_arg "Simplex: variable index out of range";
+          if not (Float.is_finite c) then
+            invalid_arg "Simplex: non-finite constraint coefficient")
+        coeffs)
+    p.constraints
+
+(* The tableau has one row per constraint plus an objective row kept
+   separately; columns are [structural | slack/surplus | artificial |
+   rhs].  Rows are normalised to rhs >= 0 before slacks are added, so
+   phase 1 can start from the all-artificial basis. *)
+
+type tableau = {
+  rows : float array array;  (* m rows, each of length n_total + 1 *)
+  basis : int array;  (* column currently basic in each row *)
+  n_total : int;  (* columns excluding rhs *)
+  mutable pivots : int;
+}
+
+let pivot_at t ~row ~col =
+  let m = Array.length t.rows in
+  let r = t.rows.(row) in
+  let p = r.(col) in
+  for j = 0 to t.n_total do
+    r.(j) <- r.(j) /. p
+  done;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let ri = t.rows.(i) in
+      let f = ri.(col) in
+      if Float.abs f > 0.0 then
+        for j = 0 to t.n_total do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col;
+  t.pivots <- t.pivots + 1
+
+(* Optimize [minimize cost . x] over the tableau with Bland's rule.
+   [cost] has length n_total.  Returns [`Optimal] or [`Unbounded]; the
+   reduced-cost row is recomputed from scratch each iteration — an
+   O(m·n) cost that buys simplicity and keeps round-off from
+   accumulating in a separate objective row. *)
+let optimize t ~cost ~eligible =
+  let m = Array.length t.rows in
+  let reduced = Array.make t.n_total 0.0 in
+  let rec loop () =
+    (* reduced_j = cost_j - sum_i cost_{basis_i} * a_{ij} *)
+    Array.blit cost 0 reduced 0 t.n_total;
+    for i = 0 to m - 1 do
+      let cb = cost.(t.basis.(i)) in
+      if Float.abs cb > 0.0 then begin
+        let ri = t.rows.(i) in
+        for j = 0 to t.n_total - 1 do
+          reduced.(j) <- reduced.(j) -. (cb *. ri.(j))
+        done
+      end
+    done;
+    (* Bland: entering column = smallest index with negative reduced
+       cost among eligible columns. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.n_total - 1 do
+         if eligible j && reduced.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test; ties broken by smallest basis index (Bland). *)
+      let row = ref (-1) and best = ref infinity in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(i).(t.n_total) /. a in
+          if
+            ratio < !best -. eps
+            || (ratio < !best +. eps
+                && (!row < 0 || t.basis.(i) < t.basis.(!row)))
+          then begin
+            best := ratio;
+            row := i
+          end
+        end
+      done;
+      if !row < 0 then `Unbounded
+      else begin
+        pivot_at t ~row:!row ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let maximize p =
+  validate p;
+  let constraints = Array.of_list p.constraints in
+  let m = Array.length constraints in
+  if m = 0 then
+    (* No constraints: any positive-objective variable is unbounded. *)
+    if Array.exists (fun c -> c > eps) p.objective then Unbounded
+    else Optimal { objective_value = 0.0; x = Array.make p.n_vars 0.0; pivots = 0 }
+  else begin
+    let n = p.n_vars in
+    (* Normalise rows so rhs >= 0 (flipping sense as needed), then
+       count slack columns: Le rows get +slack, Ge rows get -surplus,
+       and Ge/Eq rows additionally get an artificial variable.  Le rows
+       with the slack coefficient +1 start basic; all others start with
+       their artificial basic. *)
+    let normalised =
+      Array.map
+        (fun c ->
+          if c.rhs < 0.0 then
+            let flipped =
+              match c.sense with Le -> Ge | Ge -> Le | Eq -> Eq
+            in
+            {
+              coeffs = List.map (fun (j, v) -> (j, -.v)) c.coeffs;
+              sense = flipped;
+              rhs = -.c.rhs;
+            }
+          else c)
+        constraints
+    in
+    let n_slack =
+      Array.fold_left
+        (fun acc c -> match c.sense with Le | Ge -> acc + 1 | Eq -> acc)
+        0 normalised
+    in
+    let n_art =
+      Array.fold_left
+        (fun acc c -> match c.sense with Ge | Eq -> acc + 1 | Le -> acc)
+        0 normalised
+    in
+    let n_total = n + n_slack + n_art in
+    let rows = Array.init m (fun _ -> Array.make (n_total + 1) 0.0) in
+    let basis = Array.make m (-1) in
+    let slack_next = ref n and art_next = ref (n + n_slack) in
+    Array.iteri
+      (fun i c ->
+        let r = rows.(i) in
+        List.iter (fun (j, v) -> r.(j) <- r.(j) +. v) c.coeffs;
+        r.(n_total) <- c.rhs;
+        (match c.sense with
+        | Le ->
+            r.(!slack_next) <- 1.0;
+            basis.(i) <- !slack_next;
+            incr slack_next
+        | Ge ->
+            r.(!slack_next) <- -1.0;
+            incr slack_next
+        | Eq -> ());
+        match c.sense with
+        | Ge | Eq ->
+            r.(!art_next) <- 1.0;
+            basis.(i) <- !art_next;
+            incr art_next
+        | Le -> ())
+      normalised;
+    let t = { rows; basis; n_total; pivots = 0 } in
+    let art_lo = n + n_slack in
+    (* Phase 1: minimise the sum of artificial variables. *)
+    (if n_art > 0 then begin
+       let cost = Array.make n_total 0.0 in
+       for j = art_lo to n_total - 1 do
+         cost.(j) <- 1.0
+       done;
+       match optimize t ~cost ~eligible:(fun _ -> true) with
+       | `Unbounded ->
+           (* Cannot happen: the phase-1 objective is bounded below by
+              0, but keep the branch total. *)
+           assert false
+       | `Optimal -> ()
+     end);
+    let phase1_value =
+      let v = ref 0.0 in
+      for i = 0 to m - 1 do
+        if t.basis.(i) >= art_lo then v := !v +. t.rows.(i).(n_total)
+      done;
+      !v
+    in
+    if n_art > 0 && phase1_value > eps *. float_of_int (m + 1) then Infeasible
+    else begin
+      (* Drive any degenerate basic artificials out of the basis so
+         phase 2 can freeze the artificial columns entirely. *)
+      for i = 0 to m - 1 do
+        if t.basis.(i) >= art_lo then begin
+          let col = ref (-1) in
+          (try
+             for j = 0 to art_lo - 1 do
+               if Float.abs t.rows.(i).(j) > eps then begin
+                 col := j;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !col >= 0 then pivot_at t ~row:i ~col:!col
+          (* else: the row is all-zero over real columns — a redundant
+             constraint; the artificial stays basic at value 0 and the
+             eligibility filter below keeps it out of play. *)
+        end
+      done;
+      (* Phase 2: minimise -objective over real + slack columns. *)
+      let cost = Array.make n_total 0.0 in
+      for j = 0 to n - 1 do
+        cost.(j) <- -.p.objective.(j)
+      done;
+      match optimize t ~cost ~eligible:(fun j -> j < art_lo) with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = Array.make n 0.0 in
+          for i = 0 to m - 1 do
+            if t.basis.(i) < n then x.(t.basis.(i)) <- t.rows.(i).(n_total)
+          done;
+          let objective_value =
+            let v = ref 0.0 in
+            for j = 0 to n - 1 do
+              v := !v +. (p.objective.(j) *. x.(j))
+            done;
+            !v
+          in
+          Optimal { objective_value; x; pivots = t.pivots }
+    end
+  end
+
+let minimize p =
+  let flipped = { p with objective = Array.map (fun c -> -.c) p.objective } in
+  match maximize flipped with
+  | Optimal s -> Optimal { s with objective_value = -.s.objective_value }
+  | (Unbounded | Infeasible) as o -> o

@@ -1,0 +1,56 @@
+(** Dense-tableau primal simplex — a from-scratch, dependency-free
+    linear-programming solver.
+
+    Built for the flow-based global optimizer ([Qnet_flow]): the LP
+    relaxations it solves are small (hundreds of variables, tens of
+    constraints), so a dense two-phase tableau with Bland's rule is the
+    right tool — no sparse machinery, no external solver, and
+    {e deterministic}: identical problems pivot identically on every
+    run and at every [--jobs] level, because nothing here depends on
+    iteration order of a hash table, wall time or randomness.
+
+    Bland's smallest-index pivoting rule is used throughout, which
+    guarantees termination on degenerate problems (no cycling) at the
+    cost of a few extra pivots — a good trade at this scale. *)
+
+(** Row sense of one linear constraint [a · x OP b]. *)
+type sense = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;
+      (** Sparse row: [(variable index, coefficient)], indices in
+          [0 .. n_vars - 1].  Repeated indices are summed. *)
+  sense : sense;
+  rhs : float;
+}
+
+(** A linear program over [x >= 0]: maximize [objective · x] subject to
+    the constraints. *)
+type problem = {
+  n_vars : int;
+  objective : float array;  (** Length [n_vars]. *)
+  constraints : constr list;
+}
+
+type solution = {
+  objective_value : float;
+  x : float array;  (** Length [n_vars]; the optimal vertex found. *)
+  pivots : int;  (** Total pivot count across both phases. *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Unbounded  (** The objective can grow without limit. *)
+  | Infeasible  (** No [x >= 0] satisfies the constraints. *)
+
+val maximize : problem -> outcome
+(** Solve by two-phase primal simplex: phase 1 drives artificial
+    variables out of the basis (detecting infeasibility), phase 2
+    optimizes the true objective (detecting unboundedness).
+    @raise Invalid_argument on a malformed problem (empty objective,
+    wrong objective length, variable index out of range, or a non-finite
+    coefficient/rhs). *)
+
+val minimize : problem -> outcome
+(** [maximize] on the negated objective, with the objective value
+    reported in the original (minimization) sense. *)

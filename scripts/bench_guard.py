@@ -65,7 +65,53 @@ SECTIONS = {
             "min_rate_ratio",
         ],
     ),
+    "flow": (
+        "topology",
+        [
+            "structure_neg_log",
+            "bound_neg_log",
+            "bound_rate",
+            "pivots",
+            "gap_alg2",
+            "gap_alg3",
+            "gap_alg4",
+            "gap_eqcast",
+            "gap_flow",
+            "rounding_neg_log",
+            "rounding_verified",
+        ],
+    ),
 }
+
+GAP_FIELDS = ["gap_alg2", "gap_alg3", "gap_alg4", "gap_eqcast", "gap_flow"]
+
+EXPECTED_SCHEMA = "muerp-bench-snapshot/7"
+
+
+def check_flow_invariants(fresh):
+    """Soundness checks on the fresh flow section, independent of the
+    committed baseline: every optimality gap must be non-negative (a
+    negative gap means a heuristic beat the 'upper bound' — an LP
+    soundness bug) and every rounded tree must have verified."""
+    problems = []
+    for row in fresh.get("flow", []):
+        topo = row.get("topology")
+        for field in GAP_FIELDS:
+            gap = row.get(field)
+            if gap is None:
+                continue
+            if float(gap) < 0.0:
+                problems.append(
+                    f"flow[{topo}].{field} = {gap}: negative optimality gap "
+                    "(LP bound violated)"
+                )
+        if row.get("rounding_verified") is not True:
+            problems.append(
+                f"flow[{topo}].rounding_verified = "
+                f"{row.get('rounding_verified')!r}: rounded tree failed "
+                "independent verification"
+            )
+    return problems
 
 
 def values_match(a, b):
@@ -88,6 +134,10 @@ def main():
         fresh = json.load(f)
 
     diffs = []
+    schema = fresh.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        diffs.append(f"schema: expected {EXPECTED_SCHEMA!r}, got {schema!r}")
+    diffs.extend(check_flow_invariants(fresh))
     for section, (key, fields) in SECTIONS.items():
         old_rows = index_rows(committed.get(section, []), key)
         new_rows = index_rows(fresh.get(section, []), key)
@@ -105,7 +155,7 @@ def main():
                     )
 
     if diffs:
-        print("bench snapshot drifted from committed BENCH_muerp.json:")
+        print("bench snapshot check failed:")
         for d in diffs:
             print(f"  {d}")
         sys.exit(1)

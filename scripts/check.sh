@@ -112,6 +112,40 @@ dune exec bin/muerp_cli.exe -- solve --topology continent --regions 4 \
   { echo "solve --hier printed no hier-prim tree" >&2; exit 1; }
 echo "hier reproducible at --jobs 1 and 2, served=$hier_served"
 
+echo "== flow smoke =="
+# The flow optimizer must (a) print byte-identical output twice and at
+# --jobs 1 vs --jobs 2, (b) report a non-negative optimality gap for
+# its rounded tree (a negative gap is an LP bound-soundness bug).
+flow_a=$(mktemp -t muerp_flow_a.XXXXXX)
+flow_b=$(mktemp -t muerp_flow_b.XXXXXX)
+flow_j2=$(mktemp -t muerp_flow_j2.XXXXXX)
+trap 'rm -f "$run_a" "$run_b" "$flow_a" "$flow_b" "$flow_j2"' EXIT
+flow_flags="--seed 42 --users 6 --switches 30 --policy flow"
+dune exec bin/muerp_cli.exe -- solve $flow_flags --jobs 1 >"$flow_a"
+dune exec bin/muerp_cli.exe -- solve $flow_flags --jobs 1 >"$flow_b"
+cmp "$flow_a" "$flow_b" || { echo "flow solve not reproducible" >&2; exit 1; }
+dune exec bin/muerp_cli.exe -- solve $flow_flags --jobs 2 >"$flow_j2"
+cmp "$flow_a" "$flow_j2" ||
+  { echo "flow solve differs between --jobs 1 and --jobs 2" >&2; exit 1; }
+flow_gap=$(awk '$2 == "flow" { print $8 }' "$flow_a")
+[ -n "$flow_gap" ] || { echo "flow solve printed no gap row" >&2; exit 1; }
+case "$flow_gap" in
+  -*) echo "flow gap is negative ($flow_gap): LP bound violated" >&2
+      exit 1 ;;
+esac
+# The full roster's gap report must carry a row per method, all
+# non-negative.
+gaps=$(dune exec bin/muerp_cli.exe -- solve --seed 42 --users 6 \
+  --switches 30 | awk '$1 == "|" && $8 ~ /^-?[0-9]/ { print $8 }')
+[ -n "$gaps" ] || { echo "solve printed no gap table" >&2; exit 1; }
+for gap in $gaps; do
+  case "$gap" in
+    -*) echo "negative optimality gap ($gap): LP bound violated" >&2
+        exit 1 ;;
+  esac
+done
+echo "flow reproducible at --jobs 1 and 2, rounding gap=$flow_gap"
+
 echo "== jobs determinism smoke =="
 # The same fixed-seed sweep must emit byte-identical CSV tables at
 # every --jobs level (the parallel runtime's determinism contract).
@@ -141,6 +175,8 @@ grep -q '"overload"' "$snapshot" ||
   { echo "snapshot is missing the overload section" >&2; exit 1; }
 grep -q '"hier"' "$snapshot" ||
   { echo "snapshot is missing the hier section" >&2; exit 1; }
+grep -q '"flow"' "$snapshot" ||
+  { echo "snapshot is missing the flow section" >&2; exit 1; }
 grep -q '"estimate_equal": true' "$snapshot" ||
   { echo "parallel bench: estimates differ across jobs levels" >&2; exit 1; }
 grep -q '"mean_rates_equal": true' "$snapshot" ||

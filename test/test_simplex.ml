@@ -1,0 +1,201 @@
+(* Unit and property tests for the dense-tableau primal simplex in
+   Qnet_util.Simplex. *)
+
+module Simplex = Qnet_util.Simplex
+module Prng = Qnet_util.Prng
+
+let check_bool = Alcotest.(check bool)
+let feq ?(tol = 1e-7) what a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.12g ~ %.12g" what a b)
+    true
+    (Float.abs (a -. b) <= tol *. Float.max 1.0 (Float.abs b))
+
+let le coeffs rhs = { Simplex.coeffs; sense = Simplex.Le; rhs }
+let ge coeffs rhs = { Simplex.coeffs; sense = Simplex.Ge; rhs }
+let eq coeffs rhs = { Simplex.coeffs; sense = Simplex.Eq; rhs }
+
+let solve_max n objective constraints =
+  Simplex.maximize { Simplex.n_vars = n; objective; constraints }
+
+(* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18: the textbook LP with
+   optimum 36 at (2, 6). *)
+let test_textbook () =
+  match
+    solve_max 2 [| 3.; 5. |]
+      [ le [ (0, 1.) ] 4.; le [ (1, 2.) ] 12.; le [ (0, 3.); (1, 2.) ] 18. ]
+  with
+  | Simplex.Optimal { objective_value; x; _ } ->
+      feq "objective" objective_value 36.;
+      feq "x" x.(0) 2.;
+      feq "y" x.(1) 6.
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_minimize () =
+  (* min x + y st x + 2y >= 4, 3x + y >= 6 -> optimum 2.8 at (1.6, 1.2). *)
+  match
+    Simplex.minimize
+      {
+        Simplex.n_vars = 2;
+        objective = [| 1.; 1. |];
+        constraints = [ ge [ (0, 1.); (1, 2.) ] 4.; ge [ (0, 3.); (1, 1.) ] 6. ];
+      }
+  with
+  | Simplex.Optimal { objective_value; x; _ } ->
+      feq "objective" objective_value 2.8;
+      feq "x" x.(0) 1.6;
+      feq "y" x.(1) 1.2
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_equality_and_negative_rhs () =
+  (* Equality and a negative-rhs row (normalised internally):
+     max x + y st x + y = 3, -x <= -1  (i.e. x >= 1). *)
+  match
+    solve_max 2 [| 1.; 1. |] [ eq [ (0, 1.); (1, 1.) ] 3.; le [ (0, -1.) ] (-1.) ]
+  with
+  | Simplex.Optimal { objective_value; x; _ } ->
+      feq "objective" objective_value 3.;
+      check_bool "x >= 1" true (x.(0) >= 1. -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_unbounded () =
+  (match solve_max 2 [| 1.; 0. |] [ le [ (1, 1.) ] 5. ] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded");
+  (* No constraints at all with a positive objective is unbounded too. *)
+  match solve_max 1 [| 2. |] [] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded (no constraints)"
+
+let test_infeasible () =
+  match solve_max 1 [| 1. |] [ le [ (0, 1.) ] 1.; ge [ (0, 1.) ] 2. ] with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_degenerate () =
+  (* A degenerate vertex (three constraints through one point in 2D);
+     Bland's rule must terminate and find the optimum 2 at (1, 1). *)
+  match
+    solve_max 2 [| 1.; 1. |]
+      [
+        le [ (0, 1.) ] 1.;
+        le [ (1, 1.) ] 1.;
+        le [ (0, 1.); (1, 1.) ] 2.;
+        le [ (0, 1.); (1, -1.) ] 0.;
+      ]
+  with
+  | Simplex.Optimal { objective_value; _ } -> feq "objective" objective_value 2.
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_redundant_equalities () =
+  (* Duplicated equality rows leave a basic artificial at value 0 after
+     phase 1; phase 2 must still run to optimality. *)
+  match
+    solve_max 2 [| 2.; 1. |]
+      [
+        eq [ (0, 1.); (1, 1.) ] 2.;
+        eq [ (0, 1.); (1, 1.) ] 2.;
+        le [ (0, 1.) ] 1.5;
+      ]
+  with
+  | Simplex.Optimal { objective_value; _ } ->
+      feq "objective" objective_value 3.5
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_validation () =
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Simplex: variable index out of range") (fun () ->
+      ignore (solve_max 1 [| 1. |] [ le [ (3, 1.) ] 1. ]));
+  Alcotest.check_raises "nan rhs" (Invalid_argument "Simplex: non-finite rhs")
+    (fun () -> ignore (solve_max 1 [| 1. |] [ le [ (0, 1.) ] Float.nan ]))
+
+let test_deterministic () =
+  let solve () =
+    solve_max 3 [| 1.; 2.; 3. |]
+      [
+        le [ (0, 1.); (1, 1.); (2, 1.) ] 10.;
+        le [ (1, 1.); (2, 2.) ] 8.;
+        ge [ (0, 1.) ] 1.;
+      ]
+  in
+  match (solve (), solve ()) with
+  | ( Simplex.Optimal { objective_value = a; x = xa; pivots = pa },
+      Simplex.Optimal { objective_value = b; x = xb; pivots = pb } ) ->
+      check_bool "objective bitwise equal" true
+        (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b));
+      check_bool "solutions equal" true (xa = xb);
+      Alcotest.(check int) "pivot counts equal" pa pb
+  | _ -> Alcotest.fail "expected optimal twice"
+
+(* Property: on random feasible-by-construction LPs, the simplex
+   optimum weakly dominates every feasible point we can sample — here
+   the known interior point the instance was built around. *)
+let prop_dominates_known_point =
+  QCheck.Test.make ~name:"optimum dominates the planted feasible point"
+    ~count:200
+    QCheck.(make Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 1 + Prng.int rng 4 in
+      let m = 1 + Prng.int rng 5 in
+      (* Plant x0 in [0,1]^n, then build rows a.x <= a.x0 + slack so x0
+         is feasible by construction. *)
+      let x0 = Array.init n (fun _ -> Prng.float rng 1.) in
+      let objective = Array.init n (fun _ -> Prng.float rng 2. -. 0.5) in
+      let constraints =
+        List.init m (fun _ ->
+            let coeffs =
+              List.init n (fun j -> (j, Prng.float rng 2. -. 0.5))
+            in
+            let dot =
+              List.fold_left (fun acc (j, c) -> acc +. (c *. x0.(j))) 0. coeffs
+            in
+            le coeffs (dot +. Prng.float rng 1.))
+        (* Box the region so the LP is never unbounded. *)
+        @ List.init n (fun j -> le [ (j, 1.) ] (Float.max 2. (x0.(j) +. 1.)))
+      in
+      match solve_max n objective constraints with
+      | Simplex.Optimal { objective_value; x; _ } ->
+          let planted =
+            Array.to_list (Array.mapi (fun j v -> objective.(j) *. v) x0)
+            |> List.fold_left ( +. ) 0.
+          in
+          (* The optimum dominates the planted point, and the returned
+             vertex actually satisfies every constraint. *)
+          let feasible =
+            List.for_all
+              (fun (c : Simplex.constr) ->
+                let dot =
+                  List.fold_left
+                    (fun acc (j, v) -> acc +. (v *. x.(j)))
+                    0. c.Simplex.coeffs
+                in
+                dot <= c.Simplex.rhs +. 1e-6)
+              constraints
+            && Array.for_all (fun v -> v >= -1e-9) x
+          in
+          objective_value >= planted -. 1e-6 && feasible
+      | Simplex.Infeasible -> false (* x0 is feasible by construction *)
+      | Simplex.Unbounded -> false (* boxed above *))
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "textbook maximum" `Quick test_textbook;
+          Alcotest.test_case "two-phase minimize" `Quick test_minimize;
+          Alcotest.test_case "equality + negative rhs" `Quick
+            test_equality_and_negative_rhs;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "degenerate (Bland terminates)" `Quick
+            test_degenerate;
+          Alcotest.test_case "redundant equalities" `Quick
+            test_redundant_equalities;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_dominates_known_point ] );
+    ]
