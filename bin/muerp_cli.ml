@@ -1039,9 +1039,13 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
     policy_name cache hier regions tiers_spec queue retry_base retry_max
     max_queue max_inflight rate_limit burst budget flow_gate gap fail_on_sla
     fault_mtbf fault_mttr fault_targets fault_regional fault_radius
-    recovery_name jobs show_outcomes metrics =
+    recovery_name jobs slot show_outcomes metrics =
   apply_verbose verbose;
   metrics_begin metrics;
+  if slot < 0. || not (Float.is_finite slot) then begin
+    prerr_endline "--slot must be a finite time >= 0";
+    exit 1
+  end;
   if hier && tiers_spec <> "" then begin
     (* The tier ladder degrades across flat policies; the hier policy
        is a different oracle, not a rung on that ladder. *)
@@ -1198,8 +1202,8 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
       in
       let report, outcomes =
         with_jobs jobs (fun pool ->
-            Qnet_online.Engine.run ~config ?faults ?pool ?on_health g params
-              ~requests:reqs)
+            Qnet_online.Engine.run ~config ?faults ?pool ?on_health ~slot g
+              params ~requests:reqs)
       in
       print_endline
         (Qnet_util.Table.to_string (Qnet_online.Engine.report_table report));
@@ -1463,6 +1467,17 @@ let traffic_cmd =
     in
     Arg.(value & flag & info [ "gap" ] ~doc)
   in
+  let slot_t =
+    let doc =
+      "Batched serving window: with --jobs > 1, drain all events within \
+       $(docv) time units of the earliest pending event and solve their \
+       routing concurrently against capacity snapshots before the \
+       deterministic commit (0 batches same-timestamp events only).  \
+       Results are byte-identical at every --jobs level and every \
+       window — batching is purely a throughput knob."
+    in
+    Arg.(value & opt float 0. & info [ "slot" ] ~docv:"DT" ~doc)
+  in
   let fail_on_sla_t =
     let doc =
       "Exit nonzero when the acceptance ratio falls below $(docv) \
@@ -1488,7 +1503,7 @@ let traffic_cmd =
       $ max_queue_t $ max_inflight_t $ rate_t $ burst_t $ budget_t
       $ flow_gate_t $ gap_t
       $ fail_on_sla_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
-      $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t
+      $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t $ slot_t
       $ outcomes_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)

@@ -1,6 +1,18 @@
 module Graph = Qnet_graph.Graph
 
-type t = { graph : Graph.t; residual : int array }
+(* Dense residual state, optionally wrapped by a copy-on-write overlay:
+   an overlay shares the base residual array read-only and keeps its own
+   writes in [delta], so speculative solvers can consume qubits from a
+   snapshot without copying (or disturbing) the live state.  [version]
+   counts mutations of a dense state; overlay writes never touch it, so
+   an unchanged version number certifies that a snapshot taken earlier
+   is still an exact view of the live residual state. *)
+type t = {
+  graph : Graph.t;
+  residual : int array;
+  delta : (int, int) Hashtbl.t option;  (* [Some] ⇒ COW view over [residual] *)
+  mutable version : int;
+}
 
 let of_graph graph =
   let n = Graph.vertex_count graph in
@@ -8,14 +20,49 @@ let of_graph graph =
     Array.init n (fun v ->
         if Graph.is_switch graph v then Graph.qubits graph v else 0)
   in
-  { graph; residual }
+  { graph; residual; delta = None; version = 0 }
 
-let copy t = { t with residual = Array.copy t.residual }
+let residual_of t v =
+  match t.delta with
+  | None -> t.residual.(v)
+  | Some d -> (
+      match Hashtbl.find_opt d v with
+      | Some r -> r
+      | None -> t.residual.(v))
+
+let set t v r =
+  match t.delta with
+  | None ->
+      t.residual.(v) <- r;
+      t.version <- t.version + 1
+  | Some d -> Hashtbl.replace d v r
+
+let copy t =
+  match t.delta with
+  | None -> { t with residual = Array.copy t.residual }
+  | Some d ->
+      (* Materialise the view: base plus delta collapses into a fresh
+         dense state, so the copy is independent of both. *)
+      let residual = Array.copy t.residual in
+      Hashtbl.iter (fun v r -> residual.(v) <- r) d;
+      { t with residual; delta = None }
+
+let overlay t =
+  {
+    t with
+    delta =
+      Some
+        (match t.delta with
+        | None -> Hashtbl.create 16
+        | Some d -> Hashtbl.copy d);
+  }
+
+let version t = t.version
 
 let remaining t v =
-  if Graph.is_user t.graph v then max_int else t.residual.(v)
+  if Graph.is_user t.graph v then max_int else residual_of t v
 
-let can_relay t v = Graph.is_user t.graph v || t.residual.(v) >= 2
+let can_relay t v = Graph.is_user t.graph v || residual_of t v >= 2
 
 let interior path =
   match path with
@@ -31,20 +78,23 @@ let consume_channel t path =
   let switches =
     List.filter (fun v -> Graph.is_switch t.graph v) (interior path)
   in
-  if List.exists (fun v -> t.residual.(v) < 2) switches then
+  if List.exists (fun v -> residual_of t v < 2) switches then
     invalid_arg "Capacity.consume_channel: insufficient qubits";
-  List.iter (fun v -> t.residual.(v) <- t.residual.(v) - 2) switches
+  List.iter (fun v -> set t v (residual_of t v - 2)) switches
 
 let release_channel t path =
   List.iter
     (fun v ->
-      if Graph.is_switch t.graph v then t.residual.(v) <- t.residual.(v) + 2)
+      if Graph.is_switch t.graph v then set t v (residual_of t v + 2))
     (interior path)
 
 let used t v =
-  if Graph.is_user t.graph v then 0 else Graph.qubits t.graph v - t.residual.(v)
+  if Graph.is_user t.graph v then 0
+  else Graph.qubits t.graph v - residual_of t v
 
 let overcommitted t =
   let bad = ref [] in
-  Array.iteri (fun v r -> if r < 0 then bad := v :: !bad) t.residual;
-  List.rev !bad
+  for v = Array.length t.residual - 1 downto 0 do
+    if residual_of t v < 0 then bad := v :: !bad
+  done;
+  !bad

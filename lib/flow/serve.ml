@@ -16,6 +16,9 @@ let seed_for base users =
 let policy ?(seed = 0xf10e5) () =
   {
     Policy.name = "flow";
+    (* Stateless: the rounding seed is a pure function of the user
+       group, so concurrent speculative solves replay identically. *)
+    concurrent_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         match Lp.relax ~exclude ?budget ~capacity g params ~users with

@@ -5,6 +5,9 @@ module Schedule = Qnet_faults.Schedule
 let policy oracle =
   {
     Policy.name = "hier-prim";
+    (* The oracle's lazily filled segment cache is shared mutable
+       state — route calls must stay on one domain. *)
+    concurrent_safe = false;
     route =
       (fun ~exclude ~budget g _params ~capacity ~users ->
         if not (g == Oracle.graph oracle) then

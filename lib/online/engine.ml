@@ -147,6 +147,16 @@ type event =
   | Expiry of int
   | Fault of Fsched.event
 
+(* Outcome of one speculative routing solve against a capacity
+   snapshot.  [Spec_none] and [Spec_exhausted] are verdicts the commit
+   loop can reuse directly (a request the policy could not serve on the
+   snapshot cannot be served on the identical live state); a
+   [Spec_tree] is re-validated against the live residual at commit. *)
+type speculation =
+  | Spec_tree of Ent_tree.t
+  | Spec_none
+  | Spec_exhausted
+
 type req_state = {
   req : Workload.request;
   mutable attempts : int;
@@ -222,9 +232,19 @@ let validate_schedule g schedule =
     schedule
 
 let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
-    ?on_health ?pool g params ~requests =
+    ?on_health ?pool ?(slot = 0.) g params ~requests =
   validate g requests;
   Option.iter (validate_schedule g) fault_schedule;
+  if slot < 0. || not (Float.is_finite slot) then
+    invalid_arg "Engine.run: slot must be finite and >= 0";
+  (* Called from inside a parallel region (a policy or harness that is
+     itself running on a pool), nested submission would raise deep in
+     the loop: degrade to the serial path instead. *)
+  let pool =
+    match pool with
+    | Some _ when Qnet_util.Pool.in_parallel_region () -> None
+    | p -> p
+  in
   let capacity = Capacity.of_graph g in
   let health =
     match (faults, fault_schedule) with
@@ -307,15 +327,38 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     | None -> -1
     | Some stats -> stats.Policy.last
   in
-  let try_serve t st =
+  (* [spec], when present, is a still-valid speculative solve for this
+     request against a snapshot equal to the current live state: a
+     non-tree verdict is reused as-is, a tree is admitted through
+     [Lease.commit] (and, defensively, re-solved live if the commit is
+     refused — unreachable while the validity check holds, but it keeps
+     admission sound regardless). *)
+  let try_serve ?spec t st =
     let r = st.req in
     st.attempts <- st.attempts + 1;
     if inflight_full () then false
     else
-      match route_once r.Workload.users with
+      let live_solve () =
+        match route_once r.Workload.users with
+        | None -> None
+        | Some tree -> Some (tree, Lease.acquire tree)
+      in
+      let admitted =
+        match spec with
+        | None -> live_solve ()
+        | Some (Spec_tree tree) -> (
+            match Lease.commit capacity tree with
+            | Some lease -> Some (tree, lease)
+            | None -> live_solve ())
+        | Some Spec_none -> None
+        | Some Spec_exhausted ->
+            incr budget_exhaustions;
+            Tm.Counter.incr c_budget_exhausted;
+            None
+      in
+      match admitted with
       | None -> false
-      | Some tree ->
-          let lease = Lease.acquire tree in
+      | Some (tree, lease) ->
           let lid = !next_lease in
           incr next_lease;
           Hashtbl.replace active lid
@@ -389,7 +432,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
               end
         end
   in
-  let on_arrival t (r : Workload.request) =
+  let on_arrival ?spec t (r : Workload.request) =
     Tm.Counter.incr c_arrivals;
     let st =
       {
@@ -423,7 +466,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       Tm.Counter.incr c_rejected;
       resolve st (Rejected { at = t; queue_full = false })
     end
-    else if not (try_serve t st) then
+    else if not (try_serve ?spec t st) then
       match cfg.admission with
       | Reject ->
           Tm.Counter.incr c_rejected;
@@ -442,7 +485,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
             schedule_retry t st
           end
   in
-  let on_retry t id =
+  let on_retry ?spec t id =
     let st = Hashtbl.find states id in
     if st.waiting then
       if t >= st.req.Workload.deadline then
@@ -453,7 +496,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       else begin
         incr retries;
         Tm.Counter.incr c_retries;
-        if try_serve t st then queue := List.filter (fun i -> i <> id) !queue
+        if try_serve ?spec t st then
+          queue := List.filter (fun i -> i <> id) !queue
         else schedule_retry t st
       end
   in
@@ -617,6 +661,11 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     | Some f ->
         f { at = t; request_id = a.st.req.Workload.id; element; before; after }
   in
+  (* A fault transition invalidates every outstanding speculation even
+     when no capacity moved: exclusion state steers routing, so a
+     snapshot from before the transition no longer predicts what the
+     live solve would return. *)
+  let batch_dirty = ref false in
   let on_fault t (fe : Fsched.event) =
     match health with
     | None -> ()
@@ -624,6 +673,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         match Fhealth.apply h fe with
         | Fhealth.No_change -> ()
         | Fhealth.Went_down ->
+            batch_dirty := true;
             incr faults_injected;
             Tm.Counter.incr c_faults_injected;
             (* Active trees are all healthy between fault events, so the
@@ -639,6 +689,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
             List.iter (recover t fe.element) affected;
             if affected <> [] then rescan_queue t
         | Fhealth.Came_up ->
+            batch_dirty := true;
             incr faults_repaired;
             Tm.Counter.incr c_faults_repaired;
             (* Connectivity improved: queued requests that were blocked
@@ -667,21 +718,130 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     | Expiry lid -> not (Hashtbl.mem active lid)
     | Arrival _ | Retry _ -> false
   in
+  let dispatch ?spec t ev =
+    if not (inert ev) then begin
+      util_integral :=
+        !util_integral +. ((t -. !last_time) *. float_of_int !in_use);
+      last_time := t;
+      makespan := max !makespan t;
+      match ev with
+      | Arrival r -> on_arrival ?spec t r
+      | Retry id -> on_retry ?spec t id
+      | Expiry lid -> on_expiry t lid
+      | Fault fe -> on_fault t fe
+    end
+  in
+  (* Speculation: solve every routable request of a drained batch
+     concurrently against a zero-copy snapshot of the residual state.
+     Each task gets its own [Capacity.overlay] view, so the live state
+     is read-only for the whole parallel region; results keyed by
+     request id, tagged with the capacity version they were solved
+     under.  Which requests to solve is a prediction, not a commitment:
+     a dry-run copy of the rate limiter skips arrivals the live limiter
+     will shed, and retries are screened by their queue/deadline state
+     at drain time — over- or under-speculation only wastes or forgoes
+     work, never changes a result. *)
+  let speculate batch =
+    match pool with
+    | Some p
+      when cfg.policy.Policy.concurrent_safe && Qnet_util.Pool.jobs p > 1 -> (
+        let lim = Option.map Limiter.copy limiter in
+        let seen = Hashtbl.create 16 in
+        let cands = ref [] in
+        List.iter
+          (fun (t, _, ev) ->
+            match ev with
+            | Arrival r ->
+                let admitted =
+                  match lim with
+                  | None -> true
+                  | Some l -> Limiter.try_take l ~now:t
+                in
+                if admitted && not (Hashtbl.mem seen r.Workload.id) then begin
+                  Hashtbl.replace seen r.Workload.id ();
+                  cands := (r.Workload.id, r.Workload.users) :: !cands
+                end
+            | Retry id -> (
+                match Hashtbl.find_opt states id with
+                | Some st
+                  when st.waiting
+                       && t < st.req.Workload.deadline
+                       && not (Hashtbl.mem seen id) ->
+                    Hashtbl.replace seen id ();
+                    cands := (id, st.req.Workload.users) :: !cands
+                | _ -> ())
+            | Expiry _ | Fault _ -> ())
+          batch;
+        let cands = Array.of_list (List.rev !cands) in
+        if Array.length cands < 2 then None
+        else begin
+          let solve users () =
+            match
+              Qnet_telemetry.Span.with_span "online.route" (fun () ->
+                  cfg.policy.Policy.route ~exclude ~budget:(fresh_budget ())
+                    g params
+                    ~capacity:(Capacity.overlay capacity)
+                    ~users)
+            with
+            | Some tree -> Spec_tree tree
+            | None -> Spec_none
+            | exception Budget.Exhausted _ -> Spec_exhausted
+          in
+          let results =
+            Qnet_util.Pool.map_thunks p
+              (Array.map (fun (_, users) -> solve users) cands)
+          in
+          let specs = Hashtbl.create (Array.length cands) in
+          Array.iteri
+            (fun i r -> Hashtbl.replace specs (fst cands.(i)) r)
+            results;
+          Some (specs, Capacity.version capacity)
+        end)
+    | _ -> None
+  in
+  (* Commit: replay the drained batch in its exact (time, seq) order,
+     merged with any events pushed while committing (their seqs are
+     larger, so the comparison reproduces the serial pop order).  A
+     speculation is honoured only while the live state still equals its
+     snapshot — any capacity mutation or fault transition since then
+     invalidates the whole batch's remaining specs, and those requests
+     re-solve on the live residual exactly as the serial path would. *)
+  let commit_batch specs batch =
+    let spec_of ev =
+      match specs with
+      | None -> None
+      | Some (tbl, snap_version) ->
+          if !batch_dirty || Capacity.version capacity <> snap_version then
+            None
+          else (
+            match ev with
+            | Arrival r -> Hashtbl.find_opt tbl r.Workload.id
+            | Retry id -> Hashtbl.find_opt tbl id
+            | Expiry _ | Fault _ -> None)
+    in
+    let rec go = function
+      | [] -> ()
+      | (bt, bseq, ev) :: rest as pending -> (
+          match Event_queue.peek_key events with
+          | Some (qt, qseq) when qt < bt || (qt = bt && qseq < bseq) ->
+              (match Event_queue.pop events with
+              | Some (t, ev') -> dispatch t ev'
+              | None -> ());
+              go pending
+          | _ ->
+              dispatch ?spec:(spec_of ev) bt ev;
+              go rest)
+    in
+    go batch
+  in
   let rec drain () =
-    match Event_queue.pop events with
+    match Event_queue.peek_time events with
     | None -> ()
-    | Some (t, ev) ->
-        if not (inert ev) then begin
-          util_integral :=
-            !util_integral +. ((t -. !last_time) *. float_of_int !in_use);
-          last_time := t;
-          makespan := max !makespan t;
-          match ev with
-          | Arrival r -> on_arrival t r
-          | Retry id -> on_retry t id
-          | Expiry lid -> on_expiry t lid
-          | Fault fe -> on_fault t fe
-        end;
+    | Some t0 ->
+        let upto = if slot > 0. then t0 +. slot else t0 in
+        let batch = Event_queue.drain_until events ~upto in
+        batch_dirty := false;
+        commit_batch (speculate batch) batch;
         drain ()
   in
   drain ();

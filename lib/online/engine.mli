@@ -39,12 +39,15 @@
     a {!Policy.tiered} policy plugs in through [tier_stats] so the
     report can attribute each served request to its degradation tier.
 
-    {b Determinism.}  The event loop is serial and every tie is broken
-    by push order or lease id; the fault schedule is materialised before
-    the run from the fault model's own seed.  A fixed (workload, fault)
+    {b Determinism.}  Events commit in one total order — (time, push
+    seq), with lease ids assigned at commit — and the fault schedule is
+    materialised before the run from the fault model's own seed.  With a
+    pool, batches of same-window events are {e speculatively} solved in
+    parallel against capacity snapshots, but commit re-validates every
+    speculation against the live state in that same serial order
+    (snapshot/solve/commit; see {!run}).  A fixed (workload, fault)
     seed therefore reproduces the report bit-for-bit at every [--jobs]
-    level — the optional pool only parallelises the read-only final
-    verification pass.
+    level and every [slot] window.
 
     {b Self-checking.}  Every repaired or rerouted tree passes
     {!Qnet_core.Verify.check_exn} before re-entering service, every
@@ -220,6 +223,7 @@ val run :
   ?on_incident:(incident -> unit) ->
   ?on_health:(Qnet_faults.Health.t -> unit) ->
   ?pool:Qnet_util.Pool.t ->
+  ?slot:float ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
   requests:Workload.request list ->
@@ -237,13 +241,29 @@ val run :
     the first event — the hook callers use to register
     {!Qnet_faults.Health.on_transition} observers (e.g. eager cache
     invalidation in the hierarchical router); it is not called when no
-    fault source is configured.  [pool]
-    parallelises only the final read-only verification pass.  Outcomes
-    are returned in request-id order.  Deterministic: identical inputs
-    give identical reports and outcomes at every pool size.
+    fault source is configured.
+
+    [pool] enables the {e batched concurrent serving} path: at each
+    round the engine drains the batch of same-timestamp events ([slot]
+    widens the window to [\[t, t + slot\]], default [0.]), solves every
+    routable request of the batch concurrently against zero-copy
+    {!Qnet_core.Capacity.overlay} snapshots of the residual state, then
+    commits in the exact serial event order, re-validating each
+    speculative tree against the live residual
+    ({!Qnet_sim.Scheduler.Lease.commit}) and re-solving live whenever
+    the state moved since the snapshot (any capacity mutation or fault
+    transition).  Speculation requires the policy to declare
+    {!Policy.t.concurrent_safe}; otherwise — and when called from
+    inside a parallel region — the pool is used only for the read-only
+    final verification pass.  Either way the resolution stream, lease
+    ids, report and [online.*] counters are byte-identical to the
+    serial engine at every pool size and every [slot]; parallelism and
+    batching are pure go-faster knobs.  Outcomes are returned in
+    request-id order.  Deterministic: identical inputs give identical
+    reports and outcomes at every pool size.
     @raise Invalid_argument on malformed requests (non-user members,
     fewer than 2 users, duplicate ids, negative times, deadline before
-    arrival).
+    arrival) or a negative/non-finite [slot].
     @raise Qnet_core.Verify.Violations if a repaired or served tree
     fails independent re-validation (a routing bug, never a workload
     property). *)

@@ -8,6 +8,7 @@ let c_cache_invalidations = Tm.counter "online.policy.cache.invalidations"
 
 type t = {
   name : string;
+  concurrent_safe : bool;
   route :
     exclude:Routing.exclusion ->
     budget:Qnet_overload.Budget.t option ->
@@ -37,6 +38,7 @@ let try_consume capacity (tree : Ent_tree.t) =
 let prim =
   {
     name = "prim";
+    concurrent_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         Multi_group.prim_for_users ~exclude ?budget g params ~capacity ~users);
@@ -109,6 +111,7 @@ let of_algorithm alg =
   in
   {
     name;
+    concurrent_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
@@ -121,6 +124,7 @@ let of_algorithm alg =
 let eqcast =
   {
     name = "eqcast";
+    concurrent_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
@@ -138,6 +142,8 @@ let cached inner =
   let table : (int list, Ent_tree.t) Hashtbl.t = Hashtbl.create 64 in
   {
     name = "cached-" ^ inner.name;
+    (* The memo table is shared mutable state touched on every call. *)
+    concurrent_safe = false;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let key = List.sort compare users in
@@ -330,4 +336,6 @@ let tiered ?(fuel = 4096) ?breaker_threshold ?breaker_cooldown tiers =
     stats.last <- -1;
     attempt 0
   in
-  ({ name; route }, stats)
+  (* Breakers and tier stats are shared mutable state, and [stats.last]
+     is sampled right after each call — serial only. *)
+  ({ name; concurrent_safe = false; route }, stats)

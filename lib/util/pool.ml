@@ -42,9 +42,10 @@ let run_leave_hooks () = List.iter (fun (_, l) -> l ()) (List.rev !hooks)
 let in_region : bool ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref false)
 
+let in_parallel_region () = !(Domain.DLS.get in_region)
+
 let check_not_nested () =
-  if !(Domain.DLS.get in_region) then
-    invalid_arg "Pool: nested parallel region"
+  if in_parallel_region () then invalid_arg "Pool: nested parallel region"
 
 (* Run this domain's share of [job]: claim chunks until none remain.
    The first failing task wins the race to record its exception; the
@@ -212,6 +213,12 @@ let parallel_map pool ?chunk n f =
     run_batch pool ~chunk ~n (fun i -> out.(i) <- Some (f i));
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+(* Batch-of-thunks entry point for heterogeneous task sets (the serving
+   engine's per-request speculative solves): each thunk owns its inputs,
+   results come back in submission order. *)
+let map_thunks pool ?chunk thunks =
+  parallel_map pool ?chunk (Array.length thunks) (fun i -> thunks.(i) ())
 
 let split_seeds rng n =
   if n < 0 then invalid_arg "Pool.split_seeds: negative count";

@@ -73,6 +73,36 @@ degraded=$(awk '$2 == "degraded" { print $4 }' "$over_a")
   { echo "overload smoke never degraded (degraded=$degraded)" >&2; exit 1; }
 echo "overload reproducible at --jobs 1 and 2, shed=$shed degraded=$degraded"
 
+echo "== batched serving smoke =="
+# The sharded serving engine: synchronised arrival batches solved
+# concurrently against capacity snapshots must print byte-identical
+# reports twice at --jobs 4, and --jobs 1 vs --jobs 4 --slot 2 must
+# match the serial baseline exactly (snapshot/solve/commit contract).
+batch_j1=$(mktemp -t muerp_batch_j1.XXXXXX)
+batch_j4a=$(mktemp -t muerp_batch_j4a.XXXXXX)
+batch_j4b=$(mktemp -t muerp_batch_j4b.XXXXXX)
+batch_slot=$(mktemp -t muerp_batch_slot.XXXXXX)
+trap 'rm -f "$run_a" "$run_b" "$batch_j1" "$batch_j4a" "$batch_j4b" \
+  "$batch_slot"' EXIT
+batch_flags="--seed 11 -n 80 --switches 50 --batch 8 --batch-period 1.5"
+dune exec bin/muerp_cli.exe -- traffic $batch_flags --jobs 1 >"$batch_j1"
+dune exec bin/muerp_cli.exe -- traffic $batch_flags --jobs 4 >"$batch_j4a"
+dune exec bin/muerp_cli.exe -- traffic $batch_flags --jobs 4 >"$batch_j4b"
+cmp "$batch_j4a" "$batch_j4b" ||
+  { echo "batched serving run not reproducible at --jobs 4" >&2; exit 1; }
+cmp "$batch_j1" "$batch_j4a" ||
+  { echo "batched serving differs between --jobs 1 and --jobs 4" >&2
+    exit 1; }
+dune exec bin/muerp_cli.exe -- traffic $batch_flags --jobs 4 --slot 2 \
+  >"$batch_slot"
+cmp "$batch_j1" "$batch_slot" ||
+  { echo "batched serving differs with --slot 2" >&2; exit 1; }
+batch_served=$(awk '$2 == "served" { print $4 }' "$batch_j1")
+[ -n "$batch_served" ] && [ "$batch_served" -gt 0 ] ||
+  { echo "batched serving served nothing (served=$batch_served)" >&2
+    exit 1; }
+echo "batched serving identical at --jobs 1/4 and --slot 2, served=$batch_served"
+
 echo "== SLA gate smoke =="
 # --fail-on-sla must exit nonzero when acceptance lands below the bar
 # and zero when it clears it.
@@ -177,6 +207,12 @@ grep -q '"hier"' "$snapshot" ||
   { echo "snapshot is missing the hier section" >&2; exit 1; }
 grep -q '"flow"' "$snapshot" ||
   { echo "snapshot is missing the flow section" >&2; exit 1; }
+grep -q '"serving"' "$snapshot" ||
+  { echo "snapshot is missing the serving section" >&2; exit 1; }
+if grep -q '"report_equal": false' "$snapshot"; then
+  echo "serving bench: batched report diverged from serial baseline" >&2
+  exit 1
+fi
 grep -q '"estimate_equal": true' "$snapshot" ||
   { echo "parallel bench: estimates differ across jobs levels" >&2; exit 1; }
 grep -q '"mean_rates_equal": true' "$snapshot" ||

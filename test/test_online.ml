@@ -82,6 +82,88 @@ let test_event_queue_order () =
     (Invalid_argument "Event_queue.push: NaN timestamp") (fun () ->
       Event_queue.push q Float.nan "x")
 
+let test_event_queue_batches () =
+  let q = Event_queue.create () in
+  List.iter
+    (fun (t, v) -> Event_queue.push q t v)
+    [ (0., "a"); (0., "b"); (2., "c"); (2.5, "d"); (5., "e") ];
+  let vals batch = List.map (fun (_, _, v) -> v) batch in
+  (* pop_batch drains exactly the earliest instant, FIFO within it. *)
+  let batch = Event_queue.pop_batch q in
+  Alcotest.(check (list string)) "first instant" [ "a"; "b" ] (vals batch);
+  List.iter (fun (t, _, _) -> check_bool "stamped at 0" true (t = 0.)) batch;
+  (* drain_until takes the slot window inclusively. *)
+  let batch = Event_queue.drain_until q ~upto:2.5 in
+  Alcotest.(check (list string)) "slot window" [ "c"; "d" ] (vals batch);
+  (* Push order survives in the seq keys — the commit total order. *)
+  let seqs = List.map (fun (_, s, _) -> s) batch in
+  check_bool "seq strictly ascending" true
+    (List.sort_uniq compare seqs = seqs);
+  Alcotest.(check (list string))
+    "tail" [ "e" ]
+    (vals (Event_queue.pop_batch q));
+  Alcotest.(check (list string)) "empty pop_batch" [] (vals (Event_queue.pop_batch q));
+  Alcotest.(check (list string))
+    "empty drain" []
+    (vals (Event_queue.drain_until q ~upto:100.));
+  Alcotest.check_raises "nan bound rejected"
+    (Invalid_argument "Event_queue.drain_until: NaN bound") (fun () ->
+      ignore (Event_queue.drain_until q ~upto:Float.nan))
+
+let test_batch_drain_matches_pop_qcheck () =
+  (* Draining batch-wise — whole instants or random slot windows — must
+     visit events in exactly the (time, push order) sequence that
+     repeated pop does. *)
+  let prop seed =
+    let rng = Prng.create seed in
+    let n = 1 + Prng.int rng 60 in
+    let stamps =
+      List.init n (fun i -> (float_of_int (Prng.int rng 8) /. 2., i))
+    in
+    let fill () =
+      let q = Event_queue.create () in
+      List.iter (fun (t, i) -> Event_queue.push q t i) stamps;
+      q
+    in
+    let by_pop =
+      let q = fill () in
+      let rec go acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, v) -> go ((t, v) :: acc)
+      in
+      go []
+    in
+    let by_batch =
+      let q = fill () in
+      let rec go acc =
+        match Event_queue.pop_batch q with
+        | [] -> List.concat (List.rev acc)
+        | b -> go (List.map (fun (t, _, v) -> (t, v)) b :: acc)
+      in
+      go []
+    in
+    let by_slot =
+      let q = fill () in
+      let slot = float_of_int (Prng.int rng 3) in
+      let rec go acc =
+        match Event_queue.peek_time q with
+        | None -> List.concat (List.rev acc)
+        | Some t0 ->
+            let b = Event_queue.drain_until q ~upto:(t0 +. slot) in
+            go (List.map (fun (t, _, v) -> (t, v)) b :: acc)
+      in
+      go []
+    in
+    by_pop = by_batch && by_pop = by_slot
+  in
+  let test =
+    QCheck.Test.make ~count:200 ~name:"batch drain equals pop order"
+      QCheck.(int_range 1 10_000)
+      prop
+  in
+  QCheck.Test.check_exn test
+
 (* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
 
@@ -589,11 +671,148 @@ let test_fault_replay_qcheck () =
   in
   QCheck.Test.check_exn test
 
+(* ------------------------------------------------------------------ *)
+(* Batched serving equivalence: pool-backed speculative solves with
+   deterministic commit must leave no observable trace — report,
+   resolution stream, and the engine/overload counters all equal to
+   the serial run, at every jobs level and slot window, under faults
+   and overload too.  (Solver-internal telemetry like online.route
+   span counts is explicitly OUTSIDE the contract: discarded
+   speculation adds calls there by design.) *)
+
+let run_with_engine_counters f =
+  let module Tm = Qnet_telemetry.Metrics in
+  Tm.set_enabled true;
+  Tm.reset ();
+  let result = f () in
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Tm.Counter_v n
+          when String.starts_with ~prefix:"online.engine." name
+               || String.starts_with ~prefix:"online.overload." name ->
+            Some (name, n)
+        | _ -> None)
+      (Tm.snapshot ())
+  in
+  Tm.set_enabled false;
+  (result, List.sort compare counters)
+
+let test_batched_matches_serial_qcheck () =
+  let prop seed =
+    let rng = Prng.create ((seed * 13) + 5) in
+    let g = network ~users:6 ~switches:15 ~qubits:2 ((seed mod 50) + 1) in
+    let spec =
+      Workload.spec ~requests:30
+        ~arrivals:
+          (match seed mod 3 with
+          | 0 -> Workload.Batched { period = 1.5; size = 5 }
+          | 1 -> Workload.Poisson 2.
+          | _ -> Workload.Pareto { alpha = 1.5; lo = 0.05; hi = 2. })
+        ~group_size:(Workload.Uniform (2, 3))
+        ~duration:(1., 5.) ~patience:(0., 8.) ()
+    in
+    let reqs = Workload.generate (Prng.create seed) g spec in
+    (* Fresh policy per run: the cached adapter's memo table must not
+       leak between the serial baseline and the batched replays. *)
+    let make_policy () =
+      match seed mod 4 with
+      | 0 -> Policy.prim
+      | 1 -> Option.get (Policy.of_name "alg3")
+      | 2 -> Option.get (Policy.of_name "eqcast")
+      (* concurrent_safe = false: the engine must fall back to the
+         serial path and still agree. *)
+      | _ -> Policy.cached Policy.prim
+    in
+    let overload =
+      if seed mod 5 = 0 then
+        Qnet_overload.Admission.make ~max_queue:4 ~max_inflight:6 ~rate:2. ()
+      else Qnet_overload.Admission.none
+    in
+    (* Half the scenarios replay an adversarial fault schedule. *)
+    let fault_schedule =
+      if seed mod 2 = 0 then
+        Some
+          (List.init
+             (1 + Prng.int rng 40)
+             (fun _ ->
+               {
+                 Fsched.time = Prng.float rng 30.;
+                 element =
+                   (if Prng.bool rng then
+                      Fsched.Link (Prng.int rng (Graph.edge_count g))
+                    else Fsched.Switch (Prng.int rng (Graph.vertex_count g)));
+                 up = Prng.bool rng;
+               }))
+      else None
+    in
+    let run ?pool ?slot () =
+      let config = Engine.config ~retry_base:0.5 ~overload (make_policy ()) in
+      run_with_engine_counters (fun () ->
+          Engine.run ~config ?fault_schedule ?pool ?slot g params
+            ~requests:reqs)
+    in
+    let (base_report, base_outcomes), base_counters = run () in
+    List.iter
+      (fun jobs ->
+        Qnet_util.Pool.with_pool ~jobs (fun pool ->
+            List.iter
+              (fun slot ->
+                let (report, outcomes), counters = run ~pool ~slot () in
+                if report <> base_report then
+                  Alcotest.failf "report diverged at jobs=%d slot=%g" jobs
+                    slot;
+                if outcomes <> base_outcomes then
+                  Alcotest.failf "outcomes diverged at jobs=%d slot=%g" jobs
+                    slot;
+                if counters <> base_counters then
+                  Alcotest.failf
+                    "engine counters diverged at jobs=%d slot=%g" jobs slot)
+              [ 0.; 2. ]))
+      [ 1; 2; 4 ];
+    true
+  in
+  let test =
+    QCheck.Test.make ~count:30
+      ~name:"batched serving equals serial (reports, outcomes, counters)"
+      QCheck.(int_range 1 10_000)
+      prop
+  in
+  QCheck.Test.check_exn test
+
+(* The engine must also survive being handed a pool while already
+   inside a parallel region (nested speculation is downgraded to the
+   serial path, not an exception). *)
+let test_engine_inside_parallel_region () =
+  let g, (a0, a1), (b0, b1) = hub_network () in
+  let reqs =
+    [
+      request ~duration:4. ~patience:10. 0 [ a0; a1 ] 0.;
+      request ~duration:4. ~patience:10. 1 [ b0; b1 ] 0.;
+    ]
+  in
+  let config = Engine.config ~retry_base:0.5 Policy.prim in
+  let base = Engine.run ~config g params ~requests:reqs in
+  Qnet_util.Pool.with_pool ~jobs:2 (fun pool ->
+      let inner = ref None in
+      Qnet_util.Pool.parallel_for pool 1 (fun _ ->
+          inner := Some (Engine.run ~config ~pool g params ~requests:reqs));
+      match !inner with
+      | Some got ->
+          check_bool "nested run equals serial" true (fst got = fst base)
+      | None -> Alcotest.fail "nested run never happened")
+
 let () =
   Alcotest.run "online"
     [
       ( "event_queue",
-        [ Alcotest.test_case "ordering" `Quick test_event_queue_order ] );
+        [
+          Alcotest.test_case "ordering" `Quick test_event_queue_order;
+          Alcotest.test_case "batches" `Quick test_event_queue_batches;
+          Alcotest.test_case "batch drain order (qcheck)" `Quick
+            test_batch_drain_matches_pop_qcheck;
+        ] );
       ( "workload",
         [
           Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
@@ -626,5 +845,12 @@ let () =
             test_never_oversubscribed_qcheck;
           Alcotest.test_case "fault replay (qcheck)" `Slow
             test_fault_replay_qcheck;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "matches serial (qcheck)" `Slow
+            test_batched_matches_serial_qcheck;
+          Alcotest.test_case "nested region falls back" `Quick
+            test_engine_inside_parallel_region;
         ] );
     ]

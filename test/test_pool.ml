@@ -83,6 +83,33 @@ let test_use_after_shutdown () =
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_in_parallel_region () =
+  check_bool "outside any region" false (Pool.in_parallel_region ());
+  Pool.with_pool ~jobs:2 (fun p ->
+      let inside = Array.make 8 false in
+      Pool.parallel_for p 8 (fun i -> inside.(i) <- Pool.in_parallel_region ());
+      check_bool "flagged inside region" true (Array.for_all Fun.id inside));
+  (* The serial fast path flags the region too, so a jobs=1 pool still
+     rejects nesting the same way. *)
+  Pool.with_pool ~jobs:1 (fun p ->
+      let inside = ref false in
+      Pool.parallel_for p 1 (fun _ -> inside := Pool.in_parallel_region ());
+      check_bool "flagged on serial fast path" true !inside);
+  check_bool "cleared after region" false (Pool.in_parallel_region ())
+
+let test_map_thunks () =
+  let expected = Array.init 33 (fun i -> (i * 3) + 1) in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          let thunks = Array.init 33 (fun i () -> (i * 3) + 1) in
+          check_bool
+            (Printf.sprintf "thunk results in order at jobs=%d" jobs)
+            true
+            (Pool.map_thunks p thunks = expected);
+          check_int "empty thunks" 0 (Array.length (Pool.map_thunks p [||]))))
+    [ 1; 3 ]
+
 let test_split_seeds_deterministic () =
   let seeds1 = Pool.split_seeds (Prng.create 42) 8 in
   let seeds2 = Pool.split_seeds (Prng.create 42) 8 in
@@ -133,6 +160,9 @@ let () =
           Alcotest.test_case "nested rejected" `Quick test_nested_rejected;
           Alcotest.test_case "use after shutdown" `Quick
             test_use_after_shutdown;
+          Alcotest.test_case "in_parallel_region" `Quick
+            test_in_parallel_region;
+          Alcotest.test_case "map_thunks" `Quick test_map_thunks;
           Alcotest.test_case "split_seeds deterministic" `Quick
             test_split_seeds_deterministic;
           Alcotest.test_case "randomized work independent of jobs" `Quick
