@@ -982,6 +982,96 @@ let serving_section () =
       ("runs", jarr rows);
     ]
 
+(* Resilience: checkpoint-cadence overhead on a fixed faulty scenario,
+   restored-report equality at every cut instant (the crash-recovery
+   drill), and live-reconfiguration recovery counts.  Counts and
+   equality flags are fixed-seed deterministic; only the wall times and
+   the derived overhead vary run to run. *)
+let resilience_section () =
+  let module E = Qnet_online.Engine in
+  let module W = Qnet_online.Workload in
+  let rng = Qnet_util.Prng.create 42 in
+  let g = Qnet_topology.Waxman.generate rng Qnet_topology.Spec.default in
+  let params = Qnet_core.Params.default in
+  let wspec = W.spec ~requests:200 ~arrivals:(W.Poisson 1.) () in
+  let reqs = W.generate (Qnet_util.Prng.create (42 + 8_191)) g wspec in
+  let faults =
+    Qnet_faults.Model.make ~mtbf:25. ~mttr:5. ~targets:Qnet_faults.Model.Both
+      ~seed:(42 + 40_961) ()
+  in
+  let config = E.config Qnet_online.Policy.prim in
+  let every = 10. in
+  let wall_plain, (plain_report, _) =
+    timed (fun () -> E.run ~config ~faults g params ~requests:reqs)
+  in
+  let cuts = ref 0 in
+  let snapshot_bytes = ref 0 in
+  let wall_ckpt, (ckpt_report, _) =
+    timed (fun () ->
+        E.run ~config ~faults
+          ~checkpoint:
+            ( every,
+              fun _ snap ->
+                incr cuts;
+                snapshot_bytes :=
+                  String.length
+                    (Qnet_util.Sexp.to_string (E.snapshot_to_sexp snap)) )
+          g params ~requests:reqs)
+  in
+  let overhead_pct =
+    if wall_plain <= 0. then 0.
+    else (wall_ckpt -. wall_plain) /. wall_plain *. 100.
+  in
+  let drill =
+    Qnet_resilience.Drill.crash_restore ~config ~faults ~every g params
+      ~requests:reqs
+  in
+  let switch =
+    match Qnet_graph.Graph.switches g with
+    | s :: _ -> s
+    | [] -> failwith "resilience bench: network has no switches"
+  in
+  let reconfig =
+    [
+      { Qnet_online.Reconfig.time = 20.;
+        change = Qnet_online.Reconfig.Switch_leave switch };
+      { Qnet_online.Reconfig.time = 35.;
+        change = Qnet_online.Reconfig.Provision { switch; qubits = 2 } };
+      { Qnet_online.Reconfig.time = 60.;
+        change = Qnet_online.Reconfig.Switch_join switch };
+    ]
+  in
+  let reconfig_report, _ =
+    E.run ~config ~faults ~reconfig g params ~requests:reqs
+  in
+  jobj
+    [
+      ("requests", string_of_int wspec.W.requests);
+      ("checkpoint_every", jfloat every);
+      ("checkpoints", string_of_int !cuts);
+      ("snapshot_bytes", string_of_int !snapshot_bytes);
+      ("wall_plain_s", jfloat wall_plain);
+      ("wall_checkpointed_s", jfloat wall_ckpt);
+      ("checkpoint_overhead_pct", jfloat overhead_pct);
+      ( "checkpointed_report_equal",
+        string_of_bool (ckpt_report = plain_report) );
+      ( "drill_checkpoints",
+        string_of_int drill.Qnet_resilience.Drill.checkpoints );
+      ( "drill_mismatches",
+        string_of_int
+          (List.length drill.Qnet_resilience.Drill.mismatches) );
+      ( "restored_reports_equal",
+        string_of_bool (Qnet_resilience.Drill.passed drill) );
+      ("reconfig_events", string_of_int (List.length reconfig));
+      ( "reconfig_applied",
+        string_of_int reconfig_report.E.reconfig_applied );
+      ( "reconfig_recovered",
+        string_of_int reconfig_report.E.reconfig_recovered );
+      ("reconfig_served", string_of_int reconfig_report.E.served);
+      ( "reconfig_acceptance_ratio",
+        jfloat reconfig_report.E.acceptance_ratio );
+    ]
+
 let snapshot path =
   let module R = Qnet_experiments.Runner in
   let module Tm = Qnet_telemetry.Metrics in
@@ -1047,6 +1137,7 @@ let snapshot path =
   let flow = flow_section () in
   let parallel = parallel_section () in
   let serving = serving_section () in
+  let resilience = resilience_section () in
   let registry = List.filter (fun (_, v) -> Tm.touched v) (Tm.snapshot ()) in
   let methods =
     List.map
@@ -1084,7 +1175,7 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/8");
+        ("schema", jstr "muerp-bench-snapshot/9");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);
@@ -1094,6 +1185,7 @@ let snapshot path =
         ("flow", jarr flow);
         ("parallel", parallel);
         ("serving", serving);
+        ("resilience", resilience);
         ("counters", jobj counters);
         ("gauges", jobj gauges);
         ("histograms", jobj histograms);

@@ -1006,6 +1006,39 @@ let parse_arrival_spec spec =
       | _ -> fail ())
   | _ -> fail ()
 
+(* diurnal:<period>:<amplitude> | flash:<at>:<width>:<boost> — accepted
+   by --arrival (over the default base process) and by --modulate
+   (composed with any explicit --arrival base spec). *)
+let parse_modulation_spec spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad modulation %S (expected diurnal:<period>:<amplitude> or \
+          flash:<at>:<width>:<boost>)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "diurnal"; p; a ] -> (
+      match (float_of_string_opt p, float_of_string_opt a) with
+      | Some period, Some amplitude ->
+          Ok (Qnet_online.Workload.Diurnal { period; amplitude })
+      | _ -> fail ())
+  | [ "flash"; at; w; b ] -> (
+      match
+        (float_of_string_opt at, float_of_string_opt w, float_of_string_opt b)
+      with
+      | Some at, Some width, Some boost ->
+          Ok (Qnet_online.Workload.Flash { at; width; boost })
+      | _ -> fail ())
+  | _ -> fail ()
+
+let is_modulation_spec spec =
+  match String.index_opt spec ':' with
+  | Some i ->
+      let k = String.sub spec 0 i in
+      k = "diurnal" || k = "flash"
+  | None -> false
+
 (* --group fixed:<k> | uniform:<lo>:<hi> | pareto:<a>:<lo>:<hi> *)
 let parse_group_spec spec =
   let fail () =
@@ -1034,16 +1067,39 @@ let parse_group_spec spec =
   | _ -> fail ()
 
 let traffic_run verbose seed users switches degree qubits q alpha topology
-    requests arrival_rate batch_size batch_period arrival_spec group_min
-    group_max group_spec duration_min duration_max patience_min patience_max
-    policy_name cache hier regions tiers_spec queue retry_base retry_max
-    max_queue max_inflight rate_limit burst budget flow_gate gap fail_on_sla
-    fault_mtbf fault_mttr fault_targets fault_regional fault_radius
-    recovery_name jobs slot show_outcomes metrics =
+    requests arrival_rate batch_size batch_period arrival_spec modulate_spec
+    group_min group_max group_spec duration_min duration_max patience_min
+    patience_max policy_name cache hier regions tiers_spec queue retry_base
+    retry_max max_queue max_inflight rate_limit burst budget flow_gate gap
+    fail_on_sla fault_mtbf fault_mttr fault_targets fault_regional
+    fault_radius recovery_name checkpoint_every checkpoint_file restore_file
+    reconfig_file halt_at drill_every jobs slot show_outcomes metrics =
   apply_verbose verbose;
   metrics_begin metrics;
   if slot < 0. || not (Float.is_finite slot) then begin
     prerr_endline "--slot must be a finite time >= 0";
+    exit 1
+  end;
+  if checkpoint_every < 0. || not (Float.is_finite checkpoint_every) then begin
+    prerr_endline "--checkpoint-every must be a finite time >= 0";
+    exit 1
+  end;
+  if drill_every < 0. || not (Float.is_finite drill_every) then begin
+    prerr_endline "--drill must be a finite time >= 0";
+    exit 1
+  end;
+  if halt_at >= 0. && checkpoint_every <= 0. then begin
+    prerr_endline "--halt-at requires --checkpoint-every";
+    exit 1
+  end;
+  if
+    drill_every > 0.
+    && (checkpoint_every > 0. || restore_file <> None || halt_at >= 0.)
+  then begin
+    (* The drill owns the checkpoint/restore cycle itself. *)
+    prerr_endline
+      "--drill cannot be combined with --checkpoint-every, --restore or \
+       --halt-at";
     exit 1
   end;
   if hier && tiers_spec <> "" then begin
@@ -1058,17 +1114,39 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
   | Error (`Msg m) -> prerr_endline m; exit 1
   | Ok (g, labels) ->
       let params = Params.create ~alpha ~q () in
-      let arrivals =
+      let base_arrivals () =
+        if batch_size > 0 then
+          Qnet_online.Workload.Batched
+            { period = batch_period; size = batch_size }
+        else Qnet_online.Workload.Poisson arrival_rate
+      in
+      let arrivals, arrival_mod =
         match arrival_spec with
+        | Some spec when is_modulation_spec spec -> (
+            (* --arrival diurnal:…/flash:… modulates the default base
+               process; an explicit base goes through --modulate. *)
+            match parse_modulation_spec spec with
+            | Ok m -> (base_arrivals (), Some m)
+            | Error msg -> prerr_endline msg; exit 1)
         | Some spec -> (
             match parse_arrival_spec spec with
-            | Ok a -> a
+            | Ok a -> (a, None)
             | Error msg -> prerr_endline msg; exit 1)
-        | None ->
-            if batch_size > 0 then
-              Qnet_online.Workload.Batched
-                { period = batch_period; size = batch_size }
-            else Qnet_online.Workload.Poisson arrival_rate
+        | None -> (base_arrivals (), None)
+      in
+      let modulation =
+        match modulate_spec with
+        | None -> arrival_mod
+        | Some spec -> (
+            if arrival_mod <> None then begin
+              prerr_endline
+                "--modulate cannot be combined with a modulating --arrival \
+                 spec";
+              exit 1
+            end;
+            match parse_modulation_spec spec with
+            | Ok m -> Some m
+            | Error msg -> prerr_endline msg; exit 1)
       in
       let group_size =
         match group_spec with
@@ -1083,7 +1161,7 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
           Qnet_online.Workload.spec ~requests ~arrivals ~group_size
             ~duration:(duration_min, duration_max)
             ~patience:(patience_min, patience_max)
-            ()
+            ?modulation ()
         with Invalid_argument msg -> prerr_endline msg; exit 1
       in
       let named name =
@@ -1200,10 +1278,125 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
           (fun oracle health -> Qnet_hier.Serve.attach_health oracle health)
           hier_oracle
       in
+      let reconfig =
+        match reconfig_file with
+        | None -> []
+        | Some path -> (
+            let data =
+              try
+                let ic = open_in_bin path in
+                let n = in_channel_length ic in
+                let data = really_input_string ic n in
+                close_in ic;
+                data
+              with Sys_error m ->
+                Printf.eprintf "cannot read reconfig file: %s\n" m;
+                exit 2
+            in
+            match Qnet_util.Sexp.of_string (String.trim data) with
+            | Error m ->
+                Printf.eprintf "reconfig %s: %s\n" path m;
+                exit 2
+            | Ok doc -> (
+                match Qnet_online.Reconfig.of_sexp doc with
+                | Error m ->
+                    Printf.eprintf "reconfig %s: %s\n" path m;
+                    exit 2
+                | Ok events -> (
+                    match Qnet_online.Reconfig.validate g events with
+                    | Error m ->
+                        Printf.eprintf "reconfig %s: %s\n" path m;
+                        exit 2
+                    | Ok () ->
+                        Printf.printf "reconfig: %d change(s) from %s\n"
+                          (List.length events) path;
+                        events)))
+      in
+      (* Everything that shapes the deterministic run — a checkpoint
+         only restores byte-identically under identical inputs.  --jobs
+         and --slot are deliberately absent: results are invariant
+         across them, so a checkpoint cut at one parallelism level may
+         be restored at another. *)
+      let fingerprint =
+        Format.asprintf
+          "seed=%d topology=%s users=%d switches=%d degree=%.17g qubits=%d \
+           q=%.17g alpha=%.17g regions=%d workload=[%a] policy=%s%s \
+           queue=%d retry=%.17g/%.17g \
+           overload=%d/%d/%.17g/%.17g/%d/%b \
+           faults=%.17g/%.17g/%s/%.17g/%.17g recovery=%s reconfig=%s"
+          seed topology users switches degree qubits q alpha regions
+          Qnet_online.Workload.pp_spec wspec
+          policy.Qnet_online.Policy.name
+          (if tiers_spec <> "" then " tiers=" ^ tiers_spec else "")
+          queue retry_base retry_max max_queue max_inflight rate_limit
+          burst budget flow_gate fault_mtbf fault_mttr fault_targets
+          fault_regional fault_radius recovery_name
+          (if reconfig = [] then "none"
+           else
+             Digest.to_hex
+               (Digest.string
+                  (Qnet_util.Sexp.to_string
+                     (Qnet_online.Reconfig.to_sexp reconfig))))
+      in
+      if drill_every > 0. then begin
+        (* Crash-recovery drill: checkpoint every --drill time units,
+           then simulate a crash at every instant and diff the restored
+           continuations against the uninterrupted run. *)
+        let drill =
+          try
+            with_jobs jobs (fun pool ->
+                Qnet_resilience.Drill.crash_restore ~config ?faults
+                  ~reconfig ?pool ~slot ~every:drill_every g params
+                  ~requests:reqs)
+          with Invalid_argument msg -> prerr_endline msg; exit 1
+        in
+        Format.printf "%a@." Qnet_resilience.Drill.pp drill;
+        metrics_report metrics;
+        exit (if Qnet_resilience.Drill.passed drill then 0 else 1)
+      end;
+      let restore_from =
+        match restore_file with
+        | None -> None
+        | Some path -> (
+            match
+              Qnet_resilience.Checkpoint.load ~path ~config:fingerprint
+            with
+            | Ok snap ->
+                Printf.printf "restored from %s (checkpoint at t=%g)\n" path
+                  (Qnet_online.Engine.snapshot_at snap);
+                Some snap
+            | Error msg -> prerr_endline msg; exit 2)
+      in
+      let checkpoint =
+        if checkpoint_every <= 0. then None
+        else
+          Some
+            ( checkpoint_every,
+              fun at snap ->
+                (match
+                   Qnet_resilience.Checkpoint.save ~path:checkpoint_file
+                     ~config:fingerprint snap
+                 with
+                | Ok () -> ()
+                | Error msg -> prerr_endline msg; exit 2);
+                if halt_at >= 0. && at >= halt_at then begin
+                  Printf.printf
+                    "halted at checkpoint t=%g (state saved to %s; resume \
+                     with --restore %s)\n"
+                    at checkpoint_file checkpoint_file;
+                  exit 0
+                end )
+      in
       let report, outcomes =
-        with_jobs jobs (fun pool ->
-            Qnet_online.Engine.run ~config ?faults ?pool ?on_health ~slot g
-              params ~requests:reqs)
+        try
+          with_jobs jobs (fun pool ->
+              Qnet_online.Engine.run ~config ?faults ?pool ?on_health ~slot
+                ?checkpoint ~reconfig ?restore_from g params ~requests:reqs)
+        with Invalid_argument msg ->
+          prerr_endline msg;
+          (* A restore the engine refuses means the file lied about
+             matching this run — a file problem, not a flag problem. *)
+          exit (if restore_from <> None then 2 else 1)
       in
       print_endline
         (Qnet_util.Table.to_string (Qnet_online.Engine.report_table report));
@@ -1399,7 +1592,9 @@ let traffic_cmd =
       "Arrival process spec: $(b,poisson:<rate>), \
        $(b,batch:<size>:<period>) or $(b,pareto:<alpha>:<min>:<max>) \
        (bounded-Pareto inter-arrival gaps).  Overrides --arrival-rate \
-       and --batch."
+       and --batch.  Also accepts $(b,diurnal:<period>:<amplitude>) and \
+       $(b,flash:<at>:<width>:<boost>), which modulate the default base \
+       process (see --modulate to compose with an explicit base)."
     in
     Arg.(
       value & opt (some string) None & info [ "arrival" ] ~docv:"SPEC" ~doc)
@@ -1485,6 +1680,66 @@ let traffic_cmd =
     in
     Arg.(value & opt float (-1.) & info [ "fail-on-sla" ] ~docv:"PCT" ~doc)
   in
+  let modulate_t =
+    let doc =
+      "Long-horizon arrival-rate modulation composed with the base \
+       arrival process: $(b,diurnal:<period>:<amplitude>) (sinusoidal \
+       day/night curve) or $(b,flash:<at>:<width>:<boost>) (flash \
+       crowd).  The same grammar is accepted directly by --arrival."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "modulate" ] ~docv:"SPEC" ~doc)
+  in
+  let checkpoint_every_t =
+    let doc =
+      "Cut a durable engine checkpoint every $(docv) time units (0 \
+       disables).  Each checkpoint atomically overwrites --checkpoint."
+    in
+    Arg.(value & opt float 0. & info [ "checkpoint-every" ] ~docv:"DT" ~doc)
+  in
+  let checkpoint_file_t =
+    let doc = "Checkpoint file path (with --checkpoint-every)." in
+    Arg.(
+      value
+      & opt string "muerp.ckpt"
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let restore_t =
+    let doc =
+      "Resume an interrupted run from a checkpoint file written under \
+       the same flags.  The continuation reproduces the uninterrupted \
+       run's report byte-for-byte."
+    in
+    Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"FILE" ~doc)
+  in
+  let reconfig_file_t =
+    let doc =
+      "Apply live topology reconfiguration events from a \
+       muerp-reconfig/1 s-expression file: switch join/leave, link \
+       add/remove, and qubit re-provisioning, mid-run and without \
+       draining traffic."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "reconfig" ] ~docv:"FILE" ~doc)
+  in
+  let halt_at_t =
+    let doc =
+      "Crash-recovery drills: exit 0 after writing the first checkpoint \
+       at or past time $(docv), simulating an interrupted run (negative \
+       disables; requires --checkpoint-every)."
+    in
+    Arg.(value & opt float (-1.) & info [ "halt-at" ] ~docv:"T" ~doc)
+  in
+  let drill_t =
+    let doc =
+      "Run an in-process crash-recovery drill instead of a plain run: \
+       checkpoint every $(docv) time units, simulate a crash at every \
+       checkpoint instant, and diff each restored continuation against \
+       the uninterrupted run (0 disables; exits nonzero on any \
+       divergence)."
+    in
+    Arg.(value & opt float 0. & info [ "drill" ] ~docv:"DT" ~doc)
+  in
   let info =
     Cmd.info "traffic"
       ~doc:
@@ -1496,6 +1751,7 @@ let traffic_cmd =
       const traffic_run $ verbose_t $ seed_t $ users_t $ switches_t
       $ degree_t $ qubits_t $ q_t $ alpha_t $ topology_t $ requests_t
       $ arrival_rate_t $ batch_size_t $ batch_period_t $ arrival_spec_t
+      $ modulate_t
       $ group_min_t $ group_max_t $ group_spec_t $ duration_min_t
       $ duration_max_t $ patience_min_t $ patience_max_t $ policy_t
       $ cache_t $ hier_t $ regions_t $ tiers_t $ queue_t $ retry_base_t
@@ -1503,7 +1759,9 @@ let traffic_cmd =
       $ max_queue_t $ max_inflight_t $ rate_t $ burst_t $ budget_t
       $ flow_gate_t $ gap_t
       $ fail_on_sla_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
-      $ fault_regional_t $ fault_radius_t $ recovery_t $ jobs_t $ slot_t
+      $ fault_regional_t $ fault_radius_t $ recovery_t
+      $ checkpoint_every_t $ checkpoint_file_t $ restore_t
+      $ reconfig_file_t $ halt_at_t $ drill_t $ jobs_t $ slot_t
       $ outcomes_t $ metrics_t)
 
 (* ------------------------------------------------------------------ *)

@@ -7,8 +7,13 @@ module Graph = Qnet_graph.Graph
    counts mutations of a dense state; overlay writes never touch it, so
    an unchanged version number certifies that a snapshot taken earlier
    is still an exact view of the live residual state. *)
+(* [quota] is the provisioned qubit budget per switch — it starts as the
+   graph's static qubit counts but live re-provisioning (switch
+   upgrades/downgrades mid-run) can move it, which is why [used] must be
+   computed against the quota rather than the immutable graph. *)
 type t = {
   graph : Graph.t;
+  quota : int array;
   residual : int array;
   delta : (int, int) Hashtbl.t option;  (* [Some] ⇒ COW view over [residual] *)
   mutable version : int;
@@ -16,11 +21,11 @@ type t = {
 
 let of_graph graph =
   let n = Graph.vertex_count graph in
-  let residual =
+  let quota =
     Array.init n (fun v ->
         if Graph.is_switch graph v then Graph.qubits graph v else 0)
   in
-  { graph; residual; delta = None; version = 0 }
+  { graph; quota; residual = Array.copy quota; delta = None; version = 0 }
 
 let residual_of t v =
   match t.delta with
@@ -39,13 +44,14 @@ let set t v r =
 
 let copy t =
   match t.delta with
-  | None -> { t with residual = Array.copy t.residual }
+  | None ->
+      { t with quota = Array.copy t.quota; residual = Array.copy t.residual }
   | Some d ->
       (* Materialise the view: base plus delta collapses into a fresh
          dense state, so the copy is independent of both. *)
       let residual = Array.copy t.residual in
       Hashtbl.iter (fun v r -> residual.(v) <- r) d;
-      { t with residual; delta = None }
+      { t with quota = Array.copy t.quota; residual; delta = None }
 
 let overlay t =
   {
@@ -89,8 +95,25 @@ let release_channel t path =
     (interior path)
 
 let used t v =
-  if Graph.is_user t.graph v then 0
-  else Graph.qubits t.graph v - residual_of t v
+  if Graph.is_user t.graph v then 0 else t.quota.(v) - residual_of t v
+
+let quota t v = t.quota.(v)
+
+(* Live re-provisioning: move switch [v]'s qubit budget to [q], shifting
+   the residual by the same amount so in-flight consumption is
+   preserved.  Shrinking below current usage legitimately drives the
+   residual negative — the caller (the online engine) must recover
+   enough leases to restore it before admitting new work.  Dense states
+   only: an overlay is a speculative view and must never re-provision. *)
+let provision t v q =
+  if t.delta <> None then invalid_arg "Capacity.provision: overlay view";
+  if not (Graph.is_switch t.graph v) then
+    invalid_arg "Capacity.provision: not a switch";
+  if q < 0 then invalid_arg "Capacity.provision: negative quota";
+  let shift = q - t.quota.(v) in
+  t.quota.(v) <- q;
+  t.residual.(v) <- t.residual.(v) + shift;
+  t.version <- t.version + 1
 
 let overcommitted t =
   let bad = ref [] in

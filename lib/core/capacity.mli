@@ -52,7 +52,22 @@ val release_channel : t -> int list -> unit
     Algorithm 3's conflict resolution). *)
 
 val used : t -> int -> int
-(** Qubits currently consumed at vertex [v] ([0] for users). *)
+(** Qubits currently consumed at vertex [v] ([0] for users), measured
+    against the live {!quota} (not the immutable graph, which a
+    {!provision} call may have superseded). *)
+
+val quota : t -> int -> int
+(** The provisioned qubit budget of vertex [v] — initially the graph's
+    static qubit count, moved by {!provision}. *)
+
+val provision : t -> int -> int -> unit
+(** [provision t v q] re-provisions switch [v] to a budget of [q]
+    qubits, shifting the residual by the same delta so current
+    consumption is preserved.  Shrinking below current usage leaves the
+    residual {e negative}; the caller must recover leases through [v]
+    until it is non-negative again.  Bumps {!version}.
+    @raise Invalid_argument on an overlay view, a user vertex, or a
+    negative budget. *)
 
 val overcommitted : t -> int list
 (** Switch ids whose residual went negative — always empty unless

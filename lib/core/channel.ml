@@ -33,6 +33,16 @@ let validate g path =
 
 let build g params path =
   let hops = List.length path - 1 in
+  (* Normalise the orientation before measuring: float summation order
+     depends on direction, so computing on the stored src->dst path
+     makes the channel bit-identical however the path was discovered —
+     which checkpoint restore relies on to rebuild channels from their
+     stored paths. *)
+  let first = List.hd path in
+  let last = List.nth path (List.length path - 1) in
+  let src, dst, path =
+    if first <= last then (first, last, path) else (last, first, List.rev path)
+  in
   let total_length = Paths.path_length g path in
   (* Guard the hops = 1 case: 0. *. infinity is NaN when q = 0. *)
   let swap_cost =
@@ -40,11 +50,6 @@ let build g params path =
     else float_of_int (hops - 1) *. Params.swap_neg_log params
   in
   let neg_log = Params.link_neg_log params total_length +. swap_cost in
-  let first = List.hd path in
-  let last = List.nth path (List.length path - 1) in
-  let src, dst, path =
-    if first <= last then (first, last, path) else (last, first, List.rev path)
-  in
   {
     src;
     dst;

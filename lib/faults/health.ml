@@ -98,3 +98,39 @@ let repairs t = t.repairs
 
 let observed_mttr t =
   if t.repairs = 0 then 0. else t.total_downtime /. float_of_int t.repairs
+
+(* Checkpoint support.  Observers are closures and cannot be
+   serialised; a restored run re-registers them (the engine and the
+   hier cache wiring both attach on startup), so the snapshot carries
+   only the numeric state. *)
+type snapshot = {
+  s_link_down : int array;
+  s_switch_down : int array;
+  s_link_since : float array;
+  s_switch_since : float array;
+  s_repairs : int;
+  s_total_downtime : float;
+}
+
+let snapshot t =
+  {
+    s_link_down = Array.copy t.link_down;
+    s_switch_down = Array.copy t.switch_down;
+    s_link_since = Array.copy t.link_since;
+    s_switch_since = Array.copy t.switch_since;
+    s_repairs = t.repairs;
+    s_total_downtime = t.total_downtime;
+  }
+
+let restore t s =
+  let blit name src dst =
+    if Array.length src <> Array.length dst then
+      invalid_arg ("Health.restore: " ^ name ^ " size mismatch");
+    Array.blit src 0 dst 0 (Array.length src)
+  in
+  blit "link_down" s.s_link_down t.link_down;
+  blit "switch_down" s.s_switch_down t.switch_down;
+  blit "link_since" s.s_link_since t.link_since;
+  blit "switch_since" s.s_switch_since t.switch_since;
+  t.repairs <- s.s_repairs;
+  t.total_downtime <- s.s_total_downtime

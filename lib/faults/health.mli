@@ -68,3 +68,26 @@ val repairs : t -> int
 val observed_mttr : t -> float
 (** Mean length of completed downtime spells; [0.] before the first
     repair. *)
+
+(** {2 Checkpointing}
+
+    The numeric health state (outage counts, spell start times, repair
+    accounting) as a plain record — observers are {e not} captured;
+    a restored run must re-register them before applying events. *)
+
+type snapshot = {
+  s_link_down : int array;
+  s_switch_down : int array;
+  s_link_since : float array;
+  s_switch_since : float array;
+  s_repairs : int;
+  s_total_downtime : float;
+}
+
+val snapshot : t -> snapshot
+(** Deep copy of the numeric state. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite [t]'s numeric state with the snapshot.
+    @raise Invalid_argument if array sizes disagree (snapshot taken on
+    a different graph). *)

@@ -17,8 +17,10 @@ let policy ?(seed = 0xf10e5) () =
   {
     Policy.name = "flow";
     (* Stateless: the rounding seed is a pure function of the user
-       group, so concurrent speculative solves replay identically. *)
+       group, so concurrent speculative solves replay identically —
+       and a restored run routes exactly like the original. *)
     concurrent_safe = true;
+    checkpoint_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         match Lp.relax ~exclude ?budget ~capacity g params ~users with

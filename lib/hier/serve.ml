@@ -6,8 +6,11 @@ let policy oracle =
   {
     Policy.name = "hier-prim";
     (* The oracle's lazily filled segment cache is shared mutable
-       state — route calls must stay on one domain. *)
+       state — route calls must stay on one domain.  It also cannot be
+       checkpointed: a restored run starts with a cold cache, and
+       segment warmth can change which corridor wins. *)
     concurrent_safe = false;
+    checkpoint_safe = false;
     route =
       (fun ~exclude ~budget g _params ~capacity ~users ->
         if not (g == Oracle.graph oracle) then

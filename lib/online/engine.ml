@@ -34,6 +34,8 @@ let c_budget_exhausted = Tm.counter "online.overload.budget_exhausted"
 let c_degraded = Tm.counter "online.overload.degraded"
 let c_gate_rejected = Tm.counter "online.flow.gate_rejected"
 let g_queue_limit = Tm.gauge "online.overload.max_queue"
+let c_reconfig_applied = Tm.counter "online.reconfig.applied"
+let c_reconfig_recovered = Tm.counter "online.reconfig.recovered"
 
 type admission = Reject | Queue of int
 type recovery = Abort | Repair | Reroute
@@ -139,6 +141,8 @@ type report = {
   budget_exhaustions : int;
   breaker_opens : int;
   p99_wait : float;
+  reconfig_applied : int;
+  reconfig_recovered : int;
 }
 
 type event =
@@ -146,6 +150,7 @@ type event =
   | Retry of int
   | Expiry of int
   | Fault of Fsched.event
+  | Reconf of Reconfig.event
 
 (* Outcome of one speculative routing solve against a capacity
    snapshot.  [Spec_none] and [Spec_exhausted] are verdicts the commit
@@ -178,6 +183,628 @@ type active = {
   mutable tier : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint snapshots.
+
+   A snapshot is a pure-data image of the complete engine state at an
+   event-loop boundary: every pending event (with its heap seq, so the
+   FIFO tiebreaker survives the round-trip), per-request progress, the
+   active leases as channel vertex-paths (trees are rebuilt against the
+   restoring run's graph, which re-validates them), settled outcomes,
+   capacity quota/residual deltas, and the mutable state of every
+   collaborating subsystem (limiter, health, tiered-policy breakers,
+   telemetry registry).  Requests themselves are referenced by id — a
+   restore replays the original workload, so the ids resolve against
+   the [~requests] the caller passes back in. *)
+
+type s_event =
+  | SE_arrival of int
+  | SE_retry of int
+  | SE_expiry of int
+  | SE_fault of Fsched.event
+  | SE_reconf of Reconfig.event
+
+type s_resolution =
+  | SR_served of {
+      r_start : float;
+      r_finish : float;
+      r_paths : int list list;
+      r_rate : float;
+      r_attempts : int;
+      r_recoveries : int;
+      r_tier : int;
+    }
+  | SR_rejected of { r_at : float; r_queue_full : bool }
+  | SR_shed of { r_at : float; r_reason : shed_reason }
+  | SR_expired of { r_at : float; r_attempts : int }
+  | SR_interrupted of {
+      r_start : float;
+      r_at : float;
+      r_attempts : int;
+      r_recoveries : int;
+    }
+
+type s_state = {
+  ss_id : int;
+  ss_attempts : int;
+  ss_backoff : float;
+  ss_waiting : bool;
+  ss_resolved : bool;
+}
+
+type s_active = {
+  sa_lid : int;
+  sa_id : int;
+  sa_paths : int list list;
+  sa_started : float;
+  sa_finish : float;
+  sa_recoveries : int;
+  sa_tier : int;
+}
+
+type s_tier = {
+  st_serves : int array;
+  st_exhaustions : int array;
+  st_verify_rejects : int array;
+  st_breaker_skips : int array;
+  st_breakers : (Breaker.state * int * int * int) array;
+  st_last : int;
+}
+
+type snapshot = {
+  s_at : float;
+  s_next_ckpt : float;
+      (* the uninterrupted run's next checkpoint instant, so a restored
+         continuation emits its own checkpoints at the same instants *)
+  s_events : (float * int * s_event) list;
+  s_next_seq : int;
+  s_states : s_state list;
+  s_queue : int list;
+  s_active : s_active list;
+  s_outcomes : (int * s_resolution) list;  (* newest first, as accrued *)
+  s_next_lease : int;
+  s_quota : (int * int) list;  (* switches re-provisioned off the graph *)
+  s_residual : (int * int) list;  (* switches with qubits in use *)
+  s_shed_total : int;
+  s_gate_rejected : int;
+  s_budget_exhaustions : int;
+  s_peak_qubits : int;
+  s_peak_queue : int;
+  s_retries : int;
+  s_util_integral : float;
+  s_last_time : float;
+  s_makespan : float;
+  s_faults_injected : int;
+  s_faults_repaired : int;
+  s_leases_interrupted : int;
+  s_leases_recovered : int;
+  s_leases_aborted : int;
+  s_lost_service : float;
+  s_reconfig_applied : int;
+  s_reconfig_recovered : int;
+  s_limiter : (float * float) option;
+  s_health : Fhealth.snapshot option;
+  s_tier : s_tier option;
+  s_metrics : (string * Tm.dumped) list option;
+}
+
+let snapshot_at s = s.s_at
+let snapshot_version = "muerp-engine-snapshot/1"
+
+module Sexp = Qnet_util.Sexp
+
+let sx_bool b = Sexp.atom (if b then "true" else "false")
+let sx_paths paths =
+  Sexp.list (List.map (fun p -> Sexp.list (List.map Sexp.int p)) paths)
+
+let s_event_to_sexp = function
+  | SE_arrival id -> Sexp.list [ Sexp.atom "arrival"; Sexp.int id ]
+  | SE_retry id -> Sexp.list [ Sexp.atom "retry"; Sexp.int id ]
+  | SE_expiry lid -> Sexp.list [ Sexp.atom "expiry"; Sexp.int lid ]
+  | SE_fault fe ->
+      let el =
+        match fe.Fsched.element with
+        | Fsched.Link e -> Sexp.list [ Sexp.atom "link"; Sexp.int e ]
+        | Fsched.Switch v -> Sexp.list [ Sexp.atom "switch"; Sexp.int v ]
+      in
+      Sexp.list
+        [ Sexp.atom "fault"; Sexp.float fe.Fsched.time; el;
+          sx_bool fe.Fsched.up ]
+  | SE_reconf re ->
+      Sexp.list
+        [ Sexp.atom "reconfig"; Sexp.float re.Reconfig.time;
+          Reconfig.change_to_sexp re.Reconfig.change ]
+
+let s_resolution_to_sexp = function
+  | SR_served r ->
+      Sexp.list
+        [ Sexp.atom "served"; Sexp.float r.r_start; Sexp.float r.r_finish;
+          Sexp.float r.r_rate; Sexp.int r.r_attempts; Sexp.int r.r_recoveries;
+          Sexp.int r.r_tier; sx_paths r.r_paths ]
+  | SR_rejected r ->
+      Sexp.list
+        [ Sexp.atom "rejected"; Sexp.float r.r_at; sx_bool r.r_queue_full ]
+  | SR_shed r ->
+      Sexp.list
+        [ Sexp.atom "shed"; Sexp.float r.r_at;
+          Sexp.atom
+            (match r.r_reason with
+            | Rate_limit -> "rate"
+            | Queue_pressure -> "queue") ]
+  | SR_expired r ->
+      Sexp.list [ Sexp.atom "expired"; Sexp.float r.r_at; Sexp.int r.r_attempts ]
+  | SR_interrupted r ->
+      Sexp.list
+        [ Sexp.atom "interrupted"; Sexp.float r.r_start; Sexp.float r.r_at;
+          Sexp.int r.r_attempts; Sexp.int r.r_recoveries ]
+
+let breaker_state_str = function
+  | Breaker.Closed -> "closed"
+  | Breaker.Open -> "open"
+  | Breaker.Half_open -> "half-open"
+
+let dumped_to_sexp (name, d) =
+  match d with
+  | Tm.D_counter n -> Sexp.list [ Sexp.atom name; Sexp.atom "counter"; Sexp.int n ]
+  | Tm.D_gauge v -> Sexp.list [ Sexp.atom name; Sexp.atom "gauge"; Sexp.float v ]
+  | Tm.D_histogram h ->
+      Sexp.list
+        [ Sexp.atom name; Sexp.atom "hist"; Sexp.int h.Tm.d_n;
+          Sexp.float h.Tm.d_sum; Sexp.float h.Tm.d_vmin; Sexp.float h.Tm.d_vmax;
+          Sexp.list (List.map Sexp.int (Array.to_list h.Tm.d_counts)) ]
+
+let snapshot_to_sexp s =
+  let fld name elts = Sexp.list (Sexp.atom name :: elts) in
+  let pair (a, b) = Sexp.list [ Sexp.int a; Sexp.int b ] in
+  let ints l = List.map Sexp.int l in
+  let floats l = List.map Sexp.float l in
+  Sexp.list
+    [
+      Sexp.atom snapshot_version;
+      fld "at" [ Sexp.float s.s_at ];
+      fld "next-ckpt" [ Sexp.float s.s_next_ckpt ];
+      fld "next-seq" [ Sexp.int s.s_next_seq ];
+      fld "next-lease" [ Sexp.int s.s_next_lease ];
+      fld "events"
+        (List.map
+           (fun (t, seq, ev) ->
+             Sexp.list [ Sexp.float t; Sexp.int seq; s_event_to_sexp ev ])
+           s.s_events);
+      fld "states"
+        (List.map
+           (fun ss ->
+             Sexp.list
+               [ Sexp.int ss.ss_id; Sexp.int ss.ss_attempts;
+                 Sexp.float ss.ss_backoff; sx_bool ss.ss_waiting;
+                 sx_bool ss.ss_resolved ])
+           s.s_states);
+      fld "queue" (ints s.s_queue);
+      fld "active"
+        (List.map
+           (fun sa ->
+             Sexp.list
+               [ Sexp.int sa.sa_lid; Sexp.int sa.sa_id;
+                 Sexp.float sa.sa_started; Sexp.float sa.sa_finish;
+                 Sexp.int sa.sa_recoveries; Sexp.int sa.sa_tier;
+                 sx_paths sa.sa_paths ])
+           s.s_active);
+      fld "outcomes"
+        (List.map
+           (fun (id, res) ->
+             Sexp.list [ Sexp.int id; s_resolution_to_sexp res ])
+           s.s_outcomes);
+      fld "quota" (List.map pair s.s_quota);
+      fld "residual" (List.map pair s.s_residual);
+      fld "shed" [ Sexp.int s.s_shed_total ];
+      fld "gate-rejected" [ Sexp.int s.s_gate_rejected ];
+      fld "budget-exhaustions" [ Sexp.int s.s_budget_exhaustions ];
+      fld "peak-qubits" [ Sexp.int s.s_peak_qubits ];
+      fld "peak-queue" [ Sexp.int s.s_peak_queue ];
+      fld "retries" [ Sexp.int s.s_retries ];
+      fld "util-integral" [ Sexp.float s.s_util_integral ];
+      fld "last-time" [ Sexp.float s.s_last_time ];
+      fld "makespan" [ Sexp.float s.s_makespan ];
+      fld "faults-injected" [ Sexp.int s.s_faults_injected ];
+      fld "faults-repaired" [ Sexp.int s.s_faults_repaired ];
+      fld "interrupted" [ Sexp.int s.s_leases_interrupted ];
+      fld "recovered" [ Sexp.int s.s_leases_recovered ];
+      fld "aborted" [ Sexp.int s.s_leases_aborted ];
+      fld "lost-service" [ Sexp.float s.s_lost_service ];
+      fld "reconfig-applied" [ Sexp.int s.s_reconfig_applied ];
+      fld "reconfig-recovered" [ Sexp.int s.s_reconfig_recovered ];
+      fld "limiter"
+        (match s.s_limiter with
+        | None -> []
+        | Some (tokens, last) -> [ Sexp.float tokens; Sexp.float last ]);
+      fld "health"
+        (match s.s_health with
+        | None -> []
+        | Some h ->
+            [
+              fld "link-down" (ints (Array.to_list h.Fhealth.s_link_down));
+              fld "switch-down" (ints (Array.to_list h.Fhealth.s_switch_down));
+              fld "link-since" (floats (Array.to_list h.Fhealth.s_link_since));
+              fld "switch-since"
+                (floats (Array.to_list h.Fhealth.s_switch_since));
+              fld "repairs" [ Sexp.int h.Fhealth.s_repairs ];
+              fld "downtime" [ Sexp.float h.Fhealth.s_total_downtime ];
+            ]);
+      fld "tier"
+        (match s.s_tier with
+        | None -> []
+        | Some st ->
+            [
+              fld "serves" (ints (Array.to_list st.st_serves));
+              fld "exhaustions" (ints (Array.to_list st.st_exhaustions));
+              fld "verify-rejects" (ints (Array.to_list st.st_verify_rejects));
+              fld "breaker-skips" (ints (Array.to_list st.st_breaker_skips));
+              fld "breakers"
+                (List.map
+                   (fun (bs, cf, cd, op) ->
+                     Sexp.list
+                       [ Sexp.atom (breaker_state_str bs); Sexp.int cf;
+                         Sexp.int cd; Sexp.int op ])
+                   (Array.to_list st.st_breakers));
+              fld "last" [ Sexp.int st.st_last ];
+            ]);
+      fld "metrics"
+        (match s.s_metrics with
+        | None -> []
+        | Some d -> List.map dumped_to_sexp d);
+    ]
+
+(* --- snapshot parsing (pure: graph/workload validation happens at
+   restore time inside [run], where both are in scope) --------------- *)
+
+let ( let* ) = Result.bind
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+        let* y = f x in
+        go (y :: acc) rest
+  in
+  go [] l
+
+let sx_to_bool = function
+  | Sexp.Atom "true" -> Ok true
+  | Sexp.Atom "false" -> Ok false
+  | _ -> Error "expected true or false"
+
+let sx_to_paths = function
+  | Sexp.List paths ->
+      map_result
+        (function
+          | Sexp.List vs -> map_result Sexp.to_int vs
+          | Sexp.Atom _ -> Error "expected a vertex path (list)")
+        paths
+  | Sexp.Atom _ -> Error "expected a path list"
+
+(* Field access by name over the document's element list.  Unlike
+   {!Sexp.field} this never unwraps single-element payloads, so list
+   fields with one entry stay lists. *)
+let sx_assoc fields name =
+  let rec find = function
+    | [] -> Error (Printf.sprintf "snapshot: missing field %s" name)
+    | Sexp.List (Sexp.Atom n :: rest) :: _ when n = name -> Ok rest
+    | _ :: tl -> find tl
+  in
+  find fields
+
+let sx_field1 fields name =
+  let* l = sx_assoc fields name in
+  match l with
+  | [ x ] -> Ok x
+  | _ -> Error (Printf.sprintf "snapshot: field %s expects one value" name)
+
+let sx_int_field fields name =
+  let* x = sx_field1 fields name in
+  Sexp.to_int x
+
+let sx_float_field fields name =
+  let* x = sx_field1 fields name in
+  Sexp.to_float x
+
+let sx_int_list l = map_result Sexp.to_int l
+let sx_float_list l = map_result Sexp.to_float l
+
+let sx_pair = function
+  | Sexp.List [ a; b ] ->
+      let* a = Sexp.to_int a in
+      let* b = Sexp.to_int b in
+      Ok (a, b)
+  | _ -> Error "expected an (int int) pair"
+
+let s_event_of_sexp = function
+  | Sexp.List [ Sexp.Atom "arrival"; id ] ->
+      let* id = Sexp.to_int id in
+      Ok (SE_arrival id)
+  | Sexp.List [ Sexp.Atom "retry"; id ] ->
+      let* id = Sexp.to_int id in
+      Ok (SE_retry id)
+  | Sexp.List [ Sexp.Atom "expiry"; lid ] ->
+      let* lid = Sexp.to_int lid in
+      Ok (SE_expiry lid)
+  | Sexp.List [ Sexp.Atom "fault"; t; el; up ] ->
+      let* time = Sexp.to_float t in
+      let* element =
+        match el with
+        | Sexp.List [ Sexp.Atom "link"; e ] ->
+            let* e = Sexp.to_int e in
+            Ok (Fsched.Link e)
+        | Sexp.List [ Sexp.Atom "switch"; v ] ->
+            let* v = Sexp.to_int v in
+            Ok (Fsched.Switch v)
+        | _ -> Error "malformed fault element"
+      in
+      let* up = sx_to_bool up in
+      Ok (SE_fault { Fsched.time; element; up })
+  | Sexp.List [ Sexp.Atom "reconfig"; t; c ] ->
+      let* time = Sexp.to_float t in
+      let* change = Reconfig.change_of_sexp c in
+      Ok (SE_reconf { Reconfig.time; change })
+  | _ -> Error "malformed pending event"
+
+let s_resolution_of_sexp = function
+  | Sexp.List
+      [ Sexp.Atom "served"; start; finish; rate; attempts; recoveries; tier;
+        paths ] ->
+      let* r_start = Sexp.to_float start in
+      let* r_finish = Sexp.to_float finish in
+      let* r_rate = Sexp.to_float rate in
+      let* r_attempts = Sexp.to_int attempts in
+      let* r_recoveries = Sexp.to_int recoveries in
+      let* r_tier = Sexp.to_int tier in
+      let* r_paths = sx_to_paths paths in
+      Ok
+        (SR_served
+           { r_start; r_finish; r_paths; r_rate; r_attempts; r_recoveries;
+             r_tier })
+  | Sexp.List [ Sexp.Atom "rejected"; at; qf ] ->
+      let* r_at = Sexp.to_float at in
+      let* r_queue_full = sx_to_bool qf in
+      Ok (SR_rejected { r_at; r_queue_full })
+  | Sexp.List [ Sexp.Atom "shed"; at; reason ] ->
+      let* r_at = Sexp.to_float at in
+      let* r_reason =
+        match reason with
+        | Sexp.Atom "rate" -> Ok Rate_limit
+        | Sexp.Atom "queue" -> Ok Queue_pressure
+        | _ -> Error "unknown shed reason"
+      in
+      Ok (SR_shed { r_at; r_reason })
+  | Sexp.List [ Sexp.Atom "expired"; at; attempts ] ->
+      let* r_at = Sexp.to_float at in
+      let* r_attempts = Sexp.to_int attempts in
+      Ok (SR_expired { r_at; r_attempts })
+  | Sexp.List [ Sexp.Atom "interrupted"; start; at; attempts; recoveries ] ->
+      let* r_start = Sexp.to_float start in
+      let* r_at = Sexp.to_float at in
+      let* r_attempts = Sexp.to_int attempts in
+      let* r_recoveries = Sexp.to_int recoveries in
+      Ok (SR_interrupted { r_start; r_at; r_attempts; r_recoveries })
+  | _ -> Error "malformed outcome resolution"
+
+let breaker_state_of_str = function
+  | "closed" -> Ok Breaker.Closed
+  | "open" -> Ok Breaker.Open
+  | "half-open" -> Ok Breaker.Half_open
+  | s -> Error ("unknown breaker state: " ^ s)
+
+let dumped_of_sexp = function
+  | Sexp.List [ Sexp.Atom name; Sexp.Atom "counter"; n ] ->
+      let* n = Sexp.to_int n in
+      Ok (name, Tm.D_counter n)
+  | Sexp.List [ Sexp.Atom name; Sexp.Atom "gauge"; v ] ->
+      let* v = Sexp.to_float v in
+      Ok (name, Tm.D_gauge v)
+  | Sexp.List
+      [ Sexp.Atom name; Sexp.Atom "hist"; n; sum; vmin; vmax;
+        Sexp.List counts ] ->
+      let* d_n = Sexp.to_int n in
+      let* d_sum = Sexp.to_float sum in
+      let* d_vmin = Sexp.to_float vmin in
+      let* d_vmax = Sexp.to_float vmax in
+      let* counts = sx_int_list counts in
+      Ok
+        ( name,
+          Tm.D_histogram
+            { Tm.d_n; d_sum; d_vmin; d_vmax; d_counts = Array.of_list counts }
+        )
+  | _ -> Error "malformed metric dump entry"
+
+let snapshot_of_sexp doc =
+  match doc with
+  | Sexp.List (Sexp.Atom v :: fields) when v = snapshot_version ->
+      let* s_at = sx_float_field fields "at" in
+      let* s_next_ckpt = sx_float_field fields "next-ckpt" in
+      let* s_next_seq = sx_int_field fields "next-seq" in
+      let* s_next_lease = sx_int_field fields "next-lease" in
+      let* events = sx_assoc fields "events" in
+      let* s_events =
+        map_result
+          (function
+            | Sexp.List [ t; seq; ev ] ->
+                let* t = Sexp.to_float t in
+                let* seq = Sexp.to_int seq in
+                let* ev = s_event_of_sexp ev in
+                Ok (t, seq, ev)
+            | _ -> Error "malformed pending-event entry")
+          events
+      in
+      let* states = sx_assoc fields "states" in
+      let* s_states =
+        map_result
+          (function
+            | Sexp.List [ id; attempts; backoff; waiting; resolved ] ->
+                let* ss_id = Sexp.to_int id in
+                let* ss_attempts = Sexp.to_int attempts in
+                let* ss_backoff = Sexp.to_float backoff in
+                let* ss_waiting = sx_to_bool waiting in
+                let* ss_resolved = sx_to_bool resolved in
+                Ok { ss_id; ss_attempts; ss_backoff; ss_waiting; ss_resolved }
+            | _ -> Error "malformed request-state entry")
+          states
+      in
+      let* queue = sx_assoc fields "queue" in
+      let* s_queue = sx_int_list queue in
+      let* active = sx_assoc fields "active" in
+      let* s_active =
+        map_result
+          (function
+            | Sexp.List
+                [ lid; id; started; finish; recoveries; tier; paths ] ->
+                let* sa_lid = Sexp.to_int lid in
+                let* sa_id = Sexp.to_int id in
+                let* sa_started = Sexp.to_float started in
+                let* sa_finish = Sexp.to_float finish in
+                let* sa_recoveries = Sexp.to_int recoveries in
+                let* sa_tier = Sexp.to_int tier in
+                let* sa_paths = sx_to_paths paths in
+                Ok
+                  { sa_lid; sa_id; sa_paths; sa_started; sa_finish;
+                    sa_recoveries; sa_tier }
+            | _ -> Error "malformed active-lease entry")
+          active
+      in
+      let* outcomes = sx_assoc fields "outcomes" in
+      let* s_outcomes =
+        map_result
+          (function
+            | Sexp.List [ id; res ] ->
+                let* id = Sexp.to_int id in
+                let* res = s_resolution_of_sexp res in
+                Ok (id, res)
+            | _ -> Error "malformed outcome entry")
+          outcomes
+      in
+      let* quota = sx_assoc fields "quota" in
+      let* s_quota = map_result sx_pair quota in
+      let* residual = sx_assoc fields "residual" in
+      let* s_residual = map_result sx_pair residual in
+      let* s_shed_total = sx_int_field fields "shed" in
+      let* s_gate_rejected = sx_int_field fields "gate-rejected" in
+      let* s_budget_exhaustions = sx_int_field fields "budget-exhaustions" in
+      let* s_peak_qubits = sx_int_field fields "peak-qubits" in
+      let* s_peak_queue = sx_int_field fields "peak-queue" in
+      let* s_retries = sx_int_field fields "retries" in
+      let* s_util_integral = sx_float_field fields "util-integral" in
+      let* s_last_time = sx_float_field fields "last-time" in
+      let* s_makespan = sx_float_field fields "makespan" in
+      let* s_faults_injected = sx_int_field fields "faults-injected" in
+      let* s_faults_repaired = sx_int_field fields "faults-repaired" in
+      let* s_leases_interrupted = sx_int_field fields "interrupted" in
+      let* s_leases_recovered = sx_int_field fields "recovered" in
+      let* s_leases_aborted = sx_int_field fields "aborted" in
+      let* s_lost_service = sx_float_field fields "lost-service" in
+      let* s_reconfig_applied = sx_int_field fields "reconfig-applied" in
+      let* s_reconfig_recovered = sx_int_field fields "reconfig-recovered" in
+      let* limiter = sx_assoc fields "limiter" in
+      let* s_limiter =
+        match limiter with
+        | [] -> Ok None
+        | [ tokens; last ] ->
+            let* tokens = Sexp.to_float tokens in
+            let* last = Sexp.to_float last in
+            Ok (Some (tokens, last))
+        | _ -> Error "malformed limiter state"
+      in
+      let* health = sx_assoc fields "health" in
+      let* s_health =
+        match health with
+        | [] -> Ok None
+        | hf ->
+            let* ld = sx_assoc hf "link-down" in
+            let* s_link_down = sx_int_list ld in
+            let* sd = sx_assoc hf "switch-down" in
+            let* s_switch_down = sx_int_list sd in
+            let* ls = sx_assoc hf "link-since" in
+            let* s_link_since = sx_float_list ls in
+            let* ss = sx_assoc hf "switch-since" in
+            let* s_switch_since = sx_float_list ss in
+            let* s_repairs = sx_int_field hf "repairs" in
+            let* s_total_downtime = sx_float_field hf "downtime" in
+            Ok
+              (Some
+                 {
+                   Fhealth.s_link_down = Array.of_list s_link_down;
+                   s_switch_down = Array.of_list s_switch_down;
+                   s_link_since = Array.of_list s_link_since;
+                   s_switch_since = Array.of_list s_switch_since;
+                   s_repairs;
+                   s_total_downtime;
+                 })
+      in
+      let* tier = sx_assoc fields "tier" in
+      let* s_tier =
+        match tier with
+        | [] -> Ok None
+        | tf ->
+            let* serves = sx_assoc tf "serves" in
+            let* st_serves = sx_int_list serves in
+            let* exhaustions = sx_assoc tf "exhaustions" in
+            let* st_exhaustions = sx_int_list exhaustions in
+            let* vr = sx_assoc tf "verify-rejects" in
+            let* st_verify_rejects = sx_int_list vr in
+            let* bsk = sx_assoc tf "breaker-skips" in
+            let* st_breaker_skips = sx_int_list bsk in
+            let* breakers = sx_assoc tf "breakers" in
+            let* st_breakers =
+              map_result
+                (function
+                  | Sexp.List [ Sexp.Atom state; cf; cd; op ] ->
+                      let* bs = breaker_state_of_str state in
+                      let* cf = Sexp.to_int cf in
+                      let* cd = Sexp.to_int cd in
+                      let* op = Sexp.to_int op in
+                      Ok (bs, cf, cd, op)
+                  | _ -> Error "malformed breaker state")
+                breakers
+            in
+            let* st_last = sx_int_field tf "last" in
+            Ok
+              (Some
+                 {
+                   st_serves = Array.of_list st_serves;
+                   st_exhaustions = Array.of_list st_exhaustions;
+                   st_verify_rejects = Array.of_list st_verify_rejects;
+                   st_breaker_skips = Array.of_list st_breaker_skips;
+                   st_breakers = Array.of_list st_breakers;
+                   st_last;
+                 })
+      in
+      let* metrics = sx_assoc fields "metrics" in
+      let* s_metrics =
+        match metrics with
+        | [] -> Ok None
+        | entries ->
+            let* d = map_result dumped_of_sexp entries in
+            Ok (Some d)
+      in
+      Ok
+        {
+          s_at; s_next_ckpt; s_events; s_next_seq; s_states; s_queue;
+          s_active; s_outcomes; s_next_lease; s_quota; s_residual;
+          s_shed_total; s_gate_rejected; s_budget_exhaustions; s_peak_qubits;
+          s_peak_queue; s_retries; s_util_integral; s_last_time; s_makespan;
+          s_faults_injected; s_faults_repaired; s_leases_interrupted;
+          s_leases_recovered; s_leases_aborted; s_lost_service;
+          s_reconfig_applied; s_reconfig_recovered; s_limiter; s_health;
+          s_tier; s_metrics;
+        }
+  | Sexp.List (Sexp.Atom v :: _)
+    when String.length v > 20 && String.sub v 0 20 = "muerp-engine-snapsho" ->
+      Error
+        (Printf.sprintf "unsupported snapshot version %s (this build reads %s)"
+           v snapshot_version)
+  | _ ->
+      Error
+        ("malformed snapshot document (expected (" ^ snapshot_version
+       ^ " ...))")
+
+(* ------------------------------------------------------------------ *)
+
 let validate g requests =
   let ids = Hashtbl.create 16 in
   List.iter
@@ -203,6 +830,18 @@ let validate g requests =
             invalid_arg "Engine.run: request member is not a user")
         r.Workload.users)
     requests
+
+(* Vertices strictly between a channel path's endpoints — the switches
+   whose qubits the channel consumes (Capacity keeps the same helper
+   private). *)
+let interior_of_path = function
+  | [] | [ _ ] -> []
+  | _ :: rest ->
+      let rec drop_last = function
+        | [] | [ _ ] -> []
+        | x :: tl -> x :: drop_last tl
+      in
+      drop_last rest
 
 let total_switch_qubits g =
   List.fold_left (fun acc s -> acc + Graph.qubits g s) 0 (Graph.switches g)
@@ -232,11 +871,28 @@ let validate_schedule g schedule =
     schedule
 
 let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
-    ?on_health ?pool ?(slot = 0.) g params ~requests =
+    ?on_health ?pool ?(slot = 0.) ?checkpoint ?(reconfig = []) ?restore_from g
+    params ~requests =
   validate g requests;
   Option.iter (validate_schedule g) fault_schedule;
   if slot < 0. || not (Float.is_finite slot) then
     invalid_arg "Engine.run: slot must be finite and >= 0";
+  (if (checkpoint <> None || restore_from <> None)
+      && not cfg.policy.Policy.checkpoint_safe
+   then
+     invalid_arg
+       (Printf.sprintf
+          "Engine.run: policy %s keeps hidden mutable state and cannot be \
+           checkpointed or restored"
+          cfg.policy.Policy.name));
+  (match checkpoint with
+  | Some (every, _) ->
+      if every <= 0. || not (Float.is_finite every) then
+        invalid_arg "Engine.run: checkpoint interval must be positive"
+  | None -> ());
+  (match Reconfig.validate g reconfig with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Engine.run: " ^ e));
   (* Called from inside a parallel region (a policy or harness that is
      itself running on a pool), nested submission would raise deep in
      the loop: degrade to the serial path instead. *)
@@ -247,8 +903,12 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   in
   let capacity = Capacity.of_graph g in
   let health =
+    (* Reconfiguration rides on the same availability state as faults:
+       an administrative leave excludes the element from routing exactly
+       as a failure would, so recovery and cache invalidation behave
+       identically for both. *)
     match (faults, fault_schedule) with
-    | None, None -> None
+    | None, None -> if reconfig = [] then None else Some (Fhealth.create g)
     | _ -> Some (Fhealth.create g)
   in
   (match (health, on_health) with
@@ -290,6 +950,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   let leases_recovered = ref 0 in
   let leases_aborted = ref 0 in
   let lost_service = ref 0. in
+  let reconfig_applied = ref 0 in
+  let reconfig_recovered = ref 0 in
   let resolve st resolution =
     st.resolved <- true;
     st.waiting <- false;
@@ -557,18 +1219,17 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       (fun (c : Channel.t) -> dead_path c.Channel.path)
       tree.Ent_tree.channels
   in
-  (* Channel-level repair: refund only the dead channels, then find a
-     replacement channel between the same endpoints over the residual
-     graph minus the failed elements. *)
-  let repair a =
+  (* Channel-level repair: refund only the channels [dead] condemns,
+     then find a replacement channel between the same endpoints over the
+     residual graph minus the failed (or administratively drained)
+     elements. *)
+  let repair ~dead a =
     let live, dead_cs =
       List.partition
-        (fun (c : Channel.t) -> not (dead_path c.Channel.path))
+        (fun (c : Channel.t) -> not (dead c.Channel.path))
         a.tree.Ent_tree.channels
     in
-    let remainder, _dead_paths =
-      Lease.release_where capacity a.lease ~dead:dead_path
-    in
+    let remainder, _dead_paths = Lease.release_where capacity a.lease ~dead in
     let rec replace acc = function
       | [] -> Some (List.rev acc)
       | (c : Channel.t) :: rest -> (
@@ -617,7 +1278,10 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         a.tier <- served_tier ();
         Some tree'
   in
-  let recover t element a =
+  (* [dead] condemns the channels the recovery must replace (defaults to
+     the health exclusion); [admin] marks an operator-driven recovery so
+     it lands in the reconfig counters rather than the fault ones. *)
+  let recover ?(dead = dead_path) ?(admin = false) t element a =
     incr leases_interrupted;
     Tm.Counter.incr c_leases_interrupted;
     let before = a.tree in
@@ -629,7 +1293,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
           | Abort ->
               Lease.release capacity a.lease;
               None
-          | Repair -> repair a
+          | Repair -> repair ~dead a
           | Reroute -> reroute a)
     in
     (match after with
@@ -639,6 +1303,10 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         a.recoveries <- a.recoveries + 1;
         incr leases_recovered;
         Tm.Counter.incr c_leases_recovered;
+        if admin then begin
+          incr reconfig_recovered;
+          Tm.Counter.incr c_reconfig_recovered
+        end;
         Tm.Histogram.observe h_recovery (Qnet_telemetry.Clock.elapsed_since t0)
     | None ->
         (* Abort-and-refund: the capacity is already back in the pool;
@@ -696,25 +1364,322 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
                by the failed element may route now. *)
             rescan_queue t)
   in
-  List.iter
-    (fun (r : Workload.request) ->
-      Event_queue.push events r.Workload.arrival (Arrival r))
-    requests;
-  let schedule =
-    match fault_schedule with
-    | Some s -> List.sort Fsched.compare_event s
-    | None -> (
-        match faults with
-        | None -> []
-        | Some model -> Fsched.generate model g ~horizon:(fault_horizon requests))
+  (* Operator-driven topology changes, applied without draining traffic.
+     Leaves and removals run through the same health transition as
+     faults (recover affected leases, re-exclude the element); joins and
+     additions re-admit it; a provision moves the switch's quota and —
+     when shrunk below current usage — recovers just enough leases
+     through the switch to fit the new budget, in lease-id order. *)
+  let on_reconf t (re : Reconfig.event) =
+    let admin_transition element up =
+      match health with
+      | None -> ()
+      | Some h -> (
+          match Fhealth.apply h { Fsched.time = t; element; up } with
+          | Fhealth.No_change -> ()
+          | Fhealth.Went_down ->
+              batch_dirty := true;
+              incr reconfig_applied;
+              Tm.Counter.incr c_reconfig_applied;
+              let affected =
+                Hashtbl.fold
+                  (fun _ a acc -> if tree_dead a.tree then a :: acc else acc)
+                  active []
+                |> List.sort (fun (x : active) y -> compare x.lid y.lid)
+              in
+              List.iter (recover ~admin:true t element) affected;
+              if affected <> [] then rescan_queue t
+          | Fhealth.Came_up ->
+              batch_dirty := true;
+              incr reconfig_applied;
+              Tm.Counter.incr c_reconfig_applied;
+              rescan_queue t)
+    in
+    match re.Reconfig.change with
+    | Reconfig.Switch_leave v -> admin_transition (Fsched.Switch v) false
+    | Reconfig.Switch_join v -> admin_transition (Fsched.Switch v) true
+    | Reconfig.Link_remove e -> admin_transition (Fsched.Link e) false
+    | Reconfig.Link_add e -> admin_transition (Fsched.Link e) true
+    | Reconfig.Provision { switch = v; qubits = q } ->
+        batch_dirty := true;
+        incr reconfig_applied;
+        Tm.Counter.incr c_reconfig_applied;
+        Capacity.provision capacity v q;
+        (if Capacity.remaining capacity v < 0 then begin
+           (* Shrunk below current usage: recover leases crossing the
+              switch, oldest first, until the deficit clears.  Each
+              recovery either replaces the crossing channels (the
+              replacement cannot re-enter [v] — its residual is
+              negative, so it cannot relay) or aborts and refunds, so
+              the loop provably terminates with residual >= 0 once no
+              crossing lease remains. *)
+           let through path = List.mem v (interior_of_path path) in
+           let crossing =
+             Hashtbl.fold
+               (fun _ a acc ->
+                 if
+                   List.exists
+                     (fun (c : Channel.t) -> through c.Channel.path)
+                     a.tree.Ent_tree.channels
+                 then a :: acc
+                 else acc)
+               active []
+             |> List.sort (fun (x : active) y -> compare x.lid y.lid)
+           in
+           List.iter
+             (fun a ->
+               if Capacity.remaining capacity v < 0 then
+                 recover ~dead:through ~admin:true t (Fsched.Switch v) a)
+             crossing
+         end);
+        rescan_queue t
   in
-  List.iter
-    (fun (fe : Fsched.event) -> Event_queue.push events fe.time (Fault fe))
-    schedule;
+  (* Rebuild the complete engine state from a snapshot.  Trees are
+     reconstructed channel-by-channel against this run's graph (which
+     re-validates every path), their capacity re-consumed, and the
+     recorded residuals cross-checked — a snapshot that disagrees with
+     the graph or flags it is restored under fails loudly here rather
+     than mis-accounting silently. *)
+  let restore_state (snap : snapshot) =
+    let fail msg = invalid_arg ("Engine.run: restore: " ^ msg) in
+    let req_by_id = Hashtbl.create (max 16 (List.length requests)) in
+    List.iter
+      (fun (r : Workload.request) -> Hashtbl.replace req_by_id r.Workload.id r)
+      requests;
+    let req_of id =
+      match Hashtbl.find_opt req_by_id id with
+      | Some r -> r
+      | None ->
+          fail
+            (Printf.sprintf
+               "snapshot references request %d, absent from this workload \
+                (restore must replay the original seed and flags)"
+               id)
+    in
+    let tree_of_paths paths =
+      let channels =
+        List.map
+          (fun path ->
+            match Channel.make g params path with
+            | Ok c -> c
+            | Error reason ->
+                fail ("snapshot channel invalid on this network: " ^ reason))
+          paths
+      in
+      Ent_tree.of_channels channels
+    in
+    let des_event = function
+      | SE_arrival id -> Arrival (req_of id)
+      | SE_retry id -> Retry id
+      | SE_expiry lid -> Expiry lid
+      | SE_fault fe -> Fault fe
+      | SE_reconf re -> Reconf re
+    in
+    let des_resolution = function
+      | SR_served r ->
+          Served
+            {
+              start = r.r_start;
+              finish = r.r_finish;
+              tree = tree_of_paths r.r_paths;
+              rate = r.r_rate;
+              attempts = r.r_attempts;
+              recoveries = r.r_recoveries;
+              tier = r.r_tier;
+            }
+      | SR_rejected r -> Rejected { at = r.r_at; queue_full = r.r_queue_full }
+      | SR_shed r -> Shed { at = r.r_at; reason = r.r_reason }
+      | SR_expired r -> Expired { at = r.r_at; attempts = r.r_attempts }
+      | SR_interrupted r ->
+          Interrupted
+            {
+              start = r.r_start;
+              at = r.r_at;
+              attempts = r.r_attempts;
+              recoveries = r.r_recoveries;
+            }
+    in
+    List.iter
+      (fun (v, q) ->
+        if v < 0 || v >= Graph.vertex_count g || not (Graph.is_switch g v)
+        then fail "quota entry names a non-switch vertex";
+        if q < 0 then fail "negative quota in snapshot";
+        Capacity.provision capacity v q)
+      snap.s_quota;
+    List.iter
+      (fun ss ->
+        Hashtbl.replace states ss.ss_id
+          {
+            req = req_of ss.ss_id;
+            attempts = ss.ss_attempts;
+            backoff = ss.ss_backoff;
+            waiting = ss.ss_waiting;
+            resolved = ss.ss_resolved;
+          })
+      snap.s_states;
+    List.iter
+      (fun id ->
+        if not (Hashtbl.mem states id) then
+          fail "queued request id has no recorded state")
+      snap.s_queue;
+    queue := snap.s_queue;
+    List.iter
+      (fun sa ->
+        let st =
+          match Hashtbl.find_opt states sa.sa_id with
+          | Some st -> st
+          | None -> fail "active lease names an unknown request"
+        in
+        let tree = tree_of_paths sa.sa_paths in
+        (try
+           List.iter
+             (fun (c : Channel.t) ->
+               Capacity.consume_channel capacity c.Channel.path)
+             tree.Ent_tree.channels
+         with Invalid_argument _ ->
+           fail "active leases exceed switch capacity (corrupt snapshot)");
+        let lease = Lease.acquire tree in
+        Hashtbl.replace active sa.sa_lid
+          {
+            lid = sa.sa_lid;
+            st;
+            lease;
+            tree;
+            started = sa.sa_started;
+            finish = sa.sa_finish;
+            recoveries = sa.sa_recoveries;
+            tier = sa.sa_tier;
+          };
+        in_use := !in_use + Lease.qubits lease)
+      snap.s_active;
+    List.iter
+      (fun v ->
+        let expect =
+          match List.assoc_opt v snap.s_residual with
+          | Some r -> r
+          | None -> Capacity.quota capacity v
+        in
+        if Capacity.remaining capacity v <> expect then
+          fail
+            "capacity residuals disagree with the snapshot (corrupt \
+             snapshot, or a different network or flags)")
+      (Graph.switches g);
+    outcomes :=
+      List.map
+        (fun (id, res) -> { request = req_of id; resolution = des_resolution res })
+        snap.s_outcomes;
+    unresolved := List.length requests - List.length !outcomes;
+    if !unresolved < 0 then
+      fail "snapshot settles more requests than this workload contains";
+    next_lease := snap.s_next_lease;
+    shed_total := snap.s_shed_total;
+    gate_rejected := snap.s_gate_rejected;
+    budget_exhaustions := snap.s_budget_exhaustions;
+    peak_qubits := snap.s_peak_qubits;
+    peak_queue := snap.s_peak_queue;
+    retries := snap.s_retries;
+    util_integral := snap.s_util_integral;
+    last_time := snap.s_last_time;
+    makespan := snap.s_makespan;
+    faults_injected := snap.s_faults_injected;
+    faults_repaired := snap.s_faults_repaired;
+    leases_interrupted := snap.s_leases_interrupted;
+    leases_recovered := snap.s_leases_recovered;
+    leases_aborted := snap.s_leases_aborted;
+    lost_service := snap.s_lost_service;
+    reconfig_applied := snap.s_reconfig_applied;
+    reconfig_recovered := snap.s_reconfig_recovered;
+    (match (snap.s_limiter, limiter) with
+    | Some st, Some lim -> Limiter.restore lim st
+    | None, None -> ()
+    | Some _, None ->
+        fail
+          "snapshot carries rate-limiter state but this run has no rate \
+           limit (flags differ)"
+    | None, Some _ ->
+        fail
+          "this run has a rate limiter but the snapshot has none (flags \
+           differ)");
+    (match (snap.s_health, health) with
+    | Some sh, Some h -> (
+        try Fhealth.restore h sh with Invalid_argument m -> fail m)
+    | None, None -> ()
+    | Some _, None ->
+        fail
+          "snapshot tracks element health but this run has no faults or \
+           reconfiguration configured (flags differ)"
+    | None, Some _ ->
+        fail
+          "this run tracks element health but the snapshot has none (flags \
+           differ)");
+    (match (snap.s_tier, cfg.tier_stats) with
+    | Some st, Some (stats : Policy.tier_stats) ->
+        let n = Array.length stats.Policy.names in
+        if
+          Array.length st.st_serves <> n
+          || Array.length st.st_exhaustions <> n
+          || Array.length st.st_verify_rejects <> n
+          || Array.length st.st_breaker_skips <> n
+          || Array.length st.st_breakers
+             <> Array.length stats.Policy.breakers
+        then fail "tiered-policy state has the wrong number of tiers";
+        Array.blit st.st_serves 0 stats.Policy.serves 0 n;
+        Array.blit st.st_exhaustions 0 stats.Policy.exhaustions 0 n;
+        Array.blit st.st_verify_rejects 0 stats.Policy.verify_rejects 0 n;
+        Array.blit st.st_breaker_skips 0 stats.Policy.breaker_skips 0 n;
+        Array.iteri
+          (fun i bs -> Breaker.restore stats.Policy.breakers.(i) bs)
+          st.st_breakers;
+        stats.Policy.last <- st.st_last
+    | None, None -> ()
+    | Some _, None ->
+        fail "snapshot carries tiered-policy state but this run is untiered"
+    | None, Some _ ->
+        fail "this run is tiered but the snapshot has no tier state");
+    (match snap.s_metrics with
+    | Some d when Tm.enabled () -> (
+        try Tm.absorb d with Invalid_argument m -> fail m)
+    | _ -> ());
+    try
+      Event_queue.load events ~next_seq:snap.s_next_seq
+        (List.map (fun (t, seq, se) -> (t, seq, des_event se)) snap.s_events)
+    with Invalid_argument m -> fail m
+  in
+  (* Populate the queue (fresh run) or rebuild the full engine state
+     from a checkpoint (restore). *)
+  (match restore_from with
+  | Some snap -> restore_state snap
+  | None ->
+      List.iter
+        (fun (r : Workload.request) ->
+          Event_queue.push events r.Workload.arrival (Arrival r))
+        requests;
+      let schedule =
+        match fault_schedule with
+        | Some s -> List.sort Fsched.compare_event s
+        | None -> (
+            match faults with
+            | None -> []
+            | Some model ->
+                Fsched.generate model g ~horizon:(fault_horizon requests))
+      in
+      List.iter
+        (fun (fe : Fsched.event) -> Event_queue.push events fe.time (Fault fe))
+        schedule;
+      (* Reconfig events are pushed after arrivals and faults, so at a
+         shared instant the tie-break order is arrival < fault < admin
+         change — operators act on the state faults produced. *)
+      List.iter
+        (fun (re : Reconfig.event) ->
+          Event_queue.push events re.Reconfig.time (Reconf re))
+        (List.stable_sort
+           (fun (a : Reconfig.event) b ->
+             compare a.Reconfig.time b.Reconfig.time)
+           reconfig));
   (* An event that can no longer change any outcome must not stretch the
      makespan or the utilization window. *)
   let inert = function
-    | Fault _ -> !unresolved = 0
+    | Fault _ | Reconf _ -> !unresolved = 0
     | Expiry lid -> not (Hashtbl.mem active lid)
     | Arrival _ | Retry _ -> false
   in
@@ -729,7 +1694,155 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       | Retry id -> on_retry ?spec t id
       | Expiry lid -> on_expiry t lid
       | Fault fe -> on_fault t fe
+      | Reconf re -> on_reconf t re
     end
+  in
+  (* Checkpoint cadence.  Snapshots are cut at drain-loop boundaries —
+     between batches the state is exactly "everything before the next
+     event", which is what a restore replays from.  A restored run
+     resumes the original cadence (the snapshot records the next
+     instant), so its own checkpoints land where the uninterrupted
+     run's would. *)
+  let next_ckpt =
+    ref
+      (match (checkpoint, restore_from) with
+      | None, _ -> infinity
+      | Some (every, _), None -> every
+      | Some (every, _), Some snap ->
+          if Float.is_finite snap.s_next_ckpt && snap.s_next_ckpt > snap.s_at
+          then snap.s_next_ckpt
+          else begin
+            let c = ref every in
+            while !c <= snap.s_at do
+              c := !c +. every
+            done;
+            !c
+          end)
+  in
+  let make_snapshot at =
+    let paths_of (tree : Ent_tree.t) =
+      List.map (fun (c : Channel.t) -> c.Channel.path) tree.Ent_tree.channels
+    in
+    let ser_event = function
+      | Arrival r -> SE_arrival r.Workload.id
+      | Retry id -> SE_retry id
+      | Expiry lid -> SE_expiry lid
+      | Fault fe -> SE_fault fe
+      | Reconf re -> SE_reconf re
+    in
+    let ser_resolution = function
+      | Served { start; finish; tree; rate; attempts; recoveries; tier } ->
+          SR_served
+            {
+              r_start = start;
+              r_finish = finish;
+              r_paths = paths_of tree;
+              r_rate = rate;
+              r_attempts = attempts;
+              r_recoveries = recoveries;
+              r_tier = tier;
+            }
+      | Rejected { at; queue_full } ->
+          SR_rejected { r_at = at; r_queue_full = queue_full }
+      | Shed { at; reason } -> SR_shed { r_at = at; r_reason = reason }
+      | Expired { at; attempts } -> SR_expired { r_at = at; r_attempts = attempts }
+      | Interrupted { start; at; attempts; recoveries } ->
+          SR_interrupted
+            {
+              r_start = start;
+              r_at = at;
+              r_attempts = attempts;
+              r_recoveries = recoveries;
+            }
+    in
+    let sorted_by f l = List.sort (fun a b -> compare (f a) (f b)) l in
+    {
+      s_at = at;
+      s_next_ckpt = !next_ckpt;
+      s_events =
+        List.map
+          (fun (t, seq, ev) -> (t, seq, ser_event ev))
+          (Event_queue.entries events);
+      s_next_seq = Event_queue.next_seq events;
+      s_states =
+        Hashtbl.fold
+          (fun id st acc ->
+            {
+              ss_id = id;
+              ss_attempts = st.attempts;
+              ss_backoff = st.backoff;
+              ss_waiting = st.waiting;
+              ss_resolved = st.resolved;
+            }
+            :: acc)
+          states []
+        |> sorted_by (fun ss -> ss.ss_id);
+      s_queue = !queue;
+      s_active =
+        Hashtbl.fold
+          (fun _ a acc ->
+            {
+              sa_lid = a.lid;
+              sa_id = a.st.req.Workload.id;
+              sa_paths = paths_of a.tree;
+              sa_started = a.started;
+              sa_finish = a.finish;
+              sa_recoveries = a.recoveries;
+              sa_tier = a.tier;
+            }
+            :: acc)
+          active []
+        |> sorted_by (fun sa -> sa.sa_lid);
+      s_outcomes =
+        List.map
+          (fun o -> (o.request.Workload.id, ser_resolution o.resolution))
+          !outcomes;
+      s_next_lease = !next_lease;
+      s_quota =
+        List.filter_map
+          (fun v ->
+            let q = Capacity.quota capacity v in
+            if q <> Graph.qubits g v then Some (v, q) else None)
+          (Graph.switches g);
+      s_residual =
+        List.filter_map
+          (fun v ->
+            let r = Capacity.remaining capacity v in
+            if r <> Capacity.quota capacity v then Some (v, r) else None)
+          (Graph.switches g);
+      s_shed_total = !shed_total;
+      s_gate_rejected = !gate_rejected;
+      s_budget_exhaustions = !budget_exhaustions;
+      s_peak_qubits = !peak_qubits;
+      s_peak_queue = !peak_queue;
+      s_retries = !retries;
+      s_util_integral = !util_integral;
+      s_last_time = !last_time;
+      s_makespan = !makespan;
+      s_faults_injected = !faults_injected;
+      s_faults_repaired = !faults_repaired;
+      s_leases_interrupted = !leases_interrupted;
+      s_leases_recovered = !leases_recovered;
+      s_leases_aborted = !leases_aborted;
+      s_lost_service = !lost_service;
+      s_reconfig_applied = !reconfig_applied;
+      s_reconfig_recovered = !reconfig_recovered;
+      s_limiter = Option.map Limiter.snapshot limiter;
+      s_health = Option.map Fhealth.snapshot health;
+      s_tier =
+        Option.map
+          (fun (stats : Policy.tier_stats) ->
+            {
+              st_serves = Array.copy stats.Policy.serves;
+              st_exhaustions = Array.copy stats.Policy.exhaustions;
+              st_verify_rejects = Array.copy stats.Policy.verify_rejects;
+              st_breaker_skips = Array.copy stats.Policy.breaker_skips;
+              st_breakers = Array.map Breaker.snapshot stats.Policy.breakers;
+              st_last = stats.Policy.last;
+            })
+          cfg.tier_stats;
+      s_metrics = (if Tm.enabled () then Some (Tm.dump ()) else None);
+    }
   in
   (* Speculation: solve every routable request of a drained batch
      concurrently against a zero-copy snapshot of the residual state.
@@ -770,7 +1883,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
                     Hashtbl.replace seen id ();
                     cands := (id, st.req.Workload.users) :: !cands
                 | _ -> ())
-            | Expiry _ | Fault _ -> ())
+            | Expiry _ | Fault _ | Reconf _ -> ())
           batch;
         let cands = Array.of_list (List.rev !cands) in
         if Array.length cands < 2 then None
@@ -817,7 +1930,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
             match ev with
             | Arrival r -> Hashtbl.find_opt tbl r.Workload.id
             | Retry id -> Hashtbl.find_opt tbl id
-            | Expiry _ | Fault _ -> None)
+            | Expiry _ | Fault _ | Reconf _ -> None)
     in
     let rec go = function
       | [] -> ()
@@ -838,6 +1951,17 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     match Event_queue.peek_time events with
     | None -> ()
     | Some t0 ->
+        (match checkpoint with
+        | Some (every, sink) ->
+            (* Emit every due checkpoint before touching the batch: the
+               state right now is exactly "all events before [t0]
+               processed", the boundary a restore resumes from. *)
+            while !next_ckpt <= t0 do
+              let c = !next_ckpt in
+              next_ckpt := c +. every;
+              sink c (make_snapshot c)
+            done
+        | None -> ());
         let upto = if slot > 0. then t0 +. slot else t0 in
         let batch = Event_queue.drain_until events ~upto in
         batch_dirty := false;
@@ -989,6 +2113,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
       budget_exhaustions;
       breaker_opens;
       p99_wait = p99 waits;
+      reconfig_applied = !reconfig_applied;
+      reconfig_recovered = !reconfig_recovered;
     },
     outcomes )
 
@@ -1025,23 +2151,35 @@ let report_table r =
   |> fun t ->
   (* Overload rows appear only when overload control did something, so
      a limits-disabled run prints the exact PR-4 era table. *)
-  if
-    r.shed = 0 && r.degraded = 0 && r.budget_exhaustions = 0
-    && r.breaker_opens = 0 && r.gate_rejected = 0
-    && r.tier_served = []
-  then t
+  (if
+     r.shed = 0 && r.degraded = 0 && r.budget_exhaustions = 0
+     && r.breaker_opens = 0 && r.gate_rejected = 0
+     && r.tier_served = []
+   then t
+   else
+     List.fold_left
+       (fun t (name, v) -> Qnet_util.Table.add_row t [ name; v ])
+       t
+       ([
+          int "shed" r.shed;
+          int "gate_rejected" r.gate_rejected;
+          int "degraded" r.degraded;
+          int "budget_exhaustions" r.budget_exhaustions;
+          int "breaker_opens" r.breaker_opens;
+          flt "p99_wait" r.p99_wait;
+        ]
+       @ List.map
+           (fun (name, n) -> int ("tier_served:" ^ name) n)
+           r.tier_served))
+  |> fun t ->
+  (* Reconfiguration rows likewise appear only when an admin change was
+     applied, keeping reconfig-free tables byte-identical to PR-8. *)
+  if r.reconfig_applied = 0 && r.reconfig_recovered = 0 then t
   else
     List.fold_left
       (fun t (name, v) -> Qnet_util.Table.add_row t [ name; v ])
       t
-      ([
-         int "shed" r.shed;
-         int "gate_rejected" r.gate_rejected;
-         int "degraded" r.degraded;
-         int "budget_exhaustions" r.budget_exhaustions;
-         int "breaker_opens" r.breaker_opens;
-         flt "p99_wait" r.p99_wait;
-       ]
-      @ List.map
-          (fun (name, n) -> int ("tier_served:" ^ name) n)
-          r.tier_served)
+      [
+        int "reconfig_applied" r.reconfig_applied;
+        int "reconfig_recovered" r.reconfig_recovered;
+      ]

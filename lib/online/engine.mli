@@ -214,7 +214,48 @@ type report = {
           budget plus all tier budgets). *)
   breaker_opens : int;  (** Circuit-breaker trips across all tiers. *)
   p99_wait : float;
+  reconfig_applied : int;
+      (** Administrative topology changes that took effect (a join of an
+          already-up element, or a leave of an already-down one, is a
+          no-op and not counted). *)
+  reconfig_recovered : int;
+      (** Lease recoveries forced by administrative changes (drains and
+          quota shrinks), a subset of [leases_recovered] +
+          [leases_aborted] attribution. *)
 }
+
+(** {1 Checkpoint snapshots}
+
+    A {!snapshot} is a pure-data image of the complete engine state at
+    an event-loop boundary: pending events with their FIFO seqs, every
+    request's progress, active leases as channel vertex-paths, settled
+    outcomes, capacity quota/residual deltas, and the mutable state of
+    the limiter, element health, tiered-policy breakers and telemetry
+    registry.  Restoring it into {!run} (with the {e same} graph,
+    params, workload, and flags) continues the run to a report
+    byte-identical to the uninterrupted one, at every [--jobs] level
+    and [slot] window.
+
+    Snapshots serialise to a versioned s-expression
+    ([muerp-engine-snapshot/1]); {!snapshot_of_sexp} is a pure parse —
+    graph/workload consistency is validated inside {!run} at restore
+    time, which raises [Invalid_argument] with a reason naming the
+    mismatch (wrong workload, wrong network, different flags, corrupt
+    capacity accounting). *)
+
+type snapshot
+
+val snapshot_at : snapshot -> float
+(** The simulation instant the snapshot was cut at. *)
+
+val snapshot_version : string
+(** The serialisation tag, [muerp-engine-snapshot/1]. *)
+
+val snapshot_to_sexp : snapshot -> Qnet_util.Sexp.t
+
+val snapshot_of_sexp : Qnet_util.Sexp.t -> (snapshot, string) result
+(** Structural parse; rejects unknown versions and malformed documents
+    with a human-readable reason. *)
 
 val run :
   ?config:config ->
@@ -224,6 +265,9 @@ val run :
   ?on_health:(Qnet_faults.Health.t -> unit) ->
   ?pool:Qnet_util.Pool.t ->
   ?slot:float ->
+  ?checkpoint:float * (float -> snapshot -> unit) ->
+  ?reconfig:Reconfig.event list ->
+  ?restore_from:snapshot ->
   Qnet_graph.Graph.t ->
   Qnet_core.Params.t ->
   requests:Workload.request list ->
@@ -261,9 +305,37 @@ val run :
     batching are pure go-faster knobs.  Outcomes are returned in
     request-id order.  Deterministic: identical inputs give identical
     reports and outcomes at every pool size.
+
+    [checkpoint = (every, sink)] cuts a {!snapshot} at each multiple of
+    [every] (simulation time), calling [sink instant snapshot] at the
+    first event-loop boundary at or past the instant — so a snapshot
+    reflects exactly the events before it.  Instants after the last
+    event never fire (the run is already complete).  [restore_from]
+    resumes a run from a snapshot instead of a fresh start: pass the
+    {e same} graph, params, [~requests] and flags as the original run;
+    the continuation's report, outcomes and [online.*] counters are
+    byte-identical to the uninterrupted run's.  A restored run with
+    [checkpoint] resumes the original cadence.  Both require a policy
+    with {!Policy.t.checkpoint_safe} (memoising wrappers keep hidden
+    cache state a snapshot cannot carry).
+
+    [reconfig] applies live topology changes mid-run without draining
+    traffic: leaves/removals recover affected leases through the
+    configured {!recovery} policy and exclude the element from routing
+    (exactly as a fault would, including
+    {!Qnet_faults.Health.on_transition} observer notification);
+    joins/additions re-admit elements and re-scan the waiting queue; a
+    {!Reconfig.Provision} moves a switch's {!Qnet_core.Capacity} quota,
+    recovering crossing leases oldest-first when shrunk below current
+    usage.  At a shared instant, arrivals fire before faults, and
+    faults before reconfigurations.
     @raise Invalid_argument on malformed requests (non-user members,
     fewer than 2 users, duplicate ids, negative times, deadline before
-    arrival) or a negative/non-finite [slot].
+    arrival), a negative/non-finite [slot], a non-positive checkpoint
+    interval, an invalid [reconfig] list ({!Reconfig.validate}), a
+    checkpoint/restore request under a non-[checkpoint_safe] policy, or
+    a [restore_from] snapshot inconsistent with this run's graph,
+    workload or flags.
     @raise Qnet_core.Verify.Violations if a repaired or served tree
     fails independent re-validation (a routing bug, never a workload
     property). *)
@@ -274,4 +346,5 @@ val report_table : report -> Qnet_util.Table.t
     degraded, budget exhaustions, breaker trips, p99 wait, per-tier
     serve counts) are appended only when overload control actually did
     something, so limits-disabled runs print the historical table
-    byte-for-byte. *)
+    byte-for-byte; reconfiguration rows likewise only when an admin
+    change was applied. *)

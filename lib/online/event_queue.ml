@@ -100,3 +100,36 @@ let pop_batch q =
   match peek_time q with None -> [] | Some t -> drain_until q ~upto:t
 
 let clear q = q.size <- 0
+
+(* Snapshot support: dump every pending entry with its insertion seq,
+   sorted in (time, seq) pop order so the dump is canonical, plus the
+   queue's next_seq counter.  [of_entries] rebuilds a queue that pops
+   the same sequence AND assigns the same seqs to future pushes — both
+   are needed for a restored run to replay byte-identically. *)
+let entries q =
+  let live = Array.sub q.data 0 q.size in
+  Array.sort (fun a b -> if lt a b then -1 else if lt b a then 1 else 0) live;
+  Array.to_list (Array.map (fun e -> (e.time, e.seq, e.payload)) live)
+
+let next_seq q = q.next_seq
+
+let load q ~next_seq items =
+  if next_seq < 0 then invalid_arg "Event_queue.load: negative next_seq";
+  q.size <- 0;
+  List.iter
+    (fun (time, seq, payload) ->
+      if Float.is_nan time then invalid_arg "Event_queue.load: NaN timestamp";
+      if seq < 0 || seq >= next_seq then
+        invalid_arg "Event_queue.load: seq out of range";
+      let entry = { time; seq; payload } in
+      ensure_capacity q entry;
+      q.data.(q.size) <- entry;
+      q.size <- q.size + 1;
+      sift_up q (q.size - 1))
+    items;
+  q.next_seq <- next_seq
+
+let of_entries ~next_seq items =
+  let q = create ~capacity:(max 16 (List.length items)) () in
+  load q ~next_seq items;
+  q

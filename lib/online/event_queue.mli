@@ -45,3 +45,22 @@ val pop_batch : 'a t -> (float * int * 'a) list
     timestamp as the bound. *)
 
 val clear : 'a t -> unit
+
+val entries : 'a t -> (float * int * 'a) list
+(** Every pending entry as [(time, seq, payload)] in (time, seq) pop
+    order, without disturbing the queue — the canonical dump a
+    checkpoint serialises. *)
+
+val next_seq : 'a t -> int
+(** The insertion counter the next {!push} will consume.  Serialised
+    alongside {!entries} so a restored queue hands out the same seqs. *)
+
+val load : 'a t -> next_seq:int -> (float * int * 'a) list -> unit
+(** Replace the queue's contents with a dump, in place: pops the same
+    [(time, seq)] sequence and resumes the insertion counter at
+    [next_seq], so pushes after restore tie-break identically to the
+    uninterrupted run.  @raise Invalid_argument on NaN timestamps, a
+    negative [next_seq], or a seq ≥ [next_seq]. *)
+
+val of_entries : next_seq:int -> (float * int * 'a) list -> 'a t
+(** Fresh queue holding a dump: {!create} followed by {!load}. *)

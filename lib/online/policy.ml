@@ -9,6 +9,7 @@ let c_cache_invalidations = Tm.counter "online.policy.cache.invalidations"
 type t = {
   name : string;
   concurrent_safe : bool;
+  checkpoint_safe : bool;
   route :
     exclude:Routing.exclusion ->
     budget:Qnet_overload.Budget.t option ->
@@ -39,6 +40,7 @@ let prim =
   {
     name = "prim";
     concurrent_safe = true;
+    checkpoint_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         Multi_group.prim_for_users ~exclude ?budget g params ~capacity ~users);
@@ -112,6 +114,7 @@ let of_algorithm alg =
   {
     name;
     concurrent_safe = true;
+    checkpoint_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
@@ -125,6 +128,7 @@ let eqcast =
   {
     name = "eqcast";
     concurrent_safe = true;
+    checkpoint_safe = true;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
@@ -142,8 +146,12 @@ let cached inner =
   let table : (int list, Ent_tree.t) Hashtbl.t = Hashtbl.create 64 in
   {
     name = "cached-" ^ inner.name;
-    (* The memo table is shared mutable state touched on every call. *)
+    (* The memo table is shared mutable state touched on every call —
+       and it cannot be checkpointed: a restored run would route with a
+       cold cache where the uninterrupted run replayed memoised trees,
+       breaking byte-identity. *)
     concurrent_safe = false;
+    checkpoint_safe = false;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let key = List.sort compare users in
@@ -337,5 +345,6 @@ let tiered ?(fuel = 4096) ?breaker_threshold ?breaker_cooldown tiers =
     attempt 0
   in
   (* Breakers and tier stats are shared mutable state, and [stats.last]
-     is sampled right after each call — serial only. *)
-  ({ name; concurrent_safe = false; route }, stats)
+     is sampled right after each call — serial only.  Checkpointing is
+     fine: the engine snapshot carries breaker and tier-stat state. *)
+  ({ name; concurrent_safe = false; checkpoint_safe = true; route }, stats)

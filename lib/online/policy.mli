@@ -38,6 +38,17 @@ type t = {
           policies that declare this; others keep the serial path
           (results are byte-identical either way — this flag only
           gates the optimisation). *)
+  checkpoint_safe : bool;
+      (** Whether a run under this policy can be checkpointed and
+          restored byte-identically.  False for policies whose hidden
+          mutable state cannot be carried across a snapshot — the
+          {!cached} memo table (a restored run would route cold where
+          the original replayed memoised trees) and the hierarchical
+          oracle's warm segment cache.  True for the stateless
+          built-ins, the flow policy, and {!tiered} (its breakers and
+          stats ride in the engine snapshot).  The CLI refuses
+          [--checkpoint-every]/[--restore] under an unsafe policy
+          rather than silently produce diverging reports. *)
   route :
     exclude:Qnet_core.Routing.exclusion ->
     budget:Qnet_overload.Budget.t option ->

@@ -1,0 +1,128 @@
+module Graph = Qnet_graph.Graph
+module Sexp = Qnet_util.Sexp
+
+(* Operator-driven topology changes applied mid-run.  The engine's
+   graph is immutable, so membership changes are modelled as
+   administrative availability transitions over existing elements
+   (exactly how a drained switch behaves operationally), and capacity
+   changes move the Capacity quota.  A "join" therefore re-admits an
+   element that previously left (or was provisioned in the topology but
+   started administratively down). *)
+
+type change =
+  | Switch_leave of int
+  | Switch_join of int
+  | Link_remove of int
+  | Link_add of int
+  | Provision of { switch : int; qubits : int }
+
+type event = { time : float; change : change }
+
+let version = "muerp-reconfig/1"
+
+let change_target = function
+  | Switch_leave v | Switch_join v -> `Switch v
+  | Link_remove e | Link_add e -> `Link e
+  | Provision { switch; _ } -> `Switch switch
+
+let validate g events =
+  let problem i msg =
+    Error (Printf.sprintf "reconfig event %d: %s" (i + 1) msg)
+  in
+  let rec check i = function
+    | [] -> Ok ()
+    | { time; change } :: rest ->
+        if not (Float.is_finite time) || time < 0. then
+          problem i "time must be a finite non-negative number"
+        else begin
+          match change_target change with
+          | `Switch v ->
+              if v < 0 || v >= Graph.vertex_count g then
+                problem i (Printf.sprintf "switch %d out of range" v)
+              else if not (Graph.is_switch g v) then
+                problem i (Printf.sprintf "vertex %d is a user, not a switch" v)
+              else begin
+                match change with
+                | Provision { qubits; _ } when qubits < 0 ->
+                    problem i "provisioned qubits must be non-negative"
+                | _ -> check (i + 1) rest
+              end
+          | `Link e ->
+              if e < 0 || e >= Graph.edge_count g then
+                problem i (Printf.sprintf "link %d out of range" e)
+              else check (i + 1) rest
+        end
+  in
+  check 0 events
+
+(* ------------------------------------------------------------------ *)
+(* Sexp codec: [(muerp-reconfig/1 (at T CHANGE) ...)] with CHANGE one
+   of (switch-leave V) (switch-join V) (link-remove E) (link-add E)
+   (provision V Q). *)
+
+let change_to_sexp = function
+  | Switch_leave v -> Sexp.list [ Sexp.atom "switch-leave"; Sexp.int v ]
+  | Switch_join v -> Sexp.list [ Sexp.atom "switch-join"; Sexp.int v ]
+  | Link_remove e -> Sexp.list [ Sexp.atom "link-remove"; Sexp.int e ]
+  | Link_add e -> Sexp.list [ Sexp.atom "link-add"; Sexp.int e ]
+  | Provision { switch; qubits } ->
+      Sexp.list [ Sexp.atom "provision"; Sexp.int switch; Sexp.int qubits ]
+
+let event_to_sexp { time; change } =
+  Sexp.list [ Sexp.atom "at"; Sexp.float time; change_to_sexp change ]
+
+let to_sexp events =
+  Sexp.list (Sexp.atom version :: List.map event_to_sexp events)
+
+let ( let* ) = Result.bind
+
+let change_of_sexp s =
+  match s with
+  | Sexp.List [ Sexp.Atom tag; a ] -> (
+      let* v = Sexp.to_int a in
+      match tag with
+      | "switch-leave" -> Ok (Switch_leave v)
+      | "switch-join" -> Ok (Switch_join v)
+      | "link-remove" -> Ok (Link_remove v)
+      | "link-add" -> Ok (Link_add v)
+      | _ -> Error ("unknown reconfig change: " ^ tag))
+  | Sexp.List [ Sexp.Atom "provision"; a; b ] ->
+      let* switch = Sexp.to_int a in
+      let* qubits = Sexp.to_int b in
+      Ok (Provision { switch; qubits })
+  | _ -> Error "malformed reconfig change"
+
+let event_of_sexp s =
+  match s with
+  | Sexp.List [ Sexp.Atom "at"; t; c ] ->
+      let* time = Sexp.to_float t in
+      let* change = change_of_sexp c in
+      Ok { time; change }
+  | _ -> Error "malformed reconfig event (expected (at TIME CHANGE))"
+
+let of_sexp s =
+  match s with
+  | Sexp.List (Sexp.Atom v :: events) when v = version ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest ->
+            let* ev = event_of_sexp e in
+            go (ev :: acc) rest
+      in
+      go [] events
+  | Sexp.List (Sexp.Atom v :: _) when String.length v > 14
+                                      && String.sub v 0 14 = "muerp-reconfig"
+    ->
+      Error
+        (Printf.sprintf "unsupported reconfig version %s (this build reads %s)"
+           v version)
+  | _ ->
+      Error ("malformed reconfig document (expected (" ^ version ^ " ...))")
+
+let pp_change ppf = function
+  | Switch_leave v -> Format.fprintf ppf "switch %d leaves" v
+  | Switch_join v -> Format.fprintf ppf "switch %d joins" v
+  | Link_remove e -> Format.fprintf ppf "link %d removed" e
+  | Link_add e -> Format.fprintf ppf "link %d added" e
+  | Provision { switch; qubits } ->
+      Format.fprintf ppf "switch %d re-provisioned to %d qubits" switch qubits

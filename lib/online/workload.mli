@@ -35,6 +35,22 @@ type group_size =
           [\[lo, hi + 1)] floored to an integer, clamped to
           [\[lo, hi\]] — mostly small groups with rare large ones. *)
 
+(** Long-horizon rate modulation over any base arrival process, by
+    deterministic time-warping: each inter-arrival gap is divided by
+    the instantaneous intensity at the previous arrival, so high-
+    intensity windows pack arrivals densely without disturbing the base
+    process's PRNG stream — the same seed yields the flat and the
+    modulated workload with identical group/duration draws. *)
+type modulator =
+  | Flat  (** No modulation — intensity 1 everywhere. *)
+  | Diurnal of { period : float; amplitude : float }
+      (** Sinusoidal intensity [1 + amplitude·sin(2πt/period)] —
+          day/night load curves.  [amplitude] in [\[0, 1)] keeps the
+          intensity positive. *)
+  | Flash of { at : float; width : float; boost : float }
+      (** Flash crowd: intensity [boost] on [\[at, at + width)], 1
+          elsewhere — a sudden regional demand spike. *)
+
 type spec = {
   requests : int;  (** Number of requests to generate. *)
   arrivals : arrivals;
@@ -44,6 +60,7 @@ type spec = {
   patience : float * float;
       (** Uniform deadline slack [(lo, hi)]: a request not served within
           [arrival + patience] abandons (expires). *)
+  modulation : modulator;
 }
 
 val spec :
@@ -52,12 +69,19 @@ val spec :
   ?group_size:group_size ->
   ?duration:float * float ->
   ?patience:float * float ->
+  ?modulation:modulator ->
   unit ->
   spec
 (** Defaults: 100 requests, [Poisson 0.5], [Uniform (2, 4)] users,
-    durations [(3., 8.)], patience [(0., 10.)].
+    durations [(3., 8.)], patience [(0., 10.)], no modulation.
     @raise Invalid_argument on non-positive rates/periods/sizes, a group
-    size below 2, inverted ranges, or negative durations/patience. *)
+    size below 2, inverted ranges, negative durations/patience, a
+    diurnal amplitude outside [\[0, 1)], or a non-positive flash
+    width/boost. *)
+
+val intensity : modulator -> float -> float
+(** Instantaneous arrival-rate multiplier at time [t] — exposed for
+    tests and documentation plots. *)
 
 val default : spec
 

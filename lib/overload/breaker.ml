@@ -55,6 +55,14 @@ let failure t =
 
 let opens t = t.opens
 
+let snapshot t = (t.state, t.consecutive_failures, t.cooldown_left, t.opens)
+
+let restore t (state, consecutive_failures, cooldown_left, opens) =
+  t.state <- state;
+  t.consecutive_failures <- consecutive_failures;
+  t.cooldown_left <- cooldown_left;
+  t.opens <- opens
+
 let pp_state ppf = function
   | Closed -> Format.pp_print_string ppf "closed"
   | Open -> Format.pp_print_string ppf "open"

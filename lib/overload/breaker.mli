@@ -41,4 +41,11 @@ val failure : t -> unit
 val opens : t -> int
 (** How many times the breaker has tripped open over its lifetime. *)
 
+val snapshot : t -> state * int * int * int
+(** [(state, consecutive_failures, cooldown_left, opens)] — the
+    complete mutable state, for checkpointing. *)
+
+val restore : t -> state * int * int * int -> unit
+(** Overwrite the breaker's mutable state with a {!snapshot}. *)
+
 val pp_state : Format.formatter -> state -> unit

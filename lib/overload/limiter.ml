@@ -31,3 +31,9 @@ let copy t = { t with tokens = t.tokens }
 let tokens t = t.tokens
 let rate t = t.rate
 let burst t = t.burst
+
+let snapshot t = (t.tokens, t.last)
+
+let restore t (tokens, last) =
+  t.tokens <- tokens;
+  t.last <- last

@@ -31,3 +31,11 @@ val tokens : t -> float
 val rate : t -> float
 
 val burst : t -> float
+
+val snapshot : t -> float * float
+(** [(tokens, last_refill_time)] — the complete mutable state, for
+    checkpointing.  Configuration ([rate]/[burst]) is rebuilt from the
+    run's flags on restore. *)
+
+val restore : t -> float * float -> unit
+(** Overwrite the bucket state with a {!snapshot}. *)

@@ -1,0 +1,31 @@
+(** Durable checkpoint files for the online traffic engine.
+
+    Wraps {!Qnet_online.Engine.snapshot_to_sexp} in a crash-safe file
+    format: a version header, the caller's config fingerprint, the
+    snapshot document, and an integrity footer (MD5 + byte length) over
+    everything before it.  Writes are atomic (tmp file + rename), so a
+    published checkpoint is always complete; the footer catches the
+    remaining corruption cases — torn copies, truncation, bit rot —
+    before any parsing, and {!load} turns every failure mode into a
+    human-readable error naming the file and the reason (never a
+    backtrace). *)
+
+val version : string
+(** The file-format tag, [muerp-checkpoint/1]. *)
+
+val save :
+  path:string ->
+  config:string ->
+  Qnet_online.Engine.snapshot ->
+  (unit, string) result
+(** Write the snapshot to [path] atomically.  [config] is an opaque
+    fingerprint of the run-shaping flags (seed, policy, workload…);
+    {!load} refuses a file whose fingerprint differs, because a restore
+    only reproduces the uninterrupted run under identical inputs. *)
+
+val load :
+  path:string -> config:string -> (Qnet_online.Engine.snapshot, string) result
+(** Read, verify and parse a checkpoint.  Errors (all naming [path]):
+    unreadable file, empty/truncated/torn contents, checksum mismatch,
+    unsupported format version, config fingerprint mismatch, malformed
+    snapshot document. *)

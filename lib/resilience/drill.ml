@@ -1,0 +1,68 @@
+module Engine = Qnet_online.Engine
+module Table = Qnet_util.Table
+
+(* Crash-recovery drill: run a workload to completion while cutting
+   checkpoints, then simulate a crash at every checkpoint instant —
+   serialise the snapshot, parse it back (the restored process only
+   ever has the bytes), restore, and finish the run.  Every restored
+   continuation must reproduce the uninterrupted run's report table
+   byte-for-byte and its outcome list structurally; anything else is a
+   determinism bug worth failing loudly over. *)
+
+type t = {
+  checkpoints : int;  (* snapshots cut by the uninterrupted run *)
+  mismatches : (float * string) list;
+      (* (instant, reason) for every restore that diverged *)
+}
+
+let passed d = d.mismatches = []
+
+let crash_restore ?config ?faults ?fault_schedule ?reconfig ?pool ?slot ~every
+    g params ~requests =
+  let snaps = ref [] in
+  let sink at snap = snaps := (at, snap) :: !snaps in
+  let base_report, base_outcomes =
+    Engine.run ?config ?faults ?fault_schedule ?reconfig ?pool ?slot
+      ~checkpoint:(every, sink) g params ~requests
+  in
+  let base_table = Table.to_string (Engine.report_table base_report) in
+  let mismatches =
+    List.filter_map
+      (fun (at, snap) ->
+        (* Round-trip through the serialised form: a crash leaves only
+           bytes behind, so the drill must restore from a parse, not
+           from the in-memory snapshot. *)
+        match Engine.snapshot_of_sexp (Engine.snapshot_to_sexp snap) with
+        | Error m -> Some (at, "snapshot does not re-parse: " ^ m)
+        | Ok snap -> (
+            match
+              Engine.run ?config ?faults ?fault_schedule ?reconfig ?pool ?slot
+                ~restore_from:snap g params ~requests
+            with
+            | exception Invalid_argument m ->
+                Some (at, "restore refused: " ^ m)
+            | report, outcomes ->
+                if
+                  not
+                    (String.equal
+                       (Table.to_string (Engine.report_table report))
+                       base_table)
+                then Some (at, "restored report differs")
+                else if compare outcomes base_outcomes <> 0 then
+                  Some (at, "restored outcomes differ")
+                else None))
+      (List.rev !snaps)
+  in
+  { checkpoints = List.length !snaps; mismatches }
+
+let pp ppf d =
+  if passed d then
+    Format.fprintf ppf "drill passed: %d checkpoint(s), all restores identical"
+      d.checkpoints
+  else begin
+    Format.fprintf ppf "drill FAILED: %d of %d restore(s) diverged"
+      (List.length d.mismatches) d.checkpoints;
+    List.iter
+      (fun (at, reason) -> Format.fprintf ppf "@.  t=%g: %s" at reason)
+      d.mismatches
+  end

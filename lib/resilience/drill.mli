@@ -1,0 +1,42 @@
+(** Long-horizon crash-recovery drills.
+
+    {!crash_restore} runs a workload to completion while cutting
+    checkpoints every [every] time units, then simulates a crash at
+    {e every} checkpoint instant: the snapshot is serialised, parsed
+    back (a real crash leaves only bytes), restored into a fresh
+    {!Qnet_online.Engine.run}, and the continuation's report table and
+    outcome list are compared against the uninterrupted run's.  Any
+    divergence — a report that is not byte-identical, an outcome list
+    that is not structurally equal, a snapshot that fails to re-parse,
+    a restore the engine refuses — is recorded with its instant. *)
+
+type t = {
+  checkpoints : int;  (** Snapshots cut by the uninterrupted run. *)
+  mismatches : (float * string) list;
+      (** [(instant, reason)] for every diverging restore; empty means
+          the drill passed. *)
+}
+
+val passed : t -> bool
+
+val crash_restore :
+  ?config:Qnet_online.Engine.config ->
+  ?faults:Qnet_faults.Model.t ->
+  ?fault_schedule:Qnet_faults.Schedule.event list ->
+  ?reconfig:Qnet_online.Reconfig.event list ->
+  ?pool:Qnet_util.Pool.t ->
+  ?slot:float ->
+  every:float ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  requests:Qnet_online.Workload.request list ->
+  t
+(** The optional arguments mirror {!Qnet_online.Engine.run} and are
+    passed to both the uninterrupted run and every restored
+    continuation, so the drill exercises exactly the configuration the
+    caller will run in production — including faults, live
+    reconfiguration, overload control and the concurrent serving
+    path. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line pass summary, or the list of diverging instants. *)

@@ -434,3 +434,68 @@ let touched = function
   | Gauge_v 0. -> false
   | Histogram_v s -> s.Histogram.count > 0
   | Counter_v _ | Gauge_v _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Full-fidelity dump/absorb for checkpointing.  [snapshot] above
+   returns histogram summaries (quantile estimates) — lossy, fine for
+   reporting but useless for resuming a run.  [dump] captures the raw
+   state (exact bucket counts) and [absorb] overwrites the live
+   registry with it, registering any metric the current process has
+   not touched yet, so a restored process continues accumulating from
+   exactly the checkpointed totals. *)
+
+type hist_dump = {
+  d_n : int;
+  d_sum : float;
+  d_vmin : float;
+  d_vmax : float;
+  d_counts : int array;
+}
+
+type dumped =
+  | D_counter of int
+  | D_gauge of float
+  | D_histogram of hist_dump
+
+let dump () =
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | Counter_m c -> D_counter c.c_count
+            | Gauge_m g -> D_gauge g.g_value
+            | Histogram_m h ->
+                D_histogram
+                  {
+                    d_n = h.h_n;
+                    d_sum = h.h_sum;
+                    d_vmin = h.h_vmin;
+                    d_vmax = h.h_vmax;
+                    d_counts = Array.copy h.h_counts;
+                  }
+          in
+          (name, v) :: acc)
+        registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let absorb entries =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | D_counter n ->
+          let c = counter name in
+          c.c_count <- n
+      | D_gauge x ->
+          let g = gauge name in
+          g.g_value <- x
+      | D_histogram d ->
+          let h = histogram name in
+          if Array.length d.d_counts <> hist_buckets then
+            invalid_arg "Metrics.absorb: histogram bucket-count mismatch";
+          h.h_n <- d.d_n;
+          h.h_sum <- d.d_sum;
+          h.h_vmin <- d.d_vmin;
+          h.h_vmax <- d.d_vmax;
+          Array.blit d.d_counts 0 h.h_counts 0 hist_buckets)
+    entries

@@ -158,3 +158,29 @@ val snapshot : unit -> (string * value) list
 val touched : value -> bool
 (** [false] for metrics still at their reset state (zero counter/gauge,
     empty histogram) — used to hide idle metrics in reports. *)
+
+(** {2 Checkpointing}
+
+    Unlike {!snapshot} (lossy histogram summaries, for reporting),
+    {!dump}/{!absorb} round-trip the {e raw} metric state — exact
+    bucket counts included — so a restored process continues
+    accumulating from precisely the checkpointed totals. *)
+
+type hist_dump = {
+  d_n : int;
+  d_sum : float;
+  d_vmin : float;
+  d_vmax : float;
+  d_counts : int array;
+}
+
+type dumped = D_counter of int | D_gauge of float | D_histogram of hist_dump
+
+val dump : unit -> (string * dumped) list
+(** Raw state of every registered metric, sorted by name. *)
+
+val absorb : (string * dumped) list -> unit
+(** Overwrite the live registry with a {!dump}, registering any metric
+    this process has not seen yet.  @raise Invalid_argument on a
+    histogram bucket-count mismatch (dump from an incompatible
+    build). *)

@@ -97,7 +97,24 @@ SECTIONS = {
 
 GAP_FIELDS = ["gap_alg2", "gap_alg3", "gap_alg4", "gap_eqcast", "gap_flow"]
 
-EXPECTED_SCHEMA = "muerp-bench-snapshot/8"
+# Resilience fields that are pure functions of the fixed seeds (wall
+# times, the derived overhead percentage, and snapshot_bytes — which
+# embeds wall-clock telemetry histograms — are excluded).
+RESILIENCE_FIELDS = [
+    "requests",
+    "checkpoints",
+    "checkpointed_report_equal",
+    "drill_checkpoints",
+    "drill_mismatches",
+    "restored_reports_equal",
+    "reconfig_events",
+    "reconfig_applied",
+    "reconfig_recovered",
+    "reconfig_served",
+    "reconfig_acceptance_ratio",
+]
+
+EXPECTED_SCHEMA = "muerp-bench-snapshot/9"
 
 
 def check_flow_invariants(fresh):
@@ -150,6 +167,69 @@ def check_serving_invariants(fresh):
     return problems
 
 
+def check_resilience_invariants(fresh):
+    """Soundness checks on the fresh resilience section, independent of
+    the committed baseline: checkpointing must not perturb the run,
+    every drill restore must reproduce the uninterrupted report, and
+    every reconfiguration event must be applied."""
+    problems = []
+    res = fresh.get("resilience")
+    if not isinstance(res, dict):
+        return ["resilience: section missing from snapshot"]
+    if res.get("checkpoints", 0) <= 0:
+        problems.append(
+            f"resilience.checkpoints = {res.get('checkpoints')!r}: "
+            "the checkpointed run cut no checkpoints"
+        )
+    if res.get("checkpointed_report_equal") is not True:
+        problems.append(
+            "resilience.checkpointed_report_equal = "
+            f"{res.get('checkpointed_report_equal')!r}: checkpointing "
+            "perturbed the run"
+        )
+    if res.get("restored_reports_equal") is not True:
+        problems.append(
+            "resilience.restored_reports_equal = "
+            f"{res.get('restored_reports_equal')!r}: a restored run "
+            "diverged from the uninterrupted baseline"
+        )
+    if res.get("drill_mismatches", 1) != 0:
+        problems.append(
+            f"resilience.drill_mismatches = {res.get('drill_mismatches')!r}: "
+            "expected 0"
+        )
+    if res.get("reconfig_applied") != res.get("reconfig_events"):
+        problems.append(
+            f"resilience.reconfig_applied = {res.get('reconfig_applied')!r} "
+            f"!= reconfig_events = {res.get('reconfig_events')!r}"
+        )
+    if res.get("snapshot_bytes", 0) <= 0:
+        problems.append(
+            f"resilience.snapshot_bytes = {res.get('snapshot_bytes')!r}: "
+            "expected a non-empty serialized snapshot"
+        )
+    return problems
+
+
+def compare_resilience(committed, fresh):
+    """Cross-snapshot comparison of the deterministic resilience
+    fields."""
+    old = committed.get("resilience")
+    new = fresh.get("resilience")
+    if not isinstance(old, dict) or not isinstance(new, dict):
+        return []
+    diffs = []
+    for field in RESILIENCE_FIELDS:
+        if field not in old or field not in new:
+            continue
+        if not values_match(old[field], new[field]):
+            diffs.append(
+                f"resilience.{field}: "
+                f"committed {old[field]!r} != fresh {new[field]!r}"
+            )
+    return diffs
+
+
 def section_rows(doc, section):
     """Serving rows live under serving.runs; every other section is a
     top-level list."""
@@ -183,6 +263,8 @@ def main():
         diffs.append(f"schema: expected {EXPECTED_SCHEMA!r}, got {schema!r}")
     diffs.extend(check_flow_invariants(fresh))
     diffs.extend(check_serving_invariants(fresh))
+    diffs.extend(check_resilience_invariants(fresh))
+    diffs.extend(compare_resilience(committed, fresh))
     for section, (key, fields) in SECTIONS.items():
         old_rows = index_rows(section_rows(committed, section), key)
         new_rows = index_rows(section_rows(fresh, section), key)

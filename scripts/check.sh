@@ -103,6 +103,56 @@ batch_served=$(awk '$2 == "served" { print $4 }' "$batch_j1")
     exit 1; }
 echo "batched serving identical at --jobs 1/4 and --slot 2, served=$batch_served"
 
+echo "== crash-recovery smoke =="
+# Kill a faulty run at a checkpoint, restore it (at a different --jobs
+# level), and demand the restored report be byte-identical to the
+# uninterrupted run's.  Corrupting the checkpoint must produce a
+# friendly error with exit code 2, and the in-process drill must pass.
+ckpt=$(mktemp -t muerp_ckpt.XXXXXX)
+rec_full=$(mktemp -t muerp_rec_full.XXXXXX)
+rec_rest=$(mktemp -t muerp_rec_rest.XXXXXX)
+rec_err=$(mktemp -t muerp_rec_err.XXXXXX)
+reconf=$(mktemp -t muerp_reconf.XXXXXX)
+trap 'rm -f "$run_a" "$run_b" "$ckpt" "$rec_full" "$rec_rest" "$rec_err" \
+  "$reconf"' EXIT
+rec_flags="--seed 13 -n 60 --switches 40 --fault-mtbf 20 --fault-mttr 5 \
+  --max-queue 12 --rate 1.5"
+dune exec bin/muerp_cli.exe -- traffic $rec_flags >"$rec_full"
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --checkpoint-every 5 \
+  --checkpoint "$ckpt" --halt-at 25 >/dev/null
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --restore "$ckpt" \
+  --jobs 2 >"$rec_rest"
+grep '^|' "$rec_full" >"$rec_full.tbl"
+grep '^|' "$rec_rest" >"$rec_rest.tbl"
+cmp "$rec_full.tbl" "$rec_rest.tbl" ||
+  { echo "restored report differs from the uninterrupted run" >&2; exit 1; }
+rm -f "$rec_full.tbl" "$rec_rest.tbl"
+# Corrupt the checkpoint: the CLI must name the file and exit 2.
+printf 'garbage' >>"$ckpt"
+status=0
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --restore "$ckpt" \
+  >/dev/null 2>"$rec_err" || status=$?
+[ "$status" -eq 2 ] ||
+  { echo "corrupt checkpoint exited $status, want 2" >&2; exit 1; }
+grep -q "checkpoint" "$rec_err" ||
+  { echo "corrupt-checkpoint error does not name the file" >&2; exit 1; }
+# Live reconfiguration: drain a switch mid-run, grow another, rejoin.
+cat >"$reconf" <<'EOF'
+(muerp-reconfig/1
+  (at 10 (switch-leave 20))
+  (at 18 (provision 25 8))
+  (at 30 (switch-join 20)))
+EOF
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --reconfig "$reconf" \
+  >"$rec_rest"
+grep -q "reconfig_applied" "$rec_rest" ||
+  { echo "reconfig run reported no reconfig_applied row" >&2; exit 1; }
+# The in-process drill restores at every checkpoint instant and diffs.
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --reconfig "$reconf" \
+  --drill 12 | grep -q "drill passed" ||
+  { echo "crash-recovery drill failed" >&2; exit 1; }
+echo "crash-recovery: restore byte-identical, corrupt file exits 2, drill passed"
+
 echo "== SLA gate smoke =="
 # --fail-on-sla must exit nonzero when acceptance lands below the bar
 # and zero when it clears it.
@@ -209,6 +259,10 @@ grep -q '"flow"' "$snapshot" ||
   { echo "snapshot is missing the flow section" >&2; exit 1; }
 grep -q '"serving"' "$snapshot" ||
   { echo "snapshot is missing the serving section" >&2; exit 1; }
+grep -q '"resilience"' "$snapshot" ||
+  { echo "snapshot is missing the resilience section" >&2; exit 1; }
+grep -q '"restored_reports_equal": true' "$snapshot" ||
+  { echo "resilience bench: a restored run diverged" >&2; exit 1; }
 if grep -q '"report_equal": false' "$snapshot"; then
   echo "serving bench: batched report diverged from serial baseline" >&2
   exit 1

@@ -1,0 +1,584 @@
+(* Tests for checkpoint/restore, live reconfiguration and the
+   crash-recovery drill: the snapshot codec, the durable checkpoint
+   file layer (integrity footer, friendly errors), reconfig validation
+   and engine semantics (leave/join/provision with capacity-safe lease
+   recovery), workload modulators, and the central robustness property
+   that a run restored at any checkpoint instant finishes with a
+   byte-identical report at every parallelism level. *)
+
+module Graph = Qnet_graph.Graph
+module Prng = Qnet_util.Prng
+module Pool = Qnet_util.Pool
+module Sexp = Qnet_util.Sexp
+module Model = Qnet_faults.Model
+module Workload = Qnet_online.Workload
+module Policy = Qnet_online.Policy
+module Engine = Qnet_online.Engine
+module Reconfig = Qnet_online.Reconfig
+module Checkpoint = Qnet_resilience.Checkpoint
+module Drill = Qnet_resilience.Drill
+open Qnet_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let params = Params.default
+
+let network ?(users = 8) ?(switches = 25) ?(qubits = 4) seed =
+  let rng = Prng.create seed in
+  let spec =
+    Qnet_topology.Spec.create ~n_users:users ~n_switches:switches
+      ~qubits_per_switch:qubits ()
+  in
+  Qnet_topology.Waxman.generate rng spec
+
+(* Two users reachable through either of two parallel 2-qubit switches:
+   draining the one in use leaves a live detour. *)
+let parallel_network () =
+  let b = Graph.Builder.create () in
+  let u0 = Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:0. ~y:0. in
+  let u1 =
+    Graph.Builder.add_vertex b ~kind:Graph.User ~qubits:0 ~x:2000. ~y:0.
+  in
+  let sa =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:100.
+  in
+  let sb =
+    Graph.Builder.add_vertex b ~kind:Graph.Switch ~qubits:2 ~x:1000. ~y:(-300.)
+  in
+  List.iter
+    (fun s ->
+      ignore (Graph.Builder.add_edge b u0 s 1100.);
+      ignore (Graph.Builder.add_edge b s u1 1100.))
+    [ sa; sb ];
+  (Graph.Builder.freeze b, (u0, u1), (sa, sb))
+
+let request ?(duration = 4.) ?(patience = 0.) id users arrival =
+  { Workload.id; users; arrival; deadline = arrival +. patience; duration }
+
+let interior_switch tree =
+  match tree.Ent_tree.channels with
+  | [ c ] -> (
+      match Channel.interior_switches c with
+      | [ s ] -> s
+      | _ -> Alcotest.fail "expected a single interior switch")
+  | _ -> Alcotest.fail "expected a single channel"
+
+let generated seed g =
+  let wspec =
+    Workload.spec ~requests:40 ~arrivals:(Workload.Poisson 0.6) ()
+  in
+  Workload.generate (Prng.create seed) g wspec
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                      *)
+
+let snapshot_of seed =
+  let g = network seed in
+  let reqs = generated (seed + 1) g in
+  let captured = ref None in
+  let _ =
+    Engine.run
+      ~checkpoint:
+        ( 10.,
+          fun _ snap -> if !captured = None then captured := Some snap )
+      g params ~requests:reqs
+  in
+  match !captured with
+  | Some snap -> (g, reqs, snap)
+  | None -> Alcotest.fail "run cut no checkpoint"
+
+let test_snapshot_roundtrip () =
+  let _, _, snap = snapshot_of 3 in
+  let doc = Engine.snapshot_to_sexp snap in
+  match Engine.snapshot_of_sexp doc with
+  | Error m -> Alcotest.fail ("snapshot does not re-parse: " ^ m)
+  | Ok snap' ->
+      check_bool "re-serialisation is identical" true
+        (String.equal (Sexp.to_string doc)
+           (Sexp.to_string (Engine.snapshot_to_sexp snap')))
+
+let test_snapshot_rejects_garbage () =
+  (match Engine.snapshot_of_sexp (Sexp.atom "nonsense") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed an atom as a snapshot");
+  match
+    Engine.snapshot_of_sexp
+      (Sexp.list [ Sexp.atom "muerp-engine-snapshot/999" ])
+  with
+  | Error m ->
+      check_bool "names the version" true
+        (Astring.String.is_infix ~affix:"muerp-engine-snapshot" m)
+  | Ok _ -> Alcotest.fail "parsed an unknown snapshot version"
+
+let test_restore_flag_mismatch_refused () =
+  let g = network 5 in
+  let reqs = generated 6 g in
+  let faults =
+    Model.make ~mtbf:30. ~mttr:5. ~targets:Model.Switches ~seed:9 ()
+  in
+  let captured = ref None in
+  let _ =
+    Engine.run ~faults
+      ~checkpoint:(8., fun _ s -> if !captured = None then captured := Some s)
+      g params ~requests:reqs
+  in
+  let snap = Option.get !captured in
+  (* The snapshot tracks element health; a restore into a run without
+     any fault machinery cannot honour it. *)
+  Alcotest.check_raises "health snapshot needs a faulty run"
+    (Invalid_argument
+       "Engine.run: restore: snapshot tracks element health but this run \
+        has no faults or reconfiguration configured (flags differ)")
+    (fun () -> ignore (Engine.run ~restore_from:snap g params ~requests:reqs))
+
+let test_checkpoint_refused_for_stateful_policy () =
+  let g = network 7 in
+  let reqs = generated 8 g in
+  let config = Engine.config (Policy.cached Policy.prim) in
+  check_bool "cached policies are not checkpoint-safe" false
+    (Policy.cached Policy.prim).Policy.checkpoint_safe;
+  Alcotest.check_raises "checkpoint with cached policy refused"
+    (Invalid_argument
+       "Engine.run: policy cached-prim keeps hidden mutable state and \
+        cannot be checkpointed or restored")
+    (fun () ->
+      ignore
+        (Engine.run ~config
+           ~checkpoint:(5., fun _ _ -> ())
+           g params ~requests:reqs))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint file layer                                               *)
+
+let with_tmp f =
+  let path = Filename.temp_file "muerp_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  data
+
+let expect_error what affix = function
+  | Ok _ -> Alcotest.fail (what ^ ": expected an error")
+  | Error m ->
+      check_bool
+        (Printf.sprintf "%s: %S mentions %S" what m affix)
+        true
+        (Astring.String.is_infix ~affix m)
+
+let test_checkpoint_file_roundtrip () =
+  let _, _, snap = snapshot_of 11 in
+  with_tmp (fun path ->
+      (match Checkpoint.save ~path ~config:"flags" snap with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      match Checkpoint.load ~path ~config:"flags" with
+      | Error m -> Alcotest.fail m
+      | Ok snap' ->
+          check_bool "round-trips bit-identically" true
+            (String.equal
+               (Sexp.to_string (Engine.snapshot_to_sexp snap))
+               (Sexp.to_string (Engine.snapshot_to_sexp snap'))))
+
+let test_checkpoint_file_errors () =
+  let _, _, snap = snapshot_of 13 in
+  with_tmp (fun path ->
+      (match Checkpoint.save ~path ~config:"flags" snap with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      let good = read_file path in
+      (* Config fingerprint mismatch names both fingerprints. *)
+      expect_error "fingerprint" "different flags"
+        (Checkpoint.load ~path ~config:"other-flags");
+      (* One flipped byte in the body fails the checksum. *)
+      let corrupt = Bytes.of_string good in
+      Bytes.set corrupt (String.length good / 2)
+        (if Bytes.get corrupt (String.length good / 2) = 'x' then 'y'
+         else 'x');
+      write_file path (Bytes.to_string corrupt);
+      expect_error "corrupt" "checksum"
+        (Checkpoint.load ~path ~config:"flags");
+      (* A truncated copy is caught before parsing. *)
+      write_file path (String.sub good 0 (String.length good / 2));
+      expect_error "truncated" "truncated"
+        (Checkpoint.load ~path ~config:"flags");
+      (* A torn copy — bytes missing from the middle, footer intact —
+         fails the length check. *)
+      let n = String.length good in
+      write_file path (String.sub good 0 100 ^ String.sub good 110 (n - 110));
+      expect_error "torn" "torn or truncated"
+        (Checkpoint.load ~path ~config:"flags");
+      (* Future format versions are refused by name. *)
+      write_file path
+        (let swapped =
+           Astring.String.cuts ~sep:"muerp-checkpoint/1" good
+           |> String.concat "muerp-checkpoint/9"
+         in
+         swapped);
+      (* The checksum covers the header, so rebuild the footer. *)
+      let body =
+        match Astring.String.cut ~rev:true ~sep:"integrity" (read_file path)
+        with
+        | Some (body, _) -> body
+        | None -> Alcotest.fail "no footer"
+      in
+      write_file path
+        (Printf.sprintf "%sintegrity %s %d\n" body
+           (Digest.to_hex (Digest.string body))
+           (String.length body));
+      expect_error "version" "unsupported version"
+        (Checkpoint.load ~path ~config:"flags");
+      (* Arbitrary files are named as such. *)
+      write_file path "definitely not a checkpoint\n";
+      expect_error "junk" "not a muerp checkpoint"
+        (Checkpoint.load ~path ~config:"flags");
+      expect_error "empty" "empty"
+        (write_file path "";
+         Checkpoint.load ~path ~config:"flags"));
+  expect_error "missing" "cannot read"
+    (Checkpoint.load ~path:"/nonexistent/muerp.ckpt" ~config:"flags")
+
+(* ------------------------------------------------------------------ *)
+(* Reconfiguration                                                     *)
+
+let test_reconfig_validate () =
+  let g, (u0, _), (sa, _) = parallel_network () in
+  let at time change = { Reconfig.time; change } in
+  (match Reconfig.validate g [ at 1. (Reconfig.Switch_leave 99) ] with
+  | Error m -> check_bool "names the event" true (Astring.String.is_infix ~affix:"event 1" m)
+  | Ok () -> Alcotest.fail "accepted an out-of-range switch");
+  (match Reconfig.validate g [ at 1. (Reconfig.Switch_leave u0) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted a user as a switch target");
+  (match
+     Reconfig.validate g
+       [ at 1. (Reconfig.Provision { switch = sa; qubits = -1 }) ]
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted negative qubits");
+  (match Reconfig.validate g [ at (-1.) (Reconfig.Switch_leave sa) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted a negative time");
+  match
+    Reconfig.validate g
+      [ at 0. (Reconfig.Switch_leave sa); at 3. (Reconfig.Switch_join sa) ]
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_reconfig_sexp_roundtrip () =
+  let events =
+    [
+      { Reconfig.time = 1.5; change = Reconfig.Switch_leave 4 };
+      { Reconfig.time = 2.; change = Reconfig.Link_remove 7 };
+      { Reconfig.time = 3.; change = Reconfig.Link_add 7 };
+      { Reconfig.time = 4.; change = Reconfig.Switch_join 4 };
+      {
+        Reconfig.time = 5.;
+        change = Reconfig.Provision { switch = 9; qubits = 12 };
+      };
+    ]
+  in
+  (match Reconfig.of_sexp (Reconfig.to_sexp events) with
+  | Ok events' -> check_bool "round-trips" true (events = events')
+  | Error m -> Alcotest.fail m);
+  match Reconfig.of_sexp (Sexp.list [ Sexp.atom "muerp-reconfig/9" ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown reconfig version"
+
+let test_reconfig_drain_recovers_lease () =
+  let g, (u0, u1), (sa, sb) = parallel_network () in
+  let reqs = [ request ~duration:6. 0 [ u0; u1 ] 0. ] in
+  let _, outcomes = Engine.run g params ~requests:reqs in
+  let used =
+    match outcomes with
+    | [ { Engine.resolution = Engine.Served { tree; _ }; _ } ] ->
+        interior_switch tree
+    | _ -> Alcotest.fail "baseline run must serve"
+  in
+  (* Drain the in-use switch mid-lease; the engine must repair onto the
+     detour, attribute the recovery to reconfiguration, and keep the
+     request served. *)
+  let reconfig = [ { Reconfig.time = 2.; change = Reconfig.Switch_leave used } ] in
+  let report, outcomes = Engine.run ~reconfig g params ~requests:reqs in
+  check_int "served through the drain" 1 report.Engine.served;
+  check_int "one reconfig applied" 1 report.Engine.reconfig_applied;
+  check_int "one lease recovered by reconfig" 1
+    report.Engine.reconfig_recovered;
+  check_int "not counted as a fault interruption" 0
+    report.Engine.faults_injected;
+  match outcomes with
+  | [ { Engine.resolution = Engine.Served { tree; _ }; _ } ] ->
+      check_int "moved to the detour"
+        (if used = sa then sb else sa)
+        (interior_switch tree)
+  | _ -> Alcotest.fail "expected a served outcome"
+
+let test_reconfig_join_restores_service () =
+  let g, (u0, u1), (sa, sb) = parallel_network () in
+  (* Both switches drained before arrival: the request must wait; the
+     join at t=4 re-admits a path and the rescan serves it. *)
+  let reqs = [ request ~duration:3. ~patience:10. 0 [ u0; u1 ] 1. ] in
+  let reconfig =
+    [
+      { Reconfig.time = 0.; change = Reconfig.Switch_leave sa };
+      { Reconfig.time = 0.; change = Reconfig.Switch_leave sb };
+      { Reconfig.time = 4.; change = Reconfig.Switch_join sa };
+    ]
+  in
+  let report, outcomes = Engine.run ~reconfig g params ~requests:reqs in
+  check_int "served after the join" 1 report.Engine.served;
+  check_int "three reconfigs applied" 3 report.Engine.reconfig_applied;
+  match outcomes with
+  | [ { Engine.resolution = Engine.Served { start; tree; _ }; _ } ] ->
+      check_bool "served no earlier than the join" true (start >= 4.);
+      check_int "through the rejoined switch" sa (interior_switch tree)
+  | _ -> Alcotest.fail "expected a served outcome"
+
+let test_reconfig_provision_shrink_recovers () =
+  let g, (u0, u1), (sa, sb) = parallel_network () in
+  let reqs = [ request ~duration:6. 0 [ u0; u1 ] 0. ] in
+  let _, outcomes = Engine.run g params ~requests:reqs in
+  let used =
+    match outcomes with
+    | [ { Engine.resolution = Engine.Served { tree; _ }; _ } ] ->
+        interior_switch tree
+    | _ -> Alcotest.fail "baseline run must serve"
+  in
+  (* Shrink the in-use switch to a single qubit mid-lease: the lease no
+     longer fits and must be recovered onto the other switch; quota
+     accounting has to stay consistent to the end of the run (the
+     engine asserts full refunds internally). *)
+  let reconfig =
+    [
+      {
+        Reconfig.time = 2.;
+        change = Reconfig.Provision { switch = used; qubits = 1 };
+      };
+    ]
+  in
+  let report, outcomes = Engine.run ~reconfig g params ~requests:reqs in
+  check_int "served through the shrink" 1 report.Engine.served;
+  check_int "recovered by reconfig" 1 report.Engine.reconfig_recovered;
+  (match outcomes with
+  | [ { Engine.resolution = Engine.Served { tree; _ }; _ } ] ->
+      check_int "moved off the shrunk switch"
+        (if used = sa then sb else sa)
+        (interior_switch tree)
+  | _ -> Alcotest.fail "expected a served outcome");
+  (* Growing capacity mid-run is accepted and needs no recovery. *)
+  let reconfig =
+    [
+      {
+        Reconfig.time = 2.;
+        change = Reconfig.Provision { switch = used; qubits = 8 };
+      };
+    ]
+  in
+  let report, _ = Engine.run ~reconfig g params ~requests:reqs in
+  check_int "grow applied" 1 report.Engine.reconfig_applied;
+  check_int "grow recovers nothing" 0 report.Engine.reconfig_recovered
+
+(* ------------------------------------------------------------------ *)
+(* Workload modulators                                                 *)
+
+let test_modulator_intensity () =
+  let check_f = Alcotest.(check (float 1e-12)) in
+  check_f "flat" 1. (Workload.intensity Workload.Flat 17.);
+  let d = Workload.Diurnal { period = 40.; amplitude = 0.5 } in
+  check_f "diurnal at 0" 1. (Workload.intensity d 0.);
+  check_f "diurnal peak" 1.5 (Workload.intensity d 10.);
+  check_f "diurnal trough" 0.5 (Workload.intensity d 30.);
+  let f = Workload.Flash { at = 10.; width = 5.; boost = 4. } in
+  check_f "before the flash" 1. (Workload.intensity f 9.9);
+  check_f "inside the flash" 4. (Workload.intensity f 10.);
+  check_f "after the flash" 1. (Workload.intensity f 15.)
+
+let test_modulator_spec_validation () =
+  let bad f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () ->
+      Workload.spec
+        ~modulation:(Workload.Diurnal { period = 0.; amplitude = 0.5 })
+        ());
+  bad (fun () ->
+      Workload.spec
+        ~modulation:(Workload.Diurnal { period = 10.; amplitude = 1. })
+        ());
+  bad (fun () ->
+      Workload.spec
+        ~modulation:(Workload.Flash { at = 0.; width = 0.; boost = 2. })
+        ());
+  bad (fun () ->
+      Workload.spec
+        ~modulation:(Workload.Flash { at = 0.; width = 5.; boost = 0. })
+        ())
+
+let test_flat_modulation_is_identity () =
+  let g = network 17 in
+  let plain =
+    Workload.generate (Prng.create 5) g (Workload.spec ~requests:30 ())
+  in
+  let flat =
+    Workload.generate (Prng.create 5) g
+      (Workload.spec ~requests:30 ~modulation:Workload.Flat ())
+  in
+  check_bool "flat modulation changes nothing" true (plain = flat)
+
+let test_flash_compresses_arrivals () =
+  let g = network 19 in
+  let gen m =
+    Workload.generate (Prng.create 7) g
+      (Workload.spec ~requests:60 ~arrivals:(Workload.Poisson 0.5) ?modulation:m ())
+  in
+  let plain = gen None in
+  let boosted = gen (Some (Workload.Flash { at = 0.; width = 1e9; boost = 4. })) in
+  (* A flash covering the whole horizon is a uniform 4x speed-up of the
+     same arrival stream: every gap shrinks, order and draws unchanged. *)
+  List.iter2
+    (fun (p : Workload.request) (b : Workload.request) ->
+      check_bool "same users" true (p.users = b.users);
+      check_bool "arrivals compressed" true (b.arrival <= p.arrival +. 1e-9))
+    plain boosted;
+  let span reqs =
+    match (reqs, List.rev reqs) with
+    | first :: _, last :: _ -> last.Workload.arrival -. first.Workload.arrival
+    | _ -> 0.
+  in
+  check_bool "span shrank about 4x" true
+    (span boosted < span plain /. 3.);
+  (* Modulated arrivals remain sorted and finite. *)
+  let rec sorted = function
+    | a :: (b :: _ as tl) ->
+        a.Workload.arrival <= b.Workload.arrival && sorted tl
+    | _ -> true
+  in
+  check_bool "still sorted" true (sorted boosted)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery drills                                               *)
+
+let drill_must_pass ?faults ?reconfig ?pool ?slot ~every g reqs =
+  let overload = Qnet_overload.Admission.make ~max_queue:16 ~rate:1.5 () in
+  let config = Engine.config ~overload Policy.prim in
+  let d =
+    Drill.crash_restore ~config ?faults ?reconfig ?pool ?slot ~every g params
+      ~requests:reqs
+  in
+  if not (Drill.passed d) then
+    Alcotest.fail (Format.asprintf "%a" Drill.pp d);
+  check_bool "cut at least one checkpoint" true (d.Drill.checkpoints > 0)
+
+let test_drill_plain () =
+  let g = network 23 in
+  drill_must_pass ~every:9. g (generated 24 g)
+
+let test_drill_under_faults_and_reconfig () =
+  let g = network 29 in
+  let faults =
+    Model.make ~mtbf:40. ~mttr:6. ~targets:Model.Both ~seed:31 ()
+  in
+  let switch =
+    match Graph.switches g with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no switches"
+  in
+  let reconfig =
+    [
+      { Reconfig.time = 5.; change = Reconfig.Switch_leave switch };
+      { Reconfig.time = 20.; change = Reconfig.Switch_join switch };
+      {
+        Reconfig.time = 12.;
+        change = Reconfig.Provision { switch; qubits = 1 };
+      };
+    ]
+  in
+  drill_must_pass ~faults ~reconfig ~every:8. g (generated 30 g)
+
+let prop_restore_any_instant =
+  QCheck.Test.make ~count:6 ~name:"restore at any instant, any jobs/slot"
+    QCheck.(
+      triple (QCheck.int_range 0 10_000) (QCheck.oneofl [ 1; 2; 4 ])
+        (QCheck.oneofl [ 0.; 2.5 ]))
+    (fun (seed, jobs, slot) ->
+      let g = network (seed mod 97) in
+      let reqs = generated (seed + 1) g in
+      let faults =
+        Model.make ~mtbf:50. ~mttr:7. ~targets:Model.Both ~seed:(seed + 2) ()
+      in
+      let run pool =
+        let overload = Qnet_overload.Admission.make ~max_queue:12 ~rate:1. () in
+        let config = Engine.config ~overload Policy.prim in
+        let d =
+          Drill.crash_restore ~config ~faults ?pool ~slot ~every:13. g params
+            ~requests:reqs
+        in
+        Drill.passed d
+      in
+      if jobs = 1 then run None
+      else Pool.with_pool ~jobs (fun pool -> run (Some pool)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "resilience"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "codec round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_snapshot_rejects_garbage;
+          Alcotest.test_case "flag mismatch refused" `Quick
+            test_restore_flag_mismatch_refused;
+          Alcotest.test_case "stateful policy refused" `Quick
+            test_checkpoint_refused_for_stateful_policy;
+        ] );
+      ( "checkpoint-file",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_file_roundtrip;
+          Alcotest.test_case "friendly errors" `Quick
+            test_checkpoint_file_errors;
+        ] );
+      ( "reconfig",
+        [
+          Alcotest.test_case "validate" `Quick test_reconfig_validate;
+          Alcotest.test_case "sexp round-trip" `Quick
+            test_reconfig_sexp_roundtrip;
+          Alcotest.test_case "drain recovers lease" `Quick
+            test_reconfig_drain_recovers_lease;
+          Alcotest.test_case "join restores service" `Quick
+            test_reconfig_join_restores_service;
+          Alcotest.test_case "provision shrink recovers" `Quick
+            test_reconfig_provision_shrink_recovers;
+        ] );
+      ( "modulators",
+        [
+          Alcotest.test_case "intensity" `Quick test_modulator_intensity;
+          Alcotest.test_case "spec validation" `Quick
+            test_modulator_spec_validation;
+          Alcotest.test_case "flat is identity" `Quick
+            test_flat_modulation_is_identity;
+          Alcotest.test_case "flash compresses arrivals" `Quick
+            test_flash_compresses_arrivals;
+        ] );
+      ( "drill",
+        [
+          Alcotest.test_case "plain" `Quick test_drill_plain;
+          Alcotest.test_case "faults + reconfig" `Quick
+            test_drill_under_faults_and_reconfig;
+          qc prop_restore_any_instant;
+        ] );
+    ]
