@@ -1044,6 +1044,115 @@ let resilience_section () =
   let reconfig_report, _ =
     E.run ~config ~faults ~reconfig g params ~requests:reqs
   in
+  (* Full-rewrite vs incremental+journal checkpointing, with real file
+     writes, at two cadences.  Bytes written per run are the
+     deterministic overhead measure the guard enforces (wall times ride
+     along informationally); each incremental run is then recovered
+     from its own files and replayed under the journal verifier. *)
+  let fsize p =
+    let ic = open_in_bin p in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  let cadence_row dt =
+    let module Chain = Qnet_resilience.Chain in
+    let module Journal = Qnet_resilience.Journal in
+    let dir = Filename.temp_dir "muerp-bench-resil" "" in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun n ->
+            try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Sys.rmdir dir with Sys_error _ -> ())
+      (fun () ->
+        let full_path = Filename.concat dir "full.ckpt" in
+        let full_bytes = ref 0 and full_cuts = ref 0 in
+        let wall_full, _ =
+          timed (fun () ->
+              E.run ~config ~faults
+                ~checkpoint:
+                  ( dt,
+                    fun _ snap ->
+                      (match
+                         Qnet_resilience.Checkpoint.save ~path:full_path
+                           ~config:"bench" snap
+                       with
+                      | Ok _ -> ()
+                      | Error m -> failwith m);
+                      incr full_cuts;
+                      full_bytes := !full_bytes + fsize full_path )
+                g params ~requests:reqs)
+        in
+        let root = Filename.concat dir "chain.ckpt" in
+        let jp = Chain.journal_path root in
+        let writer =
+          Chain.create ~path:root ~config:"bench" ~every:6 ~journal:jp ()
+        in
+        let incr_bytes = ref 0 and incr_cuts = ref 0 in
+        let journal_tally () =
+          if Sys.file_exists jp then incr_bytes := !incr_bytes + fsize jp
+        in
+        let wall_incr, _ =
+          timed (fun () ->
+              E.run ~config ~faults
+                ~on_transition:(Chain.on_transition writer)
+                ~checkpoint:
+                  ( dt,
+                    fun _ snap ->
+                      (* The cut restarts the journal, so bill the
+                         outgoing journal's bytes first. *)
+                      journal_tally ();
+                      match Chain.cut writer snap with
+                      | Ok info ->
+                          incr incr_cuts;
+                          incr_bytes := !incr_bytes + info.Chain.c_bytes
+                      | Error m -> failwith m )
+                g params ~requests:reqs)
+        in
+        Chain.close writer;
+        journal_tally ();
+        let restored_equal, replay_equal, warnings =
+          match Chain.recover ~path:root ~config:"bench" ~journal:jp () with
+          | Error m -> failwith ("bench recovery failed: " ^ m)
+          | Ok r ->
+              let v = Journal.verifier r.Chain.r_journal in
+              let report, _ =
+                E.run ~config ~faults
+                  ~on_transition:(Journal.observe v)
+                  ~restore_from:r.Chain.r_snapshot g params ~requests:reqs
+              in
+              ( report = plain_report,
+                Result.is_ok (Journal.finish v),
+                List.length r.Chain.r_warnings )
+        in
+        let pct w =
+          if wall_plain <= 0. then 0.
+          else (w -. wall_plain) /. wall_plain *. 100.
+        in
+        jobj
+          [
+            ("cadence_s", jfloat dt);
+            ("rebase_every", string_of_int 6);
+            ("full_cuts", string_of_int !full_cuts);
+            ("full_bytes", string_of_int !full_bytes);
+            ("full_wall_s", jfloat wall_full);
+            ("full_overhead_pct", jfloat (pct wall_full));
+            ("incr_cuts", string_of_int !incr_cuts);
+            ("incr_bytes", string_of_int !incr_bytes);
+            ("incr_wall_s", jfloat wall_incr);
+            ("incr_overhead_pct", jfloat (pct wall_incr));
+            ( "bytes_ratio",
+              jfloat
+                (if !incr_bytes = 0 then 0.
+                 else float_of_int !full_bytes /. float_of_int !incr_bytes) );
+            ("incr_restored_report_equal", string_of_bool restored_equal);
+            ("journal_replay_equal", string_of_bool replay_equal);
+            ("recovery_warnings", string_of_int warnings);
+          ])
+  in
+  let incremental = List.map cadence_row [ 10.; 30. ] in
   jobj
     [
       ("requests", string_of_int wspec.W.requests);
@@ -1070,6 +1179,7 @@ let resilience_section () =
       ("reconfig_served", string_of_int reconfig_report.E.served);
       ( "reconfig_acceptance_ratio",
         jfloat reconfig_report.E.acceptance_ratio );
+      ("incremental", jarr incremental);
     ]
 
 let snapshot path =
@@ -1175,7 +1285,7 @@ let snapshot path =
   let doc =
     jobj
       [
-        ("schema", jstr "muerp-bench-snapshot/9");
+        ("schema", jstr "muerp-bench-snapshot/10");
         ("replications", string_of_int replications);
         ("methods", jarr methods);
         ("traffic", jarr traffic);

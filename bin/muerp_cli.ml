@@ -1072,8 +1072,9 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
     patience_max policy_name cache hier regions tiers_spec queue retry_base
     retry_max max_queue max_inflight rate_limit burst budget flow_gate gap
     fail_on_sla fault_mtbf fault_mttr fault_targets fault_regional
-    fault_radius recovery_name checkpoint_every checkpoint_file restore_file
-    reconfig_file halt_at drill_every jobs slot show_outcomes metrics =
+    fault_radius recovery_name checkpoint_every checkpoint_file
+    checkpoint_mode journal_file restore_file reconfig_file halt_at
+    drill_every jobs slot show_outcomes metrics =
   apply_verbose verbose;
   metrics_begin metrics;
   if slot < 0. || not (Float.is_finite slot) then begin
@@ -1092,14 +1093,39 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
     prerr_endline "--halt-at requires --checkpoint-every";
     exit 1
   end;
+  let chain_cadence =
+    (* full = every cut is a self-contained snapshot; incr:K = deltas
+       against the previous cut, rebased to a full snapshot every K. *)
+    let bad () =
+      prerr_endline
+        "--checkpoint-mode must be `full' or `incr:K' with K >= 1 deltas \
+         per full-snapshot rebase";
+      exit 1
+    in
+    match checkpoint_mode with
+    | "full" -> None
+    | s when String.length s > 5 && String.sub s 0 5 = "incr:" -> (
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some k when k >= 1 -> Some k
+        | _ -> bad ())
+    | _ -> bad ()
+  in
+  if journal_file <> None && chain_cadence = None then begin
+    (* The journal extends a delta chain; a full-only cadence has no
+       chain head for it to attach to. *)
+    prerr_endline "--journal requires --checkpoint-mode incr:K";
+    exit 1
+  end;
   if
     drill_every > 0.
-    && (checkpoint_every > 0. || restore_file <> None || halt_at >= 0.)
+    && (checkpoint_every > 0. || restore_file <> None || halt_at >= 0.
+       || journal_file <> None)
   then begin
-    (* The drill owns the checkpoint/restore cycle itself. *)
+    (* The drill owns the checkpoint/restore cycle itself (and the
+       chain drill journals internally). *)
     prerr_endline
-      "--drill cannot be combined with --checkpoint-every, --restore or \
-       --halt-at";
+      "--drill cannot be combined with --checkpoint-every, --restore, \
+       --halt-at or --journal";
     exit 1
   end;
   if hier && tiers_spec <> "" then begin
@@ -1339,24 +1365,73 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
                      (Qnet_online.Reconfig.to_sexp reconfig))))
       in
       if drill_every > 0. then begin
-        (* Crash-recovery drill: checkpoint every --drill time units,
-           then simulate a crash at every instant and diff the restored
-           continuations against the uninterrupted run. *)
-        let drill =
-          try
-            with_jobs jobs (fun pool ->
-                Qnet_resilience.Drill.crash_restore ~config ?faults
-                  ~reconfig ?pool ~slot ~every:drill_every g params
-                  ~requests:reqs)
-          with Invalid_argument msg -> prerr_endline msg; exit 1
-        in
-        Format.printf "%a@." Qnet_resilience.Drill.pp drill;
-        metrics_report metrics;
-        exit (if Qnet_resilience.Drill.passed drill then 0 else 1)
+        match chain_cadence with
+        | Some cadence ->
+            (* Incremental-chain drill: cut through a real chain writer
+               (base + deltas + journal on disk), crash into every
+               capture, recover and verify the journal replay. *)
+            let dir =
+              Filename.temp_dir "muerp-drill" ""
+            in
+            let drill =
+              try
+                with_jobs jobs (fun pool ->
+                    Qnet_resilience.Drill.chain_restore ~config ?faults
+                      ~reconfig ?pool ~slot ~every:drill_every ~cadence ~dir g
+                      params ~requests:reqs)
+              with Invalid_argument msg -> prerr_endline msg; exit 1
+            in
+            (try Sys.rmdir dir with Sys_error _ -> ());
+            Format.printf "%a@." Qnet_resilience.Drill.pp_chain drill;
+            metrics_report metrics;
+            exit (if Qnet_resilience.Drill.chain_passed drill then 0 else 1)
+        | None ->
+            (* Crash-recovery drill: checkpoint every --drill time
+               units, then simulate a crash at every instant and diff
+               the restored continuations against the uninterrupted
+               run. *)
+            let drill =
+              try
+                with_jobs jobs (fun pool ->
+                    Qnet_resilience.Drill.crash_restore ~config ?faults
+                      ~reconfig ?pool ~slot ~every:drill_every g params
+                      ~requests:reqs)
+              with Invalid_argument msg -> prerr_endline msg; exit 1
+            in
+            Format.printf "%a@." Qnet_resilience.Drill.pp drill;
+            metrics_report metrics;
+            exit (if Qnet_resilience.Drill.passed drill then 0 else 1)
       end;
-      let restore_from =
+      let restore_from, replay_verifier =
         match restore_file with
-        | None -> None
+        | None -> (None, None)
+        | Some path when chain_cadence <> None -> (
+            (* Incremental mode: walk the chain (base -> deltas),
+               tolerate a poisoned suffix, and pick up the journal tail
+               for replay verification. *)
+            match
+              Qnet_resilience.Chain.recover ~path ~config:fingerprint
+                ?journal:journal_file ()
+            with
+            | Ok r ->
+                List.iter
+                  (fun w -> Printf.eprintf "warning: %s\n" w)
+                  r.Qnet_resilience.Chain.r_warnings;
+                Printf.printf
+                  "restored from %s (checkpoint at t=%g, %d delta(s) \
+                   applied, %d journal record(s) to verify)\n"
+                  path
+                  (Qnet_online.Engine.snapshot_at
+                     r.Qnet_resilience.Chain.r_snapshot)
+                  r.Qnet_resilience.Chain.r_deltas_applied
+                  (List.length r.Qnet_resilience.Chain.r_journal);
+                ( Some r.Qnet_resilience.Chain.r_snapshot,
+                  if journal_file <> None then
+                    Some
+                      (Qnet_resilience.Journal.verifier
+                         r.Qnet_resilience.Chain.r_journal)
+                  else None )
+            | Error msg -> prerr_endline msg; exit 2)
         | Some path -> (
             match
               Qnet_resilience.Checkpoint.load ~path ~config:fingerprint
@@ -1364,8 +1439,16 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
             | Ok snap ->
                 Printf.printf "restored from %s (checkpoint at t=%g)\n" path
                   (Qnet_online.Engine.snapshot_at snap);
-                Some snap
+                (Some snap, None)
             | Error msg -> prerr_endline msg; exit 2)
+      in
+      let chain_writer =
+        match chain_cadence with
+        | Some k when checkpoint_every > 0. ->
+            Some
+              (Qnet_resilience.Chain.create ~path:checkpoint_file
+                 ~config:fingerprint ~every:k ?journal:journal_file ())
+        | _ -> None
       in
       let checkpoint =
         if checkpoint_every <= 0. then None
@@ -1373,13 +1456,22 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
           Some
             ( checkpoint_every,
               fun at snap ->
-                (match
-                   Qnet_resilience.Checkpoint.save ~path:checkpoint_file
-                     ~config:fingerprint snap
-                 with
-                | Ok () -> ()
-                | Error msg -> prerr_endline msg; exit 2);
+                (match chain_writer with
+                | Some w -> (
+                    match Qnet_resilience.Chain.cut w snap with
+                    | Ok _ -> ()
+                    | Error msg -> prerr_endline msg; exit 2)
+                | None -> (
+                    match
+                      Qnet_resilience.Checkpoint.save ~path:checkpoint_file
+                        ~config:fingerprint snap
+                    with
+                    | Ok _ -> ()
+                    | Error msg -> prerr_endline msg; exit 2));
                 if halt_at >= 0. && at >= halt_at then begin
+                  (* Flush the journal before the simulated crash: its
+                     records attest the transitions past this cut. *)
+                  Option.iter Qnet_resilience.Chain.close chain_writer;
                   Printf.printf
                     "halted at checkpoint t=%g (state saved to %s; resume \
                      with --restore %s)\n"
@@ -1387,17 +1479,45 @@ let traffic_run verbose seed users switches degree qubits q alpha topology
                   exit 0
                 end )
       in
+      let on_transition =
+        match (chain_writer, replay_verifier) with
+        | None, None -> None
+        | w, v ->
+            Some
+              (fun tr ->
+                (match v with
+                | Some v -> Qnet_resilience.Journal.observe v tr
+                | None -> ());
+                match w with
+                | Some w -> Qnet_resilience.Chain.on_transition w tr
+                | None -> ())
+      in
       let report, outcomes =
         try
           with_jobs jobs (fun pool ->
               Qnet_online.Engine.run ~config ?faults ?pool ?on_health ~slot
-                ?checkpoint ~reconfig ?restore_from g params ~requests:reqs)
+                ?on_transition ?checkpoint ~reconfig ?restore_from g params
+                ~requests:reqs)
         with Invalid_argument msg ->
           prerr_endline msg;
           (* A restore the engine refuses means the file lied about
              matching this run — a file problem, not a flag problem. *)
           exit (if restore_from <> None then 2 else 1)
       in
+      Option.iter Qnet_resilience.Chain.close chain_writer;
+      (match replay_verifier with
+      | None -> ()
+      | Some v -> (
+          match Qnet_resilience.Journal.finish v with
+          | Ok 0 -> ()
+          | Ok n ->
+              Printf.printf
+                "journal verified: %d committed transition(s) re-emitted \
+                 identically\n"
+                n
+          | Error msg ->
+              Printf.eprintf "journal verification failed: %s\n" msg;
+              exit 2));
       print_endline
         (Qnet_util.Table.to_string (Qnet_online.Engine.report_table report));
       if gap then begin
@@ -1704,6 +1824,26 @@ let traffic_cmd =
       & opt string "muerp.ckpt"
       & info [ "checkpoint" ] ~docv:"FILE" ~doc)
   in
+  let checkpoint_mode_t =
+    let doc =
+      "Checkpoint strategy: $(b,full) rewrites a self-contained \
+       snapshot at every cut; $(b,incr:K) writes compact delta files \
+       chained to the last full snapshot, rebasing to a fresh full \
+       snapshot every $(i,K) deltas.  With --restore, $(b,incr:K) \
+       recovers by walking the chain, skipping any corrupt suffix."
+    in
+    Arg.(
+      value & opt string "full" & info [ "checkpoint-mode" ] ~docv:"MODE" ~doc)
+  in
+  let journal_t =
+    let doc =
+      "Write-ahead event journal path (requires --checkpoint-mode \
+       incr:K).  Every committed engine transition since the last cut \
+       is appended (fsync-batched); on --restore the recovered run is \
+       verified to re-emit the journal exactly."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
   let restore_t =
     let doc =
       "Resume an interrupted run from a checkpoint file written under \
@@ -1736,7 +1876,10 @@ let traffic_cmd =
        checkpoint every $(docv) time units, simulate a crash at every \
        checkpoint instant, and diff each restored continuation against \
        the uninterrupted run (0 disables; exits nonzero on any \
-       divergence)."
+       divergence).  With --checkpoint-mode incr:K the drill exercises \
+       the full incremental stack instead: real chain files on disk, \
+       recovery walks, and write-ahead journal replay at every crash \
+       point."
     in
     Arg.(value & opt float 0. & info [ "drill" ] ~docv:"DT" ~doc)
   in
@@ -1760,7 +1903,8 @@ let traffic_cmd =
       $ flow_gate_t $ gap_t
       $ fail_on_sla_t $ fault_mtbf_t $ fault_mttr_t $ fault_targets_t
       $ fault_regional_t $ fault_radius_t $ recovery_t
-      $ checkpoint_every_t $ checkpoint_file_t $ restore_t
+      $ checkpoint_every_t $ checkpoint_file_t $ checkpoint_mode_t
+      $ journal_t $ restore_t
       $ reconfig_file_t $ halt_at_t $ drill_t $ jobs_t $ slot_t
       $ outcomes_t $ metrics_t)
 

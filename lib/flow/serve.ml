@@ -21,6 +21,7 @@ let policy ?(seed = 0xf10e5) () =
        and a restored run routes exactly like the original. *)
     concurrent_safe = true;
     checkpoint_safe = true;
+    state = None;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         match Lp.relax ~exclude ?budget ~capacity g params ~users with

@@ -3,14 +3,28 @@ module Health = Qnet_faults.Health
 module Schedule = Qnet_faults.Schedule
 
 let policy oracle =
+  let skeleton = Oracle.skeleton oracle in
   {
     Policy.name = "hier-prim";
     (* The oracle's lazily filled segment cache is shared mutable
-       state — route calls must stay on one domain.  It also cannot be
-       checkpointed: a restored run starts with a cold cache, and
-       segment warmth can change which corridor wins. *)
+       state — route calls must stay on one domain.  It *can* be
+       checkpointed, though: the cache contents ride in the snapshot's
+       policy-state section through the hooks below, so a restored run
+       resumes with exactly the warmth the original had (a cold cache
+       would diverge — segment reuse is optimistic, and warmth can
+       change which corridor wins). *)
     concurrent_safe = false;
-    checkpoint_safe = false;
+    checkpoint_safe = true;
+    state =
+      Some
+        {
+          Policy.save = (fun () -> Skeleton.export skeleton);
+          load =
+            (fun g _params doc ->
+              if not (g == Oracle.graph oracle) then
+                Error "hier policy state: oracle built over a different graph"
+              else Skeleton.import skeleton doc);
+        };
     route =
       (fun ~exclude ~budget g _params ~capacity ~users ->
         if not (g == Oracle.graph oracle) then

@@ -16,7 +16,10 @@
 
 val policy : Oracle.t -> Qnet_online.Policy.t
 (** The ["hier-prim"] policy.  The engine must be run over the same
-    graph the oracle was built on.
+    graph the oracle was built on.  Checkpoint-safe: the oracle's
+    segment cache is carried across snapshot/restore through
+    {!Skeleton.export}/{!Skeleton.import} (a cold cache would change
+    which corridors win and break byte-identical restore).
     @raise Invalid_argument (at route time) if the graphs differ. *)
 
 val attach_health : Oracle.t -> Qnet_faults.Health.t -> unit

@@ -447,6 +447,107 @@ let route t ~exclude ~budget ~capacity ~src ~dst =
   in
   attempt ~refreshed:false 3
 
+(* --- checkpoint state ---------------------------------------------- *)
+
+(* The segment cache is optimistically reused, so a restored run must
+   resume with the *same* cache contents — a cold cache recomputes
+   segments under the live residual state and can pick a different
+   corridor than the uninterrupted run did.  The export is therefore
+   exact: every cached entry with its stamp, plus the query counter the
+   stamps are compared against.  Entries are emitted sorted by node so
+   the rendering is independent of hash-table iteration order. *)
+
+module Sx = Qnet_util.Sexp
+
+let export t =
+  let entries =
+    Hashtbl.fold (fun node e acc -> (node, e) :: acc) t.cache []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (node, e) ->
+           let seg_sx s =
+             Sx.list
+               [
+                 Sx.float s.cost;
+                 Sx.list (List.map Sx.int s.path);
+                 Sx.list (List.map Sx.int s.edges);
+               ]
+           in
+           Sx.list
+             [
+               Sx.int node;
+               Sx.int e.stamp;
+               Sx.list (Array.to_list (Array.map seg_sx e.segs));
+             ])
+  in
+  Sx.list
+    [
+      Sx.atom "skeleton";
+      Sx.list [ Sx.atom "query"; Sx.int t.query ];
+      Sx.list (Sx.atom "entries" :: entries);
+    ]
+
+let import t doc =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* query, entries =
+    match doc with
+    | Sx.List
+        [
+          Sx.Atom "skeleton";
+          Sx.List [ Sx.Atom "query"; q ];
+          Sx.List (Sx.Atom "entries" :: entries);
+        ] ->
+        let* q = Sx.to_int q in
+        Ok (q, entries)
+    | _ -> err "malformed skeleton state"
+  in
+  let seg_of = function
+    | Sx.List [ cost; Sx.List path; Sx.List edges ] ->
+        let* cost = Sx.to_float cost in
+        let rec ints acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest ->
+              let* n = Sx.to_int x in
+              ints (n :: acc) rest
+        in
+        let* path = ints [] path in
+        let* edges = ints [] edges in
+        Ok { cost; path; edges }
+    | _ -> err "malformed skeleton segment"
+  in
+  let m = Array.length t.vertex_of in
+  let rec load acc = function
+    | [] -> Ok (List.rev acc)
+    | Sx.List [ node; stamp; Sx.List segs ] :: rest ->
+        let* node = Sx.to_int node in
+        let* stamp = Sx.to_int stamp in
+        if node < 0 || node >= m then
+          err "skeleton state names gateway %d, not in this network" node
+        else begin
+          let row =
+            t.region_nodes.(t.part.Partition.region_of.(t.vertex_of.(node)))
+          in
+          if List.length segs <> Array.length row then
+            err "skeleton entry for gateway %d has %d segments, expected %d"
+              node (List.length segs) (Array.length row)
+          else
+            let rec segs_of acc = function
+              | [] -> Ok (Array.of_list (List.rev acc))
+              | s :: rest ->
+                  let* s = seg_of s in
+                  segs_of (s :: acc) rest
+            in
+            let* segs = segs_of [] segs in
+            load ((node, { segs; stamp }) :: acc) rest
+        end
+    | _ :: _ -> err "malformed skeleton entry"
+  in
+  let* entries = load [] entries in
+  Hashtbl.reset t.cache;
+  List.iter (fun (node, e) -> Hashtbl.replace t.cache node e) entries;
+  t.query <- query;
+  Ok ()
+
 let invalidate_region t r =
   if r >= 0 && r < Array.length t.region_nodes then
     Array.iter (fun node -> Hashtbl.remove t.cache node) t.region_nodes.(r)

@@ -72,6 +72,22 @@ val route :
     different regions (same-region queries never need the skeleton).
     [budget] meters the underlying exact searches. *)
 
+val export : t -> Qnet_util.Sexp.t
+(** Serialise the segment cache exactly — every cached entry (costs,
+    witness paths, edge ids, stamp) plus the query counter, entries
+    sorted by gateway node so the rendering is deterministic.  A
+    restored run must resume with the same cache contents, not a cold
+    cache: segments are reused optimistically, so warmth can change
+    which corridor wins. *)
+
+val import : t -> Qnet_util.Sexp.t -> (unit, string) result
+(** Replace the segment cache and query counter with an {!export}ed
+    document.  Validates gateway ids and per-region row widths against
+    this skeleton; [Error] (cache untouched on the malformed-document
+    paths, reset on a later entry error is impossible — entries are
+    parsed fully before the cache is swapped) when the document does
+    not fit this network. *)
+
 val invalidate_region : t -> int -> unit
 (** Drop every cached segment of the given region (eager invalidation
     on a fault transition). *)

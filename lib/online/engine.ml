@@ -285,11 +285,28 @@ type snapshot = {
   s_limiter : (float * float) option;
   s_health : Fhealth.snapshot option;
   s_tier : s_tier option;
+  s_policy : Qnet_util.Sexp.t option;
+      (* opaque policy-owned state (Policy.state_hooks) *)
   s_metrics : (string * Tm.dumped) list option;
 }
 
+(* Committed state transitions, in commit order — the write-ahead
+   journal's vocabulary.  Every entry is emitted at the exact point the
+   engine mutates durable state (lease table, health, capacity quota),
+   so a restored run re-emits the same stream from its cut onward and a
+   journal tail can be verified against the deterministic
+   re-execution. *)
+type transition =
+  | T_admit of { at : float; lid : int; request : int }
+  | T_release of { at : float; lid : int }
+  | T_recover of { at : float; lid : int }
+  | T_abort of { at : float; lid : int }
+  | T_fault of { at : float; link : bool; element : int; up : bool }
+  | T_reconfig of { at : float; link : bool; element : int; up : bool }
+  | T_provision of { at : float; switch : int; qubits : int }
+
 let snapshot_at s = s.s_at
-let snapshot_version = "muerp-engine-snapshot/1"
+let snapshot_version = "muerp-engine-snapshot/2"
 
 module Sexp = Qnet_util.Sexp
 
@@ -353,11 +370,47 @@ let dumped_to_sexp (name, d) =
           Sexp.float h.Tm.d_sum; Sexp.float h.Tm.d_vmin; Sexp.float h.Tm.d_vmax;
           Sexp.list (List.map Sexp.int (Array.to_list h.Tm.d_counts)) ]
 
-let snapshot_to_sexp s =
-  let fld name elts = Sexp.list (Sexp.atom name :: elts) in
-  let pair (a, b) = Sexp.list [ Sexp.int a; Sexp.int b ] in
+let fld name elts = Sexp.list (Sexp.atom name :: elts)
+
+(* Health and tier state serialise through shared field lists so the
+   incremental-checkpoint delta codec renders exactly the bytes the
+   full snapshot would. *)
+let health_fields h =
   let ints l = List.map Sexp.int l in
   let floats l = List.map Sexp.float l in
+  [
+    fld "link-down" (ints (Array.to_list h.Fhealth.s_link_down));
+    fld "switch-down" (ints (Array.to_list h.Fhealth.s_switch_down));
+    fld "link-since" (floats (Array.to_list h.Fhealth.s_link_since));
+    fld "switch-since" (floats (Array.to_list h.Fhealth.s_switch_since));
+    fld "repairs" [ Sexp.int h.Fhealth.s_repairs ];
+    fld "downtime" [ Sexp.float h.Fhealth.s_total_downtime ];
+  ]
+
+let health_to_sexp h = Sexp.list (health_fields h)
+
+let tier_fields st =
+  let ints l = List.map Sexp.int l in
+  [
+    fld "serves" (ints (Array.to_list st.st_serves));
+    fld "exhaustions" (ints (Array.to_list st.st_exhaustions));
+    fld "verify-rejects" (ints (Array.to_list st.st_verify_rejects));
+    fld "breaker-skips" (ints (Array.to_list st.st_breaker_skips));
+    fld "breakers"
+      (List.map
+         (fun (bs, cf, cd, op) ->
+           Sexp.list
+             [ Sexp.atom (breaker_state_str bs); Sexp.int cf; Sexp.int cd;
+               Sexp.int op ])
+         (Array.to_list st.st_breakers));
+    fld "last" [ Sexp.int st.st_last ];
+  ]
+
+let tier_to_sexp st = Sexp.list (tier_fields st)
+
+let snapshot_to_sexp s =
+  let pair (a, b) = Sexp.list [ Sexp.int a; Sexp.int b ] in
+  let ints l = List.map Sexp.int l in
   Sexp.list
     [
       Sexp.atom snapshot_version;
@@ -417,36 +470,9 @@ let snapshot_to_sexp s =
         | None -> []
         | Some (tokens, last) -> [ Sexp.float tokens; Sexp.float last ]);
       fld "health"
-        (match s.s_health with
-        | None -> []
-        | Some h ->
-            [
-              fld "link-down" (ints (Array.to_list h.Fhealth.s_link_down));
-              fld "switch-down" (ints (Array.to_list h.Fhealth.s_switch_down));
-              fld "link-since" (floats (Array.to_list h.Fhealth.s_link_since));
-              fld "switch-since"
-                (floats (Array.to_list h.Fhealth.s_switch_since));
-              fld "repairs" [ Sexp.int h.Fhealth.s_repairs ];
-              fld "downtime" [ Sexp.float h.Fhealth.s_total_downtime ];
-            ]);
-      fld "tier"
-        (match s.s_tier with
-        | None -> []
-        | Some st ->
-            [
-              fld "serves" (ints (Array.to_list st.st_serves));
-              fld "exhaustions" (ints (Array.to_list st.st_exhaustions));
-              fld "verify-rejects" (ints (Array.to_list st.st_verify_rejects));
-              fld "breaker-skips" (ints (Array.to_list st.st_breaker_skips));
-              fld "breakers"
-                (List.map
-                   (fun (bs, cf, cd, op) ->
-                     Sexp.list
-                       [ Sexp.atom (breaker_state_str bs); Sexp.int cf;
-                         Sexp.int cd; Sexp.int op ])
-                   (Array.to_list st.st_breakers));
-              fld "last" [ Sexp.int st.st_last ];
-            ]);
+        (match s.s_health with None -> [] | Some h -> health_fields h);
+      fld "tier" (match s.s_tier with None -> [] | Some st -> tier_fields st);
+      fld "policy" (match s.s_policy with None -> [] | Some doc -> [ doc ]);
       fld "metrics"
         (match s.s_metrics with
         | None -> []
@@ -614,6 +640,68 @@ let dumped_of_sexp = function
         )
   | _ -> Error "malformed metric dump entry"
 
+let health_of_fields hf =
+  let* ld = sx_assoc hf "link-down" in
+  let* s_link_down = sx_int_list ld in
+  let* sd = sx_assoc hf "switch-down" in
+  let* s_switch_down = sx_int_list sd in
+  let* ls = sx_assoc hf "link-since" in
+  let* s_link_since = sx_float_list ls in
+  let* ss = sx_assoc hf "switch-since" in
+  let* s_switch_since = sx_float_list ss in
+  let* s_repairs = sx_int_field hf "repairs" in
+  let* s_total_downtime = sx_float_field hf "downtime" in
+  Ok
+    {
+      Fhealth.s_link_down = Array.of_list s_link_down;
+      s_switch_down = Array.of_list s_switch_down;
+      s_link_since = Array.of_list s_link_since;
+      s_switch_since = Array.of_list s_switch_since;
+      s_repairs;
+      s_total_downtime;
+    }
+
+let health_of_sexp = function
+  | Sexp.List hf -> health_of_fields hf
+  | Sexp.Atom _ -> Error "malformed health state"
+
+let tier_of_fields tf =
+  let* serves = sx_assoc tf "serves" in
+  let* st_serves = sx_int_list serves in
+  let* exhaustions = sx_assoc tf "exhaustions" in
+  let* st_exhaustions = sx_int_list exhaustions in
+  let* vr = sx_assoc tf "verify-rejects" in
+  let* st_verify_rejects = sx_int_list vr in
+  let* bsk = sx_assoc tf "breaker-skips" in
+  let* st_breaker_skips = sx_int_list bsk in
+  let* breakers = sx_assoc tf "breakers" in
+  let* st_breakers =
+    map_result
+      (function
+        | Sexp.List [ Sexp.Atom state; cf; cd; op ] ->
+            let* bs = breaker_state_of_str state in
+            let* cf = Sexp.to_int cf in
+            let* cd = Sexp.to_int cd in
+            let* op = Sexp.to_int op in
+            Ok (bs, cf, cd, op)
+        | _ -> Error "malformed breaker state")
+      breakers
+  in
+  let* st_last = sx_int_field tf "last" in
+  Ok
+    {
+      st_serves = Array.of_list st_serves;
+      st_exhaustions = Array.of_list st_exhaustions;
+      st_verify_rejects = Array.of_list st_verify_rejects;
+      st_breaker_skips = Array.of_list st_breaker_skips;
+      st_breakers = Array.of_list st_breakers;
+      st_last;
+    }
+
+let tier_of_sexp = function
+  | Sexp.List tf -> tier_of_fields tf
+  | Sexp.Atom _ -> Error "malformed tier state"
+
 let snapshot_of_sexp doc =
   match doc with
   | Sexp.List (Sexp.Atom v :: fields) when v = snapshot_version ->
@@ -715,64 +803,23 @@ let snapshot_of_sexp doc =
         match health with
         | [] -> Ok None
         | hf ->
-            let* ld = sx_assoc hf "link-down" in
-            let* s_link_down = sx_int_list ld in
-            let* sd = sx_assoc hf "switch-down" in
-            let* s_switch_down = sx_int_list sd in
-            let* ls = sx_assoc hf "link-since" in
-            let* s_link_since = sx_float_list ls in
-            let* ss = sx_assoc hf "switch-since" in
-            let* s_switch_since = sx_float_list ss in
-            let* s_repairs = sx_int_field hf "repairs" in
-            let* s_total_downtime = sx_float_field hf "downtime" in
-            Ok
-              (Some
-                 {
-                   Fhealth.s_link_down = Array.of_list s_link_down;
-                   s_switch_down = Array.of_list s_switch_down;
-                   s_link_since = Array.of_list s_link_since;
-                   s_switch_since = Array.of_list s_switch_since;
-                   s_repairs;
-                   s_total_downtime;
-                 })
+            let* h = health_of_fields hf in
+            Ok (Some h)
       in
       let* tier = sx_assoc fields "tier" in
       let* s_tier =
         match tier with
         | [] -> Ok None
         | tf ->
-            let* serves = sx_assoc tf "serves" in
-            let* st_serves = sx_int_list serves in
-            let* exhaustions = sx_assoc tf "exhaustions" in
-            let* st_exhaustions = sx_int_list exhaustions in
-            let* vr = sx_assoc tf "verify-rejects" in
-            let* st_verify_rejects = sx_int_list vr in
-            let* bsk = sx_assoc tf "breaker-skips" in
-            let* st_breaker_skips = sx_int_list bsk in
-            let* breakers = sx_assoc tf "breakers" in
-            let* st_breakers =
-              map_result
-                (function
-                  | Sexp.List [ Sexp.Atom state; cf; cd; op ] ->
-                      let* bs = breaker_state_of_str state in
-                      let* cf = Sexp.to_int cf in
-                      let* cd = Sexp.to_int cd in
-                      let* op = Sexp.to_int op in
-                      Ok (bs, cf, cd, op)
-                  | _ -> Error "malformed breaker state")
-                breakers
-            in
-            let* st_last = sx_int_field tf "last" in
-            Ok
-              (Some
-                 {
-                   st_serves = Array.of_list st_serves;
-                   st_exhaustions = Array.of_list st_exhaustions;
-                   st_verify_rejects = Array.of_list st_verify_rejects;
-                   st_breaker_skips = Array.of_list st_breaker_skips;
-                   st_breakers = Array.of_list st_breakers;
-                   st_last;
-                 })
+            let* t = tier_of_fields tf in
+            Ok (Some t)
+      in
+      let* policy = sx_assoc fields "policy" in
+      let* s_policy =
+        match policy with
+        | [] -> Ok None
+        | [ doc ] -> Ok (Some doc)
+        | _ -> Error "malformed policy-state section"
       in
       let* metrics = sx_assoc fields "metrics" in
       let* s_metrics =
@@ -791,7 +838,7 @@ let snapshot_of_sexp doc =
           s_faults_injected; s_faults_repaired; s_leases_interrupted;
           s_leases_recovered; s_leases_aborted; s_lost_service;
           s_reconfig_applied; s_reconfig_recovered; s_limiter; s_health;
-          s_tier; s_metrics;
+          s_tier; s_policy; s_metrics;
         }
   | Sexp.List (Sexp.Atom v :: _)
     when String.length v > 20 && String.sub v 0 20 = "muerp-engine-snapsho" ->
@@ -871,8 +918,8 @@ let validate_schedule g schedule =
     schedule
 
 let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
-    ?on_health ?pool ?(slot = 0.) ?checkpoint ?(reconfig = []) ?restore_from g
-    params ~requests =
+    ?on_health ?on_transition ?pool ?(slot = 0.) ?checkpoint ?(reconfig = [])
+    ?restore_from g params ~requests =
   validate g requests;
   Option.iter (validate_schedule g) fault_schedule;
   if slot < 0. || not (Float.is_finite slot) then
@@ -952,6 +999,13 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
   let lost_service = ref 0. in
   let reconfig_applied = ref 0 in
   let reconfig_recovered = ref 0 in
+  let emit tr =
+    match on_transition with None -> () | Some f -> f tr
+  in
+  let element_parts = function
+    | Fsched.Link e -> (true, e)
+    | Fsched.Switch v -> (false, v)
+  in
   let resolve st resolution =
     st.resolved <- true;
     st.waiting <- false;
@@ -1034,6 +1088,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
               recoveries = 0;
               tier = served_tier ();
             };
+          emit (T_admit { at = t; lid; request = r.Workload.id });
           Event_queue.push events (t +. r.Workload.duration) (Expiry lid);
           in_use := !in_use + Lease.qubits lease;
           peak_qubits := max !peak_qubits !in_use;
@@ -1196,6 +1251,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         Hashtbl.remove active lid;
         in_use := !in_use - Lease.qubits a.lease;
         Lease.release capacity a.lease;
+        emit (T_release { at = t; lid });
         let rate = Ent_tree.rate_prob a.tree in
         Tm.Counter.incr c_served;
         Tm.Histogram.observe h_rate rate;
@@ -1298,6 +1354,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
     in
     (match after with
     | Some _ ->
+        emit (T_recover { at = t; lid = a.lid });
         in_use := !in_use + Lease.qubits a.lease;
         peak_qubits := max !peak_qubits !in_use;
         a.recoveries <- a.recoveries + 1;
@@ -1312,6 +1369,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         (* Abort-and-refund: the capacity is already back in the pool;
            the request ends here, with the unserved remainder of its
            lease recorded as lost service. *)
+        emit (T_abort { at = t; lid = a.lid });
         incr leases_aborted;
         Tm.Counter.incr c_leases_aborted;
         lost_service := !lost_service +. Float.max 0. (a.finish -. t);
@@ -1344,6 +1402,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
             batch_dirty := true;
             incr faults_injected;
             Tm.Counter.incr c_faults_injected;
+            (let link, element = element_parts fe.Fsched.element in
+             emit (T_fault { at = t; link; element; up = false }));
             (* Active trees are all healthy between fault events, so the
                dead ones now are exactly those crossing the failed
                element.  Lease-id order keeps multi-victim recovery
@@ -1360,6 +1420,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
             batch_dirty := true;
             incr faults_repaired;
             Tm.Counter.incr c_faults_repaired;
+            (let link, element = element_parts fe.Fsched.element in
+             emit (T_fault { at = t; link; element; up = true }));
             (* Connectivity improved: queued requests that were blocked
                by the failed element may route now. *)
             rescan_queue t)
@@ -1381,6 +1443,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
               batch_dirty := true;
               incr reconfig_applied;
               Tm.Counter.incr c_reconfig_applied;
+              (let link, el = element_parts element in
+               emit (T_reconfig { at = t; link; element = el; up = false }));
               let affected =
                 Hashtbl.fold
                   (fun _ a acc -> if tree_dead a.tree then a :: acc else acc)
@@ -1393,6 +1457,8 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
               batch_dirty := true;
               incr reconfig_applied;
               Tm.Counter.incr c_reconfig_applied;
+              (let link, el = element_parts element in
+               emit (T_reconfig { at = t; link; element = el; up = true }));
               rescan_queue t)
     in
     match re.Reconfig.change with
@@ -1404,6 +1470,7 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         batch_dirty := true;
         incr reconfig_applied;
         Tm.Counter.incr c_reconfig_applied;
+        emit (T_provision { at = t; switch = v; qubits = q });
         Capacity.provision capacity v q;
         (if Capacity.remaining capacity v < 0 then begin
            (* Shrunk below current usage: recover leases crossing the
@@ -1636,6 +1703,20 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
         fail "snapshot carries tiered-policy state but this run is untiered"
     | None, Some _ ->
         fail "this run is tiered but the snapshot has no tier state");
+    (match (snap.s_policy, cfg.policy.Policy.state) with
+    | Some doc, Some h -> (
+        match h.Policy.load g params doc with
+        | Ok () -> ()
+        | Error m -> fail ("policy state: " ^ m))
+    | None, None -> ()
+    | Some _, None ->
+        fail
+          "snapshot carries policy state but this run's policy keeps none \
+           (policies differ)"
+    | None, Some _ ->
+        fail
+          "this run's policy keeps restorable state but the snapshot has \
+           none (policies differ)");
     (match snap.s_metrics with
     | Some d when Tm.enabled () -> (
         try Tm.absorb d with Invalid_argument m -> fail m)
@@ -1841,6 +1922,10 @@ let run ?config:(cfg = config Policy.prim) ?faults ?fault_schedule ?on_incident
               st_last = stats.Policy.last;
             })
           cfg.tier_stats;
+      s_policy =
+        Option.map
+          (fun (h : Policy.state_hooks) -> h.Policy.save ())
+          cfg.policy.Policy.state;
       s_metrics = (if Tm.enabled () then Some (Tm.dump ()) else None);
     }
   in

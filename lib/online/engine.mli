@@ -230,26 +230,127 @@ type report = {
     an event-loop boundary: pending events with their FIFO seqs, every
     request's progress, active leases as channel vertex-paths, settled
     outcomes, capacity quota/residual deltas, and the mutable state of
-    the limiter, element health, tiered-policy breakers and telemetry
-    registry.  Restoring it into {!run} (with the {e same} graph,
-    params, workload, and flags) continues the run to a report
-    byte-identical to the uninterrupted one, at every [--jobs] level
-    and [slot] window.
+    the limiter, element health, tiered-policy breakers, policy-owned
+    caches ({!Policy.state_hooks}) and telemetry registry.  Restoring
+    it into {!run} (with the {e same} graph, params, workload, and
+    flags) continues the run to a report byte-identical to the
+    uninterrupted one, at every [--jobs] level and [slot] window.
+
+    The record and its component types are concrete so the incremental-
+    checkpoint delta codec ({!Qnet_resilience.Delta}) can diff
+    consecutive snapshots field by field; treat them as read-only data
+    — a hand-built snapshot that lies about capacity accounting is
+    rejected at restore time, not silently trusted.
 
     Snapshots serialise to a versioned s-expression
-    ([muerp-engine-snapshot/1]); {!snapshot_of_sexp} is a pure parse —
+    ([muerp-engine-snapshot/2]); {!snapshot_of_sexp} is a pure parse —
     graph/workload consistency is validated inside {!run} at restore
     time, which raises [Invalid_argument] with a reason naming the
     mismatch (wrong workload, wrong network, different flags, corrupt
     capacity accounting). *)
 
-type snapshot
+(** A pending event, with request/lease bodies referenced by id (a
+    restore replays the original workload, so ids resolve against the
+    [~requests] the caller passes back in). *)
+type s_event =
+  | SE_arrival of int
+  | SE_retry of int
+  | SE_expiry of int
+  | SE_fault of Qnet_faults.Schedule.event
+  | SE_reconf of Reconfig.event
+
+(** A settled outcome, trees flattened to channel vertex-paths. *)
+type s_resolution =
+  | SR_served of {
+      r_start : float;
+      r_finish : float;
+      r_paths : int list list;
+      r_rate : float;
+      r_attempts : int;
+      r_recoveries : int;
+      r_tier : int;
+    }
+  | SR_rejected of { r_at : float; r_queue_full : bool }
+  | SR_shed of { r_at : float; r_reason : shed_reason }
+  | SR_expired of { r_at : float; r_attempts : int }
+  | SR_interrupted of {
+      r_start : float;
+      r_at : float;
+      r_attempts : int;
+      r_recoveries : int;
+    }
+
+type s_state = {
+  ss_id : int;
+  ss_attempts : int;
+  ss_backoff : float;
+  ss_waiting : bool;
+  ss_resolved : bool;
+}
+
+type s_active = {
+  sa_lid : int;
+  sa_id : int;
+  sa_paths : int list list;
+  sa_started : float;
+  sa_finish : float;
+  sa_recoveries : int;
+  sa_tier : int;
+}
+
+type s_tier = {
+  st_serves : int array;
+  st_exhaustions : int array;
+  st_verify_rejects : int array;
+  st_breaker_skips : int array;
+  st_breakers : (Qnet_overload.Breaker.state * int * int * int) array;
+  st_last : int;
+}
+
+type snapshot = {
+  s_at : float;
+  s_next_ckpt : float;
+  s_events : (float * int * s_event) list;
+  s_next_seq : int;
+  s_states : s_state list;
+  s_queue : int list;
+  s_active : s_active list;
+  s_outcomes : (int * s_resolution) list;  (** newest first, as accrued *)
+  s_next_lease : int;
+  s_quota : (int * int) list;
+  s_residual : (int * int) list;
+  s_shed_total : int;
+  s_gate_rejected : int;
+  s_budget_exhaustions : int;
+  s_peak_qubits : int;
+  s_peak_queue : int;
+  s_retries : int;
+  s_util_integral : float;
+  s_last_time : float;
+  s_makespan : float;
+  s_faults_injected : int;
+  s_faults_repaired : int;
+  s_leases_interrupted : int;
+  s_leases_recovered : int;
+  s_leases_aborted : int;
+  s_lost_service : float;
+  s_reconfig_applied : int;
+  s_reconfig_recovered : int;
+  s_limiter : (float * float) option;
+  s_health : Qnet_faults.Health.snapshot option;
+  s_tier : s_tier option;
+  s_policy : Qnet_util.Sexp.t option;
+      (** Opaque policy-owned state from {!Policy.state_hooks.save};
+          restore refuses a snapshot whose presence disagrees with the
+          configured policy. *)
+  s_metrics : (string * Qnet_telemetry.Metrics.dumped) list option;
+}
 
 val snapshot_at : snapshot -> float
 (** The simulation instant the snapshot was cut at. *)
 
 val snapshot_version : string
-(** The serialisation tag, [muerp-engine-snapshot/1]. *)
+(** The serialisation tag, [muerp-engine-snapshot/2]. *)
 
 val snapshot_to_sexp : snapshot -> Qnet_util.Sexp.t
 
@@ -257,12 +358,64 @@ val snapshot_of_sexp : Qnet_util.Sexp.t -> (snapshot, string) result
 (** Structural parse; rejects unknown versions and malformed documents
     with a human-readable reason. *)
 
+(** {2 Element codecs}
+
+    The per-element serialisers behind {!snapshot_to_sexp}, exported so
+    the incremental-checkpoint delta codec renders exactly the same
+    bytes for the entries it carries. *)
+
+val s_event_to_sexp : s_event -> Qnet_util.Sexp.t
+val s_event_of_sexp : Qnet_util.Sexp.t -> (s_event, string) result
+val s_resolution_to_sexp : s_resolution -> Qnet_util.Sexp.t
+val s_resolution_of_sexp : Qnet_util.Sexp.t -> (s_resolution, string) result
+
+val dumped_to_sexp :
+  string * Qnet_telemetry.Metrics.dumped -> Qnet_util.Sexp.t
+
+val dumped_of_sexp :
+  Qnet_util.Sexp.t -> (string * Qnet_telemetry.Metrics.dumped, string) result
+
+val health_to_sexp : Qnet_faults.Health.snapshot -> Qnet_util.Sexp.t
+
+val health_of_sexp :
+  Qnet_util.Sexp.t -> (Qnet_faults.Health.snapshot, string) result
+
+val tier_to_sexp : s_tier -> Qnet_util.Sexp.t
+val tier_of_sexp : Qnet_util.Sexp.t -> (s_tier, string) result
+
+(** {1 Committed transitions}
+
+    The write-ahead journal's vocabulary: one entry per durable engine
+    mutation, emitted through [?on_transition] at the exact commit
+    point, in commit order.  Because the engine is deterministic, a run
+    restored from a checkpoint cut re-emits the same stream from that
+    cut onward — which is what lets a journal tail be verified by
+    re-execution instead of trusted. *)
+type transition =
+  | T_admit of { at : float; lid : int; request : int }
+      (** A lease was committed ([lid] assigned) for [request]. *)
+  | T_release of { at : float; lid : int }
+      (** The lease expired normally; its qubits were refunded. *)
+  | T_recover of { at : float; lid : int }
+      (** A fault or admin change hit the lease and recovery kept it in
+          service (repaired or rerouted). *)
+  | T_abort of { at : float; lid : int }
+      (** A hit ended the lease unserved (refund + interruption). *)
+  | T_fault of { at : float; link : bool; element : int; up : bool }
+      (** An element availability transition was applied ([link]
+          selects edge vs switch id space). *)
+  | T_reconfig of { at : float; link : bool; element : int; up : bool }
+      (** Same, but operator-driven (leave/join/remove/add). *)
+  | T_provision of { at : float; switch : int; qubits : int }
+      (** A quota re-provision took effect. *)
+
 val run :
   ?config:config ->
   ?faults:Qnet_faults.Model.t ->
   ?fault_schedule:Qnet_faults.Schedule.event list ->
   ?on_incident:(incident -> unit) ->
   ?on_health:(Qnet_faults.Health.t -> unit) ->
+  ?on_transition:(transition -> unit) ->
   ?pool:Qnet_util.Pool.t ->
   ?slot:float ->
   ?checkpoint:float * (float -> snapshot -> unit) ->
@@ -285,7 +438,11 @@ val run :
     the first event — the hook callers use to register
     {!Qnet_faults.Health.on_transition} observers (e.g. eager cache
     invalidation in the hierarchical router); it is not called when no
-    fault source is configured.
+    fault source is configured.  [on_transition] observes every
+    committed {!transition} in commit order — the write-ahead journal's
+    feed; it fires only for mutations the run itself commits (a
+    restored run starts emitting at its cut, exactly where the original
+    run's journal left off).
 
     [pool] enables the {e batched concurrent serving} path: at each
     round the engine drains the batch of same-timestamp events ([slot]

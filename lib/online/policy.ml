@@ -6,10 +6,21 @@ let c_cache_hits = Tm.counter "online.policy.cache.hits"
 let c_cache_misses = Tm.counter "online.policy.cache.misses"
 let c_cache_invalidations = Tm.counter "online.policy.cache.invalidations"
 
+(* Hooks a stateful-but-checkpoint-safe policy exposes so the engine
+   can carry its hidden state across a snapshot/restore cycle.  [save]
+   captures the state as a pure sexp document; [load] rebuilds it (the
+   graph and params are in scope so cached trees can be reconstructed
+   channel-by-channel, exactly as active leases are). *)
+type state_hooks = {
+  save : unit -> Qnet_util.Sexp.t;
+  load : Graph.t -> Params.t -> Qnet_util.Sexp.t -> (unit, string) result;
+}
+
 type t = {
   name : string;
   concurrent_safe : bool;
   checkpoint_safe : bool;
+  state : state_hooks option;
   route :
     exclude:Routing.exclusion ->
     budget:Qnet_overload.Budget.t option ->
@@ -41,6 +52,7 @@ let prim =
     name = "prim";
     concurrent_safe = true;
     checkpoint_safe = true;
+    state = None;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         Multi_group.prim_for_users ~exclude ?budget g params ~capacity ~users);
@@ -115,6 +127,7 @@ let of_algorithm alg =
     name;
     concurrent_safe = true;
     checkpoint_safe = true;
+    state = None;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
@@ -129,6 +142,7 @@ let eqcast =
     name = "eqcast";
     concurrent_safe = true;
     checkpoint_safe = true;
+    state = None;
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let view = residual_view ~exclude g ~capacity ~users in
@@ -142,16 +156,95 @@ let tree_alive g exclude (tree : Ent_tree.t) =
     (fun (c : Channel.t) -> Routing.path_ok g exclude c.Channel.path)
     tree.Ent_tree.channels
 
+(* The memo table serialises as (users, channel vertex-paths) entries,
+   sorted by key; [load] rebuilds every tree channel-by-channel against
+   the restoring run's graph, the same bit-identical reconstruction
+   active leases use.  A cold cache would NOT be equivalent: the
+   uninterrupted run replays memoised trees computed under earlier
+   residual states, so byte-identity requires restoring the exact
+   contents, not re-deriving them. *)
+let cached_state table =
+  let module Sexp = Qnet_util.Sexp in
+  let save () =
+    Hashtbl.fold (fun k tree acc -> (k, tree) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (users, (tree : Ent_tree.t)) ->
+           Sexp.list
+             [
+               Sexp.list (List.map Sexp.int users);
+               Sexp.list
+                 (List.map
+                    (fun (c : Channel.t) ->
+                      Sexp.list (List.map Sexp.int c.Channel.path))
+                    tree.Ent_tree.channels);
+             ])
+    |> fun entries -> Sexp.list (Sexp.atom "memo" :: entries)
+  in
+  let load g params doc =
+    let ( let* ) = Result.bind in
+    let int_list l =
+      List.fold_left
+        (fun acc x ->
+          let* acc = acc in
+          let* i = Sexp.to_int x in
+          Ok (i :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+    in
+    let entry = function
+      | Sexp.List [ Sexp.List users; Sexp.List paths ] ->
+          let* users = int_list users in
+          let* channels =
+            List.fold_left
+              (fun acc p ->
+                let* acc = acc in
+                let* path =
+                  match p with
+                  | Sexp.List vs -> int_list vs
+                  | Sexp.Atom _ -> Error "memo path must be a list"
+                in
+                let* c =
+                  Result.map_error
+                    (fun r -> "memoised channel invalid on this network: " ^ r)
+                    (Channel.make g params path)
+                in
+                Ok (c :: acc))
+              (Ok []) paths
+            |> Result.map List.rev
+          in
+          Ok (users, Ent_tree.of_channels channels)
+      | _ -> Error "malformed memo entry"
+    in
+    match doc with
+    | Sexp.List (Sexp.Atom "memo" :: entries) ->
+        let* parsed =
+          List.fold_left
+            (fun acc e ->
+              let* acc = acc in
+              let* kv = entry e in
+              Ok (kv :: acc))
+            (Ok []) entries
+        in
+        Hashtbl.reset table;
+        List.iter (fun (k, v) -> Hashtbl.replace table k v) parsed;
+        Ok ()
+    | _ -> Error "malformed memo table document"
+  in
+  { save; load }
+
 let cached inner =
   let table : (int list, Ent_tree.t) Hashtbl.t = Hashtbl.create 64 in
   {
     name = "cached-" ^ inner.name;
-    (* The memo table is shared mutable state touched on every call —
-       and it cannot be checkpointed: a restored run would route with a
-       cold cache where the uninterrupted run replayed memoised trees,
-       breaking byte-identity. *)
+    (* The memo table is shared mutable state touched on every call, so
+       speculation stays off; checkpointing is fine — the state hooks
+       above carry the exact table contents across a restore. *)
     concurrent_safe = false;
-    checkpoint_safe = false;
+    (* Wrapping a policy that carries its own restorable state would
+       need composed hooks; no roster policy does, so the wrapper only
+       claims safety when the inner policy is stateless. *)
+    checkpoint_safe = inner.checkpoint_safe && Option.is_none inner.state;
+    state = Some (cached_state table);
     route =
       (fun ~exclude ~budget g params ~capacity ~users ->
         let key = List.sort compare users in
@@ -347,4 +440,6 @@ let tiered ?(fuel = 4096) ?breaker_threshold ?breaker_cooldown tiers =
   (* Breakers and tier stats are shared mutable state, and [stats.last]
      is sampled right after each call — serial only.  Checkpointing is
      fine: the engine snapshot carries breaker and tier-stat state. *)
-  ({ name; concurrent_safe = false; checkpoint_safe = true; route }, stats)
+  ( { name; concurrent_safe = false; checkpoint_safe = true; state = None;
+      route },
+    stats )

@@ -23,6 +23,22 @@
       fit the residual capacity, invalidating lazily when they no
       longer do. *)
 
+(** Hooks a stateful-but-checkpoint-safe policy exposes so the engine
+    can carry its hidden state across a snapshot/restore cycle:
+    [save] captures the state as a pure sexp document (stored in the
+    engine snapshot's policy-state section), [load] rebuilds it against
+    the restoring run's graph and params — for {!cached}, every
+    memoised tree is reconstructed channel-by-channel, the same
+    bit-identical rebuild active leases get. *)
+type state_hooks = {
+  save : unit -> Qnet_util.Sexp.t;
+  load :
+    Qnet_graph.Graph.t ->
+    Qnet_core.Params.t ->
+    Qnet_util.Sexp.t ->
+    (unit, string) result;
+}
+
 type t = {
   name : string;
   concurrent_safe : bool;
@@ -40,15 +56,21 @@ type t = {
           gates the optimisation). *)
   checkpoint_safe : bool;
       (** Whether a run under this policy can be checkpointed and
-          restored byte-identically.  False for policies whose hidden
-          mutable state cannot be carried across a snapshot — the
-          {!cached} memo table (a restored run would route cold where
-          the original replayed memoised trees) and the hierarchical
-          oracle's warm segment cache.  True for the stateless
-          built-ins, the flow policy, and {!tiered} (its breakers and
-          stats ride in the engine snapshot).  The CLI refuses
+          restored byte-identically.  True for the stateless built-ins,
+          the flow policy, {!tiered} (its breakers and stats ride in
+          the engine snapshot), and — via {!state_hooks} — {!cached}
+          and the hierarchical policy, whose memo/segment caches are
+          serialised into the snapshot's policy-state section and
+          rebuilt exactly on restore (a cold cache would diverge: the
+          uninterrupted run replays trees computed under earlier
+          residual states).  The CLI refuses
           [--checkpoint-every]/[--restore] under an unsafe policy
           rather than silently produce diverging reports. *)
+  state : state_hooks option;
+      (** Present exactly when the policy keeps restorable hidden
+          state; the engine calls [save] at each checkpoint cut and
+          [load] on restore, and refuses a snapshot whose policy-state
+          section disagrees with the configured policy. *)
   route :
     exclude:Qnet_core.Routing.exclusion ->
     budget:Qnet_overload.Budget.t option ->
@@ -105,8 +127,10 @@ val cached : t -> t
     hit replays the stored tree if it survives the current exclusion
     (no channel through a failed element) and {!try_consume} accepts it
     under the current residual capacity; otherwise the entry is
-    invalidated and [p] re-routes.  Counters:
-    [online.policy.cache.{hits,misses,invalidations}]. *)
+    invalidated and [p] re-routes.  Checkpoint-safe (when [p] is): the
+    memo table is carried across snapshot/restore through
+    {!state_hooks}, serialised as (users, vertex-paths) entries.
+    Counters: [online.policy.cache.{hits,misses,invalidations}]. *)
 
 val all : unit -> (string * t) list
 (** Fresh instances of every selectable policy, cached variants included

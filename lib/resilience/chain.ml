@@ -1,0 +1,311 @@
+module Sexp = Qnet_util.Sexp
+module Engine = Qnet_online.Engine
+
+(* Incremental checkpoint chains.
+
+   A chain is one full checkpoint file (the base, at the caller's
+   path) plus numbered delta files beside it:
+
+     FILE        muerp-checkpoint/1        (full snapshot)
+     FILE.d1     muerp-checkpoint-delta/1  (diff vs FILE)
+     FILE.d2     muerp-checkpoint-delta/1  (diff vs FILE.d1's state)
+     ...
+     FILE.journal muerp-journal/1          (transitions since last cut)
+
+   Each delta body carries a chain record naming the base digest, the
+   parent file's footer digest and its own index, so recovery can
+   detect a file that belongs to a different chain generation (e.g. a
+   crash between rewriting the base and clearing old deltas) and skip
+   it rather than splice states from two runs.
+
+   Cadence: every [every] deltas the writer emits a fresh full
+   snapshot — rebasing the chain so restore cost and corruption blast
+   radius stay bounded — then deletes the stale delta files.  The
+   order matters: the new base is renamed into place *first*, so a
+   crash mid-cleanup leaves old deltas whose [base] link no longer
+   matches; recovery skips them with a warning and lands on the new
+   base, never on a Frankenstein state.
+
+   Recovery walks base -> d1 -> d2 -> ... verifying each footer and
+   chain link, applying deltas in order.  The first file that fails
+   (missing, torn, bit-flipped, wrong parent) poisons the suffix:
+   recovery stops there, reports what it skipped, and returns the last
+   state it could prove — the contract is "a valid earlier state with
+   a warning", and an error only when the base itself is gone. *)
+
+let delta_version = "muerp-checkpoint-delta/1"
+let delta_path base i = Printf.sprintf "%s.d%d" base i
+let journal_path base = base ^ ".journal"
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+let ( let* ) = Result.bind
+
+(* --- delta files --------------------------------------------------- *)
+
+let write_delta ~path ~config ~base_digest ~parent ~index delta =
+  Checkpoint.write_with_footer ~path (fun oc ->
+      output_string oc delta_version;
+      output_char oc '\n';
+      Sexp.output oc (Sexp.list [ Sexp.atom "config"; Sexp.atom config ]);
+      output_char oc '\n';
+      Sexp.output oc
+        (Sexp.list
+           [
+             Sexp.atom "chain";
+             Sexp.list [ Sexp.atom "base"; Sexp.atom base_digest ];
+             Sexp.list [ Sexp.atom "parent"; Sexp.atom parent ];
+             Sexp.list [ Sexp.atom "index"; Sexp.int index ];
+           ]);
+      output_char oc '\n';
+      Sexp.output oc (Delta.to_sexp delta);
+      output_char oc '\n')
+
+(* Parse and cross-check a delta file body against its expected place
+   in the chain; any mismatch is a reason to stop the walk. *)
+let parse_delta ~path ~config ~base_digest ~parent ~index body =
+  match String.split_on_char '\n' body with
+  | header :: config_line :: chain_line :: delta_line :: _
+    when header = delta_version ->
+      let* () =
+        match Sexp.of_string config_line with
+        | Ok (Sexp.List [ Sexp.Atom "config"; Sexp.Atom written ]) ->
+            if String.equal written config then Ok ()
+            else
+              err
+                "delta %s was written under different flags (%s) than this \
+                 run (%s)"
+                path written config
+        | Ok _ | Error _ -> err "delta %s has a malformed config record" path
+      in
+      let* () =
+        match Sexp.of_string chain_line with
+        | Ok
+            (Sexp.List
+              [
+                Sexp.Atom "chain";
+                Sexp.List [ Sexp.Atom "base"; Sexp.Atom b ];
+                Sexp.List [ Sexp.Atom "parent"; Sexp.Atom p ];
+                Sexp.List [ Sexp.Atom "index"; Sexp.Atom i ];
+              ]) ->
+            if not (String.equal b base_digest) then
+              err "delta %s belongs to a different chain generation" path
+            else if not (String.equal p parent) then
+              err "delta %s does not extend the previous file (parent link \
+                   mismatch)"
+                path
+            else if int_of_string_opt i <> Some index then
+              err "delta %s is out of sequence (expected index %d)" path index
+            else Ok ()
+        | Ok _ | Error _ -> err "delta %s has a malformed chain record" path
+      in
+      let* doc =
+        match Sexp.of_string delta_line with
+        | Ok doc -> Ok doc
+        | Error m -> err "delta %s: unreadable delta document: %s" path m
+      in
+      Result.map_error (fun m -> Printf.sprintf "delta %s: %s" path m)
+        (Delta.of_sexp doc)
+  | header :: _
+    when String.length header >= 21
+         && String.sub header 0 21 = "muerp-checkpoint-delt" ->
+      err "delta %s uses unsupported version %s (this build reads %s)" path
+        header delta_version
+  | header :: _ when header = Checkpoint.version ->
+      err "%s is a full checkpoint where a delta was expected" path
+  | _ -> err "%s is not a muerp checkpoint delta file" path
+
+let clear_deltas base =
+  let rec go i =
+    let p = delta_path base i in
+    if Sys.file_exists p then begin
+      (try Sys.remove p with Sys_error _ -> ());
+      go (i + 1)
+    end
+  in
+  go 1
+
+(* --- writer -------------------------------------------------------- *)
+
+type cut_info = {
+  c_kind : [ `Full | `Delta ];
+  c_path : string;
+  c_digest : string;
+  c_bytes : int;
+}
+
+type writer = {
+  w_base : string;
+  w_config : string;
+  w_every : int;
+  w_journal_path : string option;
+  mutable w_prev : Engine.snapshot option;
+  mutable w_prev_digest : string;
+  mutable w_base_digest : string;
+  mutable w_index : int;
+  mutable w_journal : Journal.writer option;
+}
+
+let create ~path ~config ~every ?journal () =
+  if every < 1 then invalid_arg "Chain.create: cadence must be >= 1";
+  {
+    w_base = path;
+    w_config = config;
+    w_every = every;
+    w_journal_path = journal;
+    w_prev = None;
+    w_prev_digest = "";
+    w_base_digest = "";
+    w_index = 0;
+    w_journal = None;
+  }
+
+let file_bytes path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+(* After every successful cut the journal restarts, chained to the
+   file just written — its records are exactly the transitions
+   committed past the newest durable state. *)
+let restart_journal w ~digest =
+  match w.w_journal_path with
+  | None -> Ok ()
+  | Some path ->
+      (match w.w_journal with
+      | Some jw -> ignore (Journal.close jw)
+      | None -> ());
+      w.w_journal <- None;
+      let* jw =
+        Journal.create ~path ~config:w.w_config ~head:digest ~index:w.w_index
+      in
+      w.w_journal <- Some jw;
+      Ok ()
+
+let cut w (snap : Engine.snapshot) =
+  let full = w.w_prev = None || w.w_index >= w.w_every in
+  if full then begin
+    let* digest = Checkpoint.save ~path:w.w_base ~config:w.w_config snap in
+    clear_deltas w.w_base;
+    w.w_prev <- Some snap;
+    w.w_prev_digest <- digest;
+    w.w_base_digest <- digest;
+    w.w_index <- 0;
+    let* () = restart_journal w ~digest in
+    Ok
+      {
+        c_kind = `Full;
+        c_path = w.w_base;
+        c_digest = digest;
+        c_bytes = file_bytes w.w_base;
+      }
+  end
+  else begin
+    let base = Option.get w.w_prev in
+    let delta = Delta.diff ~base snap in
+    let index = w.w_index + 1 in
+    let path = delta_path w.w_base index in
+    let* digest =
+      write_delta ~path ~config:w.w_config ~base_digest:w.w_base_digest
+        ~parent:w.w_prev_digest ~index delta
+    in
+    w.w_prev <- Some snap;
+    w.w_prev_digest <- digest;
+    w.w_index <- index;
+    let* () = restart_journal w ~digest in
+    Ok { c_kind = `Delta; c_path = path; c_digest = digest; c_bytes = file_bytes path }
+  end
+
+let on_transition w tr =
+  match w.w_journal with None -> () | Some jw -> Journal.append jw tr
+
+let close w =
+  match w.w_journal with
+  | None -> ()
+  | Some jw ->
+      ignore (Journal.close jw);
+      w.w_journal <- None
+
+(* --- recovery ------------------------------------------------------ *)
+
+type recovered = {
+  r_snapshot : Engine.snapshot;
+  r_head : string;
+  r_index : int;
+  r_deltas_applied : int;
+  r_warnings : string list;
+  r_journal : Engine.transition list;
+}
+
+let recover ~path ~config ?journal () =
+  let* base_snap, base_digest = Checkpoint.load_verified ~path ~config in
+  let warnings = ref [] in
+  let warn fmt =
+    Printf.ksprintf (fun m -> warnings := m :: !warnings) fmt
+  in
+  (* Walk the delta chain; the first bad file poisons the suffix. *)
+  let rec walk snap parent index applied =
+    let i = index + 1 in
+    let p = delta_path path i in
+    if not (Sys.file_exists p) then (snap, parent, index, applied)
+    else
+      let step =
+        let* body, digest = Checkpoint.read_with_footer ~path:p in
+        let* delta =
+          parse_delta ~path:p ~config ~base_digest ~parent ~index:i body
+        in
+        let* snap = Delta.apply ~base:snap delta in
+        Ok (snap, digest)
+      in
+      match step with
+      | Ok (snap, digest) -> walk snap digest i (applied + 1)
+      | Error m ->
+          warn "%s — restoring the last good state before it" m;
+          (snap, parent, index, applied)
+  in
+  let r_snapshot, r_head, r_index, r_deltas_applied =
+    walk base_snap base_digest 0 0
+  in
+  (* The journal is only usable when it extends exactly the state we
+     recovered; anything else is stale, and stale means ignore, not
+     fail. *)
+  let r_journal =
+    match journal with
+    | None -> []
+    | Some jpath ->
+        if not (Sys.file_exists jpath) then []
+        else begin
+          match Journal.read ~path:jpath with
+          | Error m ->
+              warn "%s — ignoring the journal" m;
+              []
+          | Ok c ->
+              if not (String.equal c.Journal.j_config config) then begin
+                warn
+                  "journal %s was written under different flags — ignoring it"
+                  jpath;
+                []
+              end
+              else if
+                (not (String.equal c.Journal.j_head r_head))
+                || c.Journal.j_index <> r_index
+              then begin
+                warn
+                  "journal %s does not extend the recovered checkpoint \
+                   (stale or from a skipped chain suffix) — ignoring it"
+                  jpath;
+                []
+              end
+              else begin
+                (match c.Journal.j_torn with
+                | Some m -> warn "%s" m
+                | None -> ());
+                c.Journal.j_records
+              end
+        end
+  in
+  Ok
+    {
+      r_snapshot;
+      r_head;
+      r_index;
+      r_deltas_applied;
+      r_warnings = List.rev !warnings;
+      r_journal;
+    }

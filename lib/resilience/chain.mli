@@ -1,0 +1,99 @@
+(** Incremental checkpoint chains: a full base snapshot plus numbered
+    delta files, with corruption-tolerant recovery.
+
+    On disk, a chain rooted at [FILE] is [FILE] (a
+    {!Checkpoint.version} full snapshot), [FILE.d1] … [FILE.dN]
+    ([muerp-checkpoint-delta/1] files, each carrying a {!Delta.t} and a
+    chain record naming the base digest, the parent file's footer
+    digest and its own index), and optionally [FILE.journal] (the
+    {!Journal} of transitions committed since the last cut).
+
+    The writer rebases every [every] deltas — a fresh full snapshot
+    replaces the base and the stale deltas are deleted — so restore
+    cost and corruption blast radius stay bounded.  The base is renamed
+    into place before the old deltas are cleared; a crash in between
+    leaves deltas whose base link no longer matches, which recovery
+    detects and skips.
+
+    {!recover} walks base → d1 → … verifying each integrity footer and
+    chain link.  The first bad file (missing, torn, bit-flipped, wrong
+    parent, wrong config) poisons the suffix: the walk stops, reports
+    what it skipped as warnings, and returns the last state it could
+    prove.  The only hard error is a base that cannot itself be
+    loaded. *)
+
+val delta_version : string
+(** The delta-file format tag, [muerp-checkpoint-delta/1]. *)
+
+val delta_path : string -> int -> string
+(** [delta_path base i] is the on-disk name of delta [i] ([base.d<i>]),
+    exported for drills and tests that corrupt specific links. *)
+
+val journal_path : string -> string
+(** Default journal location beside a chain ([base.journal]). *)
+
+(** {1 Writing} *)
+
+type cut_info = {
+  c_kind : [ `Full | `Delta ];
+  c_path : string;
+  c_digest : string;  (** Integrity-footer MD5, the file's identity. *)
+  c_bytes : int;  (** File size — what the bench bills per cut. *)
+}
+
+type writer
+
+val create :
+  path:string ->
+  config:string ->
+  every:int ->
+  ?journal:string ->
+  unit ->
+  writer
+(** A chain writer rooted at [path].  [every] is the cadence: deltas
+    per full-snapshot rebase (1 = every cut is full).  [journal]
+    enables write-ahead journaling at the given path; the journal is
+    restarted after every cut, chained to the file just written.
+    @raise Invalid_argument when [every < 1]. *)
+
+val cut : writer -> Qnet_online.Engine.snapshot -> (cut_info, string) result
+(** Persist one checkpoint cut: the first cut and every [every]-th
+    thereafter writes a full snapshot (and clears stale deltas), the
+    rest write deltas against the previous cut. *)
+
+val on_transition : writer -> Qnet_online.Engine.transition -> unit
+(** Feed for [Engine.run ?on_transition]: appends to the live journal.
+    A no-op without [journal], and before the first cut (there is no
+    durable state to extend yet). *)
+
+val close : writer -> unit
+(** Flush and close the journal, if any.  Chain files are already
+    durable (each {!cut} publishes atomically). *)
+
+(** {1 Recovery} *)
+
+type recovered = {
+  r_snapshot : Qnet_online.Engine.snapshot;
+      (** The newest state the chain could prove. *)
+  r_head : string;  (** Footer digest of the last file applied. *)
+  r_index : int;  (** Its delta index (0 = the base itself). *)
+  r_deltas_applied : int;
+  r_warnings : string list;
+      (** One per skipped/ignored artefact — poisoned chain suffixes,
+          stale or torn journals.  Callers print these; they are never
+          fatal. *)
+  r_journal : Qnet_online.Engine.transition list;
+      (** Journal records extending [r_snapshot], for replay
+          verification; empty when absent, stale or unusable. *)
+}
+
+val recover :
+  path:string ->
+  config:string ->
+  ?journal:string ->
+  unit ->
+  (recovered, string) result
+(** Load the chain rooted at [path], applying every delta that
+    verifies.  [Error] only when the base itself is unreadable,
+    corrupt, or was written under different flags — every downstream
+    problem degrades to an earlier state plus warnings. *)

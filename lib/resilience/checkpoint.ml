@@ -5,7 +5,7 @@ module Engine = Qnet_online.Engine
 
      muerp-checkpoint/1
      (config "<fingerprint>")
-     (muerp-engine-snapshot/1 ...)
+     (muerp-engine-snapshot/2 ...)
      integrity <md5-hex> <byte-length>
 
    The integrity footer covers every byte before it, so a torn or
@@ -18,34 +18,48 @@ module Engine = Qnet_online.Engine
    The config fingerprint is an opaque caller-chosen string (the CLI
    folds its run-shaping flags into it); a restore under different
    flags fails here with a message naming both, rather than deep inside
-   the engine. *)
+   the engine.
+
+   The footer digest doubles as the file's identity: incremental
+   checkpoint chains (Chain) link each delta to its parent by quoting
+   the parent's footer digest, which is why [save] and
+   [write_with_footer] return it. *)
 
 let version = "muerp-checkpoint/1"
 
-let save ~path ~config snap =
-  let body =
-    String.concat "\n"
-      [
-        version;
-        Sexp.to_string (Sexp.list [ Sexp.atom "config"; Sexp.atom config ]);
-        Sexp.to_string (Engine.snapshot_to_sexp snap);
-        "";
-      ]
-  in
-  let footer =
-    Printf.sprintf "integrity %s %d\n"
-      (Digest.to_hex (Digest.string body))
-      (String.length body)
-  in
+(* Write [emit]'s output to [path] atomically, with the integrity
+   footer appended.  The body is streamed — written to the tmp file,
+   then digested by re-reading it through [Digest.channel] — so a
+   snapshot of a 100k-switch network never has to exist as one
+   in-memory string (Stdlib.Digest has no incremental feed API). *)
+let write_with_footer ~path emit =
   let tmp = path ^ ".tmp" in
   try
     let oc = open_out_bin tmp in
-    output_string oc body;
-    output_string oc footer;
+    (try emit oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    close_out oc;
+    let ic = open_in_bin tmp in
+    let len = in_channel_length ic in
+    let digest = Digest.to_hex (Digest.channel ic len) in
+    close_in ic;
+    let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 tmp in
+    Printf.fprintf oc "integrity %s %d\n" digest len;
     close_out oc;
     Sys.rename tmp path;
-    Ok ()
+    Ok digest
   with Sys_error m -> Error (Printf.sprintf "cannot write checkpoint: %s" m)
+
+let save ~path ~config snap =
+  write_with_footer ~path (fun oc ->
+      output_string oc version;
+      output_char oc '\n';
+      Sexp.output oc (Sexp.list [ Sexp.atom "config"; Sexp.atom config ]);
+      output_char oc '\n';
+      Sexp.output oc (Engine.snapshot_to_sexp snap);
+      output_char oc '\n')
 
 let read_file path =
   try
@@ -59,7 +73,7 @@ let read_file path =
   | End_of_file -> Error (Printf.sprintf "cannot read checkpoint %s" path)
 
 (* Split off the trailing "integrity <hex> <len>\n" footer and verify
-   it against the preceding bytes. *)
+   it against the preceding bytes; returns the body and its digest. *)
 let verified_body path data =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let n = String.length data in
@@ -86,7 +100,7 @@ let verified_body path data =
                 path len (String.length body)
             else if not (String.equal (Digest.to_hex (Digest.string body)) hex)
             then err "checkpoint %s fails its checksum (corrupt file)" path
-            else Ok body)
+            else Ok (body, hex))
     | _ ->
         err "checkpoint %s has no integrity footer (torn or truncated write)"
           path
@@ -95,7 +109,7 @@ let ( let* ) = Result.bind
 
 let magic = "muerp-checkpoint"
 
-let load ~path ~config =
+let read_with_footer ~path =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let* data = read_file path in
   (* Identify the file before integrity-checking it: a random file that
@@ -108,7 +122,11 @@ let load ~path ~config =
     else if String.length data = 0 then err "checkpoint %s is empty" path
     else err "%s is not a muerp checkpoint file" path
   in
-  let* body = verified_body path data in
+  verified_body path data
+
+let load_verified ~path ~config =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* body, digest = read_with_footer ~path in
   match String.split_on_char '\n' body with
   | header :: config_line :: snapshot_line :: _ when header = version ->
       let* () =
@@ -128,12 +146,17 @@ let load ~path ~config =
         | Ok doc -> Ok doc
         | Error m -> err "checkpoint %s: unreadable snapshot: %s" path m
       in
-      Result.map_error
-        (fun m -> Printf.sprintf "checkpoint %s: %s" path m)
-        (Engine.snapshot_of_sexp doc)
+      let* snap =
+        Result.map_error
+          (fun m -> Printf.sprintf "checkpoint %s: %s" path m)
+          (Engine.snapshot_of_sexp doc)
+      in
+      Ok (snap, digest)
   | header :: _
     when String.length header >= 16
          && String.sub header 0 16 = "muerp-checkpoint" ->
       err "checkpoint %s uses unsupported version %s (this build reads %s)"
         path header version
   | _ -> err "%s is not a muerp checkpoint file" path
+
+let load ~path ~config = Result.map fst (load_verified ~path ~config)

@@ -3,12 +3,18 @@
     Wraps {!Qnet_online.Engine.snapshot_to_sexp} in a crash-safe file
     format: a version header, the caller's config fingerprint, the
     snapshot document, and an integrity footer (MD5 + byte length) over
-    everything before it.  Writes are atomic (tmp file + rename), so a
-    published checkpoint is always complete; the footer catches the
-    remaining corruption cases — torn copies, truncation, bit rot —
-    before any parsing, and {!load} turns every failure mode into a
-    human-readable error naming the file and the reason (never a
-    backtrace). *)
+    everything before it.  Writes are atomic (tmp file + rename) and
+    {e streamed} — the snapshot is rendered straight to the file and
+    digested by re-reading it, so a checkpoint of a 100k-switch network
+    never materialises as one in-memory string.  The footer catches the
+    corruption cases atomic publishing cannot — torn copies,
+    truncation, bit rot — before any parsing, and {!load} turns every
+    failure mode into a human-readable error naming the file and the
+    reason (never a backtrace).
+
+    The footer digest is also the file's {e identity}: the incremental
+    checkpoint chain ({!Chain}) links each delta file to its parent by
+    quoting the parent's digest, which is why the writers return it. *)
 
 val version : string
 (** The file-format tag, [muerp-checkpoint/1]. *)
@@ -17,11 +23,13 @@ val save :
   path:string ->
   config:string ->
   Qnet_online.Engine.snapshot ->
-  (unit, string) result
-(** Write the snapshot to [path] atomically.  [config] is an opaque
-    fingerprint of the run-shaping flags (seed, policy, workload…);
-    {!load} refuses a file whose fingerprint differs, because a restore
-    only reproduces the uninterrupted run under identical inputs. *)
+  (string, string) result
+(** Write the snapshot to [path] atomically; [Ok digest] is the
+    integrity-footer MD5 (the file's chain identity).  [config] is an
+    opaque fingerprint of the run-shaping flags (seed, policy,
+    workload…); {!load} refuses a file whose fingerprint differs,
+    because a restore only reproduces the uninterrupted run under
+    identical inputs. *)
 
 val load :
   path:string -> config:string -> (Qnet_online.Engine.snapshot, string) result
@@ -29,3 +37,27 @@ val load :
     unreadable file, empty/truncated/torn contents, checksum mismatch,
     unsupported format version, config fingerprint mismatch, malformed
     snapshot document. *)
+
+val load_verified :
+  path:string ->
+  config:string ->
+  (Qnet_online.Engine.snapshot * string, string) result
+(** {!load}, also returning the verified footer digest — what a chain
+    walk compares against the next delta's [parent] link. *)
+
+(** {1 Footer-framed files}
+
+    The shared substrate for every chain file kind (full checkpoints,
+    deltas): a text body followed by the [integrity <md5> <len>]
+    footer, written atomically via tmp + rename. *)
+
+val write_with_footer :
+  path:string -> (out_channel -> unit) -> (string, string) result
+(** Stream a body to [path] (tmp + rename), appending the integrity
+    footer; [Ok digest] on success.  The body must end with a newline
+    so the footer starts a fresh line. *)
+
+val read_with_footer : path:string -> (string * string, string) result
+(** Read [path] and verify its footer; [Ok (body, digest)].  Rejects
+    files that do not start with the [muerp-checkpoint] magic, so a
+    random file is named for what it is rather than called torn. *)

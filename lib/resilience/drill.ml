@@ -55,6 +55,199 @@ let crash_restore ?config ?faults ?fault_schedule ?reconfig ?pool ?slot ~every
   in
   { checkpoints = List.length !snaps; mismatches }
 
+(* --- incremental-chain drill --------------------------------------- *)
+
+(* The chain drill exercises the full durability stack: the run cuts
+   through a real Chain writer (base + deltas + journal on disk), the
+   drill captures the byte-exact file set after every cut (and once at
+   run end, when the journal holds the tail), and each capture is
+   "crashed into" — files written back, recovered via Chain.recover,
+   the continuation re-run under the journal verifier.
+
+   Determinism gives the drill a single pass criterion that survives
+   corruption: a restore from ANY valid state — the newest, or an
+   earlier one recovery fell back to after skipping a poisoned suffix —
+   completes to the same final report.  So for every capture, injected
+   or not: recovery must either produce a byte-identical completion
+   (with the journal fully re-emitted), or degrade to a friendly
+   [Error].  An exception anywhere is a failure. *)
+
+type injection =
+  | Torn_write of int
+      (* truncate the newest file of the capture by N bytes — the
+         mid-write crash *)
+  | Bit_flip of int
+      (* flip bit N of the middle file — silent media corruption *)
+
+type chain_t = {
+  chain_cuts : int;  (* cuts performed by the uninterrupted run *)
+  chain_captures : int;  (* crash points exercised *)
+  chain_errors : (int * string) list;  (* (capture, reason) failures *)
+  chain_degraded : int;
+      (* injected captures that recovered to an earlier state or a
+         friendly error instead of the newest state — expected under
+         injection, counted for reporting *)
+}
+
+let chain_passed d = d.chain_errors = []
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+let write_bytes path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* Every on-disk artefact of the chain rooted at [root], in chain
+   order: base, d1..dN, journal. *)
+let capture_chain root =
+  let files = ref [] in
+  if Sys.file_exists root then files := [ (root, read_bytes root) ];
+  let rec deltas i =
+    let p = Chain.delta_path root i in
+    if Sys.file_exists p then begin
+      files := (p, read_bytes p) :: !files;
+      deltas (i + 1)
+    end
+  in
+  deltas 1;
+  let j = Chain.journal_path root in
+  if Sys.file_exists j then files := (j, read_bytes j) :: !files;
+  List.rev !files
+
+let clear_chain root =
+  let dir = Filename.dirname root and stem = Filename.basename root in
+  Array.iter
+    (fun name ->
+      if
+        String.length name >= String.length stem
+        && String.sub name 0 (String.length stem) = stem
+      then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let inject_into files = function
+  | None -> files
+  | Some (Torn_write n) -> (
+      match List.rev files with
+      | [] -> files
+      | (path, data) :: older ->
+          let keep = max 0 (String.length data - n) in
+          List.rev ((path, String.sub data 0 keep) :: older))
+  | Some (Bit_flip bit) -> (
+      match files with
+      | [] -> files
+      | _ ->
+          let target = List.length files / 2 in
+          List.mapi
+            (fun i ((path, data) as f) ->
+              if i <> target || String.length data = 0 then f
+              else begin
+                let b = Bytes.of_string data in
+                let bit = bit mod (8 * Bytes.length b) in
+                let byte = bit / 8 and shift = bit mod 8 in
+                Bytes.set b byte
+                  (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl shift)));
+                (path, Bytes.to_string b)
+              end)
+            files)
+
+let chain_restore ?config ?faults ?fault_schedule ?reconfig ?pool ?slot
+    ?inject ~every ~cadence ~dir g params ~requests =
+  let root = Filename.concat dir "chain.ckpt" in
+  let jpath = Chain.journal_path root in
+  let fingerprint = "drill" in
+  clear_chain root;
+  let writer =
+    Chain.create ~path:root ~config:fingerprint ~every:cadence ~journal:jpath
+      ()
+  in
+  let captures = ref [] in
+  let cut_errors = ref [] in
+  let cuts = ref 0 in
+  let sink _at snap =
+    incr cuts;
+    match Chain.cut writer snap with
+    | Error m -> cut_errors := (!cuts, "cut failed: " ^ m) :: !cut_errors
+    | Ok _ -> captures := capture_chain root :: !captures
+  in
+  let base_report, base_outcomes =
+    Engine.run ?config ?faults ?fault_schedule ?reconfig ?pool ?slot
+      ~on_transition:(Chain.on_transition writer) ~checkpoint:(every, sink) g
+      params ~requests
+  in
+  Chain.close writer;
+  (* One more crash point at run end, where the journal carries every
+     transition since the last cut. *)
+  captures := capture_chain root :: !captures;
+  let captures = List.rev !captures in
+  let base_table = Table.to_string (Engine.report_table base_report) in
+  let degraded = ref 0 in
+  let errors = ref (List.rev !cut_errors) in
+  List.iteri
+    (fun i files ->
+      let fail reason = errors := !errors @ [ (i + 1, reason) ] in
+      clear_chain root;
+      List.iter (fun (path, data) -> write_bytes path data) (inject_into files inject);
+      match Chain.recover ~path:root ~config:fingerprint ~journal:jpath () with
+      | exception e ->
+          fail ("recovery raised " ^ Printexc.to_string e
+               ^ " (must degrade to an error, never a backtrace)")
+      | Error m ->
+          if inject = None then fail ("recovery failed on a clean chain: " ^ m)
+          else if String.trim m = "" then fail "recovery error has no message"
+          else incr degraded
+      | Ok r -> (
+          if inject <> None && (r.Chain.r_warnings <> [] || r.Chain.r_index = 0)
+          then incr degraded;
+          let v = Journal.verifier r.Chain.r_journal in
+          match
+            Engine.run ?config ?faults ?fault_schedule ?reconfig ?pool ?slot
+              ~on_transition:(Journal.observe v)
+              ~restore_from:r.Chain.r_snapshot g params ~requests
+          with
+          | exception Invalid_argument m -> fail ("restore refused: " ^ m)
+          | report, outcomes -> (
+              if
+                not
+                  (String.equal
+                     (Table.to_string (Engine.report_table report))
+                     base_table)
+              then fail "restored report differs"
+              else if compare outcomes base_outcomes <> 0 then
+                fail "restored outcomes differ"
+              else
+                match Journal.finish v with
+                | Ok _ -> ()
+                | Error m -> fail ("journal replay: " ^ m))))
+    captures;
+  clear_chain root;
+  {
+    chain_cuts = !cuts;
+    chain_captures = List.length captures;
+    chain_errors = !errors;
+    chain_degraded = !degraded;
+  }
+
+let pp_chain ppf d =
+  if chain_passed d then
+    Format.fprintf ppf
+      "chain drill passed: %d cut(s), %d crash point(s), %d degraded \
+       gracefully"
+      d.chain_cuts d.chain_captures d.chain_degraded
+  else begin
+    Format.fprintf ppf "chain drill FAILED: %d of %d crash point(s) diverged"
+      (List.length d.chain_errors)
+      d.chain_captures;
+    List.iter
+      (fun (i, reason) -> Format.fprintf ppf "@.  capture %d: %s" i reason)
+      d.chain_errors
+  end
+
 let pp ppf d =
   if passed d then
     Format.fprintf ppf "drill passed: %d checkpoint(s), all restores identical"

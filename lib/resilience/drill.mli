@@ -40,3 +40,60 @@ val crash_restore :
 
 val pp : Format.formatter -> t -> unit
 (** One-line pass summary, or the list of diverging instants. *)
+
+(** {1 Incremental-chain drills}
+
+    {!chain_restore} exercises the full durability stack: the run cuts
+    through a real {!Chain} writer (base, deltas and write-ahead
+    journal on disk in [dir]), the drill captures the byte-exact file
+    set after every cut plus once at run end (when the journal carries
+    the tail), and each capture is crashed into — recovered with
+    {!Chain.recover} and re-run to completion under the journal
+    {!Journal.verifier}.
+
+    Determinism gives one pass criterion that survives corruption:
+    recovery from {e any} valid state completes to the same final
+    report.  So with an {!injection}, every crash point must either
+    produce a byte-identical completion (journal fully re-emitted) or
+    degrade to a friendly [Error] — an exception anywhere fails the
+    drill. *)
+
+type injection =
+  | Torn_write of int
+      (** Truncate the newest file of each capture by N bytes — the
+          mid-write crash. *)
+  | Bit_flip of int
+      (** Flip bit N of the middle file — silent media corruption. *)
+
+type chain_t = {
+  chain_cuts : int;  (** Cuts performed by the uninterrupted run. *)
+  chain_captures : int;  (** Crash points exercised. *)
+  chain_errors : (int * string) list;
+      (** [(capture, reason)] for every failure; empty means passed. *)
+  chain_degraded : int;
+      (** Injected captures that recovered to an earlier state or a
+          friendly error — expected under injection. *)
+}
+
+val chain_passed : chain_t -> bool
+
+val chain_restore :
+  ?config:Qnet_online.Engine.config ->
+  ?faults:Qnet_faults.Model.t ->
+  ?fault_schedule:Qnet_faults.Schedule.event list ->
+  ?reconfig:Qnet_online.Reconfig.event list ->
+  ?pool:Qnet_util.Pool.t ->
+  ?slot:float ->
+  ?inject:injection ->
+  every:float ->
+  cadence:int ->
+  dir:string ->
+  Qnet_graph.Graph.t ->
+  Qnet_core.Params.t ->
+  requests:Qnet_online.Workload.request list ->
+  chain_t
+(** [cadence] is the {!Chain.create} rebase period (deltas per full
+    snapshot); [dir] must be a writable scratch directory — the drill
+    cleans its chain files up on exit. *)
+
+val pp_chain : Format.formatter -> chain_t -> unit

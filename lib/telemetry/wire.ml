@@ -1,0 +1,208 @@
+(* Compact binary codec for telemetry registry state.
+
+   Checkpoint deltas carry the metrics registry on every cut, and the
+   sexp rendering of a histogram (64 bucket counts, four 17-digit
+   floats) is the single largest section of a snapshot.  This codec
+   packs the same data as LEB128 varints (zigzag for signed values),
+   raw IEEE-754 bits for floats, and length-prefixed strings — a
+   registry delta typically shrinks 5-10x versus its sexp form.
+
+   The primitives are exposed because the resilience journal reuses
+   them for its own records; the [metrics_diff] pair is the codec the
+   incremental checkpoints ship. *)
+
+exception Corrupt of string
+
+(* --- encoder ------------------------------------------------------ *)
+
+type enc = Buffer.t
+
+let encoder () = Buffer.create 256
+let contents = Buffer.contents
+
+let put_byte b n = Buffer.add_char b (Char.chr (n land 0xff))
+
+(* LEB128 over the raw word bits: [n] is read as an unsigned
+   [Sys.int_size]-bit pattern (logical shifts), so the zigzag of
+   [min_int] — whose pattern has the top bit set — still encodes. *)
+let put_word_bits b n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then put_byte b n
+    else begin
+      put_byte b (0x80 lor (n land 0x7f));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(* Unsigned LEB128. *)
+let put_uint b n =
+  if n < 0 then invalid_arg "Wire.put_uint: negative";
+  put_word_bits b n
+
+(* Zigzag-mapped signed varint: small magnitudes of either sign stay
+   one byte. *)
+let put_int b n = put_word_bits b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let put_float b f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    put_byte b (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+  done
+
+let put_string b s =
+  put_uint b (String.length s);
+  Buffer.add_string b s
+
+(* --- decoder ------------------------------------------------------ *)
+
+type dec = { data : string; mutable pos : int }
+
+let decoder data = { data; pos = 0 }
+let remaining d = String.length d.data - d.pos
+let corrupt msg = raise (Corrupt msg)
+
+let get_byte d =
+  if d.pos >= String.length d.data then corrupt "truncated record";
+  let c = Char.code d.data.[d.pos] in
+  d.pos <- d.pos + 1;
+  c
+
+let get_uint d =
+  let rec go shift acc =
+    if shift > Sys.int_size then corrupt "varint overflow";
+    let byte = get_byte d in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_int d =
+  let z = get_uint d in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_float d =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits (Int64.shift_left (Int64.of_int (get_byte d)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let get_string d =
+  let n = get_uint d in
+  (* A crafted varint can decode to a negative word; reject it here so
+     corruption surfaces as [Corrupt], never [Invalid_argument]. *)
+  if n < 0 || n > remaining d then corrupt "truncated string";
+  let s = String.sub d.data d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+(* --- hex framing --------------------------------------------------- *)
+
+(* Binary payloads ride inside line-oriented checkpoint files, so they
+   are hex-armoured: still compact after the 2x expansion, and the
+   file's integrity footer stays a trailing text line. *)
+
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex payload"
+  else
+    let nib c =
+      match c with
+      | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+      | _ -> Error (Printf.sprintf "invalid hex byte %C" c)
+    in
+    let buf = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.to_string buf)
+      else
+        match (nib s.[i], nib s.[i + 1]) with
+        | Ok hi, Ok lo ->
+            Bytes.set buf (i / 2) (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+(* --- metrics ------------------------------------------------------- *)
+
+let put_dumped b = function
+  | Metrics.D_counter n ->
+      put_byte b 0;
+      put_int b n
+  | Metrics.D_gauge v ->
+      put_byte b 1;
+      put_float b v
+  | Metrics.D_histogram h ->
+      put_byte b 2;
+      put_int b h.Metrics.d_n;
+      put_float b h.Metrics.d_sum;
+      put_float b h.Metrics.d_vmin;
+      put_float b h.Metrics.d_vmax;
+      put_uint b (Array.length h.Metrics.d_counts);
+      Array.iter (put_int b) h.Metrics.d_counts
+
+let get_dumped d =
+  match get_byte d with
+  | 0 -> Metrics.D_counter (get_int d)
+  | 1 -> Metrics.D_gauge (get_float d)
+  | 2 ->
+      let d_n = get_int d in
+      let d_sum = get_float d in
+      let d_vmin = get_float d in
+      let d_vmax = get_float d in
+      let buckets = get_uint d in
+      if buckets < 0 || buckets > remaining d then
+        corrupt "truncated histogram";
+      let d_counts = Array.init buckets (fun _ -> get_int d) in
+      Metrics.D_histogram { d_n; d_sum; d_vmin; d_vmax; d_counts }
+  | t -> corrupt (Printf.sprintf "unknown metric tag %d" t)
+
+(* A registry delta: entries that disappeared (by name) plus entries
+   added or changed.  Both halves keep their caller-given order, which
+   the delta codec relies on to reconstruct [Metrics.dump]'s sorted
+   output exactly. *)
+let encode_metrics_diff ~removed ~upserts =
+  let b = encoder () in
+  put_uint b (List.length removed);
+  List.iter (put_string b) removed;
+  put_uint b (List.length upserts);
+  List.iter
+    (fun (name, v) ->
+      put_string b name;
+      put_dumped b v)
+    upserts;
+  contents b
+
+(* Explicit accumulation: each entry costs at least one byte, so a
+   lying count is caught before any allocation sized by it — and the
+   list is built strictly left to right, which the stateful decoder
+   requires. *)
+let get_list d f =
+  let n = get_uint d in
+  if n < 0 || n > remaining d then corrupt "truncated list";
+  let rec go acc k = if k = 0 then List.rev acc else go (f d :: acc) (k - 1) in
+  go [] n
+
+let decode_metrics_diff data =
+  match
+    let d = decoder data in
+    let removed = get_list d get_string in
+    let upserts =
+      get_list d (fun d ->
+          let name = get_string d in
+          (name, get_dumped d))
+    in
+    if remaining d <> 0 then corrupt "trailing bytes";
+    (removed, upserts)
+  with
+  | v -> Ok v
+  | exception Corrupt m -> Error ("metrics delta: " ^ m)

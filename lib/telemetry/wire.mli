@@ -1,0 +1,76 @@
+(** Compact binary codec for telemetry state (and journal records).
+
+    The incremental-checkpoint path ships the metrics registry on every
+    delta, where the sexp rendering (17-digit floats, 64 spelled-out
+    bucket counts per histogram) dominates the file.  This codec packs
+    the same data as LEB128 varints (zigzag-mapped when signed), raw
+    IEEE-754 float bits and length-prefixed strings, typically 5-10x
+    smaller.  The primitives are public because the write-ahead journal
+    reuses them for its own records.
+
+    Decoding raises {!Corrupt} internally; the top-level entry points
+    ({!decode_metrics_diff}, callers' own wrappers) convert it to a
+    [result], so a truncated or bit-flipped payload surfaces as a
+    human-readable error, never an exception escaping the file layer. *)
+
+exception Corrupt of string
+(** Raised by [get_*] on truncated or malformed input.  Catch at the
+    record boundary and turn into a friendly error. *)
+
+(** {1 Encoding} *)
+
+type enc
+
+val encoder : unit -> enc
+val contents : enc -> string
+val put_byte : enc -> int -> unit
+val put_uint : enc -> int -> unit
+(** Unsigned LEB128.  @raise Invalid_argument on a negative value. *)
+
+val put_int : enc -> int -> unit
+(** Zigzag-mapped signed varint. *)
+
+val put_float : enc -> float -> unit
+(** Eight raw little-endian IEEE-754 bytes; round-trips every double
+    (including infinities and NaN) exactly. *)
+
+val put_string : enc -> string -> unit
+
+(** {1 Decoding} *)
+
+type dec
+
+val decoder : string -> dec
+val remaining : dec -> int
+val get_byte : dec -> int
+val get_uint : dec -> int
+val get_int : dec -> int
+val get_float : dec -> float
+val get_string : dec -> string
+
+val get_list : dec -> (dec -> 'a) -> 'a list
+(** Length-prefixed list, decoded strictly left to right; a count
+    larger than the remaining bytes is rejected before allocation. *)
+
+(** {1 Hex armour}
+
+    Binary payloads ride inside line-oriented checkpoint files, so they
+    are hex-encoded: the file stays line-splittable and its integrity
+    footer stays a trailing text line. *)
+
+val to_hex : string -> string
+val of_hex : string -> (string, string) result
+
+(** {1 Metrics registry deltas} *)
+
+val put_dumped : enc -> Metrics.dumped -> unit
+val get_dumped : dec -> Metrics.dumped
+
+val encode_metrics_diff :
+  removed:string list -> upserts:(string * Metrics.dumped) list -> string
+(** Serialise a registry delta: entry names that disappeared plus
+    entries added or changed, both in caller order (the delta codec
+    reconstructs {!Metrics.dump}'s sorted output by ordered merge). *)
+
+val decode_metrics_diff :
+  string -> (string list * (string * Metrics.dumped) list, string) result

@@ -47,6 +47,20 @@ let to_string t =
   add_to_buffer buf t;
   Buffer.contents buf
 
+(* Same traversal, straight into the (stdlib-buffered) channel: the
+   document is never materialised as one string, so writing a
+   100k-switch snapshot costs the channel buffer, not the document. *)
+let rec output oc = function
+  | Atom s -> output_string oc (atom_to_string s)
+  | List items ->
+      output_char oc '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then output_char oc ' ';
+          output oc item)
+        items;
+      output_char oc ')'
+
 (* Flat rendered width, capped: bails as soon as it exceeds [limit], so
    the hum printer's fits-on-this-line test is O(line width) per node
    instead of rendering the node's whole subtree to a throwaway

@@ -15,6 +15,11 @@ val to_string : t -> string
     graph document renders with recursion bounded by nesting depth
     only. *)
 
+val output : out_channel -> t -> unit
+(** Stream the one-line rendering of {!to_string} straight to a
+    channel without materialising the document as a string — the
+    constant-memory writer checkpointing large snapshots relies on. *)
+
 val to_string_hum : ?indent:int -> t -> string
 (** Multi-line rendering with the given indent (default 2) — lists
     whose rendered width exceeds ~78 columns break across lines.  The

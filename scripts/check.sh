@@ -153,6 +153,58 @@ dune exec bin/muerp_cli.exe -- traffic $rec_flags --reconfig "$reconf" \
   { echo "crash-recovery drill failed" >&2; exit 1; }
 echo "crash-recovery: restore byte-identical, corrupt file exits 2, drill passed"
 
+echo "== incremental-chain crash smoke =="
+# Incremental mode: the same faulty run cut as a base + delta chain
+# with a write-ahead journal, halted mid-run and recovered through the
+# chain, must reproduce the uninterrupted report byte-for-byte.
+# Poisoning a middle delta must degrade gracefully — a warning, an
+# earlier restore point, and STILL the identical final report (the
+# determinism contract).  Poisoning the base must exit 2 naming the
+# file.  The in-process chain drill crashes into every capture.
+chain_dir=$(mktemp -d -t muerp_chain.XXXXXX)
+chain="$chain_dir/chain.ckpt"
+chain_rest=$(mktemp -t muerp_chain_rest.XXXXXX)
+chain_warn=$(mktemp -t muerp_chain_warn.XXXXXX)
+trap 'rm -rf "$run_a" "$run_b" "$chain_dir" "$chain_rest" "$chain_warn"' EXIT
+incr_flags="--checkpoint-mode incr:4 --journal $chain.journal"
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --checkpoint-every 3 \
+  --checkpoint "$chain" $incr_flags --halt-at 25 >/dev/null
+ls "$chain".d* >/dev/null 2>&1 ||
+  { echo "incremental run wrote no delta files" >&2; exit 1; }
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --restore "$chain" \
+  $incr_flags --jobs 2 >"$chain_rest"
+grep '^|' "$rec_full" >"$rec_full.tbl"
+grep '^|' "$chain_rest" >"$chain_rest.tbl"
+cmp "$rec_full.tbl" "$chain_rest.tbl" ||
+  { echo "chain-restored report differs from the uninterrupted run" >&2
+    exit 1; }
+# Zero one byte mid-delta: the chain walk must skip the poisoned
+# suffix with a warning and the completion must still be identical.
+dd if=/dev/zero of="$chain.d1" bs=1 seek=40 count=1 conv=notrunc 2>/dev/null
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --restore "$chain" \
+  $incr_flags >"$chain_rest" 2>"$chain_warn"
+grep -q "warning:" "$chain_warn" ||
+  { echo "poisoned delta produced no recovery warning" >&2; exit 1; }
+grep '^|' "$chain_rest" >"$chain_rest.tbl"
+cmp "$rec_full.tbl" "$chain_rest.tbl" ||
+  { echo "degraded chain restore diverged from the uninterrupted run" >&2
+    exit 1; }
+rm -f "$rec_full.tbl" "$chain_rest.tbl"
+# Poison the base: no valid restore point remains — exit 2, name the file.
+printf 'garbage' >>"$chain"
+status=0
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --restore "$chain" \
+  $incr_flags >/dev/null 2>"$chain_warn" || status=$?
+[ "$status" -eq 2 ] ||
+  { echo "corrupt chain base exited $status, want 2" >&2; exit 1; }
+grep -q "chain.ckpt" "$chain_warn" ||
+  { echo "corrupt-base error does not name the file" >&2; exit 1; }
+# The in-process chain drill: crash into every capture, verify replay.
+dune exec bin/muerp_cli.exe -- traffic $rec_flags --drill 6 \
+  --checkpoint-mode incr:3 | grep -q "chain drill passed" ||
+  { echo "incremental-chain drill failed" >&2; exit 1; }
+echo "incremental chain: restore identical, poison degrades, base exits 2"
+
 echo "== SLA gate smoke =="
 # --fail-on-sla must exit nonzero when acceptance lands below the bar
 # and zero when it clears it.

@@ -16,7 +16,12 @@ module Policy = Qnet_online.Policy
 module Engine = Qnet_online.Engine
 module Reconfig = Qnet_online.Reconfig
 module Checkpoint = Qnet_resilience.Checkpoint
+module Delta = Qnet_resilience.Delta
+module Journal = Qnet_resilience.Journal
+module Chain = Qnet_resilience.Chain
 module Drill = Qnet_resilience.Drill
+module Wire = Qnet_telemetry.Wire
+module Metrics = Qnet_telemetry.Metrics
 open Qnet_core
 
 let check_bool = Alcotest.(check bool)
@@ -131,21 +136,57 @@ let test_restore_flag_mismatch_refused () =
         has no faults or reconfiguration configured (flags differ)")
     (fun () -> ignore (Engine.run ~restore_from:snap g params ~requests:reqs))
 
-let test_checkpoint_refused_for_stateful_policy () =
+let test_checkpoint_stateful_policy_gate () =
   let g = network 7 in
   let reqs = generated 8 g in
-  let config = Engine.config (Policy.cached Policy.prim) in
-  check_bool "cached policies are not checkpoint-safe" false
+  (* The memo table now travels in the snapshot via state hooks, so
+     cached wrappers are checkpoint-safe... *)
+  check_bool "cached policies are checkpoint-safe" true
     (Policy.cached Policy.prim).Policy.checkpoint_safe;
-  Alcotest.check_raises "checkpoint with cached policy refused"
+  (* ...but wrapping a policy that itself keeps restorable state would
+     need composed hooks, which nothing provides — that combination
+     must still be refused up front. *)
+  let nested = Policy.cached (Policy.cached Policy.prim) in
+  check_bool "nested cached is not checkpoint-safe" false
+    nested.Policy.checkpoint_safe;
+  Alcotest.check_raises "checkpoint with nested cached policy refused"
     (Invalid_argument
-       "Engine.run: policy cached-prim keeps hidden mutable state and \
-        cannot be checkpointed or restored")
+       "Engine.run: policy cached-cached-prim keeps hidden mutable state \
+        and cannot be checkpointed or restored")
     (fun () ->
       ignore
-        (Engine.run ~config
+        (Engine.run
+           ~config:(Engine.config nested)
            ~checkpoint:(5., fun _ _ -> ())
            g params ~requests:reqs))
+
+(* A checkpoint cut while the memo table is warm must carry the exact
+   cache contents: optimistic reuse means warmth shapes later corridor
+   choices, so a cold-cache restore would diverge.  The drill compares
+   every restored continuation byte-for-byte against the uninterrupted
+   run. *)
+let test_cached_policy_restore_equivalence () =
+  let g = network 41 in
+  let reqs = generated 42 g in
+  let config = Engine.config (Policy.cached Policy.prim) in
+  let d = Drill.crash_restore ~config ~every:9. g params ~requests:reqs in
+  if not (Drill.passed d) then Alcotest.fail (Format.asprintf "%a" Drill.pp d);
+  check_bool "cut at least one checkpoint" true (d.Drill.checkpoints > 0)
+
+(* Same property for the hierarchical policy: the skeleton cache
+   (costs, paths, stamps, query counter) is exported into the snapshot
+   and re-imported on restore. *)
+let test_hier_policy_restore_equivalence () =
+  let g = network ~switches:30 43 in
+  let reqs = generated 44 g in
+  let part = Qnet_hier.Partition.kmeans ~regions:4 ~seed:43 g in
+  let oracle = Qnet_hier.Oracle.create g params part in
+  let policy = Qnet_hier.Serve.policy oracle in
+  check_bool "hier policy is checkpoint-safe" true policy.Policy.checkpoint_safe;
+  let config = Engine.config policy in
+  let d = Drill.crash_restore ~config ~every:9. g params ~requests:reqs in
+  if not (Drill.passed d) then Alcotest.fail (Format.asprintf "%a" Drill.pp d);
+  check_bool "cut at least one checkpoint" true (d.Drill.checkpoints > 0)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint file layer                                               *)
@@ -178,8 +219,14 @@ let expect_error what affix = function
 let test_checkpoint_file_roundtrip () =
   let _, _, snap = snapshot_of 11 in
   with_tmp (fun path ->
-      (match Checkpoint.save ~path ~config:"flags" snap with
-      | Ok () -> ()
+      let digest =
+        match Checkpoint.save ~path ~config:"flags" snap with
+        | Ok digest -> digest
+        | Error m -> Alcotest.fail m
+      in
+      (* The returned digest is the file's footer identity. *)
+      (match Checkpoint.read_with_footer ~path with
+      | Ok (_, d) -> check_bool "save returns the footer digest" true (d = digest)
       | Error m -> Alcotest.fail m);
       match Checkpoint.load ~path ~config:"flags" with
       | Error m -> Alcotest.fail m
@@ -193,7 +240,7 @@ let test_checkpoint_file_errors () =
   let _, _, snap = snapshot_of 13 in
   with_tmp (fun path ->
       (match Checkpoint.save ~path ~config:"flags" snap with
-      | Ok () -> ()
+      | Ok _ -> ()
       | Error m -> Alcotest.fail m);
       let good = read_file path in
       (* Config fingerprint mismatch names both fingerprints. *)
@@ -531,6 +578,398 @@ let prop_restore_any_instant =
       else Pool.with_pool ~jobs (fun pool -> run (Some pool)))
 
 (* ------------------------------------------------------------------ *)
+(* Binary wire codec                                                   *)
+
+let arbitrary_dumped =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Metrics.D_counter n) (int_range 0 1_000_000_000);
+        map (fun x -> Metrics.D_gauge x) (float_range (-1e12) 1e12);
+        map2
+          (fun (n, sum) counts ->
+            Metrics.D_histogram
+              {
+                Metrics.d_n = n;
+                d_sum = sum;
+                d_vmin = (if n = 0 then infinity else -3.5);
+                d_vmax = (if n = 0 then neg_infinity else sum);
+                d_counts = Array.of_list counts;
+              })
+          (pair (int_range 0 1000) (float_range 0. 1e6))
+          (list_size (int_range 0 64) (int_range 0 1000));
+      ])
+
+let prop_wire_metrics_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"wire metrics-diff round-trip"
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (small_list (string_size (int_range 0 12)))
+           (small_list (pair (string_size (int_range 0 12)) arbitrary_dumped))))
+    (fun (removed, upserts) ->
+      let payload = Wire.encode_metrics_diff ~removed ~upserts in
+      match Wire.of_hex (Wire.to_hex payload) with
+      | Error m -> QCheck.Test.fail_report ("hex round-trip: " ^ m)
+      | Ok payload' -> (
+          if not (String.equal payload payload') then
+            QCheck.Test.fail_report "hex armour is not the identity";
+          match Wire.decode_metrics_diff payload' with
+          | Error m -> QCheck.Test.fail_report ("decode: " ^ m)
+          | Ok (removed', upserts') ->
+              removed = removed' && upserts = upserts'))
+
+let test_wire_primitives () =
+  let enc = Wire.encoder () in
+  Wire.put_int enc min_int;
+  Wire.put_int enc max_int;
+  Wire.put_int enc 0;
+  Wire.put_int enc (-1);
+  Wire.put_uint enc 0;
+  Wire.put_uint enc max_int;
+  List.iter (Wire.put_float enc)
+    [ 0.; -0.; infinity; neg_infinity; nan; 1e-308; Float.pi ];
+  Wire.put_string enc "";
+  Wire.put_string enc "hex\x00armoured\xff";
+  let dec = Wire.decoder (Wire.contents enc) in
+  check_bool "min_int" true (Wire.get_int dec = min_int);
+  check_bool "max_int" true (Wire.get_int dec = max_int);
+  check_bool "zero" true (Wire.get_int dec = 0);
+  check_bool "minus one" true (Wire.get_int dec = -1);
+  check_bool "uint zero" true (Wire.get_uint dec = 0);
+  check_bool "uint max" true (Wire.get_uint dec = max_int);
+  List.iter
+    (fun x ->
+      (* bit-identical, so NaN and -0. both count *)
+      check_bool "float bits" true
+        (Int64.equal (Int64.bits_of_float x)
+           (Int64.bits_of_float (Wire.get_float dec))))
+    [ 0.; -0.; infinity; neg_infinity; nan; 1e-308; Float.pi ];
+  check_bool "empty string" true (Wire.get_string dec = "");
+  check_bool "binary string" true (Wire.get_string dec = "hex\x00armoured\xff");
+  check_bool "fully consumed" true (Wire.remaining dec = 0);
+  (* Truncated input surfaces as a friendly result, not an exception. *)
+  match Wire.decode_metrics_diff "\x05" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded a truncated payload"
+
+(* ------------------------------------------------------------------ *)
+(* Delta codec                                                         *)
+
+(* Capture every snapshot a real (faulty, overloaded) run cuts, then
+   check the delta laws pairwise: apply (diff base next) reconstructs
+   next structurally, and the sexp rendering round-trips. *)
+let consecutive_snapshots seed =
+  let g = network seed in
+  let reqs = generated (seed + 1) g in
+  let faults =
+    Model.make ~mtbf:40. ~mttr:6. ~targets:Model.Both ~seed:(seed + 2) ()
+  in
+  let overload = Qnet_overload.Admission.make ~max_queue:12 ~rate:1. () in
+  let config = Engine.config ~overload Policy.prim in
+  let snaps = ref [] in
+  let _ =
+    Engine.run ~config ~faults
+      ~checkpoint:(6., fun _ snap -> snaps := snap :: !snaps)
+      g params ~requests:reqs
+  in
+  List.rev !snaps
+
+let snapshot_equal a b =
+  String.equal
+    (Sexp.to_string (Engine.snapshot_to_sexp a))
+    (Sexp.to_string (Engine.snapshot_to_sexp b))
+
+let test_delta_reconstructs () =
+  let snaps = consecutive_snapshots 47 in
+  check_bool "captured at least three snapshots" true (List.length snaps >= 3);
+  let rec pairs = function
+    | a :: (b :: _ as tl) -> (a, b) :: pairs tl
+    | _ -> []
+  in
+  List.iteri
+    (fun i (base, next) ->
+      let d = Delta.diff ~base next in
+      (match Delta.apply ~base d with
+      | Error m -> Alcotest.fail (Printf.sprintf "delta %d: apply: %s" i m)
+      | Ok next' ->
+          check_bool
+            (Printf.sprintf "delta %d reconstructs structurally" i)
+            true (compare next next' = 0);
+          check_bool
+            (Printf.sprintf "delta %d reconstructs byte-identically" i)
+            true (snapshot_equal next next'));
+      (* sexp round-trip, then apply again from the parsed form *)
+      match Delta.of_sexp (Delta.to_sexp d) with
+      | Error m -> Alcotest.fail (Printf.sprintf "delta %d: re-parse: %s" i m)
+      | Ok d' -> (
+          match Delta.apply ~base d' with
+          | Error m ->
+              Alcotest.fail (Printf.sprintf "delta %d: parsed apply: %s" i m)
+          | Ok next' ->
+              check_bool
+                (Printf.sprintf "parsed delta %d reconstructs" i)
+                true (compare next next' = 0)))
+    (pairs snaps)
+
+let test_delta_rejects_wrong_base () =
+  match consecutive_snapshots 53 with
+  | s0 :: s1 :: _ ->
+      (* A removal the base does not have means the delta belongs to a
+         different predecessor — apply must say so, not guess. *)
+      let d = Delta.diff ~base:s0 s1 in
+      let phantom =
+        { d with Delta.d_events_removed = (9999., 9999) :: d.Delta.d_events_removed }
+      in
+      (match Delta.apply ~base:s0 phantom with
+      | Error m ->
+          check_bool "phantom removal is named" true
+            (Astring.String.is_infix ~affix:"the base does not have" m)
+      | Ok _ -> Alcotest.fail "applied a delta with a phantom removal");
+      (* Malformed documents are named, not thrown. *)
+      (match Delta.of_sexp (Sexp.atom "junk") with
+      | Error m ->
+          check_bool "names the malformed document" true
+            (Astring.String.is_infix ~affix:"malformed delta" m)
+      | Ok _ -> Alcotest.fail "parsed junk as a delta");
+      (match
+         Delta.of_sexp (Sexp.list [ Sexp.atom "muerp-snapshot-delta/999" ])
+       with
+      | Error m ->
+          check_bool "names the version" true
+            (Astring.String.is_infix ~affix:"unsupported delta version" m)
+      | Ok _ -> Alcotest.fail "parsed an unknown delta version")
+  | _ -> Alcotest.fail "expected at least three snapshots"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental chains: crash drills, journal replay, corruption        *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_dir "muerp_chain" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let chain_drill_must_pass ?inject ?pool ?slot ~cadence seed =
+  let g = network seed in
+  let reqs = generated (seed + 1) g in
+  let faults =
+    Model.make ~mtbf:45. ~mttr:6. ~targets:Model.Both ~seed:(seed + 2) ()
+  in
+  let overload = Qnet_overload.Admission.make ~max_queue:14 ~rate:1.2 () in
+  let config = Engine.config ~overload Policy.prim in
+  with_tmp_dir (fun dir ->
+      let d =
+        Drill.chain_restore ~config ~faults ?inject ?pool ?slot ~every:8.
+          ~cadence ~dir g params ~requests:reqs
+      in
+      if not (Drill.chain_passed d) then
+        Alcotest.fail (Format.asprintf "%a" Drill.pp_chain d);
+      check_bool "exercised several crash points" true (d.Drill.chain_captures >= 3);
+      d)
+
+let test_chain_drill_clean () =
+  let d = chain_drill_must_pass ~cadence:3 59 in
+  check_bool "no capture degraded on a clean chain" true
+    (d.Drill.chain_degraded = 0)
+
+let test_chain_drill_torn_write () =
+  (* Truncating the newest file of every capture simulates the
+     mid-write crash; every crash point must still complete
+     byte-identically (from an earlier state) or fail friendly. *)
+  List.iter
+    (fun n -> ignore (chain_drill_must_pass ~inject:(Drill.Torn_write n) ~cadence:3 61))
+    [ 1; 7; 64; 10_000 ]
+
+let test_chain_drill_bit_flip () =
+  List.iter
+    (fun bit ->
+      ignore (chain_drill_must_pass ~inject:(Drill.Bit_flip bit) ~cadence:3 67))
+    [ 3; 1009; 65537 ]
+
+let prop_chain_restore_any_instant =
+  QCheck.Test.make ~count:4 ~name:"chain restore at any cut, any jobs/slot"
+    QCheck.(
+      triple (int_range 0 10_000) (oneofl [ 1; 2; 4 ]) (oneofl [ 0.; 2.5 ]))
+    (fun (seed, jobs, slot) ->
+      let run pool =
+        ignore
+          (chain_drill_must_pass ?pool ~slot ~cadence:((seed mod 4) + 2)
+             (seed mod 89));
+        true
+      in
+      if jobs = 1 then run None
+      else Pool.with_pool ~jobs (fun pool -> run (Some pool)))
+
+(* The corruption matrix: build a real chain, then truncate each file
+   at every byte boundary and flip random bits, checking that recovery
+   always either lands on one of the states the writer actually cut
+   (structural equality) or fails with a message naming the file —
+   never an exception. *)
+let test_chain_corruption_matrix () =
+  with_tmp_dir (fun dir ->
+      let g = network ~users:4 ~switches:10 71 in
+      let wspec =
+        Workload.spec ~requests:16 ~arrivals:(Workload.Poisson 0.6) ()
+      in
+      let reqs = Workload.generate (Prng.create 72) g wspec in
+      let root = Filename.concat dir "m.ckpt" in
+      let jpath = Chain.journal_path root in
+      (* Cadence above the cut count: the chain never rebases, so the
+         delta files are guaranteed to still exist at run end. *)
+      let writer =
+        Chain.create ~path:root ~config:"matrix" ~every:100 ~journal:jpath ()
+      in
+      let states = ref [] in
+      let sink _ snap =
+        match Chain.cut writer snap with
+        | Ok _ -> states := snap :: !states
+        | Error m -> Alcotest.fail m
+      in
+      let _ =
+        Engine.run ~on_transition:(Chain.on_transition writer)
+          ~checkpoint:(5., sink) g params ~requests:reqs
+      in
+      Chain.close writer;
+      check_bool "cut a real chain" true (List.length !states >= 2);
+      check_bool "chain has deltas" true (Sys.file_exists (Chain.delta_path root 1));
+      let files =
+        List.filter Sys.file_exists
+          (root :: jpath :: List.map (Chain.delta_path root) [ 1; 2; 3; 4 ])
+      in
+      let originals = List.map (fun p -> (p, read_file p)) files in
+      let restore_all () =
+        List.iter (fun (p, data) -> write_file p data) originals
+      in
+      let attempts = ref 0 and degraded = ref 0 in
+      let recover_must_be_sane ~mutated () =
+        incr attempts;
+        match Chain.recover ~path:root ~config:"matrix" ~journal:jpath () with
+        | exception e ->
+            Alcotest.fail
+              (Printf.sprintf "recovery raised %s after corrupting %s"
+                 (Printexc.to_string e) mutated)
+        | Error m ->
+            incr degraded;
+            check_bool
+              (Printf.sprintf "error names a file (%s)" m)
+              true
+              (Astring.String.is_infix ~affix:dir m)
+        | Ok r ->
+            if r.Chain.r_warnings <> [] then incr degraded;
+            check_bool
+              (Printf.sprintf "recovered state after corrupting %s is one \
+                               the writer cut" mutated)
+              true
+              (List.exists
+                 (fun s -> compare s r.Chain.r_snapshot = 0)
+                 !states)
+      in
+      List.iter
+        (fun (path, data) ->
+          let n = String.length data in
+          (* Truncate at every byte boundary. *)
+          for keep = 0 to n - 1 do
+            restore_all ();
+            write_file path (String.sub data 0 keep);
+            recover_must_be_sane ~mutated:(Filename.basename path) ()
+          done;
+          (* Deterministic pseudo-random bit flips across the file. *)
+          let rng = Prng.create (Hashtbl.hash path) in
+          for _ = 1 to 40 do
+            restore_all ();
+            let bit = Prng.int rng (8 * n) in
+            let b = Bytes.of_string data in
+            let i = bit / 8 and j = bit mod 8 in
+            Bytes.set b i
+              (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl j)));
+            write_file path (Bytes.to_string b);
+            recover_must_be_sane ~mutated:(Filename.basename path) ()
+          done)
+        originals;
+      restore_all ();
+      check_bool "matrix exercised many mutations" true (!attempts > 100);
+      check_bool "most mutations degraded detectably" true (!degraded > 0))
+
+(* Torn journal tails are a warning plus fewer records, never a loss of
+   the prefix. *)
+let test_journal_torn_tail () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "t.journal" in
+      let w =
+        match Journal.create ~path ~config:"c" ~head:"h" ~index:2 with
+        | Ok w -> w
+        | Error m -> Alcotest.fail m
+      in
+      let records =
+        List.init 50 (fun i ->
+            if i mod 3 = 0 then
+              Engine.T_admit { at = float_of_int i; lid = i; request = i * 7 }
+            else if i mod 3 = 1 then
+              Engine.T_release { at = float_of_int i; lid = i - 1 }
+            else
+              Engine.T_fault
+                { at = float_of_int i; link = i mod 2 = 0; element = i; up = false })
+      in
+      List.iter (Journal.append w) records;
+      ignore (Journal.close w);
+      (match Journal.read ~path with
+      | Error m -> Alcotest.fail m
+      | Ok c ->
+          check_bool "all records back" true (c.Journal.j_records = records);
+          check_bool "chain head kept" true
+            (c.Journal.j_head = "h" && c.Journal.j_index = 2);
+          check_bool "clean tail" true (c.Journal.j_torn = None));
+      let data = read_file path in
+      (* Cut the file mid-record: the prefix must survive, the tail is
+         reported torn. *)
+      write_file path (String.sub data 0 (String.length data - 3));
+      (match Journal.read ~path with
+      | Error m -> Alcotest.fail ("torn tail must not be fatal: " ^ m)
+      | Ok c ->
+          check_bool "prefix survives" true
+            (List.length c.Journal.j_records = List.length records - 1);
+          check_bool "torn tail reported" true (c.Journal.j_torn <> None));
+      (* The verifier accepts a replay that outlives a torn journal but
+         rejects divergence. *)
+      let v = Journal.verifier (List.filteri (fun i _ -> i < 10) records) in
+      List.iter (Journal.observe v) records;
+      (match Journal.finish v with
+      | Ok n -> check_int "verified the journalled prefix" 10 n
+      | Error m -> Alcotest.fail m);
+      let v = Journal.verifier records in
+      Journal.observe v (Engine.T_release { at = 99.; lid = 4242 });
+      match Journal.finish v with
+      | Error m ->
+          check_bool "divergence is reported" true
+            (Astring.String.is_infix ~affix:"diverged" m)
+      | Ok _ -> Alcotest.fail "verifier accepted a diverging replay")
+
+(* ------------------------------------------------------------------ *)
+(* Streaming writes at scale                                           *)
+
+(* A snapshot carrying 100k-switch quota/residual sections round-trips
+   through the streamed writer without materialising in memory as one
+   string, and bit-identically. *)
+let test_checkpoint_streams_large_snapshot () =
+  let _, _, snap = snapshot_of 73 in
+  let big = List.init 100_000 (fun i -> (i, (i * 7 mod 13) + 1)) in
+  let snap = { snap with Engine.s_quota = big; s_residual = big } in
+  with_tmp (fun path ->
+      (match Checkpoint.save ~path ~config:"large" snap with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m);
+      match Checkpoint.load ~path ~config:"large" with
+      | Error m -> Alcotest.fail m
+      | Ok snap' ->
+          check_bool "100k-switch snapshot round-trips structurally" true
+            (compare snap snap' = 0))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -543,14 +982,44 @@ let () =
             test_snapshot_rejects_garbage;
           Alcotest.test_case "flag mismatch refused" `Quick
             test_restore_flag_mismatch_refused;
-          Alcotest.test_case "stateful policy refused" `Quick
-            test_checkpoint_refused_for_stateful_policy;
+          Alcotest.test_case "stateful policy gate" `Quick
+            test_checkpoint_stateful_policy_gate;
+          Alcotest.test_case "cached policy restore equivalence" `Quick
+            test_cached_policy_restore_equivalence;
+          Alcotest.test_case "hier policy restore equivalence" `Quick
+            test_hier_policy_restore_equivalence;
         ] );
       ( "checkpoint-file",
         [
           Alcotest.test_case "round-trip" `Quick test_checkpoint_file_roundtrip;
           Alcotest.test_case "friendly errors" `Quick
             test_checkpoint_file_errors;
+          Alcotest.test_case "streams 100k-switch snapshots" `Quick
+            test_checkpoint_streams_large_snapshot;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "primitives" `Quick test_wire_primitives;
+          qc prop_wire_metrics_roundtrip;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "diff/apply reconstructs" `Quick
+            test_delta_reconstructs;
+          Alcotest.test_case "rejects wrong base and junk" `Quick
+            test_delta_rejects_wrong_base;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "clean crash drill" `Quick test_chain_drill_clean;
+          Alcotest.test_case "torn-write injection" `Quick
+            test_chain_drill_torn_write;
+          Alcotest.test_case "bit-flip injection" `Quick
+            test_chain_drill_bit_flip;
+          Alcotest.test_case "corruption matrix" `Quick
+            test_chain_corruption_matrix;
+          Alcotest.test_case "journal torn tail" `Quick test_journal_torn_tail;
+          qc prop_chain_restore_any_instant;
         ] );
       ( "reconfig",
         [
